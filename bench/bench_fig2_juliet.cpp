@@ -1,0 +1,60 @@
+//===- bench/bench_fig2_juliet.cpp - Regenerate paper Figure 2 --------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// Runs the four analysis tools over the Juliet-like benchmark and prints
+// the paper's Figure 2 table: per-class detection rates plus mean
+// runtime. By default the full 4113-test corpus is used (the paper's
+// counts); pass a divisor argument (e.g. "20") for a quick run.
+//
+// Usage: bench_fig2_juliet [scale-divisor]
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites/JulietGen.h"
+#include "suites/SuiteRunner.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cundef;
+
+int main(int argc, char **argv) {
+  unsigned Divisor = 1;
+  if (argc > 1)
+    Divisor = static_cast<unsigned>(std::atoi(argv[1]));
+  if (Divisor == 0)
+    Divisor = 1;
+
+  JulietGenerator Gen(Divisor);
+  std::vector<TestCase> Tests = Gen.generate();
+  std::printf("Juliet-like benchmark: %zu test pairs (divisor %u; the "
+              "paper's corpus is 4113)\n\n",
+              Tests.size(), Divisor);
+
+  std::vector<std::pair<std::string, JulietScores>> Rows;
+  for (ToolKind Kind : {ToolKind::Kcc, ToolKind::MemGrind, ToolKind::PtrCheck,
+                        ToolKind::ValueAnalysis}) {
+    std::unique_ptr<Tool> T = Tool::create(Kind);
+    std::printf("running %s over %zu pairs...\n", toolName(Kind),
+                Tests.size());
+    std::fflush(stdout);
+    Rows.emplace_back(toolName(Kind), scoreJuliet(*T, Tests));
+  }
+  std::printf("\n%s\n", renderFigure2(Rows).c_str());
+
+  std::printf("Paper reference (Figure 2):\n"
+              "  Use of invalid pointer    Valgrind 70.9  CheckPointer 89.1"
+              "  V.Analysis 100.0  kcc 100.0\n"
+              "  Division by zero          Valgrind  0.0  CheckPointer  0.0"
+              "  V.Analysis 100.0  kcc 100.0\n"
+              "  Bad argument to free()    Valgrind 100.0 CheckPointer 99.7"
+              "  V.Analysis 100.0  kcc 100.0\n"
+              "  Uninitialized memory      Valgrind 100.0 CheckPointer 29.3"
+              "  V.Analysis 100.0  kcc 100.0\n"
+              "  Bad function call         Valgrind 100.0 CheckPointer 100.0"
+              " V.Analysis 100.0  kcc 100.0\n"
+              "  Integer overflow          Valgrind  0.0  CheckPointer  0.0"
+              "  V.Analysis 100.0  kcc 100.0\n");
+  return 0;
+}

@@ -1,0 +1,88 @@
+//===- bench/bench_search.cpp - Section 2.5.2 evaluation-order search --------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// "Any tool seeking to identify all undefined behaviors must search all
+// possible evaluation strategies" (paper section 2.5.2). This bench
+// measures the cost and the payoff of that search: programs whose
+// undefinedness appears only on some orders, with the number of orders
+// explored until detection.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "driver/Driver.h"
+
+#include <cstdio>
+
+using namespace cundef;
+
+namespace {
+
+struct OrderCase {
+  const char *Name;
+  const char *Source;
+  bool DefaultOrderFindsIt; // left-to-right already undefined?
+};
+
+const OrderCase Cases[] = {
+    {"paper 2.5.2: (10/d) + setDenom(0)",
+     "int d = 5;\n"
+     "int setDenom(int x) { return d = x; }\n"
+     "int main(void) { return (10 / d) + setDenom(0); }\n",
+     false},
+    {"mirrored: setDenom(0) + (10/d)",
+     "int d = 5;\n"
+     "int setDenom(int x) { return d = x; }\n"
+     "int main(void) { return setDenom(0) + (10 / d); }\n",
+     true},
+    {"write/read race: x + x++",
+     "int main(void) { int x = 1; return x + x++; }\n", false},
+    {"both orders defined",
+     "int f(void) { return 1; }\n"
+     "int g(void) { return 2; }\n"
+     "int main(void) { return f() + g() - 3; }\n", false},
+    {"nested order dependence",
+     "int a = 1;\n"
+     "int set(int v) { a = v; return 0; }\n"
+     "int main(void) { return (8 / a) + (set(0) + set(1)); }\n",
+     false},
+};
+
+} // namespace
+
+int main() {
+  std::printf("Evaluation-order search (paper section 2.5.2)\n\n");
+  std::printf("%-38s %10s %8s %10s\n", "program", "LTR only", "search",
+              "orders");
+  std::printf("%s\n", std::string(70, '-').c_str());
+
+  for (const OrderCase &Case : Cases) {
+    // Single default-order run.
+    DriverOptions Single;
+    Single.SearchRuns = 1;
+    Driver D1(Single);
+    bool LtrFound = D1.runSource(Case.Source, "order.c").anyUb();
+
+    // Depth-first search over orders.
+    Driver D2{DriverOptions()};
+    Driver::Compiled C = D2.compile(Case.Source, "order.c");
+    if (!C.Ok) {
+      std::printf("%-38s  compile error\n", Case.Name);
+      continue;
+    }
+    MachineOptions MOpts;
+    OrderSearch Search(*C.Ast, MOpts, /*MaxRuns=*/64);
+    SearchResult R = Search.run();
+
+    std::printf("%-38s %10s %8s %7u\n", Case.Name,
+                LtrFound ? "UNDEF" : "clean",
+                R.UbFound ? "UNDEF" : "clean", R.RunsExplored);
+  }
+
+  std::printf("\nThe first program is the paper's CompCert-vs-GCC "
+              "example: left-to-right\nevaluation is defined, "
+              "right-to-left divides by zero. Only search finds\nit; "
+              "this is why kcc explores evaluation strategies.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+//===- examples/compare_tools.cpp - Four tools, one program -----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// Runs all four analysis tools (kcc and the three modelled baselines)
+// over a handful of undefined programs and prints their verdicts side
+// by side -- a miniature of the paper's evaluation section.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ToolRunner.h"
+
+#include <cstdio>
+
+using namespace cundef;
+
+namespace {
+
+struct Example {
+  const char *Title;
+  const char *Source;
+};
+
+const Example Examples[] = {
+    {"stack buffer overflow (silent on real hardware)",
+     "int main(void) {\n"
+     "  int a[4]; int i;\n"
+     "  for (i = 0; i < 4; i++) { a[i] = i; }\n"
+     "  return a[5];\n}\n"},
+    {"signed integer overflow",
+     "int main(void) { int x = 2147483647; return (x + 1) != 0; }\n"},
+    {"use after free",
+     "#include <stdlib.h>\n"
+     "int main(void) {\n"
+     "  int *p = (int*)malloc(sizeof(int));\n"
+     "  if (!p) { return 1; }\n"
+     "  *p = 7;\n  free(p);\n  return *p;\n}\n"},
+    {"unsequenced side effects (paper section 2.3)",
+     "int main(void) { int x = 0; return (x = 1) + (x = 2); }\n"},
+    {"defined control program",
+     "#include <stdio.h>\n"
+     "int main(void) { printf(\"fine\\n\"); return 0; }\n"},
+};
+
+} // namespace
+
+int main() {
+  for (const Example &E : Examples) {
+    std::printf("=== %s ===\n%s\n", E.Title, E.Source);
+    std::vector<ComparisonRow> Rows = compareTools(E.Source, "example.c");
+    std::printf("%s\n", renderComparison(Rows).c_str());
+  }
+  return 0;
+}

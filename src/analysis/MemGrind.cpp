@@ -1,0 +1,144 @@
+//===- analysis/MemGrind.cpp - Valgrind/Memcheck-style baseline ----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/MemGrind.h"
+
+#include "support/Strings.h"
+
+using namespace cundef;
+
+namespace {
+
+class MemGrindMonitor : public ExecMonitor {
+public:
+  explicit MemGrindMonitor(UbSink &Sink) : Sink(Sink) {}
+
+  void onRead(Machine &M, SymPointer Ptr, QualType Ty,
+              SourceLoc Loc) override {
+    checkAccess(M, Ptr, Ty, Loc, /*IsWrite=*/false);
+    checkDefinedness(M, Ptr, Ty, Loc);
+  }
+
+  void onWrite(Machine &M, SymPointer Ptr, QualType Ty, const Value &V,
+               SourceLoc Loc) override {
+    (void)V;
+    checkAccess(M, Ptr, Ty, Loc, /*IsWrite=*/true);
+  }
+
+  void onFree(Machine &M, SymPointer Ptr, uint32_t Target,
+              bool Valid) override {
+    (void)Ptr;
+    if (Valid)
+      return;
+    const MemObject *Obj = Target ? M.config().Mem.find(Target) : nullptr;
+    if (Obj && Obj->State == ObjectState::Freed)
+      report(M, UbKind::DoubleFree, "block already freed", SourceLoc());
+    else
+      report(M, UbKind::FreeInvalidPointer,
+             "free() of address not at start of a malloc'd block",
+             SourceLoc());
+  }
+
+  void onCall(Machine &M, const FunctionDecl *Callee,
+              const CallExpr *Site) override {
+    if (!Callee || Callee->BuiltinId || !Site)
+      return;
+    const Type *SiteTy = Site->Callee->Ty.Ty->isPointer()
+                             ? Site->Callee->Ty.Ty->Pointee.Ty
+                             : Site->Callee->Ty.Ty;
+    if (!SiteTy)
+      return;
+    if (!SiteTy->NoProto &&
+        !M.ast().Types.compatible(QualType(SiteTy),
+                                  QualType(Callee->FnTy))) {
+      report(M, UbKind::CallTypeMismatch,
+             "jump to function with mismatched frame layout", Site->Loc);
+      return;
+    }
+    if (SiteTy->NoProto && !Callee->FnTy->Variadic &&
+        Site->Args.size() != Callee->Params.size())
+      report(M, UbKind::CallArityMismatch,
+             "call passes the wrong number of arguments", Site->Loc);
+  }
+
+private:
+  void report(Machine &M, UbKind Kind, const char *Detail, SourceLoc Loc) {
+    Sink.report(UbReport(Kind, strFormat("MemGrind: %s", Detail),
+                         M.currentFunctionName(), Loc));
+  }
+
+  /// Heap-only addressability: Memcheck's shadow covers allocations,
+  /// not stack frames.
+  void checkAccess(Machine &M, SymPointer Ptr, QualType Ty, SourceLoc Loc,
+                   bool IsWrite) {
+    const char *What = IsWrite ? "Invalid write" : "Invalid read";
+    if (Ptr.FromInteger) {
+      // A wild address: only flagged when it hits no mapped memory
+      // (otherwise real hardware silently succeeds and so does
+      // Memcheck if the address lands in a live allocation).
+      int64_t Off = 0;
+      if (!M.config().Mem.findByAddress(M.absAddr(Ptr), Off))
+        report(M, IsWrite ? UbKind::WriteOutOfBounds
+                          : UbKind::ReadOutOfBounds,
+               What, Loc);
+      return;
+    }
+    if (Ptr.Base == 0)
+      return; // null deref faults; the fault is reported separately
+    const MemObject *Obj = M.config().Mem.find(Ptr.Base);
+    if (!Obj)
+      return;
+    if (Obj->Storage != StorageKind::Heap)
+      return; // stack/global accesses are plain memory to Memcheck
+    uint64_t Len = Ty.Ty->isCompleteObjectType()
+                       ? M.ast().Types.sizeOf(Ty)
+                       : 1;
+    if (Obj->State == ObjectState::Freed) {
+      report(M, UbKind::UseAfterFree, "use of freed heap block", Loc);
+      return;
+    }
+    if (Ptr.Offset < 0 ||
+        static_cast<uint64_t>(Ptr.Offset) + Len > Obj->Size)
+      report(M, IsWrite ? UbKind::WriteOutOfBounds
+                        : UbKind::ReadOutOfBounds,
+             "access beyond the end of a heap block (redzone)", Loc);
+  }
+
+  /// Definedness: reads of uninitialized scalars. Character-typed
+  /// accesses model Memcheck's copy-tolerance (definedness bits are
+  /// propagated, not reported, on byte moves).
+  void checkDefinedness(Machine &M, SymPointer Ptr, QualType Ty,
+                        SourceLoc Loc) {
+    const Type *T = Ty.Ty;
+    if (!T || !T->isScalar() || T->isCharacter())
+      return;
+    if (Ptr.FromInteger || Ptr.Base == 0)
+      return;
+    const MemObject *Obj = M.config().Mem.find(Ptr.Base);
+    if (!Obj)
+      return;
+    uint64_t Len = M.ast().Types.sizeOf(Ty);
+    if (Ptr.Offset < 0 ||
+        static_cast<uint64_t>(Ptr.Offset) + Len > Obj->Size)
+      return;
+    for (uint64_t I = 0; I < Len; ++I) {
+      const Byte &B = Obj->Bytes[static_cast<uint64_t>(Ptr.Offset) + I];
+      if (B.isUnknown()) {
+        report(M, UbKind::ReadIndeterminateValue,
+               "use of uninitialised value", Loc);
+        return;
+      }
+    }
+  }
+
+  UbSink &Sink;
+};
+
+} // namespace
+
+std::unique_ptr<ExecMonitor> MemGrind::makeMonitor(UbSink &Sink) {
+  return std::make_unique<MemGrindMonitor>(Sink);
+}

@@ -1,0 +1,43 @@
+//===- analysis/MemGrind.h - Valgrind/Memcheck-style baseline ----*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model of dynamic binary instrumentation a la Valgrind's Memcheck,
+/// substituting for the paper's Valgrind baseline (Figure 2/3). The
+/// mechanisms determine its profile:
+///
+///  * shadow state exists only for *heap* allocations (redzones), so
+///    out-of-bounds accesses to stack or global arrays that land in
+///    neighboring memory are invisible -- exactly why Valgrind scores
+///    below 100% on the invalid-pointer class;
+///  * definedness tracking flags reads of uninitialized scalars (but
+///    copying bytes around, as Memcheck permits, is not flagged);
+///  * free() arguments are validated against the allocation table;
+///  * calls are verified against the callee (Valgrind sees wild jumps);
+///  * it has no notion of division by zero or signed overflow: those
+///    rows are 0% by construction, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_ANALYSIS_MEMGRIND_H
+#define CUNDEF_ANALYSIS_MEMGRIND_H
+
+#include "analysis/Tool.h"
+
+namespace cundef {
+
+class MemGrind : public MonitorTool {
+public:
+  explicit MemGrind(TargetConfig Target) : MonitorTool(Target) {}
+  const char *name() const override { return "MemGrind"; }
+
+protected:
+  std::unique_ptr<ExecMonitor> makeMonitor(UbSink &Sink) override;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_ANALYSIS_MEMGRIND_H

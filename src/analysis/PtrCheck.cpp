@@ -1,0 +1,114 @@
+//===- analysis/PtrCheck.cpp - CheckPointer-style baseline ---------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/PtrCheck.h"
+
+#include "support/Strings.h"
+
+using namespace cundef;
+
+namespace {
+
+class PtrCheckMonitor : public ExecMonitor {
+public:
+  explicit PtrCheckMonitor(UbSink &Sink) : Sink(Sink) {}
+
+  void onRead(Machine &M, SymPointer Ptr, QualType Ty,
+              SourceLoc Loc) override {
+    checkAccess(M, Ptr, Ty, Loc, /*IsWrite=*/false);
+  }
+  void onWrite(Machine &M, SymPointer Ptr, QualType Ty, const Value &V,
+               SourceLoc Loc) override {
+    (void)V;
+    checkAccess(M, Ptr, Ty, Loc, /*IsWrite=*/true);
+  }
+
+  void onFree(Machine &M, SymPointer Ptr, uint32_t Target,
+              bool Valid) override {
+    (void)Ptr;
+    if (Valid)
+      return;
+    const MemObject *Obj = Target ? M.config().Mem.find(Target) : nullptr;
+    if (Obj && Obj->State == ObjectState::Freed)
+      report(M, UbKind::DoubleFree, "pointer freed twice", SourceLoc());
+    else
+      report(M, UbKind::FreeInvalidPointer,
+             "free() argument lacks allocation metadata", SourceLoc());
+  }
+
+  void onCall(Machine &M, const FunctionDecl *Callee,
+              const CallExpr *Site) override {
+    if (!Callee || Callee->BuiltinId || !Site)
+      return;
+    const Type *SiteTy = Site->Callee->Ty.Ty->isPointer()
+                             ? Site->Callee->Ty.Ty->Pointee.Ty
+                             : Site->Callee->Ty.Ty;
+    if (!SiteTy)
+      return;
+    if (!SiteTy->NoProto &&
+        !M.ast().Types.compatible(QualType(SiteTy),
+                                  QualType(Callee->FnTy))) {
+      report(M, UbKind::CallTypeMismatch,
+             "indirect call signature does not match target", Site->Loc);
+      return;
+    }
+    if (SiteTy->NoProto && !Callee->FnTy->Variadic &&
+        Site->Args.size() != Callee->Params.size())
+      report(M, UbKind::CallArityMismatch,
+             "argument count differs from the function definition",
+             Site->Loc);
+  }
+
+private:
+  void report(Machine &M, UbKind Kind, const char *Detail, SourceLoc Loc) {
+    Sink.report(UbReport(Kind, strFormat("PtrCheck: %s", Detail),
+                         M.currentFunctionName(), Loc));
+  }
+
+  /// Full-provenance access check: every object kind, bounds and
+  /// lifetime, null and forged pointers.
+  void checkAccess(Machine &M, SymPointer Ptr, QualType Ty, SourceLoc Loc,
+                   bool IsWrite) {
+    if (Ptr.isNull()) {
+      report(M, UbKind::DerefNullPointer, "null pointer dereference", Loc);
+      return;
+    }
+    if (Ptr.FromInteger) {
+      report(M, UbKind::DerefDanglingPointer,
+             "pointer has no tracking metadata (forged or uninitialized)",
+             Loc);
+      return;
+    }
+    const MemObject *Obj = M.config().Mem.find(Ptr.Base);
+    if (!Obj)
+      return;
+    if (Obj->State == ObjectState::Freed) {
+      report(M, UbKind::UseAfterFree, "access to freed object", Loc);
+      return;
+    }
+    if (Obj->State == ObjectState::Dead) {
+      report(M, UbKind::AccessDeadObject,
+             "access to object whose scope was exited", Loc);
+      return;
+    }
+    uint64_t Len = Ty.Ty->isCompleteObjectType()
+                       ? M.ast().Types.sizeOf(Ty)
+                       : 1;
+    if (Ptr.Offset < 0 ||
+        static_cast<uint64_t>(Ptr.Offset) + Len > Obj->Size)
+      report(M, IsWrite ? UbKind::WriteOutOfBounds
+                        : UbKind::ReadOutOfBounds,
+             "access outside the bounds of the pointed-to object", Loc);
+  }
+
+  UbSink &Sink;
+};
+
+} // namespace
+
+std::unique_ptr<ExecMonitor> PtrCheck::makeMonitor(UbSink &Sink) {
+  return std::make_unique<PtrCheckMonitor>(Sink);
+}

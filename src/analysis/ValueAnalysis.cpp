@@ -1,0 +1,158 @@
+//===- analysis/ValueAnalysis.cpp - Frama-C-Value-style baseline ----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ValueAnalysis.h"
+
+#include "support/Strings.h"
+
+using namespace cundef;
+
+namespace {
+
+class ValueAnalysisMonitor : public ExecMonitor {
+public:
+  explicit ValueAnalysisMonitor(UbSink &Sink) : Sink(Sink) {}
+
+  void onDivide(Machine &M, const Value &Divisor, SourceLoc Loc) override {
+    if (Divisor.isInt() && Divisor.asUnsigned(M.ast().Types) == 0)
+      report(M, UbKind::DivisionByZero, "division by zero", Loc);
+  }
+
+  void onArith(Machine &M, const ArithOutcome &Out, SourceLoc Loc) override {
+    if (Out.Overflow)
+      report(M, UbKind::SignedOverflow, "signed overflow", Loc);
+    else if (Out.ShiftNegCount)
+      report(M, UbKind::NegativeShiftCount, "negative shift count", Loc);
+    else if (Out.ShiftTooWide)
+      report(M, UbKind::ShiftExponentOutOfRange, "invalid shift count",
+             Loc);
+    else if (Out.ShiftOfNeg)
+      report(M, UbKind::ShiftOfNegative, "left shift of negative value",
+             Loc);
+  }
+
+  void onRead(Machine &M, SymPointer Ptr, QualType Ty,
+              SourceLoc Loc) override {
+    checkValidity(M, Ptr, Ty, Loc, /*IsWrite=*/false);
+    checkInitialization(M, Ptr, Ty, Loc);
+  }
+
+  void onWrite(Machine &M, SymPointer Ptr, QualType Ty, const Value &V,
+               SourceLoc Loc) override {
+    (void)V;
+    checkValidity(M, Ptr, Ty, Loc, /*IsWrite=*/true);
+  }
+
+  void onFree(Machine &M, SymPointer Ptr, uint32_t Target,
+              bool Valid) override {
+    (void)Ptr;
+    if (Valid)
+      return;
+    const MemObject *Obj = Target ? M.config().Mem.find(Target) : nullptr;
+    if (Obj && Obj->State == ObjectState::Freed)
+      report(M, UbKind::DoubleFree, "double free", SourceLoc());
+    else
+      report(M, UbKind::FreeInvalidPointer,
+             "free() of a non-allocated address", SourceLoc());
+  }
+
+  void onCall(Machine &M, const FunctionDecl *Callee,
+              const CallExpr *Site) override {
+    if (!Callee || Callee->BuiltinId || !Site)
+      return;
+    const Type *SiteTy = Site->Callee->Ty.Ty->isPointer()
+                             ? Site->Callee->Ty.Ty->Pointee.Ty
+                             : Site->Callee->Ty.Ty;
+    if (!SiteTy)
+      return;
+    if (!SiteTy->NoProto &&
+        !M.ast().Types.compatible(QualType(SiteTy),
+                                  QualType(Callee->FnTy))) {
+      report(M, UbKind::CallTypeMismatch,
+             "function pointer type incompatible with callee", Site->Loc);
+      return;
+    }
+    if (SiteTy->NoProto && !Callee->FnTy->Variadic &&
+        Site->Args.size() != Callee->Params.size())
+      report(M, UbKind::CallArityMismatch,
+             "wrong number of arguments for callee", Site->Loc);
+  }
+
+private:
+  void report(Machine &M, UbKind Kind, const char *Detail, SourceLoc Loc) {
+    Sink.report(UbReport(Kind, strFormat("ValueAnalysis: alarm: %s", Detail),
+                         M.currentFunctionName(), Loc));
+  }
+
+  /// Validity of the accessed lvalue (\valid in ACSL terms): every
+  /// storage kind, bounds and lifetime included.
+  void checkValidity(Machine &M, SymPointer Ptr, QualType Ty, SourceLoc Loc,
+                     bool IsWrite) {
+    if (Ptr.isNull()) {
+      report(M, UbKind::DerefNullPointer, "invalid memory access (null)",
+             Loc);
+      return;
+    }
+    if (Ptr.FromInteger) {
+      report(M, UbKind::DerefDanglingPointer,
+             "access through absolute address", Loc);
+      return;
+    }
+    const MemObject *Obj = M.config().Mem.find(Ptr.Base);
+    if (!Obj)
+      return;
+    if (Obj->State == ObjectState::Freed) {
+      report(M, UbKind::UseAfterFree, "access to freed allocation", Loc);
+      return;
+    }
+    if (Obj->State == ObjectState::Dead) {
+      report(M, UbKind::AccessDeadObject,
+             "access to local whose block was exited", Loc);
+      return;
+    }
+    uint64_t Len = Ty.Ty->isCompleteObjectType()
+                       ? M.ast().Types.sizeOf(Ty)
+                       : 1;
+    if (Ptr.Offset < 0 ||
+        static_cast<uint64_t>(Ptr.Offset) + Len > Obj->Size)
+      report(M, IsWrite ? UbKind::WriteOutOfBounds
+                        : UbKind::ReadOutOfBounds,
+             "access out of the valid range", Loc);
+  }
+
+  /// Initialization tracking (singleton domains make this exact).
+  void checkInitialization(Machine &M, SymPointer Ptr, QualType Ty,
+                           SourceLoc Loc) {
+    const Type *T = Ty.Ty;
+    if (!T || !T->isScalar())
+      return;
+    if (Ptr.FromInteger || Ptr.Base == 0)
+      return;
+    const MemObject *Obj = M.config().Mem.find(Ptr.Base);
+    if (!Obj)
+      return;
+    uint64_t Len = M.ast().Types.sizeOf(Ty);
+    if (Ptr.Offset < 0 ||
+        static_cast<uint64_t>(Ptr.Offset) + Len > Obj->Size)
+      return;
+    for (uint64_t I = 0; I < Len; ++I) {
+      const Byte &B = Obj->Bytes[static_cast<uint64_t>(Ptr.Offset) + I];
+      if (B.isUnknown()) {
+        report(M, UbKind::ReadIndeterminateValue,
+               "read of uninitialized lvalue", Loc);
+        return;
+      }
+    }
+  }
+
+  UbSink &Sink;
+};
+
+} // namespace
+
+std::unique_ptr<ExecMonitor> ValueAnalysis::makeMonitor(UbSink &Sink) {
+  return std::make_unique<ValueAnalysisMonitor>(Sink);
+}

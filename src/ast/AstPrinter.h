@@ -1,0 +1,47 @@
+//===- ast/AstPrinter.h - AST dumping --------------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders AST nodes as indented S-expressions; used by parser tests and
+/// debugging. The format is stable: tests match against it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_AST_ASTPRINTER_H
+#define CUNDEF_AST_ASTPRINTER_H
+
+#include "ast/Ast.h"
+
+#include <string>
+
+namespace cundef {
+
+const char *unaryOpName(UnaryOp Op);
+const char *binaryOpName(BinaryOp Op);
+const char *assignOpName(AssignOp Op);
+const char *castKindName(CastKind CK);
+BinaryOp compoundOpOf(AssignOp Op);
+
+/// Pretty-prints AST subtrees.
+class AstPrinter {
+public:
+  explicit AstPrinter(const AstContext &Ctx) : Ctx(Ctx) {}
+
+  std::string print(const Expr *E) const;
+  std::string print(const Stmt *S) const;
+  std::string print(const FunctionDecl *F) const;
+  std::string print(const TranslationUnit &TU) const;
+
+private:
+  void printExpr(const Expr *E, std::string &Out, int Indent) const;
+  void printStmt(const Stmt *S, std::string &Out, int Indent) const;
+
+  const AstContext &Ctx;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_AST_ASTPRINTER_H

@@ -1,0 +1,119 @@
+//===- core/Configuration.h - The C configuration --------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine state, organized as the paper's configuration of labeled
+/// cells (Figure 1):
+///
+///   < <K>k  <Map>genv  <Set>locsWrittenTo  <Set>notWritable  <Map>mem
+///     < <Map>env ... >control  <List>callStack ... >T
+///
+/// The whole configuration is a value type: search over unspecified
+/// evaluation orders clones it at choice points (paper section 2.5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_CORE_CONFIGURATION_H
+#define CUNDEF_CORE_CONFIGURATION_H
+
+#include "core/KItem.h"
+#include "mem/SymbolicMemory.h"
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace cundef {
+
+/// A byte location (base, offset): the elements of the locsWrittenTo
+/// and notWritable cells.
+using ByteLoc = std::pair<uint32_t, int64_t>;
+
+/// One activation record: the env cell of a control context plus the
+/// bookkeeping needed to end parameter lifetimes.
+struct Frame {
+  const FunctionDecl *Fn = nullptr;
+  /// env: declaration -> object id.
+  std::map<uint32_t, uint32_t> Env;
+  std::vector<uint32_t> ParamObjects;
+  /// Variadic tail of the active call (used by printf-style builtins).
+  std::vector<Value> VarArgs;
+  SourceLoc CallLoc;
+};
+
+/// Why the machine stopped.
+enum class RunStatus : uint8_t {
+  Running,
+  Completed,  ///< main returned or exit() was called
+  UbDetected, ///< a strict rule got stuck / reported undefinedness
+  Fault,      ///< the permissive machine hit a hardware fault (SEGV)
+  StepLimit,  ///< ran out of fuel (possibly non-terminating program)
+  Internal,   ///< the machine could not proceed (an interpreter bug)
+};
+
+/// The full configuration.
+struct Configuration {
+  // --- <k> and its value stack ---------------------------------------
+  std::vector<KItem> K;
+  std::vector<Value> Values;
+
+  // --- <genv> ----------------------------------------------------------
+  std::map<uint32_t, uint32_t> GlobalEnv; ///< DeclId -> object id
+
+  // --- <mem> -----------------------------------------------------------
+  SymbolicMemory Mem;
+
+  // --- <locsWrittenTo> / <notWritable> (paper section 4.2) -------------
+  std::set<ByteLoc> LocsWrittenTo;
+  std::set<ByteLoc> NotWritable;
+
+  // --- <callStack> + <control> -----------------------------------------
+  std::vector<Frame> CallStack;
+
+  // --- Bookkeeping cells ------------------------------------------------
+  /// Function pseudo-objects (function designators' addresses).
+  std::map<const FunctionDecl *, uint32_t> FuncObjects;
+  std::map<uint32_t, const FunctionDecl *> FuncByObject;
+  /// String literal objects, cached per occurrence.
+  std::map<const Expr *, uint32_t> LiteralObjects;
+  /// Heap storage's effective types, per (object, offset) region --
+  /// "the effective type of the object for that access ... becomes the
+  /// effective type" (C11 6.5p6). Declared objects use their layout.
+  std::map<ByteLoc, const Type *> HeapEffectiveTy;
+
+  // --- Program-visible results ------------------------------------------
+  std::string Output; ///< bytes written by printf and friends
+  int ExitCode = 0;
+  RunStatus Status = RunStatus::Running;
+  uint64_t Steps = 0;
+  /// rand()'s deterministic state (part of the configuration so that
+  /// search replays are reproducible).
+  uint32_t RandState = 12345;
+
+  Frame &frame() { return CallStack.back(); }
+  const Frame &frame() const { return CallStack.back(); }
+
+  /// Looks up a variable's object: innermost frame env, then genv.
+  /// Returns 0 when unbound.
+  uint32_t lookup(uint32_t DeclId) const {
+    if (!CallStack.empty()) {
+      auto It = CallStack.back().Env.find(DeclId);
+      if (It != CallStack.back().Env.end())
+        return It->second;
+    }
+    auto It = GlobalEnv.find(DeclId);
+    return It == GlobalEnv.end() ? 0 : It->second;
+  }
+
+  /// Renders the cell structure (used by bench_fig1_config to reproduce
+  /// Figure 1).
+  std::string describeCells() const;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_CORE_CONFIGURATION_H

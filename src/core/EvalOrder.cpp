@@ -1,0 +1,48 @@
+//===- core/EvalOrder.cpp - Evaluation order policies ------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EvalOrder.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace cundef;
+
+std::vector<uint8_t> OrderChooser::choose(unsigned N) {
+  std::vector<uint8_t> Perm(N);
+  std::iota(Perm.begin(), Perm.end(), 0);
+  if (N <= 1) {
+    Trace.emplace_back(0, 1);
+    return Perm;
+  }
+  // Replayed decision? We expose two alternatives per choice point
+  // (source order / reversed): enough to flip the direction-dependent
+  // undefined behaviors while keeping search linear in depth.
+  if (ReplayPos < Replay.size()) {
+    uint8_t Decision = Replay[ReplayPos++];
+    Trace.emplace_back(Decision, 2);
+    if (Decision)
+      std::reverse(Perm.begin(), Perm.end());
+    return Perm;
+  }
+  switch (Kind) {
+  case EvalOrderKind::LeftToRight:
+    Trace.emplace_back(0, 2);
+    return Perm;
+  case EvalOrderKind::RightToLeft:
+    Trace.emplace_back(1, 2);
+    std::reverse(Perm.begin(), Perm.end());
+    return Perm;
+  case EvalOrderKind::Random: {
+    // Fisher-Yates with the deterministic xorshift stream.
+    for (unsigned I = N - 1; I > 0; --I)
+      std::swap(Perm[I], Perm[nextRandom() % (I + 1)]);
+    Trace.emplace_back(Perm[0] == 0 ? 0 : 1, 2);
+    return Perm;
+  }
+  }
+  return Perm;
+}

@@ -1,0 +1,76 @@
+//===- core/EvalOrder.h - Evaluation order policies -------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluation order of most C operands is unspecified, and whether a
+/// program is undefined can depend on the order chosen (paper section
+/// 2.5.2: CompCert divides by zero where GCC does not). The machine
+/// asks an OrderChooser for a permutation at every operand-scheduling
+/// point. Policies: source order, reverse, or seeded random. For
+/// search, a replay vector pins each choice and a trace records the
+/// arity of every choice point so a driver can enumerate alternatives
+/// (core/Search.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_CORE_EVALORDER_H
+#define CUNDEF_CORE_EVALORDER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cundef {
+
+enum class EvalOrderKind : uint8_t {
+  LeftToRight,
+  RightToLeft,
+  Random,
+};
+
+/// Decides operand evaluation orders. Deterministic given (policy,
+/// seed, replay vector), which makes search reproducible.
+class OrderChooser {
+public:
+  OrderChooser(EvalOrderKind Kind, uint32_t Seed)
+      : Kind(Kind), Rng(Seed ? Seed : 1) {}
+
+  /// Chooses an order for \p N operands. Each call appends one entry to
+  /// the decision trace. Replayed decisions (0 = source order,
+  /// 1 = reversed) take precedence over the policy.
+  std::vector<uint8_t> choose(unsigned N);
+
+  /// Pins the first decisions to \p Decisions.
+  void setReplay(std::vector<uint8_t> Decisions) {
+    Replay = std::move(Decisions);
+    ReplayPos = 0;
+  }
+
+  /// (decision, arity) per choice point, in order.
+  const std::vector<std::pair<uint8_t, uint8_t>> &trace() const {
+    return Trace;
+  }
+
+private:
+  uint32_t nextRandom() {
+    // xorshift32: small, deterministic, good enough for shuffles.
+    Rng ^= Rng << 13;
+    Rng ^= Rng >> 17;
+    Rng ^= Rng << 5;
+    return Rng;
+  }
+
+  EvalOrderKind Kind;
+  uint32_t Rng;
+  std::vector<uint8_t> Replay;
+  size_t ReplayPos = 0;
+  std::vector<std::pair<uint8_t, uint8_t>> Trace;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_CORE_EVALORDER_H

@@ -1,0 +1,86 @@
+//===- core/Monitor.h - Execution monitors ---------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observation points the machine raises while executing. Monitors are
+/// the implementation vehicle for two things:
+///
+///  * the paper's *declarative specification* style (section 4.5.2):
+///    negative "never happens" properties expressed over configuration
+///    events rather than woven into the rules; and
+///  * the baseline analysis tools (Valgrind-, CheckPointer-,
+///    ValueAnalysis-style), which attach to the permissive machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_CORE_MONITOR_H
+#define CUNDEF_CORE_MONITOR_H
+
+#include "core/Value.h"
+#include "mem/SymbolicMemory.h"
+
+#include <memory>
+#include <vector>
+
+namespace cundef {
+
+class Machine;
+
+/// Receives machine events. Default implementations ignore everything,
+/// so monitors override only what they watch.
+class ExecMonitor {
+public:
+  virtual ~ExecMonitor() = default;
+
+  /// An object was allocated (globals, locals, heap, literals).
+  virtual void onAlloc(Machine &M, const MemObject &Obj) { (void)M; (void)Obj; }
+  /// free() was applied to \p Ptr; \p Target is the object id it names
+  /// (0 when it names none) and \p Valid whether the free was legal.
+  virtual void onFree(Machine &M, SymPointer Ptr, uint32_t Target,
+                      bool Valid) {
+    (void)M; (void)Ptr; (void)Target; (void)Valid;
+  }
+  /// A scalar of type \p Ty is about to be read through \p Ptr.
+  virtual void onRead(Machine &M, SymPointer Ptr, QualType Ty,
+                      SourceLoc Loc) {
+    (void)M; (void)Ptr; (void)Ty; (void)Loc;
+  }
+  /// \p V is about to be written through \p Ptr.
+  virtual void onWrite(Machine &M, SymPointer Ptr, QualType Ty,
+                       const Value &V, SourceLoc Loc) {
+    (void)M; (void)Ptr; (void)Ty; (void)V; (void)Loc;
+  }
+  /// Integer division/remainder with divisor \p Divisor.
+  virtual void onDivide(Machine &M, const Value &Divisor, SourceLoc Loc) {
+    (void)M; (void)Divisor; (void)Loc;
+  }
+  /// Integer arithmetic finished with the given outcome flags.
+  virtual void onArith(Machine &M, const ArithOutcome &Out, SourceLoc Loc) {
+    (void)M; (void)Out; (void)Loc;
+  }
+  /// A call is about to enter \p Callee (null for builtins).
+  virtual void onCall(Machine &M, const FunctionDecl *Callee,
+                      const CallExpr *Site) {
+    (void)M; (void)Callee; (void)Site;
+  }
+  /// A sequence point was crossed.
+  virtual void onSeqPoint(Machine &M) { (void)M; }
+  /// A dereference is forming an lvalue of type \p Pointee from \p P.
+  virtual void onDeref(Machine &M, const Value &P, QualType Pointee,
+                       SourceLoc Loc) {
+    (void)M; (void)P; (void)Pointee; (void)Loc;
+  }
+};
+
+/// Builds the monitors that implement the paper's declarative
+/// specification style (section 4.5.2): negative "this configuration
+/// never occurs" properties for division by zero, overflow and shift
+/// ranges, invalid dereference, and unsequenced side effects.
+std::vector<std::unique_ptr<ExecMonitor>> makeDeclarativeMonitors();
+
+} // namespace cundef
+
+#endif // CUNDEF_CORE_MONITOR_H

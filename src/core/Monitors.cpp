@@ -1,0 +1,147 @@
+//===- core/Monitors.cpp - Declarative negative specifications --------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's section 4.5.2 proposes specifying undefinedness as
+// temporal never-properties over configurations, e.g.
+//
+//     not < *(NULL : ptrType(T)) ...>k
+//     not ( <read(L,T) ...>k  <write(L',T',V) ...>k )  when overlaps(...)
+//
+// These monitors are that style made executable: each watches machine
+// events and reports when its negated pattern occurs. With
+// MachineOptions::Style == Declarative the strict machine relies on
+// them instead of in-rule side conditions for division, dereference,
+// arithmetic exceptions, and sequencing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Machine.h"
+#include "core/Monitor.h"
+
+#include <set>
+
+using namespace cundef;
+
+namespace {
+
+/// not <I / 0 ...>k  and  not <exceptional-arithmetic>k.
+class DivArithMonitor : public ExecMonitor {
+public:
+  void onDivide(Machine &M, const Value &Divisor, SourceLoc Loc) override {
+    if (!Divisor.isInt())
+      return;
+    if (Divisor.asUnsigned(M.ast().Types) == 0)
+      M.flagUb(UbKind::DivisionByZero, Loc);
+  }
+  void onArith(Machine &M, const ArithOutcome &Out, SourceLoc Loc) override {
+    if (Out.Overflow)
+      M.flagUb(UbKind::SignedOverflow, Loc);
+    else if (Out.ShiftNegCount)
+      M.flagUb(UbKind::NegativeShiftCount, Loc);
+    else if (Out.ShiftTooWide)
+      M.flagUb(UbKind::ShiftExponentOutOfRange, Loc);
+    else if (Out.ShiftOfNeg)
+      M.flagUb(UbKind::ShiftOfNegative, Loc);
+  }
+};
+
+/// not <*(NULL : ptrType(T)) ...>k and its void/lifetime/bounds
+/// companions (the paper's deref-neg1 / deref-neg2 as properties).
+class DerefMonitor : public ExecMonitor {
+public:
+  void onDeref(Machine &M, const Value &P, QualType Pointee,
+               SourceLoc Loc) override {
+    if (Pointee.Ty->isVoid()) {
+      M.flagUb(UbKind::DerefVoidPointer, Loc);
+      return;
+    }
+    if (P.Ptr.isNull()) {
+      M.flagUb(UbKind::DerefNullPointer, Loc);
+      return;
+    }
+    if (P.Ptr.FromInteger) {
+      M.flagUb(UbKind::DerefDanglingPointer, Loc);
+      return;
+    }
+    const MemObject *Obj = M.config().Mem.find(P.Ptr.Base);
+    if (!Obj) {
+      M.flagUb(UbKind::DerefDanglingPointer, Loc);
+      return;
+    }
+    if (Obj->State == ObjectState::Freed) {
+      M.flagUb(UbKind::UseAfterFree, Loc);
+      return;
+    }
+    if (Obj->State == ObjectState::Dead) {
+      M.flagUb(UbKind::AccessDeadObject, Loc);
+      return;
+    }
+    uint64_t Len = Pointee.Ty->isCompleteObjectType()
+                       ? M.ast().Types.sizeOf(Pointee)
+                       : 1;
+    if (P.Ptr.Offset < 0 ||
+        static_cast<uint64_t>(P.Ptr.Offset) + Len > Obj->Size)
+      M.flagUb(static_cast<uint64_t>(P.Ptr.Offset) == Obj->Size
+                   ? UbKind::DerefOnePastEnd
+                   : UbKind::ReadOutOfBounds,
+               Loc);
+  }
+};
+
+/// not ( write(L) ; {read,write}(L) ) without an intervening sequence
+/// point -- the paper's unsequenced-side-effect property, maintained
+/// over events instead of inside the write rules.
+class SequencingMonitor : public ExecMonitor {
+public:
+  void onWrite(Machine &M, SymPointer Ptr, QualType Ty, const Value &V,
+               SourceLoc Loc) override {
+    (void)V;
+    if (Ptr.Base == 0 || Ptr.FromInteger)
+      return;
+    uint64_t Len = Ty.Ty->isCompleteObjectType()
+                       ? M.ast().Types.sizeOf(Ty)
+                       : 1;
+    for (uint64_t I = 0; I < Len; ++I) {
+      ByteLoc Loc2{Ptr.Base, Ptr.Offset + static_cast<int64_t>(I)};
+      if (Written.count(Loc2)) {
+        M.flagUb(UbKind::UnsequencedSideEffect, Loc);
+        return;
+      }
+    }
+    for (uint64_t I = 0; I < Len; ++I)
+      Written.insert({Ptr.Base, Ptr.Offset + static_cast<int64_t>(I)});
+  }
+  void onRead(Machine &M, SymPointer Ptr, QualType Ty,
+              SourceLoc Loc) override {
+    if (Ptr.Base == 0 || Ptr.FromInteger)
+      return;
+    uint64_t Len = Ty.Ty->isCompleteObjectType()
+                       ? M.ast().Types.sizeOf(Ty)
+                       : 1;
+    for (uint64_t I = 0; I < Len; ++I)
+      if (Written.count({Ptr.Base, Ptr.Offset + static_cast<int64_t>(I)})) {
+        M.flagUb(UbKind::UnsequencedSideEffect, Loc);
+        return;
+      }
+  }
+  void onSeqPoint(Machine &M) override {
+    (void)M;
+    Written.clear();
+  }
+
+private:
+  std::set<ByteLoc> Written;
+};
+
+} // namespace
+
+std::vector<std::unique_ptr<ExecMonitor>> cundef::makeDeclarativeMonitors() {
+  std::vector<std::unique_ptr<ExecMonitor>> Monitors;
+  Monitors.push_back(std::make_unique<DivArithMonitor>());
+  Monitors.push_back(std::make_unique<DerefMonitor>());
+  Monitors.push_back(std::make_unique<SequencingMonitor>());
+  return Monitors;
+}

@@ -1,0 +1,121 @@
+//===- core/Search.cpp - Search over evaluation orders -----------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+
+using namespace cundef;
+
+namespace {
+
+/// One run with pinned decisions. Returns true when UB was found.
+bool runOnce(const AstContext &Ctx, const MachineOptions &Opts,
+             std::vector<uint8_t> Decisions, SearchResult &Result) {
+  UbSink Sink;
+  Machine M(Ctx, Opts, Sink);
+  M.setReplayDecisions(Decisions);
+  RunStatus Status = M.run();
+  ++Result.RunsExplored;
+  Result.LastStatus = Status;
+  if (Status == RunStatus::UbDetected || !Sink.empty()) {
+    Result.UbFound = true;
+    Result.Reports = Sink.all();
+    Result.Witness = std::move(Decisions);
+    return true;
+  }
+  return false;
+}
+
+} // namespace
+
+SearchResult OrderSearch::run() {
+  SearchResult Result;
+
+  // Baseline: the policy's own order.
+  UbSink Sink;
+  Machine Probe(Ctx, BaseOpts, Sink);
+  RunStatus Status = Probe.run();
+  ++Result.RunsExplored;
+  Result.LastStatus = Status;
+  if (Status == RunStatus::UbDetected || !Sink.empty()) {
+    Result.UbFound = true;
+    Result.Reports = Sink.all();
+    return Result;
+  }
+  const auto BaselineTrace = Probe.decisionTrace();
+
+  // Phase 1: single flips. Order-dependent undefinedness usually hinges
+  // on one operand pair's direction, so each choice point is flipped
+  // alone first; this finds the paper's (10/d) + setDenom(0) in O(n).
+  for (size_t I = 0;
+       I < BaselineTrace.size() && Result.RunsExplored < MaxRuns; ++I) {
+    if (BaselineTrace[I].second < 2)
+      continue;
+    std::vector<uint8_t> Decisions(I + 1, 0);
+    for (size_t J = 0; J <= I; ++J)
+      Decisions[J] = BaselineTrace[J].first;
+    Decisions[I] = Decisions[I] ? 0 : 1;
+    if (runOnce(Ctx, BaseOpts, std::move(Decisions), Result))
+      return Result;
+  }
+
+  // Phase 1b: pairs of flips (covers nested order dependences where an
+  // outer and an inner operand order must both reverse).
+  for (size_t I = 0;
+       I < BaselineTrace.size() && Result.RunsExplored < MaxRuns; ++I) {
+    if (BaselineTrace[I].second < 2)
+      continue;
+    for (size_t J = I + 1;
+         J < BaselineTrace.size() && Result.RunsExplored < MaxRuns; ++J) {
+      if (BaselineTrace[J].second < 2)
+        continue;
+      std::vector<uint8_t> Decisions(J + 1, 0);
+      for (size_t K = 0; K <= J; ++K)
+        Decisions[K] = BaselineTrace[K].first;
+      Decisions[I] = Decisions[I] ? 0 : 1;
+      Decisions[J] = Decisions[J] ? 0 : 1;
+      if (runOnce(Ctx, BaseOpts, std::move(Decisions), Result))
+        return Result;
+    }
+  }
+
+  // Phase 2: systematic odometer over the full decision space (deepest
+  // decision increments first), within the remaining budget.
+  std::vector<uint8_t> Decisions;
+  while (Result.RunsExplored < MaxRuns) {
+    UbSink S;
+    Machine M(Ctx, BaseOpts, S);
+    M.setReplayDecisions(Decisions);
+    RunStatus St = M.run();
+    ++Result.RunsExplored;
+    Result.LastStatus = St;
+    if (St == RunStatus::UbDetected || !S.empty()) {
+      Result.UbFound = true;
+      Result.Reports = S.all();
+      Result.Witness = Decisions;
+      return Result;
+    }
+    const auto &Trace = M.decisionTrace();
+    std::vector<uint8_t> Next;
+    Next.reserve(Trace.size());
+    for (const auto &[Decision, Arity] : Trace)
+      Next.push_back(Decision);
+    size_t Depth = Trace.size();
+    bool Advanced = false;
+    while (Depth > 0) {
+      --Depth;
+      if (Next[Depth] + 1 < Trace[Depth].second) {
+        ++Next[Depth];
+        Next.resize(Depth + 1);
+        Advanced = true;
+        break;
+      }
+    }
+    if (!Advanced)
+      return Result; // every alternative explored
+    Decisions = std::move(Next);
+  }
+  return Result;
+}

@@ -1,0 +1,55 @@
+//===- core/Search.h - Search over evaluation orders ------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whether a program is undefined can depend on the unspecified
+/// evaluation order (paper section 2.5.2: `(10/d) + setDenom(0)` is
+/// miscompilable because *some* order divides by zero); "any tool
+/// seeking to identify all undefined behaviors must search all possible
+/// evaluation strategies". This driver enumerates order decisions by
+/// deterministic replay: each run pins a prefix of choices, the
+/// machine's decision trace reports each choice point's arity, and the
+/// driver backtracks depth-first until undefinedness is found or the
+/// budget is exhausted.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_CORE_SEARCH_H
+#define CUNDEF_CORE_SEARCH_H
+
+#include "core/Machine.h"
+
+namespace cundef {
+
+struct SearchResult {
+  unsigned RunsExplored = 0;
+  bool UbFound = false;
+  /// Reports of the first undefined run (empty when none found).
+  std::vector<UbReport> Reports;
+  /// Status of the last run (Completed when no UB was ever found).
+  RunStatus LastStatus = RunStatus::Completed;
+  /// The decision vector that exposed the undefinedness.
+  std::vector<uint8_t> Witness;
+};
+
+/// Depth-first search over evaluation orders.
+class OrderSearch {
+public:
+  OrderSearch(const AstContext &Ctx, MachineOptions BaseOpts,
+              unsigned MaxRuns = 64)
+      : Ctx(Ctx), BaseOpts(BaseOpts), MaxRuns(MaxRuns) {}
+
+  SearchResult run();
+
+private:
+  const AstContext &Ctx;
+  MachineOptions BaseOpts;
+  unsigned MaxRuns;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_CORE_SEARCH_H

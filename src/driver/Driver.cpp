@@ -1,0 +1,92 @@
+//===- driver/Driver.cpp - The kcc-style driver --------------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "core/Search.h"
+#include "libc/Builtins.h"
+#include "libc/Headers.h"
+#include "parse/Parser.h"
+#include "sema/Sema.h"
+#include "ub/StaticChecks.h"
+
+using namespace cundef;
+
+std::string DriverOutcome::renderReport() const {
+  std::string Out;
+  if (!CompileOk && StaticUb.empty() && DynamicUb.empty())
+    return CompileErrors;
+  std::vector<UbReport> All = StaticUb;
+  All.insert(All.end(), DynamicUb.begin(), DynamicUb.end());
+  return renderKccErrors(All);
+}
+
+Driver::Driver(DriverOptions Opts) : Opts(std::move(Opts)) {
+  registerStandardHeaders(Headers);
+}
+
+Driver::Compiled Driver::compile(const std::string &Source,
+                                 const std::string &Name) {
+  Compiled Result;
+  Result.Interner = std::make_unique<StringInterner>();
+  DiagnosticEngine Diags;
+  Preprocessor PP(*Result.Interner, Diags, Headers);
+  std::vector<Token> Toks = PP.run(Source, Name);
+  if (Diags.hasErrors()) {
+    Result.Errors = Diags.render();
+    return Result;
+  }
+  Result.Ast = std::make_unique<AstContext>(Opts.Target, *Result.Interner);
+  Parser P(std::move(Toks), *Result.Ast, Diags);
+  bool ParseOk = P.parseTranslationUnit();
+  UbSink StaticSink;
+  if (ParseOk) {
+    Sema S(*Result.Ast, Diags, StaticSink);
+    S.run();
+    if (Opts.RunStaticChecks) {
+      StaticChecker Checker(*Result.Ast, StaticSink);
+      Checker.run();
+    }
+    assignBuiltinIds(*Result.Ast);
+  }
+  Result.StaticUb = StaticSink.all();
+  Result.Errors = Diags.render();
+  Result.Ok = !Diags.hasErrors();
+  return Result;
+}
+
+DriverOutcome Driver::runSource(const std::string &Source,
+                                const std::string &Name) {
+  DriverOutcome Outcome;
+  Compiled C = compile(Source, Name);
+  Outcome.CompileOk = C.Ok;
+  Outcome.CompileErrors = C.Errors;
+  Outcome.StaticUb = C.StaticUb;
+  if (!C.Ok) {
+    Outcome.Status = RunStatus::Internal;
+    return Outcome;
+  }
+
+  UbSink RunSink;
+  Machine M(*C.Ast, Opts.Machine, RunSink);
+  Outcome.Status = M.run();
+  Outcome.ExitCode = M.config().ExitCode;
+  Outcome.Output = M.config().Output;
+  Outcome.DynamicUb = RunSink.all();
+  Outcome.OrdersExplored = 1;
+
+  // When the default order found nothing, search others: undefinedness
+  // may hide on a different (still conforming) evaluation strategy.
+  if (Outcome.DynamicUb.empty() && Opts.SearchRuns > 1 &&
+      Outcome.Status == RunStatus::Completed) {
+    OrderSearch Search(*C.Ast, Opts.Machine, Opts.SearchRuns);
+    SearchResult SR = Search.run();
+    Outcome.OrdersExplored += SR.RunsExplored;
+    if (SR.UbFound)
+      Outcome.DynamicUb = SR.Reports;
+  }
+  return Outcome;
+}

@@ -1,0 +1,89 @@
+//===- driver/Driver.h - The kcc-style driver -------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pipeline the paper wraps in its kcc script (section 3.2):
+/// preprocess, parse, analyze, run the static undefinedness checker,
+/// then execute the program in the strict semantics (optionally
+/// searching evaluation orders). The outcome carries both halves of
+/// kcc's verdict: compile-time findings and runtime findings, plus the
+/// program's output and exit code when it completed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_DRIVER_DRIVER_H
+#define CUNDEF_DRIVER_DRIVER_H
+
+#include "core/Machine.h"
+#include "text/Preprocessor.h"
+#include "types/TargetConfig.h"
+#include "ub/Report.h"
+
+#include <memory>
+#include <string>
+
+namespace cundef {
+
+struct DriverOptions {
+  TargetConfig Target = TargetConfig::lp64();
+  MachineOptions Machine;
+  /// Run the static undefinedness checker (kcc's compile-time half).
+  bool RunStaticChecks = true;
+  /// When > 1, search that many evaluation orders for undefinedness
+  /// that only some orders exhibit (paper section 2.5.2).
+  unsigned SearchRuns = 1;
+};
+
+/// Everything a run of the driver produced.
+struct DriverOutcome {
+  bool CompileOk = false;
+  std::string CompileErrors;
+  std::vector<UbReport> StaticUb;
+  std::vector<UbReport> DynamicUb;
+  RunStatus Status = RunStatus::Internal;
+  int ExitCode = 0;
+  std::string Output;
+  unsigned OrdersExplored = 0;
+
+  bool anyUb() const { return !StaticUb.empty() || !DynamicUb.empty(); }
+  /// Renders every finding in the paper's kcc error format.
+  std::string renderReport() const;
+};
+
+/// The kcc-like frontend driver. Holds the header registry so callers
+/// can add program-specific headers before running.
+class Driver {
+public:
+  explicit Driver(DriverOptions Opts = DriverOptions());
+
+  HeaderRegistry &headers() { return Headers; }
+  const DriverOptions &options() const { return Opts; }
+
+  /// Compiles and executes \p Source.
+  DriverOutcome runSource(const std::string &Source,
+                          const std::string &Name = "test.c");
+
+  /// Compile-only entry point (used by tests that inspect the AST).
+  /// Returns null on parse/sema errors; \p ErrorsOut receives rendered
+  /// diagnostics, \p StaticOut the static findings.
+  struct Compiled {
+    std::unique_ptr<StringInterner> Interner;
+    std::unique_ptr<AstContext> Ast;
+    std::vector<UbReport> StaticUb;
+    std::string Errors;
+    bool Ok = false;
+  };
+  Compiled compile(const std::string &Source,
+                   const std::string &Name = "test.c");
+
+private:
+  DriverOptions Opts;
+  HeaderRegistry Headers;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_DRIVER_DRIVER_H

@@ -1,0 +1,58 @@
+//===- driver/ToolRunner.h - Running tools over programs ---------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience layer for running the four analysis tools over programs
+/// and test cases: one-shot comparisons (the compare_tools example) and
+/// per-test verdicts used by the suite scorers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_DRIVER_TOOLRUNNER_H
+#define CUNDEF_DRIVER_TOOLRUNNER_H
+
+#include "analysis/Tool.h"
+#include "suites/TestCase.h"
+
+#include <string>
+#include <vector>
+
+namespace cundef {
+
+/// Verdict of one tool on one (bad, good) test pair.
+struct PairVerdict {
+  bool FlaggedBad = false;
+  bool FlaggedGood = false; ///< a false positive
+  double Micros = 0.0;
+
+  /// The pair passes when the undefined program is flagged and the
+  /// defined control is not.
+  bool passed() const { return FlaggedBad && !FlaggedGood; }
+};
+
+/// Runs \p T on both halves of \p Test.
+PairVerdict runOnPair(Tool &T, const TestCase &Test);
+
+/// One row of a tool comparison for a single program.
+struct ComparisonRow {
+  std::string Tool;
+  bool Flagged = false;
+  size_t NumFindings = 0;
+  std::string FirstFinding;
+  double Micros = 0.0;
+};
+
+/// Runs all four tools on \p Source.
+std::vector<ComparisonRow>
+compareTools(const std::string &Source, const std::string &Name,
+             TargetConfig Target = TargetConfig::lp64());
+
+/// Renders comparison rows as an aligned text table.
+std::string renderComparison(const std::vector<ComparisonRow> &Rows);
+
+} // namespace cundef
+
+#endif // CUNDEF_DRIVER_TOOLRUNNER_H

@@ -1,0 +1,27 @@
+//===- libc/Headers.h - Virtual standard headers -----------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registers the standard headers (<stdio.h>, <stdlib.h>, <string.h>,
+/// <stddef.h>, <limits.h>, <stdbool.h>) with a HeaderRegistry. There is
+/// no filesystem: programs under analysis include these virtual files,
+/// whose declarations are bound to builtins by libc/Builtins.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_LIBC_HEADERS_H
+#define CUNDEF_LIBC_HEADERS_H
+
+#include "text/Preprocessor.h"
+
+namespace cundef {
+
+/// Adds all standard headers to \p Registry.
+void registerStandardHeaders(HeaderRegistry &Registry);
+
+} // namespace cundef
+
+#endif // CUNDEF_LIBC_HEADERS_H

@@ -1,0 +1,94 @@
+//===- mem/Byte.h - Symbolic memory bytes ----------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's symbolic memory representation (section 4.3):
+///
+///  * Pointers are sym(B)+O base/offset pairs, never raw integers, so
+///    pointers into different objects are incomparable (4.3.1).
+///  * A pointer stored to memory is split into subObject(p, i) fragment
+///    bytes that can only be reassembled from the complete set (4.3.2).
+///  * Uninitialized storage holds unknown(N) bytes that may be copied
+///    (e.g. struct padding through memcpy) but not used as values
+///    except through unsigned-character lvalues (4.3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_MEM_BYTE_H
+#define CUNDEF_MEM_BYTE_H
+
+#include <cstdint>
+
+namespace cundef {
+
+/// A symbolic pointer value: sym(Base) + Offset. Base 0 with no integer
+/// provenance is the null pointer. Pointers forged from integers keep
+/// their raw value so the permissive (concrete) machine can still chase
+/// them, while the strict machine treats them as invalid.
+struct SymPointer {
+  uint32_t Base = 0;  ///< object id; 0 when null or integer-forged
+  int64_t Offset = 0; ///< byte offset within the object
+  bool FromInteger = false;
+  uint64_t RawInt = 0; ///< original integer for FromInteger pointers
+
+  SymPointer() = default;
+  SymPointer(uint32_t Base, int64_t Offset) : Base(Base), Offset(Offset) {}
+
+  static SymPointer null() { return SymPointer(); }
+  static SymPointer fromInteger(uint64_t Raw) {
+    SymPointer P;
+    P.FromInteger = true;
+    P.RawInt = Raw;
+    return P;
+  }
+
+  bool isNull() const { return Base == 0 && !FromInteger; }
+
+  bool operator==(const SymPointer &Other) const {
+    return Base == Other.Base && Offset == Other.Offset &&
+           FromInteger == Other.FromInteger && RawInt == Other.RawInt;
+  }
+  bool operator!=(const SymPointer &Other) const { return !(*this == Other); }
+};
+
+/// One byte of symbolic memory.
+struct Byte {
+  enum class Kind : uint8_t {
+    Unknown,  ///< unknown(8): indeterminate content
+    Concrete, ///< an ordinary numeric byte
+    PtrFrag,  ///< subObject(Ptr, FragIndex) of FragCount
+  };
+
+  Kind K = Kind::Unknown;
+  uint8_t Value = 0;
+  SymPointer Ptr;
+  uint8_t FragIndex = 0;
+  uint8_t FragCount = 0;
+
+  static Byte unknown() { return Byte(); }
+  static Byte concrete(uint8_t Value) {
+    Byte B;
+    B.K = Kind::Concrete;
+    B.Value = Value;
+    return B;
+  }
+  static Byte ptrFrag(SymPointer Ptr, uint8_t Index, uint8_t Count) {
+    Byte B;
+    B.K = Kind::PtrFrag;
+    B.Ptr = Ptr;
+    B.FragIndex = Index;
+    B.FragCount = Count;
+    return B;
+  }
+
+  bool isUnknown() const { return K == Kind::Unknown; }
+  bool isConcrete() const { return K == Kind::Concrete; }
+  bool isPtrFrag() const { return K == Kind::PtrFrag; }
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_MEM_BYTE_H

@@ -1,0 +1,145 @@
+//===- mem/SymbolicMemory.cpp - The mem cell --------------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/SymbolicMemory.h"
+
+#include <cassert>
+
+using namespace cundef;
+
+uint64_t SymbolicMemory::assignAddress(StorageKind Storage, uint64_t Size) {
+  auto AlignUp = [](uint64_t Value, uint64_t Align) {
+    return (Value + Align - 1) / Align * Align;
+  };
+  switch (Storage) {
+  case StorageKind::Global:
+  case StorageKind::StaticLocal: {
+    uint64_t Addr = AlignUp(GlobalCursor, 8);
+    GlobalCursor = Addr + Size;
+    return Addr;
+  }
+  case StorageKind::Function: {
+    uint64_t Addr = AlignUp(FunctionCursor, 16);
+    FunctionCursor = Addr + (Size ? Size : 1);
+    return Addr;
+  }
+  case StorageKind::Literal: {
+    uint64_t Addr = LiteralCursor;
+    LiteralCursor = Addr + Size;
+    return Addr;
+  }
+  case StorageKind::Heap: {
+    uint64_t Addr = AlignUp(HeapCursor, 16);
+    HeapCursor = Addr + (Size ? Size : 1);
+    return Addr;
+  }
+  case StorageKind::Auto: {
+    // The stack grows downward; keep objects contiguous so that the
+    // permissive machine reproduces real stack-smashing behavior.
+    StackCursor -= Size;
+    StackCursor &= ~uint64_t(7); // 8-byte alignment
+    return StackCursor;
+  }
+  }
+  return 0;
+}
+
+uint32_t SymbolicMemory::create(StorageKind Storage, uint64_t Size,
+                                QualType DeclTy, Symbol Name) {
+  uint32_t Id = NextId++;
+  MemObject Obj;
+  Obj.Id = Id;
+  Obj.Storage = Storage;
+  Obj.Size = Size;
+  Obj.DeclTy = DeclTy;
+  Obj.Name = Name;
+  Obj.ConcreteAddr = assignAddress(Storage, Size);
+  Obj.Bytes.assign(Size, Byte::unknown());
+  Objects.emplace(Id, std::move(Obj));
+  return Id;
+}
+
+uint32_t SymbolicMemory::createFunction(const FunctionDecl *Fn, Symbol Name) {
+  uint32_t Id = create(StorageKind::Function, 1, QualType(), Name);
+  Objects.at(Id).Fn = Fn;
+  return Id;
+}
+
+void SymbolicMemory::markDead(uint32_t Id) {
+  MemObject *Obj = find(Id);
+  assert(Obj && "killing unknown object");
+  Obj->State = ObjectState::Dead;
+}
+
+void SymbolicMemory::markFreed(uint32_t Id) {
+  MemObject *Obj = find(Id);
+  assert(Obj && "freeing unknown object");
+  Obj->State = ObjectState::Freed;
+}
+
+MemObject *SymbolicMemory::find(uint32_t Id) {
+  auto It = Objects.find(Id);
+  return It == Objects.end() ? nullptr : &It->second;
+}
+
+const MemObject *SymbolicMemory::find(uint32_t Id) const {
+  auto It = Objects.find(Id);
+  return It == Objects.end() ? nullptr : &It->second;
+}
+
+MemStatus SymbolicMemory::probe(uint32_t Id, int64_t Offset,
+                                uint64_t Len) const {
+  const MemObject *Obj = find(Id);
+  if (!Obj)
+    return MemStatus::NoObject;
+  if (Obj->State == ObjectState::Freed)
+    return MemStatus::Freed;
+  if (Obj->State == ObjectState::Dead)
+    return MemStatus::Dead;
+  if (Offset < 0 || static_cast<uint64_t>(Offset) + Len > Obj->Size)
+    return MemStatus::OutOfBounds;
+  return MemStatus::Ok;
+}
+
+MemStatus SymbolicMemory::readByte(uint32_t Id, int64_t Offset,
+                                   Byte &Out) const {
+  MemStatus Status = probe(Id, Offset, 1);
+  if (Status != MemStatus::Ok)
+    return Status;
+  Out = find(Id)->Bytes[static_cast<size_t>(Offset)];
+  return MemStatus::Ok;
+}
+
+MemStatus SymbolicMemory::writeByte(uint32_t Id, int64_t Offset,
+                                    const Byte &In) {
+  MemStatus Status = probe(Id, Offset, 1);
+  if (Status != MemStatus::Ok)
+    return Status;
+  find(Id)->Bytes[static_cast<size_t>(Offset)] = In;
+  return MemStatus::Ok;
+}
+
+uint32_t SymbolicMemory::findByAddress(uint64_t Addr,
+                                       int64_t &OffsetOut) const {
+  // Linear scan is acceptable: the permissive machine is used on small
+  // generated tests, and correctness of the model matters more here
+  // than lookup speed.
+  for (const auto &[Id, Obj] : Objects) {
+    if (Addr >= Obj.ConcreteAddr && Addr < Obj.ConcreteAddr + Obj.Size) {
+      OffsetOut = static_cast<int64_t>(Addr - Obj.ConcreteAddr);
+      return Id;
+    }
+  }
+  return 0;
+}
+
+unsigned SymbolicMemory::countAlive(StorageKind Storage) const {
+  unsigned Count = 0;
+  for (const auto &[Id, Obj] : Objects)
+    if (Obj.Storage == Storage && Obj.isAlive())
+      ++Count;
+  return Count;
+}

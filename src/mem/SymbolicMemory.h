@@ -1,0 +1,124 @@
+//===- mem/SymbolicMemory.h - The mem cell ---------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The configuration's mem cell: a map from symbolic base ids to memory
+/// objects, exactly the paper's "memory is a map from base addresses to
+/// blocks of bytes; each base address represents the memory of a single
+/// object" (section 4.3.1). Objects keep a tombstone after their
+/// lifetime ends so dangling uses can be named precisely.
+///
+/// Every object additionally carries a *concrete* address. The strict
+/// machine never looks at it; the permissive machine (the substrate for
+/// the Valgrind-/CheckPointer-style baselines) uses it to give
+/// out-of-bounds and forged pointers the meaning they would have on
+/// real hardware.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_MEM_SYMBOLICMEMORY_H
+#define CUNDEF_MEM_SYMBOLICMEMORY_H
+
+#include "mem/Byte.h"
+#include "support/StringInterner.h"
+#include "types/Type.h"
+
+#include <map>
+#include <vector>
+
+namespace cundef {
+
+enum class StorageKind : uint8_t {
+  Global,
+  StaticLocal,
+  Auto,
+  Heap,
+  Literal,  ///< string literals (not writable)
+  Function, ///< pseudo-objects giving functions addresses
+};
+
+/// Lifetime state of an object.
+enum class ObjectState : uint8_t { Alive, Dead, Freed };
+
+class FunctionDecl;
+
+/// One memory object (the paper's obj(Len, ...)).
+struct MemObject {
+  uint32_t Id = 0;
+  StorageKind Storage = StorageKind::Auto;
+  ObjectState State = ObjectState::Alive;
+  uint64_t Size = 0;
+  QualType DeclTy;         ///< declared / effective type (may be null)
+  Symbol Name = NoSymbol;  ///< for diagnostics
+  uint64_t ConcreteAddr = 0;
+  const FunctionDecl *Fn = nullptr; ///< for Function pseudo-objects
+  std::vector<Byte> Bytes;
+
+  bool isAlive() const { return State == ObjectState::Alive; }
+};
+
+/// Result of a byte-level access.
+enum class MemStatus : uint8_t {
+  Ok,
+  NoObject,    ///< base id was never allocated (or null)
+  Dead,        ///< lifetime ended (scope exit)
+  Freed,       ///< heap object already freed
+  OutOfBounds, ///< offset outside [0, Size)
+};
+
+class SymbolicMemory {
+public:
+  SymbolicMemory() = default;
+
+  /// Allocates a fresh object of \p Size bytes, all unknown().
+  uint32_t create(StorageKind Storage, uint64_t Size, QualType DeclTy,
+                  Symbol Name);
+
+  /// Registers a pseudo-object for a function so it has an address.
+  uint32_t createFunction(const FunctionDecl *Fn, Symbol Name);
+
+  /// Ends the lifetime of an automatic object (scope exit).
+  void markDead(uint32_t Id);
+  /// Marks a heap object freed.
+  void markFreed(uint32_t Id);
+
+  MemObject *find(uint32_t Id);
+  const MemObject *find(uint32_t Id) const;
+
+  /// Checked byte access. Out parameters untouched on failure.
+  MemStatus readByte(uint32_t Id, int64_t Offset, Byte &Out) const;
+  MemStatus writeByte(uint32_t Id, int64_t Offset, const Byte &In);
+  /// Status an access *would* have, without performing it.
+  MemStatus probe(uint32_t Id, int64_t Offset, uint64_t Len) const;
+
+  /// Maps a concrete address to (object id, offset); used only by the
+  /// permissive machine. Returns 0 when the address hits no object
+  /// (a "segmentation fault" on the modelled hardware). Dead/freed
+  /// objects still resolve -- exactly the danger being modelled.
+  uint32_t findByAddress(uint64_t Addr, int64_t &OffsetOut) const;
+
+  /// All objects, for tools (leak reporting, statistics).
+  const std::map<uint32_t, MemObject> &objects() const { return Objects; }
+
+  /// Number of live allocations of the given storage kind.
+  unsigned countAlive(StorageKind Storage) const;
+
+private:
+  uint64_t assignAddress(StorageKind Storage, uint64_t Size);
+
+  std::map<uint32_t, MemObject> Objects;
+  uint32_t NextId = 1;
+  // Concrete address cursors. The stack grows down, everything else up.
+  uint64_t GlobalCursor = 0x00010000;
+  uint64_t FunctionCursor = 0x01000000;
+  uint64_t LiteralCursor = 0x08000000;
+  uint64_t HeapCursor = 0x20000000;
+  uint64_t StackCursor = 0x7fff0000;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_MEM_SYMBOLICMEMORY_H

@@ -1,0 +1,131 @@
+//===- sema/ConstEval.cpp - Integer constant expressions -------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sema/ConstEval.h"
+
+using namespace cundef;
+
+int64_t cundef::truncateToType(int64_t Value, const Type *Ty,
+                               const TypeContext &Types) {
+  unsigned Bits = Types.bitWidthOf(Ty);
+  if (Bits >= 64)
+    return Value;
+  uint64_t Mask = (1ull << Bits) - 1;
+  uint64_t Raw = static_cast<uint64_t>(Value) & Mask;
+  if (Ty->isUnsignedInteger(Types.config()))
+    return static_cast<int64_t>(Raw);
+  // Sign-extend.
+  uint64_t SignBit = 1ull << (Bits - 1);
+  if (Raw & SignBit)
+    Raw |= ~Mask;
+  return static_cast<int64_t>(Raw);
+}
+
+std::optional<int64_t> cundef::constEvalInt(const Expr *E,
+                                            const TypeContext &Types) {
+  if (!E)
+    return std::nullopt;
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return static_cast<int64_t>(cast<IntLitExpr>(E)->Value);
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    auto Sub = constEvalInt(U->Sub, Types);
+    if (!Sub)
+      return std::nullopt;
+    switch (U->Op) {
+    case UnaryOp::Plus:   return *Sub;
+    case UnaryOp::Minus:  return -*Sub;
+    case UnaryOp::BitNot: return ~*Sub;
+    case UnaryOp::LogNot: return *Sub == 0 ? 1 : 0;
+    default:              return std::nullopt;
+    }
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    auto L = constEvalInt(B->Lhs, Types);
+    if (!L)
+      return std::nullopt;
+    // Short-circuit forms may have a non-constant unevaluated side in
+    // some dialects; C requires both to be constant, so we evaluate
+    // both and fail if either is not.
+    auto R = constEvalInt(B->Rhs, Types);
+    if (!R)
+      return std::nullopt;
+    switch (B->Op) {
+    case BinaryOp::Mul:    return *L * *R;
+    case BinaryOp::Div:
+      if (*R == 0)
+        return std::nullopt;
+      if (*L == INT64_MIN && *R == -1)
+        return std::nullopt;
+      return *L / *R;
+    case BinaryOp::Rem:
+      if (*R == 0)
+        return std::nullopt;
+      if (*L == INT64_MIN && *R == -1)
+        return std::nullopt;
+      return *L % *R;
+    case BinaryOp::Add:    return *L + *R;
+    case BinaryOp::Sub:    return *L - *R;
+    case BinaryOp::Shl:
+      return (*R >= 0 && *R < 63) ? (*L << *R) : 0;
+    case BinaryOp::Shr:
+      return (*R >= 0 && *R < 63) ? (*L >> *R) : 0;
+    case BinaryOp::Lt:     return *L < *R;
+    case BinaryOp::Gt:     return *L > *R;
+    case BinaryOp::Le:     return *L <= *R;
+    case BinaryOp::Ge:     return *L >= *R;
+    case BinaryOp::Eq:     return *L == *R;
+    case BinaryOp::Ne:     return *L != *R;
+    case BinaryOp::BitAnd: return *L & *R;
+    case BinaryOp::BitXor: return *L ^ *R;
+    case BinaryOp::BitOr:  return *L | *R;
+    case BinaryOp::LogAnd: return (*L && *R) ? 1 : 0;
+    case BinaryOp::LogOr:  return (*L || *R) ? 1 : 0;
+    case BinaryOp::Comma:  return std::nullopt;
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Cond: {
+    const auto *C = cast<CondExpr>(E);
+    auto Cond = constEvalInt(C->Cond, Types);
+    if (!Cond)
+      return std::nullopt;
+    return constEvalInt(*Cond ? C->Then : C->Else, Types);
+  }
+  case ExprKind::Cast: {
+    const auto *C = cast<CastExpr>(E);
+    if (!C->TargetTy.Ty || !C->TargetTy.Ty->isIntegral())
+      return std::nullopt;
+    auto Sub = constEvalInt(C->Sub, Types);
+    if (!Sub)
+      return std::nullopt;
+    return truncateToType(*Sub, C->TargetTy.Ty, Types);
+  }
+  case ExprKind::ImplicitCast: {
+    const auto *C = cast<ImplicitCastExpr>(E);
+    auto Sub = constEvalInt(C->Sub, Types);
+    if (!Sub)
+      return std::nullopt;
+    if (C->Ty.Ty && C->Ty.Ty->isIntegral())
+      return truncateToType(*Sub, C->Ty.Ty, Types);
+    return std::nullopt;
+  }
+  case ExprKind::Sizeof: {
+    const auto *S = cast<SizeofExpr>(E);
+    if (!S->ArgTy.isNull() && S->ArgTy.Ty->isCompleteObjectType())
+      return static_cast<int64_t>(Types.sizeOf(S->ArgTy));
+    // sizeof(expr) is constant only after Sema typed the operand.
+    if (S->ArgExpr && !S->ArgExpr->Ty.isNull() &&
+        S->ArgExpr->Ty.Ty->isCompleteObjectType())
+      return static_cast<int64_t>(Types.sizeOf(S->ArgExpr->Ty));
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}

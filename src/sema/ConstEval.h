@@ -1,0 +1,36 @@
+//===- sema/ConstEval.h - Integer constant expressions ---------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time evaluation of integer constant expressions (C11 6.6).
+/// Works on both un-analyzed and Sema-annotated ASTs: only forms that
+/// can appear in constant expressions are handled, everything else
+/// yields nullopt. Division by zero in a constant expression also
+/// yields nullopt (the caller diagnoses it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SEMA_CONSTEVAL_H
+#define CUNDEF_SEMA_CONSTEVAL_H
+
+#include "ast/Ast.h"
+
+#include <optional>
+
+namespace cundef {
+
+/// Evaluates \p E as an integer constant expression.
+std::optional<int64_t> constEvalInt(const Expr *E, const TypeContext &Types);
+
+/// Wraps \p Value into the representation of integral type \p Ty
+/// (two's complement truncation; the implementation-defined choice for
+/// out-of-range signed conversions, C11 6.3.1.3p3).
+int64_t truncateToType(int64_t Value, const Type *Ty,
+                       const TypeContext &Types);
+
+} // namespace cundef
+
+#endif // CUNDEF_SEMA_CONSTEVAL_H

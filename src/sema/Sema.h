@@ -1,0 +1,90 @@
+//===- sema/Sema.h - Semantic analysis -------------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis: types every expression, inserts implicit
+/// conversions (lvalue conversion, array/function decay, arithmetic
+/// conversions), resolves gotos and switch cases, and checks
+/// declarations. Type errors go to the DiagnosticEngine; findings that
+/// the paper classifies as *statically undefined* (e.g. using the value
+/// of a void expression, assigning to a const lvalue) are additionally
+/// recorded in the UbSink so the driver can report them the way kcc
+/// does at "compile time".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SEMA_SEMA_H
+#define CUNDEF_SEMA_SEMA_H
+
+#include "ast/Ast.h"
+#include "support/Diagnostics.h"
+#include "ub/Report.h"
+
+#include <map>
+#include <vector>
+
+namespace cundef {
+
+class Sema {
+public:
+  Sema(AstContext &Ctx, DiagnosticEngine &Diags, UbSink &Ub)
+      : Ctx(Ctx), Diags(Diags), Ub(Ub) {}
+
+  /// Analyzes the whole translation unit. Returns false when type
+  /// errors were reported (static-UB findings alone do not fail it).
+  bool run();
+
+  //===--- Expression typing (SemaExpr.cpp); public for tests ----------===//
+
+  /// Types \p E (recursively), possibly replacing it with a wrapper.
+  void typeExpr(Expr *&E);
+  /// Applies lvalue conversion and array/function decay.
+  void rvalue(Expr *&E);
+  /// Converts \p E to \p To as if by assignment; inserts casts.
+  void convertTo(Expr *&E, QualType To, const char *What);
+  /// True for integer constant expressions of value 0 (optionally cast
+  /// to void*), C11 6.3.2.3p3.
+  bool isNullPointerConstant(const Expr *E) const;
+
+private:
+  void checkFunction(FunctionDecl *F);
+  void checkStmt(Stmt *S);
+  void checkVarDecl(VarDecl *V);
+  /// Checks and types an initializer against \p Ty.
+  void checkInit(QualType Ty, Expr *&Init, bool StaticStorage,
+                 SourceLoc Loc);
+  /// Flags statically undefined array/function-qualifier shapes in a
+  /// declared type (paper section 3.2's array-length example).
+  void checkDeclaredType(QualType Ty, SourceLoc Loc);
+
+  // Expression helpers (SemaExpr.cpp).
+  void typeUnary(UnaryExpr *U, Expr *&Slot);
+  void typeBinary(BinaryExpr *B, Expr *&Slot);
+  void typeAssign(AssignExpr *A);
+  void typeCall(CallExpr *C);
+  void typeMember(MemberExpr *M);
+  CastKind castKindFor(QualType From, QualType To) const;
+  /// Applies usual arithmetic conversions to both operands.
+  QualType usualArith(Expr *&L, Expr *&R);
+  /// Default argument promotions (C11 6.5.2.2p6).
+  void defaultPromote(Expr *&E);
+  void requireModifiable(const Expr *Lhs, SourceLoc Loc);
+  std::string currentFunctionName() const;
+
+  AstContext &Ctx;
+  DiagnosticEngine &Diags;
+  UbSink &Ub;
+  FunctionDecl *CurFn = nullptr;
+  std::vector<SwitchStmt *> SwitchStack;
+  int LoopDepth = 0;
+  int BreakableDepth = 0;
+  std::map<Symbol, const LabelStmt *> Labels;
+  std::vector<GotoStmt *> PendingGotos;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_SEMA_SEMA_H

@@ -1,0 +1,564 @@
+//===- suites/JulietGen.cpp - Juliet-like benchmark generator ------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites/JulietGen.h"
+
+#include "support/Strings.h"
+
+using namespace cundef;
+
+unsigned JulietGenerator::paperCount(JulietClass Class) {
+  switch (Class) {
+  case JulietClass::InvalidPointer:      return 3193;
+  case JulietClass::DivideByZero:        return 77;
+  case JulietClass::BadFree:             return 334;
+  case JulietClass::UninitializedMemory: return 422;
+  case JulietClass::BadFunctionCall:     return 46;
+  case JulietClass::IntegerOverflow:     return 41;
+  }
+  return 0;
+}
+
+namespace {
+
+/// Juliet-style support code included in every test; gives tests the
+/// realistic bulk of the original corpus' io helpers.
+const char *Prelude = R"(#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+
+static void printLine(const char *line)
+{
+    if (line != NULL)
+    {
+        printf("%s\n", line);
+    }
+}
+
+static void printIntLine(int value)
+{
+    printf("%d\n", value);
+}
+
+static int globalTrue = 1;
+static int globalFalse = 0;
+
+static int identity(int value)
+{
+    return value;
+}
+)";
+
+/// Number of control-/data-flow variants (mirrors Juliet's flow
+/// variants: baseline, constant guard, helper function, loop, switch,
+/// struct field, pointer indirection, computed index).
+constexpr unsigned NumVariants = 8;
+
+/// Wraps a flaw body into a full program according to the variant.
+/// \p Decls go at the top of the acting function; \p Flaw is the
+/// statement sequence that contains (for bad tests) the single flaw.
+std::string wrapVariant(unsigned Variant, const std::string &Decls,
+                        const std::string &Flaw) {
+  std::string Out = Prelude;
+  switch (Variant % NumVariants) {
+  case 0: // straight line in main
+    Out += strFormat("int main(void)\n{\n%s%s"
+                     "    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  case 1: // behind an always-true global guard
+    Out += strFormat("int main(void)\n{\n%s"
+                     "    if (globalTrue)\n    {\n%s    }\n"
+                     "    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  case 2: // flaw inside a helper function
+    Out += strFormat("static void action(void)\n{\n%s%s}\n\n"
+                     "int main(void)\n{\n    action();\n"
+                     "    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  case 3: // flaw on the final loop iteration
+    Out += strFormat("int main(void)\n{\n%s    int step;\n"
+                     "    for (step = 0; step < 3; step++)\n    {\n"
+                     "        if (step == 2)\n        {\n%s        }\n"
+                     "    }\n    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  case 4: // selected by a switch
+    Out += strFormat("int main(void)\n{\n%s"
+                     "    switch (identity(6))\n    {\n    case 6:\n"
+                     "    {\n%s        break;\n    }\n    default:\n"
+                     "        printLine(\"unreachable\");\n        break;\n"
+                     "    }\n    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  case 5: // data flows through a struct field
+    Out += strFormat("struct container { int staging; };\n\n"
+                     "int main(void)\n{\n    struct container box;\n"
+                     "    box.staging = 0;\n%s"
+                     "    if (box.staging == 0)\n    {\n%s    }\n"
+                     "    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  case 6: // guard read through a pointer
+    Out += strFormat("int main(void)\n{\n    int on = 1;\n"
+                     "    int *flag = &on;\n%s"
+                     "    if (*flag)\n    {\n%s    }\n"
+                     "    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  default: // 7: values routed through identity() calls
+    Out += strFormat("int main(void)\n{\n%s"
+                     "    if (identity(globalTrue))\n    {\n%s    }\n"
+                     "    printLine(\"done\");\n    return 0;\n}\n",
+                     Decls.c_str(), Flaw.c_str());
+    return Out;
+  }
+}
+
+TestCase makePair(const char *Stem, JulietClass Class, unsigned Index,
+                  unsigned Variant, const std::string &Decls,
+                  const std::string &BadFlaw, const std::string &GoodFlaw) {
+  TestCase Test;
+  Test.Name = strFormat("%s_%05u_v%u", Stem, Index, Variant);
+  Test.Class = Class;
+  Test.FromJuliet = true;
+  Test.Bad = wrapVariant(Variant, Decls, BadFlaw);
+  Test.Good = wrapVariant(Variant, Decls, GoodFlaw);
+  return Test;
+}
+
+//===----------------------------------------------------------------------===//
+// Use of invalid pointer (CWE-121/122/124/476/562-style)
+//===----------------------------------------------------------------------===//
+
+TestCase makeInvalidPointer(unsigned I) {
+  constexpr unsigned NumSubkinds = 10;
+  unsigned Subkind = I % NumSubkinds;
+  unsigned Variant = (I / NumSubkinds) % NumVariants;
+  unsigned P = I / (NumSubkinds * NumVariants);
+  unsigned Size = 2 + P % 14;              // array/allocation size
+  unsigned Beyond = Size + P % 5;          // an index past the end
+  unsigned Inside = P % Size;              // a safe index
+
+  std::string Decls, Bad, Good;
+  switch (Subkind) {
+  case 0: // stack buffer overflow (write)
+    Decls = strFormat("    int data[%u];\n    int i;\n"
+                      "    for (i = 0; i < %u; i++) { data[i] = i; }\n",
+                      Size, Size);
+    Bad = strFormat("        data[%u] = 7;\n        printIntLine(data[0]);\n",
+                    Beyond);
+    Good = strFormat("        data[%u] = 7;\n        printIntLine(data[0]);\n",
+                     Inside);
+    break;
+  case 1: // stack buffer over-read
+    Decls = strFormat("    int data[%u];\n    int i;\n"
+                      "    for (i = 0; i < %u; i++) { data[i] = i; }\n",
+                      Size, Size);
+    Bad = strFormat("        printIntLine(data[%u]);\n", Beyond);
+    Good = strFormat("        printIntLine(data[%u]);\n", Inside);
+    break;
+  case 2: // heap buffer overflow (write)
+    Decls = strFormat(
+        "    int *data = (int*)malloc(%u * sizeof(int));\n    int i;\n"
+        "    if (data == NULL) { exit(1); }\n"
+        "    for (i = 0; i < %u; i++) { data[i] = i; }\n",
+        Size, Size);
+    Bad = strFormat("        data[%u] = 7;\n        printIntLine(data[0]);\n"
+                    "        free(data);\n",
+                    Beyond);
+    Good = strFormat("        data[%u] = 7;\n        printIntLine(data[0]);\n"
+                     "        free(data);\n",
+                     Inside);
+    break;
+  case 3: // heap buffer over-read
+    Decls = strFormat(
+        "    int *data = (int*)malloc(%u * sizeof(int));\n    int i;\n"
+        "    if (data == NULL) { exit(1); }\n"
+        "    for (i = 0; i < %u; i++) { data[i] = i; }\n",
+        Size, Size);
+    Bad = strFormat("        printIntLine(data[%u]);\n        free(data);\n",
+                    Beyond);
+    Good = strFormat("        printIntLine(data[%u]);\n        free(data);\n",
+                     Inside);
+    break;
+  case 4: // null pointer dereference
+    Decls = strFormat("    int *data = NULL;\n    int fallback = %u;\n", P);
+    Bad = "        printIntLine(*data);\n";
+    Good = "        data = &fallback;\n        printIntLine(*data);\n";
+    break;
+  case 5: // use after free (read)
+    Decls = strFormat(
+        "    int *data = (int*)malloc(%u * sizeof(int));\n"
+        "    if (data == NULL) { exit(1); }\n    data[0] = %u;\n",
+        Size, P);
+    Bad = "        free(data);\n        printIntLine(data[0]);\n";
+    Good = "        printIntLine(data[0]);\n        free(data);\n";
+    break;
+  case 6: // use after free (write)
+    Decls = strFormat(
+        "    int *data = (int*)malloc(%u * sizeof(int));\n"
+        "    if (data == NULL) { exit(1); }\n    data[0] = %u;\n",
+        Size, P);
+    Bad = "        free(data);\n        data[0] = 3;\n";
+    Good = "        data[0] = 3;\n        printIntLine(data[0]);\n"
+           "        free(data);\n";
+    break;
+  case 7: // negative index
+    Decls = strFormat("    int data[%u];\n    int i;\n"
+                      "    for (i = 0; i < %u; i++) { data[i] = i; }\n",
+                      Size, Size);
+    Bad = strFormat("        printIntLine(data[-%u]);\n", 1 + P % 3);
+    Good = strFormat("        printIntLine(data[%u]);\n", Inside);
+    break;
+  case 8: // string overflow: strcpy into a short buffer
+    Decls = strFormat("    char dest[%u];\n"
+                      "    const char *src = \"%s\";\n",
+                      Size,
+                      std::string(Size + 1 + P % 4, 'A').c_str());
+    Bad = "        strcpy(dest, src);\n        printLine(dest);\n";
+    Good = strFormat("        strncpy(dest, src, %u);\n"
+                     "        dest[%u] = '\\0';\n        printLine(dest);\n",
+                     Size - 1, Size - 1);
+    break;
+  default: // 9: one-past-the-end dereference
+    Decls = strFormat("    int data[%u];\n    int *end;\n    int i;\n"
+                      "    for (i = 0; i < %u; i++) { data[i] = i; }\n"
+                      "    end = data + %u;\n",
+                      Size, Size, Size);
+    Bad = "        printIntLine(*end);\n";
+    Good = "        printIntLine(*(end - 1));\n";
+    break;
+  }
+  return makePair("INVPTR", JulietClass::InvalidPointer, I, Variant, Decls,
+                  Bad, Good);
+}
+
+//===----------------------------------------------------------------------===//
+// Division by zero (CWE-369-style)
+//===----------------------------------------------------------------------===//
+
+TestCase makeDivZero(unsigned I) {
+  constexpr unsigned NumSubkinds = 5;
+  unsigned Subkind = I % NumSubkinds;
+  unsigned Variant = (I / NumSubkinds) % NumVariants;
+  unsigned P = I / (NumSubkinds * NumVariants);
+  unsigned Numerator = 10 + P * 7;
+
+  std::string Decls, Bad, Good;
+  switch (Subkind) {
+  case 0: // direct zero denominator
+    Decls = strFormat("    int numerator = %u;\n    int denominator;\n",
+                      Numerator);
+    Bad = "        denominator = 0;\n"
+          "        printIntLine(numerator / denominator);\n";
+    Good = "        denominator = 2;\n"
+           "        printIntLine(numerator / denominator);\n";
+    break;
+  case 1: // remainder by zero
+    Decls = strFormat("    int numerator = %u;\n    int denominator;\n",
+                      Numerator);
+    Bad = "        denominator = 0;\n"
+          "        printIntLine(numerator % denominator);\n";
+    Good = "        denominator = 3;\n"
+           "        printIntLine(numerator % denominator);\n";
+    break;
+  case 2: // zero computed as a difference
+    Decls = strFormat("    int base = %u;\n    int denominator;\n", P + 1);
+    Bad = "        denominator = base - base;\n"
+          "        printIntLine(100 / denominator);\n";
+    Good = "        denominator = base + 1;\n"
+           "        printIntLine(100 / denominator);\n";
+    break;
+  case 3: // denominator returned by a helper
+    Decls = "    int denominator;\n";
+    Bad = "        denominator = identity(0);\n"
+          "        printIntLine(49 / denominator);\n";
+    Good = "        denominator = identity(7);\n"
+           "        printIntLine(49 / denominator);\n";
+    break;
+  default: // 4: compound assignment
+    Decls = strFormat("    int value = %u;\n    int denominator;\n",
+                      Numerator);
+    Bad = "        denominator = 0;\n        value /= denominator;\n"
+          "        printIntLine(value);\n";
+    Good = "        denominator = 5;\n        value /= denominator;\n"
+           "        printIntLine(value);\n";
+    break;
+  }
+  return makePair("DIVZERO", JulietClass::DivideByZero, I, Variant, Decls,
+                  Bad, Good);
+}
+
+//===----------------------------------------------------------------------===//
+// Bad argument to free() (CWE-590/415-style)
+//===----------------------------------------------------------------------===//
+
+TestCase makeBadFree(unsigned I) {
+  constexpr unsigned NumSubkinds = 5;
+  unsigned Subkind = I % NumSubkinds;
+  unsigned Variant = (I / NumSubkinds) % NumVariants;
+  unsigned P = I / (NumSubkinds * NumVariants);
+  unsigned Size = 4 + P % 12;
+
+  std::string Decls, Bad, Good;
+  switch (Subkind) {
+  case 0: // free of a stack address
+    Decls = strFormat("    int stackBuffer[%u];\n    int *data;\n"
+                      "    stackBuffer[0] = %u;\n",
+                      Size, P);
+    Bad = "        data = stackBuffer;\n        free(data);\n";
+    Good = strFormat("        data = (int*)malloc(%u * sizeof(int));\n"
+                     "        if (data == NULL) { exit(1); }\n"
+                     "        free(data);\n",
+                     Size);
+    break;
+  case 1: // free of a pointer into the middle of a block
+    Decls = strFormat("    char *data = (char*)malloc(%u);\n"
+                      "    if (data == NULL) { exit(1); }\n",
+                      Size);
+    Bad = strFormat("        free(data + %u);\n", 1 + P % (Size - 1));
+    Good = "        free(data);\n";
+    break;
+  case 2: // double free
+    Decls = strFormat("    char *data = (char*)malloc(%u);\n"
+                      "    if (data == NULL) { exit(1); }\n",
+                      Size);
+    Bad = "        free(data);\n        free(data);\n";
+    Good = "        free(data);\n        data = NULL;\n        free(data);\n";
+    break;
+  case 3: // free of a global's address
+    Decls = "    int *data;\n";
+    Bad = "        data = &globalFalse;\n        free(data);\n";
+    Good = "        data = (int*)malloc(sizeof(int));\n"
+           "        if (data == NULL) { exit(1); }\n        free(data);\n";
+    break;
+  default: // 4: free of a string literal
+    Decls = "    char *data;\n";
+    Bad = "        data = (char*)\"immutable\";\n        free(data);\n";
+    Good = strFormat("        data = (char*)malloc(%u);\n"
+                     "        if (data == NULL) { exit(1); }\n"
+                     "        strcpy(data, \"ok\");\n        free(data);\n",
+                     Size);
+    break;
+  }
+  return makePair("BADFREE", JulietClass::BadFree, I, Variant, Decls, Bad,
+                  Good);
+}
+
+//===----------------------------------------------------------------------===//
+// Uninitialized memory (CWE-457-style)
+//===----------------------------------------------------------------------===//
+
+TestCase makeUninit(unsigned I) {
+  constexpr unsigned NumSubkinds = 7;
+  unsigned Subkind = I % NumSubkinds;
+  unsigned Variant = (I / NumSubkinds) % NumVariants;
+  unsigned P = I / (NumSubkinds * NumVariants);
+  unsigned Size = 3 + P % 10;
+
+  std::string Decls, Bad, Good;
+  switch (Subkind) {
+  case 6: // uninitialized pointer inside a struct
+    Decls = "    struct node { int *link; int payload; };\n"
+            "    struct node n;\n    int anchor = 7;\n";
+    Bad = "        printIntLine(*n.link);\n";
+    Good = "        n.link = &anchor;\n"
+           "        printIntLine(*n.link);\n";
+    break;
+  case 0: // uninitialized int
+    Decls = "    int data;\n";
+    Bad = "        printIntLine(data);\n";
+    Good = strFormat("        data = %u;\n        printIntLine(data);\n", P);
+    break;
+  case 1: // uninitialized array element
+    Decls = strFormat("    int data[%u];\n    data[0] = 1;\n", Size);
+    Bad = strFormat("        printIntLine(data[%u]);\n", 1 + P % (Size - 1));
+    Good = "        printIntLine(data[0]);\n";
+    break;
+  case 2: // uninitialized pointer dereference
+    Decls = "    int *data;\n    int fallback = 5;\n";
+    Bad = "        printIntLine(*data);\n";
+    Good = "        data = &fallback;\n        printIntLine(*data);\n";
+    break;
+  case 3: // uninitialized struct field
+    Decls = "    struct pair { int a; int b; };\n    struct pair data;\n"
+            "    data.a = 1;\n";
+    Bad = "        printIntLine(data.b);\n";
+    Good = "        printIntLine(data.a);\n";
+    break;
+  case 4: // uninitialized heap storage
+    Decls = strFormat("    int *data = (int*)malloc(%u * sizeof(int));\n"
+                      "    if (data == NULL) { exit(1); }\n",
+                      Size);
+    Bad = "        printIntLine(data[0]);\n        free(data);\n";
+    Good = "        data[0] = 11;\n        printIntLine(data[0]);\n"
+           "        free(data);\n";
+    break;
+  default: // 5: initialized on only one branch
+    Decls = "    int data;\n";
+    Bad = "        if (globalFalse) { data = 9; }\n"
+          "        printIntLine(data);\n";
+    Good = "        if (globalFalse) { data = 9; } else { data = 4; }\n"
+           "        printIntLine(data);\n";
+    break;
+  }
+  return makePair("UNINIT", JulietClass::UninitializedMemory, I, Variant,
+                  Decls, Bad, Good);
+}
+
+//===----------------------------------------------------------------------===//
+// Bad function call (CWE-686-style)
+//===----------------------------------------------------------------------===//
+
+TestCase makeBadCall(unsigned I) {
+  constexpr unsigned NumSubkinds = 3;
+  unsigned Subkind = I % NumSubkinds;
+  unsigned Variant = (I / NumSubkinds) % NumVariants;
+  unsigned P = I / (NumSubkinds * NumVariants);
+
+  // These need their own helper functions; build the whole source here
+  // and only reuse the variant machinery for naming.
+  TestCase Test;
+  Test.Name = strFormat("BADCALL_%05u_v%u", I, Variant);
+  Test.Class = JulietClass::BadFunctionCall;
+  Test.FromJuliet = true;
+
+  switch (Subkind) {
+  case 0: { // call through a pointer of the wrong signature
+    std::string Common = std::string(Prelude) +
+                         strFormat("static int takesTwo(int a, int b)\n"
+                                   "{\n    return a + b + %u;\n}\n\n",
+                                   P);
+    Test.Bad = Common +
+               "int main(void)\n{\n"
+               "    int (*fp)(int) = (int (*)(int))takesTwo;\n"
+               "    printIntLine(fp(1));\n"
+               "    return 0;\n}\n";
+    Test.Good = Common +
+                "int main(void)\n{\n"
+                "    int (*fp)(int, int) = takesTwo;\n"
+                "    printIntLine(fp(1, 2));\n"
+                "    return 0;\n}\n";
+    return Test;
+  }
+  case 1: { // unprototyped call with the wrong argument count
+    std::string Common = std::string(Prelude) +
+                         strFormat("static int adder(int a, int b)\n"
+                                   "{\n    return a + b + %u;\n}\n\n",
+                                   P);
+    Test.Bad = Common + "int main(void)\n{\n"
+                        "    int (*fp)() = (int (*)())adder;\n"
+                        "    printIntLine(fp(1));\n    return 0;\n}\n";
+    Test.Good = Common + "int main(void)\n{\n"
+                         "    int (*fp)() = (int (*)())adder;\n"
+                         "    printIntLine(fp(1, 2));\n    return 0;\n}\n";
+    return Test;
+  }
+  default: { // 2: wrong return type through a cast pointer
+    std::string Common = std::string(Prelude) +
+                         strFormat("static double makesDouble(int a)\n"
+                                   "{\n    return a * %u.5;\n}\n\n",
+                                   P + 1);
+    Test.Bad = Common +
+               "int main(void)\n{\n"
+               "    int (*fp)(int) = (int (*)(int))makesDouble;\n"
+               "    printIntLine(fp(3));\n"
+               "    return 0;\n}\n";
+    Test.Good = Common +
+                "int main(void)\n{\n"
+                "    double (*fp)(int) = makesDouble;\n"
+                "    printIntLine((int)fp(3));\n"
+                "    return 0;\n}\n";
+    return Test;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Integer overflow (CWE-190-style)
+//===----------------------------------------------------------------------===//
+
+TestCase makeOverflow(unsigned I) {
+  constexpr unsigned NumSubkinds = 4;
+  unsigned Subkind = I % NumSubkinds;
+  unsigned Variant = (I / NumSubkinds) % NumVariants;
+  unsigned P = I / (NumSubkinds * NumVariants);
+
+  std::string Decls, Bad, Good;
+  switch (Subkind) {
+  case 0: // addition overflow at INT_MAX
+    Decls = "    int data = 2147483647;\n";
+    Bad = strFormat("        data = data + %u;\n        printIntLine(data);\n",
+                    1 + P % 3);
+    Good = "        data = data - 1;\n        printIntLine(data);\n";
+    break;
+  case 1: // multiplication overflow
+    Decls = strFormat("    int data = %u;\n", 70000 + P * 13);
+    Bad = "        data = data * data;\n        printIntLine(data);\n";
+    Good = "        data = data / 2;\n        printIntLine(data);\n";
+    break;
+  case 2: // increment past INT_MAX
+    Decls = "    int data = 2147483647;\n";
+    Bad = "        data++;\n        printIntLine(data);\n";
+    Good = "        data--;\n        printIntLine(data);\n";
+    break;
+  default: // 3: subtraction below INT_MIN
+    Decls = "    int data = -2147483647 - 1;\n";
+    Bad = strFormat("        data = data - %u;\n        printIntLine(data);\n",
+                    1 + P % 3);
+    Good = "        data = data + 1;\n        printIntLine(data);\n";
+    break;
+  }
+  return makePair("OVERFLOW", JulietClass::IntegerOverflow, I, Variant,
+                  Decls, Bad, Good);
+}
+
+} // namespace
+
+std::vector<TestCase>
+JulietGenerator::generateClass(JulietClass Class) const {
+  std::vector<TestCase> Tests;
+  unsigned N = scaledCount(Class);
+  Tests.reserve(N);
+  for (unsigned I = 0; I < N; ++I) {
+    switch (Class) {
+    case JulietClass::InvalidPointer:
+      Tests.push_back(makeInvalidPointer(I));
+      break;
+    case JulietClass::DivideByZero:
+      Tests.push_back(makeDivZero(I));
+      break;
+    case JulietClass::BadFree:
+      Tests.push_back(makeBadFree(I));
+      break;
+    case JulietClass::UninitializedMemory:
+      Tests.push_back(makeUninit(I));
+      break;
+    case JulietClass::BadFunctionCall:
+      Tests.push_back(makeBadCall(I));
+      break;
+    case JulietClass::IntegerOverflow:
+      Tests.push_back(makeOverflow(I));
+      break;
+    }
+  }
+  return Tests;
+}
+
+std::vector<TestCase> JulietGenerator::generate() const {
+  std::vector<TestCase> All;
+  for (JulietClass Class :
+       {JulietClass::InvalidPointer, JulietClass::DivideByZero,
+        JulietClass::BadFree, JulietClass::UninitializedMemory,
+        JulietClass::BadFunctionCall, JulietClass::IntegerOverflow}) {
+    std::vector<TestCase> Tests = generateClass(Class);
+    All.insert(All.end(), Tests.begin(), Tests.end());
+  }
+  return All;
+}

@@ -1,0 +1,61 @@
+//===- suites/JulietGen.h - Juliet-like benchmark generator ------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates the Juliet-like undefinedness benchmark (paper section
+/// 5.1.2). The paper extracted 4113 single-undefined-behavior tests
+/// from NIST's Juliet suite in six classes; this generator reproduces
+/// the class structure and the exact per-class counts:
+///
+///   Use of invalid pointer   3193
+///   Division by zero           77
+///   Bad argument to free()    334
+///   Uninitialized memory      422
+///   Bad function call          46
+///   Integer overflow           41
+///
+/// Each test is a separate program with a single flaw, paired with a
+/// "good" program of the same shape (Juliet's OMITBAD/OMITGOOD pairing),
+/// and varied across control-/data-flow wrappers like Juliet's flow
+/// variants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUITES_JULIETGEN_H
+#define CUNDEF_SUITES_JULIETGEN_H
+
+#include "suites/TestCase.h"
+
+namespace cundef {
+
+class JulietGenerator {
+public:
+  /// \p ScaleDivisor divides every class count (minimum 1 test per
+  /// class); 1 reproduces the paper's totals (4113 tests).
+  explicit JulietGenerator(unsigned ScaleDivisor = 1)
+      : Divisor(ScaleDivisor ? ScaleDivisor : 1) {}
+
+  /// All tests, grouped by class in a stable order.
+  std::vector<TestCase> generate() const;
+
+  /// Tests of one class.
+  std::vector<TestCase> generateClass(JulietClass Class) const;
+
+  /// The paper's per-class counts.
+  static unsigned paperCount(JulietClass Class);
+
+  unsigned scaledCount(JulietClass Class) const {
+    unsigned N = paperCount(Class) / Divisor;
+    return N ? N : 1;
+  }
+
+private:
+  unsigned Divisor;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_SUITES_JULIETGEN_H

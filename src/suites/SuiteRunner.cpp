@@ -1,0 +1,131 @@
+//===- suites/SuiteRunner.cpp - Scoring tools on suites ------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites/SuiteRunner.h"
+
+#include "driver/ToolRunner.h"
+#include "support/Strings.h"
+
+using namespace cundef;
+
+JulietScores cundef::scoreJuliet(Tool &T, const std::vector<TestCase> &Tests) {
+  std::map<JulietClass, ClassScore> ByClass;
+  double TotalMicros = 0.0;
+  unsigned TotalTests = 0;
+  for (const TestCase &Test : Tests) {
+    PairVerdict Verdict = runOnPair(T, Test);
+    ClassScore &Score = ByClass[Test.Class];
+    Score.Class = Test.Class;
+    ++Score.Tests;
+    if (Verdict.passed())
+      ++Score.Passed;
+    if (Verdict.FlaggedGood)
+      ++Score.FalsePositives;
+    TotalMicros += Verdict.Micros;
+    TotalTests += 2; // bad + good
+  }
+  JulietScores Scores;
+  for (JulietClass Class :
+       {JulietClass::InvalidPointer, JulietClass::DivideByZero,
+        JulietClass::BadFree, JulietClass::UninitializedMemory,
+        JulietClass::BadFunctionCall, JulietClass::IntegerOverflow}) {
+    auto It = ByClass.find(Class);
+    if (It != ByClass.end())
+      Scores.PerClass.push_back(It->second);
+  }
+  Scores.MeanMicrosPerTest = TotalTests ? TotalMicros / TotalTests : 0.0;
+  return Scores;
+}
+
+CustomScores cundef::scoreCustom(Tool &T, const std::vector<TestCase> &Tests) {
+  struct Accum {
+    bool Static = false;
+    unsigned Tests = 0;
+    unsigned Passed = 0;
+  };
+  std::map<uint16_t, Accum> ByBehavior;
+  for (const TestCase &Test : Tests) {
+    PairVerdict Verdict = runOnPair(T, Test);
+    Accum &A = ByBehavior[Test.CatalogId];
+    A.Static = Test.StaticBehavior;
+    ++A.Tests;
+    if (Verdict.passed())
+      ++A.Passed;
+  }
+  CustomScores Scores;
+  double StaticSum = 0.0, DynamicSum = 0.0;
+  unsigned StaticBehaviors = 0, DynamicBehaviors = 0;
+  for (const auto &[Id, A] : ByBehavior) {
+    BehaviorScore Score;
+    Score.CatalogId = Id;
+    Score.Static = A.Static;
+    Score.Tests = A.Tests;
+    Score.Passed = A.Passed;
+    Scores.PerBehavior.push_back(Score);
+    double Fraction = A.Tests ? static_cast<double>(A.Passed) / A.Tests : 0.0;
+    if (A.Static) {
+      StaticSum += Fraction;
+      ++StaticBehaviors;
+    } else {
+      DynamicSum += Fraction;
+      ++DynamicBehaviors;
+    }
+  }
+  Scores.StaticPct = StaticBehaviors ? 100.0 * StaticSum / StaticBehaviors
+                                     : 0.0;
+  Scores.DynamicPct = DynamicBehaviors ? 100.0 * DynamicSum / DynamicBehaviors
+                                       : 0.0;
+  return Scores;
+}
+
+std::string cundef::renderFigure2(
+    const std::vector<std::pair<std::string, JulietScores>> &Rows) {
+  std::string Out;
+  Out += "Figure 2. Comparison of analysis tools on the Juliet-like "
+         "suite (% passed)\n\n";
+  Out += padRight("Undefined Behavior", 26) + padLeft("No. Tests", 10);
+  for (const auto &[Name, Scores] : Rows) {
+    (void)Scores;
+    Out += padLeft(Name, 15);
+  }
+  Out += "\n" + std::string(26 + 10 + 15 * Rows.size(), '-') + "\n";
+  if (Rows.empty())
+    return Out;
+  size_t NumClasses = Rows.front().second.PerClass.size();
+  for (size_t C = 0; C < NumClasses; ++C) {
+    const ClassScore &First = Rows.front().second.PerClass[C];
+    Out += padRight(julietClassName(First.Class), 26) +
+           padLeft(strFormat("%u", First.Tests), 10);
+    for (const auto &[Name, Scores] : Rows) {
+      (void)Name;
+      Out += padLeft(strFormat("%.1f", Scores.PerClass[C].percent()), 15);
+    }
+    Out += "\n";
+  }
+  Out += "\nMean time per test:";
+  for (const auto &[Name, Scores] : Rows)
+    Out += strFormat("  %s %.1f ms", Name.c_str(),
+                     Scores.MeanMicrosPerTest / 1000.0);
+  Out += "\n";
+  return Out;
+}
+
+std::string cundef::renderFigure3(
+    const std::vector<std::pair<std::string, CustomScores>> &Rows) {
+  std::string Out;
+  Out += "Figure 3. Comparison of analysis tools against the custom "
+         "undefinedness suite.\nAverages are across behaviors; no "
+         "behavior is weighted more than another.\n\n";
+  Out += padRight("Tools", 16) + padLeft("Static (% Passed)", 20) +
+         padLeft("Dynamic (% Passed)", 21) + "\n";
+  Out += std::string(57, '-') + "\n";
+  for (const auto &[Name, Scores] : Rows) {
+    Out += padRight(Name, 16) +
+           padLeft(strFormat("%.1f", Scores.StaticPct), 20) +
+           padLeft(strFormat("%.1f", Scores.DynamicPct), 21) + "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,73 @@
+//===- suites/SuiteRunner.h - Scoring tools on suites ------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scores analysis tools on the two benchmarks and renders the paper's
+/// Figure 2 (Juliet classes x tools) and Figure 3 (static/dynamic
+/// detection on the custom suite) tables. Scoring follows the paper:
+/// a test pair passes when the undefined program is flagged and its
+/// defined control is not; Figure 3 averages *across behaviors*, "no
+/// behavior weighted more than another".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUITES_SUITERUNNER_H
+#define CUNDEF_SUITES_SUITERUNNER_H
+
+#include "analysis/Tool.h"
+#include "suites/TestCase.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cundef {
+
+/// Figure 2: one tool's results on one Juliet class.
+struct ClassScore {
+  JulietClass Class = JulietClass::InvalidPointer;
+  unsigned Tests = 0;
+  unsigned Passed = 0;
+  unsigned FalsePositives = 0;
+
+  double percent() const { return Tests ? 100.0 * Passed / Tests : 0.0; }
+};
+
+struct JulietScores {
+  std::vector<ClassScore> PerClass;
+  double MeanMicrosPerTest = 0.0;
+};
+
+JulietScores scoreJuliet(Tool &T, const std::vector<TestCase> &Tests);
+
+/// Figure 3: one tool's per-behavior results on the custom suite.
+struct BehaviorScore {
+  uint16_t CatalogId = 0;
+  bool Static = false;
+  unsigned Tests = 0;
+  unsigned Passed = 0;
+};
+
+struct CustomScores {
+  std::vector<BehaviorScore> PerBehavior;
+  /// Percent of behaviors detected, averaged per behavior.
+  double StaticPct = 0.0;
+  double DynamicPct = 0.0;
+};
+
+CustomScores scoreCustom(Tool &T, const std::vector<TestCase> &Tests);
+
+/// Renders the Figure 2 table for several tools.
+std::string
+renderFigure2(const std::vector<std::pair<std::string, JulietScores>> &Rows);
+
+/// Renders the Figure 3 table.
+std::string
+renderFigure3(const std::vector<std::pair<std::string, CustomScores>> &Rows);
+
+} // namespace cundef
+
+#endif // CUNDEF_SUITES_SUITERUNNER_H

@@ -1,0 +1,43 @@
+//===- suites/TestCase.h - Benchmark test cases ------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The common shape of benchmark tests. Following the paper (section
+/// 5.2.2), every undefined test comes with a corresponding *defined*
+/// control: "this control test makes it possible to identify
+/// false-positives in addition to false-negatives. Without such tests,
+/// a tool could simply say all programs were undefined and receive full
+/// marks."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUITES_TESTCASE_H
+#define CUNDEF_SUITES_TESTCASE_H
+
+#include "ub/UbKind.h"
+
+#include <string>
+#include <vector>
+
+namespace cundef {
+
+/// One undefined-program test with its defined control.
+struct TestCase {
+  std::string Name;
+  std::string Bad;  ///< the undefined program
+  std::string Good; ///< the corresponding defined program
+  /// Juliet class (Figure 2 benchmarks) -- meaningful when FromJuliet.
+  JulietClass Class = JulietClass::InvalidPointer;
+  bool FromJuliet = false;
+  /// Catalog behavior id (Figure 3 benchmarks; 0 for Juliet tests).
+  uint16_t CatalogId = 0;
+  /// Whether the behavior is statically detectable (Figure 3 columns).
+  bool StaticBehavior = false;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_SUITES_TESTCASE_H

@@ -1,0 +1,1304 @@
+//===- suites/UndefSuite.cpp - The custom undefinedness suite -----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+//
+// 178 test pairs over 70 behaviors. Layout per behavior: catalog id,
+// static flag, then one add() per test with the undefined program and
+// its defined control. Tests are deliberately small and single-purpose
+// (one behavior per program, paper section 5.2.2); a unit test asserts
+// the totals 178 / 70 / 42.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites/UndefSuite.h"
+
+#include "support/Strings.h"
+#include "ub/Catalog.h"
+
+#include <set>
+
+using namespace cundef;
+
+namespace {
+
+void add(std::vector<TestCase> &Out, uint16_t Id, bool Static,
+         const char *Tag, const char *Bad, const char *Good) {
+  TestCase Test;
+  Test.Name = strFormat("ub%03u_%s", Id, Tag);
+  Test.CatalogId = Id;
+  Test.StaticBehavior = Static;
+  Test.Bad = Bad;
+  Test.Good = Good;
+  Out.push_back(std::move(Test));
+}
+
+std::vector<TestCase> buildSuite() {
+  std::vector<TestCase> S;
+
+  //===--- Dynamic core behaviors (the 42 of section 5.2.2) -------------===//
+
+  // 1: division by zero (4 tests)
+  add(S, 1, false, "direct",
+      "int main(void) { int d = 0; return 5 / d; }\n",
+      "int main(void) { int d = 5; return 5 / d; }\n");
+  add(S, 1, false, "via_call",
+      "static int denom(void) { return 0; }\n"
+      "int main(void) { return 10 / denom(); }\n",
+      "static int denom(void) { return 2; }\n"
+      "int main(void) { return 10 / denom(); }\n");
+  add(S, 1, false, "loop_invariant",
+      "#include <stdio.h>\n"
+      "int main(void) {\n"
+      "  int r = 0, d = 0, i;\n"
+      "  for (i = 0; i < 5; i++) { printf(\"%d\\n\", i); r += 5 / d; }\n"
+      "  return r;\n}\n",
+      "#include <stdio.h>\n"
+      "int main(void) {\n"
+      "  int r = 0, d = 1, i;\n"
+      "  for (i = 0; i < 5; i++) { printf(\"%d\\n\", i); r += 5 / d; }\n"
+      "  return r;\n}\n");
+  add(S, 1, false, "compound",
+      "int main(void) { int x = 8, d = 0; x /= d; return x; }\n",
+      "int main(void) { int x = 8, d = 2; x /= d; return x; }\n");
+
+  // 2: remainder by zero (3 tests)
+  add(S, 2, false, "direct",
+      "int main(void) { int d = 0; return 5 % d; }\n",
+      "int main(void) { int d = 3; return 5 % d; }\n");
+  add(S, 2, false, "computed",
+      "int main(void) { int a = 4; return 9 % (a - 4); }\n",
+      "int main(void) { int a = 4; return 9 % (a + 4); }\n");
+  add(S, 2, false, "compound",
+      "int main(void) { int x = 9, d = 0; x %= d; return x; }\n",
+      "int main(void) { int x = 9, d = 4; x %= d; return x; }\n");
+
+  // 3: signed overflow (4 tests)
+  add(S, 3, false, "add_max",
+      "int main(void) { int x = 2147483647; return (x + 1) != 0; }\n",
+      "int main(void) { int x = 2147483646; return (x + 1) != 0; }\n");
+  add(S, 3, false, "mul",
+      "int main(void) { int x = 1000000; return (x * x) != 0; }\n",
+      "int main(void) { int x = 1000; return (x * x) != 0; }\n");
+  add(S, 3, false, "negate_min",
+      "int main(void) { int x = -2147483647 - 1; return (-x) != 0; }\n",
+      "int main(void) { int x = -2147483647; return (-x) != 0; }\n");
+  add(S, 3, false, "wraparound_check",
+      // The paper's section 2.3 example: if (x + 1 < x) overflows.
+      "int main(void) {\n"
+      "  int x = 2147483647;\n"
+      "  if (x + 1 < x) { return 1; }\n"
+      "  return 0;\n}\n",
+      "int main(void) {\n"
+      "  int x = 100;\n"
+      "  if (x + 1 < x) { return 1; }\n"
+      "  return 0;\n}\n");
+
+  // 4: shift count too large (3 tests)
+  add(S, 4, false, "left",
+      "int main(void) { int x = 1; return (x << 32) != 0; }\n",
+      "int main(void) { int x = 1; return (x << 3) != 0; }\n");
+  add(S, 4, false, "right",
+      "int main(void) { int x = 256; return (x >> 40) != 0; }\n",
+      "int main(void) { int x = 256; return (x >> 4) != 0; }\n");
+  add(S, 4, false, "variable",
+      "int main(void) { int n = 33; return (1 << n) != 0; }\n",
+      "int main(void) { int n = 13; return (1 << n) != 0; }\n");
+
+  // 5: left shift of negative value (3 tests)
+  add(S, 5, false, "direct",
+      "int main(void) { int x = -1; return (x << 2) != 0; }\n",
+      "int main(void) { int x = 1; return (x << 2) != 0; }\n");
+  add(S, 5, false, "not_representable",
+      "int main(void) { int x = 1073741824; return (x << 1) != 0; }\n",
+      "int main(void) { int x = 1073741; return (x << 1) != 0; }\n");
+  add(S, 5, false, "var",
+      "int main(void) { int v = -8; int s = v << 1; return s != 0; }\n",
+      "int main(void) { int v = 8; int s = v << 1; return s != 0; }\n");
+
+  // 6: null pointer dereference (4 tests)
+  add(S, 6, false, "read",
+      "int main(void) { int *p = 0; return *p; }\n",
+      "int main(void) { int x = 7; int *p = &x; return *p; }\n");
+  add(S, 6, false, "write",
+      "int main(void) { int *p = 0; *p = 1; return 0; }\n",
+      "int main(void) { int x; int *p = &x; *p = 1; return x; }\n");
+  add(S, 6, false, "stmt_discarded",
+      // The paper's section 2.3 example: *(char*)NULL as a statement.
+      "#include <stddef.h>\n"
+      "int main(void) {\n"
+      "  char *p = NULL;\n"
+      "  *p;\n"
+      "  return 0;\n}\n",
+      "#include <stddef.h>\n"
+      "int main(void) {\n"
+      "  char c = 'x';\n"
+      "  char *p = &c;\n"
+      "  *p;\n"
+      "  return 0;\n}\n");
+  add(S, 6, false, "arrow",
+      "struct box { int v; };\n"
+      "int main(void) { struct box *p = 0; return p->v; }\n",
+      "struct box { int v; };\n"
+      "int main(void) { struct box b; b.v = 3; struct box *p = &b;"
+      " return p->v; }\n");
+
+  // 7: dereference of a void pointer (2 tests)
+  add(S, 7, false, "direct",
+      "int main(void) { int x = 1; void *p = &x; *p; return 0; }\n",
+      "int main(void) { int x = 1; int *p = &x; *p; return 0; }\n");
+  add(S, 7, false, "cast_chain",
+      "int main(void) { int x = 2; void *p = &x; *(void*)p; return 0; }\n",
+      "int main(void) { int x = 2; void *p = &x; *(int*)p; return 0; }\n");
+
+  // 8: dereference of a dangling (forged) pointer (2 tests)
+  add(S, 8, false, "int_forged",
+      "int main(void) { int *p = (int*)1234; return *p; }\n",
+      "int main(void) { int x = 1234; int *p = &x; return *p; }\n");
+  add(S, 8, false, "arith_forged",
+      "int main(void) { long a = 64; int *p = (int*)(a * 2); *p = 1;"
+      " return 0; }\n",
+      "int main(void) { int t = 0; int *p = &t; *p = 1; return t; }\n");
+
+  // 9: read out of bounds (4 tests)
+  add(S, 9, false, "stack_index",
+      "int main(void) { int a[4]; a[0] = 1; return a[6]; }\n",
+      "int main(void) { int a[4]; a[0] = 1; return a[0]; }\n");
+  add(S, 9, false, "negative",
+      "int main(void) { int a[4]; a[0] = 1; return a[-2]; }\n",
+      "int main(void) { int a[4]; a[0] = 1; return a[0]; }\n");
+  add(S, 9, false, "heap",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(4 * sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  p[0] = 5;\n  int r = p[9];\n  free(p);\n  return r;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(4 * sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  p[0] = 5;\n  int r = p[0];\n  free(p);\n  return r;\n}\n");
+  add(S, 9, false, "via_pointer",
+      "int main(void) { int a[3]; a[2] = 9; int *p = a; return *(p + 2)"
+      " + p[3 - 3] + p[5 - 1]; }\n",
+      "int main(void) { int a[3]; a[0] = 1; a[1] = 2; a[2] = 9;"
+      " int *p = a; return *(p + 2) + p[0] + p[1]; }\n");
+
+  // 10: write out of bounds (4 tests)
+  add(S, 10, false, "stack_index",
+      "int main(void) { int a[4]; a[5] = 3; return 0; }\n",
+      "int main(void) { int a[4]; a[3] = 3; return a[3]; }\n");
+  add(S, 10, false, "heap",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(8);\n"
+      "  if (!p) { return 1; }\n"
+      "  p[8] = 'x';\n  free(p);\n  return 0;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(8);\n"
+      "  if (!p) { return 1; }\n"
+      "  p[7] = 'x';\n  free(p);\n  return 0;\n}\n");
+  add(S, 10, false, "strcpy_smash",
+      "#include <string.h>\n"
+      "int main(void) { char buf[4]; strcpy(buf, \"too long\");"
+      " return buf[0]; }\n",
+      "#include <string.h>\n"
+      "int main(void) { char buf[16]; strcpy(buf, \"shorter\");"
+      " return buf[0]; }\n");
+  add(S, 10, false, "loop_off_by_one",
+      "int main(void) {\n"
+      "  int a[5]; int i;\n"
+      "  for (i = 0; i <= 5; i++) { a[i] = i; }\n"
+      "  return a[0];\n}\n",
+      "int main(void) {\n"
+      "  int a[5]; int i;\n"
+      "  for (i = 0; i < 5; i++) { a[i] = i; }\n"
+      "  return a[0];\n}\n");
+
+  // 12: access to an object whose lifetime ended (3 tests)
+  add(S, 12, false, "block_exit",
+      "int main(void) {\n"
+      "  int *p;\n"
+      "  { int x = 3; p = &x; }\n"
+      "  return *p;\n}\n",
+      "int main(void) {\n"
+      "  int x = 3;\n  int *p;\n"
+      "  { p = &x; }\n"
+      "  return *p;\n}\n");
+  add(S, 12, false, "loop_body_scope",
+      "int main(void) {\n"
+      "  int *p = 0; int i;\n"
+      "  for (i = 0; i < 2; i++) { int local = i; p = &local; }\n"
+      "  return *p;\n}\n",
+      "int main(void) {\n"
+      "  int keep = 0; int *p = &keep; int i;\n"
+      "  for (i = 0; i < 2; i++) { keep = i; p = &keep; }\n"
+      "  return *p;\n}\n");
+  add(S, 12, false, "write_dead",
+      "int main(void) {\n"
+      "  int *p;\n"
+      "  { int x = 1; p = &x; }\n"
+      "  *p = 9;\n  return 0;\n}\n",
+      "int main(void) {\n"
+      "  int x = 1; int *p;\n"
+      "  { p = &x; }\n"
+      "  *p = 9;\n  return x;\n}\n");
+
+  // 13: pointer arithmetic out of bounds (4 tests)
+  add(S, 13, false, "past_one_past",
+      "int main(void) { int a[3]; int *p = a + 5; return p == a; }\n",
+      "int main(void) { int a[3]; int *p = a + 3; return p == a; }\n");
+  add(S, 13, false, "before_start",
+      "int main(void) { int a[3]; int *p = a - 1; return p == a; }\n",
+      "int main(void) { int a[3]; int *p = a + 0; return p == a; }\n");
+  add(S, 13, false, "increment_walk",
+      "int main(void) {\n"
+      "  int a[2]; int *p = a; int i;\n"
+      "  for (i = 0; i < 4; i++) { p++; }\n"
+      "  return p == a;\n}\n",
+      "int main(void) {\n"
+      "  int a[4]; int *p = a; int i;\n"
+      "  for (i = 0; i < 4; i++) { p++; }\n"
+      "  return p == a;\n}\n");
+  add(S, 13, false, "compound_add",
+      "int main(void) { int a[4]; int *p = a; p += 9; return p != 0; }\n",
+      "int main(void) { int a[16]; int *p = a; p += 9; return p != 0; }\n");
+
+  // 14: subtraction of pointers into different objects (3 tests)
+  add(S, 14, false, "two_arrays",
+      "int main(void) { int a[3]; int b[3]; return (int)(&a[0] - &b[0]);"
+      " }\n",
+      "int main(void) { int a[3]; return (int)(&a[2] - &a[0]); }\n");
+  add(S, 14, false, "two_locals",
+      "int main(void) { int x; int y; return (int)(&x - &y); }\n",
+      "int main(void) { int a[2]; return (int)(&a[1] - &a[0]); }\n");
+  add(S, 14, false, "heap_blocks",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4); char *q = (char*)malloc(4);\n"
+      "  if (!p || !q) { return 1; }\n"
+      "  long d = p - q;\n  free(p); free(q);\n  return d != 0;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  if (!p) { return 1; }\n"
+      "  long d = (p + 3) - p;\n  free(p);\n  return d != 3;\n}\n");
+
+  // 15: relational comparison of pointers into different objects (3)
+  add(S, 15, false, "two_locals",
+      // The paper's section 4.3.1 example: &a < &b is undefined...
+      "int main(void) {\n"
+      "  int a, b;\n"
+      "  if (&a < &b) { return 1; }\n"
+      "  return 0;\n}\n",
+      // ...but members of one struct are ordered.
+      "int main(void) {\n"
+      "  struct { int a; int b; } s;\n"
+      "  if (&s.a < &s.b) { return 1; }\n"
+      "  return 0;\n}\n");
+  add(S, 15, false, "array_vs_scalar",
+      "int main(void) { int a[2]; int x; return &x > &a[0]; }\n",
+      "int main(void) { int a[2]; return &a[1] > &a[0]; }\n");
+  add(S, 15, false, "null_relational",
+      "int main(void) { int x; int *p = &x; int *q = 0; return p >= q; }\n",
+      "int main(void) { int x; int *p = &x; int *q = p; return p >= q; }\n");
+
+  // 16: unsequenced side effects (4 tests)
+  add(S, 16, false, "two_writes",
+      // The paper's section 2.3 example: (x = 1) + (x = 2).
+      "int main(void) {\n"
+      "  int x = 0;\n"
+      "  return (x = 1) + (x = 2);\n}\n",
+      "int main(void) {\n"
+      "  int x = 0;\n"
+      "  x = 1;\n  x = 2;\n  return x + x;\n}\n");
+  add(S, 16, false, "write_and_read",
+      "int main(void) { int x = 1; int r = x + x++; return r; }\n",
+      "int main(void) { int x = 1; int r = x + x; x++; return r; }\n");
+  add(S, 16, false, "double_increment",
+      "int main(void) { int i = 0; i = i++ + ++i; return i; }\n",
+      "int main(void) { int i = 0; i++; ++i; return i; }\n");
+  add(S, 16, false, "call_args",
+      "static int pair(int a, int b) { return a * 10 + b; }\n"
+      "int main(void) { int x = 0; return pair(x = 1, x = 2); }\n",
+      "static int pair(int a, int b) { return a * 10 + b; }\n"
+      "int main(void) { int x = 1; int y = 2; return pair(x, y); }\n");
+
+  // 17: write to const through a non-const lvalue (4 tests)
+  add(S, 17, false, "strchr_launder",
+      // The paper's section 4.2.2 strchr example, verbatim in spirit.
+      "#include <string.h>\n"
+      "int main(void) {\n"
+      "  const char p[] = \"hello\";\n"
+      "  char *q = strchr(p, p[0]);\n"
+      "  *q = 'H';\n"
+      "  return 0;\n}\n",
+      "#include <string.h>\n"
+      "int main(void) {\n"
+      "  char p[] = \"hello\";\n"
+      "  char *q = strchr(p, p[0]);\n"
+      "  *q = 'H';\n"
+      "  return p[0] != 'H';\n}\n");
+  add(S, 17, false, "cast_away",
+      "int main(void) { const int c = 1; int *p = (int*)&c; *p = 2;"
+      " return c; }\n",
+      "int main(void) { int c = 1; int *p = &c; *p = 2; return c; }\n");
+  add(S, 17, false, "const_array_elem",
+      "int main(void) { const int a[2] = {1, 2}; int *p = (int*)&a[1];"
+      " *p = 5; return a[1]; }\n",
+      "int main(void) { int a[2] = {1, 2}; int *p = &a[1]; *p = 5;"
+      " return a[1]; }\n");
+  add(S, 17, false, "memset_const",
+      "#include <string.h>\n"
+      "int main(void) { const int c = 7; memset((void*)&c, 0, sizeof c);"
+      " return c; }\n",
+      "#include <string.h>\n"
+      "int main(void) { int c = 7; memset((void*)&c, 0, sizeof c);"
+      " return c; }\n");
+
+  // 18: modifying a string literal (4 tests)
+  add(S, 18, false, "direct",
+      "int main(void) { char *s = \"abc\"; s[0] = 'A'; return 0; }\n",
+      "int main(void) { char s[] = \"abc\"; s[0] = 'A'; return s[0]; }\n");
+  add(S, 18, false, "via_deref",
+      "int main(void) { char *s = \"xyz\"; *s = 'X'; return 0; }\n",
+      "int main(void) { char s[4] = \"xyz\"; *s = 'X'; return *s; }\n");
+  add(S, 18, false, "strcpy_target",
+      "#include <string.h>\n"
+      "int main(void) { char *s = \"buffer\"; strcpy(s, \"hi\");"
+      " return 0; }\n",
+      "#include <string.h>\n"
+      "int main(void) { char s[8] = \"buffer\"; strcpy(s, \"hi\");"
+      " return s[0]; }\n");
+  add(S, 18, false, "increment_char",
+      "int main(void) { char *s = \"q\"; s[0]++; return 0; }\n",
+      "int main(void) { char s[2] = \"q\"; s[0]++; return s[0]; }\n");
+
+  // 19: use of an indeterminate value (4 tests)
+  add(S, 19, false, "plain_int",
+      "int main(void) { int x; return x; }\n",
+      "int main(void) { int x = 4; return x; }\n");
+  add(S, 19, false, "arith_use",
+      "int main(void) { int x; int y = x + 1; return y; }\n",
+      "int main(void) { int x = 1; int y = x + 1; return y; }\n");
+  add(S, 19, false, "branch_use",
+      "int main(void) { int flag; if (flag) { return 1; } return 0; }\n",
+      "int main(void) { int flag = 0; if (flag) { return 1; }"
+      " return 0; }\n");
+  add(S, 19, false, "heap_uninit",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  int v = *p;\n  free(p);\n  return v;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  *p = 3;\n  int v = *p;\n  free(p);\n  return v;\n}\n");
+
+  // 22: call through incompatible function pointer (4 tests)
+  add(S, 22, false, "wrong_params",
+      "static int two(int a, int b) { return a + b; }\n"
+      "int main(void) { int (*f)(int) = (int (*)(int))two;"
+      " return f(1); }\n",
+      "static int two(int a, int b) { return a + b; }\n"
+      "int main(void) { int (*f)(int, int) = two; return f(1, 2) - 3; }\n");
+  add(S, 22, false, "wrong_return",
+      "static double d(int a) { return a + 0.5; }\n"
+      "int main(void) { int (*f)(int) = (int (*)(int))d;"
+      " return f(1); }\n",
+      "static double d(int a) { return a + 0.5; }\n"
+      "int main(void) { double (*f)(int) = d; return (int)f(1) - 1; }\n");
+  add(S, 22, false, "object_as_function",
+      "int main(void) { int x = 5; int (*f)(void) = (int (*)(void))&x;"
+      " return f(); }\n",
+      "static int five(void) { return 5; }\n"
+      "int main(void) { int (*f)(void) = five; return f() - 5; }\n");
+  add(S, 22, false, "noproto_wrong_type",
+      "static int wants_int(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())wants_int;"
+      " return f(1.5); }\n",
+      "static int wants_int(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())wants_int;"
+      " return f(1) - 1; }\n");
+
+  // 23: wrong number of arguments (3 tests)
+  add(S, 23, false, "too_few",
+      "static int two(int a, int b) { return a + b; }\n"
+      "int main(void) { int (*f)() = (int (*)())two; return f(1); }\n",
+      "static int two(int a, int b) { return a + b; }\n"
+      "int main(void) { int (*f)() = (int (*)())two;"
+      " return f(1, 2) - 3; }\n");
+  add(S, 23, false, "too_many",
+      "static int one(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())one;"
+      " return f(1, 2, 3) - 1; }\n",
+      "static int one(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())one; return f(1) - 1; }\n");
+  add(S, 23, false, "zero_args",
+      "static int one(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())one; return f(); }\n",
+      "static int one(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())one; return f(7) - 7; }\n");
+
+  // 24: value of a call used though no value was returned (2 tests)
+  add(S, 24, false, "falls_off_end",
+      "static int f(int x) { if (x > 10) { return 1; } }\n"
+      "int main(void) { return f(1); }\n",
+      "static int f(int x) { if (x > 10) { return 1; } return 0; }\n"
+      "int main(void) { return f(1); }\n");
+  add(S, 24, false, "plain_return",
+      "static int g(void) { return; }\n"
+      "int main(void) { return g(); }\n",
+      "static int g(void) { return 0; }\n"
+      "int main(void) { return g(); }\n");
+
+  // 25: access through a disallowed lvalue type / aliasing (4 tests)
+  add(S, 25, false, "float_as_int",
+      "int main(void) { float f = 1.5f; int *p = (int*)&f; return *p; }\n",
+      "int main(void) { float f = 1.5f; float *p = &f;"
+      " return *p > 1.0f; }\n");
+  add(S, 25, false, "int_as_float",
+      "int main(void) { int i = 42; float *p = (float*)&i;"
+      " return *p > 0.0f; }\n",
+      "int main(void) { int i = 42; int *p = &i; return *p != 42; }\n");
+  add(S, 25, false, "char_read_allowed",
+      "int main(void) { long v = 70000; short *p = (short*)&v;"
+      " return *p != 0; }\n",
+      // Character-type access is always allowed (C11 6.5p7).
+      "int main(void) { long v = 70000; unsigned char *p ="
+      " (unsigned char*)&v; return *p != 112; }\n");
+  add(S, 25, false, "union_ok_control",
+      "int main(void) { double d = 1.0; long *p = (long*)&d;"
+      " return *p != 0; }\n",
+      "union pun { double d; long l; };\n"
+      "int main(void) { union pun u; u.d = 1.0; long *p = &u.l;"
+      " return *p == 0; }\n");
+
+  // 26: float to int conversion overflow (3 tests)
+  add(S, 26, false, "too_big",
+      "int main(void) { double d = 3000000000.0; int x = (int)d;"
+      " return x; }\n",
+      "int main(void) { double d = 3000.0; int x = (int)d;"
+      " return x != 3000; }\n");
+  add(S, 26, false, "negative",
+      "int main(void) { double d = -1e12; int x = (int)d; return x; }\n",
+      "int main(void) { double d = -12.0; int x = (int)d;"
+      " return x != -12; }\n");
+  add(S, 26, false, "float_source",
+      "int main(void) { float f = 1e10f; int x = (int)f; return x; }\n",
+      "int main(void) { float f = 10.0f; int x = (int)f;"
+      " return x != 10; }\n");
+
+  // 28: arithmetic on a null pointer (2 tests)
+  add(S, 28, false, "add",
+      "int main(void) { int *p = 0; int *q = p + 1; return q == 0; }\n",
+      "int main(void) { int a[2]; int *p = a; int *q = p + 1;"
+      " return q == a; }\n");
+  add(S, 28, false, "increment",
+      "int main(void) { char *p = 0; p++; return p == 0; }\n",
+      "int main(void) { char a[2]; char *p = a; p++; return p == a; }\n");
+
+  // 29: dereference of a one-past-the-end pointer (3 tests)
+  add(S, 29, false, "read",
+      "int main(void) { int a[3]; a[0] = 1; int *p = a + 3; return *p; }\n",
+      "int main(void) { int a[3]; a[2] = 1; int *p = a + 3;"
+      " return *(p - 1); }\n");
+  add(S, 29, false, "write",
+      "int main(void) { int a[2]; int *end = a + 2; *end = 5;"
+      " return 0; }\n",
+      "int main(void) { int a[2]; int *end = a + 2; *(end - 1) = 5;"
+      " return a[1]; }\n");
+  add(S, 29, false, "loop_boundary",
+      "int main(void) {\n"
+      "  int a[3]; int *p; int sum = 0;\n"
+      "  for (p = a; p <= a + 3; p++) { *p = 1; sum += *p; }\n"
+      "  return sum;\n}\n",
+      "int main(void) {\n"
+      "  int a[3]; int *p; int sum = 0;\n"
+      "  for (p = a; p < a + 3; p++) { *p = 1; sum += *p; }\n"
+      "  return sum;\n}\n");
+
+  // 30: use of an uninitialized pointer (3 tests)
+  add(S, 30, false, "deref",
+      "int main(void) { int *p; return *p; }\n",
+      "int main(void) { int x = 2; int *p = &x; return *p; }\n");
+  add(S, 30, false, "write",
+      "int main(void) { int *p; *p = 1; return 0; }\n",
+      "int main(void) { int x; int *p = &x; *p = 1; return x; }\n");
+  add(S, 30, false, "struct_member_ptr",
+      "struct holder { int *p; };\n"
+      "int main(void) { struct holder h; return *h.p; }\n",
+      "struct holder { int *p; };\n"
+      "int main(void) { int x = 1; struct holder h; h.p = &x;"
+      " return *h.p; }\n");
+
+  // 32: negative shift count (2 tests)
+  add(S, 32, false, "left",
+      "int main(void) { int n = -2; return (4 << n) != 0; }\n",
+      "int main(void) { int n = 2; return (4 << n) != 0; }\n");
+  add(S, 32, false, "right",
+      "int main(void) { int n = -1; return (4 >> n) != 0; }\n",
+      "int main(void) { int n = 1; return (4 >> n) != 0; }\n");
+
+  // 36: escaped stack address used after return (4 tests)
+  add(S, 36, false, "return_local",
+      "static int *leak(void) { int x = 5; return &x; }\n"
+      "int main(void) { int *p = leak(); return *p; }\n",
+      "static int *pass(int *p) { return p; }\n"
+      "int main(void) { int x = 5; int *p = pass(&x); return *p; }\n");
+  add(S, 36, false, "return_array",
+      "static int *leak(void) { int a[2]; a[0] = 1; return a; }\n"
+      "int main(void) { int *p = leak(); return p[0]; }\n",
+      "static int fill(int *a) { a[0] = 1; return a[0]; }\n"
+      "int main(void) { int a[2]; return fill(a); }\n");
+  add(S, 36, false, "write_after_return",
+      "static int *leak(void) { int x = 5; return &x; }\n"
+      "int main(void) { int *p = leak(); *p = 1; return 0; }\n",
+      "int main(void) { int x = 5; int *p = &x; *p = 1; return x - 1; }\n");
+  add(S, 36, false, "param_escape",
+      "static int *leak(int v) { return &v; }\n"
+      "int main(void) { int *p = leak(3); return *p; }\n",
+      "int main(void) { int v = 3; int *p = &v; return *p; }\n");
+
+  // 52: object referred to outside of its lifetime (2 tests)
+  add(S, 52, false, "if_scope",
+      "int main(void) {\n"
+      "  int *p = 0; int c = 1;\n"
+      "  if (c) { int inner = 4; p = &inner; }\n"
+      "  return *p;\n}\n",
+      "int main(void) {\n"
+      "  int outer = 4; int *p = 0; int c = 1;\n"
+      "  if (c) { p = &outer; }\n"
+      "  return *p;\n}\n");
+  add(S, 52, false, "reentered_block",
+      "int main(void) {\n"
+      "  int *saved = 0; int i; int r = 0;\n"
+      "  for (i = 0; i < 2; i++) {\n"
+      "    int fresh = i + 1;\n"
+      "    if (i == 1) { r = *saved; }\n"
+      "    saved = &fresh;\n"
+      "  }\n"
+      "  return r;\n}\n",
+      "int main(void) {\n"
+      "  int stable = 0; int *saved = &stable; int i; int r = 0;\n"
+      "  for (i = 0; i < 2; i++) {\n"
+      "    stable = i + 1;\n"
+      "    if (i == 1) { r = *saved; }\n"
+      "  }\n"
+      "  return r;\n}\n");
+
+  // 53: value of a dangling pointer used (not dereferenced) (2 tests)
+  add(S, 53, false, "arith_after_free",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  if (!p) { return 1; }\n"
+      "  free(p);\n  char *q = p + 1;\n  return q == p;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  if (!p) { return 1; }\n"
+      "  char *q = p + 1;\n  int r = q == p;\n  free(p);\n"
+      "  return r;\n}\n");
+  add(S, 53, false, "compare_after_scope",
+      "int main(void) {\n"
+      "  int *p;\n"
+      "  { int x = 1; p = &x; }\n"
+      "  return p < p + 1;\n}\n",
+      "int main(void) {\n"
+      "  int x = 1; int *p;\n"
+      "  { p = &x; }\n"
+      "  return p < p + 1;\n}\n");
+
+  // 54: trap representation read through a non-character lvalue (2)
+  add(S, 54, false, "partial_pointer_copy",
+      // The paper's section 4.3.2 example: all pointer bytes must be
+      // copied before the pointer may be used.
+      "int main(void) {\n"
+      "  int x = 5, y = 6;\n"
+      "  int *p = &x, *q = &y;\n"
+      "  unsigned char *a = (unsigned char*)&p;\n"
+      "  unsigned char *b = (unsigned char*)&q;\n"
+      "  unsigned long i;\n"
+      "  for (i = 0; i < sizeof p - 1; i++) { a[i] = b[i]; }\n"
+      "  return *p;\n}\n",
+      "int main(void) {\n"
+      "  int x = 5, y = 6;\n"
+      "  int *p = &x, *q = &y;\n"
+      "  unsigned char *a = (unsigned char*)&p;\n"
+      "  unsigned char *b = (unsigned char*)&q;\n"
+      "  unsigned long i;\n"
+      "  for (i = 0; i < sizeof p; i++) { a[i] = b[i]; }\n"
+      "  return *p - 6;\n}\n");
+  add(S, 54, false, "short_from_uninit",
+      "int main(void) { short s; short t = s; return t; }\n",
+      "int main(void) { short s = 1; short t = s; return t - 1; }\n");
+
+  // 55: trap representation produced by a side effect (1 test)
+  add(S, 55, false, "store_indeterminate",
+      "int main(void) { int a; int b; b = a; return 0; }\n",
+      "int main(void) { int a = 1; int b; b = a; return b - 1; }\n");
+
+  // 57: lvalue of incomplete type used (1 test)
+  add(S, 57, false, "incomplete_array",
+      "extern int table[];\n"
+      "int main(void) { return table[0]; }\n",
+      "int table[] = { 0 };\n"
+      "int main(void) { return table[0]; }\n");
+
+  // 58: uninitialized register-eligible object used (2 tests)
+  add(S, 58, false, "register_int",
+      "int main(void) { register int r; return r; }\n",
+      "int main(void) { register int r = 0; return r; }\n");
+  add(S, 58, false, "never_addressed",
+      "int main(void) { int narrow; int wide = narrow * 2; return wide; }\n",
+      "int main(void) { int narrow = 3; int wide = narrow * 2;"
+      " return wide - 6; }\n");
+
+  // 60: converted function pointer called with incompatible type (2)
+  add(S, 60, false, "round_trip_missing",
+      "static int real(int a) { return a; }\n"
+      "int main(void) {\n"
+      "  void (*v)(void) = (void (*)(void))real;\n"
+      "  v();\n  return 0;\n}\n",
+      "static int real(int a) { return a; }\n"
+      "int main(void) {\n"
+      "  void (*v)(void) = (void (*)(void))real;\n"
+      "  int (*back)(int) = (int (*)(int))v;\n"
+      "  return back(2) - 2;\n}\n");
+  add(S, 60, false, "void_vs_int_return",
+      "static void quiet(void) { }\n"
+      "int main(void) { int (*f)(void) = (int (*)(void))quiet;"
+      " return f(); }\n",
+      "static int loud(void) { return 0; }\n"
+      "int main(void) { int (*f)(void) = loud; return f(); }\n");
+
+  // 61: exceptional condition during expression evaluation (2 tests)
+  add(S, 61, false, "nested_overflow",
+      "int main(void) { int big = 2000000000;"
+      " return (big + big) != 0; }\n",
+      "int main(void) { long big = 2000000000;"
+      " return (big + big) == 0; }\n");
+  add(S, 61, false, "min_div_minus_one",
+      "int main(void) { int m = -2147483647 - 1; int d = -1;"
+      " return m / d; }\n",
+      "int main(void) { int m = -2147483647; int d = -1;"
+      " return (m / d) != 2147483647; }\n");
+
+  // 62: unary * applied to an invalid value (2 tests)
+  add(S, 62, false, "freed",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  *p = 2;\n  free(p);\n  return *p;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  *p = 2;\n  int r = *p;\n  free(p);\n  return r - 2;\n}\n");
+  add(S, 62, false, "misaligned_forged",
+      "int main(void) { int a[2]; a[0] = 1; a[1] = 2;\n"
+      "  long addr = 3;\n"
+      "  int *p = (int*)addr;\n"
+      "  return *p;\n}\n",
+      "int main(void) { int a[2]; a[0] = 1; a[1] = 2;\n"
+      "  int *p = &a[1];\n"
+      "  return *p - 2;\n}\n");
+
+  // 63: subscripting a pointer that is not into an array (2 tests)
+  add(S, 63, false, "scalar_object",
+      "int main(void) { int x = 1; int *p = &x; return p[2]; }\n",
+      "int main(void) { int a[3]; a[2] = 1; int *p = a; return p[2]; }\n");
+  add(S, 63, false, "struct_field_overrun",
+      "struct pair { int a; int b; };\n"
+      "int main(void) { struct pair s; s.a = 1; s.b = 2;\n"
+      "  int *p = &s.a;\n  return p[2];\n}\n",
+      "struct pair { int a; int b; };\n"
+      "int main(void) { struct pair s; s.a = 1; s.b = 2;\n"
+      "  int *p = &s.a;\n  return p[0];\n}\n");
+
+  // 64: array subscript out of range though storage is accessible (2)
+  add(S, 64, false, "inner_dimension",
+      "int main(void) {\n"
+      "  int m[2][3]; int i, j;\n"
+      "  for (i = 0; i < 2; i++) { for (j = 0; j < 3; j++) {"
+      " m[i][j] = i + j; } }\n"
+      "  return m[0][4];\n}\n",
+      "int main(void) {\n"
+      "  int m[2][3]; int i, j;\n"
+      "  for (i = 0; i < 2; i++) { for (j = 0; j < 3; j++) {"
+      " m[i][j] = i + j; } }\n"
+      "  return m[1][1];\n}\n");
+  add(S, 64, false, "struct_array_field",
+      "struct wrap { int a[2]; int tail; };\n"
+      "int main(void) { struct wrap w; w.a[0] = 1; w.a[1] = 2;"
+      " w.tail = 9;\n  return w.a[2];\n}\n",
+      "struct wrap { int a[2]; int tail; };\n"
+      "int main(void) { struct wrap w; w.a[0] = 1; w.a[1] = 2;"
+      " w.tail = 9;\n  return w.tail;\n}\n");
+
+  // 65: assignment between inexactly overlapping objects (1 test)
+  add(S, 65, false, "shifted_struct",
+      "struct trio { int a; int b; int c; };\n"
+      "int main(void) {\n"
+      "  struct trio t; t.a = 1; t.b = 2; t.c = 3;\n"
+      "  struct trio *p = &t;\n"
+      "  struct trio *q = (struct trio*)((char*)&t + 4);\n"
+      "  *p = *q;\n"
+      "  return t.a;\n}\n",
+      "struct trio { int a; int b; int c; };\n"
+      "int main(void) {\n"
+      "  struct trio t; t.a = 1; t.b = 2; t.c = 3;\n"
+      "  struct trio u; u = t;\n"
+      "  return u.a - 1;\n}\n");
+
+  // 67: function defined incompatibly with the call (2 tests)
+  add(S, 67, false, "float_for_int",
+      "static int takes(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())takes;"
+      " return f(2.5); }\n",
+      "static int takes(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())takes;"
+      " return f(2) - 2; }\n");
+  add(S, 67, false, "pointer_for_int",
+      "static int takes(int a) { return a; }\n"
+      "int main(void) { int x; int (*f)() = (int (*)())takes;"
+      " return f(&x) != 0; }\n",
+      "static int takes(int a) { return a; }\n"
+      "int main(void) { int (*f)() = (int (*)())takes;"
+      " return f(5) - 5; }\n");
+
+  // 68: padding / unnamed-byte value used (1 test)
+  add(S, 68, false, "padding_read",
+      "struct padded { char c; int i; };\n"
+      "int main(void) {\n"
+      "  struct padded s; s.c = 'a'; s.i = 1;\n"
+      "  unsigned char *p = (unsigned char*)&s;\n"
+      "  int hidden = p[1];\n"
+      "  return hidden;\n}\n",
+      "struct padded { char c; int i; };\n"
+      "int main(void) {\n"
+      "  struct padded s; s.c = 'a'; s.i = 1;\n"
+      "  unsigned char *p = (unsigned char*)&s;\n"
+      "  int visible = p[0];\n"
+      "  return visible != 'a';\n}\n");
+
+  //===--- Library dynamic behaviors ------------------------------------===//
+
+  // 11: use after free (2 tests)
+  add(S, 11, false, "read",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(8);\n"
+      "  if (!p) { return 1; }\n"
+      "  p[0] = 'a';\n  free(p);\n  return p[0];\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(8);\n"
+      "  if (!p) { return 1; }\n"
+      "  p[0] = 'a';\n  int r = p[0];\n  free(p);\n"
+      "  return r - 'a';\n}\n");
+  add(S, 11, false, "write",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  free(p);\n  *p = 3;\n  return 0;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  int *p = (int*)malloc(sizeof(int));\n"
+      "  if (!p) { return 1; }\n"
+      "  *p = 3;\n  free(p);\n  return 0;\n}\n");
+
+  // 20: invalid argument to free (2 tests)
+  add(S, 20, false, "stack",
+      "#include <stdlib.h>\n"
+      "int main(void) { int x; free(&x); return 0; }\n",
+      "#include <stdlib.h>\n"
+      "int main(void) { int *p = (int*)malloc(sizeof(int));"
+      " if (!p) { return 1; } free(p); return 0; }\n");
+  add(S, 20, false, "interior",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(8);\n"
+      "  if (!p) { return 1; }\n"
+      "  free(p + 4);\n  return 0;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(8);\n"
+      "  if (!p) { return 1; }\n"
+      "  free(p);\n  return 0;\n}\n");
+
+  // 21: double free (2 tests)
+  add(S, 21, false, "direct",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  if (!p) { return 1; }\n"
+      "  free(p);\n  free(p);\n  return 0;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  if (!p) { return 1; }\n"
+      "  free(p);\n  p = NULL;\n  free(p);\n  return 0;\n}\n");
+  add(S, 21, false, "aliased",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  char *q = p;\n"
+      "  if (!p) { return 1; }\n"
+      "  free(p);\n  free(q);\n  return 0;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  char *q = (char*)malloc(4);\n"
+      "  if (!p || !q) { return 1; }\n"
+      "  free(p);\n  free(q);\n  return 0;\n}\n");
+
+  // 27: overlapping memcpy (2 tests)
+  add(S, 27, false, "forward",
+      "#include <string.h>\n"
+      "int main(void) {\n"
+      "  char buf[8] = \"abcdefg\";\n"
+      "  memcpy(buf + 1, buf, 4);\n"
+      "  return buf[1];\n}\n",
+      "#include <string.h>\n"
+      "int main(void) {\n"
+      "  char buf[8] = \"abcdefg\";\n"
+      "  memmove(buf + 1, buf, 4);\n"
+      "  return buf[1] - 'a';\n}\n");
+  add(S, 27, false, "same_start",
+      "#include <string.h>\n"
+      "int main(void) {\n"
+      "  int a[4]; a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;\n"
+      "  memcpy(a, a + 1, 2 * sizeof(int));\n"
+      "  return a[0];\n}\n",
+      "#include <string.h>\n"
+      "int main(void) {\n"
+      "  int a[4]; int b[4]; a[0] = 1; a[1] = 2; a[2] = 3; a[3] = 4;\n"
+      "  memcpy(b, a + 1, 2 * sizeof(int));\n"
+      "  return b[0] - 2;\n}\n");
+
+  // 34: printf argument type mismatch (2 tests)
+  add(S, 34, false, "int_for_string",
+      "#include <stdio.h>\n"
+      "int main(void) { printf(\"%s\\n\", 42); return 0; }\n",
+      "#include <stdio.h>\n"
+      "int main(void) { printf(\"%d\\n\", 42); return 0; }\n");
+  add(S, 34, false, "pointer_for_int",
+      "#include <stdio.h>\n"
+      "int main(void) { int x = 1; printf(\"%d\\n\", &x); return 0; }\n",
+      "#include <stdio.h>\n"
+      "int main(void) { int x = 1; printf(\"%p\\n\", (void*)&x);"
+      " return 0; }\n");
+
+  // 72: printf conversion with no argument (2 tests)
+  add(S, 72, false, "missing",
+      "#include <stdio.h>\n"
+      "int main(void) { printf(\"%d\\n\"); return 0; }\n",
+      "#include <stdio.h>\n"
+      "int main(void) { printf(\"%d\\n\", 7); return 0; }\n");
+  add(S, 72, false, "short_list",
+      "#include <stdio.h>\n"
+      "int main(void) { printf(\"%d %d\\n\", 1); return 0; }\n",
+      "#include <stdio.h>\n"
+      "int main(void) { printf(\"%d %d\\n\", 1, 2); return 0; }\n");
+
+  //===--- Statically detectable behaviors ------------------------------===//
+
+  // 40: array of non-positive length (2 tests)
+  add(S, 40, true, "zero",
+      "int main(void) { int a[0]; return 0; }\n",
+      "int main(void) { int a[1]; a[0] = 0; return a[0]; }\n");
+  add(S, 40, true, "negative",
+      "int main(void) { int a[-1]; return 0; }\n",
+      "int main(void) { int a[1]; a[0] = 0; return a[0]; }\n");
+
+  // 41: qualified function type (2 tests)
+  add(S, 41, true, "typedef_const",
+      "typedef int fn(void);\n"
+      "const fn croak;\n"
+      "int main(void) { return 0; }\n",
+      "typedef int fn(void);\n"
+      "fn croak;\n"
+      "int main(void) { return 0; }\n");
+  add(S, 41, true, "volatile_fn",
+      "typedef void handler(int);\n"
+      "volatile handler on_signal;\n"
+      "int main(void) { return 0; }\n",
+      "typedef void handler(int);\n"
+      "handler on_signal;\n"
+      "int main(void) { return 0; }\n");
+
+  // 42: use of a void expression's value (2 tests)
+  add(S, 42, true, "cast_back",
+      // The paper's section 5.2.1 example: (int)(void)5, even if
+      // unreachable, is statically undefined.
+      "int main(void) {\n"
+      "  if (0) { (int)(void)5; }\n"
+      "  return 0;\n}\n",
+      "int main(void) {\n"
+      "  if (0) { (void)5; }\n"
+      "  return 0;\n}\n");
+  add(S, 42, true, "void_call_value",
+      "static void quiet(void) { }\n"
+      "int main(void) { return (int)quiet(); }\n",
+      "static void quiet(void) { }\n"
+      "int main(void) { quiet(); return 0; }\n");
+
+  // 43: assignment to a const-qualified lvalue (2 tests)
+  add(S, 43, true, "direct",
+      "int main(void) { const int c = 1; c = 2; return c; }\n",
+      "int main(void) { int c = 1; c = 2; return c - 2; }\n");
+  add(S, 43, true, "compound",
+      "int main(void) { const int c = 1; c += 1; return c; }\n",
+      "int main(void) { int c = 1; c += 1; return c - 2; }\n");
+
+  // 44: incompatible redeclaration (2 tests)
+  add(S, 44, true, "params_differ",
+      "int f(int a);\n"
+      "int f(void);\n"
+      "int main(void) { return 0; }\n",
+      "int f(int a);\n"
+      "int f(int b);\n"
+      "int main(void) { return 0; }\n");
+  add(S, 44, true, "return_differs",
+      "int g(void);\n"
+      "double g(void);\n"
+      "int main(void) { return 0; }\n",
+      "double g(void);\n"
+      "double g(void);\n"
+      "int main(void) { return 0; }\n");
+
+  // 45: identifiers not distinct in significant characters (2 tests)
+  add(S, 45, true, "long_names",
+      "int aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+      "aaaaaaa_one = 1;\n"
+      "int aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"
+      "aaaaaaa_two = 2;\n"
+      "int main(void) { return 0; }\n",
+      "int short_name_one = 1;\n"
+      "int short_name_two = 2;\n"
+      "int main(void) { return 0; }\n");
+  add(S, 45, true, "long_functions",
+      "static int bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+      "bbbbbbbbbbbbb_first(void) { return 1; }\n"
+      "static int bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb"
+      "bbbbbbbbbbbbb_second(void) { return 2; }\n"
+      "int main(void) { return 0; }\n",
+      "static int first(void) { return 1; }\n"
+      "static int second(void) { return 2; }\n"
+      "int main(void) { return first() + second() - 3; }\n");
+
+  // 46: non-conforming signature of main (2 tests)
+  add(S, 46, true, "char_main",
+      "char main(void) { return 'a'; }\n",
+      "int main(void) { return 0; }\n");
+  add(S, 46, true, "extra_param",
+      "int main(int bonus) { return bonus * 0; }\n",
+      "int main(void) { return 0; }\n");
+
+  // 47: constant null dereference, even unreachable (2 tests)
+  add(S, 47, true, "unreachable",
+      "int main(void) {\n"
+      "  if (0) { *(char*)0; }\n"
+      "  return 0;\n}\n",
+      "int main(void) {\n"
+      "  char c = 'x';\n"
+      "  if (0) { *(&c); }\n"
+      "  return 0;\n}\n");
+  add(S, 47, true, "null_macro",
+      "#include <stddef.h>\n"
+      "int main(void) {\n"
+      "  if (0) { *(int*)NULL = 3; }\n"
+      "  return 0;\n}\n",
+      "#include <stddef.h>\n"
+      "int main(void) {\n"
+      "  int x = 0;\n"
+      "  if (0) { *(&x) = 3; }\n"
+      "  return x;\n}\n");
+
+  // 48: constant division by zero (2 tests)
+  add(S, 48, true, "unreachable",
+      "int main(void) {\n"
+      "  if (0) { int x = 5 / 0; (void)x; }\n"
+      "  return 0;\n}\n",
+      "int main(void) {\n"
+      "  if (0) { int x = 5 / 1; (void)x; }\n"
+      "  return 0;\n}\n");
+  add(S, 48, true, "modulo",
+      "int main(void) {\n"
+      "  if (0) { int x = 5 % 0; (void)x; }\n"
+      "  return 0;\n}\n",
+      "int main(void) {\n"
+      "  if (0) { int x = 5 % 2; (void)x; }\n"
+      "  return 0;\n}\n");
+
+  // 49: write through const-qualified view (2 tests)
+  add(S, 49, true, "cast_pointer",
+      "int main(void) {\n"
+      "  const int guard = 3;\n"
+      "  int *p = (int*)&guard;\n"
+      "  *p = 4;\n"
+      "  return guard;\n}\n",
+      "int main(void) {\n"
+      "  int guard = 3;\n"
+      "  int *p = &guard;\n"
+      "  *p = 4;\n"
+      "  return guard - 4;\n}\n");
+  add(S, 49, true, "const_global",
+      "const int limit = 10;\n"
+      "int main(void) { int *p = (int*)&limit; *p = 11; return limit; }\n",
+      "int limit = 10;\n"
+      "int main(void) { int *p = &limit; *p = 11; return limit - 11; }\n");
+
+  // 50: object with incomplete type (2 tests)
+  add(S, 50, true, "incomplete_struct",
+      "struct opaque;\n"
+      "int main(void) { struct opaque *p = 0; (void)p; return 0; }\n"
+      "struct opaque box;\n",
+      "struct opaque { int v; };\n"
+      "int main(void) { struct opaque *p = 0; (void)p; return 0; }\n"
+      "struct opaque box;\n");
+  add(S, 50, true, "local_incomplete",
+      "struct later;\n"
+      "int main(void) { struct later x; (void)&x; return 0; }\n",
+      "struct later { int v; };\n"
+      "int main(void) { struct later x; x.v = 0; return x.v; }\n");
+
+  // 51: return with a value from a void function (2 tests)
+  add(S, 51, true, "direct",
+      "static void speak(void) { return 5; }\n"
+      "int main(void) { speak(); return 0; }\n",
+      "static void speak(void) { return; }\n"
+      "int main(void) { speak(); return 0; }\n");
+  add(S, 51, true, "expression",
+      "static int helper(void) { return 1; }\n"
+      "static void relay(void) { return helper(); }\n"
+      "int main(void) { relay(); return 0; }\n",
+      "static int helper(void) { return 1; }\n"
+      "static void relay(void) { helper(); }\n"
+      "int main(void) { relay(); return 0; }\n");
+
+  // 153: integer constant too large for any type (2 tests)
+  add(S, 153, true, "huge_decimal",
+      "int main(void) { unsigned long long x ="
+      " 99999999999999999999999999; return x != 0; }\n",
+      "int main(void) { unsigned long long x ="
+      " 18446744073709551615ull; return x == 0; }\n");
+  add(S, 153, true, "huge_hex",
+      "int main(void) { unsigned long long x ="
+      " 0xffffffffffffffffff; return x != 0; }\n",
+      "int main(void) { unsigned long long x ="
+      " 0xffffffffffffffff; return x == 0; }\n");
+
+  // 165: struct with no named members (1 test)
+  add(S, 165, true, "empty_struct",
+      "struct nothing { };\n"
+      "int main(void) { struct nothing n; (void)&n; return 0; }\n",
+      "struct something { int v; };\n"
+      "int main(void) { struct something s; s.v = 0; return s.v; }\n");
+
+  // 167: enumerator value out of int range (1 test)
+  add(S, 167, true, "too_big",
+      "enum big { HUGE_ONE = 2147483648 };\n"
+      "int main(void) { return 0; }\n",
+      "enum big { BIG_ONE = 2147483647 };\n"
+      "int main(void) { return 0; }\n");
+
+  // 173: void parameter not alone (1 test)
+  add(S, 173, true, "void_and_int",
+      "static int odd(void, int b);\n"
+      "int main(void) { return 0; }\n",
+      "static int odd(int a, int b);\n"
+      "int main(void) { return 0; }\n");
+
+  // 183: return without expression where the value is used (2 tests)
+  add(S, 183, true, "empty_return",
+      "static int supply(void) { return; }\n"
+      "int main(void) { return supply(); }\n",
+      "static int supply(void) { return 0; }\n"
+      "int main(void) { return supply(); }\n");
+  add(S, 183, true, "branch_return",
+      "static int pick(int c) { if (c) { return 1; } return; }\n"
+      "int main(void) { return pick(0); }\n",
+      "static int pick(int c) { if (c) { return 1; } return 0; }\n"
+      "int main(void) { return pick(0); }\n");
+
+  // 184: too few arguments for a prototype (2 tests)
+  add(S, 184, true, "one_missing",
+      "static int need2(int a, int b) { return a + b; }\n"
+      "int main(void) { return need2(1); }\n",
+      "static int need2(int a, int b) { return a + b; }\n"
+      "int main(void) { return need2(1, 2) - 3; }\n");
+  add(S, 184, true, "all_missing",
+      "static int need1(int a) { return a; }\n"
+      "int main(void) { return need1(); }\n",
+      "static int need1(int a) { return a; }\n"
+      "int main(void) { return need1(4) - 4; }\n");
+
+  // 185: too many arguments for a non-variadic prototype (2 tests)
+  add(S, 185, true, "one_extra",
+      "static int need1(int a) { return a; }\n"
+      "int main(void) { return need1(1, 2); }\n",
+      "static int need1(int a) { return a; }\n"
+      "int main(void) { return need1(1) - 1; }\n");
+  add(S, 185, true, "several_extra",
+      "static int need0(void) { return 9; }\n"
+      "int main(void) { return need0(1, 2, 3); }\n",
+      "static int need0(void) { return 9; }\n"
+      "int main(void) { return need0() - 9; }\n");
+
+  // 188: incompatible pointer assignment without a cast (1 test)
+  add(S, 188, true, "long_from_int",
+      "int main(void) { int x = 1; long *p = &x; return p != 0; }\n",
+      "int main(void) { long x = 1; long *p = &x; return p == 0; }\n");
+
+  // 193: reserved identifier declared (1 test)
+  add(S, 193, true, "underscore_capital",
+      "int _Reserved_name = 1;\n"
+      "int main(void) { return 0; }\n",
+      "int ordinary_name = 1;\n"
+      "int main(void) { return 0; }\n");
+
+  // 209: #define of __STDC__ (1 test)
+  add(S, 209, true, "redefine_stdc",
+      "#define __STDC__ 2\n"
+      "int main(void) { return 0; }\n",
+      "#define MY_STDC 2\n"
+      "int main(void) { return 0; }\n");
+
+  //===--- Additional depth variants (178 tests total) --------------------===//
+
+  add(S, 1, false, "switch_denominator",
+      "int main(void) {\n"
+      "  int d; int sel = 2;\n"
+      "  switch (sel) { case 1: d = 1; break; default: d = 0; break; }\n"
+      "  return 8 / d;\n}\n",
+      "int main(void) {\n"
+      "  int d; int sel = 1;\n"
+      "  switch (sel) { case 1: d = 1; break; default: d = 0; break; }\n"
+      "  return 8 / d;\n}\n");
+  add(S, 3, false, "accumulate",
+      "int main(void) {\n"
+      "  int acc = 1; int i;\n"
+      "  for (i = 0; i < 40; i++) { acc = acc * 2; }\n"
+      "  return acc != 0;\n}\n",
+      "int main(void) {\n"
+      "  long acc = 1; int i;\n"
+      "  for (i = 0; i < 40; i++) { acc = acc * 2; }\n"
+      "  return acc == 0;\n}\n");
+  add(S, 6, false, "param",
+      "static int peek(int *p) { return *p; }\n"
+      "int main(void) { return peek(0); }\n",
+      "static int peek(int *p) { return *p; }\n"
+      "int main(void) { int x = 2; return peek(&x) - 2; }\n");
+  add(S, 9, false, "after_loop",
+      "int main(void) {\n"
+      "  int a[3]; int i; int sum = 0;\n"
+      "  for (i = 0; i < 3; i++) { a[i] = i; }\n"
+      "  sum = a[i];\n"
+      "  return sum;\n}\n",
+      "int main(void) {\n"
+      "  int a[3]; int i; int sum = 0;\n"
+      "  for (i = 0; i < 3; i++) { a[i] = i; }\n"
+      "  sum = a[i - 1];\n"
+      "  return sum - 2;\n}\n");
+  add(S, 10, false, "memset_len",
+      "#include <string.h>\n"
+      "int main(void) { char b[4]; memset(b, 0, 8); return b[0]; }\n",
+      "#include <string.h>\n"
+      "int main(void) { char b[8]; memset(b, 0, 8); return b[0]; }\n");
+  add(S, 11, false, "realloc_old",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  if (!p) { return 1; }\n"
+      "  char *q = (char*)realloc(p, 16);\n"
+      "  if (!q) { return 1; }\n"
+      "  p[0] = 'x';\n  free(q);\n  return 0;\n}\n",
+      "#include <stdlib.h>\n"
+      "int main(void) {\n"
+      "  char *p = (char*)malloc(4);\n"
+      "  if (!p) { return 1; }\n"
+      "  char *q = (char*)realloc(p, 16);\n"
+      "  if (!q) { return 1; }\n"
+      "  q[0] = 'x';\n  free(q);\n  return 0;\n}\n");
+  add(S, 16, false, "nested_assign",
+      "int main(void) { int x = 3; x = x++; return x; }\n",
+      "int main(void) { int x = 3; x = x + 1; return x - 4; }\n");
+  add(S, 19, false, "struct_field",
+      "struct pair { int a; int b; };\n"
+      "int main(void) { struct pair p; p.a = 1; return p.b; }\n",
+      "struct pair { int a; int b; };\n"
+      "int main(void) { struct pair p; p.a = 1; p.b = 2; return p.b - 2;"
+      " }\n");
+  add(S, 25, false, "short_pair_from_int",
+      "int main(void) { int v = 7; short *p = (short*)&v;"
+      " return p[0]; }\n",
+      "int main(void) { short v[2]; v[0] = 7; v[1] = 0;"
+      " short *p = v; return p[0] - 7; }\n");
+  add(S, 29, false, "struct_end",
+      "struct cell { int v; };\n"
+      "int main(void) {\n"
+      "  struct cell c; c.v = 1;\n"
+      "  struct cell *end = &c + 1;\n"
+      "  return end->v;\n}\n",
+      "struct cell { int v; };\n"
+      "int main(void) {\n"
+      "  struct cell c; c.v = 1;\n"
+      "  struct cell *end = &c + 1;\n"
+      "  return (end - 1)->v - 1;\n}\n");
+  add(S, 30, false, "passed_uninit",
+      "static int follow(int *p) { return *p; }\n"
+      "int main(void) { int *wild; return follow(wild); }\n",
+      "static int follow(int *p) { return *p; }\n"
+      "int main(void) { int x = 3; int *ok = &x;"
+      " return follow(ok) - 3; }\n");
+  add(S, 36, false, "nested_call",
+      "static int *inner(void) { int v = 2; return &v; }\n"
+      "static int *outer(void) { return inner(); }\n"
+      "int main(void) { return *outer(); }\n",
+      "static int shared = 2;\n"
+      "static int *inner(void) { return &shared; }\n"
+      "static int *outer(void) { return inner(); }\n"
+      "int main(void) { return *outer() - 2; }\n");
+
+  return S;
+}
+
+} // namespace
+
+const std::vector<TestCase> &cundef::undefSuite() {
+  static const std::vector<TestCase> Suite = buildSuite();
+  return Suite;
+}
+
+UndefSuiteStats cundef::undefSuiteStats() {
+  UndefSuiteStats Stats;
+  std::set<uint16_t> Behaviors, StaticB, DynamicB, CorePortable;
+  for (const TestCase &Test : undefSuite()) {
+    ++Stats.Tests;
+    Behaviors.insert(Test.CatalogId);
+    if (Test.StaticBehavior) {
+      StaticB.insert(Test.CatalogId);
+    } else {
+      DynamicB.insert(Test.CatalogId);
+      const CatalogEntry *Entry = catalogEntry(Test.CatalogId);
+      if (Entry && Entry->isDynamic() && !Entry->isLibrary() &&
+          !Entry->isImplSpecific())
+        CorePortable.insert(Test.CatalogId);
+    }
+  }
+  Stats.Behaviors = static_cast<unsigned>(Behaviors.size());
+  Stats.StaticBehaviors = static_cast<unsigned>(StaticB.size());
+  Stats.DynamicBehaviors = static_cast<unsigned>(DynamicB.size());
+  Stats.DynamicCorePortableCovered =
+      static_cast<unsigned>(CorePortable.size());
+  return Stats;
+}

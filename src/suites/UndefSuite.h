@@ -1,0 +1,42 @@
+//===- suites/UndefSuite.h - The custom undefinedness suite ------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The custom undefinedness test suite of paper section 5.2: 178 tests
+/// covering 70 distinct catalog behaviors -- every one of the 42
+/// dynamically undefined, non-library, non-implementation-specific
+/// behaviors has at least one test (many have several), plus library
+/// behaviors and 22 statically detectable behaviors. Each test is a
+/// separate program (one behavior per program) paired with a defined
+/// control, exactly as the paper prescribes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUITES_UNDEFSUITE_H
+#define CUNDEF_SUITES_UNDEFSUITE_H
+
+#include "suites/TestCase.h"
+
+namespace cundef {
+
+/// The full suite (stable order, grouped by catalog id).
+const std::vector<TestCase> &undefSuite();
+
+/// Summary statistics the paper reports (and tests assert).
+struct UndefSuiteStats {
+  unsigned Tests = 0;
+  unsigned Behaviors = 0;
+  unsigned StaticBehaviors = 0;
+  unsigned DynamicBehaviors = 0;
+  /// Dynamic, core-language, portable behaviors covered (paper: 42).
+  unsigned DynamicCorePortableCovered = 0;
+};
+
+UndefSuiteStats undefSuiteStats();
+
+} // namespace cundef
+
+#endif // CUNDEF_SUITES_UNDEFSUITE_H

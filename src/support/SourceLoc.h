@@ -1,0 +1,60 @@
+//===- support/SourceLoc.h - Source locations -----------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+// Reproduction of "Defining the Undefinedness of C" (Ellison & Rosu).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight source coordinates threaded from the lexer through every
+/// later stage so that undefinedness reports can name a function and line
+/// exactly as kcc does (paper section 3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUPPORT_SOURCELOC_H
+#define CUNDEF_SUPPORT_SOURCELOC_H
+
+#include <cstdint>
+#include <string>
+
+namespace cundef {
+
+/// A position in a (possibly virtual) source file.
+///
+/// Files are identified by a small integer handle issued by the
+/// preprocessor; line and column are 1-based. A default-constructed
+/// location is invalid and prints as "<unknown>".
+struct SourceLoc {
+  uint32_t File = 0;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(uint32_t File, uint32_t Line, uint32_t Col)
+      : File(File), Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  bool operator==(const SourceLoc &Other) const {
+    return File == Other.File && Line == Other.Line && Col == Other.Col;
+  }
+  bool operator!=(const SourceLoc &Other) const { return !(*this == Other); }
+};
+
+/// A half-open range of source text, used for diagnostics that underline
+/// a whole construct rather than a single token.
+struct SourceRange {
+  SourceLoc Begin;
+  SourceLoc End;
+
+  SourceRange() = default;
+  SourceRange(SourceLoc Begin, SourceLoc End) : Begin(Begin), End(End) {}
+  explicit SourceRange(SourceLoc Loc) : Begin(Loc), End(Loc) {}
+
+  bool isValid() const { return Begin.isValid(); }
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_SUPPORT_SOURCELOC_H

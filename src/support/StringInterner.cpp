@@ -1,0 +1,11 @@
+//===- support/StringInterner.cpp - Symbol interning ---------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringInterner.h"
+
+// StringInterner is header-only today; this file anchors the module in
+// the build so the library layout mirrors one translation unit per
+// header, and gives the class room to grow non-inline members.

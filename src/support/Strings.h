@@ -1,0 +1,47 @@
+//===- support/Strings.h - String helpers --------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string and a few predicates the
+/// lexer and report printers share.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUPPORT_STRINGS_H
+#define CUNDEF_SUPPORT_STRINGS_H
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace cundef {
+
+/// Formats like printf but returns the result as a std::string.
+std::string strFormat(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// vprintf counterpart of strFormat.
+std::string strFormatV(const char *Fmt, va_list Args);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> splitString(const std::string &Text, char Sep);
+
+/// Returns true if \p Text starts with \p Prefix.
+bool startsWith(const std::string &Text, const std::string &Prefix);
+
+/// Escapes a string for display inside diagnostics (non-printable bytes
+/// become \xNN, quotes and backslashes are backslash-escaped).
+std::string escapeForDisplay(const std::string &Text);
+
+/// Pads or truncates \p Text to exactly \p Width columns (left-aligned).
+std::string padRight(const std::string &Text, size_t Width);
+
+/// Right-aligns \p Text in a field of \p Width columns.
+std::string padLeft(const std::string &Text, size_t Width);
+
+} // namespace cundef
+
+#endif // CUNDEF_SUPPORT_STRINGS_H

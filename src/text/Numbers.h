@@ -1,0 +1,124 @@
+//===- text/Numbers.h - Numeric literal decoding ---------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes C integer and floating constant spellings. Shared by the
+/// preprocessor's #if evaluator and the parser (which additionally uses
+/// the radix/suffix information to pick the constant's type per
+/// C11 6.4.4.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_TEXT_NUMBERS_H
+#define CUNDEF_TEXT_NUMBERS_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace cundef {
+
+/// Result of decoding an integer constant spelling.
+struct DecodedInt {
+  uint64_t Value = 0;
+  bool Unsigned = false;   ///< had a u/U suffix
+  unsigned LongCount = 0;  ///< number of l/L (0, 1, or 2)
+  unsigned Radix = 10;
+  bool Overflowed = false; ///< literal does not fit in 64 bits
+  bool Valid = true;
+};
+
+/// Decodes \p Spelling (e.g. "0x1fUL", "017", "42"). Never fails hard;
+/// sets Valid=false on malformed input.
+inline DecodedInt decodeIntLiteral(const std::string &Spelling) {
+  DecodedInt Result;
+  size_t I = 0;
+  if (Spelling.size() >= 2 && Spelling[0] == '0' &&
+      (Spelling[1] == 'x' || Spelling[1] == 'X')) {
+    Result.Radix = 16;
+    I = 2;
+  } else if (Spelling.size() >= 2 && Spelling[0] == '0' &&
+             Spelling[1] >= '0' && Spelling[1] <= '7') {
+    Result.Radix = 8;
+    I = 1;
+  }
+  bool AnyDigit = false;
+  for (; I < Spelling.size(); ++I) {
+    char C = Spelling[I];
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<unsigned>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<unsigned>(C - 'a') + 10;
+    else if (C >= 'A' && C <= 'F')
+      Digit = static_cast<unsigned>(C - 'A') + 10;
+    else
+      break;
+    if (Digit >= Result.Radix) {
+      Result.Valid = false;
+      return Result;
+    }
+    AnyDigit = true;
+    uint64_t Next = Result.Value * Result.Radix + Digit;
+    if (Next / Result.Radix != Result.Value ||
+        (Result.Value != 0 && Next <= Result.Value && Digit != 0))
+      Result.Overflowed = true;
+    Result.Value = Next;
+  }
+  if (!AnyDigit && !(Spelling == "0")) {
+    // "0" alone parsed as octal prefix path never reaches here; treat a
+    // bare "0" specially below.
+    if (Spelling.empty() || Spelling[0] != '0') {
+      Result.Valid = false;
+      return Result;
+    }
+  }
+  // Suffixes.
+  for (; I < Spelling.size(); ++I) {
+    char C = Spelling[I];
+    if (C == 'u' || C == 'U')
+      Result.Unsigned = true;
+    else if (C == 'l' || C == 'L')
+      ++Result.LongCount;
+    else {
+      Result.Valid = false;
+      return Result;
+    }
+  }
+  if (Result.LongCount > 2)
+    Result.Valid = false;
+  return Result;
+}
+
+/// Result of decoding a floating constant spelling.
+struct DecodedFloat {
+  double Value = 0.0;
+  bool IsFloat = false; ///< had an f/F suffix
+  bool Valid = true;
+};
+
+/// Decodes a C floating constant spelling such as "1.5e3f".
+inline DecodedFloat decodeFloatLiteral(const std::string &Spelling) {
+  DecodedFloat Result;
+  std::string Body = Spelling;
+  if (!Body.empty()) {
+    char Last = Body.back();
+    if (Last == 'f' || Last == 'F') {
+      Result.IsFloat = true;
+      Body.pop_back();
+    } else if (Last == 'l' || Last == 'L') {
+      Body.pop_back();
+    }
+  }
+  char *End = nullptr;
+  Result.Value = std::strtod(Body.c_str(), &End);
+  Result.Valid = End && *End == '\0' && !Body.empty();
+  return Result;
+}
+
+} // namespace cundef
+
+#endif // CUNDEF_TEXT_NUMBERS_H

@@ -1,0 +1,10 @@
+//===- types/TargetConfig.cpp - Implementation-defined parameters --------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "types/TargetConfig.h"
+
+// TargetConfig is a plain aggregate; this file anchors the module in the
+// build.

@@ -1,0 +1,66 @@
+//===- types/TargetConfig.h - Implementation-defined parameters -*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The C standard leaves many parameters implementation-defined (paper
+/// section 2.5.1: whether a program is undefined can depend on them, the
+/// paper's example being malloc(4) with 8-byte ints). All such choices
+/// are collected here so the semantics can be instantiated for different
+/// implementations, and so tests can demonstrate definedness flipping
+/// with the configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_TYPES_TARGETCONFIG_H
+#define CUNDEF_TYPES_TARGETCONFIG_H
+
+#include <cstdint>
+
+namespace cundef {
+
+/// Implementation-defined type sizes and behaviors. Sizes are in bytes;
+/// scalar alignment equals size (capped at MaxAlign).
+struct TargetConfig {
+  unsigned ShortSize = 2;
+  unsigned IntSize = 4;
+  unsigned LongSize = 8;
+  unsigned LongLongSize = 8;
+  unsigned PointerSize = 8;
+  unsigned FloatSize = 4;
+  unsigned DoubleSize = 8;
+  unsigned BoolSize = 1;
+  unsigned MaxAlign = 8;
+  /// Whether plain char behaves as signed char (C11 6.2.5p15).
+  bool CharIsSigned = true;
+  /// Whether signed right-shift of a negative value is an arithmetic
+  /// shift (implementation-defined, C11 6.5.7p5).
+  bool ArithmeticRightShift = true;
+
+  /// The common LP64 configuration (x86_64 Linux; the paper's platform).
+  static TargetConfig lp64() { return TargetConfig(); }
+
+  /// ILP32 (32-bit): long and pointers are 4 bytes.
+  static TargetConfig ilp32() {
+    TargetConfig Config;
+    Config.LongSize = 4;
+    Config.PointerSize = 4;
+    Config.MaxAlign = 4;
+    return Config;
+  }
+
+  /// An exotic configuration with 8-byte int, used to reproduce the
+  /// paper's section 2.5.1 example where `int *p = malloc(4); *p = ...`
+  /// is defined with 4-byte int but undefined with 8-byte int.
+  static TargetConfig wideInt() {
+    TargetConfig Config;
+    Config.IntSize = 8;
+    return Config;
+  }
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_TYPES_TARGETCONFIG_H

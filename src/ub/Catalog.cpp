@@ -1,0 +1,346 @@
+//===- ub/Catalog.cpp - The catalog of C undefined behaviors ---------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+//
+// Row order: ids 1-39 are the dynamically detected kinds (UbKind), ids
+// 40-51 the statically detected kinds, ids 52-69 further core-language
+// dynamic behaviors, ids 70-141 library dynamic behaviors, and ids
+// 142-221 statically detectable behaviors. The aggregate counts
+// reproduce the paper's section 5.2.1: 221 total, 92 static, 129
+// dynamic, and exactly 42 dynamic non-library non-implementation-
+// specific behaviors (the ones the custom suite guarantees a test for).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ub/Catalog.h"
+
+#include <cassert>
+
+using namespace cundef;
+
+const char *cundef::ubShortDescription(UbKind Kind) {
+  const CatalogEntry *Entry = catalogEntry(ubCode(Kind));
+  return Entry ? Entry->Description : "Unknown undefined behavior.";
+}
+
+const char *cundef::julietClassName(JulietClass Class) {
+  switch (Class) {
+  case JulietClass::InvalidPointer:      return "Use of invalid pointer";
+  case JulietClass::DivideByZero:        return "Division by zero";
+  case JulietClass::BadFree:             return "Bad argument to free()";
+  case JulietClass::UninitializedMemory: return "Uninitialized memory";
+  case JulietClass::BadFunctionCall:     return "Bad function call";
+  case JulietClass::IntegerOverflow:     return "Integer overflow";
+  }
+  return "?";
+}
+
+bool cundef::julietClassOf(UbKind Kind, JulietClass &Class) {
+  switch (Kind) {
+  case UbKind::DerefNullPointer:
+  case UbKind::DerefVoidPointer:
+  case UbKind::DerefDanglingPointer:
+  case UbKind::ReadOutOfBounds:
+  case UbKind::WriteOutOfBounds:
+  case UbKind::UseAfterFree:
+  case UbKind::AccessDeadObject:
+  case UbKind::PointerArithOutOfBounds:
+  case UbKind::DerefOnePastEnd:
+  case UbKind::UninitializedPointerUse:
+  case UbKind::StackAddressEscape:
+  case UbKind::DerefNullConstant:
+  case UbKind::StringFunctionBadArgument:
+  case UbKind::MemcpyOverlap:
+    Class = JulietClass::InvalidPointer;
+    return true;
+  case UbKind::DivisionByZero:
+  case UbKind::ModuloByZero:
+  case UbKind::DivByZeroConstant:
+    Class = JulietClass::DivideByZero;
+    return true;
+  case UbKind::FreeInvalidPointer:
+  case UbKind::DoubleFree:
+  case UbKind::ReallocInvalidPointer:
+    Class = JulietClass::BadFree;
+    return true;
+  case UbKind::ReadIndeterminateValue:
+    Class = JulietClass::UninitializedMemory;
+    return true;
+  case UbKind::CallTypeMismatch:
+  case UbKind::CallArityMismatch:
+  case UbKind::VaArgTypeMismatch:
+    Class = JulietClass::BadFunctionCall;
+    return true;
+  case UbKind::SignedOverflow:
+  case UbKind::ShiftExponentOutOfRange:
+  case UbKind::ShiftOfNegative:
+  case UbKind::NegativeShiftCount:
+  case UbKind::IntegerOverflowInConversion:
+    Class = JulietClass::IntegerOverflow;
+    return true;
+  default:
+    return false;
+  }
+}
+
+// clang-format off
+static const CatalogEntry CatalogRows[] = {
+  // --- Dynamically detected kinds (UbKind ids 1-39) --------------------
+  {  1, "6.5.5:5",    'D', '-', '-', "Division by zero."},
+  {  2, "6.5.5:5",    'D', '-', '-', "Remainder by zero."},
+  {  3, "6.5:5",      'D', '-', '-', "Signed integer overflow in arithmetic."},
+  {  4, "6.5.7:3",    'D', '-', '-', "Shift count negative or at least the width of the promoted operand."},
+  {  5, "6.5.7:4",    'D', '-', '-', "Left shift of a negative value, or shifted value not representable."},
+  {  6, "6.5.3.2:4",  'D', '-', '-', "Dereference of a null pointer."},
+  {  7, "6.3.2.1:1",  'D', '-', '-', "Dereference of a pointer to void."},
+  {  8, "6.5.3.2:4",  'D', '-', '-', "Dereference of a dangling pointer (object no longer live)."},
+  {  9, "6.5.6:8",    'D', '-', '-', "Read outside the bounds of an object."},
+  { 10, "6.5.6:8",    'D', '-', '-', "Write outside the bounds of an object."},
+  { 11, "7.22.3:1",   'D', 'L', '-', "Use of allocated storage after it has been freed."},
+  { 12, "6.2.4:2",    'D', '-', '-', "Access to an object whose lifetime has ended."},
+  { 13, "6.5.6:8",    'D', '-', '-', "Pointer arithmetic producing a pointer not into (or one past) the same object."},
+  { 14, "6.5.6:9",    'D', '-', '-', "Subtraction of pointers into different objects."},
+  { 15, "6.5.8:5",    'D', '-', '-', "Relational comparison of pointers into different objects."},
+  { 16, "6.5:2",      'D', '-', '-', "Unsequenced side effect on scalar\nobject with side effect of same object."},
+  { 17, "6.7.3:6",    'D', '-', '-', "Write to an object defined const through a non-const lvalue."},
+  { 18, "6.4.5:7",    'D', '-', '-', "Attempt to modify a string literal."},
+  { 19, "6.2.6.1:5",  'D', '-', '-', "Use of an indeterminate (uninitialized) value."},
+  { 20, "7.22.3.3:2", 'D', 'L', '-', "Argument to free() is not a pointer returned by an allocation function."},
+  { 21, "7.22.3.3:2", 'D', 'L', '-', "Pointer passed to free() twice (double free)."},
+  { 22, "6.5.2.2:9",  'D', '-', '-', "Function called through a pointer of incompatible type."},
+  { 23, "6.5.2.2:6",  'D', '-', '-', "Function called with the wrong number of arguments."},
+  { 24, "6.9.1:12",   'D', '-', '-', "Value of a function call used although the function returned without a value."},
+  { 25, "6.5:7",      'D', '-', '-', "Object accessed through an lvalue of a disallowed (incompatible) type."},
+  { 26, "6.3.1.4:1",  'D', '-', '-', "Conversion of a floating value to an integer type that cannot represent it."},
+  { 27, "7.24.2.1:2", 'D', 'L', '-', "memcpy() between overlapping objects."},
+  { 28, "6.5.6:8",    'D', '-', '-', "Arithmetic on a null pointer."},
+  { 29, "6.5.6:8",    'D', '-', '-', "Dereference of a one-past-the-end pointer."},
+  { 30, "6.3.2.1:2",  'D', '-', '-', "Use of an uninitialized pointer value."},
+  { 31, "6.3.1.3:3",  'D', '-', 'I', "Integer conversion producing a value outside the representable range (trapping implementation)."},
+  { 32, "6.5.7:3",    'D', '-', '-', "Shift by a negative count."},
+  { 33, "7.24.1:2",   'D', 'L', '-', "Invalid (non-string or out-of-bounds) argument to a string function."},
+  { 34, "7.16.1.1:2", 'D', 'L', '-', "Variadic argument accessed with an incompatible type (printf-style)."},
+  { 35, "5.2.4.1",    'D', '-', 'I', "Program exceeds an implementation limit (call depth)."},
+  { 36, "6.2.4:2",    'D', '-', '-', "Address of an automatic object used after its function returned."},
+  { 37, "7.22.3.5:3", 'D', 'L', '-', "Argument to realloc() does not match a live allocation."},
+  { 38, "7.22.3:1",   'D', 'L', '-', "Dereference of the result of a zero-size allocation."},
+  { 39, "6.2.6.2:5",  'D', '-', 'I', "Value comparison relying on padding bytes or trap patterns."},
+  // --- Statically detected kinds (UbKind ids 40-51) --------------------
+  { 40, "6.7.6.2:1",  'S', '-', '-', "Array declared with non-positive length."},
+  { 41, "6.7.3:9",    'S', '-', '-', "Function type specified with type qualifiers."},
+  { 42, "6.3.2.2:1",  'S', '-', '-', "Value of a void expression used or converted."},
+  { 43, "6.5.16:2",   'S', '-', '-', "Assignment to an lvalue with const-qualified type."},
+  { 44, "6.2.7:2",    'S', '-', '-', "Declarations of the same entity with incompatible types."},
+  { 45, "6.4.2:6",    'S', '-', '-', "Identifiers that differ only in non-significant characters."},
+  { 46, "5.1.2.2.1:1",'S', '-', 'I', "main declared with a non-conforming signature."},
+  { 47, "6.5.3.2:4",  'S', '-', '-', "Dereference of a constant null pointer expression."},
+  { 48, "6.5.5:5",    'S', '-', '-', "Division by a constant zero."},
+  { 49, "6.7.3:6",    'S', '-', '-', "Write through a const-qualified type visible at translation time."},
+  { 50, "6.7:7",      'S', '-', '-', "Object declared with an incomplete type."},
+  { 51, "6.8.6.4:1",  'S', '-', '-', "return with an expression in a function returning void."},
+  // --- Further core-language dynamic behaviors (52-69) -----------------
+  { 52, "6.2.4:2",    'D', '-', '-', "An object is referred to outside of its lifetime."},
+  { 53, "6.2.4:2",    'D', '-', '-', "The value of a pointer to an object whose lifetime has ended is used."},
+  { 54, "6.2.6.1:5",  'D', '-', '-', "A trap representation is read by an lvalue expression that does not have character type."},
+  { 55, "6.2.6.1:5",  'D', '-', '-', "A trap representation is produced by a side effect through an lvalue without character type."},
+  { 56, "6.3.1.5:1",  'D', '-', 'I', "Demotion of a real floating value that cannot be represented in the new type."},
+  { 57, "6.3.2.1:1",  'D', '-', '-', "An lvalue with incomplete type is used where the value of an object is required."},
+  { 58, "6.3.2.1:2",  'D', '-', '-', "An uninitialized automatic object that could have been declared register is used."},
+  { 59, "6.3.2.3:7",  'D', '-', 'I', "A converted pointer is incorrectly aligned for the referenced type."},
+  { 60, "6.3.2.3:8",  'D', '-', '-', "A converted function pointer is used to call a function of incompatible type."},
+  { 61, "6.5:5",      'D', '-', '-', "An exceptional condition occurs during the evaluation of an expression."},
+  { 62, "6.5.3.2:4",  'D', '-', '-', "The unary * operator is applied to an invalid pointer value."},
+  { 63, "6.5.6:8",    'D', '-', '-', "Array subscripting applies to a pointer that does not point into an array object."},
+  { 64, "6.5.6:8",    'D', '-', '-', "An array subscript is out of range, even if the storage appears accessible."},
+  { 65, "6.5.16.1:3", 'D', '-', '-', "An object is assigned to an inexactly overlapping or incompatible exactly overlapping object."},
+  { 66, "6.7.6.2:5",  'D', '-', 'I', "A variable length array has a non-positive size at evaluation time."},
+  { 67, "6.5.2.2:9",  'D', '-', '-', "A function is defined with a type incompatible with the (pointed-to) type of the call."},
+  { 68, "6.2.6.1:6",  'D', '-', '-', "The value of a structure padding byte or unnamed union member is used."},
+  { 69, "6.8.6.4:4",  'D', '-', 'I', "A longjmp-style non-local transfer references a dead activation (modelled)."},
+  // --- Library dynamic behaviors (70-141) -------------------------------
+  { 70, "7.1.4:1",    'D', 'L', '-', "A library function is called with an invalid argument value."},
+  { 71, "7.1.4:1",    'D', 'L', '-', "A library function is called with a null pointer where an object is required."},
+  { 72, "7.21.6.1:9", 'D', 'L', '-', "printf conversion specification has no corresponding argument."},
+  { 73, "7.21.6.1:9", 'D', 'L', '-', "printf argument type does not match its conversion specification."},
+  { 74, "7.21.6.1:5", 'D', 'L', '-', "printf field width or precision argument is not int."},
+  { 75, "7.22.3.3:2", 'D', 'L', '-', "free() argument points into, not at the start of, an allocated object."},
+  { 76, "7.22.3.5:3", 'D', 'L', '-', "realloc() argument was freed by an earlier call."},
+  { 77, "7.24.2.1:2", 'D', 'L', '-', "memcpy source or destination does not point to a sufficiently large object."},
+  { 78, "7.24.2.2:2", 'D', 'L', '-', "memmove source or destination is not a valid object pointer."},
+  { 79, "7.24.2.3:2", 'D', 'L', '-', "strcpy destination array is too small for the source string."},
+  { 80, "7.24.2.3:2", 'D', 'L', '-', "strcpy source is not a null-terminated string."},
+  { 81, "7.24.3.1:2", 'D', 'L', '-', "strcat destination is not a null-terminated string or is too small."},
+  { 82, "7.24.4.2:2", 'D', 'L', '-', "strcmp argument is not a null-terminated string."},
+  { 83, "7.24.5.2:2", 'D', 'L', '-', "strchr argument is not a null-terminated string."},
+  { 84, "7.24.6.1:2", 'D', 'L', '-', "strlen argument is not a null-terminated string."},
+  { 85, "7.24.6.1:2", 'D', 'L', '-', "strlen reads past the end of the argument object."},
+  { 86, "7.21.7.3:2", 'D', 'L', '-', "A read is performed on a stream after writing without an intervening seek."},
+  { 87, "7.21.5.3:7", 'D', 'L', '-', "An output operation targets a stream opened only for reading."},
+  { 88, "7.21.3:4",   'D', 'L', '-', "A FILE object is used after the stream was closed."},
+  { 89, "7.22.1.4:5", 'D', 'L', '-', "strtol-family endptr result is used although no conversion occurred."},
+  { 90, "7.22.2.1:2", 'D', 'L', '-', "rand()-derived value is reduced with a modulus of zero."},
+  { 91, "7.22.4.6:2", 'D', 'L', '-', "getenv result string is modified by the program."},
+  { 92, "7.22.5.1:4", 'D', 'L', '-', "bsearch comparison function modifies the array being searched."},
+  { 93, "7.22.5.2:4", 'D', 'L', '-', "qsort comparison function returns inconsistent results."},
+  { 94, "7.22.5:1",   'D', 'L', '-', "bsearch/qsort base pointer does not point to the start of an array object."},
+  { 95, "7.16.1.1:2", 'D', 'L', '-', "va_arg is invoked with a type incompatible with the actual next argument."},
+  { 96, "7.16.1.4:4", 'D', 'L', '-', "va_start is invoked twice without an intervening va_end."},
+  { 97, "7.16.1:3",   'D', 'L', '-', "A va_list is used after va_end."},
+  { 98, "7.16.1.1:3", 'D', 'L', '-', "va_arg is invoked when there is no next argument."},
+  { 99, "7.13.2.1:2", 'D', 'L', '-', "longjmp references an environment whose function has returned."},
+  {100, "7.13.2.1:2", 'D', 'L', '-', "longjmp is called with no prior matching setjmp invocation."},
+  {101, "7.21.6.2:10",'D', 'L', '-', "scanf result pointer argument has an incompatible type."},
+  {102, "7.21.6.2:12",'D', 'L', '-', "scanf receiving object is too small for the converted input."},
+  {103, "7.22.3.4:2", 'D', 'L', '-', "malloc size computation wrapped around, allocating too little storage."},
+  {104, "7.24.2.4:2", 'D', 'L', '-', "strncpy source and destination overlap."},
+  {105, "7.24.2.1:2", 'D', 'L', '-', "memset length exceeds the destination object size."},
+  {106, "7.24.4.4:2", 'D', 'L', '-', "memcmp operand extends past the end of its object."},
+  {107, "7.21.7.6:2", 'D', 'L', '-', "ungetc pushback is relied upon after a repositioning operation."},
+  {108, "7.22.4.4:2", 'D', 'L', '-', "exit() is called more than once (re-entered during atexit handling)."},
+  {109, "7.22.4.4:3", 'D', 'L', '-', "An atexit handler calls exit()."},
+  {110, "7.21.4.1:2", 'D', 'L', '-', "remove() is applied to an open file (modelled)."},
+  {111, "7.26.2:1",   'D', 'L', '-', "A signal handler calls a non-async-signal-safe library function."},
+  {112, "7.14.1.1:3", 'D', 'L', '-', "A signal handler refers to an object with static storage duration that is not volatile sig_atomic_t."},
+  {113, "7.14.1.1:5", 'D', 'L', '-', "A computational-exception signal handler returns normally."},
+  {114, "7.21.6.1:2", 'D', 'L', '-', "printf format string is not a valid multibyte character sequence."},
+  {115, "7.21.6.1:4", 'D', 'L', '-', "printf %n target does not point to a writable int object."},
+  {116, "7.22.1.3:1", 'D', 'L', '-', "strtod endptr is dereferenced although conversion consumed no characters."},
+  {117, "7.24.5.7:2", 'D', 'L', '-', "strstr needle is not a null-terminated string."},
+  {118, "7.24.5.8:2", 'D', 'L', '-', "strtok is called with a null first argument before any non-null call."},
+  {119, "7.22.3.2:2", 'D', 'L', '-', "calloc element size and count multiplication overflows (modelled)."},
+  {120, "7.21.7.2:2", 'D', 'L', '-', "gets-style read overflows the destination buffer."},
+  {121, "7.24.6.2:2", 'D', 'L', '-', "memset value argument is converted to unsigned char with loss (trap model)."},
+  {122, "7.21.6.3:2", 'D', 'L', '-', "vprintf is called with a va_list that was already consumed."},
+  {123, "7.22.5.1:2", 'D', 'L', '-', "bsearch array is not sorted according to the comparison function."},
+  {124, "7.16.1.4:3", 'D', 'L', '-', "va_start parameter parmN is declared register or with array/function type."},
+  {125, "7.21.5.2:2", 'D', 'L', '-', "fflush is applied to an input stream."},
+  {126, "7.22.4.1:2", 'D', 'L', '-', "abort() re-raised from its own handler loops indefinitely (modelled)."},
+  {127, "7.21.9.2:4", 'D', 'L', '-', "fseek offset is not a value previously returned by ftell (text stream)."},
+  {128, "7.24.1:2",   'D', 'L', '-', "A string function receives a pointer one past the end as its start."},
+  {129, "7.22.3.3:2", 'D', 'L', '-', "free() argument points at a static-storage object."},
+  {130, "7.22.3.3:2", 'D', 'L', '-', "free() argument points at an automatic-storage object."},
+  {131, "7.21.6.1:8", 'D', 'L', '-', "printf %s argument is not a pointer to a null-terminated string."},
+  {132, "7.21.6.1:8", 'D', 'L', '-', "printf %p argument is not a pointer to void (strictly)."},
+  {133, "7.24.2.2:2", 'D', 'L', '-', "memmove length exceeds the size of either object."},
+  {134, "7.22.1.2:2", 'D', 'L', '-', "atoi argument does not represent an integer (result unspecified; trap model)."},
+  {135, "7.24.4.5:2", 'D', 'L', '-', "strncmp length extends past a non-terminated operand."},
+  {136, "7.21.1:6",   'D', 'L', '-', "A stream is used where its FILE pointer value was copied by value."},
+  {137, "7.22.3.5:3", 'D', 'L', '-', "realloc() argument points into the middle of an allocation."},
+  {138, "7.24.3.2:2", 'D', 'L', '-', "strncat writes past the end of the destination array."},
+  {139, "7.21.6.5:2", 'D', 'L', '-', "snprintf output and format/argument objects overlap."},
+  {140, "7.22.5.2:2", 'D', 'L', '-', "qsort element size does not match the actual element type."},
+  {141, "7.16.2:1",   'D', 'L', '-', "A va_list is passed to a function and also used by the caller afterwards."},
+  // --- Statically detectable behaviors (142-221) -------------------------
+  {142, "5.1.1.2:1",  'S', '-', '-', "A non-empty source file does not end in a newline or ends in a backslash."},
+  {143, "5.2.1:1",    'S', '-', 'I', "A character not in the basic source character set appears outside a literal."},
+  {144, "6.10.1:4",   'S', '-', '-', "The token 'defined' is generated during expansion of a #if expression."},
+  {145, "6.10.2:4",   'S', '-', '-', "A #include directive does not match one of the header-name forms."},
+  {146, "6.10.3:11",  'S', '-', '-', "A macro argument list is terminated by end of file."},
+  {147, "6.10.3.2:2", 'S', '-', '-', "The # operator result is not a valid string literal."},
+  {148, "6.10.3.3:3", 'S', '-', '-', "The ## operator result is not a valid preprocessing token."},
+  {149, "6.10.4:3",   'S', '-', '-', "The #line directive specifies line zero or a number over 2147483647."},
+  {150, "6.10.6:1",   'S', '-', 'I', "A non-STDC #pragma causes translation to fail (modelled as undefined)."},
+  {151, "6.10.8:4",   'S', '-', '-', "A predefined macro name (__LINE__ etc.) is defined or undefined."},
+  {152, "6.4.7:3",    'S', '-', '-', "A header name contains a ', \\, \", //, or /* character sequence."},
+  {153, "6.4.4.1:6",  'S', '-', '-', "An integer constant is too large for any representable type."},
+  {154, "6.4.5:7",    'S', '-', '-', "String literal concatenation mixes incompatible encoding prefixes."},
+  {155, "6.4.9:3",    'S', '-', '-', "A // comment contains a backslash-newline ambiguity (modelled)."},
+  {156, "6.2.2:7",    'S', '-', '-', "An identifier has both internal and external linkage in one translation unit."},
+  {157, "6.2.2:2",    'S', '-', '-', "The same identifier has external linkage but incompatible declarations across units."},
+  {158, "6.7:3",      'S', '-', '-', "An identifier with no linkage is declared twice in the same scope."},
+  {159, "6.7.4:6",    'S', '-', '-', "An inline function with external linkage defines a modifiable static object."},
+  {160, "6.7.4:3",    'S', '-', '-', "An inline definition references an identifier with internal linkage."},
+  {161, "6.9:5",      'S', '-', '-', "An identifier with external linkage is used but has no external definition."},
+  {162, "6.9:3",      'S', '-', '-', "There is more than one external definition for the same identifier."},
+  {163, "6.9.1:2",    'S', '-', '-', "A function is defined with a declarator that is not a function declarator."},
+  {164, "6.9.1:6",    'S', '-', '-', "A parameter in a function definition has no declared type (identifier list)."},
+  {165, "6.7.2.1:2",  'S', '-', '-', "A structure has no named members."},
+  {166, "6.7.2.1:18", 'S', '-', '-', "A flexible array member appears anywhere but last, or in a union."},
+  {167, "6.7.2.2:2",  'S', '-', '-', "An enumerator value is outside the range of int."},
+  {168, "6.7.2.3:2",  'S', '-', '-', "A tag is redeclared as a different kind of type in the same scope."},
+  {169, "6.7.3:2",    'S', '-', '-', "restrict qualifies a non-pointer or a pointer to function type."},
+  {170, "6.7.3:9",    'S', '-', '-', "A qualified function type is produced through a typedef."},
+  {171, "6.7.5:2",    'S', '-', '-', "An alignment specifier appears where prohibited (modelled for C11)."},
+  {172, "6.7.6.1:1",  'S', '-', '-', "A pointer declarator binds to a type with invalid qualification."},
+  {173, "6.7.6.3:3",  'S', '-', '-', "A parameter is declared with void type but is not the only parameter."},
+  {174, "6.7.9:2",    'S', '-', '-', "An initializer attempts to provide a value for an object not contained in the entity."},
+  {175, "6.7.9:3",    'S', '-', '-', "A static-duration object is initialized by a non-constant expression."},
+  {176, "6.7.9:8",    'S', '-', '-', "An initializer for a scalar is a brace-enclosed list with more than one item."},
+  {177, "6.8.1:3",    'S', '-', '-', "The same label name is defined twice in one function."},
+  {178, "6.8.1:2",    'S', '-', '-', "A case or default label appears outside a switch statement."},
+  {179, "6.8.4.2:3",  'S', '-', '-', "Two case labels of one switch have the same constant value."},
+  {180, "6.8.6.1:1",  'S', '-', '-', "A goto targets a label that is not defined in the enclosing function."},
+  {181, "6.8.6.2:1",  'S', '-', '-', "A continue statement appears outside of a loop body."},
+  {182, "6.8.6.3:1",  'S', '-', '-', "A break statement appears outside of a loop or switch body."},
+  {183, "6.8.6.4:1",  'S', '-', '-', "return without an expression in a function returning a value (used by caller)."},
+  {184, "6.5.2.2:2",  'S', '-', '-', "A call supplies fewer arguments than the prototype has parameters."},
+  {185, "6.5.2.2:2",  'S', '-', '-', "A call supplies more arguments than a non-variadic prototype allows."},
+  {186, "6.5.3.4:1",  'S', '-', '-', "sizeof is applied to a function designator or an incomplete type."},
+  {187, "6.5.4:2",    'S', '-', '-', "A cast specifies a non-scalar type where only scalar conversions exist."},
+  {188, "6.5.16.1:1", 'S', '-', '-', "Assignment between incompatible pointer types without a cast."},
+  {189, "6.5.1:2",    'S', '-', '-', "An undeclared identifier is used in an expression (pre-C99 implicit int)."},
+  {190, "6.5.2.1:1",  'S', '-', '-', "Array subscripting applies to operands that are not pointer and integer."},
+  {191, "6.5.3.2:1",  'S', '-', '-', "The address-of operator is applied to a non-lvalue or register object."},
+  {192, "7.1.2:4",    'S', 'L', '-', "A standard header is included while a macro with the same name as a keyword is defined."},
+  {193, "7.1.3:2",    'S', 'L', '-', "A reserved identifier (leading underscore and capital) is declared."},
+  {194, "7.1.3:2",    'S', 'L', '-', "An identifier reserved for the library (str-prefix etc.) is defined with external linkage."},
+  {195, "7.1.4:2",    'S', 'L', '-', "A library function name is redefined as a macro before including its header."},
+  {196, "7.1.4:1",    'S', 'L', '-', "A library function is declared by the program with an incompatible type."},
+  {197, "7.2.1.1:2",  'S', 'L', '-', "The assert macro argument does not have a scalar type."},
+  {198, "7.13:2",     'S', 'L', '-', "setjmp appears in a context other than the four allowed comparison forms."},
+  {199, "7.13.1.1:4", 'S', 'L', '-', "setjmp's jmp_buf argument is not an lvalue of jmp_buf type."},
+  {200, "7.16.1.4:4", 'S', 'L', '-', "va_start is used in a function with a fixed argument list."},
+  {201, "7.16.1.1:4", 'S', 'L', '-', "va_arg type argument is not a complete object type name."},
+  {202, "7.19:2",     'S', 'L', '-', "offsetof is applied to a bit-field member."},
+  {203, "7.19:2",     'S', 'L', '-', "offsetof member designator does not designate a member of the type."},
+  {204, "7.21.6.1:2", 'S', 'L', '-', "printf format string contains an invalid conversion specifier."},
+  {205, "7.21.6.2:3", 'S', 'L', '-', "scanf format string contains an invalid conversion specifier."},
+  {206, "7.22:3",     'S', 'L', '-', "NULL is redefined by the program to a non-null value."},
+  {207, "7.24:2",     'S', 'L', '-', "A string-header function is called through a mismatched prototype declared locally."},
+  {208, "7.26:1",     'S', 'L', '-', "A future-library-direction reserved name is used (str/mem/wcs prefix)."},
+  {209, "6.10.8.1:1", 'S', '-', '-', "__STDC__ is the subject of #define or #undef."},
+  {210, "6.10.8.1:1", 'S', '-', '-', "__FILE__ or __LINE__ is the subject of #define or #undef."},
+  {211, "6.4.2.1:7",  'S', '-', 'I', "An identifier uses universal character names outside the allowed ranges."},
+  {212, "6.4.3:2",    'S', '-', '-', "A universal character name designates a character in the basic set."},
+  {213, "6.4.4.4:9",  'S', '-', 'I', "A character constant contains more than one character (value model)."},
+  {214, "6.4.4.2:7",  'S', '-', 'I', "A floating constant exceeds the range of its type at translation time."},
+  {215, "6.2.5:1",    'S', '-', '-', "An object type is completed inconsistently across its uses."},
+  {216, "6.2.1:4",    'S', '-', '-', "A declaration in an inner scope hides one it then forward-references."},
+  {217, "6.11.5:1",   'S', '-', '-', "A storage-class specifier appears in other than the first declaration position (obsolescent; modelled as undefined)."},
+  {218, "6.11.6:1",   'S', '-', '-', "A function declarator uses an empty identifier list in a definition (obsolescent; modelled)."},
+  {219, "6.7.6.2:1",  'S', '-', '-', "An array declarator uses a qualifier or static outside a parameter list."},
+  {220, "6.5.2.5:3",  'S', '-', '-', "A compound literal appears with a function type or an incomplete type."},
+  {221, "4:2",        'S', '-', '-', "A #error directive survives to execution semantics (constraint modelled as undefined)."},
+};
+// clang-format on
+
+const std::vector<CatalogEntry> &cundef::ubCatalog() {
+  static const std::vector<CatalogEntry> Rows(std::begin(CatalogRows),
+                                              std::end(CatalogRows));
+  return Rows;
+}
+
+const CatalogEntry *cundef::catalogEntry(uint16_t Id) {
+  const std::vector<CatalogEntry> &Rows = ubCatalog();
+  if (Id == 0 || Id > Rows.size())
+    return nullptr;
+  const CatalogEntry *Entry = &Rows[Id - 1];
+  assert(Entry->Id == Id && "catalog ids must be contiguous");
+  return Entry;
+}
+
+CatalogStats cundef::catalogStats() {
+  CatalogStats Stats;
+  for (const CatalogEntry &Entry : ubCatalog()) {
+    ++Stats.Total;
+    if (Entry.isStatic())
+      ++Stats.Static;
+    if (Entry.isDynamic())
+      ++Stats.Dynamic;
+    if (Entry.isDynamic() && !Entry.isLibrary() && !Entry.isImplSpecific())
+      ++Stats.DynamicCorePortable;
+  }
+  return Stats;
+}

@@ -1,0 +1,66 @@
+//===- ub/Catalog.h - The catalog of C undefined behaviors -----*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's classification of undefined behavior in C (section 5.2.1):
+/// 221 categories, of which 92 are statically detectable and 129 only
+/// dynamically. Each row carries its C11 clause, its static/dynamic
+/// class, whether it involves the standard library, and whether it is
+/// implementation-specific (its undefinedness depends on
+/// implementation-defined or unspecified choices, section 2.5).
+///
+/// Rows whose id matches a UbKind enumerator are behaviors our tools
+/// detect and report under that code; the remaining rows complete the
+/// inventory (they drive bench_catalog and the coverage statistics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_UB_CATALOG_H
+#define CUNDEF_UB_CATALOG_H
+
+#include "ub/UbKind.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cundef {
+
+struct CatalogEntry {
+  uint16_t Id;
+  const char *Clause; ///< C11 subclause, e.g. "6.5.5:5"
+  char DynClass;      ///< 'D' dynamic-only, 'S' statically detectable
+  char LibFlag;       ///< 'L' library behavior, '-' core language
+  char ImplFlag;      ///< 'I' implementation-specific, '-' portable
+  const char *Description;
+
+  bool isDynamic() const { return DynClass == 'D'; }
+  bool isStatic() const { return DynClass == 'S'; }
+  bool isLibrary() const { return LibFlag == 'L'; }
+  bool isImplSpecific() const { return ImplFlag == 'I'; }
+};
+
+/// The full catalog, ordered by id (ids are 1-based and contiguous).
+const std::vector<CatalogEntry> &ubCatalog();
+
+/// Row with the given id, or null.
+const CatalogEntry *catalogEntry(uint16_t Id);
+
+/// Aggregate statistics reproducing the paper's section 5.2.1 numbers.
+struct CatalogStats {
+  unsigned Total = 0;
+  unsigned Static = 0;
+  unsigned Dynamic = 0;
+  /// Dynamic, non-library, non-implementation-specific (the paper's
+  /// "42 dynamically undefined behaviors relating to the non-library
+  /// part of the language that are not also implementation-specific").
+  unsigned DynamicCorePortable = 0;
+};
+
+CatalogStats catalogStats();
+
+} // namespace cundef
+
+#endif // CUNDEF_UB_CATALOG_H

@@ -1,0 +1,33 @@
+//===- ub/Report.cpp - Undefinedness reports -------------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ub/Report.h"
+
+#include "support/Strings.h"
+
+using namespace cundef;
+
+std::string cundef::renderKccError(const UbReport &Report) {
+  std::string Out;
+  Out += "ERROR! KCC encountered an error.\n";
+  Out += "===============================================\n";
+  Out += strFormat("Error: %05u\n", ubCode(Report.Kind));
+  Out += strFormat("Description: %s\n", Report.Description.c_str());
+  Out += "===============================================\n";
+  Out += strFormat("Function: %s\n", Report.Function.c_str());
+  Out += strFormat("Line: %u\n", Report.Loc.Line);
+  return Out;
+}
+
+std::string cundef::renderKccErrors(const std::vector<UbReport> &Reports) {
+  std::string Out;
+  for (const UbReport &R : Reports) {
+    if (!Out.empty())
+      Out += "\n";
+    Out += renderKccError(R);
+  }
+  return Out;
+}

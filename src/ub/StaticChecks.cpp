@@ -1,0 +1,237 @@
+//===- ub/StaticChecks.cpp - Static undefinedness checks -------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ub/StaticChecks.h"
+
+#include "sema/ConstEval.h"
+
+using namespace cundef;
+
+/// C11 5.2.4.1 guarantees 63 significant initial characters in an
+/// internal identifier; identifiers that differ only beyond that limit
+/// are undefined (C11 6.4.2p6 -- the paper's footnote-1 example).
+static constexpr size_t SignificantChars = 63;
+
+void StaticChecker::run() {
+  checkRedeclarations();
+  checkIdentifierSignificance();
+  for (const FunctionDecl *F : Ctx.TU.Functions)
+    if (F->Body)
+      checkFunctionBody(F);
+  for (const VarDecl *G : Ctx.TU.Globals)
+    if (G->Init)
+      checkExpr(G->Init, "<file scope>");
+}
+
+void StaticChecker::checkRedeclarations() {
+  for (const FunctionDecl *F : Ctx.TU.Functions) {
+    const auto &Decls = F->AllDeclTypes;
+    for (size_t I = 1; I < Decls.size(); ++I) {
+      if (!Ctx.Types.compatible(QualType(Decls[I - 1]), QualType(Decls[I]))) {
+        Ub.report(UbKind::IncompatibleRedeclaration,
+                  Ctx.Interner.str(F->Name), F->Loc, /*StaticFinding=*/true);
+        break;
+      }
+    }
+  }
+}
+
+void StaticChecker::checkIdentifierSignificance() {
+  // Collect identifiers longer than the significance limit; quadratic
+  // comparison is fine because such identifiers are vanishingly rare.
+  std::vector<const std::string *> Long;
+  for (Symbol Sym = 1; Sym < Ctx.Interner.size(); ++Sym) {
+    const std::string &Name = Ctx.Interner.str(static_cast<Symbol>(Sym));
+    if (Name.size() > SignificantChars)
+      Long.push_back(&Name);
+  }
+  for (size_t I = 0; I < Long.size(); ++I) {
+    for (size_t J = I + 1; J < Long.size(); ++J) {
+      if (*Long[I] != *Long[J] &&
+          Long[I]->compare(0, SignificantChars, *Long[J], 0,
+                           SignificantChars) == 0) {
+        Ub.report(UbKind::IdentifiersNotDistinct, "<file scope>",
+                  SourceLoc(), /*StaticFinding=*/true);
+        return;
+      }
+    }
+  }
+}
+
+void StaticChecker::checkFunctionBody(const FunctionDecl *F) {
+  checkStmt(F->Body, Ctx.Interner.str(F->Name));
+}
+
+void StaticChecker::checkStmt(const Stmt *S, const std::string &FnName) {
+  if (!S)
+    return;
+  switch (S->Kind) {
+  case StmtKind::Compound:
+    for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+      checkStmt(Sub, FnName);
+    return;
+  case StmtKind::Decl:
+    for (const VarDecl *V : cast<DeclStmt>(S)->Decls)
+      if (V->Init)
+        checkExpr(V->Init, FnName);
+    return;
+  case StmtKind::Expr:
+    checkExpr(cast<ExprStmt>(S)->E, FnName);
+    return;
+  case StmtKind::If: {
+    const auto *I = cast<IfStmt>(S);
+    checkExpr(I->Cond, FnName);
+    checkStmt(I->Then, FnName);
+    checkStmt(I->Else, FnName);
+    return;
+  }
+  case StmtKind::While: {
+    const auto *W = cast<WhileStmt>(S);
+    checkExpr(W->Cond, FnName);
+    checkStmt(W->Body, FnName);
+    return;
+  }
+  case StmtKind::Do: {
+    const auto *D = cast<DoStmt>(S);
+    checkStmt(D->Body, FnName);
+    checkExpr(D->Cond, FnName);
+    return;
+  }
+  case StmtKind::For: {
+    const auto *F = cast<ForStmt>(S);
+    checkStmt(F->Init, FnName);
+    checkExpr(F->Cond, FnName);
+    checkExpr(F->Inc, FnName);
+    checkStmt(F->Body, FnName);
+    return;
+  }
+  case StmtKind::Switch: {
+    const auto *W = cast<SwitchStmt>(S);
+    checkExpr(W->Cond, FnName);
+    checkStmt(W->Body, FnName);
+    return;
+  }
+  case StmtKind::Case:
+    checkStmt(cast<CaseStmt>(S)->Sub, FnName);
+    return;
+  case StmtKind::Default:
+    checkStmt(cast<DefaultStmt>(S)->Sub, FnName);
+    return;
+  case StmtKind::Label:
+    checkStmt(cast<LabelStmt>(S)->Sub, FnName);
+    return;
+  case StmtKind::Return:
+    checkExpr(cast<ReturnStmt>(S)->Value, FnName);
+    return;
+  case StmtKind::Break:
+  case StmtKind::Continue:
+  case StmtKind::Goto:
+    return;
+  }
+}
+
+/// Strips implicit and explicit pointer casts to find a null constant.
+static bool isConstantNullPointer(const Expr *E, const TypeContext &Types) {
+  while (true) {
+    if (const auto *Imp = dynCast<ImplicitCastExpr>(E)) {
+      E = Imp->Sub;
+      continue;
+    }
+    if (const auto *Cast = dynCast<CastExpr>(E)) {
+      if (Cast->TargetTy.Ty && Cast->TargetTy.Ty->isPointer()) {
+        E = Cast->Sub;
+        continue;
+      }
+    }
+    break;
+  }
+  if (E->Ty.isNull() || !E->Ty.Ty->isIntegral())
+    return false;
+  auto Value = constEvalInt(E, Types);
+  return Value && *Value == 0;
+}
+
+void StaticChecker::checkExpr(const Expr *E, const std::string &FnName) {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    if (U->Op == UnaryOp::Deref &&
+        isConstantNullPointer(U->Sub, Ctx.Types))
+      Ub.report(UbKind::DerefNullConstant, FnName, U->Loc,
+                /*StaticFinding=*/true);
+    checkExpr(U->Sub, FnName);
+    return;
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->Op == BinaryOp::Div || B->Op == BinaryOp::Rem) {
+      auto Rhs = constEvalInt(B->Rhs, Ctx.Types);
+      if (Rhs && *Rhs == 0)
+        Ub.report(UbKind::DivByZeroConstant, FnName, B->Loc,
+                  /*StaticFinding=*/true);
+    }
+    checkExpr(B->Lhs, FnName);
+    checkExpr(B->Rhs, FnName);
+    return;
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    if (A->Op == AssignOp::DivAssign || A->Op == AssignOp::RemAssign) {
+      auto Rhs = constEvalInt(A->Rhs, Ctx.Types);
+      if (Rhs && *Rhs == 0)
+        Ub.report(UbKind::DivByZeroConstant, FnName, A->Loc,
+                  /*StaticFinding=*/true);
+    }
+    checkExpr(A->Lhs, FnName);
+    checkExpr(A->Rhs, FnName);
+    return;
+  }
+  case ExprKind::Cond: {
+    const auto *C = cast<CondExpr>(E);
+    checkExpr(C->Cond, FnName);
+    checkExpr(C->Then, FnName);
+    checkExpr(C->Else, FnName);
+    return;
+  }
+  case ExprKind::Cast:
+    checkExpr(cast<CastExpr>(E)->Sub, FnName);
+    return;
+  case ExprKind::ImplicitCast:
+    checkExpr(cast<ImplicitCastExpr>(E)->Sub, FnName);
+    return;
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    checkExpr(C->Callee, FnName);
+    for (const Expr *Arg : C->Args)
+      checkExpr(Arg, FnName);
+    return;
+  }
+  case ExprKind::Member:
+    checkExpr(cast<MemberExpr>(E)->Base, FnName);
+    return;
+  case ExprKind::Index: {
+    const auto *I = cast<IndexExpr>(E);
+    checkExpr(I->Base, FnName);
+    checkExpr(I->Index, FnName);
+    return;
+  }
+  case ExprKind::Sizeof:
+    // The operand of sizeof is not evaluated; nothing inside it can be
+    // reached at run time, so nothing is statically undefined there.
+    return;
+  case ExprKind::InitList:
+    for (const Expr *Sub : cast<InitListExpr>(E)->Inits)
+      checkExpr(Sub, FnName);
+    return;
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+  case ExprKind::StringLit:
+  case ExprKind::DeclRef:
+    return;
+  }
+}

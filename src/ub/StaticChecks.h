@@ -1,0 +1,47 @@
+//===- ub/StaticChecks.h - Static undefinedness checks ---------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The static undefinedness checker: flags the statically detectable
+/// catalog behaviors that are visible by inspecting the analyzed AST
+/// (constant null dereference, constant division by zero, incompatible
+/// redeclarations, identifiers that collide in their significant
+/// characters). Together with the findings Sema records while typing
+/// (void-value use, const assignment, bad array lengths, ...), this is
+/// the "compile-time" half of kcc's detection (paper Figure 3's Static
+/// column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_UB_STATICCHECKS_H
+#define CUNDEF_UB_STATICCHECKS_H
+
+#include "ast/Ast.h"
+#include "ub/Report.h"
+
+namespace cundef {
+
+class StaticChecker {
+public:
+  StaticChecker(AstContext &Ctx, UbSink &Ub) : Ctx(Ctx), Ub(Ub) {}
+
+  /// Runs every check over the analyzed translation unit.
+  void run();
+
+private:
+  void checkFunctionBody(const FunctionDecl *F);
+  void checkExpr(const Expr *E, const std::string &FnName);
+  void checkStmt(const Stmt *S, const std::string &FnName);
+  void checkRedeclarations();
+  void checkIdentifierSignificance();
+
+  AstContext &Ctx;
+  UbSink &Ub;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_UB_STATICCHECKS_H

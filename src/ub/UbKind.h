@@ -1,0 +1,107 @@
+//===- ub/UbKind.h - Detected undefined behavior kinds ---------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The undefined behaviors our tools can name. Each enumerator's value
+/// is its stable error code, which is also its row id in the full
+/// 221-entry catalog (ub/Catalog.h). UnsequencedSideEffect is
+/// deliberately code 16 so that reports reproduce the paper's example
+/// "Error: 00016" (section 3.2) byte-for-byte.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_UB_UBKIND_H
+#define CUNDEF_UB_UBKIND_H
+
+#include <cstdint>
+
+namespace cundef {
+
+enum class UbKind : uint16_t {
+  None = 0,
+
+  // Dynamic behaviors detected by the core machine.
+  DivisionByZero = 1,          ///< C11 6.5.5p5
+  ModuloByZero = 2,            ///< C11 6.5.5p5
+  SignedOverflow = 3,          ///< C11 6.5p5
+  ShiftExponentOutOfRange = 4, ///< C11 6.5.7p3
+  ShiftOfNegative = 5,         ///< C11 6.5.7p4
+  DerefNullPointer = 6,        ///< C11 6.5.3.2p4 / 6.3.2.3p3
+  DerefVoidPointer = 7,        ///< C11 6.3.2.1p1
+  DerefDanglingPointer = 8,    ///< C11 6.5.3.2p4
+  ReadOutOfBounds = 9,         ///< C11 J.2 (array subscript out of range)
+  WriteOutOfBounds = 10,       ///< C11 J.2
+  UseAfterFree = 11,           ///< C11 7.22.3p1
+  AccessDeadObject = 12,       ///< C11 6.2.4p2 (lifetime ended)
+  PointerArithOutOfBounds = 13,    ///< C11 6.5.6p8
+  PointerSubDifferentObjects = 14, ///< C11 6.5.6p9
+  PointerCompareDifferentObjects = 15, ///< C11 6.5.8p5
+  UnsequencedSideEffect = 16,  ///< C11 6.5p2 — the paper's Error 00016
+  WriteThroughConstPointer = 17, ///< C11 6.7.3p6
+  ModifyStringLiteral = 18,    ///< C11 6.4.5p7
+  ReadIndeterminateValue = 19, ///< C11 6.2.6.1p5 / 6.3.2.1p2
+  FreeInvalidPointer = 20,     ///< C11 7.22.3.3p2
+  DoubleFree = 21,             ///< C11 7.22.3.3p2
+  CallTypeMismatch = 22,       ///< C11 6.5.2.2p9
+  CallArityMismatch = 23,      ///< C11 6.5.2.2p6
+  MissingReturnValueUsed = 24, ///< C11 6.9.1p12
+  StrictAliasingViolation = 25, ///< C11 6.5p7
+  FloatToIntOverflow = 26,     ///< C11 6.3.1.4p1
+  MemcpyOverlap = 27,          ///< C11 7.24.2.1p2
+  NullPointerArithmetic = 28,  ///< C11 6.5.6p8
+  DerefOnePastEnd = 29,        ///< C11 6.5.6p8 (deref of one-past pointer)
+  UninitializedPointerUse = 30, ///< C11 6.3.2.1p2
+  IntegerOverflowInConversion = 31, ///< trap on exotic targets; see catalog
+  NegativeShiftCount = 32,     ///< C11 6.5.7p3
+  StringFunctionBadArgument = 33, ///< C11 7.24.1p2 (invalid string arg)
+  VaArgTypeMismatch = 34,      ///< C11 7.16.1.1p2 (modelled for printf)
+  RecursionLimitExceeded = 35, ///< implementation limit; reported distinctly
+  StackAddressEscape = 36,     ///< C11 6.2.4p2 (returned local address used)
+  ReallocInvalidPointer = 37,  ///< C11 7.22.3.5p3
+  ZeroSizeAllocationUse = 38,  ///< C11 7.22.3p1 (use of zero-size result)
+  FlexibleComparePadding = 39, ///< C11 6.2.6.2 (padding byte comparison)
+
+  // Statically detectable behaviors (reported by the static checker;
+  // the paper classifies these as statically undefined, section 5.2.1).
+  ArraySizeNotPositive = 40,   ///< C11 6.7.6.2p1&5 — the paper's 3.2 example
+  FunctionTypeQualified = 41,  ///< C11 6.7.3p9
+  UseOfVoidExpressionValue = 42, ///< C11 6.3.2.2p1
+  AssignToConstLvalue = 43,    ///< C11 6.5.16p2 (via 6.7.3p6)
+  IncompatibleRedeclaration = 44, ///< C11 6.2.7p2
+  IdentifiersNotDistinct = 45, ///< C11 6.4.2p6 — the paper's footnote 1
+  MainWrongSignature = 46,     ///< C11 5.1.2.2.1p1
+  DerefNullConstant = 47,      ///< *(T*)0 spotted statically
+  DivByZeroConstant = 48,      ///< x / 0 with a constant 0
+  ConstWriteStatic = 49,       ///< write through const-qualified type
+  IncompleteTypeObject = 50,   ///< C11 6.7p7 (object of incomplete type)
+  ReturnVoidValue = 51,        ///< return e; in void function, C11 6.8.6.4p1
+};
+
+/// Stable error code (the catalog row id).
+inline uint16_t ubCode(UbKind Kind) { return static_cast<uint16_t>(Kind); }
+
+/// Human-readable description used in kcc-style reports.
+const char *ubShortDescription(UbKind Kind);
+
+/// The six Juliet benchmark classes (paper Figure 2 rows).
+enum class JulietClass : uint8_t {
+  InvalidPointer,
+  DivideByZero,
+  BadFree,
+  UninitializedMemory,
+  BadFunctionCall,
+  IntegerOverflow,
+};
+
+const char *julietClassName(JulietClass Class);
+
+/// Maps a detected UbKind to the Juliet class it evidences, if any.
+/// Returns true and sets \p Class when the kind belongs to a class.
+bool julietClassOf(UbKind Kind, JulietClass &Class);
+
+} // namespace cundef
+
+#endif // CUNDEF_UB_UBKIND_H

@@ -1,0 +1,65 @@
+//===- tests/TestUtil.h - Shared test helpers ------------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the behavior-focused test binaries: run a source
+/// string through the kcc driver and assert on the verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_TESTS_TESTUTIL_H
+#define CUNDEF_TESTS_TESTUTIL_H
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+namespace cundef {
+
+inline DriverOutcome runKcc(const std::string &Source,
+                            unsigned SearchRuns = 1) {
+  DriverOptions Opts;
+  Opts.SearchRuns = SearchRuns;
+  Driver Drv(Opts);
+  return Drv.runSource(Source, "test.c");
+}
+
+/// Expects the program to be undefined with the given catalog code as
+/// the first finding.
+inline void expectUb(const std::string &Source, UbKind Kind,
+                     unsigned SearchRuns = 1) {
+  DriverOutcome O = runKcc(Source, SearchRuns);
+  ASSERT_TRUE(O.CompileOk) << O.CompileErrors << "\nsource:\n" << Source;
+  ASSERT_TRUE(O.anyUb()) << "expected code " << ubCode(Kind)
+                         << " but program was clean\nsource:\n"
+                         << Source;
+  const UbReport &First =
+      O.StaticUb.empty() ? O.DynamicUb.front() : O.StaticUb.front();
+  EXPECT_EQ(ubCode(First.Kind), ubCode(Kind))
+      << "got: " << First.Description << "\nsource:\n" << Source;
+}
+
+/// Expects the program to compile, run to completion, and be clean.
+inline void expectClean(const std::string &Source, int ExitCode = 0,
+                        unsigned SearchRuns = 1) {
+  DriverOutcome O = runKcc(Source, SearchRuns);
+  ASSERT_TRUE(O.CompileOk) << O.CompileErrors << "\nsource:\n" << Source;
+  EXPECT_FALSE(O.anyUb()) << O.renderReport() << "\nsource:\n" << Source;
+  EXPECT_EQ(O.Status, RunStatus::Completed);
+  EXPECT_EQ(O.ExitCode, ExitCode) << "source:\n" << Source;
+}
+
+/// Runs a defined program and returns its output.
+inline std::string outputOf(const std::string &Source) {
+  DriverOutcome O = runKcc(Source);
+  EXPECT_TRUE(O.CompileOk) << O.CompileErrors;
+  EXPECT_FALSE(O.anyUb()) << O.renderReport();
+  return O.Output;
+}
+
+} // namespace cundef
+
+#endif // CUNDEF_TESTS_TESTUTIL_H

@@ -1,0 +1,129 @@
+//===- tests/test_catalog.cpp - UB catalog tests -------------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The catalog must reproduce the paper's section 5.2.1 numbers exactly
+// and stay internally consistent (ids contiguous, named kinds aligned
+// with their rows, Juliet class mapping total).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ub/Catalog.h"
+#include "ub/Report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+using namespace cundef;
+
+namespace {
+
+TEST(Catalog, PaperCounts) {
+  CatalogStats Stats = catalogStats();
+  EXPECT_EQ(Stats.Total, 221u) << "paper: 221 undefined behaviors";
+  EXPECT_EQ(Stats.Static, 92u) << "paper: 92 statically detectable";
+  EXPECT_EQ(Stats.Dynamic, 129u) << "paper: 129 only dynamic";
+  EXPECT_EQ(Stats.DynamicCorePortable, 42u)
+      << "paper: 42 dynamic non-library non-implementation-specific";
+}
+
+TEST(Catalog, IdsContiguousAndOrdered) {
+  uint16_t Expected = 1;
+  for (const CatalogEntry &Entry : ubCatalog())
+    EXPECT_EQ(Entry.Id, Expected++) << Entry.Description;
+}
+
+TEST(Catalog, LookupByIdWorks) {
+  const CatalogEntry *First = catalogEntry(1);
+  ASSERT_NE(First, nullptr);
+  EXPECT_STREQ(First->Description, "Division by zero.");
+  EXPECT_EQ(catalogEntry(0), nullptr);
+  EXPECT_EQ(catalogEntry(222), nullptr);
+  EXPECT_NE(catalogEntry(221), nullptr);
+}
+
+TEST(Catalog, EveryRowHasClauseAndDescription) {
+  for (const CatalogEntry &Entry : ubCatalog()) {
+    EXPECT_GT(std::strlen(Entry.Clause), 0u) << Entry.Id;
+    EXPECT_GT(std::strlen(Entry.Description), 10u) << Entry.Id;
+    EXPECT_TRUE(Entry.DynClass == 'D' || Entry.DynClass == 'S');
+    EXPECT_TRUE(Entry.LibFlag == 'L' || Entry.LibFlag == '-');
+    EXPECT_TRUE(Entry.ImplFlag == 'I' || Entry.ImplFlag == '-');
+  }
+}
+
+TEST(Catalog, PaperErrorCodeSixteen) {
+  // The paper's section 3.2 report is Error 00016 for unsequenced side
+  // effects; our catalog pins that id.
+  EXPECT_EQ(ubCode(UbKind::UnsequencedSideEffect), 16u);
+  const CatalogEntry *Row = catalogEntry(16);
+  ASSERT_NE(Row, nullptr);
+  EXPECT_NE(std::string(Row->Description).find("Unsequenced side effect"),
+            std::string::npos);
+}
+
+TEST(Catalog, NamedKindsMatchTheirRows) {
+  // Spot-check that enum values land on the right rows.
+  EXPECT_STREQ(catalogEntry(ubCode(UbKind::DivisionByZero))->Clause,
+               "6.5.5:5");
+  EXPECT_STREQ(catalogEntry(ubCode(UbKind::SignedOverflow))->Clause,
+               "6.5:5");
+  EXPECT_STREQ(catalogEntry(ubCode(UbKind::ModifyStringLiteral))->Clause,
+               "6.4.5:7");
+  EXPECT_STREQ(catalogEntry(ubCode(UbKind::ArraySizeNotPositive))->Clause,
+               "6.7.6.2:1");
+  EXPECT_TRUE(catalogEntry(ubCode(UbKind::ArraySizeNotPositive))->isStatic());
+  EXPECT_TRUE(catalogEntry(ubCode(UbKind::DerefNullPointer))->isDynamic());
+}
+
+TEST(Catalog, DetectedDynamicKindsAreDynamicRows) {
+  for (uint16_t Id = 1; Id <= 39; ++Id)
+    EXPECT_TRUE(catalogEntry(Id)->isDynamic()) << Id;
+  for (uint16_t Id = 40; Id <= 51; ++Id)
+    EXPECT_TRUE(catalogEntry(Id)->isStatic()) << Id;
+}
+
+TEST(Catalog, JulietClassMappingCoversDetectedKinds) {
+  std::set<JulietClass> Seen;
+  for (uint16_t Id = 1; Id <= 51; ++Id) {
+    JulietClass Class;
+    if (julietClassOf(static_cast<UbKind>(Id), Class))
+      Seen.insert(Class);
+  }
+  EXPECT_EQ(Seen.size(), 6u) << "all six Figure 2 classes reachable";
+}
+
+TEST(Catalog, ShortDescriptionsResolve) {
+  EXPECT_STREQ(ubShortDescription(UbKind::DivisionByZero),
+               "Division by zero.");
+  EXPECT_STREQ(ubShortDescription(UbKind::None),
+               "Unknown undefined behavior.");
+}
+
+TEST(Report, KccFormat) {
+  UbReport R(UbKind::UnsequencedSideEffect,
+             ubShortDescription(UbKind::UnsequencedSideEffect), "main",
+             SourceLoc(1, 3, 10));
+  std::string Text = renderKccError(R);
+  EXPECT_NE(Text.find("ERROR! KCC encountered an error."),
+            std::string::npos);
+  EXPECT_NE(Text.find("Error: 00016"), std::string::npos);
+  EXPECT_NE(Text.find("Function: main"), std::string::npos);
+  EXPECT_NE(Text.find("Line: 3"), std::string::npos);
+}
+
+TEST(Report, SinkCollectsAndQueries) {
+  UbSink Sink;
+  EXPECT_TRUE(Sink.empty());
+  Sink.report(UbKind::DivisionByZero, "f", SourceLoc(1, 2, 1));
+  Sink.report(UbKind::SignedOverflow, "g", SourceLoc(1, 5, 1));
+  EXPECT_EQ(Sink.size(), 2u);
+  EXPECT_TRUE(Sink.has(UbKind::DivisionByZero));
+  EXPECT_FALSE(Sink.has(UbKind::DerefNullPointer));
+  Sink.clear();
+  EXPECT_TRUE(Sink.empty());
+}
+
+} // namespace

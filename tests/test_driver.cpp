@@ -1,0 +1,136 @@
+//===- tests/test_driver.cpp - End-to-end driver tests ----------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace cundef;
+
+namespace {
+
+DriverOutcome run(const char *Source) {
+  Driver Drv;
+  return Drv.runSource(Source, "test.c");
+}
+
+TEST(Driver, HelloWorldRunsAndPrints) {
+  DriverOutcome O = run("#include <stdio.h>\n"
+                        "int main(void) { printf(\"Hello world\\n\");"
+                        " return 0; }\n");
+  EXPECT_TRUE(O.CompileOk) << O.CompileErrors;
+  EXPECT_EQ(O.Status, RunStatus::Completed);
+  EXPECT_EQ(O.Output, "Hello world\n");
+  EXPECT_EQ(O.ExitCode, 0);
+  EXPECT_FALSE(O.anyUb());
+}
+
+TEST(Driver, ExitCodeComesFromMain) {
+  DriverOutcome O = run("int main(void) { return 41 + 1; }\n");
+  EXPECT_EQ(O.Status, RunStatus::Completed);
+  EXPECT_EQ(O.ExitCode, 42);
+}
+
+TEST(Driver, UnsequencedReportMatchesPaperFormat) {
+  // The paper's section 3.2 report for (x = 1) + (x = 2).
+  DriverOutcome O = run("int main(void) {\n"
+                        "  int x = 0;\n"
+                        "  return (x = 1) + (x = 2);\n"
+                        "}\n");
+  ASSERT_TRUE(O.anyUb());
+  std::string Report = O.renderReport();
+  EXPECT_NE(Report.find("ERROR! KCC encountered an error."),
+            std::string::npos);
+  EXPECT_NE(Report.find("Error: 00016"), std::string::npos);
+  EXPECT_NE(Report.find("Unsequenced side effect on scalar"),
+            std::string::npos);
+  EXPECT_NE(Report.find("Function: main"), std::string::npos);
+  EXPECT_NE(Report.find("Line: 3"), std::string::npos);
+}
+
+TEST(Driver, DivisionByZeroDetected) {
+  DriverOutcome O = run("int main(void) { int d = 0; return 5 / d; }\n");
+  ASSERT_FALSE(O.DynamicUb.empty());
+  EXPECT_EQ(O.DynamicUb[0].Kind, UbKind::DivisionByZero);
+}
+
+TEST(Driver, StaticFindingForConstantNullDeref) {
+  // Statically undefined even though unreachable (paper section 5.2.1).
+  DriverOutcome O = run("int main(void) {\n"
+                        "  if (0) { *(char*)0; }\n"
+                        "  return 0;\n}\n");
+  EXPECT_TRUE(O.CompileOk);
+  ASSERT_FALSE(O.StaticUb.empty());
+  EXPECT_EQ(O.StaticUb[0].Kind, UbKind::DerefNullConstant);
+  EXPECT_EQ(O.Status, RunStatus::Completed) << "program still runs fine";
+}
+
+TEST(Driver, SearchFindsOrderDependentUb) {
+  // The paper's section 2.5.2 example: defined left-to-right, undefined
+  // right-to-left. kcc must search evaluation strategies.
+  const char *Source = "int d = 5;\n"
+                       "int setDenom(int x) { return d = x; }\n"
+                       "int main(void) { return (10 / d) + setDenom(0); }\n";
+  DriverOptions Opts;
+  Opts.SearchRuns = 16;
+  Driver Drv(Opts);
+  DriverOutcome O = Drv.runSource(Source, "order.c");
+  EXPECT_TRUE(O.anyUb()) << "some evaluation order divides by zero";
+  EXPECT_GT(O.OrdersExplored, 1u);
+}
+
+TEST(Driver, CompileErrorReported) {
+  DriverOutcome O = run("int main(void) { return }\n");
+  EXPECT_FALSE(O.CompileOk);
+  EXPECT_NE(O.CompileErrors.find("error"), std::string::npos);
+}
+
+TEST(Driver, WideIntConfigChangesDefinedness) {
+  // Paper section 2.5.1: malloc(4) then *p = 1000 is defined with
+  // 4-byte ints and undefined with 8-byte ints.
+  const char *Source = "#include <stdlib.h>\n"
+                       "int main(void) {\n"
+                       "  int *p = malloc(4);\n"
+                       "  if (p) { *p = 1000; }\n"
+                       "  return 0;\n}\n";
+  DriverOptions Lp64;
+  Driver D1(Lp64);
+  EXPECT_FALSE(D1.runSource(Source, "m.c").anyUb());
+
+  DriverOptions Wide;
+  Wide.Target = TargetConfig::wideInt();
+  Driver D2(Wide);
+  EXPECT_TRUE(D2.runSource(Source, "m.c").anyUb());
+}
+
+TEST(Driver, GotoLoopKeepsValues) {
+  DriverOutcome O = run("int main(void) {\n"
+                        "  int count = 0;\n"
+                        "again:\n"
+                        "  count = count + 1;\n"
+                        "  if (count < 3) { goto again; }\n"
+                        "  return count;\n}\n");
+  EXPECT_FALSE(O.anyUb()) << O.renderReport();
+  EXPECT_EQ(O.ExitCode, 3);
+}
+
+TEST(Driver, StructByteCopyIsDefined) {
+  // Copying structs byte-wise must copy padding without error
+  // (paper section 4.3.3).
+  DriverOutcome O = run(
+      "struct padded { char c; int i; };\n"
+      "int main(void) {\n"
+      "  struct padded a; struct padded b;\n"
+      "  unsigned char *src; unsigned char *dst; unsigned long k;\n"
+      "  a.c = 'x'; a.i = 7;\n"
+      "  src = (unsigned char*)&a; dst = (unsigned char*)&b;\n"
+      "  for (k = 0; k < sizeof a; k++) { dst[k] = src[k]; }\n"
+      "  return b.i - 7;\n}\n");
+  EXPECT_FALSE(O.anyUb()) << O.renderReport();
+  EXPECT_EQ(O.ExitCode, 0);
+}
+
+} // namespace

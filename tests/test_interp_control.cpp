@@ -1,0 +1,170 @@
+//===- tests/test_interp_control.cpp - Control-transfer deep tests ------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// goto into/out of blocks, switch into nested statements, lifetimes at
+// the boundaries -- the machine's unwinding/path-pushing machinery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cundef;
+
+namespace {
+
+TEST(InterpControl, GotoOutOfNestedBlocks) {
+  expectClean("int main(void) {\n"
+              "  int n = 0;\n"
+              "  { { { n = 1; goto out; } } }\n"
+              "out:\n"
+              "  return n - 1;\n}\n");
+}
+
+TEST(InterpControl, GotoBackwardKeepsOuterValues) {
+  expectClean("int main(void) {\n"
+              "  int rounds = 0; int total = 0;\n"
+              "again:\n"
+              "  total += 5;\n"
+              "  rounds++;\n"
+              "  if (rounds < 4) { goto again; }\n"
+              "  return total - 20;\n}\n");
+}
+
+TEST(InterpControl, GotoIntoBlockSkipsInitializer) {
+  // Jumping into a block: storage exists but the skipped initializer
+  // never ran, so the object is indeterminate (C11 6.2.4p6).
+  expectUb("int main(void) {\n"
+           "  goto inside;\n"
+           "  {\n"
+           "    int x = 5;\n"
+           "inside:\n"
+           "    return x;\n"
+           "  }\n"
+           "}\n",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(InterpControl, GotoIntoBlockThenAssignIsFine) {
+  expectClean("int main(void) {\n"
+              "  goto inside;\n"
+              "  {\n"
+              "    int x = 5;\n"
+              "inside:\n"
+              "    x = 1;\n"
+              "    return x - 1;\n"
+              "  }\n"
+              "}\n");
+}
+
+TEST(InterpControl, GotoIntoLoopBody) {
+  expectClean("int main(void) {\n"
+              "  int i = 0; int visits = 0;\n"
+              "  goto body;\n"
+              "  for (i = 0; i < 3; i++) {\n"
+              "body:\n"
+              "    visits++;\n"
+              "  }\n"
+              "  return visits - 3;\n}\n");
+}
+
+TEST(InterpControl, GotoOutOfLoopEndsIteration) {
+  expectClean("int main(void) {\n"
+              "  int i; int seen = 0;\n"
+              "  for (i = 0; i < 100; i++) {\n"
+              "    seen++;\n"
+              "    if (i == 2) { goto done; }\n"
+              "  }\n"
+              "done:\n"
+              "  return seen - 3;\n}\n");
+}
+
+TEST(InterpControl, SwitchIntoNestedBlock) {
+  // Duff's-device-style: case labels inside an inner block.
+  expectClean("int main(void) {\n"
+              "  int r = 0;\n"
+              "  switch (2) {\n"
+              "  case 1: r += 100;\n"
+              "    {\n"
+              "  case 2: r += 10;\n"
+              "  case 3: r += 1;\n"
+              "    }\n"
+              "  }\n"
+              "  return r - 11;\n}\n");
+}
+
+TEST(InterpControl, DuffsDevice) {
+  expectClean("int main(void) {\n"
+              "  int count = 7; int acc = 0;\n"
+              "  int n = (count + 3) / 4;\n"
+              "  switch (count % 4) {\n"
+              "  case 0: do { acc++;\n"
+              "  case 3:      acc++;\n"
+              "  case 2:      acc++;\n"
+              "  case 1:      acc++;\n"
+              "          } while (--n > 0);\n"
+              "  }\n"
+              "  return acc - 7;\n}\n");
+}
+
+TEST(InterpControl, BreakInsideSwitchInsideLoop) {
+  expectClean("int main(void) {\n"
+              "  int i; int hits = 0;\n"
+              "  for (i = 0; i < 4; i++) {\n"
+              "    switch (i) {\n"
+              "    case 2: break;\n"
+              "    default: hits++; break;\n"
+              "    }\n"
+              "  }\n"
+              "  return hits - 3;\n}\n");
+}
+
+TEST(InterpControl, ContinueSkipsSwitch) {
+  expectClean("int main(void) {\n"
+              "  int i; int after = 0;\n"
+              "  for (i = 0; i < 4; i++) {\n"
+              "    switch (i) { case 1: case 3: continue; default: break; }\n"
+              "    after++;\n"
+              "  }\n"
+              "  return after - 2;\n}\n");
+}
+
+TEST(InterpControl, BlockReentryFreshLifetime) {
+  // Each loop iteration re-enters the block: a fresh, uninitialized
+  // object each time (the control's initialization makes it defined).
+  expectClean("int main(void) {\n"
+              "  int total = 0; int i;\n"
+              "  for (i = 0; i < 3; i++) {\n"
+              "    int fresh = i * 2;\n"
+              "    total += fresh;\n"
+              "  }\n"
+              "  return total - 6;\n}\n");
+}
+
+TEST(InterpControl, WhileConditionSequencePoint) {
+  expectClean("int main(void) {\n"
+              "  int n = 3;\n"
+              "  while (n--) { }\n"
+              "  return n + 1;\n}\n");
+}
+
+TEST(InterpControl, NestedFunctionCallsInConditions) {
+  expectClean("static int dec(int *p) { *p = *p - 1; return *p; }\n"
+              "int main(void) {\n"
+              "  int n = 4; int spins = 0;\n"
+              "  while (dec(&n) > 0) { spins++; }\n"
+              "  return spins - 3;\n}\n");
+}
+
+TEST(InterpControl, EarlyReturnUnwindsBlocks) {
+  expectClean("static int pick(int c) {\n"
+              "  { int a = 1;\n"
+              "    { int b = 2;\n"
+              "      if (c) { return a + b; }\n"
+              "    }\n"
+              "  }\n"
+              "  return 0;\n}\n"
+              "int main(void) { return pick(1) - 3 + pick(0); }\n");
+}
+
+} // namespace

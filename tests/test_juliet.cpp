@@ -1,0 +1,123 @@
+//===- tests/test_juliet.cpp - Juliet-like generator tests ---------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/ToolRunner.h"
+#include "suites/JulietGen.h"
+#include "suites/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cundef;
+
+namespace {
+
+TEST(Juliet, PaperCounts) {
+  EXPECT_EQ(JulietGenerator::paperCount(JulietClass::InvalidPointer), 3193u);
+  EXPECT_EQ(JulietGenerator::paperCount(JulietClass::DivideByZero), 77u);
+  EXPECT_EQ(JulietGenerator::paperCount(JulietClass::BadFree), 334u);
+  EXPECT_EQ(JulietGenerator::paperCount(JulietClass::UninitializedMemory),
+            422u);
+  EXPECT_EQ(JulietGenerator::paperCount(JulietClass::BadFunctionCall), 46u);
+  EXPECT_EQ(JulietGenerator::paperCount(JulietClass::IntegerOverflow), 41u);
+  unsigned Total = 0;
+  for (JulietClass Class :
+       {JulietClass::InvalidPointer, JulietClass::DivideByZero,
+        JulietClass::BadFree, JulietClass::UninitializedMemory,
+        JulietClass::BadFunctionCall, JulietClass::IntegerOverflow})
+    Total += JulietGenerator::paperCount(Class);
+  EXPECT_EQ(Total, 4113u) << "the paper's extraction yields 4113 tests";
+}
+
+TEST(Juliet, FullScaleGeneratesAllTests) {
+  JulietGenerator Gen(1);
+  std::vector<TestCase> Tests = Gen.generate();
+  EXPECT_EQ(Tests.size(), 4113u);
+  std::set<std::string> Names;
+  for (const TestCase &Test : Tests) {
+    EXPECT_TRUE(Test.FromJuliet);
+    EXPECT_FALSE(Test.Bad.empty());
+    EXPECT_FALSE(Test.Good.empty());
+    EXPECT_NE(Test.Bad, Test.Good);
+    Names.insert(Test.Name);
+  }
+  EXPECT_EQ(Names.size(), Tests.size()) << "test names are unique";
+}
+
+TEST(Juliet, ScalingDividesCounts) {
+  JulietGenerator Gen(100);
+  EXPECT_EQ(Gen.scaledCount(JulietClass::InvalidPointer), 31u);
+  EXPECT_EQ(Gen.scaledCount(JulietClass::IntegerOverflow), 1u)
+      << "every class keeps at least one test";
+}
+
+TEST(Juliet, EveryVariantCompiles) {
+  // One test from every (subkind x variant) region of each class must
+  // compile cleanly in both the bad and good form.
+  JulietGenerator Gen(40);
+  Driver Drv;
+  for (const TestCase &Test : Gen.generate()) {
+    Driver::Compiled Bad = Drv.compile(Test.Bad, Test.Name + "_bad.c");
+    EXPECT_TRUE(Bad.Ok) << Test.Name << "\n" << Bad.Errors << Test.Bad;
+    Driver::Compiled Good = Drv.compile(Test.Good, Test.Name + "_good.c");
+    EXPECT_TRUE(Good.Ok) << Test.Name << "\n" << Good.Errors << Test.Good;
+  }
+}
+
+TEST(Juliet, KccPassesSampledPairs) {
+  JulietGenerator Gen(120);
+  std::unique_ptr<Tool> Kcc = Tool::create(ToolKind::Kcc);
+  for (const TestCase &Test : Gen.generate()) {
+    PairVerdict V = runOnPair(*Kcc, Test);
+    EXPECT_TRUE(V.FlaggedBad) << Test.Name << " bad not flagged";
+    EXPECT_FALSE(V.FlaggedGood) << Test.Name << " control flagged";
+  }
+}
+
+TEST(Juliet, ScoringAggregatesPerClass) {
+  JulietGenerator Gen(200);
+  std::unique_ptr<Tool> Kcc = Tool::create(ToolKind::Kcc);
+  JulietScores Scores = scoreJuliet(*Kcc, Gen.generate());
+  ASSERT_EQ(Scores.PerClass.size(), 6u);
+  for (const ClassScore &Score : Scores.PerClass) {
+    EXPECT_GT(Score.Tests, 0u);
+    EXPECT_EQ(Score.Passed, Score.Tests)
+        << julietClassName(Score.Class) << " below 100%";
+    EXPECT_EQ(Score.FalsePositives, 0u);
+  }
+  EXPECT_GT(Scores.MeanMicrosPerTest, 0.0);
+}
+
+TEST(Juliet, MemGrindMissesStackButNotHeap) {
+  // The class-defining mechanism difference, on generated tests.
+  JulietGenerator Gen(1);
+  std::unique_ptr<Tool> MG = Tool::create(ToolKind::MemGrind);
+  std::vector<TestCase> Tests =
+      Gen.generateClass(JulietClass::InvalidPointer);
+  // Subkind 0 = stack overflow write, subkind 2 = heap overflow write
+  // (variant 0, parameter 0).
+  const TestCase &Stack = Tests[0];
+  const TestCase &Heap = Tests[2];
+  EXPECT_FALSE(MG->analyze(Stack.Bad, "s.c").flagged())
+      << "stack smash invisible to the heap shadow";
+  EXPECT_TRUE(MG->analyze(Heap.Bad, "h.c").flagged());
+}
+
+TEST(Juliet, Figure2TableRenders) {
+  JulietGenerator Gen(400);
+  std::unique_ptr<Tool> Kcc = Tool::create(ToolKind::Kcc);
+  std::vector<std::pair<std::string, JulietScores>> Rows;
+  Rows.emplace_back("kcc", scoreJuliet(*Kcc, Gen.generate()));
+  std::string Table = renderFigure2(Rows);
+  EXPECT_NE(Table.find("Use of invalid pointer"), std::string::npos);
+  EXPECT_NE(Table.find("Integer overflow"), std::string::npos);
+  EXPECT_NE(Table.find("kcc"), std::string::npos);
+  EXPECT_NE(Table.find("100.0"), std::string::npos);
+}
+
+} // namespace

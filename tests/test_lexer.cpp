@@ -1,0 +1,155 @@
+//===- tests/test_lexer.cpp - Lexer unit tests -------------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "text/Lexer.h"
+#include "text/Numbers.h"
+
+#include <gtest/gtest.h>
+
+using namespace cundef;
+
+namespace {
+
+struct LexResult {
+  std::vector<Token> Toks;
+  StringInterner Interner;
+  DiagnosticEngine Diags;
+};
+
+std::vector<Token> lexAll(const std::string &Source, LexResult &R) {
+  Lexer Lex(Source, 1, R.Interner, R.Diags);
+  std::vector<Token> Out;
+  for (Token T = Lex.next(); T.isNot(TokenKind::Eof); T = Lex.next())
+    Out.push_back(T);
+  return Out;
+}
+
+TEST(Lexer, IdentifiersAndPunctuation) {
+  LexResult R;
+  auto Toks = lexAll("foo + bar_2;", R);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Identifier);
+  EXPECT_EQ(R.Interner.str(Toks[0].Sym), "foo");
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Plus);
+  EXPECT_EQ(R.Interner.str(Toks[2].Sym), "bar_2");
+  EXPECT_EQ(Toks[3].Kind, TokenKind::Semi);
+  EXPECT_FALSE(R.Diags.hasErrors());
+}
+
+TEST(Lexer, MaximalMunch) {
+  LexResult R;
+  auto Toks = lexAll("a+++b a<<=b a->b a...b", R);
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : Toks)
+    Kinds.push_back(T.Kind);
+  // a ++ + b, a <<= b, a -> b, a ... b
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::PlusPlus,      TokenKind::Plus,
+      TokenKind::Identifier, TokenKind::Identifier,    TokenKind::LessLessEqual,
+      TokenKind::Identifier, TokenKind::Identifier,    TokenKind::Arrow,
+      TokenKind::Identifier, TokenKind::Identifier,    TokenKind::Ellipsis,
+      TokenKind::Identifier};
+  EXPECT_EQ(Kinds, Expected);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  LexResult R;
+  auto Toks = lexAll("42 0x1f 017 5u 5L 5ull", R);
+  ASSERT_EQ(Toks.size(), 6u);
+  for (const Token &T : Toks)
+    EXPECT_EQ(T.Kind, TokenKind::IntLiteral);
+  EXPECT_EQ(decodeIntLiteral(Toks[0].Text).Value, 42u);
+  EXPECT_EQ(decodeIntLiteral(Toks[1].Text).Value, 0x1fu);
+  EXPECT_EQ(decodeIntLiteral(Toks[2].Text).Value, 017u);
+  EXPECT_TRUE(decodeIntLiteral(Toks[3].Text).Unsigned);
+  EXPECT_EQ(decodeIntLiteral(Toks[4].Text).LongCount, 1u);
+  DecodedInt Ull = decodeIntLiteral(Toks[5].Text);
+  EXPECT_TRUE(Ull.Unsigned);
+  EXPECT_EQ(Ull.LongCount, 2u);
+}
+
+TEST(Lexer, FloatLiterals) {
+  LexResult R;
+  auto Toks = lexAll("1.5 2e3 1.5f .25", R);
+  ASSERT_EQ(Toks.size(), 4u);
+  for (const Token &T : Toks)
+    EXPECT_EQ(T.Kind, TokenKind::FloatLiteral);
+  EXPECT_DOUBLE_EQ(decodeFloatLiteral(Toks[0].Text).Value, 1.5);
+  EXPECT_DOUBLE_EQ(decodeFloatLiteral(Toks[1].Text).Value, 2000.0);
+  EXPECT_TRUE(decodeFloatLiteral(Toks[2].Text).IsFloat);
+  EXPECT_DOUBLE_EQ(decodeFloatLiteral(Toks[3].Text).Value, 0.25);
+}
+
+TEST(Lexer, CharConstants) {
+  LexResult R;
+  auto Toks = lexAll("'a' '\\n' '\\x41' '\\0'", R);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Text, "97");
+  EXPECT_EQ(Toks[1].Text, "10");
+  EXPECT_EQ(Toks[2].Text, "65");
+  EXPECT_EQ(Toks[3].Text, "0");
+}
+
+TEST(Lexer, StringLiteralsDecodeEscapes) {
+  LexResult R;
+  auto Toks = lexAll("\"hi\\n\" \"a\\tb\"", R);
+  ASSERT_EQ(Toks.size(), 2u);
+  EXPECT_EQ(Toks[0].Text, "hi\n");
+  EXPECT_EQ(Toks[1].Text, "a\tb");
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  LexResult R;
+  auto Toks = lexAll("a /* comment */ b // line\nc", R);
+  ASSERT_EQ(Toks.size(), 3u);
+  EXPECT_FALSE(R.Diags.hasErrors());
+}
+
+TEST(Lexer, UnterminatedCommentIsAnError) {
+  LexResult R;
+  lexAll("a /* forever", R);
+  EXPECT_TRUE(R.Diags.hasErrors());
+}
+
+TEST(Lexer, LineTracking) {
+  LexResult R;
+  auto Toks = lexAll("one\ntwo three\n  four", R);
+  ASSERT_EQ(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Loc.Line, 1u);
+  EXPECT_EQ(Toks[1].Loc.Line, 2u);
+  EXPECT_EQ(Toks[2].Loc.Line, 2u);
+  EXPECT_EQ(Toks[3].Loc.Line, 3u);
+  EXPECT_TRUE(Toks[1].AtLineStart);
+  EXPECT_FALSE(Toks[2].AtLineStart);
+  EXPECT_EQ(Toks[3].Loc.Col, 3u);
+}
+
+TEST(Lexer, LineSpliceContinuesLine) {
+  LexResult R;
+  auto Toks = lexAll("ab\\\ncd", R);
+  ASSERT_EQ(Toks.size(), 2u); // splice splits tokens but not lines
+  EXPECT_FALSE(Toks[1].AtLineStart);
+}
+
+TEST(Lexer, HashAtLineStartFlag) {
+  LexResult R;
+  auto Toks = lexAll("#define X 1\nY", R);
+  ASSERT_GE(Toks.size(), 4u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::Hash);
+  EXPECT_TRUE(Toks[0].AtLineStart);
+}
+
+TEST(Numbers, OverflowDetected) {
+  DecodedInt D = decodeIntLiteral("99999999999999999999999999");
+  EXPECT_TRUE(D.Overflowed);
+}
+
+TEST(Numbers, MalformedSuffixRejected) {
+  EXPECT_FALSE(decodeIntLiteral("12abc").Valid);
+  EXPECT_FALSE(decodeIntLiteral("1lll").Valid);
+}
+
+} // namespace

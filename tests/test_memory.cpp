@@ -1,0 +1,143 @@
+//===- tests/test_memory.cpp - Symbolic memory unit tests ----------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/SymbolicMemory.h"
+
+#include <gtest/gtest.h>
+
+using namespace cundef;
+
+namespace {
+
+TEST(SymbolicMemory, CreateAndAccess) {
+  SymbolicMemory Mem;
+  uint32_t Id = Mem.create(StorageKind::Auto, 8, QualType(), NoSymbol);
+  ASSERT_NE(Id, 0u);
+  const MemObject *Obj = Mem.find(Id);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->Size, 8u);
+  EXPECT_TRUE(Obj->isAlive());
+  for (const Byte &B : Obj->Bytes)
+    EXPECT_TRUE(B.isUnknown()) << "fresh storage is unknown(N)";
+}
+
+TEST(SymbolicMemory, ByteRoundTrip) {
+  SymbolicMemory Mem;
+  uint32_t Id = Mem.create(StorageKind::Heap, 4, QualType(), NoSymbol);
+  EXPECT_EQ(Mem.writeByte(Id, 2, Byte::concrete(0xAB)), MemStatus::Ok);
+  Byte Out;
+  EXPECT_EQ(Mem.readByte(Id, 2, Out), MemStatus::Ok);
+  EXPECT_TRUE(Out.isConcrete());
+  EXPECT_EQ(Out.Value, 0xAB);
+}
+
+TEST(SymbolicMemory, BoundsChecked) {
+  SymbolicMemory Mem;
+  uint32_t Id = Mem.create(StorageKind::Auto, 4, QualType(), NoSymbol);
+  Byte Out;
+  EXPECT_EQ(Mem.readByte(Id, 4, Out), MemStatus::OutOfBounds);
+  EXPECT_EQ(Mem.readByte(Id, -1, Out), MemStatus::OutOfBounds);
+  EXPECT_EQ(Mem.probe(Id, 0, 5), MemStatus::OutOfBounds);
+  EXPECT_EQ(Mem.probe(Id, 0, 4), MemStatus::Ok);
+}
+
+TEST(SymbolicMemory, LifetimeStates) {
+  SymbolicMemory Mem;
+  uint32_t Stack = Mem.create(StorageKind::Auto, 4, QualType(), NoSymbol);
+  uint32_t Heap = Mem.create(StorageKind::Heap, 4, QualType(), NoSymbol);
+  Mem.markDead(Stack);
+  Mem.markFreed(Heap);
+  Byte Out;
+  EXPECT_EQ(Mem.readByte(Stack, 0, Out), MemStatus::Dead);
+  EXPECT_EQ(Mem.readByte(Heap, 0, Out), MemStatus::Freed);
+  EXPECT_EQ(Mem.readByte(999, 0, Out), MemStatus::NoObject);
+}
+
+TEST(SymbolicMemory, TombstonesKeepBytes) {
+  SymbolicMemory Mem;
+  uint32_t Id = Mem.create(StorageKind::Heap, 2, QualType(), NoSymbol);
+  Mem.writeByte(Id, 0, Byte::concrete(7));
+  Mem.markFreed(Id);
+  // The permissive machine still finds the object by address.
+  const MemObject *Obj = Mem.find(Id);
+  ASSERT_NE(Obj, nullptr);
+  EXPECT_EQ(Obj->Bytes[0].Value, 7);
+}
+
+TEST(SymbolicMemory, DistinctAddressRegions) {
+  SymbolicMemory Mem;
+  uint32_t Global = Mem.create(StorageKind::Global, 16, QualType(), NoSymbol);
+  uint32_t Heap = Mem.create(StorageKind::Heap, 16, QualType(), NoSymbol);
+  uint32_t Stack = Mem.create(StorageKind::Auto, 16, QualType(), NoSymbol);
+  uint64_t G = Mem.find(Global)->ConcreteAddr;
+  uint64_t H = Mem.find(Heap)->ConcreteAddr;
+  uint64_t S = Mem.find(Stack)->ConcreteAddr;
+  EXPECT_LT(G, H);
+  EXPECT_LT(H, S);
+}
+
+TEST(SymbolicMemory, StackGrowsDownContiguously) {
+  SymbolicMemory Mem;
+  uint32_t First = Mem.create(StorageKind::Auto, 8, QualType(), NoSymbol);
+  uint32_t Second = Mem.create(StorageKind::Auto, 8, QualType(), NoSymbol);
+  EXPECT_GT(Mem.find(First)->ConcreteAddr, Mem.find(Second)->ConcreteAddr)
+      << "later stack objects sit at lower addresses";
+  // Overflowing the second object reaches the first: the stack-smash
+  // model the permissive machine relies on.
+  uint64_t Gap = Mem.find(First)->ConcreteAddr -
+                 (Mem.find(Second)->ConcreteAddr + 8);
+  EXPECT_LT(Gap, 8u);
+}
+
+TEST(SymbolicMemory, FindByAddress) {
+  SymbolicMemory Mem;
+  uint32_t Id = Mem.create(StorageKind::Heap, 10, QualType(), NoSymbol);
+  uint64_t Addr = Mem.find(Id)->ConcreteAddr;
+  int64_t Off = -1;
+  EXPECT_EQ(Mem.findByAddress(Addr + 3, Off), Id);
+  EXPECT_EQ(Off, 3);
+  EXPECT_EQ(Mem.findByAddress(Addr + 10, Off), 0u) << "one past: no object";
+  EXPECT_EQ(Mem.findByAddress(0, Off), 0u) << "null page unmapped";
+}
+
+TEST(SymbolicMemory, CountAlive) {
+  SymbolicMemory Mem;
+  uint32_t A = Mem.create(StorageKind::Heap, 4, QualType(), NoSymbol);
+  Mem.create(StorageKind::Heap, 4, QualType(), NoSymbol);
+  EXPECT_EQ(Mem.countAlive(StorageKind::Heap), 2u);
+  Mem.markFreed(A);
+  EXPECT_EQ(Mem.countAlive(StorageKind::Heap), 1u);
+}
+
+TEST(Byte, Factories) {
+  Byte U = Byte::unknown();
+  EXPECT_TRUE(U.isUnknown());
+  Byte C = Byte::concrete(42);
+  EXPECT_TRUE(C.isConcrete());
+  EXPECT_EQ(C.Value, 42);
+  SymPointer P(7, 3);
+  Byte F = Byte::ptrFrag(P, 1, 8);
+  EXPECT_TRUE(F.isPtrFrag());
+  EXPECT_EQ(F.Ptr, P);
+  EXPECT_EQ(F.FragIndex, 1);
+  EXPECT_EQ(F.FragCount, 8);
+}
+
+TEST(SymPointer, NullAndForged) {
+  SymPointer Null = SymPointer::null();
+  EXPECT_TRUE(Null.isNull());
+  SymPointer Forged = SymPointer::fromInteger(0x1000);
+  EXPECT_FALSE(Forged.isNull());
+  EXPECT_TRUE(Forged.FromInteger);
+  EXPECT_NE(Null, Forged);
+  SymPointer Obj(3, 4);
+  EXPECT_FALSE(Obj.isNull());
+  EXPECT_EQ(Obj, SymPointer(3, 4));
+  EXPECT_NE(Obj, SymPointer(3, 5));
+  EXPECT_NE(Obj, SymPointer(4, 4));
+}
+
+} // namespace

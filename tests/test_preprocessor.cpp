@@ -1,0 +1,204 @@
+//===- tests/test_preprocessor.cpp - Preprocessor unit tests -----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "libc/Headers.h"
+#include "text/Preprocessor.h"
+
+#include <gtest/gtest.h>
+
+using namespace cundef;
+
+namespace {
+
+struct PpFixture {
+  StringInterner Interner;
+  DiagnosticEngine Diags;
+  HeaderRegistry Headers;
+
+  PpFixture() { registerStandardHeaders(Headers); }
+
+  /// Preprocesses and renders the surviving tokens as spellings.
+  std::string expand(const std::string &Source) {
+    Preprocessor PP(Interner, Diags, Headers);
+    std::vector<Token> Toks = PP.run(Source, "t.c");
+    std::string Out;
+    for (const Token &T : Toks) {
+      if (T.is(TokenKind::Eof))
+        break;
+      if (!Out.empty())
+        Out += ' ';
+      switch (T.Kind) {
+      case TokenKind::Identifier:
+        Out += Interner.str(T.Sym);
+        break;
+      case TokenKind::IntLiteral:
+      case TokenKind::FloatLiteral:
+      case TokenKind::CharLiteral:
+        Out += T.Text;
+        break;
+      case TokenKind::StringLiteral:
+        Out += '"' + T.Text + '"';
+        break;
+      default: {
+        std::string Name = tokenKindName(T.Kind);
+        if (Name.size() >= 2 && Name.front() == '\'')
+          Out += Name.substr(1, Name.size() - 2);
+        else
+          Out += Name;
+      }
+      }
+    }
+    return Out;
+  }
+};
+
+TEST(Preprocessor, ObjectMacro) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define N 42\nint x = N;"), "int x = 42 ;");
+}
+
+TEST(Preprocessor, FunctionMacro) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define SQ(x) ((x)*(x))\nSQ(3)"),
+            "( ( 3 ) * ( 3 ) )");
+}
+
+TEST(Preprocessor, NestedExpansion) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define A B\n#define B 7\nA"), "7");
+}
+
+TEST(Preprocessor, RecursionIsPainted) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define X X\nX"), "X");
+}
+
+TEST(Preprocessor, Stringize) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define STR(x) #x\nSTR(a + b)"), "\"a + b\"");
+}
+
+TEST(Preprocessor, Paste) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define GLUE(a, b) a##b\nGLUE(foo, bar)"), "foobar");
+}
+
+TEST(Preprocessor, ConditionalTaken) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define ON 1\n#if ON\nyes\n#else\nno\n#endif"),
+            "yes");
+}
+
+TEST(Preprocessor, ConditionalElse) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#if 0\nyes\n#else\nno\n#endif"), "no");
+}
+
+TEST(Preprocessor, ElifChain) {
+  PpFixture F;
+  EXPECT_EQ(
+      F.expand("#define V 2\n#if V == 1\na\n#elif V == 2\nb\n#elif V == 3\n"
+               "c\n#else\nd\n#endif"),
+      "b");
+}
+
+TEST(Preprocessor, NestedConditionalsSkippedCorrectly) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#if 0\n#if 1\nx\n#endif\ny\n#endif\nz"), "z");
+}
+
+TEST(Preprocessor, DefinedOperator) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define P\n#if defined(P) && !defined(Q)\nok\n#endif"),
+            "ok");
+}
+
+TEST(Preprocessor, Undef) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define N 1\n#undef N\nN"), "N");
+}
+
+TEST(Preprocessor, IncludeStandardHeader) {
+  PpFixture F;
+  std::string Out = F.expand("#include <stddef.h>\nsize_t n = NULL;");
+  EXPECT_NE(Out.find("unsigned long"), std::string::npos);
+  EXPECT_NE(Out.find("( ( void * ) 0 )"), std::string::npos);
+  EXPECT_FALSE(F.Diags.hasErrors());
+}
+
+TEST(Preprocessor, IncludeGuardsWork) {
+  PpFixture F;
+  std::string Once = F.expand("#include <stddef.h>\n");
+  std::string Twice = F.expand("#include <stddef.h>\n#include <stddef.h>\n");
+  EXPECT_EQ(Once, Twice);
+}
+
+TEST(Preprocessor, MissingHeaderIsAnError) {
+  PpFixture F;
+  F.expand("#include <no_such_header.h>\n");
+  EXPECT_TRUE(F.Diags.hasErrors());
+}
+
+TEST(Preprocessor, ErrorDirective) {
+  PpFixture F;
+  F.expand("#error custom message\n");
+  ASSERT_TRUE(F.Diags.hasErrors());
+  EXPECT_NE(F.Diags.render().find("custom message"), std::string::npos);
+}
+
+TEST(Preprocessor, ErrorInsideFalseBranchIgnored) {
+  PpFixture F;
+  F.expand("#if 0\n#error never\n#endif\nok");
+  EXPECT_FALSE(F.Diags.hasErrors());
+}
+
+TEST(Preprocessor, KeywordsPromoted) {
+  PpFixture F;
+  Preprocessor PP(F.Interner, F.Diags, F.Headers);
+  std::vector<Token> Toks = PP.run("int while_2 while", "t.c");
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwInt);
+  EXPECT_EQ(Toks[1].Kind, TokenKind::Identifier);
+  EXPECT_EQ(Toks[2].Kind, TokenKind::KwWhile);
+}
+
+TEST(Preprocessor, MacroShadowingKeyword) {
+  PpFixture F;
+  // A macro may expand to a keyword; promotion happens afterwards.
+  Preprocessor PP(F.Interner, F.Diags, F.Headers);
+  std::vector<Token> Toks = PP.run("#define LOOP while\nLOOP", "t.c");
+  ASSERT_GE(Toks.size(), 1u);
+  EXPECT_EQ(Toks[0].Kind, TokenKind::KwWhile);
+}
+
+TEST(Preprocessor, VariadicMacro) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("#define CALL(f, ...) f(__VA_ARGS__)\nCALL(g, 1, 2)"),
+            "g ( 1 , 2 )");
+}
+
+TEST(Preprocessor, LineMacro) {
+  PpFixture F;
+  EXPECT_EQ(F.expand("\n\n__LINE__"), "3");
+}
+
+TEST(Preprocessor, PredefinedMacros) {
+  PpFixture F;
+  Preprocessor PP(F.Interner, F.Diags, F.Headers);
+  EXPECT_TRUE(PP.isDefined("__STDC__"));
+  EXPECT_TRUE(PP.isDefined("__CUNDEF__"));
+}
+
+TEST(Preprocessor, DefineFromApi) {
+  PpFixture F;
+  Preprocessor PP(F.Interner, F.Diags, F.Headers);
+  PP.define("MODE", "3");
+  std::vector<Token> Toks = PP.run("#if MODE == 3\nok\n#endif\n", "t.c");
+  ASSERT_GE(Toks.size(), 1u);
+  EXPECT_EQ(F.Interner.str(Toks[0].Sym), "ok");
+}
+
+} // namespace

@@ -1,0 +1,354 @@
+//===- tests/test_programs.cpp - Whole-program torture tests -------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// Realistic small programs (the flavor of the GCC torture tests the
+// paper's sister work used for the positive semantics): data structures
+// on the heap, string algorithms, numeric kernels. Every program must
+// run clean and produce its expected result.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cundef;
+
+namespace {
+
+TEST(Programs, LinkedListBuildSumFree) {
+  expectClean(R"(#include <stdlib.h>
+struct node { int value; struct node *next; };
+
+static struct node *push(struct node *head, int value) {
+  struct node *n = (struct node*)malloc(sizeof(struct node));
+  if (n == 0) { exit(1); }
+  n->value = value;
+  n->next = head;
+  return n;
+}
+
+int main(void) {
+  struct node *head = 0;
+  int i;
+  for (i = 1; i <= 10; i++) { head = push(head, i); }
+  int sum = 0;
+  struct node *it;
+  for (it = head; it != 0; it = it->next) { sum += it->value; }
+  while (head != 0) {
+    struct node *dead = head;
+    head = head->next;
+    free(dead);
+  }
+  return sum - 55;
+}
+)");
+}
+
+TEST(Programs, ListReversal) {
+  expectClean(R"(#include <stdlib.h>
+struct node { int value; struct node *next; };
+
+int main(void) {
+  struct node *head = 0;
+  int i;
+  for (i = 0; i < 5; i++) {
+    struct node *n = (struct node*)malloc(sizeof(struct node));
+    if (n == 0) { exit(1); }
+    n->value = i;
+    n->next = head;
+    head = n;
+  }
+  /* head is 4,3,2,1,0; reverse it in place */
+  struct node *prev = 0;
+  while (head != 0) {
+    struct node *next = head->next;
+    head->next = prev;
+    prev = head;
+    head = next;
+  }
+  int expect = 0;
+  int ok = 1;
+  struct node *it = prev;
+  while (it != 0) {
+    if (it->value != expect) { ok = 0; }
+    expect++;
+    struct node *dead = it;
+    it = it->next;
+    free(dead);
+  }
+  return ok && expect == 5 ? 0 : 1;
+}
+)");
+}
+
+TEST(Programs, BinaryTreeInsertContains) {
+  expectClean(R"(#include <stdlib.h>
+struct tree { int key; struct tree *left; struct tree *right; };
+
+static struct tree *insert(struct tree *root, int key) {
+  if (root == 0) {
+    struct tree *n = (struct tree*)malloc(sizeof(struct tree));
+    if (n == 0) { exit(1); }
+    n->key = key;
+    n->left = 0;
+    n->right = 0;
+    return n;
+  }
+  if (key < root->key) { root->left = insert(root->left, key); }
+  else if (key > root->key) { root->right = insert(root->right, key); }
+  return root;
+}
+
+static int contains(struct tree *root, int key) {
+  while (root != 0) {
+    if (key == root->key) { return 1; }
+    root = key < root->key ? root->left : root->right;
+  }
+  return 0;
+}
+
+static void drop(struct tree *root) {
+  if (root == 0) { return; }
+  drop(root->left);
+  drop(root->right);
+  free(root);
+}
+
+int main(void) {
+  struct tree *root = 0;
+  int keys[7] = {50, 30, 70, 20, 40, 60, 80};
+  int i;
+  for (i = 0; i < 7; i++) { root = insert(root, keys[i]); }
+  int ok = contains(root, 40) && contains(root, 80) &&
+           !contains(root, 55) && !contains(root, 0);
+  drop(root);
+  return ok ? 0 : 1;
+}
+)");
+}
+
+TEST(Programs, StringReverseInPlace) {
+  expectClean(R"(#include <string.h>
+int main(void) {
+  char s[] = "undefined";
+  unsigned long n = strlen(s);
+  unsigned long i;
+  for (i = 0; i < n / 2; i++) {
+    char tmp = s[i];
+    s[i] = s[n - 1 - i];
+    s[n - 1 - i] = tmp;
+  }
+  return strcmp(s, "denifednu");
+}
+)");
+}
+
+TEST(Programs, WordCount) {
+  expectClean(R"(int main(void) {
+  const char *text = "the quick  brown fox\tjumps";
+  int words = 0;
+  int inWord = 0;
+  const char *p;
+  for (p = text; *p != 0; p++) {
+    int space = *p == ' ' || *p == '\t';
+    if (!space && !inWord) { words++; }
+    inWord = !space;
+  }
+  return words - 5;
+}
+)");
+}
+
+TEST(Programs, MatrixMultiply) {
+  expectClean(R"(int main(void) {
+  int a[2][3] = {{1, 2, 3}, {4, 5, 6}};
+  int b[3][2] = {{7, 8}, {9, 10}, {11, 12}};
+  int c[2][2];
+  int i; int j; int k;
+  for (i = 0; i < 2; i++) {
+    for (j = 0; j < 2; j++) {
+      c[i][j] = 0;
+      for (k = 0; k < 3; k++) { c[i][j] += a[i][k] * b[k][j]; }
+    }
+  }
+  return (c[0][0] == 58 && c[0][1] == 64 &&
+          c[1][0] == 139 && c[1][1] == 154) ? 0 : 1;
+}
+)");
+}
+
+TEST(Programs, SieveOfEratosthenes) {
+  expectClean(R"(#include <string.h>
+int main(void) {
+  char composite[50];
+  memset(composite, 0, sizeof composite);
+  int primes = 0;
+  int i;
+  for (i = 2; i < 50; i++) {
+    if (!composite[i]) {
+      primes++;
+      int j;
+      for (j = i + i; j < 50; j += i) { composite[j] = 1; }
+    }
+  }
+  return primes - 15; /* primes below 50 */
+}
+)");
+}
+
+TEST(Programs, QsortStructsByField) {
+  expectClean(R"(#include <stdlib.h>
+struct person { int age; int id; };
+
+static int byAge(const void *a, const void *b) {
+  const struct person *x = (const struct person*)a;
+  const struct person *y = (const struct person*)b;
+  return (x->age > y->age) - (x->age < y->age);
+}
+
+int main(void) {
+  struct person people[4];
+  people[0].age = 42; people[0].id = 0;
+  people[1].age = 17; people[1].id = 1;
+  people[2].age = 64; people[2].id = 2;
+  people[3].age = 30; people[3].id = 3;
+  qsort(people, 4, sizeof(struct person), byAge);
+  return (people[0].id == 1 && people[1].id == 3 &&
+          people[2].id == 0 && people[3].id == 2) ? 0 : 1;
+}
+)");
+}
+
+TEST(Programs, DynamicGrowingBuffer) {
+  expectClean(R"(#include <stdlib.h>
+int main(void) {
+  int capacity = 2;
+  int count = 0;
+  int *data = (int*)malloc(capacity * sizeof(int));
+  if (data == 0) { exit(1); }
+  int i;
+  for (i = 0; i < 33; i++) {
+    if (count == capacity) {
+      capacity = capacity * 2;
+      data = (int*)realloc(data, capacity * sizeof(int));
+      if (data == 0) { exit(1); }
+    }
+    data[count++] = i;
+  }
+  int sum = 0;
+  for (i = 0; i < count; i++) { sum += data[i]; }
+  free(data);
+  return sum - 528;
+}
+)");
+}
+
+TEST(Programs, FunctionPointerStateMachine) {
+  expectClean(R"(static int stateA(int input);
+static int stateB(int input);
+
+static int (*current)(int) = stateA;
+
+static int stateA(int input) {
+  current = stateB;
+  return input + 1;
+}
+
+static int stateB(int input) {
+  current = stateA;
+  return input * 2;
+}
+
+int main(void) {
+  int value = 1;
+  int i;
+  for (i = 0; i < 4; i++) { value = current(value); }
+  /* A: 2, B: 4, A: 5, B: 10 */
+  return value - 10;
+}
+)");
+}
+
+TEST(Programs, Fibonacci) {
+  std::string Out = outputOf(R"(#include <stdio.h>
+int main(void) {
+  int prev = 0; int cur = 1; int i;
+  for (i = 0; i < 10; i++) {
+    printf("%d ", cur);
+    int next = prev + cur;
+    prev = cur;
+    cur = next;
+  }
+  printf("\n");
+  return 0;
+}
+)");
+  EXPECT_EQ(Out, "1 1 2 3 5 8 13 21 34 55 \n");
+}
+
+TEST(Programs, CaesarCipherRoundTrip) {
+  expectClean(R"(#include <string.h>
+static void shift(char *s, int by) {
+  for (; *s != 0; s++) {
+    if (*s >= 'a' && *s <= 'z') {
+      *s = (char)('a' + (((*s - 'a') + by + 26) % 26));
+    }
+  }
+}
+
+int main(void) {
+  char msg[] = "undefined behavior";
+  char copy[32];
+  strcpy(copy, msg);
+  shift(copy, 13);
+  if (strcmp(copy, msg) == 0) { return 1; }
+  shift(copy, 13);
+  return strcmp(copy, msg);
+}
+)");
+}
+
+TEST(Programs, UnionTaggedValue) {
+  expectClean(R"(struct tagged {
+  int tag; /* 0 = int, 1 = double */
+  union { int i; double d; } as;
+};
+
+static double valueOf(struct tagged t) {
+  return t.tag == 0 ? (double)t.as.i : t.as.d;
+}
+
+int main(void) {
+  struct tagged a;
+  a.tag = 0;
+  a.as.i = 3;
+  struct tagged b;
+  b.tag = 1;
+  b.as.d = 0.5;
+  return valueOf(a) + valueOf(b) == 3.5 ? 0 : 1;
+}
+)");
+}
+
+TEST(Programs, GlobalStateAcrossCalls) {
+  expectClean(R"(static int log_[8];
+static int logged = 0;
+
+static void record(int event) {
+  if (logged < 8) { log_[logged++] = event; }
+}
+
+static int replay(void) {
+  int sum = 0; int i;
+  for (i = 0; i < logged; i++) { sum = sum * 10 + log_[i]; }
+  return sum;
+}
+
+int main(void) {
+  record(1); record(2); record(3);
+  return replay() - 123;
+}
+)");
+}
+
+} // namespace

@@ -1,0 +1,159 @@
+//===- tests/test_property_arith.cpp - Random expression properties -----------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// Property test: for randomly generated (defined!) unsigned-arithmetic
+// expressions, the machine must agree with a host-side oracle, and must
+// never report undefinedness. Unsigned arithmetic keeps the generated
+// programs defined by construction (wraparound, masked shifts, guarded
+// divisors).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+#include <string>
+
+using namespace cundef;
+
+namespace {
+
+/// Deterministic xorshift so every seed regenerates the same program.
+struct Rng {
+  uint32_t State;
+  explicit Rng(uint32_t Seed) : State(Seed ? Seed : 1) {}
+  uint32_t next() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  }
+  uint32_t below(uint32_t N) { return next() % N; }
+};
+
+struct GenExpr {
+  std::string Text;
+  uint64_t Value;
+};
+
+/// Variables available to generated expressions, with fixed values.
+constexpr uint64_t VarA = 0x1234567890abcdefull;
+constexpr uint64_t VarB = 17;
+constexpr uint64_t VarC = 0xfffffffffffffff0ull;
+
+GenExpr genExpr(Rng &R, int Depth) {
+  if (Depth == 0 || R.below(4) == 0) {
+    switch (R.below(4)) {
+    case 0:
+      return {"a", VarA};
+    case 1:
+      return {"b", VarB};
+    case 2:
+      return {"c", VarC};
+    default: {
+      uint64_t K = R.below(1000);
+      return {std::to_string(K) + "ul", K};
+    }
+    }
+  }
+  GenExpr L = genExpr(R, Depth - 1);
+  GenExpr Rhs = genExpr(R, Depth - 1);
+  switch (R.below(8)) {
+  case 0:
+    return {"(" + L.Text + " + " + Rhs.Text + ")", L.Value + Rhs.Value};
+  case 1:
+    return {"(" + L.Text + " - " + Rhs.Text + ")", L.Value - Rhs.Value};
+  case 2:
+    return {"(" + L.Text + " * " + Rhs.Text + ")", L.Value * Rhs.Value};
+  case 3:
+    return {"(" + L.Text + " & " + Rhs.Text + ")", L.Value & Rhs.Value};
+  case 4:
+    return {"(" + L.Text + " | " + Rhs.Text + ")", L.Value | Rhs.Value};
+  case 5:
+    return {"(" + L.Text + " ^ " + Rhs.Text + ")", L.Value ^ Rhs.Value};
+  case 6: {
+    // Defined shift: count masked to [0, 63].
+    std::string Text =
+        "(" + L.Text + " << (" + Rhs.Text + " & 63ul))";
+    return {Text, L.Value << (Rhs.Value & 63)};
+  }
+  default: {
+    // Defined division: divisor forced nonzero.
+    std::string Text = "(" + L.Text + " / (" + Rhs.Text + " | 1ul))";
+    return {Text, L.Value / (Rhs.Value | 1)};
+  }
+  }
+}
+
+class ArithProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArithProperty, MachineMatchesOracle) {
+  Rng R(static_cast<uint32_t>(GetParam() * 2654435761u + 7));
+  GenExpr E = genExpr(R, 4);
+  std::string Source =
+      "int main(void) {\n"
+      "  unsigned long a = 0x1234567890abcdeful;\n"
+      "  unsigned long b = 17ul;\n"
+      "  unsigned long c = 0xfffffffffffffff0ul;\n"
+      "  unsigned long r = " + E.Text + ";\n"
+      "  return r == " + std::to_string(E.Value) + "ul ? 0 : 1;\n}\n";
+  expectClean(Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArithProperty, ::testing::Range(0, 48));
+
+/// The same property through comparisons: the machine's relational
+/// operators agree with the oracle's.
+class CompareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompareProperty, ComparisonsMatchOracle) {
+  Rng R(static_cast<uint32_t>(GetParam() * 40503u + 3));
+  GenExpr L = genExpr(R, 3);
+  GenExpr Rhs = genExpr(R, 3);
+  const char *Ops[] = {"<", "<=", ">", ">=", "==", "!="};
+  unsigned Which = R.below(6);
+  bool Expected;
+  switch (Which) {
+  case 0: Expected = L.Value < Rhs.Value; break;
+  case 1: Expected = L.Value <= Rhs.Value; break;
+  case 2: Expected = L.Value > Rhs.Value; break;
+  case 3: Expected = L.Value >= Rhs.Value; break;
+  case 4: Expected = L.Value == Rhs.Value; break;
+  default: Expected = L.Value != Rhs.Value; break;
+  }
+  std::string Source =
+      "int main(void) {\n"
+      "  unsigned long a = 0x1234567890abcdeful;\n"
+      "  unsigned long b = 17ul;\n"
+      "  unsigned long c = 0xfffffffffffffff0ul;\n"
+      "  int r = (" + L.Text + ") " + Ops[Which] + " (" + Rhs.Text + ");\n"
+      "  return r == " + (Expected ? "1" : "0") + " ? 0 : 1;\n}\n";
+  expectClean(Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompareProperty, ::testing::Range(0, 32));
+
+/// Signed arithmetic stays in oracle agreement while the values are
+/// small enough to be defined.
+class SignedSmallProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SignedSmallProperty, SmallSignedArithMatches) {
+  Rng R(static_cast<uint32_t>(GetParam() * 69069u + 11));
+  int64_t A = static_cast<int64_t>(R.below(2000)) - 1000;
+  int64_t B = static_cast<int64_t>(R.below(2000)) - 1000;
+  int64_t Div = B == 0 ? 1 : B;
+  int64_t Expected = (A + B) * 3 - A / Div + (A % Div);
+  std::string Source =
+      "int main(void) {\n"
+      "  int a = " + std::to_string(A) + ";\n"
+      "  int b = " + std::to_string(B) + ";\n"
+      "  int div = b == 0 ? 1 : b;\n"
+      "  int r = (a + b) * 3 - a / div + (a % div);\n"
+      "  return r == " + std::to_string(Expected) + " ? 0 : 1;\n}\n";
+  expectClean(Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignedSmallProperty,
+                         ::testing::Range(0, 32));
+
+} // namespace

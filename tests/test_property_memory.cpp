@@ -1,0 +1,178 @@
+//===- tests/test_property_memory.cpp - Memory model properties ----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// Properties of the symbolic memory: last-write-wins byte semantics
+// against a reference map, byte-wise copies preserving arbitrary
+// patterns (including pointer fragments, paper 4.3.2), and memcpy
+// agreeing with a manual loop.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+#include "mem/SymbolicMemory.h"
+
+#include <map>
+
+using namespace cundef;
+
+namespace {
+
+struct Rng {
+  uint32_t State;
+  explicit Rng(uint32_t Seed) : State(Seed ? Seed : 1) {}
+  uint32_t next() {
+    State ^= State << 13;
+    State ^= State >> 17;
+    State ^= State << 5;
+    return State;
+  }
+  uint32_t below(uint32_t N) { return next() % N; }
+};
+
+class MemoryProperty : public ::testing::TestWithParam<int> {};
+
+/// Random interleaved writes/reads against a std::map oracle.
+TEST_P(MemoryProperty, LastWriteWins) {
+  Rng R(static_cast<uint32_t>(GetParam() * 2654435761u + 13));
+  SymbolicMemory Mem;
+  uint32_t Id = Mem.create(StorageKind::Heap, 64, QualType(), NoSymbol);
+  std::map<int64_t, uint8_t> Oracle;
+  for (int Step = 0; Step < 200; ++Step) {
+    int64_t Off = R.below(64);
+    if (R.below(2)) {
+      uint8_t V = static_cast<uint8_t>(R.next());
+      ASSERT_EQ(Mem.writeByte(Id, Off, Byte::concrete(V)), MemStatus::Ok);
+      Oracle[Off] = V;
+    } else {
+      Byte Out;
+      ASSERT_EQ(Mem.readByte(Id, Off, Out), MemStatus::Ok);
+      auto It = Oracle.find(Off);
+      if (It == Oracle.end()) {
+        EXPECT_TRUE(Out.isUnknown()) << "untouched bytes stay unknown";
+      } else {
+        ASSERT_TRUE(Out.isConcrete());
+        EXPECT_EQ(Out.Value, It->second);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryProperty, ::testing::Range(0, 24));
+
+class ByteCopyProperty : public ::testing::TestWithParam<int> {};
+
+/// A generated program fills a buffer with a random pattern, copies it
+/// byte-wise, and verifies every byte: must be clean and exit 0.
+TEST_P(ByteCopyProperty, PatternSurvivesByteCopy) {
+  Rng R(static_cast<uint32_t>(GetParam() * 48271u + 5));
+  unsigned N = 4 + R.below(24);
+  std::string Fill, Check;
+  for (unsigned I = 0; I < N; ++I) {
+    unsigned V = R.below(256);
+    Fill += "  src[" + std::to_string(I) + "] = " + std::to_string(V) +
+            ";\n";
+    Check += "  if (dst[" + std::to_string(I) +
+             "] != " + std::to_string(V) + ") { return 1; }\n";
+  }
+  std::string Source =
+      "int main(void) {\n"
+      "  unsigned char src[" + std::to_string(N) + "];\n"
+      "  unsigned char dst[" + std::to_string(N) + "];\n"
+      "  unsigned long i;\n" +
+      Fill +
+      "  for (i = 0; i < sizeof src; i++) { dst[i] = src[i]; }\n" +
+      Check +
+      "  return 0;\n}\n";
+  expectClean(Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteCopyProperty, ::testing::Range(0, 16));
+
+class MemcpyProperty : public ::testing::TestWithParam<int> {};
+
+/// memcpy must agree with the manual loop for random sizes and data,
+/// including struct-typed buffers with padding.
+TEST_P(MemcpyProperty, MemcpyMatchesLoop) {
+  Rng R(static_cast<uint32_t>(GetParam() * 16807u + 29));
+  unsigned N = 1 + R.below(16);
+  std::string Seeds;
+  for (unsigned I = 0; I < N; ++I)
+    Seeds += "  a[" + std::to_string(I) + "] = " +
+             std::to_string(R.below(90) + 1) + ";\n";
+  std::string Source =
+      "#include <string.h>\n"
+      "int main(void) {\n"
+      "  int a[" + std::to_string(N) + "];\n"
+      "  int viaMemcpy[" + std::to_string(N) + "];\n"
+      "  int viaLoop[" + std::to_string(N) + "];\n"
+      "  unsigned long i;\n" +
+      Seeds +
+      "  memcpy(viaMemcpy, a, sizeof a);\n"
+      "  for (i = 0; i < " + std::to_string(N) + "ul; i++) {"
+      " viaLoop[i] = a[i]; }\n"
+      "  return memcmp(viaMemcpy, viaLoop, sizeof a);\n}\n";
+  expectClean(Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemcpyProperty, ::testing::Range(0, 16));
+
+class PointerFragProperty : public ::testing::TestWithParam<int> {};
+
+/// Pointer fragments reassemble for any element of any array: copying
+/// &arr[k]'s bytes yields a pointer that reads arr[k] (paper 4.3.2).
+TEST_P(PointerFragProperty, AnyElementPointerSurvivesByteCopy) {
+  Rng R(static_cast<uint32_t>(GetParam() * 97u + 41));
+  unsigned N = 2 + R.below(10);
+  unsigned K = R.below(N);
+  std::string Source =
+      "int main(void) {\n"
+      "  int arr[" + std::to_string(N) + "];\n"
+      "  int *src; int *dst; unsigned long i;\n"
+      "  unsigned char *from; unsigned char *to;\n"
+      "  for (i = 0; i < " + std::to_string(N) + "ul; i++) {"
+      " arr[i] = (int)(i * 7ul); }\n"
+      "  src = &arr[" + std::to_string(K) + "];\n"
+      "  from = (unsigned char*)&src;\n"
+      "  to = (unsigned char*)&dst;\n"
+      "  for (i = 0; i < sizeof src; i++) { to[i] = from[i]; }\n"
+      "  return *dst == " + std::to_string(K * 7) + " ? 0 : 1;\n}\n";
+  expectClean(Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PointerFragProperty,
+                         ::testing::Range(0, 16));
+
+class StructLayoutProperty : public ::testing::TestWithParam<int> {};
+
+/// Random struct shapes: field writes are independent (no overlap), and
+/// whole-struct assignment copies every field.
+TEST_P(StructLayoutProperty, FieldsIndependentAndCopied) {
+  Rng R(static_cast<uint32_t>(GetParam() * 31337u + 3));
+  const char *FieldTypes[] = {"char", "short", "int", "long"};
+  unsigned NumFields = 2 + R.below(5);
+  std::string Def = "struct shape {\n";
+  for (unsigned I = 0; I < NumFields; ++I)
+    Def += std::string("  ") + FieldTypes[R.below(4)] + " f" +
+           std::to_string(I) + ";\n";
+  Def += "};\n";
+  std::string Writes, Checks;
+  for (unsigned I = 0; I < NumFields; ++I) {
+    unsigned V = R.below(100);
+    Writes += "  a.f" + std::to_string(I) + " = " + std::to_string(V) +
+              ";\n";
+    Checks += "  if (b.f" + std::to_string(I) +
+              " != " + std::to_string(V) + ") { return 1; }\n";
+  }
+  std::string Source = Def +
+                       "int main(void) {\n"
+                       "  struct shape a;\n"
+                       "  struct shape b;\n" +
+                       Writes + "  b = a;\n" + Checks + "  return 0;\n}\n";
+  expectClean(Source);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StructLayoutProperty,
+                         ::testing::Range(0, 16));
+
+} // namespace

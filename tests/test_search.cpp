@@ -1,0 +1,150 @@
+//===- tests/test_search.cpp - Evaluation-order search tests -------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+using namespace cundef;
+
+namespace {
+
+SearchResult searchSource(const char *Source, unsigned MaxRuns = 64,
+                          Driver::Compiled *Keep = nullptr) {
+  static std::vector<std::unique_ptr<Driver::Compiled>> Keeper;
+  Driver Drv;
+  auto C = std::make_unique<Driver::Compiled>(Drv.compile(Source, "s.c"));
+  EXPECT_TRUE(C->Ok) << C->Errors;
+  MachineOptions Opts;
+  OrderSearch Search(*C->Ast, Opts, MaxRuns);
+  SearchResult R = Search.run();
+  if (Keep)
+    *Keep = std::move(*C);
+  else
+    Keeper.push_back(std::move(C)); // keep the AST alive for reports
+  return R;
+}
+
+TEST(Search, PaperExampleFoundOnReversedOrder) {
+  SearchResult R = searchSource(
+      "int d = 5;\n"
+      "int setDenom(int x) { return d = x; }\n"
+      "int main(void) { return (10 / d) + setDenom(0); }\n");
+  EXPECT_TRUE(R.UbFound);
+  ASSERT_FALSE(R.Reports.empty());
+  EXPECT_EQ(R.Reports.front().Kind, UbKind::DivisionByZero);
+  EXPECT_GE(R.RunsExplored, 2u) << "the default order is defined";
+  EXPECT_FALSE(R.Witness.empty());
+}
+
+TEST(Search, DefinedProgramExhaustsCleanly) {
+  SearchResult R = searchSource(
+      "static int f(void) { return 1; }\n"
+      "static int g(void) { return 2; }\n"
+      "int main(void) { return f() + g() - 3; }\n");
+  EXPECT_FALSE(R.UbFound);
+  EXPECT_EQ(R.LastStatus, RunStatus::Completed);
+}
+
+TEST(Search, FirstRunUbNeedsNoSearch) {
+  SearchResult R = searchSource(
+      "int main(void) { int d = 0; return 1 / d; }\n");
+  EXPECT_TRUE(R.UbFound);
+  EXPECT_EQ(R.RunsExplored, 1u);
+  EXPECT_TRUE(R.Witness.empty()) << "default order is the witness";
+}
+
+TEST(Search, TwoFlipDependenceFound) {
+  SearchResult R = searchSource(
+      "int a = 1;\n"
+      "int set(int v) { a = v; return 0; }\n"
+      "int main(void) { return (8 / a) + (set(0) + set(1)); }\n");
+  EXPECT_TRUE(R.UbFound) << "needs the outer AND inner order reversed";
+}
+
+TEST(Search, BudgetIsRespected) {
+  SearchResult R = searchSource(
+      "static int f(int a, int b) { return a + b; }\n"
+      "int main(void) {\n"
+      "  int t = 0; int i;\n"
+      "  for (i = 0; i < 6; i++) { t += f(i, i + 1) + f(i, i); }\n"
+      "  return t > 0 ? 0 : 1;\n}\n",
+      /*MaxRuns=*/5);
+  EXPECT_FALSE(R.UbFound);
+  EXPECT_LE(R.RunsExplored, 5u);
+}
+
+TEST(Search, ReplayIsDeterministic) {
+  // Replaying the recorded witness must reproduce the same verdict.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(
+      "int d = 5;\n"
+      "int setDenom(int x) { return d = x; }\n"
+      "int main(void) { return (10 / d) + setDenom(0); }\n",
+      "replay.c");
+  ASSERT_TRUE(C.Ok);
+  MachineOptions Opts;
+  OrderSearch Search(*C.Ast, Opts, 64);
+  SearchResult R = Search.run();
+  ASSERT_TRUE(R.UbFound);
+
+  for (int Round = 0; Round < 3; ++Round) {
+    UbSink Sink;
+    Machine M(*C.Ast, Opts, Sink);
+    M.setReplayDecisions(R.Witness);
+    RunStatus Status = M.run();
+    EXPECT_EQ(Status, RunStatus::UbDetected);
+    ASSERT_FALSE(Sink.all().empty());
+    EXPECT_EQ(Sink.all().front().Kind, UbKind::DivisionByZero);
+  }
+}
+
+TEST(Search, OrderPoliciesDiffer) {
+  // Right-to-left alone already finds the paper's example.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(
+      "int d = 5;\n"
+      "int setDenom(int x) { return d = x; }\n"
+      "int main(void) { return (10 / d) + setDenom(0); }\n",
+      "rtl.c");
+  ASSERT_TRUE(C.Ok);
+
+  MachineOptions Ltr;
+  Ltr.Order = EvalOrderKind::LeftToRight;
+  UbSink SinkL;
+  Machine ML(*C.Ast, Ltr, SinkL);
+  EXPECT_EQ(ML.run(), RunStatus::Completed);
+  EXPECT_TRUE(SinkL.empty());
+
+  MachineOptions Rtl;
+  Rtl.Order = EvalOrderKind::RightToLeft;
+  UbSink SinkR;
+  Machine MR(*C.Ast, Rtl, SinkR);
+  EXPECT_EQ(MR.run(), RunStatus::UbDetected);
+  EXPECT_TRUE(SinkR.has(UbKind::DivisionByZero));
+}
+
+TEST(Search, RandomOrderIsSeedDeterministic) {
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(
+      "static int f(int a, int b) { return a * 10 + b; }\n"
+      "int main(void) { int x = 0; return f(x = 1, x = 2) > 0 ? 0 : 1; }\n",
+      "rand.c");
+  ASSERT_TRUE(C.Ok);
+  auto RunSeed = [&](uint32_t Seed) {
+    MachineOptions Opts;
+    Opts.Order = EvalOrderKind::Random;
+    Opts.Seed = Seed;
+    UbSink Sink;
+    Machine M(*C.Ast, Opts, Sink);
+    M.run();
+    return Sink.size();
+  };
+  EXPECT_EQ(RunSeed(42), RunSeed(42)) << "same seed, same verdict";
+}
+
+} // namespace

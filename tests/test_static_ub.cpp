@@ -1,0 +1,163 @@
+//===- tests/test_static_ub.cpp - Static undefinedness checks -----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The statically detectable behaviors (paper section 5.2.1: "92 are
+// statically detectable"): each implemented check fires on its trigger
+// and stays quiet on the control.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cundef;
+
+namespace {
+
+/// Compiles and returns the static findings only.
+std::vector<UbReport> staticFindings(const std::string &Source) {
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Source, "t.c");
+  return C.StaticUb;
+}
+
+bool hasStatic(const std::string &Source, UbKind Kind) {
+  for (const UbReport &R : staticFindings(Source))
+    if (R.Kind == Kind)
+      return true;
+  return false;
+}
+
+TEST(StaticUb, ZeroLengthArray) {
+  EXPECT_TRUE(hasStatic("int main(void) { int a[0]; return 0; }",
+                        UbKind::ArraySizeNotPositive));
+  EXPECT_FALSE(hasStatic("int main(void) { int a[1]; a[0] = 0;"
+                         " return a[0]; }",
+                         UbKind::ArraySizeNotPositive));
+}
+
+TEST(StaticUb, NegativeLengthArray) {
+  EXPECT_TRUE(hasStatic("int main(void) { int a[-4]; return 0; }",
+                        UbKind::ArraySizeNotPositive));
+}
+
+TEST(StaticUb, ZeroLengthArrayInGlobal) {
+  EXPECT_TRUE(hasStatic("int g[0];\nint main(void) { return 0; }",
+                        UbKind::ArraySizeNotPositive));
+}
+
+TEST(StaticUb, QualifiedFunctionType) {
+  EXPECT_TRUE(hasStatic("typedef int fn(void);\nconst fn f;\n"
+                        "int main(void) { return 0; }",
+                        UbKind::FunctionTypeQualified));
+  EXPECT_FALSE(hasStatic("typedef int fn(void);\nfn f;\n"
+                         "int main(void) { return 0; }",
+                         UbKind::FunctionTypeQualified));
+}
+
+TEST(StaticUb, VoidValueUse) {
+  EXPECT_TRUE(hasStatic("int main(void) { if (0) { (int)(void)5; }"
+                        " return 0; }",
+                        UbKind::UseOfVoidExpressionValue));
+  EXPECT_FALSE(hasStatic("int main(void) { if (0) { (void)5; }"
+                         " return 0; }",
+                         UbKind::UseOfVoidExpressionValue));
+}
+
+TEST(StaticUb, AssignToConst) {
+  EXPECT_TRUE(hasStatic("int main(void) { const int c = 1; c = 2;"
+                        " return 0; }",
+                        UbKind::AssignToConstLvalue));
+  EXPECT_TRUE(hasStatic("int main(void) { const int c = 1; c += 1;"
+                        " return 0; }",
+                        UbKind::AssignToConstLvalue));
+  EXPECT_TRUE(hasStatic("int main(void) { const int c = 1;"
+                        " int *p = (int*)&c; c++; return *p; }",
+                        UbKind::AssignToConstLvalue));
+}
+
+TEST(StaticUb, IncompatibleRedeclaration) {
+  EXPECT_TRUE(hasStatic("int f(int);\nint f(void);\n"
+                        "int main(void) { return 0; }",
+                        UbKind::IncompatibleRedeclaration));
+  EXPECT_FALSE(hasStatic("int f(int);\nint f(int);\n"
+                         "int main(void) { return 0; }",
+                         UbKind::IncompatibleRedeclaration));
+}
+
+TEST(StaticUb, IdentifiersNotDistinct) {
+  std::string Long(70, 'q');
+  EXPECT_TRUE(hasStatic("int " + Long + "1 = 1;\nint " + Long + "2 = 2;\n"
+                        "int main(void) { return 0; }",
+                        UbKind::IdentifiersNotDistinct));
+  EXPECT_FALSE(hasStatic("int q1 = 1;\nint q2 = 2;\n"
+                         "int main(void) { return 0; }",
+                         UbKind::IdentifiersNotDistinct));
+}
+
+TEST(StaticUb, MainSignature) {
+  EXPECT_TRUE(hasStatic("char main(void) { return 'x'; }",
+                        UbKind::MainWrongSignature));
+  EXPECT_TRUE(hasStatic("int main(int only) { return only * 0; }",
+                        UbKind::MainWrongSignature));
+  EXPECT_FALSE(hasStatic("int main(void) { return 0; }",
+                         UbKind::MainWrongSignature));
+}
+
+TEST(StaticUb, ConstantNullDeref) {
+  EXPECT_TRUE(hasStatic("int main(void) { if (0) { *(char*)0; }"
+                        " return 0; }",
+                        UbKind::DerefNullConstant));
+  EXPECT_FALSE(hasStatic("int main(void) { char c = 1;"
+                         " if (0) { *(&c); } return 0; }",
+                         UbKind::DerefNullConstant));
+}
+
+TEST(StaticUb, ConstantDivByZero) {
+  EXPECT_TRUE(hasStatic("int main(void) { if (0) { 5 / 0; } return 0; }",
+                        UbKind::DivByZeroConstant));
+  EXPECT_TRUE(hasStatic("int main(void) { if (0) { 5 % 0; } return 0; }",
+                        UbKind::DivByZeroConstant));
+  EXPECT_FALSE(hasStatic("int main(void) { return 5 / 5 - 1; }",
+                         UbKind::DivByZeroConstant));
+}
+
+TEST(StaticUb, IncompleteObjectType) {
+  EXPECT_TRUE(hasStatic("struct nope;\n"
+                        "int main(void) { struct nope n; (void)&n;"
+                        " return 0; }",
+                        UbKind::IncompleteTypeObject));
+}
+
+TEST(StaticUb, ReturnValueFromVoidFunction) {
+  EXPECT_TRUE(hasStatic("static void f(void) { return 1; }\n"
+                        "int main(void) { f(); return 0; }",
+                        UbKind::ReturnVoidValue));
+  EXPECT_FALSE(hasStatic("static void f(void) { return; }\n"
+                         "int main(void) { f(); return 0; }",
+                         UbKind::ReturnVoidValue));
+}
+
+TEST(StaticUb, ArityMismatchAgainstPrototype) {
+  EXPECT_TRUE(hasStatic("static int two(int a, int b) { return a + b; }\n"
+                        "int main(void) { return two(1); }",
+                        UbKind::CallArityMismatch));
+}
+
+TEST(StaticUb, FindingsAreMarkedStatic) {
+  for (const UbReport &R :
+       staticFindings("int main(void) { int a[0]; return 0; }"))
+    EXPECT_TRUE(R.StaticFinding);
+}
+
+TEST(StaticUb, UnreachabilityDoesNotMatter) {
+  // The paper's 5.2.1 point: statically undefined behaviors are flagged
+  // regardless of control flow around them.
+  EXPECT_TRUE(hasStatic("int main(void) {\n"
+                        "  return 0;\n"
+                        "  { int dead[0]; }\n"
+                        "}\n",
+                        UbKind::ArraySizeNotPositive));
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tests/test_ub_arith.cpp - Arithmetic undefinedness --------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// Division, overflow, shifts, and conversions: paper sections 4.1.1
+// (side conditions on division) and the arithmetic rows of the catalog.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cundef;
+
+namespace {
+
+TEST(UbArith, DivisionByZero) {
+  expectUb("int main(void) { int d = 0; return 1 / d; }",
+           UbKind::DivisionByZero);
+}
+
+TEST(UbArith, DivisionByZeroValueDiscarded) {
+  // The paper's 4.1.1 point: 5/0; must not slip through just because
+  // the semicolon discards the value.
+  expectUb("int main(void) { int d = 0; 5 / d; return 0; }",
+           UbKind::DivisionByZero);
+}
+
+TEST(UbArith, ModuloByZero) {
+  expectUb("int main(void) { int d = 0; return 1 % d; }",
+           UbKind::ModuloByZero);
+}
+
+TEST(UbArith, DivisionOk) {
+  expectClean("int main(void) { int d = 2; return (9 / d) - 4; }");
+}
+
+TEST(UbArith, UnsignedDivisionByZeroStillUb) {
+  expectUb("int main(void) { unsigned d = 0u; return (int)(1u / d); }",
+           UbKind::DivisionByZero);
+}
+
+TEST(UbArith, IntMinDividedByMinusOne) {
+  expectUb("int main(void) { int m = -2147483647 - 1; int d = -1;"
+           " return m / d; }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, AddOverflow) {
+  expectUb("int main(void) { int x = 2147483647; return (x + 1) != 0; }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, SubOverflow) {
+  expectUb("int main(void) { int x = -2147483647 - 1; return (x - 1) != 0;"
+           " }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, MulOverflow) {
+  expectUb("int main(void) { int x = 65536; return (x * x) != 0; }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, UnsignedWrapIsDefined) {
+  expectClean("int main(void) { unsigned x = 4294967295u;"
+              " return (x + 1u) == 0u ? 0 : 1; }");
+}
+
+TEST(UbArith, LongArithmeticAvoidsIntOverflow) {
+  expectClean("int main(void) { long x = 2147483647;"
+              " return (x + 1) == 2147483648 ? 0 : 1; }");
+}
+
+TEST(UbArith, IncrementOverflow) {
+  expectUb("int main(void) { int x = 2147483647; x++; return 0; }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, CharIncrementNeverOverflows) {
+  // char computes in int; conversion back is implementation-defined,
+  // not undefined.
+  expectClean("int main(void) { char c = 127; c++; return 0; }");
+}
+
+TEST(UbArith, ShiftTooWide) {
+  expectUb("int main(void) { int x = 1; return (x << 32) != 0; }",
+           UbKind::ShiftExponentOutOfRange);
+}
+
+TEST(UbArith, ShiftWidthOfLongIsWider) {
+  expectClean("int main(void) { long x = 1; return (x << 32) == 0; }");
+}
+
+TEST(UbArith, NegativeShiftCount) {
+  expectUb("int main(void) { int n = -1; return (1 << n) != 0; }",
+           UbKind::NegativeShiftCount);
+}
+
+TEST(UbArith, ShiftOfNegative) {
+  expectUb("int main(void) { int x = -1; return (x << 1) != 0; }",
+           UbKind::ShiftOfNegative);
+}
+
+TEST(UbArith, ShiftProducingUnrepresentable) {
+  expectUb("int main(void) { int x = 1073741824; return (x << 1) != 0; }",
+           UbKind::ShiftOfNegative);
+}
+
+TEST(UbArith, RightShiftOfNegativeIsImplDefined) {
+  // Implementation-defined, not undefined (C11 6.5.7p5).
+  expectClean("int main(void) { int x = -8; return (x >> 1) != -4; }");
+}
+
+TEST(UbArith, UnsignedShiftWraps) {
+  expectClean("int main(void) { unsigned x = 0x80000000u;"
+              " return (x << 1) == 0u ? 0 : 1; }");
+}
+
+TEST(UbArith, FloatToIntOverflow) {
+  expectUb("int main(void) { double d = 1e10; return (int)d; }",
+           UbKind::FloatToIntOverflow);
+}
+
+TEST(UbArith, FloatToIntFits) {
+  expectClean("int main(void) { double d = 42.9; return (int)d - 42; }");
+}
+
+TEST(UbArith, FloatDivisionByZeroIsDefined) {
+  // Annex F semantics: infinity, not undefined.
+  expectClean("int main(void) { double d = 0.0; double r = 1.0 / d;"
+              " return r > 0.0 ? 0 : 1; }");
+}
+
+TEST(UbArith, NegateIntMin) {
+  expectUb("int main(void) { int m = -2147483647 - 1; return -m; }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, CompoundDivZero) {
+  expectUb("int main(void) { int x = 6; int d = 0; x /= d; return x; }",
+           UbKind::DivisionByZero);
+}
+
+TEST(UbArith, CompoundOverflow) {
+  expectUb("int main(void) { int x = 2147483647; x += 1; return x; }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, AbsOfIntMin) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) { int m = -2147483647 - 1; return abs(m); }",
+           UbKind::SignedOverflow);
+}
+
+TEST(UbArith, BitwiseOpsNeverOverflow) {
+  expectClean("int main(void) { int x = -1; int y = x & 0x7fffffff;"
+              " return (x | y) == -1 && (x ^ x) == 0 && ~0 == -1 ? 0 : 1;"
+              " }");
+}
+
+} // namespace

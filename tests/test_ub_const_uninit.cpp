@@ -1,0 +1,195 @@
+//===- tests/test_ub_const_uninit.cpp - const and indeterminate values --------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The notWritable cell (paper 4.2.2) including the strchr laundering
+// example, string literals, and unknown(N) bytes (4.3.3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cundef;
+
+namespace {
+
+TEST(UbConst, StrchrLaunderingCaught) {
+  // The paper's flagship const example: strchr removes const, but the
+  // memory itself was defined const, so the write is undefined.
+  expectUb("#include <string.h>\n"
+           "int main(void) {\n"
+           "  const char p[] = \"hello\";\n"
+           "  char *q = strchr(p, p[0]);\n"
+           "  *q = 'H';\n"
+           "  return 0;\n}\n",
+           UbKind::WriteThroughConstPointer);
+}
+
+TEST(UbConst, StrchrOnMutableArrayOk) {
+  expectClean("#include <string.h>\n"
+              "int main(void) {\n"
+              "  char p[] = \"hello\";\n"
+              "  char *q = strchr(p, 'l');\n"
+              "  *q = 'L';\n"
+              "  return p[2] == 'L' ? 0 : 1;\n}\n");
+}
+
+TEST(UbConst, CastAwayConstWrite) {
+  expectUb("int main(void) { const int c = 1; *(int*)&c = 2; return c; }",
+           UbKind::WriteThroughConstPointer);
+}
+
+TEST(UbConst, ConstStructField) {
+  expectUb("struct s { const int locked; int open; };\n"
+           "int main(void) {\n"
+           "  struct s v = {1, 2};\n"
+           "  *(int*)&v.locked = 9;\n"
+           "  return 0;\n}\n",
+           UbKind::WriteThroughConstPointer);
+}
+
+TEST(UbConst, MutableFieldOfConstlessStructOk) {
+  expectClean("struct s { const int locked; int open; };\n"
+              "int main(void) {\n"
+              "  struct s v = {1, 2};\n"
+              "  v.open = 5;\n"
+              "  return v.open - 5;\n}\n");
+}
+
+TEST(UbConst, StringLiteralWrite) {
+  expectUb("int main(void) { char *s = \"abc\"; s[1] = 'X'; return 0; }",
+           UbKind::ModifyStringLiteral);
+}
+
+TEST(UbConst, StringLiteralReadOk) {
+  expectClean("int main(void) { const char *s = \"abc\";"
+              " return s[1] - 'b'; }");
+}
+
+TEST(UbConst, ArrayCopyOfLiteralIsWritable) {
+  expectClean("int main(void) { char s[] = \"abc\"; s[1] = 'X';"
+              " return s[1] - 'X'; }");
+}
+
+TEST(UbConst, InitializationOfConstIsAllowed) {
+  expectClean("int main(void) { const int x = 3; return x - 3; }");
+}
+
+TEST(UbUninit, ReadUninitializedInt) {
+  expectUb("int main(void) { int x; return x; }",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, ReadInitializedOk) {
+  expectClean("int main(void) { int x = 7; return x - 7; }");
+}
+
+TEST(UbUninit, UninitUsedInArithmetic) {
+  expectUb("int main(void) { int x; int y = 2 * x; return y; }",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, UninitBranch) {
+  expectUb("int main(void) { int c; if (c) { return 1; } return 0; }",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, PartialStructInitZeroFillsRest) {
+  // {1} zero-initializes .b (C11 6.7.9p19): reading it is defined.
+  expectClean("struct p { int a; int b; };\n"
+              "int main(void) { struct p v = {1}; return v.b; }");
+}
+
+TEST(UbUninit, WhollyUninitStructFieldRead) {
+  expectUb("struct p { int a; int b; };\n"
+           "int main(void) { struct p v; return v.b; }",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, StructCopyCarriesUnknownBytes) {
+  // Copying a partially-uninitialized struct is fine; using the copied
+  // indeterminate member is not (paper 4.3.3).
+  expectClean("struct p { int a; int b; };\n"
+              "int main(void) {\n"
+              "  struct p v; v.a = 1;\n"
+              "  struct p w = v;\n"
+              "  return w.a - 1;\n}\n");
+  expectUb("struct p { int a; int b; };\n"
+           "int main(void) {\n"
+           "  struct p v; v.a = 1;\n"
+           "  struct p w = v;\n"
+           "  return w.b;\n}\n",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, UnsignedCharMayCarryUnknownBytes) {
+  // The unsigned-character exemption (paper 4.3.3): copying
+  // uninitialized bytes through unsigned char lvalues is allowed...
+  expectClean("int main(void) {\n"
+              "  int a; int b = 5;\n"
+              "  unsigned char *src = (unsigned char*)&a;\n"
+              "  unsigned char *dst = (unsigned char*)&b;\n"
+              "  unsigned long i;\n"
+              "  for (i = 0; i < sizeof(int); i++) { dst[i] = src[i]; }\n"
+              "  return 0;\n}\n");
+}
+
+TEST(UbUninit, ArithmeticOnCarriedUnknownByteIsUb) {
+  // ...but computing with such a byte is undefined.
+  expectUb("int main(void) {\n"
+           "  int a;\n"
+           "  unsigned char *p = (unsigned char*)&a;\n"
+           "  return p[0] + 1;\n}\n",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, PointerBytesReassemble) {
+  // The paper's 4.3.2 example: copying every byte of a pointer through
+  // unsigned char reconstructs a usable pointer.
+  expectClean("int main(void) {\n"
+              "  int x = 5, y = 6;\n"
+              "  int *p = &x; int *q = &y;\n"
+              "  unsigned char *a = (unsigned char*)&p;\n"
+              "  unsigned char *b = (unsigned char*)&q;\n"
+              "  unsigned long i;\n"
+              "  for (i = 0; i < sizeof p; i++) { a[i] = b[i]; }\n"
+              "  return *p - 6;\n}\n");
+}
+
+TEST(UbUninit, PartialPointerCopyIsUnusable) {
+  expectUb("int main(void) {\n"
+           "  int x = 5, y = 6;\n"
+           "  int *p = &x; int *q = &y;\n"
+           "  unsigned char *a = (unsigned char*)&p;\n"
+           "  unsigned char *b = (unsigned char*)&q;\n"
+           "  unsigned long i;\n"
+           "  for (i = 0; i + 1 < sizeof p; i++) { a[i] = b[i]; }\n"
+           "  return *p;\n}\n",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, StaticStorageIsZeroInitialized) {
+  expectClean("int global_zero;\n"
+              "int main(void) { static int s; return global_zero + s; }");
+}
+
+TEST(UbUninit, HeapIsUninitialized) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) {\n"
+           "  int *p = (int*)malloc(sizeof(int));\n"
+           "  if (!p) { return 1; }\n"
+           "  return *p;\n}\n",
+           UbKind::ReadIndeterminateValue);
+}
+
+TEST(UbUninit, CallocIsZeroed) {
+  expectClean("#include <stdlib.h>\n"
+              "int main(void) {\n"
+              "  int *p = (int*)calloc(4, sizeof(int));\n"
+              "  if (!p) { return 1; }\n"
+              "  int r = p[3];\n"
+              "  free(p);\n"
+              "  return r;\n}\n");
+}
+
+} // namespace

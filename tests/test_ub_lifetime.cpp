@@ -1,0 +1,182 @@
+//===- tests/test_ub_lifetime.cpp - Lifetime undefinedness -------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// Object lifetimes: block scope, escaped stack addresses, heap frees,
+// and the calls that misuse them.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cundef;
+
+namespace {
+
+TEST(UbLifetime, UseAfterBlockExit) {
+  expectUb("int main(void) {\n"
+           "  int *p;\n"
+           "  { int x = 3; p = &x; }\n"
+           "  return *p;\n}\n",
+           UbKind::AccessDeadObject);
+}
+
+TEST(UbLifetime, SameBlockStillAliveOk) {
+  expectClean("int main(void) {\n"
+              "  int x = 3; int *p;\n"
+              "  { p = &x; }\n"
+              "  return *p - 3;\n}\n");
+}
+
+TEST(UbLifetime, EscapedStackAddress) {
+  expectUb("static int *leak(void) { int x = 5; return &x; }\n"
+           "int main(void) { return *leak(); }\n",
+           UbKind::AccessDeadObject);
+}
+
+TEST(UbLifetime, LoopIterationEndsLifetime) {
+  expectUb("int main(void) {\n"
+           "  int *p = 0; int i;\n"
+           "  for (i = 0; i < 2; i++) {\n"
+           "    int fresh = i;\n"
+           "    if (i == 1) { return *p; }\n"
+           "    p = &fresh;\n"
+           "  }\n"
+           "  return 0;\n}\n",
+           UbKind::AccessDeadObject);
+}
+
+TEST(UbLifetime, UseAfterFree) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) {\n"
+           "  int *p = (int*)malloc(sizeof(int));\n"
+           "  if (!p) { return 1; }\n"
+           "  *p = 1;\n  free(p);\n  return *p;\n}\n",
+           UbKind::UseAfterFree);
+}
+
+TEST(UbLifetime, WriteAfterFree) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) {\n"
+           "  int *p = (int*)malloc(sizeof(int));\n"
+           "  if (!p) { return 1; }\n"
+           "  free(p);\n  *p = 2;\n  return 0;\n}\n",
+           UbKind::UseAfterFree);
+}
+
+TEST(UbLifetime, DoubleFree) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) {\n"
+           "  char *p = (char*)malloc(4);\n"
+           "  if (!p) { return 1; }\n"
+           "  free(p);\n  free(p);\n  return 0;\n}\n",
+           UbKind::DoubleFree);
+}
+
+TEST(UbLifetime, FreeNull) {
+  expectClean("#include <stdlib.h>\n"
+              "int main(void) { free(0); return 0; }\n");
+}
+
+TEST(UbLifetime, FreeStackPointer) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) { int x; free(&x); return 0; }\n",
+           UbKind::FreeInvalidPointer);
+}
+
+TEST(UbLifetime, FreeInteriorPointer) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) {\n"
+           "  char *p = (char*)malloc(8);\n"
+           "  if (!p) { return 1; }\n"
+           "  free(p + 2);\n  return 0;\n}\n",
+           UbKind::FreeInvalidPointer);
+}
+
+TEST(UbLifetime, FreeGlobal) {
+  expectUb("#include <stdlib.h>\n"
+           "int g;\n"
+           "int main(void) { free(&g); return 0; }\n",
+           UbKind::FreeInvalidPointer);
+}
+
+TEST(UbLifetime, MallocFreeCycleOk) {
+  expectClean("#include <stdlib.h>\n"
+              "int main(void) {\n"
+              "  int i;\n"
+              "  for (i = 0; i < 8; i++) {\n"
+              "    int *p = (int*)malloc(4 * sizeof(int));\n"
+              "    if (!p) { return 1; }\n"
+              "    p[i % 4] = i;\n"
+              "    free(p);\n"
+              "  }\n"
+              "  return 0;\n}\n");
+}
+
+TEST(UbLifetime, ReallocMovesContents) {
+  expectClean("#include <stdlib.h>\n"
+              "int main(void) {\n"
+              "  int *p = (int*)malloc(2 * sizeof(int));\n"
+              "  if (!p) { return 1; }\n"
+              "  p[0] = 11; p[1] = 22;\n"
+              "  p = (int*)realloc(p, 8 * sizeof(int));\n"
+              "  if (!p) { return 1; }\n"
+              "  int r = p[0] + p[1];\n"
+              "  free(p);\n"
+              "  return r - 33;\n}\n");
+}
+
+TEST(UbLifetime, ReallocOldPointerDead) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) {\n"
+           "  int *p = (int*)malloc(sizeof(int));\n"
+           "  if (!p) { return 1; }\n"
+           "  *p = 4;\n"
+           "  int *q = (int*)realloc(p, 64);\n"
+           "  if (!q) { return 1; }\n"
+           "  int r = *p;\n"
+           "  free(q);\n  return r;\n}\n",
+           UbKind::UseAfterFree);
+}
+
+TEST(UbLifetime, ReallocOfStackPointer) {
+  expectUb("#include <stdlib.h>\n"
+           "int main(void) {\n"
+           "  int x = 1;\n"
+           "  int *q = (int*)realloc(&x, 8);\n"
+           "  return q == 0;\n}\n",
+           UbKind::ReallocInvalidPointer);
+}
+
+TEST(UbLifetime, DanglingPointerValueUse) {
+  // Even without a dereference, using the *value* of a pointer whose
+  // object is gone is undefined (catalog row 53).
+  DriverOutcome O = runKcc("#include <stdlib.h>\n"
+                           "int main(void) {\n"
+                           "  char *p = (char*)malloc(4);\n"
+                           "  if (!p) { return 1; }\n"
+                           "  free(p);\n"
+                           "  char *q = p + 1;\n"
+                           "  return q == p;\n}\n");
+  ASSERT_TRUE(O.anyUb());
+  EXPECT_EQ(ubCode(O.DynamicUb.front().Kind), 53u);
+}
+
+TEST(UbLifetime, StaticLocalSurvivesCalls) {
+  expectClean("static int tick(void) { static int n; n++; return n; }\n"
+              "int main(void) { tick(); tick(); return tick() - 3; }\n");
+}
+
+TEST(UbLifetime, RecursionDepthLimit) {
+  expectUb("static int down(int n) { return down(n + 1); }\n"
+           "int main(void) { return down(0); }\n",
+           UbKind::RecursionLimitExceeded);
+}
+
+TEST(UbLifetime, BoundedRecursionOk) {
+  expectClean("static int fib(int n) {\n"
+              "  return n < 2 ? n : fib(n - 1) + fib(n - 2);\n}\n"
+              "int main(void) { return fib(10) - 55; }\n");
+}
+
+} // namespace

@@ -1,0 +1,118 @@
+//===- tests/test_ub_sequence.cpp - Sequencing undefinedness -----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The locsWrittenTo cell (paper 4.2.1): unsequenced writes/reads of the
+// same scalar, sequence points, and evaluation-order search.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestUtil.h"
+
+using namespace cundef;
+
+namespace {
+
+TEST(UbSequence, TwoWritesInOneExpression) {
+  expectUb("int main(void) { int x = 0; return (x = 1) + (x = 2); }",
+           UbKind::UnsequencedSideEffect);
+}
+
+TEST(UbSequence, WriteAndReadSearchFindsIt) {
+  expectUb("int main(void) { int x = 1; return x + x++; }",
+           UbKind::UnsequencedSideEffect, /*SearchRuns=*/8);
+}
+
+TEST(UbSequence, DoubleIncrementSameVariable) {
+  expectUb("int main(void) { int i = 0; return i++ + i++; }",
+           UbKind::UnsequencedSideEffect);
+}
+
+TEST(UbSequence, IEqualsIPlusPlus) {
+  expectUb("int main(void) { int i = 0; i = i++; return i; }",
+           UbKind::UnsequencedSideEffect, /*SearchRuns=*/8);
+}
+
+TEST(UbSequence, SelfAssignPlusOneIsDefined) {
+  // x = x + 1 is fine: the write is sequenced after both value
+  // computations (C11 6.5.16p3).
+  expectClean("int main(void) { int x = 4; x = x + 1; return x - 5; }");
+}
+
+TEST(UbSequence, CompoundAssignReadIsSequenced) {
+  expectClean("int main(void) { int x = 4; x += x; return x - 8; }");
+}
+
+TEST(UbSequence, SeparateStatementsAreSequenced) {
+  expectClean("int main(void) { int x = 0; x = 1; x = 2;"
+              " return x + x - 4; }");
+}
+
+TEST(UbSequence, CommaOperatorSequences) {
+  expectClean("int main(void) { int x = 0;"
+              " return (x = 1, x = 2, x - 2); }");
+}
+
+TEST(UbSequence, LogicalAndSequences) {
+  expectClean("int main(void) { int x = 0;"
+              " return ((x = 1) && (x = 2)) ? x - 2 : 1; }");
+}
+
+TEST(UbSequence, LogicalOrShortCircuits) {
+  // The rhs write never happens when the lhs is true.
+  expectClean("int main(void) { int x = 0;"
+              " return ((x = 1) || (x = 2)) ? x - 1 : 1; }");
+}
+
+TEST(UbSequence, ConditionalSequencesArms) {
+  expectClean("int main(void) { int x = 0;"
+              " return (x = 1) ? (x = 2) - 2 : (x = 3); }");
+}
+
+TEST(UbSequence, DistinctObjectsNoConflict) {
+  expectClean("int main(void) { int x = 0; int y = 0;"
+              " return (x = 1) + (y = 2) - 3; }");
+}
+
+TEST(UbSequence, CallArgumentsUnsequenced) {
+  expectUb("static int f(int a, int b) { return a + b; }\n"
+           "int main(void) { int x = 0; return f(x = 1, x = 2); }",
+           UbKind::UnsequencedSideEffect);
+}
+
+TEST(UbSequence, CallsThemselvesAreSequenced) {
+  // Two calls in one expression are indeterminately sequenced, not
+  // unsequenced: the writes inside them do not conflict (C11 6.5.2.2p10).
+  expectClean("int g;\n"
+              "static int set(int v) { g = v; return v; }\n"
+              "int main(void) { return set(1) + set(2) - 3; }");
+}
+
+TEST(UbSequence, DifferentArrayElementsOk) {
+  expectClean("int main(void) { int a[2];"
+              " return (a[0] = 1) + (a[1] = 2) - 3; }");
+}
+
+TEST(UbSequence, SameArrayElementConflicts) {
+  expectUb("int main(void) { int a[2];"
+           " return (a[0] = 1) + (a[0] = 2); }",
+           UbKind::UnsequencedSideEffect);
+}
+
+TEST(UbSequence, ForLoopHeadersAreSequenced) {
+  expectClean("int main(void) {\n"
+              "  int acc = 0; int i;\n"
+              "  for (i = 0; i < 4; i++) { acc += i; }\n"
+              "  return acc - 6;\n}\n");
+}
+
+TEST(UbSequence, OrderSearchRequiredForOneDirection) {
+  // Left-to-right alone misses this; the searched right-to-left order
+  // writes d before the division (paper 2.5.2).
+  expectUb("int d = 5;\n"
+           "int setDenom(int x) { return d = x; }\n"
+           "int main(void) { return (10 / d) + setDenom(0); }",
+           UbKind::DivisionByZero, /*SearchRuns=*/16);
+}
+
+} // namespace

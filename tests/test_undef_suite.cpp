@@ -1,0 +1,100 @@
+//===- tests/test_undef_suite.cpp - Custom suite conformance ----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The custom suite doubles as a conformance corpus for kcc itself:
+// every control program must compile and run clean (no false
+// positives), and the suite's shape must match the paper's numbers
+// (178 tests, 70 behaviors, all 42 dynamic core behaviors covered).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "suites/UndefSuite.h"
+#include "ub/Catalog.h"
+
+#include <gtest/gtest.h>
+
+using namespace cundef;
+
+namespace {
+
+TEST(UndefSuite, PaperShape) {
+  UndefSuiteStats Stats = undefSuiteStats();
+  EXPECT_EQ(Stats.Tests, 178u);
+  EXPECT_EQ(Stats.Behaviors, 70u);
+  EXPECT_EQ(Stats.StaticBehaviors, 22u);
+  EXPECT_EQ(Stats.DynamicBehaviors, 48u);
+  EXPECT_EQ(Stats.DynamicCorePortableCovered, 42u)
+      << "every dynamic core portable behavior needs at least one test";
+}
+
+TEST(UndefSuite, AboutTwoTestsPerBehavior) {
+  UndefSuiteStats Stats = undefSuiteStats();
+  double Ratio = double(Stats.Tests) / Stats.Behaviors;
+  EXPECT_GE(Ratio, 2.0);
+  EXPECT_LE(Ratio, 3.0); // the paper reports ~2 tests per behavior
+}
+
+TEST(UndefSuite, EveryBehaviorIdExistsInCatalog) {
+  for (const TestCase &Test : undefSuite()) {
+    const CatalogEntry *Entry = catalogEntry(Test.CatalogId);
+    ASSERT_NE(Entry, nullptr) << Test.Name;
+    EXPECT_EQ(Entry->isStatic(), Test.StaticBehavior) << Test.Name;
+  }
+}
+
+/// Every *control* must be clean under kcc: controls are the
+/// false-positive guard the paper insists on.
+TEST(UndefSuite, ControlsAreCleanUnderKcc) {
+  DriverOptions Opts;
+  Opts.SearchRuns = 4;
+  unsigned Failures = 0;
+  for (const TestCase &Test : undefSuite()) {
+    Driver Drv(Opts);
+    DriverOutcome O = Drv.runSource(Test.Good, Test.Name + "_good.c");
+    if (!O.CompileOk || O.anyUb() || O.Status != RunStatus::Completed) {
+      ++Failures;
+      ADD_FAILURE() << Test.Name << " control flagged or failed:\n"
+                    << O.CompileErrors << O.renderReport()
+                    << "status=" << static_cast<int>(O.Status);
+      if (Failures > 8)
+        break; // keep the log readable
+    }
+  }
+}
+
+/// kcc's overall detection on the undefined programs: the paper's
+/// Figure 3 shows kcc detecting most dynamic behaviors; this asserts a
+/// floor so regressions surface.
+TEST(UndefSuite, KccDetectsMostDynamicTests) {
+  DriverOptions Opts;
+  Opts.SearchRuns = 8;
+  unsigned Dynamic = 0, Detected = 0;
+  for (const TestCase &Test : undefSuite()) {
+    if (Test.StaticBehavior)
+      continue;
+    ++Dynamic;
+    Driver Drv(Opts);
+    DriverOutcome O = Drv.runSource(Test.Bad, Test.Name + "_bad.c");
+    if (O.anyUb())
+      ++Detected;
+  }
+  EXPECT_GE(Detected * 100, Dynamic * 60)
+      << "kcc detected only " << Detected << "/" << Dynamic
+      << " dynamic undefined tests";
+}
+
+TEST(UndefSuite, KccDetectsNamedStaticBehaviors) {
+  // The implemented static checks (catalog ids 40-51) must all fire.
+  DriverOptions Opts;
+  for (const TestCase &Test : undefSuite()) {
+    if (!Test.StaticBehavior || Test.CatalogId > 51)
+      continue;
+    Driver Drv(Opts);
+    DriverOutcome O = Drv.runSource(Test.Bad, Test.Name + "_bad.c");
+    EXPECT_TRUE(O.anyUb()) << Test.Name << " not flagged";
+  }
+}
+
+} // namespace

@@ -1,0 +1,169 @@
+//===- tests/test_values.cpp - Runtime value unit tests ------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Value.h"
+
+#include <gtest/gtest.h>
+
+using namespace cundef;
+
+namespace {
+
+class ValuesTest : public ::testing::Test {
+protected:
+  TypeContext Types{TargetConfig::lp64()};
+};
+
+TEST_F(ValuesTest, SignedViewOfBits) {
+  Value V = Value::makeInt(Types.intTy(), 0xFFFFFFFFu);
+  EXPECT_EQ(V.asSigned(Types), -1);
+  EXPECT_EQ(V.asUnsigned(Types), 0xFFFFFFFFu);
+  Value C = Value::makeInt(Types.scharTy(), 0x80);
+  EXPECT_EQ(C.asSigned(Types), -128);
+}
+
+TEST_F(ValuesTest, Truthiness) {
+  EXPECT_FALSE(Value::makeInt(Types.intTy(), 0).truthy(Types));
+  EXPECT_TRUE(Value::makeInt(Types.intTy(), 2).truthy(Types));
+  EXPECT_FALSE(Value::makeFloat(Types.doubleTy(), 0.0).truthy(Types));
+  EXPECT_TRUE(Value::makeFloat(Types.doubleTy(), 0.5).truthy(Types));
+  const Type *Ptr = Types.getPointer(QualType(Types.intTy()));
+  EXPECT_FALSE(Value::makePointer(Ptr, SymPointer::null()).truthy(Types));
+  EXPECT_TRUE(Value::makePointer(Ptr, SymPointer(3, 0)).truthy(Types));
+}
+
+TEST_F(ValuesTest, AddOverflowDetected) {
+  Value Max = Value::makeInt(Types.intTy(), 0x7FFFFFFFu);
+  Value One = Value::makeInt(Types.intTy(), 1);
+  ArithOutcome Out =
+      evalIntBinary(BinaryOp::Add, Max, One, Types.intTy(), Types);
+  EXPECT_TRUE(Out.Overflow);
+  Out = evalIntBinary(BinaryOp::Add, One, One, Types.intTy(), Types);
+  EXPECT_FALSE(Out.Overflow);
+  EXPECT_EQ(Out.V.asSigned(Types), 2);
+}
+
+TEST_F(ValuesTest, UnsignedWrapsWithoutOverflow) {
+  Value Max = Value::makeInt(Types.uintTy(), 0xFFFFFFFFu);
+  Value One = Value::makeInt(Types.uintTy(), 1);
+  ArithOutcome Out =
+      evalIntBinary(BinaryOp::Add, Max, One, Types.uintTy(), Types);
+  EXPECT_FALSE(Out.Overflow);
+  EXPECT_EQ(Out.V.asUnsigned(Types), 0u);
+}
+
+TEST_F(ValuesTest, DivZeroFlag) {
+  Value A = Value::makeInt(Types.intTy(), 5);
+  Value Z = Value::makeInt(Types.intTy(), 0);
+  EXPECT_TRUE(evalIntBinary(BinaryOp::Div, A, Z, Types.intTy(), Types)
+                  .DivZero);
+  EXPECT_TRUE(evalIntBinary(BinaryOp::Rem, A, Z, Types.intTy(), Types)
+                  .DivZero);
+}
+
+TEST_F(ValuesTest, IntMinDivMinusOneOverflows) {
+  Value Min = Value::makeInt(Types.intTy(), 0x80000000u);
+  Value MinusOne = Value::makeInt(Types.intTy(), 0xFFFFFFFFu);
+  EXPECT_TRUE(evalIntBinary(BinaryOp::Div, Min, MinusOne, Types.intTy(),
+                            Types)
+                  .Overflow);
+}
+
+TEST_F(ValuesTest, ShiftFlags) {
+  Value One = Value::makeInt(Types.intTy(), 1);
+  Value W32 = Value::makeInt(Types.intTy(), 32);
+  Value Neg = Value::makeInt(Types.intTy(), static_cast<uint64_t>(-2));
+  EXPECT_TRUE(evalIntBinary(BinaryOp::Shl, One, W32, Types.intTy(), Types)
+                  .ShiftTooWide);
+  EXPECT_TRUE(evalIntBinary(BinaryOp::Shl, One, Neg, Types.intTy(), Types)
+                  .ShiftNegCount);
+  EXPECT_TRUE(evalIntBinary(BinaryOp::Shl, Neg, One, Types.intTy(), Types)
+                  .ShiftOfNeg);
+  ArithOutcome Ok =
+      evalIntBinary(BinaryOp::Shl, One, One, Types.intTy(), Types);
+  EXPECT_FALSE(Ok.ShiftTooWide || Ok.ShiftNegCount || Ok.ShiftOfNeg);
+  EXPECT_EQ(Ok.V.asSigned(Types), 2);
+}
+
+TEST_F(ValuesTest, ComparisonsRespectSignedness) {
+  Value MinusOne = Value::makeInt(Types.intTy(), 0xFFFFFFFFu);
+  Value One = Value::makeInt(Types.intTy(), 1);
+  EXPECT_EQ(evalIntBinary(BinaryOp::Lt, MinusOne, One, Types.intTy(), Types)
+                .V.asSigned(Types),
+            1);
+  Value UMinusOne = Value::makeInt(Types.uintTy(), 0xFFFFFFFFu);
+  Value UOne = Value::makeInt(Types.uintTy(), 1);
+  EXPECT_EQ(evalIntBinary(BinaryOp::Lt, UMinusOne, UOne, Types.uintTy(),
+                          Types)
+                .V.asSigned(Types),
+            0)
+      << "as unsigned, 0xFFFFFFFF is the larger value";
+}
+
+TEST_F(ValuesTest, FloatOperations) {
+  Value A = Value::makeFloat(Types.doubleTy(), 1.5);
+  Value B = Value::makeFloat(Types.doubleTy(), 0.5);
+  EXPECT_DOUBLE_EQ(
+      evalFloatBinary(BinaryOp::Add, A, B, Types.doubleTy(), Types).F, 2.0);
+  EXPECT_DOUBLE_EQ(
+      evalFloatBinary(BinaryOp::Div, A, B, Types.doubleTy(), Types).F, 3.0);
+  EXPECT_EQ(evalFloatBinary(BinaryOp::Lt, B, A, Types.doubleTy(), Types)
+                .asSigned(Types),
+            1);
+  // Division by zero is defined for floating point (Annex F).
+  Value Z = Value::makeFloat(Types.doubleTy(), 0.0);
+  Value Inf = evalFloatBinary(BinaryOp::Div, A, Z, Types.doubleTy(), Types);
+  EXPECT_TRUE(Inf.F > 1e300);
+}
+
+TEST_F(ValuesTest, ConversionTruncates) {
+  Value Big = Value::makeInt(Types.intTy(), 0x12345678u);
+  ConvOutcome Out =
+      convertScalar(Big, Types.scharTy(), CastKind::IntegralCast, Types);
+  EXPECT_EQ(Out.V.asSigned(Types), 0x78);
+}
+
+TEST_F(ValuesTest, FloatToIntOverflowFlagged) {
+  Value Huge = Value::makeFloat(Types.doubleTy(), 1e12);
+  ConvOutcome Out =
+      convertScalar(Huge, Types.intTy(), CastKind::FloatToInt, Types);
+  EXPECT_TRUE(Out.FloatToIntOverflow);
+  Value Fits = Value::makeFloat(Types.doubleTy(), 100.9);
+  Out = convertScalar(Fits, Types.intTy(), CastKind::FloatToInt, Types);
+  EXPECT_FALSE(Out.FloatToIntOverflow);
+  EXPECT_EQ(Out.V.asSigned(Types), 100) << "truncation toward zero";
+}
+
+TEST_F(ValuesTest, ToBool) {
+  Value V = Value::makeInt(Types.intTy(), 42);
+  ConvOutcome Out =
+      convertScalar(V, Types.boolTy(), CastKind::ToBool, Types);
+  EXPECT_EQ(Out.V.asUnsigned(Types), 1u);
+}
+
+TEST_F(ValuesTest, MissingReturnMarker) {
+  Value V = Value::empty();
+  V.MissingReturn = true;
+  EXPECT_TRUE(V.isEmpty());
+  EXPECT_TRUE(V.MissingReturn);
+}
+
+TEST_F(ValuesTest, LValueCarriesQualifiers) {
+  Value Lv = Value::makeLValue(SymPointer(5, 8),
+                               QualType(Types.intTy(), QualConst));
+  EXPECT_TRUE(Lv.isLValue());
+  EXPECT_TRUE(Lv.lvalueType().isConst());
+  EXPECT_EQ(Lv.Ptr.Base, 5u);
+  EXPECT_EQ(Lv.Ptr.Offset, 8);
+}
+
+TEST_F(ValuesTest, TruncateBits) {
+  EXPECT_EQ(truncateBits(0x1FF, Types.ucharTy(), Types), 0xFFu);
+  EXPECT_EQ(truncateBits(0x1FF, Types.intTy(), Types), 0x1FFu);
+  EXPECT_EQ(truncateBits(~0ull, Types.boolTy(), Types), 1u);
+}
+
+} // namespace

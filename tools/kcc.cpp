@@ -1,0 +1,125 @@
+//===- tools/kcc.cpp - The kcc command-line interface -------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// A command-line wrapper mimicking the paper's kcc usage (section 3.2):
+// feed it a C file; defined programs run (their output and exit status
+// pass through), undefined programs are reported in kcc's format.
+//
+//   kcc [options] file.c
+//     --target=lp64|ilp32|wideint   implementation-defined parameters
+//     --style=cond|chain|decl       specification style (section 4.5)
+//     --search=N                    evaluation orders to search (2.5.2)
+//     --no-static                   skip the static undefinedness pass
+//     --order=ltr|rtl|random        evaluation order policy
+//     --seed=N                      seed for --order=random
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "support/Strings.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace cundef;
+
+static void usage() {
+  std::fprintf(stderr,
+               "usage: kcc [options] file.c\n"
+               "  --target=lp64|ilp32|wideint\n"
+               "  --style=cond|chain|decl\n"
+               "  --search=N\n"
+               "  --order=ltr|rtl|random\n"
+               "  --seed=N\n"
+               "  --no-static\n");
+}
+
+int main(int argc, char **argv) {
+  DriverOptions Opts;
+  Opts.SearchRuns = 8;
+  const char *Path = nullptr;
+
+  for (int I = 1; I < argc; ++I) {
+    const char *Arg = argv[I];
+    if (startsWith(Arg, "--target=")) {
+      const char *Value = Arg + 9;
+      if (!std::strcmp(Value, "lp64"))
+        Opts.Target = TargetConfig::lp64();
+      else if (!std::strcmp(Value, "ilp32"))
+        Opts.Target = TargetConfig::ilp32();
+      else if (!std::strcmp(Value, "wideint"))
+        Opts.Target = TargetConfig::wideInt();
+      else {
+        usage();
+        return 2;
+      }
+    } else if (startsWith(Arg, "--style=")) {
+      const char *Value = Arg + 8;
+      if (!std::strcmp(Value, "cond"))
+        Opts.Machine.Style = RuleStyle::SideConditions;
+      else if (!std::strcmp(Value, "chain"))
+        Opts.Machine.Style = RuleStyle::PrecedenceChain;
+      else if (!std::strcmp(Value, "decl"))
+        Opts.Machine.Style = RuleStyle::Declarative;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (startsWith(Arg, "--search=")) {
+      Opts.SearchRuns = static_cast<unsigned>(std::atoi(Arg + 9));
+      if (Opts.SearchRuns == 0)
+        Opts.SearchRuns = 1;
+    } else if (startsWith(Arg, "--order=")) {
+      const char *Value = Arg + 8;
+      if (!std::strcmp(Value, "ltr"))
+        Opts.Machine.Order = EvalOrderKind::LeftToRight;
+      else if (!std::strcmp(Value, "rtl"))
+        Opts.Machine.Order = EvalOrderKind::RightToLeft;
+      else if (!std::strcmp(Value, "random"))
+        Opts.Machine.Order = EvalOrderKind::Random;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (startsWith(Arg, "--seed=")) {
+      Opts.Machine.Seed = static_cast<uint32_t>(std::atoi(Arg + 7));
+    } else if (!std::strcmp(Arg, "--no-static")) {
+      Opts.RunStaticChecks = false;
+    } else if (Arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (!Path) {
+    usage();
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "kcc: cannot open %s\n", Path);
+    return 2;
+  }
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Driver Drv(Opts);
+  DriverOutcome O = Drv.runSource(Buffer.str(), Path);
+  if (!O.CompileOk) {
+    std::fputs(O.CompileErrors.c_str(), stderr);
+    if (!O.anyUb())
+      return 1;
+  }
+  // Program output passes through.
+  std::fputs(O.Output.c_str(), stdout);
+  if (O.anyUb()) {
+    std::fputs(O.renderReport().c_str(), stderr);
+    return 139; // undefined: report and fail like a crashed process
+  }
+  return O.ExitCode;
+}
