@@ -1,0 +1,24 @@
+# Regenerates the UB catalog markdown with kcc and fails when the
+# checked-in docs/UB_CATALOG.md differs byte-for-byte. Run via ctest
+# (test name: catalog_docs_fresh).
+if(NOT DEFINED KCC OR NOT DEFINED DOC)
+  message(FATAL_ERROR "usage: cmake -DKCC=<kcc> -DDOC=<UB_CATALOG.md> -P CheckCatalogDocs.cmake")
+endif()
+
+execute_process(
+  COMMAND ${KCC} --dump-catalog=markdown
+  OUTPUT_VARIABLE GENERATED
+  RESULT_VARIABLE RC)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "kcc --dump-catalog=markdown failed (exit ${RC})")
+endif()
+
+if(NOT EXISTS ${DOC})
+  message(FATAL_ERROR "${DOC} is missing; regenerate it with: kcc --dump-catalog=markdown > docs/UB_CATALOG.md")
+endif()
+file(READ ${DOC} CHECKED_IN)
+
+if(NOT GENERATED STREQUAL CHECKED_IN)
+  message(FATAL_ERROR "docs/UB_CATALOG.md is stale; regenerate it with: kcc --dump-catalog=markdown > docs/UB_CATALOG.md")
+endif()
+message(STATUS "docs/UB_CATALOG.md is up to date")

@@ -29,12 +29,13 @@ namespace {
 /// kcc: the strict semantics with static checks and order search.
 class KccTool : public Tool {
 public:
-  explicit KccTool(TargetConfig Target) {
+  explicit KccTool(TargetConfig Target, unsigned SearchJobs = 1) {
     DriverOptions Opts;
     Opts.Target = Target;
     Opts.Machine.Strict = true;
     Opts.RunStaticChecks = true;
     Opts.SearchRuns = 8;
+    Opts.SearchJobs = SearchJobs;
     Drv = std::make_unique<Driver>(Opts);
   }
 
@@ -104,10 +105,11 @@ ToolResult MonitorTool::analyze(const std::string &Source,
   return Result;
 }
 
-std::unique_ptr<Tool> Tool::create(ToolKind Kind, TargetConfig Target) {
+std::unique_ptr<Tool> Tool::create(ToolKind Kind, TargetConfig Target,
+                                   unsigned SearchJobs) {
   switch (Kind) {
   case ToolKind::Kcc:
-    return std::make_unique<KccTool>(Target);
+    return std::make_unique<KccTool>(Target, SearchJobs);
   case ToolKind::MemGrind:
     return std::make_unique<MemGrind>(Target);
   case ToolKind::PtrCheck:

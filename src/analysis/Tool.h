@@ -65,9 +65,12 @@ public:
                              const std::string &Name) = 0;
   virtual const char *name() const = 0;
 
+  /// \p SearchJobs: worker threads for kcc's evaluation-order search
+  /// (the baselines execute one concrete run and ignore it).
   static std::unique_ptr<Tool> create(ToolKind Kind,
                                       TargetConfig Target =
-                                          TargetConfig::lp64());
+                                          TargetConfig::lp64(),
+                                      unsigned SearchJobs = 1);
 };
 
 /// Shared implementation for the monitor-based baselines: compile with

@@ -53,6 +53,7 @@ enum class RunStatus : uint8_t {
   Fault,      ///< the permissive machine hit a hardware fault (SEGV)
   StepLimit,  ///< ran out of fuel (possibly non-terminating program)
   Internal,   ///< the machine could not proceed (an interpreter bug)
+  Cancelled,  ///< stopped from outside (search dedup or cancellation)
 };
 
 /// The full configuration.
@@ -112,6 +113,16 @@ struct Configuration {
   /// Renders the cell structure (used by bench_fig1_config to reproduce
   /// Figure 1).
   std::string describeCells() const;
+
+  /// A 64-bit digest of everything that can influence the machine's
+  /// future behavior. The evaluation-order search keys its visited-set
+  /// on this (core/Search.h): two interleavings whose configurations
+  /// fingerprint equal at the same decision depth share all subsequent
+  /// behavior, so their subtrees are explored once. Deliberately
+  /// excluded: Steps (only reachable effect is the step limit, which is
+  /// a budget rather than a behavior) and Output (append-only; it never
+  /// feeds back into control flow). Implemented in core/Fingerprint.cpp.
+  uint64_t fingerprint() const;
 };
 
 } // namespace cundef

@@ -14,18 +14,26 @@ using namespace cundef;
 std::vector<uint8_t> OrderChooser::choose(unsigned N) {
   std::vector<uint8_t> Perm(N);
   std::iota(Perm.begin(), Perm.end(), 0);
-  if (N <= 1) {
-    Trace.emplace_back(0, 1);
-    return Perm;
-  }
-  // Replayed decision? We expose two alternatives per choice point
-  // (source order / reversed): enough to flip the direction-dependent
-  // undefined behaviors while keeping search linear in depth.
+  // Replayed decisions are consumed positionally, one per choice point
+  // INCLUDING forced (arity-1) points, so that replay indices always
+  // equal decision-trace indices: a search can turn any trace prefix
+  // into a replay vector without re-aligning it.
   if (ReplayPos < Replay.size()) {
     uint8_t Decision = Replay[ReplayPos++];
+    if (N <= 1) {
+      Trace.emplace_back(0, 1);
+      return Perm;
+    }
+    // Two alternatives per choice point (source order / reversed):
+    // enough to flip the direction-dependent undefined behaviors while
+    // keeping search linear in depth.
     Trace.emplace_back(Decision, 2);
     if (Decision)
       std::reverse(Perm.begin(), Perm.end());
+    return Perm;
+  }
+  if (N <= 1) {
+    Trace.emplace_back(0, 1);
     return Perm;
   }
   switch (Kind) {

@@ -55,6 +55,13 @@ public:
     return Trace;
   }
 
+  /// Current state of the Random policy's xorshift stream. The search
+  /// mixes it into configuration fingerprints: under --order=random the
+  /// chooser's stream is part of "everything that influences future
+  /// behavior", so two states are only duplicates when their streams
+  /// agree too. (LeftToRight/RightToLeft never advance it.)
+  uint32_t rngState() const { return Rng; }
+
 private:
   uint32_t nextRandom() {
     // xorshift32: small, deterministic, good enough for shuffles.

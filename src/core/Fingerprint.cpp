@@ -1,0 +1,147 @@
+//===- core/Fingerprint.cpp - Configuration fingerprints ---------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+//
+// Configuration::fingerprint(): the state digest behind the parallel
+// evaluation-order search's visited-set (core/Search.cpp). The digest
+// must cover every cell whose content can influence future steps; AST
+// nodes, declarations, and canonical types are hashed by address, which
+// is a stable identity because every machine of one search shares the
+// same AstContext.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Configuration.h"
+
+#include "support/Hash.h"
+
+using namespace cundef;
+
+namespace {
+
+void hashValue(Fnv1a &H, const Value &V) {
+  H.u8(static_cast<uint8_t>(V.K));
+  H.ptr(V.Ty);
+  H.u64(V.Bits);
+  H.f64(V.F);
+  H.u32(V.Ptr.Base);
+  H.i64(V.Ptr.Offset);
+  H.u8(V.Ptr.FromInteger);
+  H.u64(V.Ptr.RawInt);
+  H.u8(V.LvQuals);
+  H.u8(static_cast<uint8_t>(V.Payload.K));
+  H.u8(V.Payload.Value);
+  H.u32(V.Payload.Ptr.Base);
+  H.i64(V.Payload.Ptr.Offset);
+  H.u8(V.Payload.FragIndex);
+  H.u8(V.Payload.FragCount);
+  H.u64(V.AggBytes.size());
+  for (const Byte &B : V.AggBytes) {
+    H.u8(static_cast<uint8_t>(B.K));
+    H.u8(B.Value);
+    H.u32(B.Ptr.Base);
+    H.i64(B.Ptr.Offset);
+    H.u8(B.FragIndex);
+    H.u8(B.FragCount);
+  }
+  H.u8(V.MissingReturn);
+  H.i64(V.SubStart);
+  H.u64(V.SubLen);
+}
+
+void hashKItem(Fnv1a &H, const KItem &Item) {
+  H.u8(static_cast<uint8_t>(Item.K));
+  H.ptr(Item.E);
+  H.ptr(Item.S);
+  H.u64(Item.Operands.size());
+  for (const Expr *Op : Item.Operands)
+    H.ptr(Op);
+  H.u64(Item.Results.size());
+  for (const Value &V : Item.Results)
+    hashValue(H, V);
+  H.u64(Item.Perm.size());
+  H.bytes(Item.Perm.data(), Item.Perm.size());
+  H.u8(Item.Idx);
+  H.ptr(Item.D);
+  H.u64(Item.Offset);
+  H.ptr(Item.Ty.Ty);
+  H.u8(Item.Ty.Quals);
+  H.u64(Item.ObjectsToKill.size());
+  for (uint32_t Id : Item.ObjectsToKill)
+    H.u32(Id);
+  H.ptr(Item.Callee);
+  H.u8(Item.HasValue);
+}
+
+} // namespace
+
+uint64_t Configuration::fingerprint() const {
+  Fnv1a H;
+
+  H.u64(K.size());
+  for (const KItem &Item : K)
+    hashKItem(H, Item);
+
+  H.u64(Values.size());
+  for (const Value &V : Values)
+    hashValue(H, V);
+
+  H.u64(GlobalEnv.size());
+  for (const auto &[Decl, Obj] : GlobalEnv) {
+    H.u32(Decl);
+    H.u32(Obj);
+  }
+
+  Mem.hashInto(H);
+
+  H.u64(LocsWrittenTo.size());
+  for (const auto &[Obj, Off] : LocsWrittenTo) {
+    H.u32(Obj);
+    H.i64(Off);
+  }
+  H.u64(NotWritable.size());
+  for (const auto &[Obj, Off] : NotWritable) {
+    H.u32(Obj);
+    H.i64(Off);
+  }
+
+  H.u64(CallStack.size());
+  for (const Frame &F : CallStack) {
+    H.ptr(F.Fn);
+    H.u64(F.Env.size());
+    for (const auto &[Decl, Obj] : F.Env) {
+      H.u32(Decl);
+      H.u32(Obj);
+    }
+    H.u64(F.ParamObjects.size());
+    for (uint32_t Id : F.ParamObjects)
+      H.u32(Id);
+    H.u64(F.VarArgs.size());
+    for (const Value &V : F.VarArgs)
+      hashValue(H, V);
+  }
+
+  H.u64(FuncObjects.size());
+  for (const auto &[Fn, Obj] : FuncObjects) {
+    H.ptr(Fn);
+    H.u32(Obj);
+  }
+  H.u64(LiteralObjects.size());
+  for (const auto &[E, Obj] : LiteralObjects) {
+    H.ptr(E);
+    H.u32(Obj);
+  }
+  H.u64(HeapEffectiveTy.size());
+  for (const auto &[Loc, Ty] : HeapEffectiveTy) {
+    H.u32(Loc.first);
+    H.i64(Loc.second);
+    H.ptr(Ty);
+  }
+
+  H.u8(static_cast<uint8_t>(Status));
+  H.u32(static_cast<uint32_t>(ExitCode));
+  H.u32(RandState);
+  return H.digest();
+}

@@ -380,6 +380,13 @@ bool Machine::step() {
     Conf.Status = RunStatus::StepLimit;
     return false;
   }
+  // Cancellation token (search): polled coarsely so the hot path pays
+  // one predictable branch, yet runs stop within ~256 steps of the
+  // first-undefinedness signal.
+  if ((Conf.Steps & 0xFF) == 0 && ShouldCancel && ShouldCancel()) {
+    Conf.Status = RunStatus::Cancelled;
+    return false;
+  }
   KItem Item = std::move(Conf.K.back());
   Conf.K.pop_back();
   stepItem(std::move(Item));

@@ -29,8 +29,10 @@
 #include "core/EvalOrder.h"
 #include "core/Monitor.h"
 #include "core/RuleSet.h"
+#include "support/Hash.h"
 #include "ub/Report.h"
 
+#include <functional>
 #include <memory>
 
 namespace cundef {
@@ -87,6 +89,31 @@ public:
   }
   const std::vector<std::pair<uint8_t, uint8_t>> &decisionTrace() const {
     return Chooser.trace();
+  }
+
+  /// Called after every evaluation-order choice point, once the chosen
+  /// permutation is part of the configuration (so fingerprints taken
+  /// inside the hook distinguish the alternatives). Returning false
+  /// cancels the run (RunStatus::Cancelled) — the search uses this to
+  /// abandon interleavings whose state another interleaving already
+  /// reached.
+  using ChoiceHook = std::function<bool(Machine &M)>;
+  void setChoiceHook(ChoiceHook Hook) { OnChoice = std::move(Hook); }
+
+  /// Polled every 256 steps; returning true cancels the run. This is
+  /// the search's cancellation token: when one worker finds
+  /// undefinedness, runs that can no longer matter stop mid-execution
+  /// instead of completing.
+  using CancelCheck = std::function<bool()>;
+  void setCancelCheck(CancelCheck Check) { ShouldCancel = std::move(Check); }
+
+  /// Fingerprint of the current configuration plus the chooser's RNG
+  /// stream (the two together determine all future behavior).
+  uint64_t configFingerprint() const {
+    Fnv1a H;
+    H.u64(Conf.fingerprint());
+    H.u32(Chooser.rngState());
+    return H.digest();
   }
 
   Configuration &config() { return Conf; }
@@ -260,6 +287,8 @@ private:
   UbSink &Sink;
   Configuration Conf;
   OrderChooser Chooser;
+  ChoiceHook OnChoice;
+  CancelCheck ShouldCancel;
   std::vector<ExecMonitor *> Monitors;
   /// Monitors the machine itself owns (the declarative style's checks).
   std::vector<std::unique_ptr<ExecMonitor>> OwnedMonitors;

@@ -139,6 +139,10 @@ void Machine::scheduleOperands(const Expr *Node,
   Item.Operands = std::move(Operands);
   Item.Idx = 0;
   stepEvalOperands(std::move(Item));
+  // The chosen permutation is on the k cell now, so a fingerprint taken
+  // by the hook sees (and distinguishes) the decision just made.
+  if (OnChoice && Conf.Status == RunStatus::Running && !OnChoice(*this))
+    Conf.Status = RunStatus::Cancelled;
 }
 
 void Machine::stepEvalOperands(KItem Item) {

@@ -1,31 +1,73 @@
-//===- core/Search.cpp - Search over evaluation orders -----------------------===//
+//===- core/Search.cpp - Parallel search over evaluation orders --------------===//
 //
 // Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+//
+// Wave-synchronous parallel prefix enumeration with fingerprint
+// deduplication. Key invariants (docs/SEARCH.md has the full argument):
+//
+//  * Tree: a prefix's run replays its pinned decisions, then continues
+//    with the policy default; its children flip one later flippable
+//    choice point each. Every decision vector is reachable through
+//    exactly one chain of prefixes, so enumeration is complete.
+//  * Dedup soundness: a state is inserted into the visited-set only
+//    when every alternative branching off the path that reached it has
+//    been scheduled (children are spawned from the full recorded trace
+//    even for runs the dedup cancelled). Hence "fingerprint present"
+//    implies "subtree scheduled", and cancelling the second visit of a
+//    state loses nothing.
+//  * Determinism: a run's outcome depends only on (prefix, visited-set
+//    committed at the previous barrier); prefixes of one wave are
+//    prefix-incomparable, so the canonical (lex) order is total and the
+//    minimal UB prefix of the first undefined wave is independent of
+//    thread count and scheduling. Skipping or cancelling runs that are
+//    canonically larger than a found witness cannot change the result.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/Search.h"
 
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_set>
+
 using namespace cundef;
 
 namespace {
 
-/// One run with pinned decisions. Returns true when UB was found.
-bool runOnce(const AstContext &Ctx, const MachineOptions &Opts,
-             std::vector<uint8_t> Decisions, SearchResult &Result) {
-  UbSink Sink;
-  Machine M(Ctx, Opts, Sink);
-  M.setReplayDecisions(Decisions);
-  RunStatus Status = M.run();
-  ++Result.RunsExplored;
-  Result.LastStatus = Status;
-  if (Status == RunStatus::UbDetected || !Sink.empty()) {
-    Result.UbFound = true;
-    Result.Reports = Sink.all();
-    Result.Witness = std::move(Decisions);
-    return true;
-  }
-  return false;
+/// Visited-set key: depth is mixed in so that equal states reached
+/// after different numbers of choice points stay distinct (the chooser
+/// consumes replay decisions positionally, so depth is part of the
+/// machine's effective state).
+uint64_t visitKey(size_t Depth, uint64_t Fp) {
+  return Fp ^ (static_cast<uint64_t>(Depth) * 0x9e3779b97f4a7c15ull);
+}
+
+/// One frontier entry and everything its run produced.
+struct WorkItem {
+  std::vector<uint8_t> Pinned;
+
+  // Outputs of the run.
+  RunStatus Status = RunStatus::Running;
+  bool UbFound = false;
+  bool DedupAborted = false;
+  std::vector<UbReport> Reports;
+  /// (depth, fingerprint) pairs observed at flippable choice points at
+  /// or beyond the divergence; committed to the visited-set at the
+  /// barrier.
+  std::vector<std::pair<size_t, uint64_t>> Visited;
+  /// Fingerprint at the divergence point (depth == Pinned.size()), used
+  /// to group in-wave twins. Valid when HasDivergence.
+  uint64_t DivergenceFp = 0;
+  bool HasDivergence = false;
+  /// Children prefixes spawned from the recorded trace.
+  std::vector<std::vector<uint8_t>> Children;
+};
+
+bool lexLess(const std::vector<uint8_t> &A, const std::vector<uint8_t> &B) {
+  return std::lexicographical_compare(A.begin(), A.end(), B.begin(), B.end());
 }
 
 } // namespace
@@ -33,89 +75,176 @@ bool runOnce(const AstContext &Ctx, const MachineOptions &Opts,
 SearchResult OrderSearch::run() {
   SearchResult Result;
 
-  // Baseline: the policy's own order.
-  UbSink Sink;
-  Machine Probe(Ctx, BaseOpts, Sink);
-  RunStatus Status = Probe.run();
-  ++Result.RunsExplored;
-  Result.LastStatus = Status;
-  if (Status == RunStatus::UbDetected || !Sink.empty()) {
-    Result.UbFound = true;
-    Result.Reports = Sink.all();
-    return Result;
-  }
-  const auto BaselineTrace = Probe.decisionTrace();
+  // Replay reproduces a Random-policy run only as its 0/1 flip summary,
+  // not its Fisher-Yates stream: a child replaying a prefix leaves the
+  // RNG behind the parent's position, so "same fingerprint => same
+  // future" does not hold across the policy's own shuffles. Dedup is
+  // therefore gated to the deterministic policies.
+  const bool Dedup =
+      Opts.Dedup && BaseOpts.Order != EvalOrderKind::Random;
 
-  // Phase 1: single flips. Order-dependent undefinedness usually hinges
-  // on one operand pair's direction, so each choice point is flipped
-  // alone first; this finds the paper's (10/d) + setDenom(0) in O(n).
-  for (size_t I = 0;
-       I < BaselineTrace.size() && Result.RunsExplored < MaxRuns; ++I) {
-    if (BaselineTrace[I].second < 2)
-      continue;
-    std::vector<uint8_t> Decisions(I + 1, 0);
-    for (size_t J = 0; J <= I; ++J)
-      Decisions[J] = BaselineTrace[J].first;
-    Decisions[I] = Decisions[I] ? 0 : 1;
-    if (runOnce(Ctx, BaseOpts, std::move(Decisions), Result))
-      return Result;
-  }
+  std::vector<WorkItem> Wave(1); // root: empty prefix = the policy order
+  std::unordered_set<uint64_t> Committed;
+  std::atomic<unsigned> RunsStarted{0};
+  // Index (within the current sorted wave) of the canonically smallest
+  // prefix known to be undefined; runs at larger indices cannot win and
+  // are skipped or cancelled.
+  std::atomic<size_t> BestIdx{SIZE_MAX};
 
-  // Phase 1b: pairs of flips (covers nested order dependences where an
-  // outer and an inner operand order must both reverse).
-  for (size_t I = 0;
-       I < BaselineTrace.size() && Result.RunsExplored < MaxRuns; ++I) {
-    if (BaselineTrace[I].second < 2)
-      continue;
-    for (size_t J = I + 1;
-         J < BaselineTrace.size() && Result.RunsExplored < MaxRuns; ++J) {
-      if (BaselineTrace[J].second < 2)
-        continue;
-      std::vector<uint8_t> Decisions(J + 1, 0);
-      for (size_t K = 0; K <= J; ++K)
-        Decisions[K] = BaselineTrace[K].first;
-      Decisions[I] = Decisions[I] ? 0 : 1;
-      Decisions[J] = Decisions[J] ? 0 : 1;
-      if (runOnce(Ctx, BaseOpts, std::move(Decisions), Result))
-        return Result;
+  const unsigned Jobs = std::max(1u, Opts.Jobs);
+
+  // Runs one frontier entry to completion (or cancellation) on the
+  // calling thread. Pure function of (Item, Committed, BestIdx); the
+  // only shared writes are the atomics.
+  auto processItem = [&](WorkItem &Item, size_t MyIdx) {
+    const size_t PinnedLen = Item.Pinned.size();
+    UbSink Sink;
+    Machine M(Ctx, BaseOpts, Sink);
+    M.setReplayDecisions(Item.Pinned);
+
+    M.setCancelCheck(
+        [&]() { return BestIdx.load(std::memory_order_relaxed) < MyIdx; });
+
+    M.setChoiceHook([&](Machine &Mach) {
+      if (BestIdx.load(std::memory_order_relaxed) < MyIdx)
+        return false; // a canonically smaller witness exists
+      const auto &Trace = Mach.decisionTrace();
+      const size_t Depth = Trace.size();
+      if (Depth < std::max<size_t>(PinnedLen, 1))
+        return true; // still inside the parent's already-explored path
+      if (Trace.back().second < 2)
+        return true; // forced point: nothing branches here
+      const uint64_t Fp = Mach.configFingerprint();
+      if (Depth == PinnedLen) {
+        Item.DivergenceFp = Fp;
+        Item.HasDivergence = true;
+      }
+      if (Dedup && Committed.count(visitKey(Depth, Fp))) {
+        Item.DedupAborted = true; // state already reached by an earlier
+        return false;             // prefix: this subtree is redundant
+      }
+      Item.Visited.emplace_back(Depth, Fp);
+      return true;
+    });
+
+    Item.Status = M.run();
+    Item.UbFound = Item.Status == RunStatus::UbDetected || !Sink.empty();
+    if (Item.UbFound) {
+      Item.Reports = Sink.all();
+      // CAS-min: record the smallest undefined index of this wave.
+      size_t Seen = BestIdx.load(std::memory_order_relaxed);
+      while (MyIdx < Seen &&
+             !BestIdx.compare_exchange_weak(Seen, MyIdx,
+                                            std::memory_order_relaxed))
+        ;
+      return;
     }
-  }
 
-  // Phase 2: systematic odometer over the full decision space (deepest
-  // decision increments first), within the remaining budget.
-  std::vector<uint8_t> Decisions;
-  while (Result.RunsExplored < MaxRuns) {
-    UbSink S;
-    Machine M(Ctx, BaseOpts, S);
-    M.setReplayDecisions(Decisions);
-    RunStatus St = M.run();
-    ++Result.RunsExplored;
-    Result.LastStatus = St;
-    if (St == RunStatus::UbDetected || !S.empty()) {
-      Result.UbFound = true;
-      Result.Reports = S.all();
-      Result.Witness = Decisions;
-      return Result;
-    }
+    // Spawn one child per flippable choice point at or beyond the
+    // divergence — from the full recorded trace, even when the run was
+    // cancelled by the dedup: alternatives branching off the cancelled
+    // path before the duplicate state are not covered by the earlier
+    // visit and must still be scheduled.
     const auto &Trace = M.decisionTrace();
-    std::vector<uint8_t> Next;
-    Next.reserve(Trace.size());
-    for (const auto &[Decision, Arity] : Trace)
-      Next.push_back(Decision);
-    size_t Depth = Trace.size();
-    bool Advanced = false;
-    while (Depth > 0) {
-      --Depth;
-      if (Next[Depth] + 1 < Trace[Depth].second) {
-        ++Next[Depth];
-        Next.resize(Depth + 1);
-        Advanced = true;
-        break;
+    for (size_t D = PinnedLen; D < Trace.size(); ++D) {
+      if (Trace[D].second < 2)
+        continue;
+      std::vector<uint8_t> Child;
+      Child.reserve(D + 1);
+      for (size_t I = 0; I < D; ++I)
+        Child.push_back(Trace[I].first);
+      Child.push_back(Trace[D].first ? 0 : 1);
+      Item.Children.push_back(std::move(Child));
+    }
+  };
+
+  while (!Wave.empty() && RunsStarted.load() < Opts.MaxRuns) {
+    ++Result.Waves;
+    std::sort(Wave.begin(), Wave.end(),
+              [](const WorkItem &A, const WorkItem &B) {
+                return lexLess(A.Pinned, B.Pinned);
+              });
+    const unsigned Budget = Opts.MaxRuns - RunsStarted.load();
+    if (Wave.size() > Budget)
+      Wave.resize(Budget);
+    BestIdx.store(SIZE_MAX, std::memory_order_relaxed);
+
+    if (Jobs == 1 || Wave.size() == 1) {
+      for (size_t I = 0; I < Wave.size(); ++I) {
+        RunsStarted.fetch_add(1);
+        processItem(Wave[I], I);
+        if (BestIdx.load(std::memory_order_relaxed) != SIZE_MAX)
+          break; // smaller indices all ran: the minimum is final
+      }
+    } else {
+      std::atomic<size_t> Next{0};
+      auto Worker = [&]() {
+        for (;;) {
+          size_t I = Next.fetch_add(1);
+          if (I >= Wave.size())
+            return;
+          // Skip runs that can no longer produce the minimal witness.
+          if (BestIdx.load(std::memory_order_relaxed) < I)
+            continue;
+          RunsStarted.fetch_add(1);
+          processItem(Wave[I], I);
+        }
+      };
+      std::vector<std::thread> Threads;
+      const unsigned N = std::min<size_t>(Jobs, Wave.size());
+      Threads.reserve(N);
+      for (unsigned T = 0; T < N; ++T)
+        Threads.emplace_back(Worker);
+      for (std::thread &T : Threads)
+        T.join();
+    }
+
+    // ---- Barrier: aggregate deterministically (single-threaded). ----
+    const size_t Win = BestIdx.load(std::memory_order_relaxed);
+    if (Win != SIZE_MAX) {
+      WorkItem &Winner = Wave[Win];
+      Result.UbFound = true;
+      Result.Reports = std::move(Winner.Reports);
+      Result.Witness = std::move(Winner.Pinned);
+      Result.LastStatus = Winner.Status;
+      Result.RunsExplored = RunsStarted.load();
+      return Result;
+    }
+
+    // Group in-wave twins by divergence state: items whose divergence
+    // fingerprints collide at equal depth share their entire subtree;
+    // only the canonically smallest (= lowest index, the wave is
+    // sorted) keeps its children.
+    std::unordered_set<uint64_t> SeenDivergence;
+    std::vector<WorkItem> NextWave;
+    for (WorkItem &Item : Wave) {
+      if (Item.Status == RunStatus::Running)
+        continue; // skipped after cancellation: never ran (no UB wave
+                  // reaches here, so this only happens on budget edges)
+      if (Item.Status != RunStatus::Completed &&
+          Item.Status != RunStatus::Cancelled)
+        Result.LastStatus = Item.Status; // surface StepLimit/Internal/…
+      if (Item.DedupAborted)
+        ++Result.DedupHits;
+      if (Dedup) {
+        for (const auto &[Depth, Fp] : Item.Visited)
+          Committed.insert(visitKey(Depth, Fp));
+        if (Item.HasDivergence) {
+          uint64_t Key = visitKey(Item.Pinned.size(), Item.DivergenceFp);
+          if (!SeenDivergence.insert(Key).second) {
+            ++Result.SubtreesPruned; // in-wave twin: drop its mirror
+            continue;                // subtree
+          }
+        }
+      }
+      for (std::vector<uint8_t> &Child : Item.Children) {
+        NextWave.emplace_back();
+        NextWave.back().Pinned = std::move(Child);
       }
     }
-    if (!Advanced)
-      return Result; // every alternative explored
-    Decisions = std::move(Next);
+    Wave = std::move(NextWave);
   }
+
+  Result.RunsExplored = RunsStarted.load();
   return Result;
 }

@@ -1,4 +1,4 @@
-//===- core/Search.h - Search over evaluation orders ------------*- C++ -*-===//
+//===- core/Search.h - Parallel search over evaluation orders ---*- C++ -*-===//
 //
 // Part of cundef, a semantics-based undefinedness checker for C.
 //
@@ -10,10 +10,26 @@
 /// miscompilable because *some* order divides by zero); "any tool
 /// seeking to identify all undefined behaviors must search all possible
 /// evaluation strategies". This driver enumerates order decisions by
-/// deterministic replay: each run pins a prefix of choices, the
-/// machine's decision trace reports each choice point's arity, and the
-/// driver backtracks depth-first until undefinedness is found or the
-/// budget is exhausted.
+/// deterministic replay of decision-vector prefixes, in parallel:
+///
+///  * The frontier is a wave of prefixes. Workers claim prefixes from a
+///    shared index, each replaying a private Machine; children (one per
+///    flippable choice point beyond the prefix) form the next wave.
+///  * A visited-set keyed by (decision depth, configuration
+///    fingerprint) recognizes symmetric interleavings: when a replay
+///    reaches a state some earlier prefix already reached at the same
+///    depth, the run is cancelled mid-flight and its redundant subtree
+///    is never spawned, so commuting choice points cost linear instead
+///    of exponential work.
+///  * A cancellation token stops all in-flight machines once
+///    undefinedness is found by a prefix that is canonically (lex)
+///    smaller than anything still outstanding.
+///
+/// The reported witness is deterministic: independent of the number of
+/// worker threads and of thread scheduling, because waves are processed
+/// as sorted batches, per-run outcomes depend only on (prefix,
+/// committed visited-set), the visited-set is committed at wave
+/// barriers, and ties are broken canonically. See docs/SEARCH.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,30 +40,62 @@
 
 namespace cundef {
 
+struct SearchOptions {
+  /// Replay budget: at most this many machine runs (including runs the
+  /// dedup cancels mid-flight).
+  unsigned MaxRuns = 64;
+  /// Worker threads. 1 = run in-place on the calling thread. The
+  /// verdict and witness do not depend on this; only wall-clock does.
+  unsigned Jobs = 1;
+  /// Deduplicate symmetric interleavings through configuration
+  /// fingerprints. Off = pure prefix enumeration (the exhaustive
+  /// baseline bench_search compares against). Ignored under
+  /// EvalOrderKind::Random: replay cannot reproduce the policy's
+  /// shuffle stream, so the dedup invariant does not hold there (see
+  /// Search.cpp).
+  bool Dedup = true;
+};
+
 struct SearchResult {
   unsigned RunsExplored = 0;
+  /// Runs cancelled mid-flight because their configuration fingerprint
+  /// was already visited (a subset of RunsExplored).
+  unsigned DedupHits = 0;
+  /// Whole subtrees dropped at a wave barrier because two entries of
+  /// one wave diverged into the same state (in-wave twins). These never
+  /// became runs.
+  unsigned SubtreesPruned = 0;
+  /// Frontier waves processed.
+  unsigned Waves = 0;
   bool UbFound = false;
   /// Reports of the first undefined run (empty when none found).
   std::vector<UbReport> Reports;
   /// Status of the last run (Completed when no UB was ever found).
   RunStatus LastStatus = RunStatus::Completed;
-  /// The decision vector that exposed the undefinedness.
+  /// The decision prefix that exposed the undefinedness: pin it with
+  /// Machine::setReplayDecisions to reproduce the run. Empty when the
+  /// default order is already undefined.
   std::vector<uint8_t> Witness;
 };
 
-/// Depth-first search over evaluation orders.
+/// Parallel deduplicated search over evaluation orders.
 class OrderSearch {
 public:
   OrderSearch(const AstContext &Ctx, MachineOptions BaseOpts,
               unsigned MaxRuns = 64)
-      : Ctx(Ctx), BaseOpts(BaseOpts), MaxRuns(MaxRuns) {}
+      : Ctx(Ctx), BaseOpts(BaseOpts) {
+    Opts.MaxRuns = MaxRuns;
+  }
+  OrderSearch(const AstContext &Ctx, MachineOptions BaseOpts,
+              SearchOptions Opts)
+      : Ctx(Ctx), BaseOpts(BaseOpts), Opts(Opts) {}
 
   SearchResult run();
 
 private:
   const AstContext &Ctx;
   MachineOptions BaseOpts;
-  unsigned MaxRuns;
+  SearchOptions Opts;
 };
 
 } // namespace cundef

@@ -82,11 +82,18 @@ DriverOutcome Driver::runSource(const std::string &Source,
   // may hide on a different (still conforming) evaluation strategy.
   if (Outcome.DynamicUb.empty() && Opts.SearchRuns > 1 &&
       Outcome.Status == RunStatus::Completed) {
-    OrderSearch Search(*C.Ast, Opts.Machine, Opts.SearchRuns);
+    SearchOptions SO;
+    SO.MaxRuns = Opts.SearchRuns;
+    SO.Jobs = Opts.SearchJobs;
+    SO.Dedup = Opts.SearchDedup;
+    OrderSearch Search(*C.Ast, Opts.Machine, SO);
     SearchResult SR = Search.run();
     Outcome.OrdersExplored += SR.RunsExplored;
-    if (SR.UbFound)
+    Outcome.OrdersDeduped = SR.DedupHits + SR.SubtreesPruned;
+    if (SR.UbFound) {
       Outcome.DynamicUb = SR.Reports;
+      Outcome.SearchWitness = SR.Witness;
+    }
   }
   return Outcome;
 }

@@ -35,6 +35,11 @@ struct DriverOptions {
   /// When > 1, search that many evaluation orders for undefinedness
   /// that only some orders exhibit (paper section 2.5.2).
   unsigned SearchRuns = 1;
+  /// Worker threads for the evaluation-order search (--search-jobs).
+  /// The verdict and witness are independent of this (core/Search.h).
+  unsigned SearchJobs = 1;
+  /// Deduplicate symmetric interleavings during the search.
+  bool SearchDedup = true;
 };
 
 /// Everything a run of the driver produced.
@@ -47,6 +52,13 @@ struct DriverOutcome {
   int ExitCode = 0;
   std::string Output;
   unsigned OrdersExplored = 0;
+  /// Symmetric interleavings the search pruned (core/Search.h).
+  unsigned OrdersDeduped = 0;
+  /// Decision prefix that exposed order-dependent undefinedness; replay
+  /// it with Machine::setReplayDecisions to reproduce the run
+  /// deterministically. Empty when the default order already misbehaved
+  /// (or nothing was found).
+  std::vector<uint8_t> SearchWitness;
 
   bool anyUb() const { return !StaticUb.empty() || !DynamicUb.empty(); }
   /// Renders every finding in the paper's kcc error format.

@@ -22,11 +22,11 @@ PairVerdict cundef::runOnPair(Tool &T, const TestCase &Test) {
 
 std::vector<ComparisonRow>
 cundef::compareTools(const std::string &Source, const std::string &Name,
-                     TargetConfig Target) {
+                     TargetConfig Target, unsigned SearchJobs) {
   std::vector<ComparisonRow> Rows;
   for (ToolKind Kind : {ToolKind::Kcc, ToolKind::MemGrind, ToolKind::PtrCheck,
                         ToolKind::ValueAnalysis}) {
-    std::unique_ptr<Tool> T = Tool::create(Kind, Target);
+    std::unique_ptr<Tool> T = Tool::create(Kind, Target, SearchJobs);
     ToolResult Result = T->analyze(Source, Name);
     ComparisonRow Row;
     Row.Tool = toolName(Kind);

@@ -45,10 +45,12 @@ struct ComparisonRow {
   double Micros = 0.0;
 };
 
-/// Runs all four tools on \p Source.
+/// Runs all four tools on \p Source. \p SearchJobs parallelizes kcc's
+/// evaluation-order search (the other tools run one concrete order).
 std::vector<ComparisonRow>
 compareTools(const std::string &Source, const std::string &Name,
-             TargetConfig Target = TargetConfig::lp64());
+             TargetConfig Target = TargetConfig::lp64(),
+             unsigned SearchJobs = 1);
 
 /// Renders comparison rows as an aligned text table.
 std::string renderComparison(const std::vector<ComparisonRow> &Rows);

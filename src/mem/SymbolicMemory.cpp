@@ -143,3 +143,47 @@ unsigned SymbolicMemory::countAlive(StorageKind Storage) const {
       ++Count;
   return Count;
 }
+
+static void hashByte(Fnv1a &H, const Byte &B) {
+  H.u8(static_cast<uint8_t>(B.K));
+  switch (B.K) {
+  case Byte::Kind::Unknown:
+    break;
+  case Byte::Kind::Concrete:
+    H.u8(B.Value);
+    break;
+  case Byte::Kind::PtrFrag:
+    H.u32(B.Ptr.Base);
+    H.i64(B.Ptr.Offset);
+    H.u8(B.Ptr.FromInteger);
+    H.u64(B.Ptr.RawInt);
+    H.u8(B.FragIndex);
+    H.u8(B.FragCount);
+    break;
+  }
+}
+
+void SymbolicMemory::hashInto(Fnv1a &H) const {
+  H.u32(NextId);
+  H.u64(GlobalCursor);
+  H.u64(FunctionCursor);
+  H.u64(LiteralCursor);
+  H.u64(HeapCursor);
+  H.u64(StackCursor);
+  H.u64(Objects.size());
+  for (const auto &[Id, Obj] : Objects) {
+    H.u32(Id);
+    H.u8(static_cast<uint8_t>(Obj.Storage));
+    H.u8(static_cast<uint8_t>(Obj.State));
+    H.u64(Obj.Size);
+    if (!Obj.isAlive())
+      continue; // see the declaration: tombstone content is unreadable
+    H.ptr(Obj.DeclTy.Ty);
+    H.u8(Obj.DeclTy.Quals);
+    H.u32(Obj.Name);
+    H.u64(Obj.ConcreteAddr);
+    H.ptr(Obj.Fn);
+    for (const Byte &B : Obj.Bytes)
+      hashByte(H, B);
+  }
+}

@@ -23,6 +23,7 @@
 #define CUNDEF_MEM_SYMBOLICMEMORY_H
 
 #include "mem/Byte.h"
+#include "support/Hash.h"
 #include "support/StringInterner.h"
 #include "types/Type.h"
 
@@ -105,6 +106,15 @@ public:
 
   /// Number of live allocations of the given storage kind.
   unsigned countAlive(StorageKind Storage) const;
+
+  /// Mixes this cell's state into a configuration fingerprint (used by
+  /// the evaluation-order search to deduplicate symmetric
+  /// interleavings). Dead and freed objects contribute only their id,
+  /// state and size: the strict machine can never legally read their
+  /// bytes again, and their concrete addresses depend on allocation
+  /// order, so hashing their content would make states that symmetric
+  /// interleavings reach in common look distinct.
+  void hashInto(Fnv1a &H) const;
 
 private:
   uint64_t assignAddress(StorageKind Storage, uint64_t Size);

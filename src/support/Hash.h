@@ -1,0 +1,63 @@
+//===- support/Hash.h - Incremental configuration hashing ------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small incremental FNV-1a hasher used to fingerprint machine
+/// configurations for the evaluation-order search (core/Search.h): two
+/// interleavings whose configurations hash equal at the same decision
+/// depth are treated as the same state, so the search explores their
+/// common subtree once. 64-bit digests make accidental collisions (which
+/// would silently prune a genuinely distinct state) astronomically
+/// unlikely at search scales of <= millions of states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUPPORT_HASH_H
+#define CUNDEF_SUPPORT_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace cundef {
+
+/// Incremental 64-bit FNV-1a.
+class Fnv1a {
+public:
+  void bytes(const void *Data, size_t Len) {
+    const auto *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ull;
+    }
+  }
+  void u8(uint8_t V) { bytes(&V, 1); }
+  void u16(uint16_t V) { bytes(&V, 2); }
+  void u32(uint32_t V) { bytes(&V, 4); }
+  void u64(uint64_t V) { bytes(&V, 8); }
+  void i64(int64_t V) { u64(static_cast<uint64_t>(V)); }
+  void f64(double V) {
+    uint64_t Bits;
+    std::memcpy(&Bits, &V, 8);
+    u64(Bits);
+  }
+  /// Pointer identity. AST nodes and canonical types are shared by every
+  /// machine of one search, so their addresses are stable tokens.
+  void ptr(const void *P) { u64(reinterpret_cast<uintptr_t>(P)); }
+  void str(const std::string &S) {
+    u64(S.size());
+    bytes(S.data(), S.size());
+  }
+
+  uint64_t digest() const { return H; }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ull;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_SUPPORT_HASH_H

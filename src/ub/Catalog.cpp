@@ -16,6 +16,8 @@
 
 #include "ub/Catalog.h"
 
+#include "support/Strings.h"
+
 #include <cassert>
 
 using namespace cundef;
@@ -343,4 +345,88 @@ CatalogStats cundef::catalogStats() {
       ++Stats.DynamicCorePortable;
   }
   return Stats;
+}
+
+//===----------------------------------------------------------------------===//
+// Markdown reference rendering (docs/UB_CATALOG.md).
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Juliet class name for a catalog row, or null when the row has no
+/// UbKind enumerator / no Juliet class.
+const char *julietClassForRow(uint16_t Id) {
+  // Rows 1..51 mirror the UbKind enumerators (ub/UbKind.h).
+  if (Id == 0 || Id > static_cast<uint16_t>(UbKind::ReturnVoidValue))
+    return nullptr;
+  JulietClass Class;
+  if (!julietClassOf(static_cast<UbKind>(Id), Class))
+    return nullptr;
+  return julietClassName(Class);
+}
+
+} // namespace
+
+std::string cundef::renderCatalogMarkdown() {
+  const std::vector<CatalogEntry> &Rows = ubCatalog();
+  const CatalogStats Stats = catalogStats();
+  std::string Out;
+  auto Add = [&Out](const std::string &S) { Out += S; };
+
+  Add(strFormat("# The %u undefined behaviors of C11\n\n", Stats.Total));
+  Add("Generated by `kcc --dump-catalog=markdown` from `ubCatalog()` "
+      "(src/ub/Catalog.cpp).\nDo not edit by hand: the `catalog_docs_fresh` "
+      "ctest fails when this file is\nnot byte-identical to freshly "
+      "generated output.\n\n");
+  Add("This is the paper's classification of undefined behavior in C "
+      "(\"Defining the\nundefinedness of C\", PLDI 2015, section 5.2.1): "
+      "every undefined behavior of\nC11, each with its defining clause, "
+      "whether it is detectable statically or\nonly dynamically, whether "
+      "it concerns the standard library, and whether its\nundefinedness "
+      "depends on implementation-defined or unspecified choices.\n\n");
+  Add(strFormat("- **Total:** %u\n", Stats.Total));
+  Add(strFormat("- **Statically detectable:** %u\n", Stats.Static));
+  Add(strFormat("- **Dynamic-only:** %u\n", Stats.Dynamic));
+  Add(strFormat("- **Dynamic, core-language, portable:** %u (the rows the "
+                "custom suite of\n  section 5.3 guarantees a test for)\n\n",
+                Stats.DynamicCorePortable));
+  Add("Rows whose id names a `UbKind` enumerator (ids 1-51) are "
+      "behaviors the tools\ndetect and report under that error code; "
+      "the remaining rows complete the\ninventory.\n\n");
+
+  // ---- Index: one row per entry. ----
+  Add("## Index\n\n");
+  Add("| Id | C11 clause | Detection | Juliet class | Description |\n");
+  Add("|---:|:-----------|:----------|:-------------|:------------|\n");
+  for (const CatalogEntry &E : Rows) {
+    const char *Juliet = julietClassForRow(E.Id);
+    Add(strFormat("| [%u](#ub-%u) | %s | %s | %s | %s |\n", E.Id, E.Id,
+                  E.Clause, E.isStatic() ? "static" : "dynamic",
+                  Juliet ? Juliet : "\xe2\x80\x94", E.Description));
+  }
+  Add("\n");
+
+  // ---- One reference section per entry. ----
+  Add("## Reference\n");
+  for (const CatalogEntry &E : Rows) {
+    Add(strFormat("\n<a id=\"ub-%u\"></a>\n### UB %u\n\n", E.Id, E.Id));
+    Add(strFormat("%s\n\n", E.Description));
+    Add(strFormat("- **C11 clause:** %s\n", E.Clause));
+    Add(strFormat("- **Detection:** %s\n",
+                  E.isStatic() ? "statically detectable"
+                               : "dynamic (requires execution)"));
+    Add(strFormat("- **Scope:** %s\n",
+                  E.isLibrary() ? "standard library" : "core language"));
+    Add(strFormat("- **Portability:** %s\n",
+                  E.isImplSpecific()
+                      ? "implementation-specific (depends on "
+                        "implementation-defined or unspecified choices)"
+                      : "portable (undefined on every implementation)"));
+    if (const char *Juliet = julietClassForRow(E.Id))
+      Add(strFormat("- **Juliet class:** %s\n", Juliet));
+    if (E.Id <= static_cast<uint16_t>(UbKind::ReturnVoidValue))
+      Add(strFormat("- **Reported as:** `Error: %05u` in kcc-style "
+                    "reports\n", E.Id));
+  }
+  return Out;
 }

@@ -24,6 +24,7 @@
 #include "ub/UbKind.h"
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace cundef {
@@ -60,6 +61,13 @@ struct CatalogStats {
 };
 
 CatalogStats catalogStats();
+
+/// Renders the full catalog as a markdown reference document: an index
+/// table (one row per entry: id, C11 clause, detection class, Juliet
+/// class, description) followed by one reference section per entry.
+/// docs/UB_CATALOG.md is this string verbatim (kcc --dump-catalog);
+/// the catalog_docs_fresh ctest keeps the two byte-identical.
+std::string renderCatalogMarkdown();
 
 } // namespace cundef
 

@@ -128,6 +128,191 @@ TEST(Search, OrderPoliciesDiffer) {
   EXPECT_TRUE(SinkR.has(UbKind::DivisionByZero));
 }
 
+//===----------------------------------------------------------------------===//
+// Parallel search: determinism, deduplication, cancellation.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The paper's order-dependent division by zero.
+const char *PaperSource =
+    "int d = 5;\n"
+    "int setDenom(int x) { return d = x; }\n"
+    "int main(void) { return (10 / d) + setDenom(0); }\n";
+
+/// K statements of commuting pure-call sums: 2^K interleavings that all
+/// converge, the dedup's best case.
+std::string symmetricSource(unsigned K) {
+  std::string S = "static int g(int x) { return x + 1; }\n"
+                  "int main(void) {\n  int t = 0;\n";
+  for (unsigned I = 0; I < K; ++I) {
+    char Line[64];
+    std::snprintf(Line, sizeof(Line), "  t += g(%u) + g(%u);\n", 2 * I,
+                  2 * I + 1);
+    S += Line;
+  }
+  S += "  return t > 0 ? 0 : 1;\n}\n";
+  return S;
+}
+
+SearchResult searchWith(const Driver::Compiled &C, SearchOptions SO) {
+  MachineOptions Opts;
+  OrderSearch Search(*C.Ast, Opts, SO);
+  return Search.run();
+}
+
+} // namespace
+
+TEST(ParallelSearch, WitnessDeterministicAcrossJobCounts) {
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(PaperSource, "jobs.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions SO;
+  SO.MaxRuns = 64;
+
+  SO.Jobs = 1;
+  SearchResult R1 = searchWith(C, SO);
+  ASSERT_TRUE(R1.UbFound);
+
+  for (unsigned Jobs : {2u, 4u, 8u}) {
+    SO.Jobs = Jobs;
+    // Repeat each parallel configuration: thread scheduling must never
+    // leak into the verdict or the witness.
+    for (int Round = 0; Round < 3; ++Round) {
+      SearchResult R = searchWith(C, SO);
+      EXPECT_TRUE(R.UbFound) << "jobs=" << Jobs;
+      EXPECT_EQ(R.Witness, R1.Witness) << "jobs=" << Jobs;
+      ASSERT_FALSE(R.Reports.empty());
+      EXPECT_EQ(R.Reports.front().Kind, R1.Reports.front().Kind);
+      EXPECT_EQ(R.Reports.front().Loc.Line, R1.Reports.front().Loc.Line);
+    }
+  }
+}
+
+TEST(ParallelSearch, PaperExampleFoundWithJobsAndDedup) {
+  // Regression: the (10/d) + setDenom(0) order must survive both the
+  // dedup pruning and parallel scheduling.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(PaperSource, "paper_par.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions SO;
+  SO.MaxRuns = 64;
+  SO.Jobs = 4;
+  SO.Dedup = true;
+  SearchResult R = searchWith(C, SO);
+  ASSERT_TRUE(R.UbFound);
+  EXPECT_EQ(R.Reports.front().Kind, UbKind::DivisionByZero);
+  EXPECT_FALSE(R.Witness.empty());
+}
+
+TEST(ParallelSearch, DedupPreservesVerdictAndReports) {
+  // Same fingerprint => same future: pruning duplicates may change how
+  // many runs execute, never what is found.
+  for (const char *Source :
+       {PaperSource,
+        "int a = 1;\n"
+        "int set(int v) { a = v; return 0; }\n"
+        "int main(void) { return (8 / a) + (set(0) + set(1)); }\n",
+        "int main(void) { int x = 1; return x + x++; }\n",
+        "static int f(void) { return 1; }\n"
+        "static int g(void) { return 2; }\n"
+        "int main(void) { return f() + g() - 3; }\n"}) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "dedup.c");
+    ASSERT_TRUE(C.Ok);
+    SearchOptions On, Off;
+    On.MaxRuns = Off.MaxRuns = 4096; // ample: enumeration may need more
+    On.Dedup = true;
+    Off.Dedup = false;
+    SearchResult ROn = searchWith(C, On);
+    SearchResult ROff = searchWith(C, Off);
+    EXPECT_EQ(ROn.UbFound, ROff.UbFound) << Source;
+    EXPECT_EQ(ROn.Witness, ROff.Witness) << Source;
+    ASSERT_EQ(ROn.Reports.size(), ROff.Reports.size()) << Source;
+    for (size_t I = 0; I < ROn.Reports.size(); ++I) {
+      EXPECT_EQ(ROn.Reports[I].Kind, ROff.Reports[I].Kind);
+      EXPECT_EQ(ROn.Reports[I].Loc.Line, ROff.Reports[I].Loc.Line);
+    }
+  }
+}
+
+TEST(ParallelSearch, DedupCollapsesSymmetricInterleavings) {
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(symmetricSource(5), "sym.c");
+  ASSERT_TRUE(C.Ok) << C.Errors;
+  SearchOptions On, Off;
+  On.MaxRuns = Off.MaxRuns = 20000;
+  On.Dedup = true;
+  Off.Dedup = false;
+  SearchResult ROn = searchWith(C, On);
+  SearchResult ROff = searchWith(C, Off);
+  EXPECT_FALSE(ROn.UbFound);
+  EXPECT_FALSE(ROff.UbFound);
+  EXPECT_GT(ROn.DedupHits, 0u) << "symmetric states must collide";
+  EXPECT_LT(ROn.RunsExplored, ROff.RunsExplored)
+      << "dedup must prune the exponential interleaving space";
+}
+
+TEST(ParallelSearch, ParallelWitnessReplaysDeterministically) {
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(PaperSource, "replay_par.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions SO;
+  SO.MaxRuns = 64;
+  SO.Jobs = 4;
+  SearchResult R = searchWith(C, SO);
+  ASSERT_TRUE(R.UbFound);
+  for (int Round = 0; Round < 3; ++Round) {
+    MachineOptions Opts;
+    UbSink Sink;
+    Machine M(*C.Ast, Opts, Sink);
+    M.setReplayDecisions(R.Witness);
+    EXPECT_EQ(M.run(), RunStatus::UbDetected);
+    ASSERT_FALSE(Sink.all().empty());
+    EXPECT_EQ(Sink.all().front().Kind, UbKind::DivisionByZero);
+  }
+}
+
+TEST(ParallelSearch, FingerprintIsReplayStable) {
+  // The dedup's foundation: identical decision prefixes must produce
+  // identical configuration fingerprints in independent machines.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(symmetricSource(2), "fp.c");
+  ASSERT_TRUE(C.Ok);
+  MachineOptions Opts;
+  auto FinalFp = [&](std::vector<uint8_t> Decisions) {
+    UbSink Sink;
+    Machine M(*C.Ast, Opts, Sink);
+    M.setReplayDecisions(std::move(Decisions));
+    M.run();
+    return M.configFingerprint();
+  };
+  EXPECT_EQ(FinalFp({}), FinalFp({}));
+  EXPECT_EQ(FinalFp({1}), FinalFp({1}));
+  // Commuting interleavings converge to the same final configuration
+  // even though they took different decisions: that equality is exactly
+  // what the visited-set exploits.
+  EXPECT_EQ(FinalFp({}), FinalFp({1}));
+}
+
+TEST(ParallelSearch, DriverThreadsSearchJobs) {
+  DriverOptions DOpts;
+  DOpts.SearchRuns = 64;
+  DOpts.SearchJobs = 4;
+  Driver Drv(DOpts);
+  DriverOutcome O = Drv.runSource(PaperSource, "drv.c");
+  ASSERT_TRUE(O.CompileOk);
+  EXPECT_FALSE(O.DynamicUb.empty());
+  EXPECT_FALSE(O.SearchWitness.empty());
+  EXPECT_EQ(O.DynamicUb.front().Kind, UbKind::DivisionByZero);
+
+  // The same outcome with one job: verdict and witness agree.
+  DOpts.SearchJobs = 1;
+  Driver Drv1(DOpts);
+  DriverOutcome O1 = Drv1.runSource(PaperSource, "drv1.c");
+  EXPECT_EQ(O1.SearchWitness, O.SearchWitness);
+}
+
 TEST(Search, RandomOrderIsSeedDeterministic) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(

@@ -10,15 +10,21 @@
 //     --target=lp64|ilp32|wideint   implementation-defined parameters
 //     --style=cond|chain|decl       specification style (section 4.5)
 //     --search=N                    evaluation orders to search (2.5.2)
+//     --search-jobs=N               worker threads for the order search
+//     --no-dedup                    disable search state deduplication
+//     --show-witness                print the undefined order's decisions
 //     --no-static                   skip the static undefinedness pass
 //     --order=ltr|rtl|random        evaluation order policy
 //     --seed=N                      seed for --order=random
+//     --dump-catalog=markdown       print the UB catalog reference and exit
 //
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
 #include "support/Strings.h"
+#include "ub/Catalog.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,19 +38,32 @@ static void usage() {
                "  --target=lp64|ilp32|wideint\n"
                "  --style=cond|chain|decl\n"
                "  --search=N\n"
+               "  --search-jobs=N\n"
+               "  --no-dedup\n"
+               "  --show-witness\n"
                "  --order=ltr|rtl|random\n"
                "  --seed=N\n"
-               "  --no-static\n");
+               "  --no-static\n"
+               "  --dump-catalog=markdown\n");
 }
 
 int main(int argc, char **argv) {
   DriverOptions Opts;
   Opts.SearchRuns = 8;
+  bool ShowWitness = false;
   const char *Path = nullptr;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
-    if (startsWith(Arg, "--target=")) {
+    if (startsWith(Arg, "--dump-catalog=")) {
+      const char *Value = Arg + 15;
+      if (std::strcmp(Value, "markdown")) {
+        usage();
+        return 2;
+      }
+      std::fputs(renderCatalogMarkdown().c_str(), stdout);
+      return 0;
+    } else if (startsWith(Arg, "--target=")) {
       const char *Value = Arg + 9;
       if (!std::strcmp(Value, "lp64"))
         Opts.Target = TargetConfig::lp64();
@@ -69,9 +88,17 @@ int main(int argc, char **argv) {
         return 2;
       }
     } else if (startsWith(Arg, "--search=")) {
-      Opts.SearchRuns = static_cast<unsigned>(std::atoi(Arg + 9));
-      if (Opts.SearchRuns == 0)
-        Opts.SearchRuns = 1;
+      // atoi yields 0 for garbage and negatives stay negative: clamp
+      // both to a sane floor instead of wrapping through unsigned.
+      Opts.SearchRuns =
+          static_cast<unsigned>(std::max(1, std::atoi(Arg + 9)));
+    } else if (startsWith(Arg, "--search-jobs=")) {
+      Opts.SearchJobs =
+          static_cast<unsigned>(std::max(1, std::atoi(Arg + 14)));
+    } else if (!std::strcmp(Arg, "--no-dedup")) {
+      Opts.SearchDedup = false;
+    } else if (!std::strcmp(Arg, "--show-witness")) {
+      ShowWitness = true;
     } else if (startsWith(Arg, "--order=")) {
       const char *Value = Arg + 8;
       if (!std::strcmp(Value, "ltr"))
@@ -119,6 +146,18 @@ int main(int argc, char **argv) {
   std::fputs(O.Output.c_str(), stdout);
   if (O.anyUb()) {
     std::fputs(O.renderReport().c_str(), stderr);
+    if (ShowWitness && !O.DynamicUb.empty()) {
+      // The deterministic witness: the evaluation-order decisions that
+      // expose the undefinedness (0 = source order, 1 = reversed, one
+      // per choice point). Empty = the default order already fails.
+      std::string W = "Witness decisions:";
+      if (O.SearchWitness.empty())
+        W += " (default order)";
+      for (uint8_t D : O.SearchWitness)
+        W += D ? " 1" : " 0";
+      W += "\n";
+      std::fputs(W.c_str(), stderr);
+    }
     return 139; // undefined: report and fail like a crashed process
   }
   return O.ExitCode;
