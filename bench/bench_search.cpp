@@ -4,23 +4,33 @@
 //
 // "Any tool seeking to identify all undefined behaviors must search all
 // possible evaluation strategies" (paper section 2.5.2). This bench
-// measures the cost and the payoff of that search in three
-// configurations of core/Search.h:
+// measures the cost and the payoff of that search across the engine's
+// generations:
 //
-//   seq        exhaustive prefix enumeration, 1 thread, no dedup
-//              (what the pre-parallel searcher effectively did),
-//   dedup      1 thread + the fingerprint visited-set,
-//   dedup x4   4 worker threads + the visited-set (--search-jobs=4).
+//   seq        exhaustive prefix enumeration, 1 thread, no dedup,
+//              full-state rehash (what the pre-parallel searcher did),
+//   replay     + fingerprint visited-set; children replay their pinned
+//              prefix from main() and rehash the whole configuration at
+//              every choice point (the PR 1 engine — the baseline the
+//              fork engine is measured against),
+//   fork       + children fork mid-run from snapshots captured at their
+//              choice points, and fingerprints are incremental
+//              (O(state touched) instead of O(state)),
+//   fork x4    fork with 4 worker threads (--search-jobs=4).
 //
-// Reported per program: verdict, machine runs, dedup hit rate,
-// wall-clock, and the speedup of dedup x4 over seq. Witnesses must be
-// identical across all three configurations (the search is
-// deterministic by construction; docs/SEARCH.md).
+// Reported per program: verdict, machine runs, dedup hit rate, and the
+// wall-clock of replay vs fork at jobs 1 and 4. Witnesses must be
+// byte-identical across every configuration and engine (the search is
+// deterministic by construction; docs/SEARCH.md), and the fork engine
+// must not regress the dedup hit rate — the bench exits nonzero on
+// either violation, which the bench_search_quick ctest guards in CI
+// (--quick runs a reduced matrix).
 //
 // The dedup payoff is algorithmic: programs with k independent choice
 // points have 2^k interleavings but only O(k) distinct states at each
-// depth, so the visited-set collapses the exponential frontier. Worker
-// threads additionally spread the surviving replays over cores.
+// depth. The fork payoff is the two replay-era costs the deep-tree
+// workload isolates: re-executing O(depth) pinned prefixes per run, and
+// re-hashing O(state) per choice point.
 //
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +39,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 using namespace cundef;
@@ -38,6 +49,10 @@ namespace {
 struct OrderCase {
   const char *Name;
   std::string Source;
+  /// Aggregated into the deep-tree fork-vs-replay speedup printed in
+  /// the summary line (informational; the exit code gates only witness
+  /// identity and dedup-hit equality, which are timing-independent).
+  bool DeepTree = false;
 };
 
 /// k statements of commuting two-call sums: 2^k interleavings, linearly
@@ -74,24 +89,28 @@ std::string symmetricSumsWithUb(unsigned K) {
   return S;
 }
 
-const OrderCase Cases[] = {
-    {"paper 2.5.2: (10/d) + setDenom(0)",
-     "int d = 5;\n"
-     "int setDenom(int x) { return d = x; }\n"
-     "int main(void) { return (10 / d) + setDenom(0); }\n"},
-    {"mirrored: setDenom(0) + (10/d)",
-     "int d = 5;\n"
-     "int setDenom(int x) { return d = x; }\n"
-     "int main(void) { return setDenom(0) + (10 / d); }\n"},
-    {"write/read race: x + x++",
-     "int main(void) { int x = 1; return x + x++; }\n"},
-    {"nested order dependence",
-     "int a = 1;\n"
-     "int set(int v) { a = v; return 0; }\n"
-     "int main(void) { return (8 / a) + (set(0) + set(1)); }\n"},
-    {"8 commuting pairs (defined)", symmetricSums(8)},
-    {"8 commuting pairs + hidden UB", symmetricSumsWithUb(8)},
-};
+/// The deep-tree workload: K commuting pairs whose calls write into a
+/// sizable global array. Prefix replay re-executes up to the full
+/// program per run, and a full-state rehash touches every array byte at
+/// every choice point — exactly the two costs fork scheduling and
+/// incremental fingerprints remove.
+std::string deepTree(unsigned K, unsigned Cells) {
+  char Head[128];
+  std::snprintf(Head, sizeof(Head),
+                "int buf[%u];\n"
+                "static int g(int x) { buf[x %% %u] += x; return x + 1; }\n"
+                "int main(void) {\n  int t = 0;\n",
+                Cells, Cells);
+  std::string S = Head;
+  for (unsigned I = 0; I < K; ++I) {
+    char Line[64];
+    std::snprintf(Line, sizeof(Line), "  t += g(%u) + g(%u);\n", 2 * I,
+                  2 * I + 1);
+    S += Line;
+  }
+  S += "  return t > 0 ? 0 : 1;\n}\n";
+  return S;
+}
 
 struct Measured {
   SearchResult R;
@@ -118,80 +137,143 @@ std::string witnessStr(const std::vector<uint8_t> &W) {
 
 } // namespace
 
-int main() {
-  constexpr unsigned Budget = 512;
-  std::printf("Evaluation-order search (paper section 2.5.2), budget %u "
-              "runs\n\n", Budget);
-  std::printf("%-34s %-10s %6s %6s %6s %9s %9s %9s %8s\n", "program",
-              "verdict", "seq", "dedup", "x4", "hit rate", "seq ms",
-              "x4 ms", "speedup");
-  std::printf("%s\n", std::string(104, '-').c_str());
+int main(int argc, char **argv) {
+  const bool Quick = argc > 1 && !std::strcmp(argv[1], "--quick");
+  const unsigned Budget = Quick ? 192 : 512;
+  const unsigned Pairs = Quick ? 6 : 8;
+  const unsigned DeepPairs = Quick ? 8 : 10;
+  const unsigned DeepCells = Quick ? 256 : 512;
 
-  double TotalSeqMs = 0, TotalParMs = 0;
+  const OrderCase Cases[] = {
+      {"paper 2.5.2: (10/d) + setDenom(0)",
+       "int d = 5;\n"
+       "int setDenom(int x) { return d = x; }\n"
+       "int main(void) { return (10 / d) + setDenom(0); }\n"},
+      {"mirrored: setDenom(0) + (10/d)",
+       "int d = 5;\n"
+       "int setDenom(int x) { return d = x; }\n"
+       "int main(void) { return setDenom(0) + (10 / d); }\n"},
+      {"write/read race: x + x++",
+       "int main(void) { int x = 1; return x + x++; }\n"},
+      {"nested order dependence",
+       "int a = 1;\n"
+       "int set(int v) { a = v; return 0; }\n"
+       "int main(void) { return (8 / a) + (set(0) + set(1)); }\n"},
+      {"commuting pairs (defined)", symmetricSums(Pairs)},
+      {"commuting pairs + hidden UB", symmetricSumsWithUb(Pairs)},
+      {"deep tree (pairs + hot array)", deepTree(DeepPairs, DeepCells),
+       /*DeepTree=*/true},
+  };
+
+  std::printf("Evaluation-order search (paper section 2.5.2), budget %u "
+              "runs%s\n\n", Budget, Quick ? " [quick]" : "");
+  std::printf("%-32s %-8s %6s %6s %7s %9s %9s %8s %9s %9s %8s\n", "program",
+              "verdict", "runs", "forked", "hits", "seq ms", "replay ms",
+              "fork ms", "rep4 ms", "fork4 ms", "speedup");
+  std::printf("%s\n", std::string(122, '-').c_str());
+
+  double TotalReplayMs = 0, TotalForkMs = 0;
+  double DeepReplayMs = 0, DeepForkMs = 0;
+  double DeepReplay4Ms = 0, DeepFork4Ms = 0;
   bool WitnessesAgree = true;
+  bool HitRateOk = true;
 
   for (const OrderCase &Case : Cases) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Case.Source, "order.c");
     if (!C.Ok) {
-      std::printf("%-34s  compile error\n", Case.Name);
+      std::printf("%-32s  compile error\n", Case.Name);
       continue;
     }
 
-    SearchOptions Seq;           // exhaustive baseline
+    SearchOptions Seq; // the pre-parallel engine
     Seq.MaxRuns = Budget;
     Seq.Jobs = 1;
     Seq.Dedup = false;
-    SearchOptions Ded = Seq;     // + visited-set
-    Ded.Dedup = true;
-    SearchOptions Par = Ded;     // + worker threads
-    Par.Jobs = 4;
+    Seq.UseSnapshots = false;
+    Seq.FullRehash = true;
+    SearchOptions Replay = Seq; // + visited-set (the PR 1 engine)
+    Replay.Dedup = true;
+    SearchOptions Fork = Replay; // + snapshots + incremental digests
+    Fork.UseSnapshots = true;
+    Fork.FullRehash = false;
+    SearchOptions Replay4 = Replay; // both engines at 4 workers
+    Replay4.Jobs = 4;
+    SearchOptions Fork4 = Fork;
+    Fork4.Jobs = 4;
 
     Measured MSeq = measure(*C.Ast, Seq);
-    Measured MDed = measure(*C.Ast, Ded);
-    Measured MPar = measure(*C.Ast, Par);
+    Measured MRep = measure(*C.Ast, Replay);
+    Measured MFork = measure(*C.Ast, Fork);
+    Measured MRep4 = measure(*C.Ast, Replay4);
+    Measured MFork4 = measure(*C.Ast, Fork4);
 
     // Share of started runs the visited-set cancelled mid-flight
     // (DedupHits is a subset of RunsExplored; barrier twin-prunes are
     // separate events and not runs).
     const double HitRate =
-        MPar.R.RunsExplored
-            ? 100.0 * MPar.R.DedupHits / MPar.R.RunsExplored
+        MFork.R.RunsExplored
+            ? 100.0 * MFork.R.DedupHits / MFork.R.RunsExplored
             : 0.0;
-    const double Speedup = MPar.Millis > 0 ? MSeq.Millis / MPar.Millis : 0.0;
-    TotalSeqMs += MSeq.Millis;
-    TotalParMs += MPar.Millis;
+    const double Speedup = MFork.Millis > 0 ? MRep.Millis / MFork.Millis : 0.0;
+    TotalReplayMs += MRep.Millis;
+    TotalForkMs += MFork.Millis;
+    if (Case.DeepTree) {
+      DeepReplayMs += MRep.Millis;
+      DeepForkMs += MFork.Millis;
+      DeepReplay4Ms += MRep4.Millis;
+      DeepFork4Ms += MFork4.Millis;
+    }
 
-    bool SameVerdict = MSeq.R.UbFound == MDed.R.UbFound &&
-                       MDed.R.UbFound == MPar.R.UbFound;
-    bool SameWitness = MSeq.R.Witness == MDed.R.Witness &&
-                       MDed.R.Witness == MPar.R.Witness;
+    bool SameVerdict = MSeq.R.UbFound == MRep.R.UbFound &&
+                       MRep.R.UbFound == MFork.R.UbFound &&
+                       MFork.R.UbFound == MRep4.R.UbFound &&
+                       MRep4.R.UbFound == MFork4.R.UbFound;
+    bool SameWitness = MSeq.R.Witness == MRep.R.Witness &&
+                       MRep.R.Witness == MFork.R.Witness &&
+                       MFork.R.Witness == MRep4.R.Witness &&
+                       MRep4.R.Witness == MFork4.R.Witness;
     if (!SameVerdict || !SameWitness)
       WitnessesAgree = false;
+    // No dedup-hit-rate regression: at one thread both engines make the
+    // same decisions, so the counters must agree exactly.
+    if (MFork.R.DedupHits != MRep.R.DedupHits ||
+        MFork.R.RunsExplored != MRep.R.RunsExplored)
+      HitRateOk = false;
 
-    std::printf("%-34s %-10s %6u %6u %6u %8.0f%% %9.2f %9.2f %7.1fx\n",
-                Case.Name, MPar.R.UbFound ? "UNDEF" : "clean",
-                MSeq.R.RunsExplored, MDed.R.RunsExplored,
-                MPar.R.RunsExplored, HitRate, MSeq.Millis, MPar.Millis,
-                Speedup);
-    if (MPar.R.UbFound)
-      std::printf("%-34s   witness %s%s\n", "",
-                  witnessStr(MPar.R.Witness).c_str(),
-                  SameWitness ? " (identical seq/dedup/x4)"
+    std::printf("%-32s %-8s %6u %6u %6.0f%% %9.2f %9.2f %8.2f %9.2f %9.2f "
+                "%7.1fx\n",
+                Case.Name, MFork.R.UbFound ? "UNDEF" : "clean",
+                MFork.R.RunsExplored, MFork.R.ForkedRuns, HitRate,
+                MSeq.Millis, MRep.Millis, MFork.Millis, MRep4.Millis,
+                MFork4.Millis, Speedup);
+    if (MFork.R.UbFound)
+      std::printf("%-32s   witness %s%s\n", "",
+                  witnessStr(MFork.R.Witness).c_str(),
+                  SameWitness ? " (identical across engines and jobs)"
                               : " MISMATCH ACROSS CONFIGS");
   }
 
-  std::printf("%s\n", std::string(104, '-').c_str());
-  std::printf("total wall-clock: seq %.2f ms, dedup x4 %.2f ms "
-              "(%.1fx speedup); witnesses %s\n",
-              TotalSeqMs, TotalParMs,
-              TotalParMs > 0 ? TotalSeqMs / TotalParMs : 0.0,
+  const double DeepSpeedup =
+      DeepForkMs > 0 ? DeepReplayMs / DeepForkMs : 0.0;
+  const double DeepSpeedup4 =
+      DeepFork4Ms > 0 ? DeepReplay4Ms / DeepFork4Ms : 0.0;
+  std::printf("%s\n", std::string(122, '-').c_str());
+  std::printf("total wall-clock: replay %.2f ms, fork %.2f ms (%.1fx); "
+              "deep tree: %.1fx at jobs=1, %.1fx at jobs=4\n",
+              TotalReplayMs, TotalForkMs,
+              TotalForkMs > 0 ? TotalReplayMs / TotalForkMs : 0.0,
+              DeepSpeedup, DeepSpeedup4);
+  std::printf("witnesses %s; dedup hit rate %s\n",
               WitnessesAgree ? "identical in every configuration"
-                             : "DIFFER (bug!)");
-  std::printf("\nThe exponential cases are why dedup matters: 8 commuting "
-              "pairs span 2^8\ninterleavings, but the fingerprint "
-              "visited-set proves almost all of them\nreach already-"
-              "explored states and prunes them mid-flight. Threads then\n"
-              "spread the surviving replays over cores (--search-jobs).\n");
-  return WitnessesAgree ? 0 : 1;
+                             : "DIFFER (bug!)",
+              HitRateOk ? "identical between engines"
+                        : "REGRESSED in fork engine (bug!)");
+  std::printf("\nFork scheduling resumes each child from a snapshot of its "
+              "choice point\ninstead of re-executing the pinned prefix from "
+              "main(), and incremental\nfingerprints digest only the state "
+              "touched since the last choice point.\nBoth effects compound "
+              "on deep trees, where prefixes are long and the\nconfiguration "
+              "is large.\n");
+  return WitnessesAgree && HitRateOk ? 0 : 1;
 }

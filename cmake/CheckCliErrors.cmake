@@ -1,0 +1,60 @@
+# Drives the kcc CLI's strict flag parsing: non-numeric values for
+# numeric flags must be diagnosed on stderr and exit with code 2 (they
+# used to be silently atoi'd to 0 and clamped to 1), while the
+# documented special values keep working (--search-jobs=0 auto-detects
+# hardware concurrency). Run via ctest (test name: kcc_cli_errors).
+if(NOT DEFINED KCC OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DKCC=<kcc> -DWORKDIR=<dir> -P CheckCliErrors.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(OK_C ${WORKDIR}/cli_ok.c)
+file(WRITE ${OK_C} "int main(void) { return 0; }\n")
+
+# Each entry: flag that must be rejected with exit 2 + a diagnostic.
+set(BAD_FLAGS
+  --search=abc
+  --search=12x
+  --search=
+  --search=0
+  --search-jobs=abc
+  --search-jobs=1O
+  --search-jobs=-4
+  --search-jobs=
+  --seed=banana
+  --search-engine=warp)
+
+foreach(FLAG ${BAD_FLAGS})
+  execute_process(
+    COMMAND ${KCC} ${FLAG} ${OK_C}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 2)
+    message(FATAL_ERROR "kcc ${FLAG}: expected exit 2, got ${RC}")
+  endif()
+  if(ERR STREQUAL "")
+    message(FATAL_ERROR "kcc ${FLAG}: exit 2 but no diagnostic on stderr")
+  endif()
+endforeach()
+
+# Valid numeric values (including the 0 = auto-detect jobs default)
+# must still run the program through to its own exit code.
+set(GOOD_ARGS
+  "--search=8;--search-jobs=0"
+  "--search=8;--search-jobs=4;--search-engine=replay"
+  "--search=8;--search-engine=fork"
+  "--seed=42;--order=random")
+
+foreach(ARGS ${GOOD_ARGS})
+  execute_process(
+    COMMAND ${KCC} ${ARGS} ${OK_C}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "kcc ${ARGS}: expected exit 0, got ${RC}: ${ERR}")
+  endif()
+endforeach()
+
+message(STATUS "kcc CLI flag validation behaves as documented")

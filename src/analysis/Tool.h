@@ -65,8 +65,9 @@ public:
                              const std::string &Name) = 0;
   virtual const char *name() const = 0;
 
-  /// \p SearchJobs: worker threads for kcc's evaluation-order search
-  /// (the baselines execute one concrete run and ignore it).
+  /// \p SearchJobs: worker threads for kcc's evaluation-order search,
+  /// 0 = auto-detect hardware concurrency (the baselines execute one
+  /// concrete run and ignore it).
   static std::unique_ptr<Tool> create(ToolKind Kind,
                                       TargetConfig Target =
                                           TargetConfig::lp64(),

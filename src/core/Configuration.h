@@ -13,6 +13,10 @@
 ///
 /// The whole configuration is a value type: search over unspecified
 /// evaluation orders clones it at choice points (paper section 2.5.2).
+/// Copies are cheap — the mem cell shares objects copy-on-write
+/// (mem/SymbolicMemory.h) — and the cells that change on every step (k
+/// stack, sequencing sets, memory, frames) maintain incremental digests
+/// so fingerprint() is O(what changed), not O(total state).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +37,110 @@ namespace cundef {
 /// and notWritable cells.
 using ByteLoc = std::pair<uint32_t, int64_t>;
 
+/// Content digest of one k item (implemented in core/Fingerprint.cpp,
+/// next to the value hashing it depends on).
+uint64_t kItemDigest(const KItem &Item);
+
+/// The k cell: a stack of KItems plus, when tracking is enabled, a
+/// parallel stack of prefix digests so that the whole cell's digest is
+/// the top entry — O(1) at fingerprint time, O(one item) per push.
+/// Tracking is enabled by machines that fingerprint (the search);
+/// ordinary runs skip the per-push hashing entirely.
+class KCell {
+public:
+  void push_back(KItem Item) {
+    if (Tracking)
+      Digests.push_back(combine(digest(), kItemDigest(Item)));
+    Items.push_back(std::move(Item));
+  }
+  void pop_back() {
+    Items.pop_back();
+    if (Tracking)
+      Digests.pop_back();
+  }
+  /// Moves the top item out and pops it (the step loop's idiom; a
+  /// mutable back() would silently stale the prefix digests).
+  KItem take() {
+    KItem Item = std::move(Items.back());
+    pop_back();
+    return Item;
+  }
+  const KItem &back() const { return Items.back(); }
+  bool empty() const { return Items.empty(); }
+  size_t size() const { return Items.size(); }
+  const std::vector<KItem> &items() const { return Items; }
+
+  /// Digest of the whole stack (valid whenever Tracking).
+  uint64_t digest() const { return Digests.empty() ? Seed : Digests.back(); }
+  /// Reference recomputation from scratch; always equals digest() while
+  /// tracking (tested), and is the fallback when not.
+  uint64_t computeDigest() const {
+    uint64_t D = Seed;
+    for (const KItem &Item : Items)
+      D = combine(D, kItemDigest(Item));
+    return D;
+  }
+  bool tracking() const { return Tracking; }
+  /// Turns on incremental digests, backfilling for any current items.
+  void enableTracking() {
+    if (Tracking)
+      return;
+    Tracking = true;
+    Digests.clear();
+    Digests.reserve(Items.size());
+    uint64_t D = Seed;
+    for (const KItem &Item : Items)
+      Digests.push_back(D = combine(D, kItemDigest(Item)));
+  }
+
+private:
+  static constexpr uint64_t Seed = 0x243f6a8885a308d3ull;
+  static uint64_t combine(uint64_t Prefix, uint64_t Item) {
+    return mix64(Prefix * 0x100000001b3ull ^ Item);
+  }
+  std::vector<KItem> Items;
+  std::vector<uint64_t> Digests;
+  bool Tracking = false;
+};
+
+/// A set of byte locations with an incrementally maintained multiset
+/// digest (sum of mixed item hashes — order-independent, exact under
+/// insert/clear). Backs the locsWrittenTo and notWritable cells, whose
+/// membership changes every write/sequence point.
+class LocSet {
+public:
+  bool insert(ByteLoc Loc) {
+    if (!Set.insert(Loc).second)
+      return false;
+    Sum += itemHash(Loc);
+    return true;
+  }
+  void clear() {
+    Set.clear();
+    Sum = 0;
+  }
+  size_t count(ByteLoc Loc) const { return Set.count(Loc); }
+  size_t size() const { return Set.size(); }
+  auto begin() const { return Set.begin(); }
+  auto end() const { return Set.end(); }
+  uint64_t digest() const { return Sum; }
+  /// Reference recomputation (must equal digest(); tested).
+  uint64_t computeDigest() const {
+    uint64_t D = 0;
+    for (const ByteLoc &Loc : Set)
+      D += itemHash(Loc);
+    return D;
+  }
+
+private:
+  static uint64_t itemHash(ByteLoc Loc) {
+    return mix64((static_cast<uint64_t>(Loc.first) << 32) ^
+                 (static_cast<uint64_t>(Loc.second) * 0x9e3779b97f4a7c15ull));
+  }
+  std::set<ByteLoc> Set;
+  uint64_t Sum = 0;
+};
+
 /// One activation record: the env cell of a control context plus the
 /// bookkeeping needed to end parameter lifetimes.
 struct Frame {
@@ -43,6 +151,13 @@ struct Frame {
   /// Variadic tail of the active call (used by printf-style builtins).
   std::vector<Value> VarArgs;
   SourceLoc CallLoc;
+
+  /// Cached frame digest; any mutable access through
+  /// Configuration::frame() conservatively invalidates it, so at
+  /// fingerprint time only frames touched since the last fingerprint
+  /// are rehashed. Content-determined, so copies keep it.
+  mutable uint64_t Digest = 0;
+  mutable bool DigestValid = false;
 };
 
 /// Why the machine stopped.
@@ -59,7 +174,7 @@ enum class RunStatus : uint8_t {
 /// The full configuration.
 struct Configuration {
   // --- <k> and its value stack ---------------------------------------
-  std::vector<KItem> K;
+  KCell K;
   std::vector<Value> Values;
 
   // --- <genv> ----------------------------------------------------------
@@ -69,8 +184,8 @@ struct Configuration {
   SymbolicMemory Mem;
 
   // --- <locsWrittenTo> / <notWritable> (paper section 4.2) -------------
-  std::set<ByteLoc> LocsWrittenTo;
-  std::set<ByteLoc> NotWritable;
+  LocSet LocsWrittenTo;
+  LocSet NotWritable;
 
   // --- <callStack> + <control> -----------------------------------------
   std::vector<Frame> CallStack;
@@ -95,7 +210,14 @@ struct Configuration {
   /// search replays are reproducible).
   uint32_t RandState = 12345;
 
-  Frame &frame() { return CallStack.back(); }
+  /// Mutable access to the innermost frame. Conservatively invalidates
+  /// that frame's cached digest: callers may mutate anything behind the
+  /// reference.
+  Frame &frame() {
+    Frame &F = CallStack.back();
+    F.DigestValid = false;
+    return F;
+  }
   const Frame &frame() const { return CallStack.back(); }
 
   /// Looks up a variable's object: innermost frame env, then genv.
@@ -122,7 +244,17 @@ struct Configuration {
   /// excluded: Steps (only reachable effect is the step limit, which is
   /// a budget rather than a behavior) and Output (append-only; it never
   /// feeds back into control flow). Implemented in core/Fingerprint.cpp.
+  ///
+  /// Incremental: the k cell, sequencing sets, memory objects, and
+  /// frames contribute cached/incrementally-maintained digests, so the
+  /// cost is proportional to what changed since the last fingerprint.
   uint64_t fingerprint() const;
+
+  /// The same digest recomputed from scratch, bypassing every cache.
+  /// Always equals fingerprint(); the equivalence is the correctness
+  /// argument for the caches and is asserted by tests and by
+  /// bench_search's engine cross-check.
+  uint64_t fingerprintFull() const;
 };
 
 } // namespace cundef

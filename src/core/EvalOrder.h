@@ -19,6 +19,7 @@
 #ifndef CUNDEF_CORE_EVALORDER_H
 #define CUNDEF_CORE_EVALORDER_H
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -48,6 +49,17 @@ public:
   void setReplay(std::vector<uint8_t> Decisions) {
     Replay = std::move(Decisions);
     ReplayPos = 0;
+  }
+
+  /// Fork-resume: installs \p Decisions as the replay vector on a
+  /// chooser copied from a mid-run snapshot. The trace already holds
+  /// the decisions made so far, so consumption continues at the current
+  /// depth instead of restarting from zero — position i of the replay
+  /// keeps corresponding to choice point i, exactly as in a
+  /// from-scratch replay of the same vector.
+  void resumeReplay(std::vector<uint8_t> Decisions) {
+    Replay = std::move(Decisions);
+    ReplayPos = std::min(Trace.size(), Replay.size());
   }
 
   /// (decision, arity) per choice point, in order.

@@ -11,6 +11,16 @@
 // is a stable identity because every machine of one search shares the
 // same AstContext.
 //
+// The digest is structured as an FNV-1a fold over per-cell component
+// digests. Components that change on every step — the k stack, the
+// sequencing sets, memory objects, frames — maintain their digests
+// incrementally (prefix stacks, multiset sums, dirty-tracked caches),
+// so fingerprint() costs O(state touched since the last fingerprint).
+// fingerprintFull() recomputes every component from scratch and must
+// produce the identical value; that equivalence is the correctness
+// argument for all the caches, and tests assert it at every choice
+// point of real runs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Configuration.h"
@@ -51,7 +61,89 @@ void hashValue(Fnv1a &H, const Value &V) {
   H.u64(V.SubLen);
 }
 
-void hashKItem(Fnv1a &H, const KItem &Item) {
+uint64_t frameDigest(const Frame &F) {
+  Fnv1a H;
+  H.ptr(F.Fn);
+  H.u64(F.Env.size());
+  for (const auto &[Decl, Obj] : F.Env) {
+    H.u32(Decl);
+    H.u32(Obj);
+  }
+  H.u64(F.ParamObjects.size());
+  for (uint32_t Id : F.ParamObjects)
+    H.u32(Id);
+  H.u64(F.VarArgs.size());
+  for (const Value &V : F.VarArgs)
+    hashValue(H, V);
+  return H.digest();
+}
+
+/// The cells that are cheap to hash in full every time (bounded by the
+/// number of globals / functions / literals / live heap regions, not by
+/// execution length). Shared by both fingerprint paths.
+uint64_t smallCellsDigest(const Configuration &C) {
+  Fnv1a H;
+  H.u64(C.Values.size());
+  for (const Value &V : C.Values)
+    hashValue(H, V);
+
+  H.u64(C.GlobalEnv.size());
+  for (const auto &[Decl, Obj] : C.GlobalEnv) {
+    H.u32(Decl);
+    H.u32(Obj);
+  }
+
+  H.u64(C.FuncObjects.size());
+  for (const auto &[Fn, Obj] : C.FuncObjects) {
+    H.ptr(Fn);
+    H.u32(Obj);
+  }
+  H.u64(C.LiteralObjects.size());
+  for (const auto &[E, Obj] : C.LiteralObjects) {
+    H.ptr(E);
+    H.u32(Obj);
+  }
+  H.u64(C.HeapEffectiveTy.size());
+  for (const auto &[Loc, Ty] : C.HeapEffectiveTy) {
+    H.u32(Loc.first);
+    H.i64(Loc.second);
+    H.ptr(Ty);
+  }
+
+  H.u8(static_cast<uint8_t>(C.Status));
+  H.u32(static_cast<uint32_t>(C.ExitCode));
+  H.u32(C.RandState);
+  return H.digest();
+}
+
+uint64_t fingerprintWith(const Configuration &C, bool Full) {
+  Fnv1a H;
+  H.u64(Full || !C.K.tracking() ? C.K.computeDigest() : C.K.digest());
+  H.u64(Full ? C.LocsWrittenTo.computeDigest() : C.LocsWrittenTo.digest());
+  H.u64(Full ? C.NotWritable.computeDigest() : C.NotWritable.digest());
+  C.Mem.hashInto(H, Full);
+
+  H.u64(C.CallStack.size());
+  for (const Frame &F : C.CallStack) {
+    if (Full) {
+      H.u64(frameDigest(F));
+      continue;
+    }
+    if (!F.DigestValid) {
+      F.Digest = frameDigest(F);
+      F.DigestValid = true;
+    }
+    H.u64(F.Digest);
+  }
+
+  H.u64(smallCellsDigest(C));
+  return H.digest();
+}
+
+} // namespace
+
+uint64_t cundef::kItemDigest(const KItem &Item) {
+  Fnv1a H;
   H.u8(static_cast<uint8_t>(Item.K));
   H.ptr(Item.E);
   H.ptr(Item.S);
@@ -73,75 +165,13 @@ void hashKItem(Fnv1a &H, const KItem &Item) {
     H.u32(Id);
   H.ptr(Item.Callee);
   H.u8(Item.HasValue);
+  return H.digest();
 }
 
-} // namespace
-
 uint64_t Configuration::fingerprint() const {
-  Fnv1a H;
+  return fingerprintWith(*this, /*Full=*/false);
+}
 
-  H.u64(K.size());
-  for (const KItem &Item : K)
-    hashKItem(H, Item);
-
-  H.u64(Values.size());
-  for (const Value &V : Values)
-    hashValue(H, V);
-
-  H.u64(GlobalEnv.size());
-  for (const auto &[Decl, Obj] : GlobalEnv) {
-    H.u32(Decl);
-    H.u32(Obj);
-  }
-
-  Mem.hashInto(H);
-
-  H.u64(LocsWrittenTo.size());
-  for (const auto &[Obj, Off] : LocsWrittenTo) {
-    H.u32(Obj);
-    H.i64(Off);
-  }
-  H.u64(NotWritable.size());
-  for (const auto &[Obj, Off] : NotWritable) {
-    H.u32(Obj);
-    H.i64(Off);
-  }
-
-  H.u64(CallStack.size());
-  for (const Frame &F : CallStack) {
-    H.ptr(F.Fn);
-    H.u64(F.Env.size());
-    for (const auto &[Decl, Obj] : F.Env) {
-      H.u32(Decl);
-      H.u32(Obj);
-    }
-    H.u64(F.ParamObjects.size());
-    for (uint32_t Id : F.ParamObjects)
-      H.u32(Id);
-    H.u64(F.VarArgs.size());
-    for (const Value &V : F.VarArgs)
-      hashValue(H, V);
-  }
-
-  H.u64(FuncObjects.size());
-  for (const auto &[Fn, Obj] : FuncObjects) {
-    H.ptr(Fn);
-    H.u32(Obj);
-  }
-  H.u64(LiteralObjects.size());
-  for (const auto &[E, Obj] : LiteralObjects) {
-    H.ptr(E);
-    H.u32(Obj);
-  }
-  H.u64(HeapEffectiveTy.size());
-  for (const auto &[Loc, Ty] : HeapEffectiveTy) {
-    H.u32(Loc.first);
-    H.i64(Loc.second);
-    H.ptr(Ty);
-  }
-
-  H.u8(static_cast<uint8_t>(Status));
-  H.u32(static_cast<uint32_t>(ExitCode));
-  H.u32(RandState);
-  return H.digest();
+uint64_t Configuration::fingerprintFull() const {
+  return fingerprintWith(*this, /*Full=*/true);
 }

@@ -89,6 +89,32 @@ Machine::Machine(const AstContext &Ctx, MachineOptions Opts, UbSink &Sink)
   }
 }
 
+Machine::Machine(const AstContext &Ctx, MachineOptions Opts, UbSink &Sink,
+                 const MachineSnapshot &Snap, std::vector<uint8_t> Decisions)
+    : Ctx(Ctx), Opts(Opts), Sink(Sink), Conf(Snap.Conf),
+      Chooser(Snap.Chooser) {
+  // The configuration copy is cheap: memory objects are shared
+  // copy-on-write and only cloned when this fork first writes them.
+  Chooser.resumeReplay(std::move(Decisions));
+  buildRuleChains();
+  assert(Opts.Style != RuleStyle::Declarative &&
+         "declarative monitors carry state a snapshot cannot capture");
+}
+
+MachineSnapshot Machine::captureChoiceSnapshot() const {
+  assert(PendingChoiceNode && "only valid inside a BeforeChoiceHook");
+  MachineSnapshot Snap{Conf, Chooser};
+  // Rewind to the top of the in-flight step: the expression item whose
+  // operand scheduling triggered the choice was already popped (and
+  // nothing else happened since — scheduleOperands is its first
+  // effect), and the step counter was already bumped. Restoring both
+  // makes resumption re-execute the step exactly as a from-scratch
+  // replay would.
+  Snap.Conf.K.push_back(KItem::expr(PendingChoiceNode));
+  --Snap.Conf.Steps;
+  return Snap;
+}
+
 std::string Machine::currentFunctionName() const {
   if (Conf.CallStack.empty() || !Conf.CallStack.back().Fn)
     return "<startup>";
@@ -134,7 +160,7 @@ uint32_t Machine::literalObject(const StringLitExpr *S) {
     return It->second;
   uint64_t Size = S->Bytes.size() + 1;
   uint32_t Id = Conf.Mem.create(StorageKind::Literal, Size, S->Ty, NoSymbol);
-  MemObject *Obj = Conf.Mem.find(Id);
+  MemObject *Obj = Conf.Mem.mutate(Id);
   for (size_t I = 0; I < S->Bytes.size(); ++I)
     Obj->Bytes[I] = Byte::concrete(static_cast<uint8_t>(S->Bytes[I]));
   Obj->Bytes[S->Bytes.size()] = Byte::concrete(0);
@@ -166,7 +192,7 @@ uint32_t Machine::createObjectForDecl(const VarDecl *D,
 }
 
 void Machine::zeroFill(uint32_t ObjId, uint64_t Offset, uint64_t Len) {
-  MemObject *Obj = Conf.Mem.find(ObjId);
+  MemObject *Obj = Conf.Mem.mutate(ObjId);
   assert(Obj && "zeroFill of unknown object");
   for (uint64_t I = 0; I < Len && Offset + I < Obj->Size; ++I)
     Obj->Bytes[Offset + I] = Byte::concrete(0);
@@ -357,12 +383,16 @@ RunStatus Machine::run() {
   Conf.K.push_back(Ret);
   Conf.K.push_back(KItem::stmt(Main->Body));
 
+  return resume();
+}
+
+RunStatus Machine::resume() {
   while (Conf.Status == RunStatus::Running)
     if (!step())
       break;
 
   if (Conf.Status == RunStatus::Completed && !Conf.Values.empty()) {
-    Value &Result = Conf.Values.back();
+    const Value &Result = Conf.Values.back();
     if (Result.isInt())
       Conf.ExitCode = static_cast<int>(Result.asSigned(Ctx.Types));
   }
@@ -387,9 +417,7 @@ bool Machine::step() {
     Conf.Status = RunStatus::Cancelled;
     return false;
   }
-  KItem Item = std::move(Conf.K.back());
-  Conf.K.pop_back();
-  stepItem(std::move(Item));
+  stepItem(Conf.K.take());
   return Conf.Status == RunStatus::Running;
 }
 
@@ -594,8 +622,7 @@ Value Machine::popValue(SourceLoc Loc) {
 void Machine::unwindBreak(SourceLoc Loc) {
   (void)Loc;
   while (!Conf.K.empty()) {
-    KItem Item = std::move(Conf.K.back());
-    Conf.K.pop_back();
+    KItem Item = Conf.K.take();
     switch (Item.K) {
     case KKind::LeaveBlock:
       for (uint32_t Id : Item.ObjectsToKill)
@@ -626,8 +653,7 @@ void Machine::unwindContinue(SourceLoc Loc) {
     if (Top == KKind::WhileTest || Top == KKind::DoTest ||
         Top == KKind::ForInc)
       return; // keep it: it is exactly the continue target
-    KItem Item = std::move(Conf.K.back());
-    Conf.K.pop_back();
+    KItem Item = Conf.K.take();
     if (Item.K == KKind::LeaveBlock) {
       for (uint32_t Id : Item.ObjectsToKill)
         Conf.Mem.markDead(Id);
@@ -648,8 +674,7 @@ void Machine::unwindReturn(bool HasValue, SourceLoc Loc) {
       return;
   }
   while (!Conf.K.empty()) {
-    KItem Item = std::move(Conf.K.back());
-    Conf.K.pop_back();
+    KItem Item = Conf.K.take();
     if (Item.K == KKind::LeaveBlock) {
       for (uint32_t Id : Item.ObjectsToKill)
         Conf.Mem.markDead(Id);
@@ -797,7 +822,7 @@ void Machine::performGoto(const GotoStmt *G) {
   // Unwind to the innermost enclosing block that (still) contains the
   // label; everything further in is left, ending lifetimes on the way.
   while (!Conf.K.empty()) {
-    KItem &Top = Conf.K.back();
+    const KItem &Top = Conf.K.back();
     if (Top.K == KKind::LeaveBlock && Top.S &&
         stmtContains(Top.S, Target)) {
       // Common ancestor found: descend from here.
@@ -832,8 +857,7 @@ void Machine::performGoto(const GotoStmt *G) {
       Conf.Status = RunStatus::Internal;
       return;
     }
-    KItem Item = std::move(Conf.K.back());
-    Conf.K.pop_back();
+    KItem Item = Conf.K.take();
     if (Item.K == KKind::LeaveBlock)
       for (uint32_t Id : Item.ObjectsToKill)
         Conf.Mem.markDead(Id);
@@ -907,15 +931,19 @@ bool Machine::callFunctionSync(const FunctionDecl *Fn,
   Conf.K.push_back(std::move(Ret));
   Conf.K.push_back(KItem::stmt(Fn->Body));
 
+  // The C++ call stack below this frame (the builtin's own state) is
+  // not part of the configuration: snapshots must not be captured while
+  // this loop is live (see inSyncCall).
+  ++SyncDepth;
   while (Conf.Status == RunStatus::Running && Conf.K.size() > KDepth) {
     if (++Conf.Steps > Opts.StepLimit) {
       Conf.Status = RunStatus::StepLimit;
+      --SyncDepth;
       return false;
     }
-    KItem Item = std::move(Conf.K.back());
-    Conf.K.pop_back();
-    stepItem(std::move(Item));
+    stepItem(Conf.K.take());
   }
+  --SyncDepth;
   if (Conf.Status != RunStatus::Running)
     return false;
   if (Conf.Values.size() != VDepth + 1) {

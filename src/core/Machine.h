@@ -69,9 +69,31 @@ struct MachineOptions {
   RuleStyle Style = RuleStyle::SideConditions;
 };
 
+/// A resumable point-in-time copy of a machine's run state: the
+/// configuration (cheap to copy — the mem cell is copy-on-write) plus
+/// the chooser's decision trace and RNG stream. Captured at flippable
+/// choice points by the evaluation-order search so children fork
+/// mid-run instead of replaying the whole prefix from main()
+/// (core/Search.h). Everything that determines future behavior lives in
+/// these two members; rule chains and monitors are rebuilt/stateless
+/// (snapshots are not taken under the stateful Declarative style).
+struct MachineSnapshot {
+  Configuration Conf;
+  OrderChooser Chooser;
+};
+
 class Machine {
 public:
   Machine(const AstContext &Ctx, MachineOptions Opts, UbSink &Sink);
+
+  /// Fork construction: resumes \p Snap with \p Decisions as the replay
+  /// vector (consumed from the snapshot's current depth onward). The
+  /// resulting run is step-for-step identical to a fresh machine
+  /// replaying \p Decisions from main() — same decision trace, same
+  /// fingerprint stream, same verdict — it just skips re-executing the
+  /// shared prefix. Start it with resume(), not run().
+  Machine(const AstContext &Ctx, MachineOptions Opts, UbSink &Sink,
+          const MachineSnapshot &Snap, std::vector<uint8_t> Decisions);
 
   /// Attaches a monitor (not owned). Monitors outlive the run.
   void addMonitor(ExecMonitor *Monitor) { Monitors.push_back(Monitor); }
@@ -79,6 +101,10 @@ public:
   /// Initializes static storage and runs main() to completion (or until
   /// a stop condition). Returns the final status.
   RunStatus run();
+
+  /// Continues a forked machine from its snapshot state to completion.
+  /// (run() calls this too, after setup.)
+  RunStatus resume();
 
   /// One small step. Returns false when the machine has stopped.
   bool step();
@@ -98,7 +124,35 @@ public:
   /// abandon interleavings whose state another interleaving already
   /// reached.
   using ChoiceHook = std::function<bool(Machine &M)>;
-  void setChoiceHook(ChoiceHook Hook) { OnChoice = std::move(Hook); }
+  void setChoiceHook(ChoiceHook Hook) {
+    OnChoice = std::move(Hook);
+    Conf.K.enableTracking(); // a fingerprint consumer exists
+  }
+
+  /// Called immediately before a flippable (arity >= 2) choice point,
+  /// while the configuration is still the pre-choice state. The hook
+  /// may call captureChoiceSnapshot() to obtain a resumable snapshot of
+  /// that state; the search forks children from these instead of
+  /// replaying prefixes. \p Arity is the operand count about to be
+  /// ordered. The current decision depth is decisionTrace().size().
+  using BeforeChoiceHook = std::function<void(Machine &M, unsigned Arity)>;
+  void setBeforeChoiceHook(BeforeChoiceHook Hook) {
+    OnBeforeChoice = std::move(Hook);
+    Conf.K.enableTracking();
+  }
+
+  /// Valid only inside a BeforeChoiceHook invocation: a snapshot that,
+  /// forked with any replay vector extending the current trace,
+  /// re-executes the in-flight step from its beginning (the popped
+  /// expression item is restored and the step counter rewound), so the
+  /// forked run is indistinguishable from a from-scratch replay.
+  MachineSnapshot captureChoiceSnapshot() const;
+
+  /// True while executing a builtin's synchronous call-back into the
+  /// semantics (qsort/bsearch comparators). Snapshots taken there would
+  /// lose the builtin's C++-side state and must not be captured; the
+  /// search falls back to prefix replay for such choice points.
+  bool inSyncCall() const { return SyncDepth > 0; }
 
   /// Polled every 256 steps; returning true cancels the run. This is
   /// the search's cancellation token: when one worker finds
@@ -109,9 +163,21 @@ public:
 
   /// Fingerprint of the current configuration plus the chooser's RNG
   /// stream (the two together determine all future behavior).
+  /// Incremental: O(state touched since the last fingerprint).
   uint64_t configFingerprint() const {
     Fnv1a H;
     H.u64(Conf.fingerprint());
+    H.u32(Chooser.rngState());
+    return H.digest();
+  }
+
+  /// The same fingerprint recomputed from scratch (no caches). Always
+  /// equal to configFingerprint(); kept as the reference the
+  /// incremental path is tested against, and as bench_search's
+  /// PR-1-style full-rehash baseline.
+  uint64_t configFingerprintFull() const {
+    Fnv1a H;
+    H.u64(Conf.fingerprintFull());
     H.u32(Chooser.rngState());
     return H.digest();
   }
@@ -288,7 +354,13 @@ private:
   Configuration Conf;
   OrderChooser Chooser;
   ChoiceHook OnChoice;
+  BeforeChoiceHook OnBeforeChoice;
   CancelCheck ShouldCancel;
+  /// The node whose operands are being ordered (set across a
+  /// BeforeChoiceHook invocation; captureChoiceSnapshot restores it).
+  const Expr *PendingChoiceNode = nullptr;
+  /// Nesting depth of callFunctionSync (see inSyncCall).
+  unsigned SyncDepth = 0;
   std::vector<ExecMonitor *> Monitors;
   /// Monitors the machine itself owns (the declarative style's checks).
   std::vector<std::unique_ptr<ExecMonitor>> OwnedMonitors;

@@ -133,6 +133,15 @@ void Machine::stepExpr(const Expr *E) {
 
 void Machine::scheduleOperands(const Expr *Node,
                                std::vector<const Expr *> Operands) {
+  // Pre-choice hook: the configuration is still the pre-step state
+  // (popping Node's expr item and entering this function had no other
+  // effect), which is what makes captureChoiceSnapshot's rewind exact.
+  if (OnBeforeChoice && Operands.size() >= 2 &&
+      Conf.Status == RunStatus::Running) {
+    PendingChoiceNode = Node;
+    OnBeforeChoice(*this, static_cast<unsigned>(Operands.size()));
+    PendingChoiceNode = nullptr;
+  }
   KItem Item = KItem::forExpr(KKind::EvalOperands, Node);
   Item.Perm = Chooser.choose(static_cast<unsigned>(Operands.size()));
   Item.Results.resize(Operands.size());

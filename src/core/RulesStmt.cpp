@@ -190,7 +190,7 @@ void Machine::pushInitStores(uint32_t ObjId, const VarDecl *D, QualType Ty,
   if (T->isArray() && isa<StringLitExpr>(Init)) {
     const auto *Str = cast<StringLitExpr>(Init);
     zeroFill(ObjId, Offset, Ctx.Types.sizeOf(Ty));
-    MemObject *Obj = Conf.Mem.find(ObjId);
+    MemObject *Obj = Conf.Mem.mutate(ObjId);
     uint64_t Limit = std::min<uint64_t>(Str->Bytes.size(),
                                         Ctx.Types.sizeOf(Ty));
     for (uint64_t I = 0; I < Limit; ++I)

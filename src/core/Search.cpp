@@ -4,13 +4,21 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Wave-synchronous parallel prefix enumeration with fingerprint
-// deduplication. Key invariants (docs/SEARCH.md has the full argument):
+// Wave-synchronous parallel enumeration with fingerprint deduplication
+// and fork-at-choice-point scheduling. Key invariants (docs/SEARCH.md
+// has the full argument):
 //
-//  * Tree: a prefix's run replays its pinned decisions, then continues
+//  * Tree: a prefix's run executes its pinned decisions, then continues
 //    with the policy default; its children flip one later flippable
 //    choice point each. Every decision vector is reachable through
 //    exactly one chain of prefixes, so enumeration is complete.
+//  * Start-mode equivalence: a run may start by forking the snapshot
+//    its parent captured at the flipped choice point, or by replaying
+//    its prefix from main(). A snapshot restores the exact pre-step
+//    configuration and chooser, so both modes execute the identical
+//    step sequence from the divergence on — same trace, same
+//    fingerprint stream, same verdict. Which mode runs is a pure
+//    wall-clock concern (the equivalence suite asserts this).
 //  * Dedup soundness: a state is inserted into the visited-set only
 //    when every alternative branching off the path that reached it has
 //    been scheduled (children are spawned from the full recorded trace
@@ -30,6 +38,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <thread>
 #include <unordered_set>
 
@@ -37,33 +46,43 @@ using namespace cundef;
 
 namespace {
 
-/// Visited-set key: depth is mixed in so that equal states reached
-/// after different numbers of choice points stay distinct (the chooser
-/// consumes replay decisions positionally, so depth is part of the
-/// machine's effective state).
-uint64_t visitKey(size_t Depth, uint64_t Fp) {
-  return Fp ^ (static_cast<uint64_t>(Depth) * 0x9e3779b97f4a7c15ull);
-}
+/// What a child needs to become a run: its pinned prefix, and (when its
+/// parent captured one within the budget) the snapshot of the
+/// configuration at its flipped choice point.
+struct ChildSeed {
+  std::vector<uint8_t> Pinned;
+  std::shared_ptr<MachineSnapshot> Snap;
+};
 
 /// One frontier entry and everything its run produced.
 struct WorkItem {
   std::vector<uint8_t> Pinned;
+  /// Snapshot to fork from (null: replay Pinned from main()).
+  std::shared_ptr<MachineSnapshot> Snap;
 
   // Outputs of the run.
   RunStatus Status = RunStatus::Running;
   bool UbFound = false;
   bool DedupAborted = false;
+  bool Forked = false;
   std::vector<UbReport> Reports;
+  /// (decision, arity) trace of the run (kept for child construction
+  /// and CollectRuns).
+  std::vector<std::pair<uint8_t, uint8_t>> Trace;
   /// (depth, fingerprint) pairs observed at flippable choice points at
   /// or beyond the divergence; committed to the visited-set at the
   /// barrier.
   std::vector<std::pair<size_t, uint64_t>> Visited;
+  /// Snapshots captured during the run, one per flippable choice point
+  /// at or beyond the divergence (ascending depth; gaps where the
+  /// budget or a sync call suppressed capture).
+  std::vector<std::pair<size_t, std::shared_ptr<MachineSnapshot>>> Snaps;
   /// Fingerprint at the divergence point (depth == Pinned.size()), used
   /// to group in-wave twins. Valid when HasDivergence.
   uint64_t DivergenceFp = 0;
   bool HasDivergence = false;
-  /// Children prefixes spawned from the recorded trace.
-  std::vector<std::vector<uint8_t>> Children;
+  /// Children seeds spawned from the recorded trace.
+  std::vector<ChildSeed> Children;
 };
 
 bool lexLess(const std::vector<uint8_t> &A, const std::vector<uint8_t> &B) {
@@ -78,11 +97,20 @@ SearchResult OrderSearch::run() {
   // Replay reproduces a Random-policy run only as its 0/1 flip summary,
   // not its Fisher-Yates stream: a child replaying a prefix leaves the
   // RNG behind the parent's position, so "same fingerprint => same
-  // future" does not hold across the policy's own shuffles. Dedup is
-  // therefore gated to the deterministic policies.
+  // future" does not hold across the policy's own shuffles, and a
+  // forked child's RNG position would differ from a replayed one's.
+  // Dedup and snapshots are therefore gated to deterministic policies.
   const bool Dedup =
       Opts.Dedup && BaseOpts.Order != EvalOrderKind::Random;
+  // Declarative-style monitors keep sequencing state outside the
+  // configuration, which a snapshot cannot capture.
+  const bool Snapshots = Opts.UseSnapshots &&
+                         BaseOpts.Order != EvalOrderKind::Random &&
+                         BaseOpts.Style != RuleStyle::Declarative;
 
+  // Declared before Wave: WorkItems hold snapshots whose deleters
+  // decrement this counter, so it must outlive them.
+  std::atomic<unsigned> LiveSnapshots{0};
   std::vector<WorkItem> Wave(1); // root: empty prefix = the policy order
   std::unordered_set<uint64_t> Committed;
   std::atomic<unsigned> RunsStarted{0};
@@ -91,7 +119,8 @@ SearchResult OrderSearch::run() {
   // are skipped or cancelled.
   std::atomic<size_t> BestIdx{SIZE_MAX};
 
-  const unsigned Jobs = std::max(1u, Opts.Jobs);
+  const unsigned Jobs =
+      Opts.Jobs ? Opts.Jobs : std::max(1u, std::thread::hardware_concurrency());
 
   // Runs one frontier entry to completion (or cancellation) on the
   // calling thread. Pure function of (Item, Committed, BestIdx); the
@@ -99,11 +128,41 @@ SearchResult OrderSearch::run() {
   auto processItem = [&](WorkItem &Item, size_t MyIdx) {
     const size_t PinnedLen = Item.Pinned.size();
     UbSink Sink;
-    Machine M(Ctx, BaseOpts, Sink);
-    M.setReplayDecisions(Item.Pinned);
+    std::unique_ptr<Machine> Run;
+    if (Snapshots && Item.Snap) {
+      Run = std::make_unique<Machine>(Ctx, BaseOpts, Sink, *Item.Snap,
+                                      Item.Pinned);
+      Item.Forked = true;
+      Item.Snap.reset(); // the fork copied it; release the budget slot
+    } else {
+      Run = std::make_unique<Machine>(Ctx, BaseOpts, Sink);
+      Run->setReplayDecisions(Item.Pinned);
+    }
+    Machine &M = *Run;
 
     M.setCancelCheck(
         [&]() { return BestIdx.load(std::memory_order_relaxed) < MyIdx; });
+
+    if (Snapshots)
+      M.setBeforeChoiceHook([&](Machine &Mach, unsigned) {
+        const size_t Depth = Mach.decisionTrace().size();
+        if (Depth < PinnedLen || Mach.inSyncCall())
+          return;
+        // Budget admission: claim a slot or leave the child to replay.
+        if (LiveSnapshots.fetch_add(1, std::memory_order_relaxed) >=
+            Opts.SnapshotBudget) {
+          LiveSnapshots.fetch_sub(1, std::memory_order_relaxed);
+          return;
+        }
+        auto *Raw = new MachineSnapshot(Mach.captureChoiceSnapshot());
+        Item.Snaps.emplace_back(
+            Depth, std::shared_ptr<MachineSnapshot>(
+                       Raw, [&LiveSnapshots](MachineSnapshot *S) {
+                         delete S;
+                         LiveSnapshots.fetch_sub(1,
+                                                 std::memory_order_relaxed);
+                       }));
+      });
 
     M.setChoiceHook([&](Machine &Mach) {
       if (BestIdx.load(std::memory_order_relaxed) < MyIdx)
@@ -114,12 +173,13 @@ SearchResult OrderSearch::run() {
         return true; // still inside the parent's already-explored path
       if (Trace.back().second < 2)
         return true; // forced point: nothing branches here
-      const uint64_t Fp = Mach.configFingerprint();
+      const uint64_t Fp = Opts.FullRehash ? Mach.configFingerprintFull()
+                                          : Mach.configFingerprint();
       if (Depth == PinnedLen) {
         Item.DivergenceFp = Fp;
         Item.HasDivergence = true;
       }
-      if (Dedup && Committed.count(visitKey(Depth, Fp))) {
+      if (Dedup && Committed.count(searchVisitKey(Depth, Fp))) {
         Item.DedupAborted = true; // state already reached by an earlier
         return false;             // prefix: this subtree is redundant
       }
@@ -127,10 +187,12 @@ SearchResult OrderSearch::run() {
       return true;
     });
 
-    Item.Status = M.run();
+    Item.Status = Item.Forked ? M.resume() : M.run();
+    Item.Trace = M.decisionTrace();
     Item.UbFound = Item.Status == RunStatus::UbDetected || !Sink.empty();
     if (Item.UbFound) {
       Item.Reports = Sink.all();
+      Item.Snaps.clear(); // no subtree will be spawned
       // CAS-min: record the smallest undefined index of this wave.
       size_t Seen = BestIdx.load(std::memory_order_relaxed);
       while (MyIdx < Seen &&
@@ -144,17 +206,45 @@ SearchResult OrderSearch::run() {
     // divergence — from the full recorded trace, even when the run was
     // cancelled by the dedup: alternatives branching off the cancelled
     // path before the duplicate state are not covered by the earlier
-    // visit and must still be scheduled.
-    const auto &Trace = M.decisionTrace();
-    for (size_t D = PinnedLen; D < Trace.size(); ++D) {
-      if (Trace[D].second < 2)
+    // visit and must still be scheduled. Each child takes the snapshot
+    // captured at its choice point (if one was) and will fork there
+    // instead of replaying the shared prefix.
+    size_t SnapIdx = 0;
+    for (size_t D = PinnedLen; D < Item.Trace.size(); ++D) {
+      while (SnapIdx < Item.Snaps.size() && Item.Snaps[SnapIdx].first < D)
+        ++SnapIdx;
+      if (Item.Trace[D].second < 2)
         continue;
-      std::vector<uint8_t> Child;
-      Child.reserve(D + 1);
+      ChildSeed Seed;
+      Seed.Pinned.reserve(D + 1);
       for (size_t I = 0; I < D; ++I)
-        Child.push_back(Trace[I].first);
-      Child.push_back(Trace[D].first ? 0 : 1);
-      Item.Children.push_back(std::move(Child));
+        Seed.Pinned.push_back(Item.Trace[I].first);
+      Seed.Pinned.push_back(Item.Trace[D].first ? 0 : 1);
+      if (SnapIdx < Item.Snaps.size() && Item.Snaps[SnapIdx].first == D)
+        Seed.Snap = std::move(Item.Snaps[SnapIdx].second);
+      Item.Children.push_back(std::move(Seed));
+    }
+    Item.Snaps.clear();
+  };
+
+  // Appends CollectRuns records for a processed wave, in sorted wave
+  // order (deterministic at Jobs=1).
+  auto recordWave = [&](std::vector<WorkItem> &Wave) {
+    if (!Opts.CollectRuns)
+      return;
+    for (WorkItem &Item : Wave) {
+      if (Item.Status == RunStatus::Running)
+        continue; // never ran
+      SearchRunRecord Rec;
+      Rec.Pinned = Item.Pinned;
+      Rec.Trace = Item.Trace;
+      Rec.FpStream.reserve(Item.Visited.size());
+      for (const auto &[Depth, Fp] : Item.Visited)
+        Rec.FpStream.emplace_back(Depth, Fp);
+      Rec.Status = Item.Status;
+      Rec.DedupAborted = Item.DedupAborted;
+      Rec.Forked = Item.Forked;
+      Result.Runs.push_back(std::move(Rec));
     }
   };
 
@@ -165,8 +255,14 @@ SearchResult OrderSearch::run() {
                 return lexLess(A.Pinned, B.Pinned);
               });
     const unsigned Budget = Opts.MaxRuns - RunsStarted.load();
-    if (Wave.size() > Budget)
+    if (Wave.size() > Budget) {
+      // Budget edge: everything cut here is an unexplored subtree the
+      // caller must know about — a clean verdict is not exhaustive.
+      Result.FrontierTruncated = true;
+      Result.DroppedSubtrees +=
+          static_cast<unsigned>(Wave.size() - Budget);
       Wave.resize(Budget);
+    }
     BestIdx.store(SIZE_MAX, std::memory_order_relaxed);
 
     if (Jobs == 1 || Wave.size() == 1) {
@@ -199,7 +295,12 @@ SearchResult OrderSearch::run() {
         T.join();
     }
 
+    for (const WorkItem &Item : Wave)
+      if (Item.Forked)
+        ++Result.ForkedRuns;
+
     // ---- Barrier: aggregate deterministically (single-threaded). ----
+    recordWave(Wave);
     const size_t Win = BestIdx.load(std::memory_order_relaxed);
     if (Win != SIZE_MAX) {
       WorkItem &Winner = Wave[Win];
@@ -218,9 +319,13 @@ SearchResult OrderSearch::run() {
     std::unordered_set<uint64_t> SeenDivergence;
     std::vector<WorkItem> NextWave;
     for (WorkItem &Item : Wave) {
-      if (Item.Status == RunStatus::Running)
-        continue; // skipped after cancellation: never ran (no UB wave
-                  // reaches here, so this only happens on budget edges)
+      if (Item.Status == RunStatus::Running) {
+        // Skipped after cancellation: never ran, subtree unexplored (no
+        // UB wave reaches here, so this only happens on budget edges).
+        Result.FrontierTruncated = true;
+        ++Result.DroppedSubtrees;
+        continue;
+      }
       if (Item.Status != RunStatus::Completed &&
           Item.Status != RunStatus::Cancelled)
         Result.LastStatus = Item.Status; // surface StepLimit/Internal/…
@@ -228,23 +333,29 @@ SearchResult OrderSearch::run() {
         ++Result.DedupHits;
       if (Dedup) {
         for (const auto &[Depth, Fp] : Item.Visited)
-          Committed.insert(visitKey(Depth, Fp));
+          Committed.insert(searchVisitKey(Depth, Fp));
         if (Item.HasDivergence) {
-          uint64_t Key = visitKey(Item.Pinned.size(), Item.DivergenceFp);
+          uint64_t Key = searchVisitKey(Item.Pinned.size(), Item.DivergenceFp);
           if (!SeenDivergence.insert(Key).second) {
             ++Result.SubtreesPruned; // in-wave twin: drop its mirror
             continue;                // subtree
           }
         }
       }
-      for (std::vector<uint8_t> &Child : Item.Children) {
+      for (ChildSeed &Child : Item.Children) {
         NextWave.emplace_back();
-        NextWave.back().Pinned = std::move(Child);
+        NextWave.back().Pinned = std::move(Child.Pinned);
+        NextWave.back().Snap = std::move(Child.Snap);
       }
     }
     Wave = std::move(NextWave);
   }
 
+  if (!Wave.empty()) {
+    // The budget ran out with children still unexplored.
+    Result.FrontierTruncated = true;
+    Result.DroppedSubtrees += static_cast<unsigned>(Wave.size());
+  }
   Result.RunsExplored = RunsStarted.load();
   return Result;
 }

@@ -9,27 +9,37 @@
 /// evaluation order (paper section 2.5.2: `(10/d) + setDenom(0)` is
 /// miscompilable because *some* order divides by zero); "any tool
 /// seeking to identify all undefined behaviors must search all possible
-/// evaluation strategies". This driver enumerates order decisions by
-/// deterministic replay of decision-vector prefixes, in parallel:
+/// evaluation strategies". This driver enumerates order decisions in
+/// parallel waves:
 ///
-///  * The frontier is a wave of prefixes. Workers claim prefixes from a
-///    shared index, each replaying a private Machine; children (one per
-///    flippable choice point beyond the prefix) form the next wave.
+///  * The frontier is a wave of decision prefixes. Workers claim
+///    entries from a shared index; children (one per flippable choice
+///    point beyond the prefix) form the next wave.
+///  * A run starts from a **snapshot** its parent captured at the
+///    flipped choice point — the paper's "clone the configuration at
+///    choice points" — so only the new suffix executes. When no
+///    snapshot exists (memory budget, sync-call choice points, the
+///    Random policy, forced-replay mode) the run falls back to
+///    replaying its pinned prefix from main(). Both start modes are
+///    step-for-step identical; witnesses never depend on which was
+///    used.
 ///  * A visited-set keyed by (decision depth, configuration
-///    fingerprint) recognizes symmetric interleavings: when a replay
+///    fingerprint) recognizes symmetric interleavings: when a run
 ///    reaches a state some earlier prefix already reached at the same
 ///    depth, the run is cancelled mid-flight and its redundant subtree
 ///    is never spawned, so commuting choice points cost linear instead
-///    of exponential work.
+///    of exponential work. Fingerprints are maintained incrementally
+///    (O(state touched), core/Fingerprint.cpp).
 ///  * A cancellation token stops all in-flight machines once
 ///    undefinedness is found by a prefix that is canonically (lex)
 ///    smaller than anything still outstanding.
 ///
 /// The reported witness is deterministic: independent of the number of
-/// worker threads and of thread scheduling, because waves are processed
-/// as sorted batches, per-run outcomes depend only on (prefix,
-/// committed visited-set), the visited-set is committed at wave
-/// barriers, and ties are broken canonically. See docs/SEARCH.md.
+/// worker threads, of thread scheduling, and of the snapshot/replay
+/// start mode, because waves are processed as sorted batches, per-run
+/// outcomes depend only on (prefix, committed visited-set), the
+/// visited-set is committed at wave barriers, and ties are broken
+/// canonically. See docs/SEARCH.md.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -40,12 +50,27 @@
 
 namespace cundef {
 
+/// Visited-set key. Depth is mixed in because the chooser consumes
+/// replay decisions positionally, making depth part of the machine's
+/// effective state. Depth is avalanched through splitmix64 *before*
+/// combining: the previous bare `fp ^ depth*phi` aliased structured
+/// (depth, fp) pairs (every pair on a phi-stride line collapsed to one
+/// key — a mix applied only after the xor would keep those collisions,
+/// since equal inputs stay equal through any bijection). A regression
+/// test pins the adversarial families down.
+inline uint64_t searchVisitKey(size_t Depth, uint64_t Fp) {
+  return mix64(Fp ^ mix64(static_cast<uint64_t>(Depth) *
+                              0x9e3779b97f4a7c15ull +
+                          1));
+}
+
 struct SearchOptions {
   /// Replay budget: at most this many machine runs (including runs the
   /// dedup cancels mid-flight).
   unsigned MaxRuns = 64;
-  /// Worker threads. 1 = run in-place on the calling thread. The
-  /// verdict and witness do not depend on this; only wall-clock does.
+  /// Worker threads. 1 = run in-place on the calling thread; 0 =
+  /// auto-detect std::thread::hardware_concurrency(). The verdict and
+  /// witness do not depend on this; only wall-clock does.
   unsigned Jobs = 1;
   /// Deduplicate symmetric interleavings through configuration
   /// fingerprints. Off = pure prefix enumeration (the exhaustive
@@ -54,6 +79,44 @@ struct SearchOptions {
   /// shuffle stream, so the dedup invariant does not hold there (see
   /// Search.cpp).
   bool Dedup = true;
+  /// Fork children from configuration snapshots captured at their
+  /// choice points instead of replaying prefixes from main(). Off =
+  /// forced-replay mode (the PR-1 engine; the equivalence suite and
+  /// bench_search compare against it). Ignored under Random (the
+  /// chooser's RNG stream position would diverge between fork and
+  /// replay) and under RuleStyle::Declarative (its monitors keep state
+  /// outside the configuration).
+  bool UseSnapshots = true;
+  /// Maximum snapshots alive at once; choice points beyond the budget
+  /// are not captured and their children fall back to prefix replay.
+  /// Snapshots are copy-on-write-cheap but not free: each pins the
+  /// unshared parts of one configuration.
+  unsigned SnapshotBudget = 1024;
+  /// Fingerprint via Configuration::fingerprintFull() (full-state
+  /// rehash at every choice point) instead of the incremental digests.
+  /// Only bench_search uses this, as the PR-1 cost model baseline.
+  bool FullRehash = false;
+  /// Record every run's decision trace and fingerprint stream in
+  /// SearchResult::Runs (testing: the fork-vs-replay equivalence
+  /// suite). Deterministic at Jobs=1; with more jobs, runs cancelled by
+  /// a concurrent witness may record partial streams.
+  bool CollectRuns = false;
+};
+
+/// One explored run, recorded when SearchOptions::CollectRuns is set.
+struct SearchRunRecord {
+  std::vector<uint8_t> Pinned;
+  /// The full decision trace (decision, arity) the run recorded.
+  std::vector<std::pair<uint8_t, uint8_t>> Trace;
+  /// (depth, fingerprint) observed at flippable choice points at or
+  /// beyond the divergence.
+  std::vector<std::pair<uint64_t, uint64_t>> FpStream;
+  RunStatus Status = RunStatus::Completed;
+  bool DedupAborted = false;
+  /// Whether the run started from a snapshot (perf detail — excluded
+  /// from equivalence comparisons, which assert everything above is
+  /// identical across start modes).
+  bool Forked = false;
 };
 
 struct SearchResult {
@@ -65,8 +128,20 @@ struct SearchResult {
   /// one wave diverged into the same state (in-wave twins). These never
   /// became runs.
   unsigned SubtreesPruned = 0;
+  /// Runs that started from a forked snapshot (the rest replayed their
+  /// prefix from main()).
+  unsigned ForkedRuns = 0;
   /// Frontier waves processed.
   unsigned Waves = 0;
+  /// True when the search ran out of budget with unexplored subtrees
+  /// still on the frontier: a clean verdict is then *not* exhaustive.
+  /// Callers must surface this (kcc --show-witness prints it); the
+  /// previous behavior of silently resizing the frontier made partial
+  /// results look like full enumerations.
+  bool FrontierTruncated = false;
+  /// Subtrees dropped unexplored on budget edges (frontier entries cut
+  /// by MaxRuns plus children left when the budget ran out).
+  unsigned DroppedSubtrees = 0;
   bool UbFound = false;
   /// Reports of the first undefined run (empty when none found).
   std::vector<UbReport> Reports;
@@ -76,6 +151,8 @@ struct SearchResult {
   /// Machine::setReplayDecisions to reproduce the run. Empty when the
   /// default order is already undefined.
   std::vector<uint8_t> Witness;
+  /// Per-run records (only when SearchOptions::CollectRuns).
+  std::vector<SearchRunRecord> Runs;
 };
 
 /// Parallel deduplicated search over evaluation orders.

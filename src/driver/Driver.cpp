@@ -86,10 +86,13 @@ DriverOutcome Driver::runSource(const std::string &Source,
     SO.MaxRuns = Opts.SearchRuns;
     SO.Jobs = Opts.SearchJobs;
     SO.Dedup = Opts.SearchDedup;
+    SO.UseSnapshots = Opts.SearchSnapshots;
     OrderSearch Search(*C.Ast, Opts.Machine, SO);
     SearchResult SR = Search.run();
     Outcome.OrdersExplored += SR.RunsExplored;
     Outcome.OrdersDeduped = SR.DedupHits + SR.SubtreesPruned;
+    Outcome.SearchTruncated = SR.FrontierTruncated;
+    Outcome.SearchDropped = SR.DroppedSubtrees;
     if (SR.UbFound) {
       Outcome.DynamicUb = SR.Reports;
       Outcome.SearchWitness = SR.Witness;

@@ -36,10 +36,15 @@ struct DriverOptions {
   /// that only some orders exhibit (paper section 2.5.2).
   unsigned SearchRuns = 1;
   /// Worker threads for the evaluation-order search (--search-jobs).
-  /// The verdict and witness are independent of this (core/Search.h).
+  /// 0 = auto-detect std::thread::hardware_concurrency(). The verdict
+  /// and witness are independent of this (core/Search.h).
   unsigned SearchJobs = 1;
   /// Deduplicate symmetric interleavings during the search.
   bool SearchDedup = true;
+  /// Fork search children from configuration snapshots instead of
+  /// replaying decision prefixes from main() (--search-engine).
+  /// Identical verdicts and witnesses either way; forking is faster.
+  bool SearchSnapshots = true;
 };
 
 /// Everything a run of the driver produced.
@@ -54,6 +59,12 @@ struct DriverOutcome {
   unsigned OrdersExplored = 0;
   /// Symmetric interleavings the search pruned (core/Search.h).
   unsigned OrdersDeduped = 0;
+  /// The search ran out of budget with subtrees unexplored: a clean
+  /// verdict is then not exhaustive. kcc --show-witness prints this so
+  /// partial searches are never silently mistaken for full ones.
+  bool SearchTruncated = false;
+  /// Subtrees dropped unexplored on budget edges.
+  unsigned SearchDropped = 0;
   /// Decision prefix that exposed order-dependent undefinedness; replay
   /// it with Machine::setReplayDecisions to reproduce the run
   /// deterministically. Empty when the default order already misbehaved

@@ -46,7 +46,8 @@ struct ComparisonRow {
 };
 
 /// Runs all four tools on \p Source. \p SearchJobs parallelizes kcc's
-/// evaluation-order search (the other tools run one concrete order).
+/// evaluation-order search, 0 = auto-detect hardware concurrency (the
+/// other tools run one concrete order).
 std::vector<ComparisonRow>
 compareTools(const std::string &Source, const std::string &Name,
              TargetConfig Target = TargetConfig::lp64(),

@@ -17,6 +17,14 @@
 /// out-of-bounds and forged pointers the meaning they would have on
 /// real hardware.
 ///
+/// Objects are held behind shared pointers with copy-on-write
+/// semantics: copying a SymbolicMemory (the evaluation-order search
+/// forks configurations at choice points, paper section 2.5.2) shares
+/// every object, and the first mutation through mutate()/writeByte()
+/// after a copy clones just the touched object. Each object also caches
+/// its content digest, so configuration fingerprints cost O(objects
+/// touched since the last fingerprint) instead of O(total bytes).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUNDEF_MEM_SYMBOLICMEMORY_H
@@ -28,6 +36,7 @@
 #include "types/Type.h"
 
 #include <map>
+#include <memory>
 #include <vector>
 
 namespace cundef {
@@ -59,6 +68,13 @@ struct MemObject {
   std::vector<Byte> Bytes;
 
   bool isAlive() const { return State == ObjectState::Alive; }
+
+  /// Cached content digest (a commutative sum over per-byte item hashes
+  /// plus a metadata hash; see SymbolicMemory::hashInto). Valid only
+  /// while DigestValid; mutate() clears it, writeByte() adjusts it by
+  /// the touched byte's delta. Content-determined, so clones share it.
+  mutable uint64_t Digest = 0;
+  mutable bool DigestValid = false;
 };
 
 /// Result of a byte-level access.
@@ -86,8 +102,14 @@ public:
   /// Marks a heap object freed.
   void markFreed(uint32_t Id);
 
-  MemObject *find(uint32_t Id);
+  /// Read-only lookup. Null when the id was never allocated.
   const MemObject *find(uint32_t Id) const;
+
+  /// Mutable lookup with copy-on-write: if the object is shared with a
+  /// forked configuration it is cloned first, so the writer never
+  /// disturbs the other copy. Invalidates the object's cached digest
+  /// (callers may rewrite bytes arbitrarily through the pointer).
+  MemObject *mutate(uint32_t Id);
 
   /// Checked byte access. Out parameters untouched on failure.
   MemStatus readByte(uint32_t Id, int64_t Offset, Byte &Out) const;
@@ -102,7 +124,9 @@ public:
   uint32_t findByAddress(uint64_t Addr, int64_t &OffsetOut) const;
 
   /// All objects, for tools (leak reporting, statistics).
-  const std::map<uint32_t, MemObject> &objects() const { return Objects; }
+  const std::map<uint32_t, std::shared_ptr<MemObject>> &objects() const {
+    return Objects;
+  }
 
   /// Number of live allocations of the given storage kind.
   unsigned countAlive(StorageKind Storage) const;
@@ -114,12 +138,22 @@ public:
   /// bytes again, and their concrete addresses depend on allocation
   /// order, so hashing their content would make states that symmetric
   /// interleavings reach in common look distinct.
-  void hashInto(Fnv1a &H) const;
+  ///
+  /// Incremental: per-object digests are cached and only recomputed for
+  /// objects touched through mutate() since the last call; writeByte
+  /// maintains them by delta. \p Full recomputes everything from
+  /// scratch, bypassing the caches — the reference the incremental path
+  /// is tested against.
+  void hashInto(Fnv1a &H, bool Full = false) const;
 
 private:
   uint64_t assignAddress(StorageKind Storage, uint64_t Size);
+  /// The object's digest, recomputed from content (ignoring the cache).
+  static uint64_t computeDigest(const MemObject &Obj);
+  /// Clones \p Slot's object if it is shared with a forked copy.
+  static MemObject *owned(std::shared_ptr<MemObject> &Slot);
 
-  std::map<uint32_t, MemObject> Objects;
+  std::map<uint32_t, std::shared_ptr<MemObject>> Objects;
   uint32_t NextId = 1;
   // Concrete address cursors. The stack grows down, everything else up.
   uint64_t GlobalCursor = 0x00010000;

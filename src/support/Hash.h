@@ -58,6 +58,21 @@ private:
   uint64_t H = 0xcbf29ce484222325ull;
 };
 
+/// The splitmix64 finalizer: a full-avalanche 64-bit mix. Every input
+/// bit flips each output bit with probability ~1/2, which FNV-1a alone
+/// does not guarantee for its high bits. Used wherever two quantities
+/// are combined into a table key (the search's (depth, fingerprint)
+/// visited-set, per-byte memory digests) so that structured inputs do
+/// not alias.
+inline uint64_t mix64(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ull;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebull;
+  X ^= X >> 31;
+  return X;
+}
+
 } // namespace cundef
 
 #endif // CUNDEF_SUPPORT_HASH_H

@@ -88,3 +88,18 @@ std::string cundef::padLeft(const std::string &Text, size_t Width) {
     return Text.substr(0, Width);
   return std::string(Width - Text.size(), ' ') + Text;
 }
+
+bool cundef::parseUnsigned(const char *Text, unsigned &Out) {
+  if (!Text || !*Text)
+    return false;
+  unsigned long long Value = 0;
+  for (const char *P = Text; *P; ++P) {
+    if (*P < '0' || *P > '9')
+      return false;
+    Value = Value * 10 + static_cast<unsigned long long>(*P - '0');
+    if (Value > 0xffffffffull)
+      return false;
+  }
+  Out = static_cast<unsigned>(Value);
+  return true;
+}

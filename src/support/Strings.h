@@ -42,6 +42,12 @@ std::string padRight(const std::string &Text, size_t Width);
 /// Right-aligns \p Text in a field of \p Width columns.
 std::string padLeft(const std::string &Text, size_t Width);
 
+/// Strictly parses a non-negative decimal integer: at least one digit,
+/// nothing but digits, no overflow past unsigned. Returns false (Out
+/// untouched) otherwise. Command-line flags use this instead of atoi,
+/// which silently maps garbage to 0.
+bool parseUnsigned(const char *Text, unsigned &Out);
+
 } // namespace cundef
 
 #endif // CUNDEF_SUPPORT_STRINGS_H

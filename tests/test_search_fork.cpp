@@ -1,0 +1,356 @@
+//===- tests/test_search_fork.cpp - Fork-vs-replay equivalence ----------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The fork engine (core/Search.h: children resume from configuration
+// snapshots captured at their choice points) must be observationally
+// identical to forced prefix replay: same decision traces, same
+// fingerprint streams, same witnesses, at any job count. This suite
+// asserts that equivalence on the seed UB-sequence programs, plus the
+// foundations it rests on: incremental fingerprints equal full-state
+// rehashes at every choice point, and the visited-set key does not
+// alias structured (depth, fingerprint) pairs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Search.h"
+#include "driver/Driver.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace cundef;
+
+namespace {
+
+/// Seed UB-sequence and order-dependence programs (tests/test_ub_sequence
+/// and the paper's section 2.5.2 example), plus defined controls: the
+/// corpus every engine comparison runs over.
+const char *Corpus[] = {
+    // Order-dependent division by zero (paper 2.5.2).
+    "int d = 5;\n"
+    "int setDenom(int x) { return d = x; }\n"
+    "int main(void) { return (10 / d) + setDenom(0); }\n",
+    // Unsequenced read/write pairs.
+    "int main(void) { int x = 1; return x + x++; }\n",
+    "int main(void) { int i = 0; i = i++; return i; }\n",
+    "int main(void) { int x = 0; return (x = 1) + (x = 2); }\n",
+    "static int f(int a, int b) { return a + b; }\n"
+    "int main(void) { int x = 0; return f(x = 1, x = 2); }\n",
+    // Nested order dependence: needs two flips.
+    "int a = 1;\n"
+    "int set(int v) { a = v; return 0; }\n"
+    "int main(void) { return (8 / a) + (set(0) + set(1)); }\n",
+    // Defined controls with commuting choice points.
+    "static int f(void) { return 1; }\n"
+    "static int g(void) { return 2; }\n"
+    "int main(void) { return f() + g() - 3; }\n",
+    "static int g(int x) { return x + 1; }\n"
+    "int main(void) { int t = 0; t += g(0) + g(1); t += g(2) + g(3);\n"
+    "  t += g(4) + g(5); return t > 0 ? 0 : 1; }\n",
+};
+
+SearchResult searchWith(const Driver::Compiled &C, SearchOptions SO) {
+  MachineOptions Opts;
+  OrderSearch Search(*C.Ast, Opts, SO);
+  return Search.run();
+}
+
+void expectSameVerdict(const SearchResult &A, const SearchResult &B,
+                       const char *Source) {
+  EXPECT_EQ(A.UbFound, B.UbFound) << Source;
+  EXPECT_EQ(A.Witness, B.Witness) << Source;
+  ASSERT_EQ(A.Reports.size(), B.Reports.size()) << Source;
+  for (size_t I = 0; I < A.Reports.size(); ++I) {
+    EXPECT_EQ(A.Reports[I].Kind, B.Reports[I].Kind) << Source;
+    EXPECT_EQ(A.Reports[I].Loc.Line, B.Reports[I].Loc.Line) << Source;
+  }
+}
+
+} // namespace
+
+TEST(ForkSearch, EquivalentToReplayAtJobs1) {
+  // At one thread everything is deterministic, so the comparison is
+  // total: every run's pinned prefix, full decision trace, fingerprint
+  // stream, status, and dedup outcome must match between engines. Only
+  // the Forked start-mode marker may differ.
+  for (const char *Source : Corpus) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "fork1.c");
+    ASSERT_TRUE(C.Ok) << C.Errors;
+    SearchOptions Fork;
+    Fork.MaxRuns = 256;
+    Fork.Jobs = 1;
+    Fork.UseSnapshots = true;
+    Fork.CollectRuns = true;
+    SearchOptions Replay = Fork;
+    Replay.UseSnapshots = false;
+
+    SearchResult RF = searchWith(C, Fork);
+    SearchResult RR = searchWith(C, Replay);
+    expectSameVerdict(RF, RR, Source);
+    EXPECT_EQ(RF.RunsExplored, RR.RunsExplored) << Source;
+    EXPECT_EQ(RF.DedupHits, RR.DedupHits) << Source;
+    EXPECT_EQ(RF.SubtreesPruned, RR.SubtreesPruned) << Source;
+    EXPECT_EQ(RF.Waves, RR.Waves) << Source;
+    EXPECT_EQ(RR.ForkedRuns, 0u) << Source;
+
+    ASSERT_EQ(RF.Runs.size(), RR.Runs.size()) << Source;
+    for (size_t I = 0; I < RF.Runs.size(); ++I) {
+      const SearchRunRecord &F = RF.Runs[I];
+      const SearchRunRecord &R = RR.Runs[I];
+      EXPECT_EQ(F.Pinned, R.Pinned) << Source << " run " << I;
+      EXPECT_EQ(F.Trace, R.Trace) << Source << " run " << I
+                                  << ": decision traces diverge";
+      EXPECT_EQ(F.FpStream, R.FpStream)
+          << Source << " run " << I << ": fingerprint streams diverge";
+      EXPECT_EQ(F.Status, R.Status) << Source << " run " << I;
+      EXPECT_EQ(F.DedupAborted, R.DedupAborted) << Source << " run " << I;
+    }
+  }
+}
+
+TEST(ForkSearch, EquivalentToReplayAtJobs4) {
+  // With workers, runs cancelled by a concurrently found witness may
+  // record partial streams, but the committed outputs — verdict,
+  // witness, reports — are deterministic and must match across engines
+  // and repetitions.
+  for (const char *Source : Corpus) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "fork4.c");
+    ASSERT_TRUE(C.Ok) << C.Errors;
+    SearchOptions Fork;
+    Fork.MaxRuns = 256;
+    Fork.Jobs = 4;
+    Fork.UseSnapshots = true;
+    SearchOptions Replay = Fork;
+    Replay.UseSnapshots = false;
+
+    SearchResult RF0 = searchWith(C, Fork);
+    for (int Round = 0; Round < 3; ++Round) {
+      SearchResult RF = searchWith(C, Fork);
+      SearchResult RR = searchWith(C, Replay);
+      expectSameVerdict(RF, RR, Source);
+      expectSameVerdict(RF, RF0, Source);
+    }
+  }
+}
+
+TEST(ForkSearch, ForkingActuallyHappens) {
+  // Guard against the engine silently degrading to replay-only: on a
+  // multi-wave program with the default budget, children must fork.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Corpus[7], "forked.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions SO;
+  SO.MaxRuns = 256;
+  SearchResult R = searchWith(C, SO);
+  EXPECT_GT(R.ForkedRuns, 0u);
+  EXPECT_GT(R.RunsExplored, 1u);
+}
+
+TEST(ForkSearch, SnapshotBudgetZeroFallsBackToReplay) {
+  for (const char *Source : {Corpus[0], Corpus[5], Corpus[7]}) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "budget.c");
+    ASSERT_TRUE(C.Ok);
+    SearchOptions Capped;
+    Capped.MaxRuns = 256;
+    Capped.UseSnapshots = true;
+    Capped.SnapshotBudget = 0; // every capture is declined
+    SearchOptions Free = Capped;
+    Free.SnapshotBudget = 1024;
+
+    SearchResult RCap = searchWith(C, Capped);
+    SearchResult RFree = searchWith(C, Free);
+    EXPECT_EQ(RCap.ForkedRuns, 0u) << Source;
+    expectSameVerdict(RCap, RFree, Source);
+    EXPECT_EQ(RCap.RunsExplored, RFree.RunsExplored) << Source;
+  }
+}
+
+TEST(ForkSearch, TinySnapshotBudgetStillCorrect) {
+  // A budget of 1 forces constant admission churn: most children fall
+  // back to replay, a few fork. Outcomes must not change.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Corpus[5], "tiny.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions Tiny;
+  Tiny.MaxRuns = 256;
+  Tiny.SnapshotBudget = 1;
+  SearchOptions Free = Tiny;
+  Free.SnapshotBudget = 1024;
+  expectSameVerdict(searchWith(C, Tiny), searchWith(C, Free), Corpus[5]);
+}
+
+TEST(ForkSearch, IncrementalFingerprintEqualsFullRehash) {
+  // The incremental digests (cached memory objects, k prefix hashes,
+  // sequencing-set sums, frame caches) must agree with a from-scratch
+  // rehash at every choice point of a real run — this is the
+  // correctness argument for every cache, exercised over programs that
+  // hit arrays, structs, heap allocation, strings, and scope exit.
+  const char *Programs[] = {
+      Corpus[0],
+      Corpus[7],
+      "int buf[64];\n"
+      "static int g(int x) { buf[x % 64] += x; return x + 1; }\n"
+      "int main(void) { int t = 0; t += g(0) + g(1); t += g(2) + g(3);\n"
+      "  return t > 0 ? 0 : 1; }\n",
+      "typedef struct { int a; int b; } P;\n"
+      "static int f(P *p) { p->a += p->b; return p->a; }\n"
+      "int main(void) { P p; p.a = 1; p.b = 2;\n"
+      "  return f(&p) + f(&p) - 8 ? 1 : 0; }\n",
+      "#include <stdlib.h>\n"
+      "static int g(int x) {\n"
+      "  int *p = malloc(sizeof(int)); *p = x; x = *p; free(p);\n"
+      "  return x; }\n"
+      "int main(void) { int t = g(1) + g(2); return t - 3; }\n",
+  };
+  for (const char *Source : Programs) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "incr.c");
+    ASSERT_TRUE(C.Ok) << C.Errors;
+    MachineOptions Opts;
+    UbSink Sink;
+    Machine M(*C.Ast, Opts, Sink);
+    unsigned Checked = 0;
+    M.setChoiceHook([&](Machine &Mach) {
+      EXPECT_EQ(Mach.configFingerprint(), Mach.configFingerprintFull())
+          << Source << " at choice point " << Mach.decisionTrace().size();
+      ++Checked;
+      return true;
+    });
+    M.run();
+    EXPECT_GT(Checked, 0u) << Source;
+    EXPECT_EQ(M.configFingerprint(), M.configFingerprintFull()) << Source;
+  }
+}
+
+TEST(ForkSearch, FullRehashSearchMatchesIncremental) {
+  // End-to-end version of the same equivalence: a search whose dedup
+  // keys come from full rehashes must make the identical decisions —
+  // runs, hits, fingerprint streams — as one using the incremental
+  // path.
+  for (const char *Source : {Corpus[0], Corpus[5], Corpus[7]}) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "rehash.c");
+    ASSERT_TRUE(C.Ok);
+    SearchOptions Incr;
+    Incr.MaxRuns = 256;
+    Incr.Jobs = 1;
+    Incr.CollectRuns = true;
+    SearchOptions Full = Incr;
+    Full.FullRehash = true;
+
+    SearchResult RI = searchWith(C, Incr);
+    SearchResult RO = searchWith(C, Full);
+    expectSameVerdict(RI, RO, Source);
+    EXPECT_EQ(RI.DedupHits, RO.DedupHits) << Source;
+    ASSERT_EQ(RI.Runs.size(), RO.Runs.size()) << Source;
+    for (size_t I = 0; I < RI.Runs.size(); ++I)
+      EXPECT_EQ(RI.Runs[I].FpStream, RO.Runs[I].FpStream)
+          << Source << " run " << I;
+  }
+}
+
+TEST(ForkSearch, VisitKeyCollisionRegression) {
+  // The old key was fp ^ (depth * phi): every pair on a phi-stride line
+  // collapsed to one key — (d, X ^ d*phi) aliased for all d. The mixed
+  // key must keep all such adversarial families distinct.
+  constexpr uint64_t Phi = 0x9e3779b97f4a7c15ull;
+  std::set<std::pair<uint64_t, uint64_t>> Pairs;
+  for (uint64_t Base : {uint64_t(0), uint64_t(1), Phi,
+                        uint64_t(0xdeadbeef)}) {
+    for (uint64_t Depth = 0; Depth < 64; ++Depth) {
+      // Adversarial: the old scheme maps every one of these to Base.
+      Pairs.emplace(Depth, Base ^ (Depth * Phi));
+      // And the plain grid around small fingerprints.
+      Pairs.emplace(Depth, Base + Depth);
+    }
+  }
+  std::set<uint64_t> Keys;
+  for (const auto &[Depth, Fp] : Pairs)
+    Keys.insert(searchVisitKey(Depth, Fp));
+  EXPECT_EQ(Keys.size(), Pairs.size()) << "distinct (depth, fp) pairs alias";
+
+  // The concrete aliases that motivated the fix.
+  EXPECT_NE(searchVisitKey(0, Phi), searchVisitKey(1, 0));
+  EXPECT_NE(searchVisitKey(2, 0), searchVisitKey(0, 2 * Phi));
+}
+
+TEST(ForkSearch, JobsZeroAutoDetects) {
+  // --search-jobs=0 resolves to hardware concurrency inside the search;
+  // verdict and witness are job-count independent, so the observable
+  // contract is simply "same results, no crash".
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Corpus[0], "auto.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions One;
+  One.MaxRuns = 64;
+  One.Jobs = 1;
+  SearchOptions Auto = One;
+  Auto.Jobs = 0;
+  expectSameVerdict(searchWith(C, Auto), searchWith(C, One), Corpus[0]);
+
+  DriverOptions DOpts;
+  DOpts.SearchRuns = 64;
+  DOpts.SearchJobs = 0;
+  Driver DrvAuto(DOpts);
+  DriverOutcome O = DrvAuto.runSource(Corpus[0], "auto_drv.c");
+  ASSERT_TRUE(O.CompileOk);
+  EXPECT_FALSE(O.DynamicUb.empty());
+}
+
+TEST(ForkSearch, TruncationIsReported) {
+  // A budget too small for the frontier must be called out, never
+  // silently absorbed. The symmetric program's first wave alone exceeds
+  // MaxRuns=2.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Corpus[7], "trunc.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions SO;
+  SO.MaxRuns = 2;
+  SearchResult R = searchWith(C, SO);
+  EXPECT_FALSE(R.UbFound);
+  EXPECT_TRUE(R.FrontierTruncated);
+  EXPECT_GT(R.DroppedSubtrees, 0u);
+
+  // An ample budget explores everything: no truncation flag.
+  SO.MaxRuns = 4096;
+  SearchResult RFull = searchWith(C, SO);
+  EXPECT_FALSE(RFull.FrontierTruncated);
+  EXPECT_EQ(RFull.DroppedSubtrees, 0u);
+
+  // The driver surfaces it for kcc --show-witness.
+  DriverOptions DOpts;
+  DOpts.SearchRuns = 2;
+  Driver DrvT(DOpts);
+  DriverOutcome O = DrvT.runSource(Corpus[7], "trunc_drv.c");
+  ASSERT_TRUE(O.CompileOk);
+  EXPECT_TRUE(O.SearchTruncated);
+  EXPECT_GT(O.SearchDropped, 0u);
+}
+
+TEST(ForkSearch, WitnessReplaysOutsideTheEngine) {
+  // A witness found by the fork engine must reproduce on a plain
+  // machine via setReplayDecisions — forks never leak into the
+  // reported decision vector.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Corpus[5], "replayw.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions SO;
+  SO.MaxRuns = 256;
+  SearchResult R = searchWith(C, SO);
+  ASSERT_TRUE(R.UbFound);
+  ASSERT_FALSE(R.Witness.empty());
+  for (int Round = 0; Round < 3; ++Round) {
+    MachineOptions Opts;
+    UbSink Sink;
+    Machine M(*C.Ast, Opts, Sink);
+    M.setReplayDecisions(R.Witness);
+    EXPECT_EQ(M.run(), RunStatus::UbDetected);
+    ASSERT_FALSE(Sink.all().empty());
+    EXPECT_EQ(Sink.all().front().Kind, R.Reports.front().Kind);
+  }
+}

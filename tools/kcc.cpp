@@ -10,7 +10,8 @@
 //     --target=lp64|ilp32|wideint   implementation-defined parameters
 //     --style=cond|chain|decl       specification style (section 4.5)
 //     --search=N                    evaluation orders to search (2.5.2)
-//     --search-jobs=N               worker threads for the order search
+//     --search-jobs=N               worker threads (0 = all hardware threads)
+//     --search-engine=fork|replay   fork snapshots vs replay prefixes
 //     --no-dedup                    disable search state deduplication
 //     --show-witness                print the undefined order's decisions
 //     --no-static                   skip the static undefinedness pass
@@ -18,13 +19,15 @@
 //     --seed=N                      seed for --order=random
 //     --dump-catalog=markdown       print the UB catalog reference and exit
 //
+// Numeric flags are parsed strictly: non-numeric values are a usage
+// error (exit 2), never silently coerced.
+//
 //===----------------------------------------------------------------------===//
 
 #include "driver/Driver.h"
 #include "support/Strings.h"
 #include "ub/Catalog.h"
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,13 +41,27 @@ static void usage() {
                "  --target=lp64|ilp32|wideint\n"
                "  --style=cond|chain|decl\n"
                "  --search=N\n"
-               "  --search-jobs=N\n"
+               "  --search-jobs=N      (0 = all hardware threads)\n"
+               "  --search-engine=fork|replay\n"
                "  --no-dedup\n"
                "  --show-witness\n"
                "  --order=ltr|rtl|random\n"
                "  --seed=N\n"
                "  --no-static\n"
                "  --dump-catalog=markdown\n");
+}
+
+/// Strict numeric flag parsing: `--flag=garbage` is diagnosed and exits
+/// 2 (atoi silently mapped it to 0, which --search then clamped to 1 —
+/// a typo like --search-jobs=1O quietly serialized the whole search).
+static bool parseNumericFlag(const char *Name, const char *Value,
+                             unsigned &Out) {
+  if (parseUnsigned(Value, Out))
+    return true;
+  std::fprintf(stderr, "kcc: invalid value '%s' for %s (expected a "
+                       "non-negative integer)\n",
+               Value, Name);
+  return false;
 }
 
 int main(int argc, char **argv) {
@@ -88,13 +105,32 @@ int main(int argc, char **argv) {
         return 2;
       }
     } else if (startsWith(Arg, "--search=")) {
-      // atoi yields 0 for garbage and negatives stay negative: clamp
-      // both to a sane floor instead of wrapping through unsigned.
-      Opts.SearchRuns =
-          static_cast<unsigned>(std::max(1, std::atoi(Arg + 9)));
+      if (!parseNumericFlag("--search", Arg + 9, Opts.SearchRuns))
+        return 2;
+      if (Opts.SearchRuns == 0) {
+        // A budget of 0 runs cannot even execute the default order;
+        // rejecting it keeps the strict-parsing contract (nothing is
+        // silently coerced).
+        std::fprintf(stderr,
+                     "kcc: invalid value '0' for --search (the budget "
+                     "must allow at least one run)\n");
+        return 2;
+      }
     } else if (startsWith(Arg, "--search-jobs=")) {
-      Opts.SearchJobs =
-          static_cast<unsigned>(std::max(1, std::atoi(Arg + 14)));
+      // 0 is meaningful: auto-detect hardware_concurrency (resolved in
+      // OrderSearch::run so every surface shares the default).
+      if (!parseNumericFlag("--search-jobs", Arg + 14, Opts.SearchJobs))
+        return 2;
+    } else if (startsWith(Arg, "--search-engine=")) {
+      const char *Value = Arg + 16;
+      if (!std::strcmp(Value, "fork"))
+        Opts.SearchSnapshots = true;
+      else if (!std::strcmp(Value, "replay"))
+        Opts.SearchSnapshots = false;
+      else {
+        usage();
+        return 2;
+      }
     } else if (!std::strcmp(Arg, "--no-dedup")) {
       Opts.SearchDedup = false;
     } else if (!std::strcmp(Arg, "--show-witness")) {
@@ -112,7 +148,10 @@ int main(int argc, char **argv) {
         return 2;
       }
     } else if (startsWith(Arg, "--seed=")) {
-      Opts.Machine.Seed = static_cast<uint32_t>(std::atoi(Arg + 7));
+      unsigned Seed = 0;
+      if (!parseNumericFlag("--seed", Arg + 7, Seed))
+        return 2;
+      Opts.Machine.Seed = Seed;
     } else if (!std::strcmp(Arg, "--no-static")) {
       Opts.RunStaticChecks = false;
     } else if (Arg[0] == '-') {
@@ -144,6 +183,15 @@ int main(int argc, char **argv) {
   }
   // Program output passes through.
   std::fputs(O.Output.c_str(), stdout);
+  if (ShowWitness && O.SearchTruncated) {
+    // Never let a budget-limited search masquerade as exhaustive: a
+    // clean verdict below this line means "no UB found within
+    // --search=N runs", not "no order is undefined".
+    std::fprintf(stderr,
+                 "Search frontier truncated: %u subtree(s) dropped "
+                 "unexplored (raise --search to cover them)\n",
+                 O.SearchDropped);
+  }
   if (O.anyUb()) {
     std::fputs(O.renderReport().c_str(), stderr);
     if (ShowWitness && !O.DynamicUb.empty()) {
