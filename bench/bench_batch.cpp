@@ -1,0 +1,161 @@
+//===- bench/bench_batch.cpp - Batched multi-program driver bench ------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// UB tooling has to run over many real translation units, not one file
+// at a time (ISSUE 3; Ruohonen & Sierszecki's desktop-scale study).
+// This bench builds a mixed fleet of programs — order-dependent UB,
+// deep clean trees, quick scripts — and compares:
+//
+//   sequential   one Driver::runSource per program (the pre-batch
+//                interface: each search drains its own worker pool),
+//   batch x1     Driver::runBatch, one shared scheduler, 1 worker,
+//   batch xN     the same with --search-jobs=N workers.
+//
+// Per-program outcomes must be identical in all three modes (verdict,
+// witness, output, exit code) — the bench exits nonzero otherwise,
+// and the bench_batch_quick ctest guards that in CI. Wall-clock is
+// informational. Results land in BENCH_batch.json next to
+// bench_search's BENCH_search.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "driver/Driver.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace cundef;
+
+namespace {
+
+double wallOf(const std::function<void()> &Fn) {
+  auto Start = std::chrono::steady_clock::now();
+  Fn();
+  auto End = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(End - Start).count();
+}
+
+bool sameOutcome(const DriverOutcome &A, const DriverOutcome &B) {
+  return A.CompileOk == B.CompileOk && A.anyUb() == B.anyUb() &&
+         A.SearchWitness == B.SearchWitness && A.Output == B.Output &&
+         A.ExitCode == B.ExitCode;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  const char *JsonPath = "BENCH_batch.json";
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strncmp(argv[I], "--json=", 7))
+      JsonPath = argv[I] + 7;
+  }
+  const unsigned Deep = Quick ? 3 : 6;
+  const unsigned Pairs = Quick ? 6 : 8;
+  const unsigned SearchRuns = Quick ? 96 : 256;
+  const unsigned Jobs = 4;
+
+  std::vector<BatchInput> Inputs;
+  Inputs.push_back({"int d = 5;\n"
+                    "int setDenom(int x) { return d = x; }\n"
+                    "int main(void) { return (10 / d) + setDenom(0); }\n",
+                    "paper.c"});
+  Inputs.push_back({"#include <stdio.h>\n"
+                    "int main(void) { printf(\"fleet\\n\"); return 0; }\n",
+                    "hello.c"});
+  for (unsigned I = 0; I < Deep; ++I)
+    Inputs.push_back({cundef_bench::deepTreeProgram(Pairs, 128, I * 7),
+                      "deep" + std::to_string(I) + ".c"});
+  Inputs.push_back({"int a = 1;\n"
+                    "int set(int v) { a = v; return 0; }\n"
+                    "int main(void) { return (8 / a) + (set(0) + set(1)); }\n",
+                    "nested.c"});
+
+  DriverOptions Opts;
+  Opts.SearchRuns = SearchRuns;
+
+  std::printf("Batched multi-program driver, %zu translation units, "
+              "search budget %u%s\n\n",
+              Inputs.size(), SearchRuns, Quick ? " [quick]" : "");
+
+  // Sequential: one runSource per program.
+  std::vector<DriverOutcome> Seq;
+  double SeqMs = wallOf([&] {
+    Driver Drv(Opts);
+    for (const BatchInput &In : Inputs)
+      Seq.push_back(Drv.runSource(In.Source, In.Name));
+  });
+
+  // Batched, shared scheduler at 1 and N workers.
+  BatchResult Batch1, BatchN;
+  double Batch1Ms = wallOf([&] {
+    Driver Drv(Opts);
+    Batch1 = Drv.runBatch(Inputs);
+  });
+  DriverOptions OptsN = Opts;
+  OptsN.SearchJobs = Jobs;
+  double BatchNMs = wallOf([&] {
+    Driver Drv(OptsN);
+    BatchN = Drv.runBatch(Inputs);
+  });
+
+  bool OutcomesAgree = true;
+  std::printf("%-12s %-10s %8s %8s\n", "program", "verdict", "orders",
+              "deduped");
+  std::printf("%s\n", std::string(42, '-').c_str());
+  for (size_t I = 0; I < Inputs.size(); ++I) {
+    const DriverOutcome &O = Batch1.Outcomes[I];
+    if (!sameOutcome(Seq[I], O) || !sameOutcome(O, BatchN.Outcomes[I]))
+      OutcomesAgree = false;
+    std::printf("%-12s %-10s %8u %8u\n", Inputs[I].Name.c_str(),
+                O.anyUb() ? "UNDEF" : "clean", O.OrdersExplored,
+                O.OrdersDeduped);
+  }
+  std::printf("%s\n", std::string(42, '-').c_str());
+  std::printf("sequential %.2f ms; batch x1 %.2f ms (%.2fx); batch x%u "
+              "%.2f ms (%.2fx)\n",
+              SeqMs, Batch1Ms, Batch1Ms > 0 ? SeqMs / Batch1Ms : 0.0, Jobs,
+              BatchNMs, BatchNMs > 0 ? SeqMs / BatchNMs : 0.0);
+  std::printf("scheduler (x%u): jobs=%u steals=%llu runs=%llu "
+              "dedup-hits=%llu peak-frontier=%llu\n",
+              Jobs, BatchN.Stats.Jobs,
+              static_cast<unsigned long long>(BatchN.Stats.Steals),
+              static_cast<unsigned long long>(BatchN.Stats.RunsExecuted),
+              static_cast<unsigned long long>(BatchN.Stats.DedupHits),
+              static_cast<unsigned long long>(BatchN.Stats.PeakFrontier));
+  std::printf("per-program outcomes %s\n",
+              OutcomesAgree ? "identical across sequential/batch modes"
+                            : "DIFFER (bug!)");
+
+  std::string Json = "{\n  \"bench\": \"batch\",\n";
+  Json += std::string("  \"quick\": ") + (Quick ? "true" : "false") + ",\n";
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"programs\": %zu,\n  \"budget\": %u,\n"
+                "  \"modes\": [\n"
+                "    {\"mode\": \"sequential\", \"jobs\": 1, "
+                "\"wall_ms\": %.3f},\n"
+                "    {\"mode\": \"batch\", \"jobs\": 1, \"wall_ms\": %.3f, "
+                "\"steals\": %llu, \"runs\": %llu},\n"
+                "    {\"mode\": \"batch\", \"jobs\": %u, \"wall_ms\": %.3f, "
+                "\"steals\": %llu, \"runs\": %llu}\n"
+                "  ],\n  \"outcomes_identical\": %s\n}\n",
+                Inputs.size(), SearchRuns, SeqMs, Batch1Ms,
+                static_cast<unsigned long long>(Batch1.Stats.Steals),
+                static_cast<unsigned long long>(Batch1.Stats.RunsExecuted),
+                Jobs, BatchNMs,
+                static_cast<unsigned long long>(BatchN.Stats.Steals),
+                static_cast<unsigned long long>(BatchN.Stats.RunsExecuted),
+                OutcomesAgree ? "true" : "false");
+  Json += Buf;
+  cundef_bench::writeJsonFile("bench_batch", JsonPath, Json);
+  return OutcomesAgree ? 0 : 1;
+}

@@ -11,36 +11,43 @@
 //              full-state rehash (what the pre-parallel searcher did),
 //   replay     + fingerprint visited-set; children replay their pinned
 //              prefix from main() and rehash the whole configuration at
-//              every choice point (the PR 1 engine — the baseline the
-//              fork engine is measured against),
+//              every choice point (the PR 1 engine),
 //   fork       + children fork mid-run from snapshots captured at their
-//              choice points, and fingerprints are incremental
-//              (O(state touched) instead of O(state)),
-//   fork x4    fork with 4 worker threads (--search-jobs=4).
+//              choice points, and fingerprints are incremental — still
+//              wave-synchronous (the PR 2 engine),
+//   steal      the work-stealing scheduler (core/Scheduler.h): same
+//              fork engine, but speculative execution with a canonical
+//              commit wavefront instead of per-wave barriers,
+//   wave x4 / steal x4
+//              both schedulers at 4 worker threads; the wave engine
+//              barriers every generation (and re-spawns its thread team
+//              per wave), the stealing scheduler keeps one pool busy.
 //
-// Reported per program: verdict, machine runs, dedup hit rate, and the
-// wall-clock of replay vs fork at jobs 1 and 4. Witnesses must be
-// byte-identical across every configuration and engine (the search is
-// deterministic by construction; docs/SEARCH.md), and the fork engine
-// must not regress the dedup hit rate — the bench exits nonzero on
-// either violation, which the bench_search_quick ctest guards in CI
-// (--quick runs a reduced matrix).
+// Witnesses must be byte-identical across every configuration and
+// engine, and dedup hit counts must agree between replay/fork/steal
+// (committed dedup decisions are deterministic by construction,
+// docs/SEARCH.md) — the bench exits nonzero on either violation, which
+// the bench_search_quick ctest guards in CI (--quick runs a reduced
+// matrix). Wall-clock numbers are informational: CI containers may
+// have one core.
 //
-// The dedup payoff is algorithmic: programs with k independent choice
-// points have 2^k interleavings but only O(k) distinct states at each
-// depth. The fork payoff is the two replay-era costs the deep-tree
-// workload isolates: re-executing O(depth) pinned prefixes per run, and
-// re-hashing O(state) per choice point.
+// Every run also appends a machine-readable BENCH_search.json
+// (--json=PATH to relocate) with per-case (engine, sched, jobs,
+// wall-ms, runs, dedup rate, steals) records so the perf trajectory is
+// tracked across PRs instead of scrolling away in logs.
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "core/Search.h"
 #include "driver/Driver.h"
 
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <iterator>
 #include <string>
+#include <vector>
 
 using namespace cundef;
 
@@ -49,8 +56,8 @@ namespace {
 struct OrderCase {
   const char *Name;
   std::string Source;
-  /// Aggregated into the deep-tree fork-vs-replay speedup printed in
-  /// the summary line (informational; the exit code gates only witness
+  /// Aggregated into the deep-tree wave-vs-steal speedup printed in the
+  /// summary line (informational; the exit code gates only witness
   /// identity and dedup-hit equality, which are timing-independent).
   bool DeepTree = false;
 };
@@ -89,39 +96,21 @@ std::string symmetricSumsWithUb(unsigned K) {
   return S;
 }
 
-/// The deep-tree workload: K commuting pairs whose calls write into a
-/// sizable global array. Prefix replay re-executes up to the full
-/// program per run, and a full-state rehash touches every array byte at
-/// every choice point — exactly the two costs fork scheduling and
-/// incremental fingerprints remove.
-std::string deepTree(unsigned K, unsigned Cells) {
-  char Head[128];
-  std::snprintf(Head, sizeof(Head),
-                "int buf[%u];\n"
-                "static int g(int x) { buf[x %% %u] += x; return x + 1; }\n"
-                "int main(void) {\n  int t = 0;\n",
-                Cells, Cells);
-  std::string S = Head;
-  for (unsigned I = 0; I < K; ++I) {
-    char Line[64];
-    std::snprintf(Line, sizeof(Line), "  t += g(%u) + g(%u);\n", 2 * I,
-                  2 * I + 1);
-    S += Line;
-  }
-  S += "  return t > 0 ? 0 : 1;\n}\n";
-  return S;
-}
-
 struct Measured {
+  const char *Engine = "";
+  unsigned Jobs = 1;
   SearchResult R;
   double Millis = 0.0;
 };
 
-Measured measure(const AstContext &Ast, const SearchOptions &SO) {
+Measured measure(const AstContext &Ast, const SearchOptions &SO,
+                 const char *Engine) {
   MachineOptions MOpts;
   auto Start = std::chrono::steady_clock::now();
   OrderSearch Search(Ast, MOpts, SO);
   Measured M;
+  M.Engine = Engine;
+  M.Jobs = SO.Jobs;
   M.R = Search.run();
   auto End = std::chrono::steady_clock::now();
   M.Millis = std::chrono::duration<double, std::milli>(End - Start).count();
@@ -135,10 +124,31 @@ std::string witnessStr(const std::vector<uint8_t> &W) {
   return S + "]";
 }
 
+void appendEngineJson(std::string &Json, const Measured &M, bool Last) {
+  char Buf[256];
+  const double Rate = M.R.RunsExplored
+                          ? 100.0 * M.R.DedupHits / M.R.RunsExplored
+                          : 0.0;
+  std::snprintf(Buf, sizeof(Buf),
+                "      {\"engine\": \"%s\", \"jobs\": %u, \"wall_ms\": %.3f, "
+                "\"runs\": %u, \"dedup_hits\": %u, \"dedup_rate\": %.1f, "
+                "\"steals\": %u, \"evictions\": %u}%s\n",
+                M.Engine, M.Jobs, M.Millis, M.R.RunsExplored, M.R.DedupHits,
+                Rate, M.R.Steals, M.R.SnapshotEvictions, Last ? "" : ",");
+  Json += Buf;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  const bool Quick = argc > 1 && !std::strcmp(argv[1], "--quick");
+  bool Quick = false;
+  const char *JsonPath = "BENCH_search.json";
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strncmp(argv[I], "--json=", 7))
+      JsonPath = argv[I] + 7;
+  }
   const unsigned Budget = Quick ? 192 : 512;
   const unsigned Pairs = Quick ? 6 : 8;
   const unsigned DeepPairs = Quick ? 8 : 10;
@@ -161,24 +171,31 @@ int main(int argc, char **argv) {
        "int main(void) { return (8 / a) + (set(0) + set(1)); }\n"},
       {"commuting pairs (defined)", symmetricSums(Pairs)},
       {"commuting pairs + hidden UB", symmetricSumsWithUb(Pairs)},
-      {"deep tree (pairs + hot array)", deepTree(DeepPairs, DeepCells),
+      {"deep tree (pairs + hot array)",
+       cundef_bench::deepTreeProgram(DeepPairs, DeepCells),
        /*DeepTree=*/true},
   };
 
   std::printf("Evaluation-order search (paper section 2.5.2), budget %u "
               "runs%s\n\n", Budget, Quick ? " [quick]" : "");
-  std::printf("%-32s %-8s %6s %6s %7s %9s %9s %8s %9s %9s %8s\n", "program",
-              "verdict", "runs", "forked", "hits", "seq ms", "replay ms",
-              "fork ms", "rep4 ms", "fork4 ms", "speedup");
-  std::printf("%s\n", std::string(122, '-').c_str());
+  std::printf("%-32s %-8s %6s %7s %9s %9s %8s %8s %9s %9s %8s\n", "program",
+              "verdict", "runs", "hits", "seq ms", "replay ms", "fork ms",
+              "steal ms", "wave4 ms", "steal4 ms", "speedup");
+  std::printf("%s\n", std::string(124, '-').c_str());
 
-  double TotalReplayMs = 0, TotalForkMs = 0;
-  double DeepReplayMs = 0, DeepForkMs = 0;
-  double DeepReplay4Ms = 0, DeepFork4Ms = 0;
+  double DeepWave4Ms = 0, DeepSteal4Ms = 0;
+  double DeepFork1Ms = 0, DeepSteal1Ms = 0;
   bool WitnessesAgree = true;
-  bool HitRateOk = true;
+  bool HitsOk = true;
+  std::string Json;
+  Json += "{\n";
+  Json += std::string("  \"bench\": \"search\",\n  \"quick\": ") +
+          (Quick ? "true" : "false") + ",\n";
+  Json += "  \"budget\": " + std::to_string(Budget) + ",\n";
+  Json += "  \"cases\": [\n";
 
-  for (const OrderCase &Case : Cases) {
+  for (size_t CaseIdx = 0; CaseIdx < std::size(Cases); ++CaseIdx) {
+    const OrderCase &Case = Cases[CaseIdx];
     Driver Drv;
     Driver::Compiled C = Drv.compile(Case.Source, "order.c");
     if (!C.Ok) {
@@ -192,88 +209,111 @@ int main(int argc, char **argv) {
     Seq.Dedup = false;
     Seq.UseSnapshots = false;
     Seq.FullRehash = true;
+    Seq.Sched = SchedKind::Wave;
     SearchOptions Replay = Seq; // + visited-set (the PR 1 engine)
     Replay.Dedup = true;
     SearchOptions Fork = Replay; // + snapshots + incremental digests
     Fork.UseSnapshots = true;
     Fork.FullRehash = false;
-    SearchOptions Replay4 = Replay; // both engines at 4 workers
-    Replay4.Jobs = 4;
-    SearchOptions Fork4 = Fork;
-    Fork4.Jobs = 4;
+    SearchOptions Steal = Fork; // + work-stealing commit wavefront
+    Steal.Sched = SchedKind::Stealing;
+    SearchOptions Wave4 = Fork; // both schedulers at 4 workers
+    Wave4.Jobs = 4;
+    SearchOptions Steal4 = Steal;
+    Steal4.Jobs = 4;
 
-    Measured MSeq = measure(*C.Ast, Seq);
-    Measured MRep = measure(*C.Ast, Replay);
-    Measured MFork = measure(*C.Ast, Fork);
-    Measured MRep4 = measure(*C.Ast, Replay4);
-    Measured MFork4 = measure(*C.Ast, Fork4);
+    Measured Ms[] = {
+        measure(*C.Ast, Seq, "seq"),      measure(*C.Ast, Replay, "replay"),
+        measure(*C.Ast, Fork, "fork"),    measure(*C.Ast, Steal, "steal"),
+        measure(*C.Ast, Wave4, "wave4"),  measure(*C.Ast, Steal4, "steal4"),
+    };
+    const Measured &MSeq = Ms[0], &MRep = Ms[1], &MFork = Ms[2],
+                   &MSteal = Ms[3], &MWave4 = Ms[4], &MSteal4 = Ms[5];
 
-    // Share of started runs the visited-set cancelled mid-flight
-    // (DedupHits is a subset of RunsExplored; barrier twin-prunes are
-    // separate events and not runs).
     const double HitRate =
-        MFork.R.RunsExplored
-            ? 100.0 * MFork.R.DedupHits / MFork.R.RunsExplored
+        MSteal.R.RunsExplored
+            ? 100.0 * MSteal.R.DedupHits / MSteal.R.RunsExplored
             : 0.0;
-    const double Speedup = MFork.Millis > 0 ? MRep.Millis / MFork.Millis : 0.0;
-    TotalReplayMs += MRep.Millis;
-    TotalForkMs += MFork.Millis;
+    const double Speedup =
+        MSteal4.Millis > 0 ? MWave4.Millis / MSteal4.Millis : 0.0;
     if (Case.DeepTree) {
-      DeepReplayMs += MRep.Millis;
-      DeepForkMs += MFork.Millis;
-      DeepReplay4Ms += MRep4.Millis;
-      DeepFork4Ms += MFork4.Millis;
+      DeepWave4Ms += MWave4.Millis;
+      DeepSteal4Ms += MSteal4.Millis;
+      DeepFork1Ms += MFork.Millis;
+      DeepSteal1Ms += MSteal.Millis;
     }
 
-    bool SameVerdict = MSeq.R.UbFound == MRep.R.UbFound &&
-                       MRep.R.UbFound == MFork.R.UbFound &&
-                       MFork.R.UbFound == MRep4.R.UbFound &&
-                       MRep4.R.UbFound == MFork4.R.UbFound;
-    bool SameWitness = MSeq.R.Witness == MRep.R.Witness &&
-                       MRep.R.Witness == MFork.R.Witness &&
-                       MFork.R.Witness == MRep4.R.Witness &&
-                       MRep4.R.Witness == MFork4.R.Witness;
+    // Witness identity across every engine, scheduler, and job count.
+    bool SameVerdict = true, SameWitness = true;
+    for (const Measured &M : Ms) {
+      SameVerdict &= M.R.UbFound == MSeq.R.UbFound;
+      SameWitness &= M.R.Witness == MSeq.R.Witness;
+    }
     if (!SameVerdict || !SameWitness)
       WitnessesAgree = false;
-    // No dedup-hit-rate regression: at one thread both engines make the
-    // same decisions, so the counters must agree exactly.
+    // Committed dedup decisions are deterministic: replay, fork, and
+    // steal must agree exactly, at one worker and at four (RunsExplored
+    // is compared at one worker; the wave engine's count is
+    // timing-dependent when a witness cuts a parallel wave short).
     if (MFork.R.DedupHits != MRep.R.DedupHits ||
-        MFork.R.RunsExplored != MRep.R.RunsExplored)
-      HitRateOk = false;
+        MSteal.R.DedupHits != MFork.R.DedupHits ||
+        MSteal4.R.DedupHits != MWave4.R.DedupHits ||
+        MFork.R.RunsExplored != MRep.R.RunsExplored ||
+        MSteal.R.RunsExplored != MFork.R.RunsExplored)
+      HitsOk = false;
 
-    std::printf("%-32s %-8s %6u %6u %6.0f%% %9.2f %9.2f %8.2f %9.2f %9.2f "
+    std::printf("%-32s %-8s %6u %6.0f%% %9.2f %9.2f %8.2f %8.2f %9.2f %9.2f "
                 "%7.1fx\n",
-                Case.Name, MFork.R.UbFound ? "UNDEF" : "clean",
-                MFork.R.RunsExplored, MFork.R.ForkedRuns, HitRate,
-                MSeq.Millis, MRep.Millis, MFork.Millis, MRep4.Millis,
-                MFork4.Millis, Speedup);
-    if (MFork.R.UbFound)
+                Case.Name, MSteal.R.UbFound ? "UNDEF" : "clean",
+                MSteal.R.RunsExplored, HitRate, MSeq.Millis, MRep.Millis,
+                MFork.Millis, MSteal.Millis, MWave4.Millis, MSteal4.Millis,
+                Speedup);
+    if (MSteal.R.UbFound)
       std::printf("%-32s   witness %s%s\n", "",
-                  witnessStr(MFork.R.Witness).c_str(),
+                  witnessStr(MSteal.R.Witness).c_str(),
                   SameWitness ? " (identical across engines and jobs)"
                               : " MISMATCH ACROSS CONFIGS");
+
+    char Head[128];
+    std::snprintf(Head, sizeof(Head),
+                  "    {\"name\": \"%s\", \"verdict\": \"%s\", "
+                  "\"engines\": [\n",
+                  Case.Name, MSteal.R.UbFound ? "UNDEF" : "clean");
+    Json += Head;
+    for (size_t I = 0; I < std::size(Ms); ++I)
+      appendEngineJson(Json, Ms[I], I + 1 == std::size(Ms));
+    Json += CaseIdx + 1 == std::size(Cases) ? "    ]}\n" : "    ]},\n";
   }
 
-  const double DeepSpeedup =
-      DeepForkMs > 0 ? DeepReplayMs / DeepForkMs : 0.0;
+  const double DeepSpeedup1 =
+      DeepSteal1Ms > 0 ? DeepFork1Ms / DeepSteal1Ms : 0.0;
   const double DeepSpeedup4 =
-      DeepFork4Ms > 0 ? DeepReplay4Ms / DeepFork4Ms : 0.0;
-  std::printf("%s\n", std::string(122, '-').c_str());
-  std::printf("total wall-clock: replay %.2f ms, fork %.2f ms (%.1fx); "
-              "deep tree: %.1fx at jobs=1, %.1fx at jobs=4\n",
-              TotalReplayMs, TotalForkMs,
-              TotalForkMs > 0 ? TotalReplayMs / TotalForkMs : 0.0,
-              DeepSpeedup, DeepSpeedup4);
-  std::printf("witnesses %s; dedup hit rate %s\n",
+      DeepSteal4Ms > 0 ? DeepWave4Ms / DeepSteal4Ms : 0.0;
+  std::printf("%s\n", std::string(124, '-').c_str());
+  std::printf("deep tree, wave vs steal: %.1fx at jobs=1 (%.2f -> %.2f ms), "
+              "%.1fx at jobs=4 (%.2f -> %.2f ms)\n",
+              DeepSpeedup1, DeepFork1Ms, DeepSteal1Ms, DeepSpeedup4,
+              DeepWave4Ms, DeepSteal4Ms);
+  std::printf("witnesses %s; dedup hits %s\n",
               WitnessesAgree ? "identical in every configuration"
                              : "DIFFER (bug!)",
-              HitRateOk ? "identical between engines"
-                        : "REGRESSED in fork engine (bug!)");
-  std::printf("\nFork scheduling resumes each child from a snapshot of its "
-              "choice point\ninstead of re-executing the pinned prefix from "
-              "main(), and incremental\nfingerprints digest only the state "
-              "touched since the last choice point.\nBoth effects compound "
-              "on deep trees, where prefixes are long and the\nconfiguration "
-              "is large.\n");
-  return WitnessesAgree && HitRateOk ? 0 : 1;
+              HitsOk ? "identical across replay/fork/steal"
+                     : "DIFFER between engines (bug!)");
+  std::printf("\nThe stealing scheduler executes speculatively on per-worker "
+              "deques and\ncommits through a canonical wavefront, so no "
+              "generation barriers on its\nslowest machine and the thread "
+              "pool is spawned once, not per wave.\n");
+
+  Json += "  ],\n";
+  char Summary[256];
+  std::snprintf(Summary, sizeof(Summary),
+                "  \"summary\": {\"deep_wave4_ms\": %.3f, "
+                "\"deep_steal4_ms\": %.3f, \"deep_speedup4\": %.2f, "
+                "\"witnesses_identical\": %s, \"dedup_identical\": %s}\n",
+                DeepWave4Ms, DeepSteal4Ms, DeepSpeedup4,
+                WitnessesAgree ? "true" : "false", HitsOk ? "true" : "false");
+  Json += Summary;
+  Json += "}\n";
+  cundef_bench::writeJsonFile("bench_search", JsonPath, Json);
+  return WitnessesAgree && HitsOk ? 0 : 1;
 }

@@ -1,0 +1,74 @@
+# Drives kcc's batched multi-program mode: several input files run
+# through one shared work-stealing scheduler; per-file reports land on
+# stderr, program outputs pass through stdout in command-line order,
+# --batch-stats prints the shared-scheduler counters, and the exit code
+# is 139 if any program is undefined, 1 if any fails to compile (and
+# none is undefined), else 0. Run via ctest (test name: kcc_batch_cli).
+if(NOT DEFINED KCC OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DKCC=<kcc> -DWORKDIR=<dir> -P CheckBatchCli.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(UB_C ${WORKDIR}/batch_ub.c)
+file(WRITE ${UB_C} "int d = 5;\nint setDenom(int x) { return d = x; }\nint main(void) { return (10 / d) + setDenom(0); }\n")
+set(OK_C ${WORKDIR}/batch_ok.c)
+file(WRITE ${OK_C} "int main(void) { return 0; }\n")
+set(BAD_C ${WORKDIR}/batch_bad.c)
+file(WRITE ${BAD_C} "int main(void) { return 0 }\n")
+
+# UB + clean: exit 139, stats block, per-file headers, UB report.
+execute_process(
+  COMMAND ${KCC} ${UB_C} ${OK_C} --batch-stats --search=64 --search-jobs=2
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 139)
+  message(FATAL_ERROR "kcc batch (ub, ok): expected exit 139, got ${RC}")
+endif()
+if(NOT ERR MATCHES "Batch stats: programs=2")
+  message(FATAL_ERROR "kcc batch: missing --batch-stats block: ${ERR}")
+endif()
+if(NOT ERR MATCHES "== .*batch_ub.c ==" OR NOT ERR MATCHES "== .*batch_ok.c ==")
+  message(FATAL_ERROR "kcc batch: missing per-file headers: ${ERR}")
+endif()
+if(NOT ERR MATCHES "Error: 00001")
+  message(FATAL_ERROR "kcc batch: missing division-by-zero report: ${ERR}")
+endif()
+if(NOT ERR MATCHES "batch_ub.c: UNDEFINED" OR NOT ERR MATCHES "batch_ok.c: clean")
+  message(FATAL_ERROR "kcc batch: missing per-program verdict lines: ${ERR}")
+endif()
+
+# All clean: exit 0.
+execute_process(
+  COMMAND ${KCC} ${OK_C} ${OK_C} --batch-stats
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "kcc batch (ok, ok): expected exit 0, got ${RC}: ${ERR}")
+endif()
+
+# Compile failure without UB: exit 1, diagnostics on stderr.
+execute_process(
+  COMMAND ${KCC} ${BAD_C} ${OK_C}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 1)
+  message(FATAL_ERROR "kcc batch (bad, ok): expected exit 1, got ${RC}")
+endif()
+if(ERR STREQUAL "")
+  message(FATAL_ERROR "kcc batch (bad, ok): no compile diagnostic on stderr")
+endif()
+
+# Batch witnesses match the single-file ones byte for byte.
+execute_process(
+  COMMAND ${KCC} ${UB_C} --show-witness --search=64
+  RESULT_VARIABLE RC1 OUTPUT_VARIABLE OUT1 ERROR_VARIABLE ERR1)
+execute_process(
+  COMMAND ${KCC} ${UB_C} --show-witness --search=64 --batch-stats
+  RESULT_VARIABLE RC2 OUTPUT_VARIABLE OUT2 ERROR_VARIABLE ERR2)
+if(NOT RC1 EQUAL 139 OR NOT RC2 EQUAL 139)
+  message(FATAL_ERROR "kcc witness runs: expected exit 139, got ${RC1}/${RC2}")
+endif()
+string(REGEX MATCH "Witness decisions:[^\n]*" W1 "${ERR1}")
+string(REGEX MATCH "Witness decisions:[^\n]*" W2 "${ERR2}")
+if(NOT W1 STREQUAL W2 OR W1 STREQUAL "")
+  message(FATAL_ERROR "kcc batch witness differs from single-file: '${W1}' vs '${W2}'")
+endif()
+
+message(STATUS "kcc batched CLI behaves as documented")

@@ -74,9 +74,12 @@ struct MachineOptions {
 /// the chooser's decision trace and RNG stream. Captured at flippable
 /// choice points by the evaluation-order search so children fork
 /// mid-run instead of replaying the whole prefix from main()
-/// (core/Search.h). Everything that determines future behavior lives in
-/// these two members; rule chains and monitors are rebuilt/stateless
-/// (snapshots are not taken under the stateful Declarative style).
+/// (core/Search.h). Pending captures live in the scheduling layer's LRU
+/// SnapshotCache (core/Scheduler.h): a capture the cache evicted simply
+/// means that child replays — forking is never load-bearing.
+/// Everything that determines future behavior lives in these two
+/// members; rule chains and monitors are rebuilt/stateless (snapshots
+/// are not taken under the stateful Declarative style).
 struct MachineSnapshot {
   Configuration Conf;
   OrderChooser Chooser;

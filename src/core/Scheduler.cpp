@@ -1,0 +1,770 @@
+//===- core/Scheduler.cpp - Work-stealing search scheduling ------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+//
+// Determinism model (docs/SEARCH.md has the full argument):
+//
+//  * Execution is speculative. A task's machine runs as soon as any
+//    worker picks it up, consulting the visited-set only for entries
+//    *published by earlier generations* — a subset of what the wave
+//    engine's barrier would have committed, so an in-flight
+//    cancellation is always one the wave engine would also have made,
+//    and a missed one only means the run executes further than strictly
+//    needed. The task records its raw decision trace and the full
+//    (depth, fingerprint) stream it observed.
+//
+//  * Commit is canonical. Per program, tasks finalize in (generation,
+//    lex prefix) order — the exact order the wave engine's sorted
+//    barrier used. Generation g finalizes only after generation g-1
+//    finished entirely, so at finalization the visited-set restricted
+//    to generations < g is complete; the task's *effective* outcome
+//    (first committed hit in its stream = the wave engine's
+//    cancellation point; children = flippable points of the truncated
+//    trace; undefinedness discarded if it occurred past the cut) is a
+//    pure function of (prefix, that set). Induction over the commit
+//    order makes every committed output equal to the wave engine's.
+//
+//  * Undefinedness wins canonically. The first task to finalize with an
+//    effective UB verdict is the winner: all canonically smaller tasks
+//    already finalized clean, and every unfinalized task is canonically
+//    larger. In-flight runs then cancel via the program's done flag.
+//
+// The budget is applied where the wave engine applied it: when a
+// generation seals (its predecessor fully finalized), it is sorted,
+// and entries beyond (MaxRuns - runs finalized so far) are dropped as
+// unexplored subtrees — including any that already started
+// speculatively; their results are discarded, keeping the accounting
+// identical to the wave engine's truncation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <thread>
+#include <unordered_set>
+
+using namespace cundef;
+
+//===----------------------------------------------------------------------===//
+// SnapshotCache
+//===----------------------------------------------------------------------===//
+
+uint64_t SnapshotCache::insert(MachineSnapshot Snap,
+                               std::atomic<unsigned> *EvictCounter) {
+  if (Capacity == 0)
+    return 0;
+  std::unique_ptr<MachineSnapshot> Victim; // destroyed outside the lock
+  uint64_t Id;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Entries.size() >= Capacity) {
+      uint64_t Oldest = Lru.front();
+      Lru.pop_front();
+      auto It = Entries.find(Oldest);
+      Victim = std::move(It->second.Snap);
+      if (It->second.EvictCounter)
+        It->second.EvictCounter->fetch_add(1, std::memory_order_relaxed);
+      Evictions.fetch_add(1, std::memory_order_relaxed);
+      Entries.erase(It);
+    }
+    Id = NextId++;
+    Lru.push_back(Id);
+    Entry E;
+    E.Snap = std::make_unique<MachineSnapshot>(std::move(Snap));
+    E.LruIt = std::prev(Lru.end());
+    E.EvictCounter = EvictCounter;
+    Entries.emplace(Id, std::move(E));
+  }
+  return Id;
+}
+
+std::unique_ptr<MachineSnapshot> SnapshotCache::take(uint64_t Id) {
+  if (!Id)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Id);
+  if (It == Entries.end())
+    return nullptr; // evicted: the caller replays its prefix instead
+  std::unique_ptr<MachineSnapshot> Snap = std::move(It->second.Snap);
+  Lru.erase(It->second.LruIt);
+  Entries.erase(It);
+  return Snap;
+}
+
+void SnapshotCache::drop(uint64_t Id) {
+  if (!Id)
+    return;
+  std::unique_ptr<MachineSnapshot> Dead;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Entries.find(Id);
+  if (It == Entries.end())
+    return;
+  Dead = std::move(It->second.Snap);
+  Lru.erase(It->second.LruIt);
+  Entries.erase(It);
+}
+
+size_t SnapshotCache::pending() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Entries.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Scheduler internals
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Per-program visited-set with sharded locks. Each key maps to the
+/// smallest generation that committed it; speculative lookups accept a
+/// hit only from a strictly earlier generation, which makes every
+/// in-flight answer a subset of the committed truth.
+class VisitedMap {
+public:
+  bool hitBefore(uint64_t Key, uint32_t Gen) const {
+    const Shard &S = Shards[shardOf(Key)];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Map.find(Key);
+    return It != S.Map.end() && It->second < Gen;
+  }
+
+  void publish(uint64_t Key, uint32_t Gen) {
+    Shard &S = Shards[shardOf(Key)];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto [It, Inserted] = S.Map.emplace(Key, Gen);
+    if (!Inserted && Gen < It->second)
+      It->second = Gen;
+  }
+
+private:
+  static constexpr size_t NumShards = 16;
+  static size_t shardOf(uint64_t Key) {
+    // The keys are already splitmix-mixed (searchVisitKey); the top
+    // bits are as good as any.
+    return static_cast<size_t>(Key >> 60) & (NumShards - 1);
+  }
+  struct Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<uint64_t, uint32_t> Map;
+  };
+  Shard Shards[NumShards];
+};
+
+struct ProgramState;
+
+/// One node of a program's search tree. Lives in its program's arena
+/// for the whole scheduler lifetime (deques hold raw pointers).
+struct Task {
+  ProgramState *Prog = nullptr;
+  uint32_t Gen = 0;
+  std::vector<uint8_t> Pinned;
+  uint64_t SnapId = 0; ///< snapshot cache handle (0 = replay)
+
+  enum Phase : uint8_t { Queued, Executed, Finalized, Dropped };
+  std::atomic<uint8_t> State{Queued};
+  /// Set when the budget truncation or program completion made this
+  /// task irrelevant; an in-flight run polls it and cancels.
+  std::atomic<bool> Abandoned{false};
+
+  // --- Raw outputs of the speculative run -----------------------------
+  RunStatus Status = RunStatus::Running;
+  bool UbFound = false;
+  bool Forked = false;
+  std::vector<UbReport> Reports;
+  std::vector<std::pair<uint8_t, uint8_t>> Trace;
+  /// Every (depth, fingerprint) observed at flippable choice points at
+  /// or beyond the divergence — including the entry that triggered an
+  /// in-flight cancellation (the wave engine's Visited stops just
+  /// before it; finalization recomputes the cut from this stream).
+  std::vector<std::pair<size_t, uint64_t>> Stream;
+  /// (depth, snapshot-cache handle) captured during the run.
+  std::vector<std::pair<size_t, uint64_t>> Snaps;
+  uint64_t DivergenceFp = 0;
+  bool HasDivergence = false;
+  /// Root only: the program-visible results of the default-order run.
+  std::string Output;
+  int ExitCode = 0;
+};
+
+bool lexLess(const std::vector<uint8_t> &A, const std::vector<uint8_t> &B) {
+  return std::lexicographical_compare(A.begin(), A.end(), B.begin(), B.end());
+}
+
+struct ProgramState {
+  size_t Id = 0;
+  const AstContext *Ast = nullptr;
+  MachineOptions MOpts;
+  SearchOptions SOpts;
+  bool RootGated = false;
+  /// Effective gates (same policy as the wave engine).
+  bool Dedup = true;
+  bool Snapshots = true;
+
+  /// All tasks ever created (stable addresses; deques point in here).
+  std::deque<Task> Arena;
+
+  std::mutex CommitMu;
+  /// The sealed generation being finalized, sorted canonically.
+  std::vector<Task *> CurGen;
+  size_t NextFinal = 0;
+  /// The next generation, accumulating children (sealed & sorted once
+  /// CurGen fully finalizes).
+  std::vector<Task *> NextGen;
+  /// Runs finalized and kept (= the wave engine's RunsStarted on the
+  /// deterministic path).
+  unsigned RunsFinalized = 0;
+  /// In-generation divergence twins (reset per generation).
+  std::unordered_set<uint64_t> SeenDivergence;
+  /// Dedup hits / twin prunes committed within the current generation.
+  /// The wave engine never aggregates the counters of the wave that
+  /// produced the witness (its barrier returns first); when a winner
+  /// finalizes, these are rolled back for byte-identical stats.
+  unsigned GenDedupHits = 0;
+  unsigned GenSubtreesPruned = 0;
+
+  VisitedMap Visited;
+  std::atomic<bool> Done{false};
+  std::atomic<unsigned> EvictionsAtomic{0};
+  std::atomic<unsigned> StealsAtomic{0};
+  SearchResult Result;
+};
+
+} // namespace
+
+struct SearchScheduler::Impl {
+  static unsigned resolveJobs(const Config &Cfg) {
+    const unsigned HW = std::max(1u, std::thread::hardware_concurrency());
+    unsigned Jobs = Cfg.Jobs ? Cfg.Jobs : HW;
+    if (Cfg.ClampJobsToHardware)
+      Jobs = std::min(Jobs, HW);
+    return std::max(1u, Jobs);
+  }
+
+  explicit Impl(Config Cfg)
+      : Cfg(Cfg), Jobs(resolveJobs(Cfg)), Cache(Cfg.SnapshotBudget),
+        Deques(Jobs) {
+    Stats.Jobs = Jobs;
+  }
+
+  Config Cfg;
+  const unsigned Jobs;
+  SnapshotCache Cache;
+
+  struct WorkerDeque {
+    std::mutex Mu;
+    std::deque<Task *> Q;
+  };
+  std::vector<WorkerDeque> Deques;
+  std::atomic<unsigned> NextPush{0};
+  std::atomic<size_t> QueuedCount{0};
+  std::atomic<size_t> ProgramsLeft{0};
+  std::atomic<uint64_t> GlobalSteals{0};
+  std::atomic<uint64_t> PeakFrontier{0};
+  std::atomic<uint64_t> RunsExecuted{0};
+  std::mutex IdleMu;
+  std::condition_variable IdleCv;
+
+  std::deque<ProgramState> Programs; // stable addresses
+  SchedulerStats Stats;
+  bool Ran = false;
+
+  //===--- Frontier ------------------------------------------------------===//
+
+  void pushTask(Task *T, unsigned Worker) {
+    {
+      WorkerDeque &D = Deques[Worker % Deques.size()];
+      std::lock_guard<std::mutex> Lock(D.Mu);
+      D.Q.push_back(T);
+    }
+    size_t Now = QueuedCount.fetch_add(1, std::memory_order_relaxed) + 1;
+    uint64_t Peak = PeakFrontier.load(std::memory_order_relaxed);
+    while (Now > Peak &&
+           !PeakFrontier.compare_exchange_weak(Peak, Now,
+                                               std::memory_order_relaxed))
+      ;
+    IdleCv.notify_one();
+  }
+
+  /// Pops the oldest task from the worker's own deque, stealing the
+  /// oldest from a sibling when empty. Oldest-first keeps execution
+  /// close to canonical commit order, which keeps the in-flight
+  /// visited-set fresh and speculation waste low.
+  Task *popTask(unsigned Worker) {
+    for (unsigned I = 0; I < Deques.size(); ++I) {
+      WorkerDeque &D = Deques[(Worker + I) % Deques.size()];
+      std::lock_guard<std::mutex> Lock(D.Mu);
+      if (D.Q.empty())
+        continue;
+      Task *T = D.Q.front();
+      D.Q.pop_front();
+      QueuedCount.fetch_sub(1, std::memory_order_relaxed);
+      if (I != 0) {
+        GlobalSteals.fetch_add(1, std::memory_order_relaxed);
+        T->Prog->StealsAtomic.fetch_add(1, std::memory_order_relaxed);
+      }
+      return T;
+    }
+    return nullptr;
+  }
+
+  //===--- Worker loop ---------------------------------------------------===//
+
+  void workerLoop(unsigned Worker) {
+    while (ProgramsLeft.load(std::memory_order_acquire) > 0) {
+      Task *T = popTask(Worker);
+      if (!T) {
+        std::unique_lock<std::mutex> Lock(IdleMu);
+        IdleCv.wait_for(Lock, std::chrono::milliseconds(1), [&] {
+          return QueuedCount.load(std::memory_order_relaxed) > 0 ||
+                 ProgramsLeft.load(std::memory_order_acquire) == 0;
+        });
+        continue;
+      }
+      ProgramState &P = *T->Prog;
+      if (P.Done.load(std::memory_order_acquire) ||
+          T->Abandoned.load(std::memory_order_acquire)) {
+        // Dropped by truncation or a finished program; release its
+        // snapshot and let the commit plane skip it.
+        Cache.drop(T->SnapId);
+        T->State.store(Task::Dropped, std::memory_order_release);
+        advance(P);
+        continue;
+      }
+      executeTask(*T, Worker);
+      if (T->Abandoned.load(std::memory_order_acquire) ||
+          P.Done.load(std::memory_order_acquire)) {
+        // The run was overtaken (budget truncation or a finished
+        // program) and will never finalize: release its snapshots so
+        // they do not squat in the cache. A race that misses this is
+        // harmless — the LRU evicts strays, and the cache dies with
+        // the scheduler.
+        Cache.drop(T->SnapId);
+        for (const auto &[Depth, Id] : T->Snaps)
+          Cache.drop(Id);
+        T->Snaps.clear();
+      }
+      T->State.store(Task::Executed, std::memory_order_release);
+      advance(P);
+    }
+    IdleCv.notify_all();
+  }
+
+  //===--- Execution plane (speculative) ---------------------------------===//
+
+  void executeTask(Task &T, unsigned Worker) {
+    (void)Worker;
+    ProgramState &P = *T.Prog;
+    const size_t PinnedLen = T.Pinned.size();
+    RunsExecuted.fetch_add(1, std::memory_order_relaxed);
+
+    UbSink Sink;
+    std::unique_ptr<MachineSnapshot> Snap = Cache.take(T.SnapId);
+    std::unique_ptr<Machine> Run;
+    if (P.Snapshots && Snap) {
+      Run = std::make_unique<Machine>(*P.Ast, P.MOpts, Sink, *Snap, T.Pinned);
+      T.Forked = true;
+    } else {
+      Run = std::make_unique<Machine>(*P.Ast, P.MOpts, Sink);
+      Run->setReplayDecisions(T.Pinned);
+    }
+    Machine &M = *Run;
+
+    M.setCancelCheck([&]() {
+      return P.Done.load(std::memory_order_relaxed) ||
+             T.Abandoned.load(std::memory_order_relaxed);
+    });
+
+    if (P.Snapshots)
+      M.setBeforeChoiceHook([&](Machine &Mach, unsigned) {
+        const size_t Depth = Mach.decisionTrace().size();
+        if (Depth < PinnedLen || Mach.inSyncCall() ||
+            P.Done.load(std::memory_order_relaxed))
+          return;
+        uint64_t Id =
+            Cache.insert(Mach.captureChoiceSnapshot(), &P.EvictionsAtomic);
+        if (Id)
+          T.Snaps.emplace_back(Depth, Id);
+      });
+
+    M.setChoiceHook([&](Machine &Mach) {
+      if (P.Done.load(std::memory_order_relaxed))
+        return false;
+      const auto &Trace = Mach.decisionTrace();
+      const size_t Depth = Trace.size();
+      if (Depth < std::max<size_t>(PinnedLen, 1))
+        return true; // still inside the parent's already-explored path
+      if (Trace.back().second < 2)
+        return true; // forced point: nothing branches here
+      const uint64_t Fp = P.SOpts.FullRehash ? Mach.configFingerprintFull()
+                                             : Mach.configFingerprint();
+      if (Depth == PinnedLen) {
+        T.DivergenceFp = Fp;
+        T.HasDivergence = true;
+      }
+      T.Stream.emplace_back(Depth, Fp);
+      // Speculative cancellation: only keys committed by earlier
+      // generations count, so this can never cancel a run the wave
+      // engine would have kept (finalization recomputes the exact cut).
+      if (P.Dedup && P.Visited.hitBefore(searchVisitKey(Depth, Fp), T.Gen))
+        return false;
+      return true;
+    });
+
+    T.Status = T.Forked ? M.resume() : M.run();
+    T.Trace = M.decisionTrace();
+    T.UbFound = T.Status == RunStatus::UbDetected || !Sink.empty();
+    if (T.UbFound)
+      T.Reports = Sink.all();
+    if (PinnedLen == 0) {
+      T.Output = M.config().Output;
+      T.ExitCode = M.config().ExitCode;
+    }
+  }
+
+  //===--- Commit plane (canonical) --------------------------------------===//
+
+  /// Advances the program's commit wavefront: finalizes every ready
+  /// task in canonical order, sealing the next generation whenever the
+  /// current one completes. Runs under the program's commit mutex;
+  /// cheap (set operations only, no machine execution).
+  void advance(ProgramState &P) {
+    std::lock_guard<std::mutex> Lock(P.CommitMu);
+    for (;;) {
+      if (P.Done.load(std::memory_order_relaxed))
+        return;
+      if (P.NextFinal == P.CurGen.size()) {
+        if (!sealNextGen(P))
+          return; // program complete
+        continue;
+      }
+      Task *T = P.CurGen[P.NextFinal];
+      uint8_t S = T->State.load(std::memory_order_acquire);
+      if (S != Task::Executed)
+        return; // the wavefront waits for this task's run
+      finalizeTask(P, *T);
+      T->State.store(Task::Finalized, std::memory_order_release);
+      ++P.NextFinal;
+      if (P.Done.load(std::memory_order_relaxed))
+        return;
+    }
+  }
+
+  /// Seals the accumulated next generation: sorts it canonically and
+  /// applies the run budget exactly as the wave engine's barrier did.
+  /// Returns false when the program is complete.
+  bool sealNextGen(ProgramState &P) {
+    if (P.NextGen.empty()) {
+      finishProgram(P);
+      return false;
+    }
+    const unsigned Budget =
+        P.SOpts.MaxRuns > P.RunsFinalized ? P.SOpts.MaxRuns - P.RunsFinalized
+                                          : 0;
+    if (Budget == 0) {
+      // Mirrors the wave loop's exit with a non-empty frontier: every
+      // remaining subtree is dropped unexplored and reported.
+      P.Result.FrontierTruncated = true;
+      P.Result.DroppedSubtrees += static_cast<unsigned>(P.NextGen.size());
+      for (Task *T : P.NextGen)
+        abandonTask(*T);
+      P.NextGen.clear();
+      finishProgram(P);
+      return false;
+    }
+    std::sort(P.NextGen.begin(), P.NextGen.end(),
+              [](const Task *A, const Task *B) {
+                return lexLess(A->Pinned, B->Pinned);
+              });
+    if (P.NextGen.size() > Budget) {
+      P.Result.FrontierTruncated = true;
+      P.Result.DroppedSubtrees +=
+          static_cast<unsigned>(P.NextGen.size() - Budget);
+      for (size_t I = Budget; I < P.NextGen.size(); ++I)
+        abandonTask(*P.NextGen[I]);
+      P.NextGen.resize(Budget);
+    }
+    ++P.Result.Waves;
+    P.CurGen = std::move(P.NextGen);
+    P.NextGen.clear();
+    P.NextFinal = 0;
+    P.SeenDivergence.clear();
+    P.GenDedupHits = 0;
+    P.GenSubtreesPruned = 0;
+    return true;
+  }
+
+  /// Marks a task irrelevant (budget truncation). The start-snapshot
+  /// id is written once at spawn and the cache is internally locked,
+  /// so dropping it here is always safe. T.Snaps, however, is being
+  /// appended to by the capture hook while the task executes: it may
+  /// be touched here only when the run has provably finished (acquire
+  /// on State pairs with the worker's release after executeTask). A
+  /// still-running task's snapshots are released by its own worker's
+  /// post-execute cleanup instead.
+  void abandonTask(Task &T) {
+    T.Abandoned.store(true, std::memory_order_release);
+    Cache.drop(T.SnapId);
+    if (T.State.load(std::memory_order_acquire) == Task::Executed) {
+      for (const auto &[Depth, Id] : T.Snaps)
+        Cache.drop(Id);
+      T.Snaps.clear();
+    }
+  }
+
+  /// Derives the task's effective outcome — what the wave engine's run
+  /// would have produced against the fully committed visited-set — and
+  /// commits it. Called in canonical order under the commit mutex.
+  void finalizeTask(ProgramState &P, Task &T) {
+    const size_t PinnedLen = T.Pinned.size();
+    ++P.RunsFinalized;
+
+    // The wave engine's cancellation point: the first stream entry
+    // whose key an earlier generation committed. Everything before it
+    // is exactly the run's Visited list; everything after it (trace,
+    // snapshots, a late undefinedness) never happened in wave terms.
+    size_t Cut = T.Stream.size();
+    if (P.Dedup)
+      for (size_t I = 0; I < T.Stream.size(); ++I)
+        if (P.Visited.hitBefore(
+                searchVisitKey(T.Stream[I].first, T.Stream[I].second),
+                T.Gen)) {
+          Cut = I;
+          break;
+        }
+    const bool DedupAborted = Cut != T.Stream.size();
+    const size_t EffTraceLen =
+        DedupAborted ? T.Stream[Cut].first : T.Trace.size();
+    const RunStatus EffStatus = DedupAborted ? RunStatus::Cancelled : T.Status;
+    const bool EffUb = !DedupAborted && T.UbFound;
+
+    if (T.Forked)
+      ++P.Result.ForkedRuns;
+
+    if (P.SOpts.CollectRuns) {
+      SearchRunRecord Rec;
+      Rec.Pinned = T.Pinned;
+      Rec.Trace.assign(T.Trace.begin(), T.Trace.begin() + EffTraceLen);
+      Rec.FpStream.reserve(Cut);
+      for (size_t I = 0; I < Cut; ++I)
+        Rec.FpStream.emplace_back(T.Stream[I].first, T.Stream[I].second);
+      Rec.Status = EffStatus;
+      Rec.DedupAborted = DedupAborted;
+      Rec.Forked = T.Forked;
+      P.Result.Runs.push_back(std::move(Rec));
+    }
+
+    if (PinnedLen == 0) {
+      P.Result.RootStatus = T.Status;
+      P.Result.RootOutput = std::move(T.Output);
+      P.Result.RootExitCode = T.ExitCode;
+    }
+
+    if (EffUb) {
+      // Canonical-order finalization makes the first effective UB the
+      // global winner: smaller prefixes all finalized clean.
+      P.Result.UbFound = true;
+      P.Result.Reports = std::move(T.Reports);
+      P.Result.Witness = T.Pinned;
+      P.Result.LastStatus = T.Status;
+      // The wave engine returns at this wave's barrier without
+      // aggregating it; roll the generation's counters back so the
+      // stats stay byte-identical.
+      P.Result.DedupHits -= P.GenDedupHits;
+      P.Result.SubtreesPruned -= P.GenSubtreesPruned;
+      for (const auto &[Depth, Id] : T.Snaps)
+        Cache.drop(Id);
+      finishProgram(P);
+      return;
+    }
+
+    if (DedupAborted) {
+      ++P.Result.DedupHits;
+      ++P.GenDedupHits;
+    }
+    if (EffStatus != RunStatus::Completed && EffStatus != RunStatus::Cancelled)
+      P.Result.LastStatus = EffStatus; // surface StepLimit/Internal/...
+
+    if (P.Dedup) {
+      for (size_t I = 0; I < Cut; ++I)
+        P.Visited.publish(
+            searchVisitKey(T.Stream[I].first, T.Stream[I].second), T.Gen);
+      if (T.HasDivergence) {
+        uint64_t Key = searchVisitKey(PinnedLen, T.DivergenceFp);
+        if (!P.SeenDivergence.insert(Key).second) {
+          // In-generation twin: an earlier (lex-smaller) sibling
+          // diverged into the same state; this subtree mirrors its.
+          ++P.Result.SubtreesPruned;
+          ++P.GenSubtreesPruned;
+          for (const auto &[Depth, Id] : T.Snaps)
+            Cache.drop(Id);
+          return;
+        }
+      }
+    }
+
+    // The driver's single-program gate: the search fans out only when
+    // the default order completed cleanly (and a budget > 1 asked for
+    // a search at all).
+    if (PinnedLen == 0 && P.RootGated &&
+        (T.Status != RunStatus::Completed || P.SOpts.MaxRuns <= 1)) {
+      for (const auto &[Depth, Id] : T.Snaps)
+        Cache.drop(Id);
+      finishProgram(P);
+      return;
+    }
+
+    // Spawn one child per flippable choice point of the effective
+    // trace, exactly as the wave engine did — including for runs whose
+    // effective outcome is a dedup cancellation (alternatives branching
+    // off before the duplicate state are not covered by the earlier
+    // visit).
+    size_t SnapIdx = 0;
+    std::vector<Task *> NewTasks;
+    for (size_t D = PinnedLen; D < EffTraceLen; ++D) {
+      while (SnapIdx < T.Snaps.size() && T.Snaps[SnapIdx].first < D)
+        Cache.drop(T.Snaps[SnapIdx++].second);
+      if (T.Trace[D].second < 2)
+        continue;
+      P.Arena.emplace_back();
+      Task &Child = P.Arena.back();
+      Child.Prog = &P;
+      Child.Gen = T.Gen + 1;
+      Child.Pinned.reserve(D + 1);
+      for (size_t I = 0; I < D; ++I)
+        Child.Pinned.push_back(T.Trace[I].first);
+      Child.Pinned.push_back(T.Trace[D].first ? 0 : 1);
+      if (SnapIdx < T.Snaps.size() && T.Snaps[SnapIdx].first == D)
+        Child.SnapId = T.Snaps[SnapIdx++].second;
+      P.NextGen.push_back(&Child);
+      NewTasks.push_back(&Child);
+    }
+    // Queue deepest-flip-first: under the left-to-right default a
+    // deeper flip keeps a longer run of 0-decisions, so it is
+    // lex-*smaller* — reversing makes FIFO execution track canonical
+    // commit order, which keeps the in-flight visited-set fresh and
+    // stops speculation from outrunning a canonically early witness.
+    // (A wall-clock heuristic only; commit order fixes the results.)
+    for (auto It = NewTasks.rbegin(); It != NewTasks.rend(); ++It)
+      pushTask(*It, NextPush.fetch_add(1, std::memory_order_relaxed));
+    // Snapshots past the effective trace (or unmatched) are unusable.
+    while (SnapIdx < T.Snaps.size())
+      Cache.drop(T.Snaps[SnapIdx++].second);
+    T.Snaps.clear();
+    T.Stream.clear();
+    T.Stream.shrink_to_fit();
+  }
+
+  /// Marks the program complete and publishes its aggregate counters.
+  /// Called under the commit mutex.
+  void finishProgram(ProgramState &P) {
+    P.Result.RunsExplored = P.RunsFinalized;
+    P.Done.store(true, std::memory_order_release);
+    for (Task &T : P.Arena)
+      if (T.State.load(std::memory_order_acquire) == Task::Queued)
+        T.Abandoned.store(true, std::memory_order_release);
+    ProgramsLeft.fetch_sub(1, std::memory_order_acq_rel);
+    IdleCv.notify_all();
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// SearchScheduler
+//===----------------------------------------------------------------------===//
+
+SearchScheduler::SearchScheduler(Config Cfg)
+    : I(std::make_unique<Impl>(Cfg)) {}
+
+SearchScheduler::~SearchScheduler() = default;
+
+size_t SearchScheduler::submit(const AstContext &Ast, MachineOptions MOpts,
+                               SearchOptions SOpts, bool RootGated) {
+  assert(!I->Ran && "submit all programs before runAll()");
+  I->Programs.emplace_back();
+  ProgramState &P = I->Programs.back();
+  P.Id = I->Programs.size() - 1;
+  P.Ast = &Ast;
+  P.MOpts = MOpts;
+  P.SOpts = SOpts;
+  P.RootGated = RootGated;
+  // Same gating policy as the wave engine: replay cannot reproduce the
+  // Random policy's shuffle stream, and Declarative-style monitors keep
+  // state outside the configuration a snapshot could capture. A
+  // per-program SnapshotBudget of 0 keeps its documented "pure replay"
+  // meaning; nonzero capacities come from Config.SnapshotBudget (the
+  // cache is shared, so per-program sizes cannot coexist).
+  P.Dedup = SOpts.Dedup && MOpts.Order != EvalOrderKind::Random;
+  P.Snapshots = SOpts.UseSnapshots && SOpts.SnapshotBudget > 0 &&
+                MOpts.Order != EvalOrderKind::Random &&
+                MOpts.Style != RuleStyle::Declarative;
+  return P.Id;
+}
+
+void SearchScheduler::runAll() {
+  Impl &S = *I;
+  assert(!S.Ran && "runAll() may be called once");
+  S.Ran = true;
+  S.Stats.Programs = static_cast<unsigned>(S.Programs.size());
+  S.ProgramsLeft.store(S.Programs.size(), std::memory_order_release);
+
+  // Seed each program with its root task (the empty prefix = the
+  // policy default order), unless the budget cannot even run it.
+  unsigned Spawn = 0;
+  for (ProgramState &P : S.Programs) {
+    if (P.SOpts.MaxRuns == 0) {
+      P.Result.FrontierTruncated = true;
+      P.Result.DroppedSubtrees += 1;
+      P.Done.store(true, std::memory_order_release);
+      S.ProgramsLeft.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    P.Arena.emplace_back();
+    Task &Root = P.Arena.back();
+    Root.Prog = &P;
+    Root.Gen = 0;
+    P.CurGen.push_back(&Root);
+    P.NextFinal = 0;
+    ++P.Result.Waves;
+    S.pushTask(&Root, Spawn++);
+  }
+
+  if (S.ProgramsLeft.load(std::memory_order_acquire) > 0) {
+    if (S.Jobs == 1) {
+      S.workerLoop(0);
+    } else {
+      std::vector<std::thread> Threads;
+      Threads.reserve(S.Jobs);
+      for (unsigned W = 0; W < S.Jobs; ++W)
+        Threads.emplace_back([&S, W] { S.workerLoop(W); });
+      for (std::thread &T : Threads)
+        T.join();
+    }
+  }
+
+  // Publish per-program and aggregate counters.
+  S.Stats.Steals = S.GlobalSteals.load(std::memory_order_relaxed);
+  S.Stats.SnapshotEvictions = S.Cache.evictions();
+  S.Stats.PeakFrontier = S.PeakFrontier.load(std::memory_order_relaxed);
+  S.Stats.RunsExecuted = S.RunsExecuted.load(std::memory_order_relaxed);
+  for (ProgramState &P : S.Programs) {
+    P.Result.SnapshotEvictions =
+        P.EvictionsAtomic.load(std::memory_order_relaxed);
+    P.Result.Steals = P.StealsAtomic.load(std::memory_order_relaxed);
+    P.Result.PeakFrontier =
+        static_cast<unsigned>(S.Stats.PeakFrontier); // scheduler-wide
+    S.Stats.DedupHits += P.Result.DedupHits;
+  }
+}
+
+SearchResult SearchScheduler::takeResult(size_t Program) {
+  assert(Program < I->Programs.size());
+  return std::move(I->Programs[Program].Result);
+}
+
+const SchedulerStats &SearchScheduler::stats() const { return I->Stats; }

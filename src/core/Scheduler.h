@@ -1,0 +1,183 @@
+//===- core/Scheduler.h - Work-stealing search scheduling -------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scheduling layer under the evaluation-order search. The wave
+/// engine (core/Search.cpp) barriers every frontier generation on its
+/// slowest machine; this layer removes the barrier by splitting the
+/// search into two planes:
+///
+///  * **Execution plane** — per-worker deques with work stealing. A
+///    worker pops its own deque oldest-first and steals oldest-first
+///    from siblings when empty; runs execute *speculatively*, in
+///    whatever order keeps every core busy, recording their full
+///    decision trace and fingerprint stream.
+///  * **Commit plane** — a per-program wavefront that finalizes runs in
+///    canonical (generation, lex-prefix) order: exactly the order the
+///    wave engine's barrier processed them. Finalization derives each
+///    run's *effective* outcome (where the committed visited-set would
+///    have cancelled it, which children it spawns, whether its
+///    undefinedness verdict stands) from the recorded stream — a pure
+///    function of (prefix, visits committed by earlier generations), so
+///    every committed output is byte-identical to the wave engine's no
+///    matter how steals interleave. Speculation can only waste
+///    wall-clock, never change a result (docs/SEARCH.md has the full
+///    argument).
+///
+/// The layer also owns the two shared structures both engines use:
+///
+///  * SnapshotCache — an LRU cache of choice-point snapshots replacing
+///    the old admission-only SnapshotBudget: new captures are always
+///    admitted and the *oldest* pending snapshot is evicted instead,
+///    so deep programs stop thrashing against a full budget. A child
+///    whose snapshot was evicted falls back to prefix replay; evictions
+///    are counted in SearchResult::SnapshotEvictions.
+///  * A sharded-lock visited-set (per program) tagging each committed
+///    (depth, fingerprint) key with the generation that published it,
+///    so speculative runs may consult it mid-flight: a key published by
+///    an earlier generation is always a sound cancellation, and missing
+///    one only defers the cancellation to commit time.
+///
+/// One scheduler can host **many programs** (the batched driver submits
+/// N translation units into a single worker pool); results aggregate
+/// per program id and are deterministic per program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_CORE_SCHEDULER_H
+#define CUNDEF_CORE_SCHEDULER_H
+
+#include "core/Search.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace cundef {
+
+/// LRU cache of choice-point snapshots, shared by every run of a
+/// scheduler (and by the wave engine). Thread-safe. Capacity bounds the
+/// number of *pending* snapshots (captured, not yet taken by the child
+/// that will fork from them); inserting beyond capacity evicts the
+/// least-recently-inserted entry, whose child then replays its prefix
+/// from main() instead — the eviction is counted, never an error.
+class SnapshotCache {
+public:
+  explicit SnapshotCache(unsigned Capacity) : Capacity(Capacity) {}
+
+  /// Admits \p Snap and returns its handle (0 when Capacity is 0: the
+  /// snapshot is dropped immediately, which keeps the "budget 0 means
+  /// pure replay" contract). May evict the oldest pending entry;
+  /// the eviction is charged to that entry's \p EvictCounter.
+  uint64_t insert(MachineSnapshot Snap, std::atomic<unsigned> *EvictCounter);
+
+  /// Removes and returns the snapshot for \p Id; null when the entry
+  /// was evicted (or \p Id is 0).
+  std::unique_ptr<MachineSnapshot> take(uint64_t Id);
+
+  /// Discards \p Id without counting an eviction (the child's subtree
+  /// was pruned or dropped, so the snapshot can never be used).
+  void drop(uint64_t Id);
+
+  unsigned evictions() const {
+    return Evictions.load(std::memory_order_relaxed);
+  }
+  size_t pending() const;
+
+private:
+  struct Entry {
+    std::unique_ptr<MachineSnapshot> Snap;
+    std::list<uint64_t>::iterator LruIt;
+    std::atomic<unsigned> *EvictCounter = nullptr;
+  };
+
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, Entry> Entries;
+  std::list<uint64_t> Lru; ///< front = oldest = next eviction victim
+  uint64_t NextId = 1;
+  const unsigned Capacity;
+  std::atomic<unsigned> Evictions{0};
+};
+
+/// Scheduler-wide counters (aggregated across all submitted programs;
+/// per-program copies land in each SearchResult).
+struct SchedulerStats {
+  unsigned Programs = 0;
+  unsigned Jobs = 0;
+  /// Tasks taken from another worker's deque.
+  uint64_t Steals = 0;
+  /// Pending snapshots evicted by the LRU cache.
+  uint64_t SnapshotEvictions = 0;
+  /// Maximum simultaneously queued tasks across all deques.
+  uint64_t PeakFrontier = 0;
+  /// Machine runs actually executed, including speculative runs whose
+  /// effective outcome was a dedup cancellation (the wave engine never
+  /// executes those past the cancellation point; the surplus is the
+  /// price of barrier-free scheduling, bounded by the run budget).
+  uint64_t RunsExecuted = 0;
+  /// Sum of per-program dedup hits (committed, deterministic).
+  uint64_t DedupHits = 0;
+};
+
+/// The work-stealing search scheduler: submit one or more programs,
+/// call runAll(), read per-program SearchResults. Every committed
+/// per-program output (verdict, witness, reports, runs, dedup hits,
+/// pruned subtrees, truncation) is deterministic — byte-identical to
+/// the wave engine's — regardless of job count or steal interleaving.
+class SearchScheduler {
+public:
+  struct Config {
+    /// Requested worker threads; 1 = run on the calling thread, 0 =
+    /// auto-detect std::thread::hardware_concurrency().
+    unsigned Jobs = 1;
+    /// Cap the pool at hardware_concurrency() (default). The search is
+    /// CPU-bound, so oversubscribed workers only add context switches
+    /// — worse, they outrun the commit wavefront and execute runs the
+    /// visited-set would have cancelled. Tests disable the clamp to
+    /// force cross-thread interleaving on small CI machines; results
+    /// are worker-count-independent either way.
+    bool ClampJobsToHardware = true;
+    /// LRU capacity of the shared snapshot cache.
+    unsigned SnapshotBudget = 1024;
+  };
+
+  explicit SearchScheduler(Config Cfg);
+  ~SearchScheduler();
+
+  SearchScheduler(const SearchScheduler &) = delete;
+  SearchScheduler &operator=(const SearchScheduler &) = delete;
+
+  /// Registers one program's evaluation-order search. \p RootGated
+  /// reproduces the driver's single-program contract: the root (policy
+  /// default) run executes first, and the order search only fans out
+  /// when it completed cleanly — otherwise the program finishes with
+  /// the root's outcome and no truncation is reported. A per-program
+  /// SOpts.SnapshotBudget of 0 disables forking for that program; any
+  /// nonzero capacity is supplied by Config.SnapshotBudget, since the
+  /// cache is shared across programs. Returns the program id
+  /// (submission order; also the result index).
+  size_t submit(const AstContext &Ast, MachineOptions MOpts,
+                SearchOptions SOpts, bool RootGated = false);
+
+  /// Runs every submitted program to completion on the shared worker
+  /// pool. Call once, after all submissions.
+  void runAll();
+
+  /// The finished result for \p Program (valid after runAll()).
+  SearchResult takeResult(size_t Program);
+
+  const SchedulerStats &stats() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_CORE_SCHEDULER_H

@@ -36,6 +36,8 @@
 
 #include "core/Search.h"
 
+#include "core/Scheduler.h"
+
 #include <algorithm>
 #include <atomic>
 #include <memory>
@@ -47,18 +49,19 @@ using namespace cundef;
 namespace {
 
 /// What a child needs to become a run: its pinned prefix, and (when its
-/// parent captured one within the budget) the snapshot of the
-/// configuration at its flipped choice point.
+/// parent's capture is still in the LRU cache) the handle of the
+/// snapshot taken at its flipped choice point.
 struct ChildSeed {
   std::vector<uint8_t> Pinned;
-  std::shared_ptr<MachineSnapshot> Snap;
+  uint64_t SnapId = 0;
 };
 
 /// One frontier entry and everything its run produced.
 struct WorkItem {
   std::vector<uint8_t> Pinned;
-  /// Snapshot to fork from (null: replay Pinned from main()).
-  std::shared_ptr<MachineSnapshot> Snap;
+  /// Snapshot-cache handle to fork from (0, or an entry the cache has
+  /// since evicted: replay Pinned from main()).
+  uint64_t SnapId = 0;
 
   // Outputs of the run.
   RunStatus Status = RunStatus::Running;
@@ -73,14 +76,17 @@ struct WorkItem {
   /// or beyond the divergence; committed to the visited-set at the
   /// barrier.
   std::vector<std::pair<size_t, uint64_t>> Visited;
-  /// Snapshots captured during the run, one per flippable choice point
-  /// at or beyond the divergence (ascending depth; gaps where the
-  /// budget or a sync call suppressed capture).
-  std::vector<std::pair<size_t, std::shared_ptr<MachineSnapshot>>> Snaps;
+  /// Snapshot-cache handles captured during the run, one per flippable
+  /// choice point at or beyond the divergence (ascending depth; gaps
+  /// where a zero-capacity cache or a sync call suppressed capture).
+  std::vector<std::pair<size_t, uint64_t>> Snaps;
   /// Fingerprint at the divergence point (depth == Pinned.size()), used
   /// to group in-wave twins. Valid when HasDivergence.
   uint64_t DivergenceFp = 0;
   bool HasDivergence = false;
+  /// Root only: program-visible results of the default-order run.
+  std::string Output;
+  int ExitCode = 0;
   /// Children seeds spawned from the recorded trace.
   std::vector<ChildSeed> Children;
 };
@@ -92,6 +98,19 @@ bool lexLess(const std::vector<uint8_t> &A, const std::vector<uint8_t> &B) {
 } // namespace
 
 SearchResult OrderSearch::run() {
+  // The work-stealing scheduler (core/Scheduler.h) is the default; the
+  // wave engine below is the reference implementation its committed
+  // outputs are tested against byte-for-byte.
+  if (Opts.Sched == SchedKind::Stealing) {
+    SearchScheduler::Config Cfg;
+    Cfg.Jobs = Opts.Jobs;
+    Cfg.SnapshotBudget = Opts.SnapshotBudget;
+    SearchScheduler Scheduler(Cfg);
+    size_t Prog = Scheduler.submit(Ctx, BaseOpts, Opts);
+    Scheduler.runAll();
+    return Scheduler.takeResult(Prog);
+  }
+
   SearchResult Result;
 
   // Replay reproduces a Random-policy run only as its 0/1 flip summary,
@@ -108,9 +127,11 @@ SearchResult OrderSearch::run() {
                          BaseOpts.Order != EvalOrderKind::Random &&
                          BaseOpts.Style != RuleStyle::Declarative;
 
-  // Declared before Wave: WorkItems hold snapshots whose deleters
-  // decrement this counter, so it must outlive them.
-  std::atomic<unsigned> LiveSnapshots{0};
+  // LRU cache of choice-point snapshots (replaces the admission-only
+  // budget: captures are always admitted, the oldest pending snapshot
+  // is evicted instead, and its child replays).
+  SnapshotCache Cache(Opts.SnapshotBudget);
+  std::atomic<unsigned> Evictions{0};
   std::vector<WorkItem> Wave(1); // root: empty prefix = the policy order
   std::unordered_set<uint64_t> Committed;
   std::atomic<unsigned> RunsStarted{0};
@@ -128,12 +149,12 @@ SearchResult OrderSearch::run() {
   auto processItem = [&](WorkItem &Item, size_t MyIdx) {
     const size_t PinnedLen = Item.Pinned.size();
     UbSink Sink;
+    std::unique_ptr<MachineSnapshot> Snap = Cache.take(Item.SnapId);
     std::unique_ptr<Machine> Run;
-    if (Snapshots && Item.Snap) {
-      Run = std::make_unique<Machine>(Ctx, BaseOpts, Sink, *Item.Snap,
+    if (Snapshots && Snap) {
+      Run = std::make_unique<Machine>(Ctx, BaseOpts, Sink, *Snap,
                                       Item.Pinned);
       Item.Forked = true;
-      Item.Snap.reset(); // the fork copied it; release the budget slot
     } else {
       Run = std::make_unique<Machine>(Ctx, BaseOpts, Sink);
       Run->setReplayDecisions(Item.Pinned);
@@ -148,20 +169,9 @@ SearchResult OrderSearch::run() {
         const size_t Depth = Mach.decisionTrace().size();
         if (Depth < PinnedLen || Mach.inSyncCall())
           return;
-        // Budget admission: claim a slot or leave the child to replay.
-        if (LiveSnapshots.fetch_add(1, std::memory_order_relaxed) >=
-            Opts.SnapshotBudget) {
-          LiveSnapshots.fetch_sub(1, std::memory_order_relaxed);
-          return;
-        }
-        auto *Raw = new MachineSnapshot(Mach.captureChoiceSnapshot());
-        Item.Snaps.emplace_back(
-            Depth, std::shared_ptr<MachineSnapshot>(
-                       Raw, [&LiveSnapshots](MachineSnapshot *S) {
-                         delete S;
-                         LiveSnapshots.fetch_sub(1,
-                                                 std::memory_order_relaxed);
-                       }));
+        uint64_t Id = Cache.insert(Mach.captureChoiceSnapshot(), &Evictions);
+        if (Id)
+          Item.Snaps.emplace_back(Depth, Id);
       });
 
     M.setChoiceHook([&](Machine &Mach) {
@@ -189,10 +199,16 @@ SearchResult OrderSearch::run() {
 
     Item.Status = Item.Forked ? M.resume() : M.run();
     Item.Trace = M.decisionTrace();
+    if (PinnedLen == 0) {
+      Item.Output = M.config().Output;
+      Item.ExitCode = M.config().ExitCode;
+    }
     Item.UbFound = Item.Status == RunStatus::UbDetected || !Sink.empty();
     if (Item.UbFound) {
       Item.Reports = Sink.all();
-      Item.Snaps.clear(); // no subtree will be spawned
+      for (const auto &[Depth, Id] : Item.Snaps)
+        Cache.drop(Id); // no subtree will be spawned
+      Item.Snaps.clear();
       // CAS-min: record the smallest undefined index of this wave.
       size_t Seen = BestIdx.load(std::memory_order_relaxed);
       while (MyIdx < Seen &&
@@ -212,7 +228,7 @@ SearchResult OrderSearch::run() {
     size_t SnapIdx = 0;
     for (size_t D = PinnedLen; D < Item.Trace.size(); ++D) {
       while (SnapIdx < Item.Snaps.size() && Item.Snaps[SnapIdx].first < D)
-        ++SnapIdx;
+        Cache.drop(Item.Snaps[SnapIdx++].second);
       if (Item.Trace[D].second < 2)
         continue;
       ChildSeed Seed;
@@ -221,9 +237,11 @@ SearchResult OrderSearch::run() {
         Seed.Pinned.push_back(Item.Trace[I].first);
       Seed.Pinned.push_back(Item.Trace[D].first ? 0 : 1);
       if (SnapIdx < Item.Snaps.size() && Item.Snaps[SnapIdx].first == D)
-        Seed.Snap = std::move(Item.Snaps[SnapIdx].second);
+        Seed.SnapId = Item.Snaps[SnapIdx++].second;
       Item.Children.push_back(std::move(Seed));
     }
+    while (SnapIdx < Item.Snaps.size())
+      Cache.drop(Item.Snaps[SnapIdx++].second);
     Item.Snaps.clear();
   };
 
@@ -250,6 +268,8 @@ SearchResult OrderSearch::run() {
 
   while (!Wave.empty() && RunsStarted.load() < Opts.MaxRuns) {
     ++Result.Waves;
+    Result.PeakFrontier = std::max(Result.PeakFrontier,
+                                   static_cast<unsigned>(Wave.size()));
     std::sort(Wave.begin(), Wave.end(),
               [](const WorkItem &A, const WorkItem &B) {
                 return lexLess(A.Pinned, B.Pinned);
@@ -261,6 +281,8 @@ SearchResult OrderSearch::run() {
       Result.FrontierTruncated = true;
       Result.DroppedSubtrees +=
           static_cast<unsigned>(Wave.size() - Budget);
+      for (size_t I = Budget; I < Wave.size(); ++I)
+        Cache.drop(Wave[I].SnapId);
       Wave.resize(Budget);
     }
     BestIdx.store(SIZE_MAX, std::memory_order_relaxed);
@@ -295,9 +317,15 @@ SearchResult OrderSearch::run() {
         T.join();
     }
 
-    for (const WorkItem &Item : Wave)
+    for (WorkItem &Item : Wave) {
       if (Item.Forked)
         ++Result.ForkedRuns;
+      if (Item.Pinned.empty() && Item.Status != RunStatus::Running) {
+        Result.RootStatus = Item.Status;
+        Result.RootOutput = std::move(Item.Output);
+        Result.RootExitCode = Item.ExitCode;
+      }
+    }
 
     // ---- Barrier: aggregate deterministically (single-threaded). ----
     recordWave(Wave);
@@ -309,6 +337,7 @@ SearchResult OrderSearch::run() {
       Result.Witness = std::move(Winner.Pinned);
       Result.LastStatus = Winner.Status;
       Result.RunsExplored = RunsStarted.load();
+      Result.SnapshotEvictions = Evictions.load(std::memory_order_relaxed);
       return Result;
     }
 
@@ -324,6 +353,7 @@ SearchResult OrderSearch::run() {
         // UB wave reaches here, so this only happens on budget edges).
         Result.FrontierTruncated = true;
         ++Result.DroppedSubtrees;
+        Cache.drop(Item.SnapId);
         continue;
       }
       if (Item.Status != RunStatus::Completed &&
@@ -338,14 +368,16 @@ SearchResult OrderSearch::run() {
           uint64_t Key = searchVisitKey(Item.Pinned.size(), Item.DivergenceFp);
           if (!SeenDivergence.insert(Key).second) {
             ++Result.SubtreesPruned; // in-wave twin: drop its mirror
-            continue;                // subtree
+            for (const ChildSeed &Child : Item.Children) // subtree
+              Cache.drop(Child.SnapId);
+            continue;
           }
         }
       }
       for (ChildSeed &Child : Item.Children) {
         NextWave.emplace_back();
         NextWave.back().Pinned = std::move(Child.Pinned);
-        NextWave.back().Snap = std::move(Child.Snap);
+        NextWave.back().SnapId = Child.SnapId;
       }
     }
     Wave = std::move(NextWave);
@@ -357,5 +389,6 @@ SearchResult OrderSearch::run() {
     Result.DroppedSubtrees += static_cast<unsigned>(Wave.size());
   }
   Result.RunsExplored = RunsStarted.load();
+  Result.SnapshotEvictions = Evictions.load(std::memory_order_relaxed);
   return Result;
 }

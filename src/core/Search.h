@@ -41,6 +41,13 @@
 /// visited-set is committed at wave barriers, and ties are broken
 /// canonically. See docs/SEARCH.md.
 ///
+/// Scheduling is layered (SearchOptions::Sched): the wave engine above
+/// lives in Search.cpp as the verified reference; the default
+/// work-stealing scheduler (core/Scheduler.h) executes runs
+/// speculatively on per-worker deques and commits them through a
+/// canonical wavefront that reproduces the wave engine's outputs
+/// byte-for-byte without its barriers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUNDEF_CORE_SEARCH_H
@@ -64,10 +71,25 @@ inline uint64_t searchVisitKey(size_t Depth, uint64_t Fp) {
                           1));
 }
 
+/// Which scheduling layer drives the search. Both produce byte-identical
+/// committed outputs (verdict, witness, reports, runs, dedup hits); they
+/// differ only in wall-clock shape.
+enum class SchedKind : uint8_t {
+  /// Wave-synchronous: each frontier generation barriers on its slowest
+  /// machine (the PR-1/PR-2 engine, kept as the verified reference the
+  /// stealing scheduler is tested against).
+  Wave,
+  /// Work-stealing: per-worker deques, speculative execution, canonical
+  /// commit wavefront (core/Scheduler.h). The default.
+  Stealing,
+};
+
 struct SearchOptions {
   /// Replay budget: at most this many machine runs (including runs the
   /// dedup cancels mid-flight).
   unsigned MaxRuns = 64;
+  /// Scheduling layer (--search-sched). Results never depend on this.
+  SchedKind Sched = SchedKind::Stealing;
   /// Worker threads. 1 = run in-place on the calling thread; 0 =
   /// auto-detect std::thread::hardware_concurrency(). The verdict and
   /// witness do not depend on this; only wall-clock does.
@@ -87,8 +109,11 @@ struct SearchOptions {
   /// replay) and under RuleStyle::Declarative (its monitors keep state
   /// outside the configuration).
   bool UseSnapshots = true;
-  /// Maximum snapshots alive at once; choice points beyond the budget
-  /// are not captured and their children fall back to prefix replay.
+  /// Capacity of the LRU snapshot cache (core/Scheduler.h). Every
+  /// capture is admitted; going over capacity evicts the *oldest*
+  /// pending snapshot, whose child falls back to prefix replay (the old
+  /// scheme refused new captures instead, so deep programs thrashed
+  /// against a budget full of stale entries). 0 = pure replay.
   /// Snapshots are copy-on-write-cheap but not free: each pins the
   /// unshared parts of one configuration.
   unsigned SnapshotBudget = 1024;
@@ -129,10 +154,20 @@ struct SearchResult {
   /// became runs.
   unsigned SubtreesPruned = 0;
   /// Runs that started from a forked snapshot (the rest replayed their
-  /// prefix from main()).
+  /// prefix from main()). Wall-clock detail: under parallel execution
+  /// the fork/replay split depends on snapshot-cache timing.
   unsigned ForkedRuns = 0;
-  /// Frontier waves processed.
+  /// Frontier waves (stealing scheduler: committed generations).
   unsigned Waves = 0;
+  /// Pending snapshots of this search evicted by the LRU cache; each
+  /// eviction turned one fork into a prefix replay.
+  unsigned SnapshotEvictions = 0;
+  /// Tasks of this program taken from another worker's deque (stealing
+  /// scheduler only; wall-clock detail).
+  unsigned Steals = 0;
+  /// Peak frontier size: the stealing scheduler's maximum queued-task
+  /// count, or the wave engine's largest wave.
+  unsigned PeakFrontier = 0;
   /// True when the search ran out of budget with unexplored subtrees
   /// still on the frontier: a clean verdict is then *not* exhaustive.
   /// Callers must surface this (kcc --show-witness prints it); the
@@ -147,6 +182,13 @@ struct SearchResult {
   std::vector<UbReport> Reports;
   /// Status of the last run (Completed when no UB was ever found).
   RunStatus LastStatus = RunStatus::Completed;
+  /// Outcome of the root run (the empty prefix = the policy default
+  /// order): its status, program output, and exit code. The batched
+  /// driver reads these instead of executing the default order a second
+  /// time outside the search.
+  RunStatus RootStatus = RunStatus::Internal;
+  std::string RootOutput;
+  int RootExitCode = 0;
   /// The decision prefix that exposed the undefinedness: pin it with
   /// Machine::setReplayDecisions to reproduce the run. Empty when the
   /// default order is already undefined.

@@ -17,7 +17,7 @@
 #ifndef CUNDEF_DRIVER_DRIVER_H
 #define CUNDEF_DRIVER_DRIVER_H
 
-#include "core/Machine.h"
+#include "core/Search.h"
 #include "text/Preprocessor.h"
 #include "types/TargetConfig.h"
 #include "ub/Report.h"
@@ -45,6 +45,10 @@ struct DriverOptions {
   /// replaying decision prefixes from main() (--search-engine).
   /// Identical verdicts and witnesses either way; forking is faster.
   bool SearchSnapshots = true;
+  /// Scheduling layer for the search (--search-sched): the default
+  /// work-stealing scheduler or the wave-synchronous reference engine.
+  /// Results never depend on this (core/Scheduler.h).
+  SchedKind SearchSched = SchedKind::Stealing;
 };
 
 /// Everything a run of the driver produced.
@@ -65,6 +69,13 @@ struct DriverOutcome {
   bool SearchTruncated = false;
   /// Subtrees dropped unexplored on budget edges.
   unsigned SearchDropped = 0;
+  /// Scheduler counters for the search (kcc --show-witness prints them;
+  /// previously they were dropped on the floor). Steals and peak
+  /// frontier are wall-clock details; evictions count LRU snapshot
+  /// evictions, each of which turned one fork into a prefix replay.
+  unsigned SearchSteals = 0;
+  unsigned SearchEvictions = 0;
+  unsigned SearchPeakFrontier = 0;
   /// Decision prefix that exposed order-dependent undefinedness; replay
   /// it with Machine::setReplayDecisions to reproduce the run
   /// deterministically. Empty when the default order already misbehaved
@@ -74,6 +85,37 @@ struct DriverOutcome {
   bool anyUb() const { return !StaticUb.empty() || !DynamicUb.empty(); }
   /// Renders every finding in the paper's kcc error format.
   std::string renderReport() const;
+};
+
+/// One translation unit of a batched run.
+struct BatchInput {
+  std::string Source;
+  std::string Name;
+};
+
+/// Aggregate counters of one batched run (per-program numbers live in
+/// the individual DriverOutcomes).
+struct BatchStats {
+  unsigned Programs = 0;
+  /// Worker threads the shared scheduler resolved to.
+  unsigned Jobs = 0;
+  uint64_t Steals = 0;
+  uint64_t SnapshotEvictions = 0;
+  uint64_t PeakFrontier = 0;
+  /// Machine runs executed, including speculative surplus.
+  uint64_t RunsExecuted = 0;
+  uint64_t DedupHits = 0;
+  double WallMs = 0.0;
+};
+
+/// Everything a batched run produced: one outcome per input, in input
+/// order (program id = input index), plus the shared-scheduler stats.
+/// Each outcome is byte-identical to what runSource would have produced
+/// for that input alone, regardless of how the programs' runs
+/// interleaved on the shared worker pool.
+struct BatchResult {
+  std::vector<DriverOutcome> Outcomes;
+  BatchStats Stats;
 };
 
 /// The kcc-like frontend driver. Holds the header registry so callers
@@ -88,6 +130,20 @@ public:
   /// Compiles and executes \p Source.
   DriverOutcome runSource(const std::string &Source,
                           const std::string &Name = "test.c");
+
+  /// Batched mode: compiles every input, then runs all of their
+  /// evaluation-order searches through ONE shared work-stealing
+  /// scheduler, so the worker pool stays busy across translation units
+  /// instead of draining per program (kcc a.c b.c --batch-stats). Each
+  /// program keeps the single-program contract: its default-order run
+  /// executes first, the search fans out only when that run completed
+  /// cleanly, and its witness/verdict/output are deterministic. The
+  /// search counts the default-order run as its root, so OrdersExplored
+  /// is one lower than an equivalent runSource (which executes the
+  /// default order once more outside the search). Selecting the wave
+  /// reference scheduler (SearchSched) falls back to one sequential
+  /// runSource per unit — same observable outcomes, no shared pool.
+  BatchResult runBatch(const std::vector<BatchInput> &Inputs);
 
   /// Compile-only entry point (used by tests that inspect the AST).
   /// Returns null on parse/sema errors; \p ErrorsOut receives rendered

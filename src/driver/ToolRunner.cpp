@@ -40,6 +40,32 @@ cundef::compareTools(const std::string &Source, const std::string &Name,
   return Rows;
 }
 
+std::vector<ToolResult>
+cundef::runKccBatched(const DriverOptions &Opts,
+                      const std::vector<BatchInput> &Programs) {
+  Driver Drv(Opts);
+  BatchResult Batch = Drv.runBatch(Programs);
+  std::vector<ToolResult> Results;
+  Results.reserve(Batch.Outcomes.size());
+  const double MicrosEach =
+      Batch.Outcomes.empty()
+          ? 0.0
+          : Batch.Stats.WallMs * 1000.0 / Batch.Outcomes.size();
+  for (DriverOutcome &O : Batch.Outcomes) {
+    ToolResult R;
+    R.CompileOk = O.CompileOk;
+    R.Findings = O.StaticUb;
+    R.Findings.insert(R.Findings.end(), O.DynamicUb.begin(),
+                      O.DynamicUb.end());
+    R.Status = O.Status;
+    R.ExitCode = O.ExitCode;
+    R.Output = std::move(O.Output);
+    R.Micros = MicrosEach;
+    Results.push_back(std::move(R));
+  }
+  return Results;
+}
+
 std::string cundef::renderComparison(const std::vector<ComparisonRow> &Rows) {
   std::string Out;
   Out += padRight("Tool", 14) + padRight("Verdict", 11) +

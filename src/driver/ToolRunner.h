@@ -15,6 +15,7 @@
 #define CUNDEF_DRIVER_TOOLRUNNER_H
 
 #include "analysis/Tool.h"
+#include "driver/Driver.h"
 #include "suites/TestCase.h"
 
 #include <string>
@@ -55,6 +56,17 @@ compareTools(const std::string &Source, const std::string &Name,
 
 /// Renders comparison rows as an aligned text table.
 std::string renderComparison(const std::vector<ComparisonRow> &Rows);
+
+/// Runs kcc over many programs through one shared work-stealing
+/// scheduler (Driver::runBatch) and maps each outcome to a ToolResult,
+/// in input order. Verdicts and findings are byte-identical to running
+/// each program through a kcc Tool individually; per-result Micros is
+/// the batch wall-clock divided evenly (individual attribution is
+/// meaningless on a shared pool). The suite scorers route through this
+/// so a whole benchmark shares one worker pool instead of draining it
+/// per test.
+std::vector<ToolResult> runKccBatched(const DriverOptions &Opts,
+                                      const std::vector<BatchInput> &Programs);
 
 } // namespace cundef
 

@@ -11,14 +11,19 @@
 
 using namespace cundef;
 
-JulietScores cundef::scoreJuliet(Tool &T, const std::vector<TestCase> &Tests) {
+namespace {
+
+/// Folds per-pair verdicts (however they were produced: one tool run
+/// per half, or one shared batched scheduler) into Figure 2 scores.
+JulietScores aggregateJuliet(const std::vector<TestCase> &Tests,
+                             const std::vector<PairVerdict> &Verdicts) {
   std::map<JulietClass, ClassScore> ByClass;
   double TotalMicros = 0.0;
   unsigned TotalTests = 0;
-  for (const TestCase &Test : Tests) {
-    PairVerdict Verdict = runOnPair(T, Test);
-    ClassScore &Score = ByClass[Test.Class];
-    Score.Class = Test.Class;
+  for (size_t I = 0; I < Tests.size(); ++I) {
+    const PairVerdict &Verdict = Verdicts[I];
+    ClassScore &Score = ByClass[Tests[I].Class];
+    Score.Class = Tests[I].Class;
     ++Score.Tests;
     if (Verdict.passed())
       ++Score.Passed;
@@ -40,19 +45,56 @@ JulietScores cundef::scoreJuliet(Tool &T, const std::vector<TestCase> &Tests) {
   return Scores;
 }
 
-CustomScores cundef::scoreCustom(Tool &T, const std::vector<TestCase> &Tests) {
+/// Per-pair verdicts through one shared scheduler: both halves of every
+/// test become one submission each, in a stable (test, bad/good) order.
+std::vector<PairVerdict>
+batchedVerdicts(const DriverOptions &Opts, const std::vector<TestCase> &Tests) {
+  std::vector<BatchInput> Programs;
+  Programs.reserve(Tests.size() * 2);
+  for (const TestCase &Test : Tests) {
+    Programs.push_back({Test.Bad, Test.Name + "_bad.c"});
+    Programs.push_back({Test.Good, Test.Name + "_good.c"});
+  }
+  std::vector<ToolResult> Results = runKccBatched(Opts, Programs);
+  std::vector<PairVerdict> Verdicts(Tests.size());
+  for (size_t I = 0; I < Tests.size(); ++I) {
+    Verdicts[I].FlaggedBad = Results[2 * I].flagged();
+    Verdicts[I].FlaggedGood = Results[2 * I + 1].flagged();
+    Verdicts[I].Micros = Results[2 * I].Micros + Results[2 * I + 1].Micros;
+  }
+  return Verdicts;
+}
+
+} // namespace
+
+JulietScores cundef::scoreJuliet(Tool &T, const std::vector<TestCase> &Tests) {
+  std::vector<PairVerdict> Verdicts;
+  Verdicts.reserve(Tests.size());
+  for (const TestCase &Test : Tests)
+    Verdicts.push_back(runOnPair(T, Test));
+  return aggregateJuliet(Tests, Verdicts);
+}
+
+JulietScores cundef::scoreJulietBatched(const DriverOptions &Opts,
+                                        const std::vector<TestCase> &Tests) {
+  return aggregateJuliet(Tests, batchedVerdicts(Opts, Tests));
+}
+
+namespace {
+
+CustomScores aggregateCustom(const std::vector<TestCase> &Tests,
+                             const std::vector<PairVerdict> &Verdicts) {
   struct Accum {
     bool Static = false;
     unsigned Tests = 0;
     unsigned Passed = 0;
   };
   std::map<uint16_t, Accum> ByBehavior;
-  for (const TestCase &Test : Tests) {
-    PairVerdict Verdict = runOnPair(T, Test);
-    Accum &A = ByBehavior[Test.CatalogId];
-    A.Static = Test.StaticBehavior;
+  for (size_t I = 0; I < Tests.size(); ++I) {
+    Accum &A = ByBehavior[Tests[I].CatalogId];
+    A.Static = Tests[I].StaticBehavior;
     ++A.Tests;
-    if (Verdict.passed())
+    if (Verdicts[I].passed())
       ++A.Passed;
   }
   CustomScores Scores;
@@ -79,6 +121,21 @@ CustomScores cundef::scoreCustom(Tool &T, const std::vector<TestCase> &Tests) {
   Scores.DynamicPct = DynamicBehaviors ? 100.0 * DynamicSum / DynamicBehaviors
                                        : 0.0;
   return Scores;
+}
+
+} // namespace
+
+CustomScores cundef::scoreCustom(Tool &T, const std::vector<TestCase> &Tests) {
+  std::vector<PairVerdict> Verdicts;
+  Verdicts.reserve(Tests.size());
+  for (const TestCase &Test : Tests)
+    Verdicts.push_back(runOnPair(T, Test));
+  return aggregateCustom(Tests, Verdicts);
+}
+
+CustomScores cundef::scoreCustomBatched(const DriverOptions &Opts,
+                                        const std::vector<TestCase> &Tests) {
+  return aggregateCustom(Tests, batchedVerdicts(Opts, Tests));
 }
 
 std::string cundef::renderFigure2(

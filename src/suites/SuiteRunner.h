@@ -60,6 +60,17 @@ struct CustomScores {
 
 CustomScores scoreCustom(Tool &T, const std::vector<TestCase> &Tests);
 
+/// Batched kcc scoring: every half of every pair is submitted to ONE
+/// shared work-stealing scheduler (driver batch mode), so the worker
+/// pool stays busy across the whole suite instead of draining per
+/// test. Scores are identical to running a kcc Tool with the same
+/// DriverOptions through scoreJuliet/scoreCustom; only wall-clock
+/// attribution differs (MeanMicrosPerTest becomes batch wall / tests).
+JulietScores scoreJulietBatched(const DriverOptions &Opts,
+                                const std::vector<TestCase> &Tests);
+CustomScores scoreCustomBatched(const DriverOptions &Opts,
+                                const std::vector<TestCase> &Tests);
+
 /// Renders the Figure 2 table for several tools.
 std::string
 renderFigure2(const std::vector<std::pair<std::string, JulietScores>> &Rows);

@@ -1,0 +1,443 @@
+//===- tests/test_scheduler.cpp - Work-stealing scheduler tests ---------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The work-stealing scheduler (core/Scheduler.h) must commit outputs
+// byte-identical to the wave engine's: same witnesses, reports, run
+// counts, dedup hits, pruned subtrees, and truncation accounting, at
+// any job count, because its canonical commit wavefront replays the
+// wave engine's barrier order while execution proceeds speculatively.
+// This suite asserts that equivalence, the LRU snapshot cache's
+// replay fallback under thrash, and the batched driver's per-program
+// aggregation ordering.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Scheduler.h"
+#include "driver/Driver.h"
+#include "driver/ToolRunner.h"
+#include "suites/JulietGen.h"
+#include "suites/SuiteRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <iterator>
+
+using namespace cundef;
+
+namespace {
+
+/// UB-by-order programs, defined controls, and commuting-choice-point
+/// trees: the corpus every wave-vs-stealing comparison runs over.
+const char *Corpus[] = {
+    // Order-dependent division by zero (paper 2.5.2).
+    "int d = 5;\n"
+    "int setDenom(int x) { return d = x; }\n"
+    "int main(void) { return (10 / d) + setDenom(0); }\n",
+    // Unsequenced read/write.
+    "int main(void) { int x = 1; return x + x++; }\n",
+    // Nested order dependence: needs two flips.
+    "int a = 1;\n"
+    "int set(int v) { a = v; return 0; }\n"
+    "int main(void) { return (8 / a) + (set(0) + set(1)); }\n",
+    // Defined control with commuting choice points.
+    "static int f(void) { return 1; }\n"
+    "static int g(void) { return 2; }\n"
+    "int main(void) { return f() + g() - 3; }\n",
+    // Deeper commuting tree (the dedup's best case).
+    "static int g(int x) { return x + 1; }\n"
+    "int main(void) { int t = 0; t += g(0) + g(1); t += g(2) + g(3);\n"
+    "  t += g(4) + g(5); return t > 0 ? 0 : 1; }\n",
+};
+
+/// Whether the program is undefined on some order (clean programs get
+/// the full-counter comparison; UB programs end at a timing-dependent
+/// point in the wave engine at jobs > 1, so only committed outputs are
+/// compared there).
+bool isClean(const char *Source) {
+  return Source == Corpus[3] || Source == Corpus[4];
+}
+
+SearchResult searchWith(const Driver::Compiled &C, SearchOptions SO) {
+  MachineOptions Opts;
+  OrderSearch Search(*C.Ast, Opts, SO);
+  return Search.run();
+}
+
+/// Stealing search with the hardware clamp disabled, so the requested
+/// worker count really runs even on a 1-core CI machine — the
+/// determinism contract must survive genuine cross-thread
+/// interleaving, not just a degenerate single-worker pool.
+SearchResult searchStealForced(const Driver::Compiled &C, SearchOptions SO,
+                               unsigned Workers) {
+  SearchScheduler::Config Cfg;
+  Cfg.Jobs = Workers;
+  Cfg.ClampJobsToHardware = false;
+  Cfg.SnapshotBudget = SO.SnapshotBudget;
+  SearchScheduler Scheduler(Cfg);
+  MachineOptions Opts;
+  size_t Id = Scheduler.submit(*C.Ast, Opts, SO);
+  Scheduler.runAll();
+  return Scheduler.takeResult(Id);
+}
+
+void expectSameVerdict(const SearchResult &A, const SearchResult &B,
+                       const char *Tag) {
+  EXPECT_EQ(A.UbFound, B.UbFound) << Tag;
+  EXPECT_EQ(A.Witness, B.Witness) << Tag;
+  ASSERT_EQ(A.Reports.size(), B.Reports.size()) << Tag;
+  for (size_t I = 0; I < A.Reports.size(); ++I) {
+    EXPECT_EQ(A.Reports[I].Kind, B.Reports[I].Kind) << Tag;
+    EXPECT_EQ(A.Reports[I].Loc.Line, B.Reports[I].Loc.Line) << Tag;
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Wave vs stealing byte-equality.
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, WaveVsStealingWitnessEquality) {
+  // Committed outputs must agree between schedulers at jobs 1, 2, and 8
+  // — and across repetitions, so steal interleaving never leaks in.
+  for (const char *Source : Corpus) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "sched.c");
+    ASSERT_TRUE(C.Ok) << C.Errors;
+    SearchOptions Wave;
+    Wave.MaxRuns = 256;
+    Wave.Sched = SchedKind::Wave;
+    Wave.Jobs = 1;
+    SearchResult RW = searchWith(C, Wave);
+
+    for (unsigned Jobs : {1u, 2u, 8u}) {
+      SearchOptions Steal;
+      Steal.MaxRuns = 256;
+      Steal.Sched = SchedKind::Stealing;
+      Steal.Jobs = Jobs;
+      for (int Round = 0; Round < 3; ++Round) {
+        SearchResult RS = searchStealForced(C, Steal, Jobs);
+        expectSameVerdict(RW, RS, Source);
+        if (isClean(Source) || Jobs == 1) {
+          // The full deterministic stats contract.
+          EXPECT_EQ(RW.RunsExplored, RS.RunsExplored)
+              << Source << " jobs=" << Jobs;
+          EXPECT_EQ(RW.DedupHits, RS.DedupHits) << Source << " jobs=" << Jobs;
+          EXPECT_EQ(RW.SubtreesPruned, RS.SubtreesPruned)
+              << Source << " jobs=" << Jobs;
+          EXPECT_EQ(RW.Waves, RS.Waves) << Source << " jobs=" << Jobs;
+          EXPECT_EQ(RW.FrontierTruncated, RS.FrontierTruncated) << Source;
+          EXPECT_EQ(RW.DroppedSubtrees, RS.DroppedSubtrees) << Source;
+        }
+      }
+    }
+  }
+}
+
+TEST(Scheduler, WaveVsStealingTraceByteEquality) {
+  // At jobs=1 the stealing scheduler's speculative layer is exactly in
+  // step with its commit wavefront, so every per-run record — pinned
+  // prefix, decision trace, fingerprint stream, status, dedup outcome —
+  // must be byte-identical to the wave engine's. Only the Forked
+  // start-mode marker may differ (snapshot lifetimes differ).
+  for (const char *Source : Corpus) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "trace.c");
+    ASSERT_TRUE(C.Ok) << C.Errors;
+    SearchOptions Wave;
+    Wave.MaxRuns = 256;
+    Wave.Jobs = 1;
+    Wave.Sched = SchedKind::Wave;
+    Wave.CollectRuns = true;
+    SearchOptions Steal = Wave;
+    Steal.Sched = SchedKind::Stealing;
+
+    SearchResult RW = searchWith(C, Wave);
+    SearchResult RS = searchWith(C, Steal);
+    expectSameVerdict(RW, RS, Source);
+    ASSERT_EQ(RW.Runs.size(), RS.Runs.size()) << Source;
+    for (size_t I = 0; I < RW.Runs.size(); ++I) {
+      const SearchRunRecord &W = RW.Runs[I];
+      const SearchRunRecord &S = RS.Runs[I];
+      EXPECT_EQ(W.Pinned, S.Pinned) << Source << " run " << I;
+      EXPECT_EQ(W.Trace, S.Trace)
+          << Source << " run " << I << ": decision traces diverge";
+      EXPECT_EQ(W.FpStream, S.FpStream)
+          << Source << " run " << I << ": fingerprint streams diverge";
+      EXPECT_EQ(W.Status, S.Status) << Source << " run " << I;
+      EXPECT_EQ(W.DedupAborted, S.DedupAborted) << Source << " run " << I;
+    }
+  }
+}
+
+TEST(Scheduler, TruncationAccountingMatchesWave) {
+  // Budget edges must report the identical dropped-subtree counts: the
+  // stealing scheduler applies the budget at generation seal, exactly
+  // where the wave engine's barrier applied it.
+  for (unsigned MaxRuns : {1u, 2u, 5u, 9u}) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Corpus[4], "trunc.c");
+    ASSERT_TRUE(C.Ok);
+    SearchOptions Wave;
+    Wave.MaxRuns = MaxRuns;
+    Wave.Sched = SchedKind::Wave;
+    SearchOptions Steal = Wave;
+    Steal.Sched = SchedKind::Stealing;
+    SearchResult RW = searchWith(C, Wave);
+    SearchResult RS = searchWith(C, Steal);
+    EXPECT_EQ(RW.FrontierTruncated, RS.FrontierTruncated)
+        << "budget " << MaxRuns;
+    EXPECT_EQ(RW.DroppedSubtrees, RS.DroppedSubtrees) << "budget " << MaxRuns;
+    EXPECT_EQ(RW.RunsExplored, RS.RunsExplored) << "budget " << MaxRuns;
+  }
+}
+
+TEST(Scheduler, RandomPolicyAndDeclarativeStyleStillWork) {
+  // The gates the wave engine applies (no dedup under Random, no
+  // snapshots under Random/Declarative) must hold in the scheduler too.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Corpus[0], "gates.c");
+  ASSERT_TRUE(C.Ok);
+  for (auto Setup : {EvalOrderKind::Random, EvalOrderKind::LeftToRight}) {
+    MachineOptions MOpts;
+    MOpts.Order = Setup;
+    SearchOptions SO;
+    SO.MaxRuns = 64;
+    SO.Sched = SchedKind::Stealing;
+    OrderSearch Search(*C.Ast, MOpts, SO);
+    SearchResult R = Search.run();
+    EXPECT_TRUE(R.UbFound) << "order policy " << int(Setup);
+  }
+  MachineOptions Decl;
+  Decl.Style = RuleStyle::Declarative;
+  SearchOptions SO;
+  SO.MaxRuns = 64;
+  SO.Sched = SchedKind::Stealing;
+  OrderSearch Search(*C.Ast, Decl, SO);
+  SearchResult R = Search.run();
+  EXPECT_TRUE(R.UbFound);
+  EXPECT_EQ(R.ForkedRuns, 0u) << "declarative style must not snapshot";
+}
+
+//===----------------------------------------------------------------------===//
+// LRU snapshot cache.
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, LruThrashFallsBackToReplay) {
+  // A cache far too small for the tree forces evictions; every evicted
+  // child replays its prefix instead, and nothing observable changes.
+  Driver Drv;
+  Driver::Compiled C = Drv.compile(Corpus[4], "lru.c");
+  ASSERT_TRUE(C.Ok);
+  SearchOptions Ample;
+  Ample.MaxRuns = 256;
+  Ample.SnapshotBudget = 1024;
+  SearchResult RAmple = searchWith(C, Ample);
+
+  for (unsigned Cap : {0u, 1u, 2u}) {
+    for (SchedKind Sched : {SchedKind::Wave, SchedKind::Stealing}) {
+      SearchOptions Tiny = Ample;
+      Tiny.SnapshotBudget = Cap;
+      Tiny.Sched = Sched;
+      SearchResult RTiny = searchWith(C, Tiny);
+      expectSameVerdict(RAmple, RTiny, "lru-thrash");
+      EXPECT_EQ(RAmple.RunsExplored, RTiny.RunsExplored) << Cap;
+      EXPECT_EQ(RAmple.DedupHits, RTiny.DedupHits) << Cap;
+      if (Cap == 0) {
+        EXPECT_EQ(RTiny.ForkedRuns, 0u) << "capacity 0 must never fork";
+        EXPECT_EQ(RTiny.SnapshotEvictions, 0u)
+            << "nothing admitted, nothing evicted";
+      } else {
+        EXPECT_GT(RTiny.SnapshotEvictions, 0u)
+            << "capacity " << Cap << " must thrash on this tree";
+      }
+    }
+  }
+  EXPECT_GT(RAmple.ForkedRuns, 0u) << "the ample cache must actually fork";
+}
+
+TEST(Scheduler, SnapshotCacheBasics) {
+  // Direct unit coverage of the LRU contract: insert-over-capacity
+  // evicts the oldest pending entry and charges its counter; take and
+  // drop remove entries without eviction accounting.
+  SnapshotCache Cache(2);
+  std::atomic<unsigned> Evictions{0};
+  // An empty configuration is fine for cache logic.
+  MachineSnapshot Snap{Configuration(),
+                       OrderChooser(EvalOrderKind::LeftToRight, 1)};
+  uint64_t A = Cache.insert(Snap, &Evictions);
+  uint64_t B = Cache.insert(Snap, &Evictions);
+  ASSERT_NE(A, 0u);
+  ASSERT_NE(B, 0u);
+  EXPECT_EQ(Cache.pending(), 2u);
+
+  uint64_t D = Cache.insert(Snap, &Evictions); // evicts A (oldest)
+  EXPECT_EQ(Evictions.load(), 1u);
+  EXPECT_EQ(Cache.pending(), 2u);
+  EXPECT_EQ(Cache.take(A), nullptr) << "A was evicted";
+  EXPECT_NE(Cache.take(B), nullptr) << "B is still pending";
+  Cache.drop(D);
+  EXPECT_EQ(Cache.pending(), 0u);
+  EXPECT_EQ(Evictions.load(), 1u) << "take/drop are not evictions";
+
+  SnapshotCache Zero(0);
+  EXPECT_EQ(Zero.insert(Snap, &Evictions), 0u)
+      << "capacity 0 admits nothing";
+  EXPECT_EQ(Evictions.load(), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Batched driver.
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, BatchedDriverMatchesRunSource) {
+  // Each batched outcome must equal the single-program outcome for the
+  // same source: verdict, reports, witness, program output, exit code,
+  // compile diagnostics — regardless of batch composition or job count.
+  const char *Programs[] = {
+      Corpus[0], // UB by order
+      "#include <stdio.h>\n"
+      "int main(void) { printf(\"out-%d\\n\", 42); return 7; }\n",
+      Corpus[2], // UB needing two flips
+      "int main(void) { return 0 }\n", // compile error
+      Corpus[4], // clean commuting tree
+      Corpus[0], // duplicate source: identical outcome expected
+  };
+  std::vector<BatchInput> Inputs;
+  for (size_t I = 0; I < std::size(Programs); ++I)
+    Inputs.push_back({Programs[I], "prog" + std::to_string(I) + ".c"});
+
+  DriverOptions DOpts;
+  DOpts.SearchRuns = 64;
+  for (unsigned Jobs : {1u, 4u}) {
+    DOpts.SearchJobs = Jobs;
+    Driver Batched(DOpts);
+    BatchResult Batch = Batched.runBatch(Inputs);
+    ASSERT_EQ(Batch.Outcomes.size(), Inputs.size());
+    EXPECT_EQ(Batch.Stats.Programs, Inputs.size());
+
+    for (size_t I = 0; I < Inputs.size(); ++I) {
+      Driver Single(DOpts);
+      DriverOutcome Ref = Single.runSource(Inputs[I].Source, Inputs[I].Name);
+      const DriverOutcome &Got = Batch.Outcomes[I];
+      EXPECT_EQ(Ref.CompileOk, Got.CompileOk) << I;
+      EXPECT_EQ(Ref.CompileErrors, Got.CompileErrors) << I;
+      EXPECT_EQ(Ref.anyUb(), Got.anyUb()) << I;
+      EXPECT_EQ(Ref.SearchWitness, Got.SearchWitness) << I << " jobs=" << Jobs;
+      EXPECT_EQ(Ref.Output, Got.Output) << I;
+      EXPECT_EQ(Ref.ExitCode, Got.ExitCode) << I;
+      EXPECT_EQ(Ref.Status, Got.Status) << I;
+      ASSERT_EQ(Ref.DynamicUb.size(), Got.DynamicUb.size()) << I;
+      for (size_t R = 0; R < Ref.DynamicUb.size(); ++R) {
+        EXPECT_EQ(Ref.DynamicUb[R].Kind, Got.DynamicUb[R].Kind) << I;
+        EXPECT_EQ(Ref.DynamicUb[R].Loc.Line, Got.DynamicUb[R].Loc.Line) << I;
+      }
+    }
+    // Duplicate submissions aggregate independently and identically.
+    EXPECT_EQ(Batch.Outcomes[0].SearchWitness,
+              Batch.Outcomes[5].SearchWitness);
+    EXPECT_EQ(Batch.Outcomes[0].OrdersExplored,
+              Batch.Outcomes[5].OrdersExplored);
+  }
+}
+
+TEST(Scheduler, BatchedAggregationIsDeterministic) {
+  // Same batch, different job counts, repeated: per-program results are
+  // keyed by program id and must never depend on steal interleaving.
+  std::vector<BatchInput> Inputs;
+  for (const char *Source : Corpus)
+    Inputs.push_back({Source, "det.c"});
+  DriverOptions DOpts;
+  DOpts.SearchRuns = 64;
+  DOpts.SearchJobs = 1;
+  Driver Ref(DOpts);
+  BatchResult Base = Ref.runBatch(Inputs);
+
+  for (unsigned Jobs : {2u, 8u}) {
+    for (int Round = 0; Round < 3; ++Round) {
+      DriverOptions JOpts = DOpts;
+      JOpts.SearchJobs = Jobs;
+      Driver Drv(JOpts);
+      BatchResult Got = Drv.runBatch(Inputs);
+      ASSERT_EQ(Got.Outcomes.size(), Base.Outcomes.size());
+      for (size_t I = 0; I < Base.Outcomes.size(); ++I) {
+        EXPECT_EQ(Base.Outcomes[I].anyUb(), Got.Outcomes[I].anyUb()) << I;
+        EXPECT_EQ(Base.Outcomes[I].SearchWitness,
+                  Got.Outcomes[I].SearchWitness)
+            << I << " jobs=" << Jobs;
+        EXPECT_EQ(Base.Outcomes[I].Output, Got.Outcomes[I].Output) << I;
+        EXPECT_EQ(Base.Outcomes[I].ExitCode, Got.Outcomes[I].ExitCode) << I;
+      }
+    }
+  }
+}
+
+TEST(Scheduler, BatchHonorsWaveSchedSelection) {
+  // --search-sched=wave must not be silently dropped in batch mode:
+  // the wave reference path (sequential runSource per unit) runs, and
+  // its observable outcomes match the stealing batch.
+  std::vector<BatchInput> Inputs = {{Corpus[0], "w0.c"}, {Corpus[4], "w1.c"}};
+  DriverOptions Steal;
+  Steal.SearchRuns = 64;
+  DriverOptions Wave = Steal;
+  Wave.SearchSched = SchedKind::Wave;
+  BatchResult RS = Driver(Steal).runBatch(Inputs);
+  BatchResult RW = Driver(Wave).runBatch(Inputs);
+  ASSERT_EQ(RW.Outcomes.size(), RS.Outcomes.size());
+  for (size_t I = 0; I < RS.Outcomes.size(); ++I) {
+    EXPECT_EQ(RW.Outcomes[I].anyUb(), RS.Outcomes[I].anyUb()) << I;
+    EXPECT_EQ(RW.Outcomes[I].SearchWitness, RS.Outcomes[I].SearchWitness)
+        << I;
+    EXPECT_EQ(RW.Outcomes[I].Output, RS.Outcomes[I].Output) << I;
+    EXPECT_EQ(RW.Outcomes[I].ExitCode, RS.Outcomes[I].ExitCode) << I;
+  }
+  EXPECT_EQ(RW.Stats.Steals, 0u) << "the wave path must not steal";
+}
+
+TEST(Scheduler, CountersSurfaceThroughDriver) {
+  // The satellite contract: scheduler counters reach DriverOutcome (and
+  // from there the kcc --show-witness stats block) instead of being
+  // dropped.
+  DriverOptions DOpts;
+  DOpts.SearchRuns = 64;
+  Driver Drv(DOpts);
+  DriverOutcome O = Drv.runSource(Corpus[4], "counters.c");
+  ASSERT_TRUE(O.CompileOk);
+  EXPECT_GT(O.OrdersExplored, 1u);
+  EXPECT_GT(O.SearchPeakFrontier, 0u);
+  EXPECT_GT(O.OrdersDeduped, 0u) << "the commuting tree must dedup";
+}
+
+//===----------------------------------------------------------------------===//
+// Batched suite scoring.
+//===----------------------------------------------------------------------===//
+
+TEST(Scheduler, BatchedSuiteScoresMatchPerTest) {
+  // scoreJulietBatched routes the whole suite through one shared
+  // scheduler; scores must match the per-test Tool path exactly.
+  JulietGenerator Gen(/*ScaleDivisor=*/256); // a handful per class
+  std::vector<TestCase> Tests = Gen.generate();
+  ASSERT_FALSE(Tests.empty());
+  if (Tests.size() > 24)
+    Tests.resize(24);
+
+  DriverOptions DOpts; // mirror the kcc tool's configuration
+  DOpts.Machine.Strict = true;
+  DOpts.RunStaticChecks = true;
+  DOpts.SearchRuns = 8;
+  DOpts.SearchJobs = 2;
+
+  std::unique_ptr<Tool> Kcc = Tool::create(ToolKind::Kcc);
+  JulietScores PerTest = scoreJuliet(*Kcc, Tests);
+  JulietScores Batched = scoreJulietBatched(DOpts, Tests);
+
+  ASSERT_EQ(PerTest.PerClass.size(), Batched.PerClass.size());
+  for (size_t I = 0; I < PerTest.PerClass.size(); ++I) {
+    EXPECT_EQ(PerTest.PerClass[I].Tests, Batched.PerClass[I].Tests) << I;
+    EXPECT_EQ(PerTest.PerClass[I].Passed, Batched.PerClass[I].Passed) << I;
+    EXPECT_EQ(PerTest.PerClass[I].FalsePositives,
+              Batched.PerClass[I].FalsePositives)
+        << I;
+  }
+}

@@ -3,21 +3,33 @@
 // Part of cundef, a semantics-based undefinedness checker for C.
 //
 // A command-line wrapper mimicking the paper's kcc usage (section 3.2):
-// feed it a C file; defined programs run (their output and exit status
+// feed it C files; defined programs run (their output and exit status
 // pass through), undefined programs are reported in kcc's format.
 //
-//   kcc [options] file.c
+//   kcc [options] file.c [file2.c ...]
 //     --target=lp64|ilp32|wideint   implementation-defined parameters
 //     --style=cond|chain|decl       specification style (section 4.5)
 //     --search=N                    evaluation orders to search (2.5.2)
 //     --search-jobs=N               worker threads (0 = all hardware threads)
 //     --search-engine=fork|replay   fork snapshots vs replay prefixes
+//     --search-sched=steal|wave     scheduling layer (results identical)
 //     --no-dedup                    disable search state deduplication
 //     --show-witness                print the undefined order's decisions
+//                                   plus a search stats block
+//     --batch-stats                 print shared-scheduler stats (batch mode)
 //     --no-static                   skip the static undefinedness pass
 //     --order=ltr|rtl|random        evaluation order policy
 //     --seed=N                      seed for --order=random
 //     --dump-catalog=markdown       print the UB catalog reference and exit
+//
+// With several input files (or --batch-stats), every translation unit
+// runs through ONE shared work-stealing scheduler (batched driver
+// mode): program outputs appear on stdout in command-line order,
+// per-program reports on stderr, and the exit code is 139 if any
+// program is undefined, else 1 if any failed to compile, else 0.
+// Results are byte-identical to running each file separately.
+// --search-sched=wave in batch mode runs the sequential reference path
+// (same outcomes, no shared pool).
 //
 // Numeric flags are parsed strictly: non-numeric values are a usage
 // error (exit 2), never silently coerced.
@@ -37,14 +49,16 @@ using namespace cundef;
 
 static void usage() {
   std::fprintf(stderr,
-               "usage: kcc [options] file.c\n"
+               "usage: kcc [options] file.c [file2.c ...]\n"
                "  --target=lp64|ilp32|wideint\n"
                "  --style=cond|chain|decl\n"
                "  --search=N\n"
                "  --search-jobs=N      (0 = all hardware threads)\n"
                "  --search-engine=fork|replay\n"
+               "  --search-sched=steal|wave\n"
                "  --no-dedup\n"
                "  --show-witness\n"
+               "  --batch-stats\n"
                "  --order=ltr|rtl|random\n"
                "  --seed=N\n"
                "  --no-static\n"
@@ -64,11 +78,53 @@ static bool parseNumericFlag(const char *Name, const char *Value,
   return false;
 }
 
+/// The per-program stderr tail shared by the single-file and batch
+/// paths: truncation honesty, the kcc error report, and the witness.
+/// Returns true when the program is undefined.
+static bool printProgramReport(const DriverOutcome &O, bool ShowWitness) {
+  if (ShowWitness && O.SearchTruncated) {
+    // Never let a budget-limited search masquerade as exhaustive: a
+    // clean verdict below this line means "no UB found within
+    // --search=N runs", not "no order is undefined".
+    std::fprintf(stderr,
+                 "Search frontier truncated: %u subtree(s) dropped "
+                 "unexplored (raise --search to cover them)\n",
+                 O.SearchDropped);
+  }
+  if (!O.anyUb())
+    return false;
+  std::fputs(O.renderReport().c_str(), stderr);
+  if (ShowWitness && !O.DynamicUb.empty()) {
+    // The deterministic witness: the evaluation-order decisions that
+    // expose the undefinedness (0 = source order, 1 = reversed, one
+    // per choice point). Empty = the default order already fails.
+    std::string W = "Witness decisions:";
+    if (O.SearchWitness.empty())
+      W += " (default order)";
+    for (uint8_t D : O.SearchWitness)
+      W += D ? " 1" : " 0";
+    W += "\n";
+    std::fputs(W.c_str(), stderr);
+  }
+  return true;
+}
+
+/// The --show-witness stats block: the scheduler counters used to be
+/// dropped on the floor; now every search surfaces them.
+static void printSearchStats(const DriverOutcome &O) {
+  std::fprintf(stderr,
+               "Search stats: orders=%u deduped=%u steals=%u evictions=%u "
+               "peak-frontier=%u\n",
+               O.OrdersExplored, O.OrdersDeduped, O.SearchSteals,
+               O.SearchEvictions, O.SearchPeakFrontier);
+}
+
 int main(int argc, char **argv) {
   DriverOptions Opts;
   Opts.SearchRuns = 8;
   bool ShowWitness = false;
-  const char *Path = nullptr;
+  bool BatchStats = false;
+  std::vector<const char *> Paths;
 
   for (int I = 1; I < argc; ++I) {
     const char *Arg = argv[I];
@@ -131,10 +187,22 @@ int main(int argc, char **argv) {
         usage();
         return 2;
       }
+    } else if (startsWith(Arg, "--search-sched=")) {
+      const char *Value = Arg + 15;
+      if (!std::strcmp(Value, "steal"))
+        Opts.SearchSched = SchedKind::Stealing;
+      else if (!std::strcmp(Value, "wave"))
+        Opts.SearchSched = SchedKind::Wave;
+      else {
+        usage();
+        return 2;
+      }
     } else if (!std::strcmp(Arg, "--no-dedup")) {
       Opts.SearchDedup = false;
     } else if (!std::strcmp(Arg, "--show-witness")) {
       ShowWitness = true;
+    } else if (!std::strcmp(Arg, "--batch-stats")) {
+      BatchStats = true;
     } else if (startsWith(Arg, "--order=")) {
       const char *Value = Arg + 8;
       if (!std::strcmp(Value, "ltr"))
@@ -158,55 +226,91 @@ int main(int argc, char **argv) {
       usage();
       return 2;
     } else {
-      Path = Arg;
+      Paths.push_back(Arg);
     }
   }
-  if (!Path) {
+  if (Paths.empty()) {
     usage();
     return 2;
   }
 
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "kcc: cannot open %s\n", Path);
-    return 2;
-  }
-  std::ostringstream Buffer;
-  Buffer << In.rdbuf();
-
-  Driver Drv(Opts);
-  DriverOutcome O = Drv.runSource(Buffer.str(), Path);
-  if (!O.CompileOk) {
-    std::fputs(O.CompileErrors.c_str(), stderr);
-    if (!O.anyUb())
-      return 1;
-  }
-  // Program output passes through.
-  std::fputs(O.Output.c_str(), stdout);
-  if (ShowWitness && O.SearchTruncated) {
-    // Never let a budget-limited search masquerade as exhaustive: a
-    // clean verdict below this line means "no UB found within
-    // --search=N runs", not "no order is undefined".
-    std::fprintf(stderr,
-                 "Search frontier truncated: %u subtree(s) dropped "
-                 "unexplored (raise --search to cover them)\n",
-                 O.SearchDropped);
-  }
-  if (O.anyUb()) {
-    std::fputs(O.renderReport().c_str(), stderr);
-    if (ShowWitness && !O.DynamicUb.empty()) {
-      // The deterministic witness: the evaluation-order decisions that
-      // expose the undefinedness (0 = source order, 1 = reversed, one
-      // per choice point). Empty = the default order already fails.
-      std::string W = "Witness decisions:";
-      if (O.SearchWitness.empty())
-        W += " (default order)";
-      for (uint8_t D : O.SearchWitness)
-        W += D ? " 1" : " 0";
-      W += "\n";
-      std::fputs(W.c_str(), stderr);
+  std::vector<BatchInput> Inputs;
+  for (const char *Path : Paths) {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "kcc: cannot open %s\n", Path);
+      return 2;
     }
-    return 139; // undefined: report and fail like a crashed process
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    Inputs.push_back({Buffer.str(), Path});
   }
-  return O.ExitCode;
+
+  if (Inputs.size() == 1 && !BatchStats) {
+    // Single-program mode: the paper's kcc contract, byte-for-byte.
+    Driver Drv(Opts);
+    DriverOutcome O = Drv.runSource(Inputs[0].Source, Inputs[0].Name);
+    if (!O.CompileOk) {
+      std::fputs(O.CompileErrors.c_str(), stderr);
+      if (!O.anyUb())
+        return 1;
+    }
+    // Program output passes through.
+    std::fputs(O.Output.c_str(), stdout);
+    bool Ub = printProgramReport(O, ShowWitness);
+    if (ShowWitness)
+      printSearchStats(O);
+    if (Ub)
+      return 139; // undefined: report and fail like a crashed process
+    return O.ExitCode;
+  }
+
+  // Batch mode: every translation unit through one shared scheduler.
+  Driver Drv(Opts);
+  BatchResult Batch = Drv.runBatch(Inputs);
+  bool AnyUb = false, AnyCompileFail = false;
+  for (size_t I = 0; I < Batch.Outcomes.size(); ++I) {
+    const DriverOutcome &O = Batch.Outcomes[I];
+    if (Batch.Outcomes.size() > 1)
+      std::fprintf(stderr, "== %s ==\n", Inputs[I].Name.c_str());
+    if (!O.CompileOk) {
+      std::fputs(O.CompileErrors.c_str(), stderr);
+      if (!O.anyUb()) {
+        AnyCompileFail = true;
+        continue;
+      }
+    }
+    std::fputs(O.Output.c_str(), stdout);
+    AnyUb |= printProgramReport(O, ShowWitness);
+    if (ShowWitness)
+      printSearchStats(O);
+  }
+  if (BatchStats) {
+    std::fprintf(stderr,
+                 "Batch stats: programs=%u jobs=%u runs=%llu steals=%llu "
+                 "dedup-hits=%llu evictions=%llu peak-frontier=%llu "
+                 "wall-ms=%.2f\n",
+                 Batch.Stats.Programs, Batch.Stats.Jobs,
+                 static_cast<unsigned long long>(Batch.Stats.RunsExecuted),
+                 static_cast<unsigned long long>(Batch.Stats.Steals),
+                 static_cast<unsigned long long>(Batch.Stats.DedupHits),
+                 static_cast<unsigned long long>(
+                     Batch.Stats.SnapshotEvictions),
+                 static_cast<unsigned long long>(Batch.Stats.PeakFrontier),
+                 Batch.Stats.WallMs);
+    for (size_t I = 0; I < Batch.Outcomes.size(); ++I) {
+      const DriverOutcome &O = Batch.Outcomes[I];
+      const char *Verdict = !O.CompileOk && !O.anyUb() ? "compile-error"
+                            : O.anyUb()                ? "UNDEFINED"
+                                                       : "clean";
+      std::fprintf(stderr, "  %s: %s (orders=%u deduped=%u)\n",
+                   Inputs[I].Name.c_str(), Verdict, O.OrdersExplored,
+                   O.OrdersDeduped);
+    }
+  }
+  if (AnyUb)
+    return 139;
+  if (AnyCompileFail)
+    return 1;
+  return Batch.Outcomes.size() == 1 ? Batch.Outcomes[0].ExitCode : 0;
 }
