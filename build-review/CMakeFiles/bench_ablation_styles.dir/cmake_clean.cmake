@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_styles.dir/bench/bench_ablation_styles.cpp.o"
+  "CMakeFiles/bench_ablation_styles.dir/bench/bench_ablation_styles.cpp.o.d"
+  "bench_ablation_styles"
+  "bench_ablation_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

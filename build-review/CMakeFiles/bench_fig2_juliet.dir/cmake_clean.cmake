@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_juliet.dir/bench/bench_fig2_juliet.cpp.o"
+  "CMakeFiles/bench_fig2_juliet.dir/bench/bench_fig2_juliet.cpp.o.d"
+  "bench_fig2_juliet"
+  "bench_fig2_juliet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_custom.dir/bench/bench_fig3_custom.cpp.o"
+  "CMakeFiles/bench_fig3_custom.dir/bench/bench_fig3_custom.cpp.o.d"
+  "bench_fig3_custom"
+  "bench_fig3_custom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_custom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

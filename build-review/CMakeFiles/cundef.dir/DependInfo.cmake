@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/MemGrind.cpp" "CMakeFiles/cundef.dir/src/analysis/MemGrind.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/analysis/MemGrind.cpp.o.d"
+  "/root/repo/src/analysis/PtrCheck.cpp" "CMakeFiles/cundef.dir/src/analysis/PtrCheck.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/analysis/PtrCheck.cpp.o.d"
+  "/root/repo/src/analysis/Tool.cpp" "CMakeFiles/cundef.dir/src/analysis/Tool.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/analysis/Tool.cpp.o.d"
+  "/root/repo/src/analysis/ValueAnalysis.cpp" "CMakeFiles/cundef.dir/src/analysis/ValueAnalysis.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/analysis/ValueAnalysis.cpp.o.d"
+  "/root/repo/src/ast/Ast.cpp" "CMakeFiles/cundef.dir/src/ast/Ast.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/ast/Ast.cpp.o.d"
+  "/root/repo/src/ast/AstPrinter.cpp" "CMakeFiles/cundef.dir/src/ast/AstPrinter.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/ast/AstPrinter.cpp.o.d"
+  "/root/repo/src/core/EvalOrder.cpp" "CMakeFiles/cundef.dir/src/core/EvalOrder.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/EvalOrder.cpp.o.d"
+  "/root/repo/src/core/Fingerprint.cpp" "CMakeFiles/cundef.dir/src/core/Fingerprint.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/Fingerprint.cpp.o.d"
+  "/root/repo/src/core/Machine.cpp" "CMakeFiles/cundef.dir/src/core/Machine.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/Machine.cpp.o.d"
+  "/root/repo/src/core/Monitors.cpp" "CMakeFiles/cundef.dir/src/core/Monitors.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/Monitors.cpp.o.d"
+  "/root/repo/src/core/RulesExpr.cpp" "CMakeFiles/cundef.dir/src/core/RulesExpr.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/RulesExpr.cpp.o.d"
+  "/root/repo/src/core/RulesMem.cpp" "CMakeFiles/cundef.dir/src/core/RulesMem.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/RulesMem.cpp.o.d"
+  "/root/repo/src/core/RulesStmt.cpp" "CMakeFiles/cundef.dir/src/core/RulesStmt.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/RulesStmt.cpp.o.d"
+  "/root/repo/src/core/Scheduler.cpp" "CMakeFiles/cundef.dir/src/core/Scheduler.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/Scheduler.cpp.o.d"
+  "/root/repo/src/core/Search.cpp" "CMakeFiles/cundef.dir/src/core/Search.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/Search.cpp.o.d"
+  "/root/repo/src/core/Value.cpp" "CMakeFiles/cundef.dir/src/core/Value.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/core/Value.cpp.o.d"
+  "/root/repo/src/driver/Driver.cpp" "CMakeFiles/cundef.dir/src/driver/Driver.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/driver/Driver.cpp.o.d"
+  "/root/repo/src/driver/ToolRunner.cpp" "CMakeFiles/cundef.dir/src/driver/ToolRunner.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/driver/ToolRunner.cpp.o.d"
+  "/root/repo/src/libc/Builtins.cpp" "CMakeFiles/cundef.dir/src/libc/Builtins.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/libc/Builtins.cpp.o.d"
+  "/root/repo/src/libc/Headers.cpp" "CMakeFiles/cundef.dir/src/libc/Headers.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/libc/Headers.cpp.o.d"
+  "/root/repo/src/mem/SymbolicMemory.cpp" "CMakeFiles/cundef.dir/src/mem/SymbolicMemory.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/mem/SymbolicMemory.cpp.o.d"
+  "/root/repo/src/parse/ParseDecl.cpp" "CMakeFiles/cundef.dir/src/parse/ParseDecl.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/parse/ParseDecl.cpp.o.d"
+  "/root/repo/src/parse/ParseExpr.cpp" "CMakeFiles/cundef.dir/src/parse/ParseExpr.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/parse/ParseExpr.cpp.o.d"
+  "/root/repo/src/parse/ParseStmt.cpp" "CMakeFiles/cundef.dir/src/parse/ParseStmt.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/parse/ParseStmt.cpp.o.d"
+  "/root/repo/src/parse/Parser.cpp" "CMakeFiles/cundef.dir/src/parse/Parser.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/parse/Parser.cpp.o.d"
+  "/root/repo/src/sema/ConstEval.cpp" "CMakeFiles/cundef.dir/src/sema/ConstEval.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/sema/ConstEval.cpp.o.d"
+  "/root/repo/src/sema/Sema.cpp" "CMakeFiles/cundef.dir/src/sema/Sema.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/sema/Sema.cpp.o.d"
+  "/root/repo/src/sema/SemaExpr.cpp" "CMakeFiles/cundef.dir/src/sema/SemaExpr.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/sema/SemaExpr.cpp.o.d"
+  "/root/repo/src/suites/JulietGen.cpp" "CMakeFiles/cundef.dir/src/suites/JulietGen.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/suites/JulietGen.cpp.o.d"
+  "/root/repo/src/suites/SuiteRunner.cpp" "CMakeFiles/cundef.dir/src/suites/SuiteRunner.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/suites/SuiteRunner.cpp.o.d"
+  "/root/repo/src/suites/UndefSuite.cpp" "CMakeFiles/cundef.dir/src/suites/UndefSuite.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/suites/UndefSuite.cpp.o.d"
+  "/root/repo/src/support/Diagnostics.cpp" "CMakeFiles/cundef.dir/src/support/Diagnostics.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/support/Diagnostics.cpp.o.d"
+  "/root/repo/src/support/StringInterner.cpp" "CMakeFiles/cundef.dir/src/support/StringInterner.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/support/StringInterner.cpp.o.d"
+  "/root/repo/src/support/Strings.cpp" "CMakeFiles/cundef.dir/src/support/Strings.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/support/Strings.cpp.o.d"
+  "/root/repo/src/text/Lexer.cpp" "CMakeFiles/cundef.dir/src/text/Lexer.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/text/Lexer.cpp.o.d"
+  "/root/repo/src/text/Preprocessor.cpp" "CMakeFiles/cundef.dir/src/text/Preprocessor.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/text/Preprocessor.cpp.o.d"
+  "/root/repo/src/types/TargetConfig.cpp" "CMakeFiles/cundef.dir/src/types/TargetConfig.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/types/TargetConfig.cpp.o.d"
+  "/root/repo/src/types/Type.cpp" "CMakeFiles/cundef.dir/src/types/Type.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/types/Type.cpp.o.d"
+  "/root/repo/src/ub/Catalog.cpp" "CMakeFiles/cundef.dir/src/ub/Catalog.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/ub/Catalog.cpp.o.d"
+  "/root/repo/src/ub/Report.cpp" "CMakeFiles/cundef.dir/src/ub/Report.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/ub/Report.cpp.o.d"
+  "/root/repo/src/ub/StaticChecks.cpp" "CMakeFiles/cundef.dir/src/ub/StaticChecks.cpp.o" "gcc" "CMakeFiles/cundef.dir/src/ub/StaticChecks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

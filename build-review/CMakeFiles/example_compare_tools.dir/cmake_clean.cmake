@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_compare_tools.dir/examples/compare_tools.cpp.o"
+  "CMakeFiles/example_compare_tools.dir/examples/compare_tools.cpp.o.d"
+  "example_compare_tools"
+  "example_compare_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_compare_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

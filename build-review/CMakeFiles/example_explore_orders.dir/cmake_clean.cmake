@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_explore_orders.dir/examples/explore_orders.cpp.o"
+  "CMakeFiles/example_explore_orders.dir/examples/explore_orders.cpp.o.d"
+  "example_explore_orders"
+  "example_explore_orders.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_explore_orders.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

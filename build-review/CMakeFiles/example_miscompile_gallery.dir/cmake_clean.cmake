@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_miscompile_gallery.dir/examples/miscompile_gallery.cpp.o"
+  "CMakeFiles/example_miscompile_gallery.dir/examples/miscompile_gallery.cpp.o.d"
+  "example_miscompile_gallery"
+  "example_miscompile_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_miscompile_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

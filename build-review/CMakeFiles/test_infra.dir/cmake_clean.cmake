@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infra.dir/tests/test_infra.cpp.o"
+  "CMakeFiles/test_infra.dir/tests/test_infra.cpp.o.d"
+  "test_infra"
+  "test_infra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_control.dir/tests/test_interp_control.cpp.o"
+  "CMakeFiles/test_interp_control.dir/tests/test_interp_control.cpp.o.d"
+  "test_interp_control"
+  "test_interp_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

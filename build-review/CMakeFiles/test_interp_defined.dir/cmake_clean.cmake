@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interp_defined.dir/tests/test_interp_defined.cpp.o"
+  "CMakeFiles/test_interp_defined.dir/tests/test_interp_defined.cpp.o.d"
+  "test_interp_defined"
+  "test_interp_defined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interp_defined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

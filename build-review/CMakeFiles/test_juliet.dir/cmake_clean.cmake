@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_juliet.dir/tests/test_juliet.cpp.o"
+  "CMakeFiles/test_juliet.dir/tests/test_juliet.cpp.o.d"
+  "test_juliet"
+  "test_juliet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_juliet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

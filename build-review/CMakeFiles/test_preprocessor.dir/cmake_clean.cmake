@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_preprocessor.dir/tests/test_preprocessor.cpp.o"
+  "CMakeFiles/test_preprocessor.dir/tests/test_preprocessor.cpp.o.d"
+  "test_preprocessor"
+  "test_preprocessor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_preprocessor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_arith.dir/tests/test_property_arith.cpp.o"
+  "CMakeFiles/test_property_arith.dir/tests/test_property_arith.cpp.o.d"
+  "test_property_arith"
+  "test_property_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

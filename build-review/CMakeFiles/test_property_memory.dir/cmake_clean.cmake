@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property_memory.dir/tests/test_property_memory.cpp.o"
+  "CMakeFiles/test_property_memory.dir/tests/test_property_memory.cpp.o.d"
+  "test_property_memory"
+  "test_property_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_search_fork.dir/tests/test_search_fork.cpp.o"
+  "CMakeFiles/test_search_fork.dir/tests/test_search_fork.cpp.o.d"
+  "test_search_fork"
+  "test_search_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_search_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_ub.dir/tests/test_static_ub.cpp.o"
+  "CMakeFiles/test_static_ub.dir/tests/test_static_ub.cpp.o.d"
+  "test_static_ub"
+  "test_static_ub.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_ub.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_styles.dir/tests/test_styles.cpp.o"
+  "CMakeFiles/test_styles.dir/tests/test_styles.cpp.o.d"
+  "test_styles"
+  "test_styles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_styles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ub_arith.dir/tests/test_ub_arith.cpp.o"
+  "CMakeFiles/test_ub_arith.dir/tests/test_ub_arith.cpp.o.d"
+  "test_ub_arith"
+  "test_ub_arith.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ub_arith.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ub_const_uninit.dir/tests/test_ub_const_uninit.cpp.o"
+  "CMakeFiles/test_ub_const_uninit.dir/tests/test_ub_const_uninit.cpp.o.d"
+  "test_ub_const_uninit"
+  "test_ub_const_uninit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ub_const_uninit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ub_lifetime.dir/tests/test_ub_lifetime.cpp.o"
+  "CMakeFiles/test_ub_lifetime.dir/tests/test_ub_lifetime.cpp.o.d"
+  "test_ub_lifetime"
+  "test_ub_lifetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ub_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ub_pointer.dir/tests/test_ub_pointer.cpp.o"
+  "CMakeFiles/test_ub_pointer.dir/tests/test_ub_pointer.cpp.o.d"
+  "test_ub_pointer"
+  "test_ub_pointer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ub_pointer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ub_sequence.dir/tests/test_ub_sequence.cpp.o"
+  "CMakeFiles/test_ub_sequence.dir/tests/test_ub_sequence.cpp.o.d"
+  "test_ub_sequence"
+  "test_ub_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ub_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

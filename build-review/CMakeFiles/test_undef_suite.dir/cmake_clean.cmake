@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_undef_suite.dir/tests/test_undef_suite.cpp.o"
+  "CMakeFiles/test_undef_suite.dir/tests/test_undef_suite.cpp.o.d"
+  "test_undef_suite"
+  "test_undef_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_undef_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

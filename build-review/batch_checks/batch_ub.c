@@ -1,0 +1,3 @@
+int d = 5;
+int setDenom(int x) { return d = x; }
+int main(void) { return (10 / d) + setDenom(0); }
