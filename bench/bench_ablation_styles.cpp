@@ -32,9 +32,8 @@ struct StyleResult {
 
 StyleResult runStyle(RuleStyle Style) {
   StyleResult Result;
-  DriverOptions Opts;
-  Opts.Machine.Style = Style;
-  Opts.SearchRuns = 4;
+  AnalysisRequest Opts =
+      AnalysisRequest::Builder().style(Style).searchRuns(4).buildOrDie();
   auto Start = std::chrono::steady_clock::now();
   for (const TestCase &Test : undefSuite()) {
     if (Test.StaticBehavior)

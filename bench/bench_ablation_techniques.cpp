@@ -34,9 +34,8 @@ struct AblationScore {
 };
 
 AblationScore scoreConfig(const MachineOptions &MOpts) {
-  DriverOptions Opts;
-  Opts.Machine = MOpts;
-  Opts.SearchRuns = 4;
+  AnalysisRequest Opts =
+      AnalysisRequest::Builder().machine(MOpts).searchRuns(4).buildOrDie();
   AblationScore Score;
   for (const TestCase &Test : undefSuite()) {
     if (Test.StaticBehavior)

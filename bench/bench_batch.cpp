@@ -3,20 +3,23 @@
 // Part of cundef, a semantics-based undefinedness checker for C.
 //
 // UB tooling has to run over many real translation units, not one file
-// at a time (ISSUE 3; Ruohonen & Sierszecki's desktop-scale study).
-// This bench builds a mixed fleet of programs — order-dependent UB,
-// deep clean trees, quick scripts — and compares:
+// at a time (ISSUE 3; Ruohonen & Sierszecki's desktop-scale study) —
+// and a service is handed batch after batch, not one (ISSUE 4). This
+// bench builds a mixed fleet of programs — order-dependent UB, deep
+// clean trees, quick scripts — and compares:
 //
-//   sequential   one Driver::runSource per program (the pre-batch
-//                interface: each search drains its own worker pool),
-//   batch x1     Driver::runBatch, one shared scheduler, 1 worker,
-//   batch xN     the same with --search-jobs=N workers.
+//   sequential     one Driver::runSource per program,
+//   batch x1       Driver::runBatch, one shared scheduler, 1 worker,
+//   batch xN       the same with --search-jobs=N workers,
+//   engine xN      ONE persistent AnalysisEngine serving ROUNDS
+//                  consecutive batches (pool reused, startup amortized),
+//                  vs a fresh Driver (fresh pool) per batch.
 //
-// Per-program outcomes must be identical in all three modes (verdict,
-// witness, output, exit code) — the bench exits nonzero otherwise,
-// and the bench_batch_quick ctest guards that in CI. Wall-clock is
-// informational. Results land in BENCH_batch.json next to
-// bench_search's BENCH_search.json.
+// Per-program outcomes must be identical in every mode and every round
+// (verdict, witness, output, exit code) — the bench exits nonzero
+// otherwise, and the bench_batch_quick ctest guards that in CI.
+// Wall-clock is informational. Results land in BENCH_batch.json next
+// to bench_search's BENCH_search.json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -62,6 +65,7 @@ int main(int argc, char **argv) {
   const unsigned Pairs = Quick ? 6 : 8;
   const unsigned SearchRuns = Quick ? 96 : 256;
   const unsigned Jobs = 4;
+  const unsigned Rounds = 3; // consecutive batches for the engine mode
 
   std::vector<BatchInput> Inputs;
   Inputs.push_back({"int d = 5;\n"
@@ -79,8 +83,12 @@ int main(int argc, char **argv) {
                     "int main(void) { return (8 / a) + (set(0) + set(1)); }\n",
                     "nested.c"});
 
-  DriverOptions Opts;
-  Opts.SearchRuns = SearchRuns;
+  AnalysisRequest Opts =
+      AnalysisRequest::Builder().searchRuns(SearchRuns).buildOrDie();
+  AnalysisRequest OptsN = AnalysisRequest::Builder()
+                              .searchRuns(SearchRuns)
+                              .searchJobs(Jobs)
+                              .buildOrDie();
 
   std::printf("Batched multi-program driver, %zu translation units, "
               "search budget %u%s\n\n",
@@ -100,12 +108,28 @@ int main(int argc, char **argv) {
     Driver Drv(Opts);
     Batch1 = Drv.runBatch(Inputs);
   });
-  DriverOptions OptsN = Opts;
-  OptsN.SearchJobs = Jobs;
   double BatchNMs = wallOf([&] {
     Driver Drv(OptsN);
     BatchN = Drv.runBatch(Inputs);
   });
+
+  // Engine reuse: one persistent pool across consecutive batches
+  // (drained between rounds, like a service between requests), against
+  // a fresh Driver — fresh pool — per batch.
+  std::vector<double> FreshMs(Rounds), ReuseMs(Rounds);
+  std::vector<BatchResult> FreshResults(Rounds), ReuseResults(Rounds);
+  for (unsigned R = 0; R < Rounds; ++R)
+    FreshMs[R] = wallOf([&] {
+      Driver Drv(OptsN);
+      FreshResults[R] = Drv.runBatch(Inputs);
+    });
+  {
+    Driver Service(OptsN); // one engine, Rounds batches
+    for (unsigned R = 0; R < Rounds; ++R) {
+      ReuseMs[R] = wallOf([&] { ReuseResults[R] = Service.runBatch(Inputs); });
+      Service.engine().drain(); // reclaim between batches, like a service
+    }
+  }
 
   bool OutcomesAgree = true;
   std::printf("%-12s %-10s %8s %8s\n", "program", "verdict", "orders",
@@ -115,6 +139,10 @@ int main(int argc, char **argv) {
     const DriverOutcome &O = Batch1.Outcomes[I];
     if (!sameOutcome(Seq[I], O) || !sameOutcome(O, BatchN.Outcomes[I]))
       OutcomesAgree = false;
+    for (unsigned R = 0; R < Rounds; ++R)
+      if (!sameOutcome(O, FreshResults[R].Outcomes[I]) ||
+          !sameOutcome(O, ReuseResults[R].Outcomes[I]))
+        OutcomesAgree = false;
     std::printf("%-12s %-10s %8u %8u\n", Inputs[I].Name.c_str(),
                 O.anyUb() ? "UNDEF" : "clean", O.OrdersExplored,
                 O.OrdersDeduped);
@@ -124,6 +152,19 @@ int main(int argc, char **argv) {
               "%.2f ms (%.2fx)\n",
               SeqMs, Batch1Ms, Batch1Ms > 0 ? SeqMs / Batch1Ms : 0.0, Jobs,
               BatchNMs, BatchNMs > 0 ? SeqMs / BatchNMs : 0.0);
+
+  double FreshTotal = 0, ReuseTotal = 0;
+  std::printf("\nengine reuse (x%u workers, %u consecutive batches):\n",
+              Jobs, Rounds);
+  std::printf("%-8s %12s %12s\n", "round", "fresh-pool", "one-engine");
+  for (unsigned R = 0; R < Rounds; ++R) {
+    FreshTotal += FreshMs[R];
+    ReuseTotal += ReuseMs[R];
+    std::printf("%-8u %9.2f ms %9.2f ms\n", R + 1, FreshMs[R], ReuseMs[R]);
+  }
+  std::printf("%-8s %9.2f ms %9.2f ms (%.2fx)\n", "total", FreshTotal,
+              ReuseTotal, ReuseTotal > 0 ? FreshTotal / ReuseTotal : 0.0);
+
   std::printf("scheduler (x%u): jobs=%u steals=%llu runs=%llu "
               "dedup-hits=%llu peak-frontier=%llu\n",
               Jobs, BatchN.Stats.Jobs,
@@ -132,12 +173,12 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(BatchN.Stats.DedupHits),
               static_cast<unsigned long long>(BatchN.Stats.PeakFrontier));
   std::printf("per-program outcomes %s\n",
-              OutcomesAgree ? "identical across sequential/batch modes"
+              OutcomesAgree ? "identical across all modes and rounds"
                             : "DIFFER (bug!)");
 
   std::string Json = "{\n  \"bench\": \"batch\",\n";
   Json += std::string("  \"quick\": ") + (Quick ? "true" : "false") + ",\n";
-  char Buf[512];
+  char Buf[1024];
   std::snprintf(Buf, sizeof(Buf),
                 "  \"programs\": %zu,\n  \"budget\": %u,\n"
                 "  \"modes\": [\n"
@@ -147,13 +188,33 @@ int main(int argc, char **argv) {
                 "\"steals\": %llu, \"runs\": %llu},\n"
                 "    {\"mode\": \"batch\", \"jobs\": %u, \"wall_ms\": %.3f, "
                 "\"steals\": %llu, \"runs\": %llu}\n"
-                "  ],\n  \"outcomes_identical\": %s\n}\n",
+                "  ],\n",
                 Inputs.size(), SearchRuns, SeqMs, Batch1Ms,
                 static_cast<unsigned long long>(Batch1.Stats.Steals),
                 static_cast<unsigned long long>(Batch1.Stats.RunsExecuted),
                 Jobs, BatchNMs,
                 static_cast<unsigned long long>(BatchN.Stats.Steals),
-                static_cast<unsigned long long>(BatchN.Stats.RunsExecuted),
+                static_cast<unsigned long long>(BatchN.Stats.RunsExecuted));
+  Json += Buf;
+  auto msArray = [](const std::vector<double> &Ms) {
+    std::string Out = "[";
+    for (size_t I = 0; I < Ms.size(); ++I) {
+      char Cell[32];
+      std::snprintf(Cell, sizeof(Cell), "%s%.3f", I ? ", " : "", Ms[I]);
+      Out += Cell;
+    }
+    return Out + "]";
+  };
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"engine_reuse\": {\"jobs\": %u, \"batches\": %u,\n"
+                "    \"fresh_pool_ms\": %s,\n"
+                "    \"one_engine_ms\": %s,\n"
+                "    \"fresh_total_ms\": %.3f, \"one_engine_total_ms\": %.3f"
+                "},\n",
+                Jobs, Rounds, msArray(FreshMs).c_str(),
+                msArray(ReuseMs).c_str(), FreshTotal, ReuseTotal);
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"outcomes_identical\": %s\n}\n",
                 OutcomesAgree ? "true" : "false");
   Json += Buf;
   cundef_bench::writeJsonFile("bench_batch", JsonPath, Json);

@@ -1,0 +1,99 @@
+# Drives kcc's machine-readable mode: --json must emit one
+# cundef-kcc-v1 document on stdout (docs/JSON_OUTPUT.md documents the
+# schema) with nothing else around it, embed program output instead of
+# passing it through, suppress the human report on stderr, and keep the
+# exit-code contract (139 undefined / 1 compile failure / program exit
+# code otherwise). Run via ctest (test name: kcc_json_cli).
+if(NOT DEFINED KCC OR NOT DEFINED WORKDIR)
+  message(FATAL_ERROR "usage: cmake -DKCC=<kcc> -DWORKDIR=<dir> -P CheckJsonCli.cmake")
+endif()
+
+file(MAKE_DIRECTORY ${WORKDIR})
+set(UB_C ${WORKDIR}/json_ub.c)
+file(WRITE ${UB_C} "int d = 5;\nint setDenom(int x) { return d = x; }\nint main(void) { return (10 / d) + setDenom(0); }\n")
+set(OK_C ${WORKDIR}/json_ok.c)
+file(WRITE ${OK_C} "#include <stdio.h>\nint main(void) { printf(\"hi-json\\n\"); return 5; }\n")
+set(BAD_C ${WORKDIR}/json_bad.c)
+file(WRITE ${BAD_C} "int main(void) { return 0 }\n")
+
+# Undefined program: exit 139, verdict, findings with the catalog code,
+# the witness array, and the scheduler counters.
+execute_process(
+  COMMAND ${KCC} --json --search=64 ${UB_C}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 139)
+  message(FATAL_ERROR "kcc --json (ub): expected exit 139, got ${RC}")
+endif()
+if(NOT OUT MATCHES "\"schema\": \"cundef-kcc-v1\"")
+  message(FATAL_ERROR "kcc --json: missing schema marker: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"exit_code\": 139")
+  message(FATAL_ERROR "kcc --json: exit_code field disagrees with contract: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"verdict\": \"undefined\"")
+  message(FATAL_ERROR "kcc --json: missing undefined verdict: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"code\": \"00001\"")
+  message(FATAL_ERROR "kcc --json: missing division-by-zero finding: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"witness\": \\[1\\]")
+  message(FATAL_ERROR "kcc --json: missing witness bytes: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"orders_explored\":" OR NOT OUT MATCHES "\"wall_micros\":")
+  message(FATAL_ERROR "kcc --json: missing search/timing fields: ${OUT}")
+endif()
+if(ERR MATCHES "ERROR! KCC")
+  message(FATAL_ERROR "kcc --json: human report leaked to stderr: ${ERR}")
+endif()
+# The document must be the entire stdout (machine-readable boundary).
+if(NOT OUT MATCHES "^\\{" OR NOT OUT MATCHES "\\}\n$")
+  message(FATAL_ERROR "kcc --json: stdout is not exactly one JSON document")
+endif()
+
+# Clean program: its exit code passes through the contract; output is
+# embedded, not printed.
+execute_process(
+  COMMAND ${KCC} --json ${OK_C}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 5)
+  message(FATAL_ERROR "kcc --json (ok): expected exit 5, got ${RC}")
+endif()
+if(NOT OUT MATCHES "\"verdict\": \"clean\"")
+  message(FATAL_ERROR "kcc --json (ok): missing clean verdict: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"output\": \"hi-json\\\\n\"")
+  message(FATAL_ERROR "kcc --json (ok): program output not embedded: ${OUT}")
+endif()
+if(OUT MATCHES "^hi-json")
+  message(FATAL_ERROR "kcc --json (ok): program output leaked around the document")
+endif()
+
+# Compile failure: exit 1, verdict compile-error, diagnostics embedded.
+execute_process(
+  COMMAND ${KCC} --json ${BAD_C} ${OK_C}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 1)
+  message(FATAL_ERROR "kcc --json (bad, ok): expected exit 1, got ${RC}")
+endif()
+if(NOT OUT MATCHES "\"verdict\": \"compile-error\"")
+  message(FATAL_ERROR "kcc --json (bad): missing compile-error verdict: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"compile_errors\": \"[^\"]")
+  message(FATAL_ERROR "kcc --json (bad): compile diagnostics not embedded: ${OUT}")
+endif()
+
+# Batch: one document, both programs, pool counters.
+execute_process(
+  COMMAND ${KCC} --json --search=64 --search-jobs=2 ${UB_C} ${OK_C}
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 139)
+  message(FATAL_ERROR "kcc --json (batch): expected exit 139, got ${RC}")
+endif()
+if(NOT OUT MATCHES "json_ub.c" OR NOT OUT MATCHES "json_ok.c")
+  message(FATAL_ERROR "kcc --json (batch): missing per-program entries: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"pool\": \\{" OR NOT OUT MATCHES "\"programs\": 2")
+  message(FATAL_ERROR "kcc --json (batch): missing pool stats: ${OUT}")
+endif()
+
+message(STATUS "kcc --json behaves as documented")

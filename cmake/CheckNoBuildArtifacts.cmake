@@ -1,0 +1,44 @@
+# Guards the repository against re-committing generated build trees:
+# PR 3 accidentally tracked 548 CMake artifacts under build-review/.
+# Fails when `git ls-files` reports anything under a build*/ directory
+# (or stray object files / CMake caches anywhere). Run via ctest (test
+# name: repo_no_build_artifacts). Skips cleanly when the source tree is
+# not a git checkout (e.g. a tarball build).
+if(NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "usage: cmake -DSOURCE_DIR=<repo> -P CheckNoBuildArtifacts.cmake")
+endif()
+
+find_package(Git QUIET)
+if(NOT Git_FOUND)
+  message(STATUS "git not found; skipping build-artifact tracking check")
+  return()
+endif()
+
+execute_process(
+  COMMAND ${GIT_EXECUTABLE} -C ${SOURCE_DIR} ls-files
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE TRACKED
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(STATUS "not a git checkout; skipping build-artifact tracking check")
+  return()
+endif()
+
+string(REPLACE "\n" ";" TRACKED_LIST "${TRACKED}")
+set(OFFENDERS "")
+foreach(FILE ${TRACKED_LIST})
+  if(FILE MATCHES "^build[^/]*/" OR FILE MATCHES "\\.(o|a)$"
+     OR FILE MATCHES "(^|/)CMakeCache\\.txt$" OR FILE MATCHES "(^|/)CMakeFiles/")
+    list(APPEND OFFENDERS ${FILE})
+  endif()
+endforeach()
+
+list(LENGTH OFFENDERS N)
+if(N GREATER 0)
+  list(SUBLIST OFFENDERS 0 10 HEAD)
+  string(JOIN "\n  " HEAD_STR ${HEAD})
+  message(FATAL_ERROR "${N} build artifact(s) are tracked by git "
+    "(extend .gitignore / git rm --cached them):\n  ${HEAD_STR}")
+endif()
+
+message(STATUS "no build artifacts tracked by git")

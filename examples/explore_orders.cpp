@@ -24,10 +24,7 @@ static const char *Program =
     "int main(void) { return (10 / d) + setDenom(0); }\n";
 
 static void runWithOrder(const char *Label, EvalOrderKind Order) {
-  DriverOptions Opts;
-  Opts.Machine.Order = Order;
-  Opts.SearchRuns = 1;
-  Driver Drv(Opts);
+  Driver Drv(AnalysisRequest::Builder().order(Order).buildOrDie());
   DriverOutcome O = Drv.runSource(Program, "order.c");
   std::printf("%-16s : %s\n", Label,
               O.anyUb() ? O.DynamicUb.front().Description.c_str()

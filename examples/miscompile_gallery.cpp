@@ -65,8 +65,8 @@ const GalleryItem Gallery[] = {
 } // namespace
 
 int main() {
-  DriverOptions Opts;
-  Opts.SearchRuns = 16; // the 2.5.2 item needs order search
+  // The 2.5.2 item needs order search.
+  AnalysisRequest Opts = AnalysisRequest::Builder().searchRuns(16).buildOrDie();
   for (const GalleryItem &Item : Gallery) {
     std::printf("=== %s ===\n", Item.Title);
     std::printf("what compilers do: %s\n\n", Item.Anecdote);

@@ -30,13 +30,13 @@ namespace {
 class KccTool : public Tool {
 public:
   explicit KccTool(TargetConfig Target, unsigned SearchJobs = 1) {
-    DriverOptions Opts;
-    Opts.Target = Target;
-    Opts.Machine.Strict = true;
-    Opts.RunStaticChecks = true;
-    Opts.SearchRuns = 8;
-    Opts.SearchJobs = SearchJobs;
-    Drv = std::make_unique<Driver>(Opts);
+    Drv = std::make_unique<Driver>(AnalysisRequest::Builder()
+                                       .target(Target)
+                                       .strict(true)
+                                       .staticChecks(true)
+                                       .searchRuns(8)
+                                       .searchJobs(SearchJobs)
+                                       .buildOrDie());
   }
 
   ToolResult analyze(const std::string &Source,
@@ -69,10 +69,10 @@ ToolResult MonitorTool::analyze(const std::string &Source,
   auto Start = std::chrono::steady_clock::now();
   ToolResult Result;
 
-  DriverOptions DOpts;
-  DOpts.Target = Target;
-  DOpts.RunStaticChecks = false;
-  Driver Drv(DOpts);
+  Driver Drv(AnalysisRequest::Builder()
+                 .target(Target)
+                 .staticChecks(false)
+                 .buildOrDie());
   Driver::Compiled C = Drv.compile(Source, Name);
   if (!C.Ok) {
     Result.CompileOk = false;

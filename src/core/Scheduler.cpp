@@ -203,6 +203,8 @@ struct ProgramState {
   MachineOptions MOpts;
   SearchOptions SOpts;
   bool RootGated = false;
+  /// takeResult() ran; reclaimFinished() may free this state.
+  bool ResultTaken = false;
   /// Effective gates (same policy as the wave engine).
   bool Dedup = true;
   bool Snapshots = true;
@@ -271,9 +273,64 @@ struct SearchScheduler::Impl {
   std::mutex IdleMu;
   std::condition_variable IdleCv;
 
-  std::deque<ProgramState> Programs; // stable addresses
+  /// Submitted programs, by id. unique_ptr so reclaimFinished() can
+  /// free a completed program's arena without disturbing the index
+  /// space; a null slot is a reclaimed program.
+  std::deque<std::unique_ptr<ProgramState>> Programs;
+  /// Guards Programs growth/reclaim (service mode submits while
+  /// workers run; the deque's internal map is not safe to index
+  /// concurrently with push_back).
+  mutable std::mutex SubmitMu;
   SchedulerStats Stats;
   bool Ran = false;
+
+  //===--- Service mode --------------------------------------------------===//
+
+  /// start() was called: workers are persistent, submit() is live.
+  std::atomic<bool> Persistent{false};
+  std::atomic<bool> Stopping{false};
+  std::vector<std::thread> Threads;
+  /// Tasks a worker currently holds (popped, not yet finished with);
+  /// reclaimFinished() waits for 0 so no worker can be touching a
+  /// program state it is about to free.
+  std::atomic<size_t> InFlight{0};
+  std::atomic<size_t> SubmittedCount{0};
+  std::atomic<size_t> FinishedCount{0};
+  /// Sum of completed programs' committed dedup hits (live stats()).
+  std::atomic<uint64_t> DoneDedupHits{0};
+  /// Completion handoff: finishProgram() runs under the program's
+  /// commit mutex, so it only queues the id; workers drain the queue
+  /// lock-free-of-scheduler-state and invoke the callback, which may
+  /// therefore re-enter the scheduler (even submit()). The atomic
+  /// mirror of the queue size keeps the idle-wait predicate lock-light.
+  std::mutex CompletedMu;
+  std::deque<size_t> CompletedQ;
+  std::atomic<size_t> CompletedPending{0};
+  std::function<void(size_t)> DoneCb;
+  /// Signals program completions (waitProgram / drain / reclaim).
+  std::mutex DoneMu;
+  std::condition_variable DoneCv;
+
+  ProgramState *program(size_t Id) {
+    std::lock_guard<std::mutex> Lock(SubmitMu);
+    return Id < Programs.size() ? Programs[Id].get() : nullptr;
+  }
+
+  void drainCompleted() {
+    for (;;) {
+      size_t Id;
+      {
+        std::lock_guard<std::mutex> Lock(CompletedMu);
+        if (CompletedQ.empty())
+          return;
+        Id = CompletedQ.front();
+        CompletedQ.pop_front();
+        CompletedPending.fetch_sub(1, std::memory_order_acq_rel);
+      }
+      if (DoneCb)
+        DoneCb(Id);
+    }
+  }
 
   //===--- Frontier ------------------------------------------------------===//
 
@@ -289,13 +346,34 @@ struct SearchScheduler::Impl {
            !PeakFrontier.compare_exchange_weak(Peak, Now,
                                                std::memory_order_relaxed))
       ;
+    wakeWorker();
+  }
+
+  /// Workers sleep on an untimed predicate wait (a persistent pool
+  /// must not poll while idle), so every event that can change the
+  /// predicate pairs its notify with the wait mutex — otherwise a
+  /// worker between its predicate check and its sleep would miss the
+  /// wakeup forever.
+  void wakeWorker() {
+    { std::lock_guard<std::mutex> Lock(IdleMu); }
     IdleCv.notify_one();
+  }
+  void wakeAllWorkers() {
+    { std::lock_guard<std::mutex> Lock(IdleMu); }
+    IdleCv.notify_all();
   }
 
   /// Pops the oldest task from the worker's own deque, stealing the
   /// oldest from a sibling when empty. Oldest-first keeps execution
   /// close to canonical commit order, which keeps the in-flight
   /// visited-set fresh and speculation waste low.
+  ///
+  /// InFlight is claimed *under the deque mutex*, before the task
+  /// leaves the deque: reclaimFinished() purges the deques and then
+  /// waits for InFlight to hit zero, so a task must never exist in the
+  /// gap between "not queued" and "counted as held" — a worker
+  /// preempted there would let reclamation free the arena its task
+  /// lives in. The caller owes one fetch_sub per returned task.
   Task *popTask(unsigned Worker) {
     for (unsigned I = 0; I < Deques.size(); ++I) {
       WorkerDeque &D = Deques[(Worker + I) % Deques.size()];
@@ -304,6 +382,7 @@ struct SearchScheduler::Impl {
         continue;
       Task *T = D.Q.front();
       D.Q.pop_front();
+      InFlight.fetch_add(1, std::memory_order_acq_rel);
       QueuedCount.fetch_sub(1, std::memory_order_relaxed);
       if (I != 0) {
         GlobalSteals.fetch_add(1, std::memory_order_relaxed);
@@ -316,14 +395,27 @@ struct SearchScheduler::Impl {
 
   //===--- Worker loop ---------------------------------------------------===//
 
+  /// One-shot workers retire when every submitted program finished;
+  /// persistent workers idle until stop().
+  bool exhausted() const {
+    return Persistent.load(std::memory_order_acquire)
+               ? Stopping.load(std::memory_order_acquire)
+               : ProgramsLeft.load(std::memory_order_acquire) == 0;
+  }
+
   void workerLoop(unsigned Worker) {
-    while (ProgramsLeft.load(std::memory_order_acquire) > 0) {
+    while (!exhausted()) {
+      drainCompleted();
       Task *T = popTask(Worker);
       if (!T) {
+        // Untimed: an idle persistent pool sleeps, it does not poll.
+        // Every predicate input is paired with a locked notify
+        // (wakeWorker/wakeAllWorkers), so no wakeup can be missed.
         std::unique_lock<std::mutex> Lock(IdleMu);
-        IdleCv.wait_for(Lock, std::chrono::milliseconds(1), [&] {
+        IdleCv.wait(Lock, [&] {
           return QueuedCount.load(std::memory_order_relaxed) > 0 ||
-                 ProgramsLeft.load(std::memory_order_acquire) == 0;
+                 CompletedPending.load(std::memory_order_acquire) > 0 ||
+                 exhausted();
         });
         continue;
       }
@@ -335,6 +427,7 @@ struct SearchScheduler::Impl {
         Cache.drop(T->SnapId);
         T->State.store(Task::Dropped, std::memory_order_release);
         advance(P);
+        InFlight.fetch_sub(1, std::memory_order_acq_rel);
         continue;
       }
       executeTask(*T, Worker);
@@ -344,7 +437,7 @@ struct SearchScheduler::Impl {
         // program) and will never finalize: release its snapshots so
         // they do not squat in the cache. A race that misses this is
         // harmless — the LRU evicts strays, and the cache dies with
-        // the scheduler.
+        // the scheduler (or is swept by reclaimFinished()).
         Cache.drop(T->SnapId);
         for (const auto &[Depth, Id] : T->Snaps)
           Cache.drop(Id);
@@ -352,8 +445,10 @@ struct SearchScheduler::Impl {
       }
       T->State.store(Task::Executed, std::memory_order_release);
       advance(P);
+      InFlight.fetch_sub(1, std::memory_order_acq_rel);
     }
-    IdleCv.notify_all();
+    drainCompleted();
+    wakeAllWorkers();
   }
 
   //===--- Execution plane (speculative) ---------------------------------===//
@@ -662,15 +757,59 @@ struct SearchScheduler::Impl {
   }
 
   /// Marks the program complete and publishes its aggregate counters.
-  /// Called under the commit mutex.
+  /// Called under the commit mutex; the result is final here, so the
+  /// per-program wall-clock counters are published too (the one-shot
+  /// epilogue re-publishes them with end-of-run values, preserving the
+  /// PR-3 accounting). The completion callback is only *queued* —
+  /// workers invoke it outside every scheduler lock.
   void finishProgram(ProgramState &P) {
     P.Result.RunsExplored = P.RunsFinalized;
+    P.Result.SnapshotEvictions =
+        P.EvictionsAtomic.load(std::memory_order_relaxed);
+    P.Result.Steals = P.StealsAtomic.load(std::memory_order_relaxed);
+    P.Result.PeakFrontier = static_cast<unsigned>(
+        PeakFrontier.load(std::memory_order_relaxed)); // scheduler-wide
     P.Done.store(true, std::memory_order_release);
     for (Task &T : P.Arena)
       if (T.State.load(std::memory_order_acquire) == Task::Queued)
         T.Abandoned.store(true, std::memory_order_release);
+    DoneDedupHits.fetch_add(P.Result.DedupHits, std::memory_order_relaxed);
+    FinishedCount.fetch_add(1, std::memory_order_acq_rel);
     ProgramsLeft.fetch_sub(1, std::memory_order_acq_rel);
-    IdleCv.notify_all();
+    {
+      std::lock_guard<std::mutex> Lock(CompletedMu);
+      CompletedQ.push_back(P.Id);
+      CompletedPending.fetch_add(1, std::memory_order_acq_rel);
+    }
+    wakeAllWorkers();
+    {
+      // Taking DoneMu pairs the notify with waiters' predicate checks;
+      // without it a waiter between its check and its wait would miss
+      // this completion until its poll interval expires.
+      std::lock_guard<std::mutex> Lock(DoneMu);
+    }
+    DoneCv.notify_all();
+  }
+
+  /// Seeds a program with its root task (the empty prefix = the policy
+  /// default order), unless the budget cannot even run it — then the
+  /// program completes immediately as fully truncated. ProgramsLeft
+  /// must already account for the program.
+  void seedProgram(ProgramState &P, unsigned Hint) {
+    if (P.SOpts.MaxRuns == 0) {
+      P.Result.FrontierTruncated = true;
+      P.Result.DroppedSubtrees += 1;
+      finishProgram(P);
+      return;
+    }
+    P.Arena.emplace_back();
+    Task &Root = P.Arena.back();
+    Root.Prog = &P;
+    Root.Gen = 0;
+    P.CurGen.push_back(&Root);
+    P.NextFinal = 0;
+    ++P.Result.Waves;
+    pushTask(&Root, Hint);
   }
 };
 
@@ -681,14 +820,15 @@ struct SearchScheduler::Impl {
 SearchScheduler::SearchScheduler(Config Cfg)
     : I(std::make_unique<Impl>(Cfg)) {}
 
-SearchScheduler::~SearchScheduler() = default;
+SearchScheduler::~SearchScheduler() { stop(); }
 
 size_t SearchScheduler::submit(const AstContext &Ast, MachineOptions MOpts,
                                SearchOptions SOpts, bool RootGated) {
-  assert(!I->Ran && "submit all programs before runAll()");
-  I->Programs.emplace_back();
-  ProgramState &P = I->Programs.back();
-  P.Id = I->Programs.size() - 1;
+  Impl &S = *I;
+  assert((!S.Ran || S.Persistent.load(std::memory_order_acquire)) &&
+         "one-shot mode: submit all programs before runAll()");
+  auto Slot = std::make_unique<ProgramState>();
+  ProgramState &P = *Slot;
   P.Ast = &Ast;
   P.MOpts = MOpts;
   P.SOpts = SOpts;
@@ -703,36 +843,34 @@ size_t SearchScheduler::submit(const AstContext &Ast, MachineOptions MOpts,
   P.Snapshots = SOpts.UseSnapshots && SOpts.SnapshotBudget > 0 &&
                 MOpts.Order != EvalOrderKind::Random &&
                 MOpts.Style != RuleStyle::Declarative;
+
+  std::lock_guard<std::mutex> Lock(S.SubmitMu);
+  P.Id = S.Programs.size();
+  S.Programs.push_back(std::move(Slot));
+  S.SubmittedCount.fetch_add(1, std::memory_order_acq_rel);
+  if (S.Persistent.load(std::memory_order_acquire)) {
+    // Service mode: the program goes live immediately on the running
+    // pool. ProgramsLeft is bumped before seeding so drain() can never
+    // observe a submitted-but-unaccounted program.
+    S.ProgramsLeft.fetch_add(1, std::memory_order_acq_rel);
+    S.seedProgram(P, S.NextPush.fetch_add(1, std::memory_order_relaxed));
+  }
   return P.Id;
 }
 
 void SearchScheduler::runAll() {
   Impl &S = *I;
   assert(!S.Ran && "runAll() may be called once");
+  assert(!S.Persistent.load(std::memory_order_acquire) &&
+         "runAll() is the one-shot interface; service mode uses "
+         "start()/drain()");
   S.Ran = true;
   S.Stats.Programs = static_cast<unsigned>(S.Programs.size());
   S.ProgramsLeft.store(S.Programs.size(), std::memory_order_release);
 
-  // Seed each program with its root task (the empty prefix = the
-  // policy default order), unless the budget cannot even run it.
   unsigned Spawn = 0;
-  for (ProgramState &P : S.Programs) {
-    if (P.SOpts.MaxRuns == 0) {
-      P.Result.FrontierTruncated = true;
-      P.Result.DroppedSubtrees += 1;
-      P.Done.store(true, std::memory_order_release);
-      S.ProgramsLeft.fetch_sub(1, std::memory_order_acq_rel);
-      continue;
-    }
-    P.Arena.emplace_back();
-    Task &Root = P.Arena.back();
-    Root.Prog = &P;
-    Root.Gen = 0;
-    P.CurGen.push_back(&Root);
-    P.NextFinal = 0;
-    ++P.Result.Waves;
-    S.pushTask(&Root, Spawn++);
-  }
+  for (auto &P : S.Programs)
+    S.seedProgram(*P, Spawn++);
 
   if (S.ProgramsLeft.load(std::memory_order_acquire) > 0) {
     if (S.Jobs == 1) {
@@ -747,24 +885,142 @@ void SearchScheduler::runAll() {
     }
   }
 
-  // Publish per-program and aggregate counters.
+  // Publish end-of-run aggregate counters (finishProgram already
+  // published per-program ones; the wall-clock details are re-stamped
+  // with final values to preserve the PR-3 accounting).
   S.Stats.Steals = S.GlobalSteals.load(std::memory_order_relaxed);
   S.Stats.SnapshotEvictions = S.Cache.evictions();
   S.Stats.PeakFrontier = S.PeakFrontier.load(std::memory_order_relaxed);
   S.Stats.RunsExecuted = S.RunsExecuted.load(std::memory_order_relaxed);
-  for (ProgramState &P : S.Programs) {
-    P.Result.SnapshotEvictions =
-        P.EvictionsAtomic.load(std::memory_order_relaxed);
-    P.Result.Steals = P.StealsAtomic.load(std::memory_order_relaxed);
-    P.Result.PeakFrontier =
+  for (auto &P : S.Programs) {
+    P->Result.PeakFrontier =
         static_cast<unsigned>(S.Stats.PeakFrontier); // scheduler-wide
-    S.Stats.DedupHits += P.Result.DedupHits;
+    S.Stats.DedupHits += P->Result.DedupHits;
   }
 }
 
 SearchResult SearchScheduler::takeResult(size_t Program) {
-  assert(Program < I->Programs.size());
-  return std::move(I->Programs[Program].Result);
+  ProgramState *P = I->program(Program);
+  assert(P && "takeResult: program unknown or already reclaimed");
+  P->ResultTaken = true;
+  return std::move(P->Result);
 }
 
-const SchedulerStats &SearchScheduler::stats() const { return I->Stats; }
+SchedulerStats SearchScheduler::stats() const {
+  Impl &S = *I;
+  if (!S.Persistent.load(std::memory_order_acquire))
+    return S.Stats;
+  // Live snapshot: every field is monotonic (peak included), so two
+  // snapshots diff into per-batch numbers.
+  SchedulerStats St;
+  St.Programs =
+      static_cast<unsigned>(S.SubmittedCount.load(std::memory_order_acquire));
+  St.Jobs = S.Jobs;
+  St.Steals = S.GlobalSteals.load(std::memory_order_relaxed);
+  St.SnapshotEvictions = S.Cache.evictions();
+  St.PeakFrontier = S.PeakFrontier.load(std::memory_order_relaxed);
+  St.RunsExecuted = S.RunsExecuted.load(std::memory_order_relaxed);
+  St.DedupHits = S.DoneDedupHits.load(std::memory_order_relaxed);
+  return St;
+}
+
+//===----------------------------------------------------------------------===//
+// Service mode
+//===----------------------------------------------------------------------===//
+
+void SearchScheduler::start() {
+  Impl &S = *I;
+  assert(!S.Ran && "cannot mix start() with runAll()");
+  if (S.Persistent.exchange(true, std::memory_order_acq_rel))
+    return; // already started
+  S.Threads.reserve(S.Jobs);
+  for (unsigned W = 0; W < S.Jobs; ++W)
+    S.Threads.emplace_back([&S, W] { S.workerLoop(W); });
+}
+
+bool SearchScheduler::started() const {
+  return I->Persistent.load(std::memory_order_acquire);
+}
+
+void SearchScheduler::setProgramDoneCallback(std::function<void(size_t)> Fn) {
+  assert(!started() && "set the completion callback before start()");
+  I->DoneCb = std::move(Fn);
+}
+
+void SearchScheduler::waitProgram(size_t Program) {
+  Impl &S = *I;
+  // The pointer is captured once: taking SubmitMu inside the wait
+  // predicate would invert the submit()->finishProgram lock order.
+  // Callers must not race this against reclaimFinished() for a
+  // program whose result they already took.
+  ProgramState *P = S.program(Program);
+  if (!P)
+    return; // reclaimed: finished long ago
+  std::unique_lock<std::mutex> Lock(S.DoneMu);
+  S.DoneCv.wait(Lock, [&] { return P->Done.load(std::memory_order_acquire); });
+}
+
+void SearchScheduler::drain() {
+  Impl &S = *I;
+  std::unique_lock<std::mutex> Lock(S.DoneMu);
+  S.DoneCv.wait(Lock, [&] {
+    return S.FinishedCount.load(std::memory_order_acquire) ==
+           S.SubmittedCount.load(std::memory_order_acquire);
+  });
+}
+
+bool SearchScheduler::reclaimFinished() {
+  Impl &S = *I;
+  if (!S.Persistent.load(std::memory_order_acquire))
+    return false;
+  std::lock_guard<std::mutex> Lock(S.SubmitMu);
+  // Only a fully idle pool is safe: with every program finished, no
+  // queued task can spawn children and no in-flight run can outlive
+  // the InFlight wait below.
+  if (S.FinishedCount.load(std::memory_order_acquire) !=
+      S.SubmittedCount.load(std::memory_order_acquire))
+    return false;
+  // Queued tasks all belong to finished programs now: abandoned work
+  // the workers would drop one by one. Drop it wholesale.
+  for (auto &D : S.Deques) {
+    std::lock_guard<std::mutex> DL(D.Mu);
+    for (Task *T : D.Q) {
+      S.Cache.drop(T->SnapId);
+      T->State.store(Task::Dropped, std::memory_order_release);
+      S.QueuedCount.fetch_sub(1, std::memory_order_relaxed);
+    }
+    D.Q.clear();
+  }
+  // Workers may still hold a popped (cancelling) task; their machines
+  // stop at the next cancel check, so this wait is bounded.
+  while (S.InFlight.load(std::memory_order_acquire) > 0)
+    std::this_thread::yield();
+  for (auto &Slot : S.Programs) {
+    if (!Slot || !Slot->Done.load(std::memory_order_acquire) ||
+        !Slot->ResultTaken)
+      continue;
+    // Executed-but-never-finalized tasks (overtaken by an early UB
+    // winner) still pin their mid-run snapshot captures. In one-shot
+    // mode the cache dies with the scheduler; a persistent pool must
+    // sweep them here or they evict the next batch's snapshots and
+    // silently degrade forks into replays.
+    for (Task &T : Slot->Arena) {
+      S.Cache.drop(T.SnapId);
+      for (const auto &[Depth, Id] : T.Snaps)
+        S.Cache.drop(Id);
+    }
+    Slot.reset();
+  }
+  return true;
+}
+
+void SearchScheduler::stop() {
+  Impl &S = *I;
+  if (!S.Persistent.load(std::memory_order_acquire))
+    return;
+  S.Stopping.store(true, std::memory_order_release);
+  S.wakeAllWorkers();
+  for (std::thread &T : S.Threads)
+    T.join();
+  S.Threads.clear();
+}

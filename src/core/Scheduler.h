@@ -53,6 +53,7 @@
 #include "core/Search.h"
 
 #include <atomic>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -124,11 +125,26 @@ struct SchedulerStats {
   uint64_t DedupHits = 0;
 };
 
-/// The work-stealing search scheduler: submit one or more programs,
-/// call runAll(), read per-program SearchResults. Every committed
-/// per-program output (verdict, witness, reports, runs, dedup hits,
-/// pruned subtrees, truncation) is deterministic — byte-identical to
-/// the wave engine's — regardless of job count or steal interleaving.
+/// The work-stealing search scheduler. Two operating modes share one
+/// implementation:
+///
+///  * **One-shot** (the PR-3 interface): submit one or more programs,
+///    call runAll() once, read per-program SearchResults. Workers are
+///    spawned for the call and drained with it.
+///  * **Service** (persistent): call start() once to spawn the worker
+///    pool, then submit() programs at any time, from any thread; each
+///    program completes asynchronously (setProgramDoneCallback /
+///    waitProgram), the pool idles between submissions, and drain() /
+///    stop() end the session. This is the pool an AnalysisEngine keeps
+///    alive across batches, so consecutive submissions amortize worker
+///    startup and share one snapshot cache.
+///
+/// In both modes every committed per-program output (verdict, witness,
+/// reports, runs, dedup hits, pruned subtrees, truncation) is
+/// deterministic — byte-identical to the wave engine's — regardless of
+/// job count, steal interleaving, or how submissions interleave with
+/// running programs: all cross-program sharing (worker deques, the
+/// snapshot cache) affects wall-clock only.
 class SearchScheduler {
 public:
   struct Config {
@@ -165,13 +181,55 @@ public:
                 SearchOptions SOpts, bool RootGated = false);
 
   /// Runs every submitted program to completion on the shared worker
-  /// pool. Call once, after all submissions.
+  /// pool. Call once, after all submissions (one-shot mode; mutually
+  /// exclusive with start()).
   void runAll();
 
-  /// The finished result for \p Program (valid after runAll()).
+  /// The finished result for \p Program (valid after runAll(), or —
+  /// in service mode — once the program completed).
   SearchResult takeResult(size_t Program);
 
-  const SchedulerStats &stats() const;
+  /// Aggregate pool counters. In one-shot mode, valid after runAll();
+  /// in service mode, a live monotonic snapshot (callers diff two
+  /// snapshots for per-batch numbers).
+  SchedulerStats stats() const;
+
+  //===--- Service mode --------------------------------------------------===//
+
+  /// Spawns the persistent worker pool (idempotent). After start(),
+  /// submit() is allowed at any time from any thread and programs run
+  /// as they arrive; runAll() must not be used.
+  void start();
+  bool started() const;
+
+  /// Invoked once per program, with its id, after the program completed
+  /// (its SearchResult is final and takeResult is safe). Called from a
+  /// worker thread with no scheduler locks held, so the callback may
+  /// call back into the scheduler — including submit(). Set before
+  /// start().
+  void setProgramDoneCallback(std::function<void(size_t)> Fn);
+
+  /// Blocks until \p Program completed (service mode).
+  void waitProgram(size_t Program);
+
+  /// Blocks until every submitted program completed (service mode).
+  /// The pool stays alive, idle, ready for the next submission.
+  void drain();
+
+  /// Reclaims the per-program search state (task arenas, visited sets)
+  /// of completed programs whose result was taken. Only acts when the
+  /// pool is fully idle — every submitted program done and no run in
+  /// flight — so it is safe to call whenever, and an engine calls it
+  /// after drain(): a long-lived service then holds memory proportional
+  /// to the largest batch, not to its whole history. Returns true when
+  /// the pool was idle and reclamation ran (callers holding resources
+  /// the pool references — e.g. ASTs — may free theirs then too).
+  bool reclaimFinished();
+
+  /// Stops and joins the worker pool. Graceful shutdown is
+  /// drain()-then-stop(); stopping with unfinished programs abandons
+  /// their queued work (their results never become valid).
+  void stop();
 
 private:
   struct Impl;

@@ -6,202 +6,57 @@
 
 #include "driver/Driver.h"
 
-#include "core/Scheduler.h"
-#include "libc/Builtins.h"
-#include "libc/Headers.h"
-#include "parse/Parser.h"
-#include "sema/Sema.h"
-#include "ub/StaticChecks.h"
-
-#include <algorithm>
 #include <chrono>
 
 using namespace cundef;
 
-std::string DriverOutcome::renderReport() const {
-  std::string Out;
-  if (!CompileOk && StaticUb.empty() && DynamicUb.empty())
-    return CompileErrors;
-  std::vector<UbReport> All = StaticUb;
-  All.insert(All.end(), DynamicUb.begin(), DynamicUb.end());
-  return renderKccErrors(All);
-}
-
-Driver::Driver(DriverOptions Opts) : Opts(std::move(Opts)) {
-  registerStandardHeaders(Headers);
-}
+Driver::Driver(AnalysisRequest Req)
+    : Req(std::move(Req)), Eng(engineConfigFor(this->Req)) {}
 
 Driver::Compiled Driver::compile(const std::string &Source,
                                  const std::string &Name) {
-  Compiled Result;
-  Result.Interner = std::make_unique<StringInterner>();
-  DiagnosticEngine Diags;
-  Preprocessor PP(*Result.Interner, Diags, Headers);
-  std::vector<Token> Toks = PP.run(Source, Name);
-  if (Diags.hasErrors()) {
-    Result.Errors = Diags.render();
-    return Result;
-  }
-  Result.Ast = std::make_unique<AstContext>(Opts.Target, *Result.Interner);
-  Parser P(std::move(Toks), *Result.Ast, Diags);
-  bool ParseOk = P.parseTranslationUnit();
-  UbSink StaticSink;
-  if (ParseOk) {
-    Sema S(*Result.Ast, Diags, StaticSink);
-    S.run();
-    if (Opts.RunStaticChecks) {
-      StaticChecker Checker(*Result.Ast, StaticSink);
-      Checker.run();
-    }
-    assignBuiltinIds(*Result.Ast);
-  }
-  Result.StaticUb = StaticSink.all();
-  Result.Errors = Diags.render();
-  Result.Ok = !Diags.hasErrors();
-  return Result;
+  return Eng.compileUnit(Req, Source, Name);
 }
 
 DriverOutcome Driver::runSource(const std::string &Source,
                                 const std::string &Name) {
-  DriverOutcome Outcome;
-  Compiled C = compile(Source, Name);
-  Outcome.CompileOk = C.Ok;
-  Outcome.CompileErrors = C.Errors;
-  Outcome.StaticUb = C.StaticUb;
-  if (!C.Ok) {
-    Outcome.Status = RunStatus::Internal;
-    return Outcome;
-  }
-
-  UbSink RunSink;
-  Machine M(*C.Ast, Opts.Machine, RunSink);
-  Outcome.Status = M.run();
-  Outcome.ExitCode = M.config().ExitCode;
-  Outcome.Output = M.config().Output;
-  Outcome.DynamicUb = RunSink.all();
-  Outcome.OrdersExplored = 1;
-
-  // When the default order found nothing, search others: undefinedness
-  // may hide on a different (still conforming) evaluation strategy.
-  if (Outcome.DynamicUb.empty() && Opts.SearchRuns > 1 &&
-      Outcome.Status == RunStatus::Completed) {
-    SearchOptions SO;
-    SO.MaxRuns = Opts.SearchRuns;
-    SO.Jobs = Opts.SearchJobs;
-    SO.Dedup = Opts.SearchDedup;
-    SO.UseSnapshots = Opts.SearchSnapshots;
-    SO.Sched = Opts.SearchSched;
-    OrderSearch Search(*C.Ast, Opts.Machine, SO);
-    SearchResult SR = Search.run();
-    Outcome.OrdersExplored += SR.RunsExplored;
-    Outcome.OrdersDeduped = SR.DedupHits + SR.SubtreesPruned;
-    Outcome.SearchTruncated = SR.FrontierTruncated;
-    Outcome.SearchDropped = SR.DroppedSubtrees;
-    Outcome.SearchSteals = SR.Steals;
-    Outcome.SearchEvictions = SR.SnapshotEvictions;
-    Outcome.SearchPeakFrontier = SR.PeakFrontier;
-    if (SR.UbFound) {
-      Outcome.DynamicUb = SR.Reports;
-      Outcome.SearchWitness = SR.Witness;
-    }
-  }
-  return Outcome;
+  return Eng.submit(Req, Source, Name).take();
 }
 
 BatchResult Driver::runBatch(const std::vector<BatchInput> &Inputs) {
   auto Start = std::chrono::steady_clock::now();
   BatchResult Batch;
-  Batch.Outcomes.resize(Inputs.size());
   Batch.Stats.Programs = static_cast<unsigned>(Inputs.size());
 
-  if (Opts.SearchSched == SchedKind::Wave) {
-    // The wave engine has no multi-program scheduler, so honoring the
-    // reference selection means the reference path: one sequential
-    // runSource per unit. Verdicts, witnesses, outputs, and exit codes
-    // are identical to the stealing batch (test_scheduler asserts it);
-    // only wall-clock shape and OrdersExplored differ (runSource
-    // executes the default order once more outside the search).
-    Batch.Stats.Jobs = 1; // sequential by definition
-    for (size_t I = 0; I < Inputs.size(); ++I) {
-      DriverOutcome &O = Batch.Outcomes[I];
-      O = runSource(Inputs[I].Source, Inputs[I].Name);
-      // Aggregate what the wave path can report so --batch-stats is
-      // truthful: runs executed and deduped events (the wave outcome
-      // does not separate dedup hits from barrier twin prunes; steals
-      // are genuinely zero here).
-      Batch.Stats.RunsExecuted += O.OrdersExplored;
-      Batch.Stats.DedupHits += O.OrdersDeduped;
-      Batch.Stats.SnapshotEvictions += O.SearchEvictions;
-      Batch.Stats.PeakFrontier =
-          std::max<uint64_t>(Batch.Stats.PeakFrontier, O.SearchPeakFrontier);
-    }
-    auto End = std::chrono::steady_clock::now();
-    Batch.Stats.WallMs =
-        std::chrono::duration<double, std::milli>(End - Start).count();
-    return Batch;
+  SchedulerStats Before = Eng.poolStats();
+  std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
+  Batch.Outcomes.reserve(Handles.size());
+  for (JobHandle &H : Handles)
+    Batch.Outcomes.push_back(H.take());
+  SchedulerStats After = Eng.poolStats();
+
+  if (Req.searchSched() == SchedKind::Wave) {
+    // The wave reference path runs sequentially on the submitting
+    // thread and never touches the pool.
+    SchedulerStats St = waveAggregateStats(Batch.Outcomes);
+    Batch.Stats.Jobs = St.Jobs;
+    Batch.Stats.RunsExecuted = St.RunsExecuted;
+    Batch.Stats.DedupHits = St.DedupHits;
+    Batch.Stats.SnapshotEvictions = St.SnapshotEvictions;
+    Batch.Stats.PeakFrontier = St.PeakFrontier;
+  } else {
+    // Per-batch delta of the engine's monotonic pool counters: exact
+    // on a quiescent engine, and still meaningful when batches share
+    // the pool with other submissions.
+    Batch.Stats.Jobs = After.Jobs;
+    Batch.Stats.Steals = After.Steals - Before.Steals;
+    Batch.Stats.SnapshotEvictions =
+        After.SnapshotEvictions - Before.SnapshotEvictions;
+    Batch.Stats.PeakFrontier = After.PeakFrontier;
+    Batch.Stats.RunsExecuted = After.RunsExecuted - Before.RunsExecuted;
+    Batch.Stats.DedupHits = After.DedupHits - Before.DedupHits;
   }
 
-  // Compile everything first (cheap next to the searches), keeping the
-  // ASTs alive for the shared scheduler.
-  std::vector<Compiled> Units(Inputs.size());
-  for (size_t I = 0; I < Inputs.size(); ++I) {
-    Units[I] = compile(Inputs[I].Source, Inputs[I].Name);
-    DriverOutcome &O = Batch.Outcomes[I];
-    O.CompileOk = Units[I].Ok;
-    O.CompileErrors = Units[I].Errors;
-    O.StaticUb = Units[I].StaticUb;
-    if (!Units[I].Ok)
-      O.Status = RunStatus::Internal;
-  }
-
-  // Submit every compiling unit into one scheduler. Root gating makes
-  // each program's root task the runSource default-order run: the
-  // search fans out only when it completed cleanly.
-  SearchScheduler::Config Cfg;
-  Cfg.Jobs = Opts.SearchJobs;
-  SearchScheduler Scheduler(Cfg);
-  std::vector<size_t> ProgOf(Inputs.size(), SIZE_MAX);
-  for (size_t I = 0; I < Inputs.size(); ++I) {
-    if (!Units[I].Ok)
-      continue;
-    SearchOptions SO;
-    SO.MaxRuns = std::max(1u, Opts.SearchRuns);
-    SO.Jobs = Opts.SearchJobs;
-    SO.Dedup = Opts.SearchDedup;
-    SO.UseSnapshots = Opts.SearchSnapshots;
-    ProgOf[I] = Scheduler.submit(*Units[I].Ast, Opts.Machine, SO,
-                                 /*RootGated=*/true);
-  }
-  Scheduler.runAll();
-
-  for (size_t I = 0; I < Inputs.size(); ++I) {
-    if (ProgOf[I] == SIZE_MAX)
-      continue;
-    SearchResult SR = Scheduler.takeResult(ProgOf[I]);
-    DriverOutcome &O = Batch.Outcomes[I];
-    O.Status = SR.RootStatus;
-    O.ExitCode = SR.RootExitCode;
-    O.Output = std::move(SR.RootOutput);
-    O.OrdersExplored = SR.RunsExplored;
-    O.OrdersDeduped = SR.DedupHits + SR.SubtreesPruned;
-    O.SearchTruncated = SR.FrontierTruncated;
-    O.SearchDropped = SR.DroppedSubtrees;
-    O.SearchSteals = SR.Steals;
-    O.SearchEvictions = SR.SnapshotEvictions;
-    O.SearchPeakFrontier = SR.PeakFrontier;
-    if (SR.UbFound) {
-      O.DynamicUb = SR.Reports;
-      O.SearchWitness = SR.Witness;
-    }
-  }
-
-  const SchedulerStats &SS = Scheduler.stats();
-  Batch.Stats.Jobs = SS.Jobs;
-  Batch.Stats.Steals = SS.Steals;
-  Batch.Stats.SnapshotEvictions = SS.SnapshotEvictions;
-  Batch.Stats.PeakFrontier = SS.PeakFrontier;
-  Batch.Stats.RunsExecuted = SS.RunsExecuted;
-  Batch.Stats.DedupHits = SS.DedupHits;
   auto End = std::chrono::steady_clock::now();
   Batch.Stats.WallMs =
       std::chrono::duration<double, std::milli>(End - Start).count();

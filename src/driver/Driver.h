@@ -5,96 +5,33 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The pipeline the paper wraps in its kcc script (section 3.2):
-/// preprocess, parse, analyze, run the static undefinedness checker,
-/// then execute the program in the strict semantics (optionally
-/// searching evaluation orders). The outcome carries both halves of
-/// kcc's verdict: compile-time findings and runtime findings, plus the
-/// program's output and exit code when it completed.
+/// The synchronous convenience facade over the AnalysisEngine: the
+/// pipeline the paper wraps in its kcc script (section 3.2), exposed as
+/// blocking calls for tests, examples, and one-shot tooling. A Driver
+/// is a session — it owns one engine (one persistent worker pool, one
+/// snapshot cache, one header registry) sized from its AnalysisRequest,
+/// and every runSource/runBatch call submits into that pool, so
+/// repeated calls amortize pool startup exactly like a long-lived
+/// service. Asynchronous submission, streaming events, and
+/// per-job timing live on the engine itself (driver/Engine.h).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CUNDEF_DRIVER_DRIVER_H
 #define CUNDEF_DRIVER_DRIVER_H
 
-#include "core/Search.h"
-#include "text/Preprocessor.h"
-#include "types/TargetConfig.h"
-#include "ub/Report.h"
+#include "driver/Engine.h"
+#include "driver/Request.h"
 
-#include <memory>
 #include <string>
+#include <vector>
 
 namespace cundef {
 
-struct DriverOptions {
-  TargetConfig Target = TargetConfig::lp64();
-  MachineOptions Machine;
-  /// Run the static undefinedness checker (kcc's compile-time half).
-  bool RunStaticChecks = true;
-  /// When > 1, search that many evaluation orders for undefinedness
-  /// that only some orders exhibit (paper section 2.5.2).
-  unsigned SearchRuns = 1;
-  /// Worker threads for the evaluation-order search (--search-jobs).
-  /// 0 = auto-detect std::thread::hardware_concurrency(). The verdict
-  /// and witness are independent of this (core/Search.h).
-  unsigned SearchJobs = 1;
-  /// Deduplicate symmetric interleavings during the search.
-  bool SearchDedup = true;
-  /// Fork search children from configuration snapshots instead of
-  /// replaying decision prefixes from main() (--search-engine).
-  /// Identical verdicts and witnesses either way; forking is faster.
-  bool SearchSnapshots = true;
-  /// Scheduling layer for the search (--search-sched): the default
-  /// work-stealing scheduler or the wave-synchronous reference engine.
-  /// Results never depend on this (core/Scheduler.h).
-  SchedKind SearchSched = SchedKind::Stealing;
-};
-
-/// Everything a run of the driver produced.
-struct DriverOutcome {
-  bool CompileOk = false;
-  std::string CompileErrors;
-  std::vector<UbReport> StaticUb;
-  std::vector<UbReport> DynamicUb;
-  RunStatus Status = RunStatus::Internal;
-  int ExitCode = 0;
-  std::string Output;
-  unsigned OrdersExplored = 0;
-  /// Symmetric interleavings the search pruned (core/Search.h).
-  unsigned OrdersDeduped = 0;
-  /// The search ran out of budget with subtrees unexplored: a clean
-  /// verdict is then not exhaustive. kcc --show-witness prints this so
-  /// partial searches are never silently mistaken for full ones.
-  bool SearchTruncated = false;
-  /// Subtrees dropped unexplored on budget edges.
-  unsigned SearchDropped = 0;
-  /// Scheduler counters for the search (kcc --show-witness prints them;
-  /// previously they were dropped on the floor). Steals and peak
-  /// frontier are wall-clock details; evictions count LRU snapshot
-  /// evictions, each of which turned one fork into a prefix replay.
-  unsigned SearchSteals = 0;
-  unsigned SearchEvictions = 0;
-  unsigned SearchPeakFrontier = 0;
-  /// Decision prefix that exposed order-dependent undefinedness; replay
-  /// it with Machine::setReplayDecisions to reproduce the run
-  /// deterministically. Empty when the default order already misbehaved
-  /// (or nothing was found).
-  std::vector<uint8_t> SearchWitness;
-
-  bool anyUb() const { return !StaticUb.empty() || !DynamicUb.empty(); }
-  /// Renders every finding in the paper's kcc error format.
-  std::string renderReport() const;
-};
-
-/// One translation unit of a batched run.
-struct BatchInput {
-  std::string Source;
-  std::string Name;
-};
-
 /// Aggregate counters of one batched run (per-program numbers live in
-/// the individual DriverOutcomes).
+/// the individual DriverOutcomes). On a persistent engine these are
+/// per-batch deltas of the monotonic pool counters; PeakFrontier is
+/// the pool's high-water mark as of this batch.
 struct BatchStats {
   unsigned Programs = 0;
   /// Worker threads the shared scheduler resolved to.
@@ -118,49 +55,47 @@ struct BatchResult {
   BatchStats Stats;
 };
 
-/// The kcc-like frontend driver. Holds the header registry so callers
-/// can add program-specific headers before running.
+/// The kcc-like frontend driver: a blocking adapter over one owned
+/// AnalysisEngine. Holds the header registry (through the engine) so
+/// callers can add program-specific headers before running.
 class Driver {
 public:
-  explicit Driver(DriverOptions Opts = DriverOptions());
+  explicit Driver(AnalysisRequest Req = AnalysisRequest());
 
-  HeaderRegistry &headers() { return Headers; }
-  const DriverOptions &options() const { return Opts; }
+  HeaderRegistry &headers() { return Eng.headers(); }
+  const AnalysisRequest &request() const { return Req; }
+  /// The engine this driver submits into (for callers that want to mix
+  /// blocking and async submission against one pool).
+  AnalysisEngine &engine() { return Eng; }
 
-  /// Compiles and executes \p Source.
+  /// Compiles and executes \p Source: submits one job and blocks on
+  /// it. The search's root run doubles as the default-order run (the
+  /// engine's root-gated contract), so OrdersExplored counts every
+  /// machine run exactly once.
   DriverOutcome runSource(const std::string &Source,
                           const std::string &Name = "test.c");
 
-  /// Batched mode: compiles every input, then runs all of their
-  /// evaluation-order searches through ONE shared work-stealing
-  /// scheduler, so the worker pool stays busy across translation units
-  /// instead of draining per program (kcc a.c b.c --batch-stats). Each
-  /// program keeps the single-program contract: its default-order run
-  /// executes first, the search fans out only when that run completed
-  /// cleanly, and its witness/verdict/output are deterministic. The
-  /// search counts the default-order run as its root, so OrdersExplored
-  /// is one lower than an equivalent runSource (which executes the
-  /// default order once more outside the search). Selecting the wave
-  /// reference scheduler (SearchSched) falls back to one sequential
-  /// runSource per unit — same observable outcomes, no shared pool.
+  /// Batched mode: submits every input into the engine's shared worker
+  /// pool and blocks until all complete (kcc a.c b.c --batch-stats).
+  /// Each program keeps the single-program contract: its default-order
+  /// run executes first, the search fans out only when that run
+  /// completed cleanly, and its witness/verdict/output are
+  /// deterministic. Selecting the wave reference scheduler
+  /// (AnalysisRequest::searchSched) runs each unit synchronously
+  /// through the wave engine instead — same observable outcomes, no
+  /// shared pool.
   BatchResult runBatch(const std::vector<BatchInput> &Inputs);
 
   /// Compile-only entry point (used by tests that inspect the AST).
-  /// Returns null on parse/sema errors; \p ErrorsOut receives rendered
-  /// diagnostics, \p StaticOut the static findings.
-  struct Compiled {
-    std::unique_ptr<StringInterner> Interner;
-    std::unique_ptr<AstContext> Ast;
-    std::vector<UbReport> StaticUb;
-    std::string Errors;
-    bool Ok = false;
-  };
+  /// Compiled::Ok is false on parse/sema errors; Errors receives
+  /// rendered diagnostics, StaticUb the static findings.
+  using Compiled = CompiledUnit;
   Compiled compile(const std::string &Source,
                    const std::string &Name = "test.c");
 
 private:
-  DriverOptions Opts;
-  HeaderRegistry Headers;
+  AnalysisRequest Req;
+  AnalysisEngine Eng;
 };
 
 } // namespace cundef

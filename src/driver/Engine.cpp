@@ -1,0 +1,491 @@
+//===- driver/Engine.cpp - The persistent analysis engine ----------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+//
+// Lifetime model:
+//
+//  * A pooled job's AST must outlive every machine that touches it —
+//    including runs of a *finished* program that are still observing
+//    their cancellation. Completed jobs therefore move their compile
+//    artifacts into a graveyard instead of freeing them; drain() frees
+//    the graveyard only after the scheduler confirmed full idleness
+//    (SearchScheduler::reclaimFinished), at which point no worker can
+//    hold a machine over any of those ASTs.
+//
+//  * The completion callback runs on a worker thread with no scheduler
+//    locks held and takes the engine mutex only to look up the job, so
+//    sinks may re-enter the engine (submit chains, service pipelines).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Engine.h"
+
+#include "libc/Builtins.h"
+#include "libc/Headers.h"
+#include "parse/Parser.h"
+#include "sema/Sema.h"
+#include "ub/StaticChecks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <unordered_map>
+
+using namespace cundef;
+
+EngineConfig cundef::engineConfigFor(const AnalysisRequest &Req) {
+  EngineConfig Cfg;
+  Cfg.Workers = Req.searchJobs();
+  return Cfg;
+}
+
+SchedulerStats
+cundef::waveAggregateStats(const std::vector<DriverOutcome> &Outcomes) {
+  SchedulerStats St;
+  St.Programs = static_cast<unsigned>(Outcomes.size());
+  St.Jobs = 1; // sequential by definition
+  for (const DriverOutcome &O : Outcomes) {
+    St.RunsExecuted += O.OrdersExplored;
+    St.DedupHits += O.OrdersDeduped;
+    St.SnapshotEvictions += O.SearchEvictions;
+    St.PeakFrontier = std::max<uint64_t>(St.PeakFrontier, O.SearchPeakFrontier);
+  }
+  return St;
+}
+
+std::string DriverOutcome::renderReport() const {
+  std::string Out;
+  if (!CompileOk && StaticUb.empty() && DynamicUb.empty())
+    return CompileErrors;
+  std::vector<UbReport> All = StaticUb;
+  All.insert(All.end(), DynamicUb.begin(), DynamicUb.end());
+  return renderKccErrors(All);
+}
+
+//===----------------------------------------------------------------------===//
+// Job state
+//===----------------------------------------------------------------------===//
+
+struct cundef::detail::JobState {
+  size_t Id = 0;
+  std::string Name;
+  std::chrono::steady_clock::time_point SubmitTime;
+  EngineSink *Sink = nullptr;
+
+  /// Compile artifacts pinned while the search runs (pooled jobs only).
+  std::unique_ptr<StringInterner> Interner;
+  std::unique_ptr<AstContext> Ast;
+
+  /// Partial outcome written at submit (compile half), completed by
+  /// the search result. Guarded by Mu once the job is in flight.
+  mutable std::mutex Mu;
+  mutable std::condition_variable Cv;
+  bool Done = false;
+  DriverOutcome Outcome;
+  double WallMicros = 0.0;
+};
+
+using cundef::detail::JobState;
+
+size_t JobHandle::id() const {
+  assert(State);
+  return State->Id;
+}
+
+const std::string &JobHandle::name() const {
+  assert(State);
+  return State->Name;
+}
+
+bool JobHandle::done() const {
+  assert(State);
+  std::lock_guard<std::mutex> Lock(State->Mu);
+  return State->Done;
+}
+
+const DriverOutcome &JobHandle::wait() const {
+  assert(State);
+  std::unique_lock<std::mutex> Lock(State->Mu);
+  State->Cv.wait(Lock, [&] { return State->Done; });
+  return State->Outcome;
+}
+
+DriverOutcome JobHandle::take() {
+  assert(State);
+  std::unique_lock<std::mutex> Lock(State->Mu);
+  State->Cv.wait(Lock, [&] { return State->Done; });
+  return std::move(State->Outcome);
+}
+
+double JobHandle::wallMicros() const {
+  assert(State);
+  std::unique_lock<std::mutex> Lock(State->Mu);
+  State->Cv.wait(Lock, [&] { return State->Done; });
+  return State->WallMicros;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine implementation
+//===----------------------------------------------------------------------===//
+
+struct AnalysisEngine::Impl {
+  static SearchScheduler::Config schedConfig(const EngineConfig &Cfg) {
+    SearchScheduler::Config SC;
+    SC.Jobs = Cfg.Workers;
+    SC.ClampJobsToHardware = Cfg.ClampWorkersToHardware;
+    SC.SnapshotBudget = Cfg.SnapshotBudget;
+    return SC;
+  }
+
+  explicit Impl(EngineConfig Cfg) : Cfg(Cfg), Sched(schedConfig(Cfg)) {
+    registerStandardHeaders(Headers);
+    Sched.setProgramDoneCallback([this](size_t Prog) { onProgramDone(Prog); });
+  }
+
+  EngineConfig Cfg;
+  HeaderRegistry Headers;
+  SearchScheduler Sched;
+
+  /// Guards Pending, Started, ShutDown, Graveyard.
+  std::mutex Mu;
+  /// Pooled jobs by scheduler program id.
+  std::unordered_map<size_t, std::shared_ptr<JobState>> Pending;
+  /// Compile artifacts of completed pooled jobs, freed on drain()
+  /// once the pool is provably idle (see the file header).
+  std::vector<std::pair<std::unique_ptr<StringInterner>,
+                        std::unique_ptr<AstContext>>>
+      Graveyard;
+  bool Started = false;
+  bool ShutDown = false;
+
+  std::atomic<size_t> NextJobId{1};
+  std::atomic<size_t> Outstanding{0};
+  std::mutex DrainMu;
+  std::condition_variable DrainCv;
+
+  //===--- Completion (worker thread) ------------------------------------===//
+
+  void onProgramDone(size_t Prog) {
+    std::shared_ptr<JobState> St;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      auto It = Pending.find(Prog);
+      assert(It != Pending.end() && "completion for unknown program");
+      St = std::move(It->second);
+      Pending.erase(It);
+    }
+    SearchResult SR = Sched.takeResult(Prog);
+    double Wall = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - St->SubmitTime)
+                      .count();
+
+    DriverOutcome O;
+    {
+      std::lock_guard<std::mutex> Lock(St->Mu);
+      O = std::move(St->Outcome); // the compile half, written at submit
+    }
+    mapSearchResult(O, std::move(SR));
+
+    // Keep the AST alive until the pool is provably idle: a cancelling
+    // sibling run may still be stepping over it.
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Graveyard.emplace_back(std::move(St->Interner), std::move(St->Ast));
+    }
+
+    finishJob(*St, std::move(O), Wall);
+  }
+
+  /// Fires events and fulfills the future. No engine locks held.
+  void finishJob(JobState &St, DriverOutcome O, double Wall) {
+    if (St.Sink) {
+      EngineJobInfo Info{St.Id, St.Name};
+      if (O.SearchTruncated)
+        St.Sink->onFrontierTruncated(Info, O.SearchDropped);
+      if (O.anyUb()) {
+        std::vector<UbReport> All = O.StaticUb;
+        All.insert(All.end(), O.DynamicUb.begin(), O.DynamicUb.end());
+        St.Sink->onUbFound(Info, All);
+      }
+      St.Sink->onProgramFinished(Info, O, Wall);
+    }
+    {
+      std::lock_guard<std::mutex> Lock(St.Mu);
+      St.Outcome = std::move(O);
+      St.WallMicros = Wall;
+      St.Done = true;
+    }
+    St.Cv.notify_all();
+    Outstanding.fetch_sub(1, std::memory_order_acq_rel);
+    {
+      std::lock_guard<std::mutex> Lock(DrainMu);
+    }
+    DrainCv.notify_all();
+  }
+
+  /// The search-counter tail shared by the pooled and wave-inline
+  /// paths: everything except the root-run fields and how
+  /// OrdersExplored accumulates. New SearchResult counters get
+  /// threaded through here exactly once.
+  static void mapSearchCounters(DriverOutcome &O, SearchResult &SR) {
+    O.OrdersDeduped = SR.DedupHits + SR.SubtreesPruned;
+    O.SearchTruncated = SR.FrontierTruncated;
+    O.SearchDropped = SR.DroppedSubtrees;
+    O.SearchSteals = SR.Steals;
+    O.SearchEvictions = SR.SnapshotEvictions;
+    O.SearchPeakFrontier = SR.PeakFrontier;
+    if (SR.UbFound) {
+      O.DynamicUb = std::move(SR.Reports);
+      O.SearchWitness = std::move(SR.Witness);
+    }
+  }
+
+  /// Folds a root-gated SearchResult into the outcome — the single
+  /// mapping every pooled submission shares. The root run doubles as
+  /// the default-order run, so its status/output/exit code are the
+  /// program's, and OrdersExplored counts every machine run once.
+  static void mapSearchResult(DriverOutcome &O, SearchResult SR) {
+    O.Status = SR.RootStatus;
+    O.ExitCode = SR.RootExitCode;
+    O.Output = std::move(SR.RootOutput);
+    O.OrdersExplored = SR.RunsExplored;
+    mapSearchCounters(O, SR);
+  }
+
+  //===--- Inline paths (submitting thread) -------------------------------===//
+
+  /// The wave reference engine has no service scheduler: wave requests
+  /// run synchronously on the submitting thread, in the classic
+  /// two-phase shape (default-order run, then a wave search when that
+  /// run was clean). Observable outputs match the pooled path
+  /// (test_scheduler::BatchHonorsWaveSchedSelection); only the
+  /// OrdersExplored accounting differs by the documented +1, since the
+  /// wave search re-executes the default order as its own root.
+  void runWaveInline(const AnalysisRequest &Req, const CompiledUnit &C,
+                     DriverOutcome &O) {
+    UbSink RunSink;
+    Machine M(*C.Ast, Req.machine(), RunSink);
+    O.Status = M.run();
+    O.ExitCode = M.config().ExitCode;
+    O.Output = M.config().Output;
+    O.DynamicUb = RunSink.all();
+    O.OrdersExplored = 1;
+
+    if (!O.DynamicUb.empty() || Req.searchRuns() <= 1 ||
+        O.Status != RunStatus::Completed)
+      return;
+    SearchOptions SO;
+    SO.MaxRuns = Req.searchRuns();
+    SO.Jobs = Req.searchJobs();
+    SO.Dedup = Req.searchDedup();
+    SO.UseSnapshots = Req.searchSnapshots();
+    SO.SnapshotBudget = Cfg.SnapshotBudget;
+    SO.Sched = SchedKind::Wave;
+    OrderSearch Search(*C.Ast, Req.machine(), SO);
+    SearchResult SR = Search.run();
+    // The wave search re-executes the default order as its own root,
+    // hence the documented += (one higher than the pooled accounting).
+    O.OrdersExplored += SR.RunsExplored;
+    mapSearchCounters(O, SR);
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// AnalysisEngine
+//===----------------------------------------------------------------------===//
+
+AnalysisEngine::AnalysisEngine(EngineConfig Cfg)
+    : I(std::make_unique<Impl>(Cfg)) {}
+
+AnalysisEngine::~AnalysisEngine() { shutdown(); }
+
+HeaderRegistry &AnalysisEngine::headers() { return I->Headers; }
+
+unsigned AnalysisEngine::workers() const { return I->Sched.stats().Jobs; }
+
+CompiledUnit AnalysisEngine::compileUnit(const AnalysisRequest &Req,
+                                         const std::string &Source,
+                                         const std::string &Name) {
+  CompiledUnit Result;
+  Result.Interner = std::make_unique<StringInterner>();
+  DiagnosticEngine Diags;
+  Preprocessor PP(*Result.Interner, Diags, I->Headers);
+  std::vector<Token> Toks = PP.run(Source, Name);
+  if (Diags.hasErrors()) {
+    Result.Errors = Diags.render();
+    return Result;
+  }
+  Result.Ast = std::make_unique<AstContext>(Req.target(), *Result.Interner);
+  Parser P(std::move(Toks), *Result.Ast, Diags);
+  bool ParseOk = P.parseTranslationUnit();
+  UbSink StaticSink;
+  if (ParseOk) {
+    Sema S(*Result.Ast, Diags, StaticSink);
+    S.run();
+    if (Req.staticChecks()) {
+      StaticChecker Checker(*Result.Ast, StaticSink);
+      Checker.run();
+    }
+    assignBuiltinIds(*Result.Ast);
+  }
+  Result.StaticUb = StaticSink.all();
+  Result.Errors = Diags.render();
+  Result.Ok = !Diags.hasErrors();
+  return Result;
+}
+
+JobHandle AnalysisEngine::submit(const AnalysisRequest &Req,
+                                 const std::string &Source, std::string Name,
+                                 EngineSink *Sink) {
+  Impl &S = *I;
+  auto St = std::make_shared<JobState>();
+  St->Id = S.NextJobId.fetch_add(1, std::memory_order_relaxed);
+  St->Name = std::move(Name);
+  St->Sink = Sink;
+  St->SubmitTime = std::chrono::steady_clock::now();
+  JobHandle Handle{St};
+
+  if (isShutdown()) {
+    // Rejected, not analyzed: an Internal outcome, no events.
+    DriverOutcome O;
+    O.CompileErrors = "analysis engine is shut down";
+    std::lock_guard<std::mutex> Lock(St->Mu);
+    St->Outcome = std::move(O);
+    St->Done = true;
+    return Handle;
+  }
+
+  CompiledUnit C = compileUnit(Req, Source, St->Name);
+  DriverOutcome O;
+  O.CompileOk = C.Ok;
+  O.CompileErrors = C.Errors;
+  O.StaticUb = C.StaticUb;
+
+  if (!C.Ok) {
+    O.Status = RunStatus::Internal;
+    double Wall = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - St->SubmitTime)
+                      .count();
+    S.Outstanding.fetch_add(1, std::memory_order_acq_rel);
+    S.finishJob(*St, std::move(O), Wall);
+    return Handle;
+  }
+
+  if (Req.searchSched() == SchedKind::Wave) {
+    S.runWaveInline(Req, C, O);
+    double Wall = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - St->SubmitTime)
+                      .count();
+    S.Outstanding.fetch_add(1, std::memory_order_acq_rel);
+    S.finishJob(*St, std::move(O), Wall);
+    return Handle;
+  }
+
+  // Pooled path: the request was validated at build time (searchRuns
+  // >= 1), so the root run always executes and doubles as the
+  // default-order run (root gating).
+  SearchOptions SO;
+  SO.MaxRuns = Req.searchRuns();
+  SO.Jobs = Req.searchJobs();
+  SO.Dedup = Req.searchDedup();
+  SO.UseSnapshots = Req.searchSnapshots();
+  SO.SnapshotBudget = S.Cfg.SnapshotBudget;
+  SO.Sched = SchedKind::Stealing;
+
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (S.ShutDown) {
+      // Lost the race against shutdown(): reject like the early check.
+      DriverOutcome R;
+      R.CompileErrors = "analysis engine is shut down";
+      std::lock_guard<std::mutex> StLock(St->Mu);
+      St->Outcome = std::move(R);
+      St->Done = true;
+      return Handle;
+    }
+    if (!S.Started) {
+      S.Sched.start();
+      S.Started = true;
+    }
+    St->Interner = std::move(C.Interner);
+    St->Ast = std::move(C.Ast);
+    {
+      std::lock_guard<std::mutex> StLock(St->Mu);
+      St->Outcome = std::move(O); // compile half; completed on finish
+    }
+    S.Outstanding.fetch_add(1, std::memory_order_acq_rel);
+    // Holding Mu across the scheduler submit closes the race where a
+    // one-worker pool finishes the program before it lands in Pending:
+    // the completion callback takes Mu before its lookup.
+    size_t Prog = S.Sched.submit(*St->Ast, Req.machine(), SO,
+                                 /*RootGated=*/true);
+    S.Pending.emplace(Prog, St);
+  }
+  return Handle;
+}
+
+std::vector<JobHandle>
+AnalysisEngine::submitBatch(const AnalysisRequest &Req,
+                            const std::vector<BatchInput> &Inputs,
+                            EngineSink *Sink) {
+  std::vector<JobHandle> Handles;
+  Handles.reserve(Inputs.size());
+  for (const BatchInput &In : Inputs)
+    Handles.push_back(submit(Req, In.Source, In.Name, Sink));
+  return Handles;
+}
+
+void AnalysisEngine::drain() {
+  Impl &S = *I;
+  {
+    std::unique_lock<std::mutex> Lock(S.DrainMu);
+    S.DrainCv.wait(Lock, [&] {
+      return S.Outstanding.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (!S.Sched.started())
+    return;
+  // With nothing outstanding every scheduler program is finished;
+  // reclaim confirms full idleness (no cancelling stragglers), after
+  // which the graveyard ASTs are provably unreferenced. Only entries
+  // that existed BEFORE the reclaim are freed: a job submitted and
+  // finished concurrently with this drain may append an AST whose
+  // stragglers are still cancelling, and that entry must survive
+  // until a later quiescent point.
+  size_t Cut;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    Cut = S.Graveyard.size();
+  }
+  if (S.Sched.reclaimFinished()) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.Graveyard.erase(S.Graveyard.begin(),
+                      S.Graveyard.begin() + std::min(Cut, S.Graveyard.size()));
+  }
+}
+
+void AnalysisEngine::shutdown() {
+  Impl &S = *I;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    if (S.ShutDown)
+      return;
+    S.ShutDown = true;
+  }
+  drain();
+  S.Sched.stop();
+  // The pool is joined: no machine references any AST anymore.
+  std::lock_guard<std::mutex> Lock(S.Mu);
+  S.Graveyard.clear();
+}
+
+bool AnalysisEngine::isShutdown() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  return I->ShutDown;
+}
+
+SchedulerStats AnalysisEngine::poolStats() const { return I->Sched.stats(); }

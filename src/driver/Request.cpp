@@ -1,0 +1,49 @@
+//===- driver/Request.cpp - Validated analysis requests ------------------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Request.h"
+
+#include "support/Strings.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace cundef;
+
+AnalysisRequest::Builder::Result AnalysisRequest::Builder::build() const {
+  Result R;
+  R.Request = Req;
+  RequestError &E = R.Err;
+
+  if (Req.SearchRuns == 0) {
+    E.Kind = RequestError::Code::ZeroSearchBudget;
+    E.Message = "invalid search budget 0: the budget must allow at least "
+                "one run (the policy default order)";
+  } else if (Req.SearchJobs > MaxSearchJobs) {
+    E.Kind = RequestError::Code::OversizedSearchJobs;
+    E.Message = strFormat("invalid worker count %u: the pool is capped at "
+                          "%u (0 auto-detects hardware concurrency)",
+                          Req.SearchJobs, MaxSearchJobs);
+  } else if (Req.Machine.StepLimit == 0) {
+    E.Kind = RequestError::Code::ZeroStepLimit;
+    E.Message = "invalid step limit 0: the machine could not take a single "
+                "step, so every program would report StepLimit";
+  } else if (Req.Machine.MaxCallDepth == 0) {
+    E.Kind = RequestError::Code::ZeroCallDepth;
+    E.Message = "invalid call-depth limit 0: main() itself could not be "
+                "entered";
+  }
+  return R;
+}
+
+AnalysisRequest AnalysisRequest::Builder::buildOrDie() const {
+  Result R = build();
+  if (!R.ok()) {
+    std::fprintf(stderr, "AnalysisRequest: %s\n", R.Err.Message.c_str());
+    std::abort();
+  }
+  return R.Request;
+}

@@ -41,17 +41,17 @@ cundef::compareTools(const std::string &Source, const std::string &Name,
 }
 
 std::vector<ToolResult>
-cundef::runKccBatched(const DriverOptions &Opts,
+cundef::runKccBatched(const AnalysisRequest &Req,
                       const std::vector<BatchInput> &Programs) {
-  Driver Drv(Opts);
-  BatchResult Batch = Drv.runBatch(Programs);
+  AnalysisEngine Eng(engineConfigFor(Req));
+  std::vector<JobHandle> Handles = Eng.submitBatch(Req, Programs);
   std::vector<ToolResult> Results;
-  Results.reserve(Batch.Outcomes.size());
-  const double MicrosEach =
-      Batch.Outcomes.empty()
-          ? 0.0
-          : Batch.Stats.WallMs * 1000.0 / Batch.Outcomes.size();
-  for (DriverOutcome &O : Batch.Outcomes) {
+  Results.reserve(Handles.size());
+  for (JobHandle &H : Handles) {
+    // wallMicros blocks until this job completed; later handles were
+    // already running on the shared pool the whole time.
+    const double Micros = H.wallMicros();
+    DriverOutcome O = H.take();
     ToolResult R;
     R.CompileOk = O.CompileOk;
     R.Findings = O.StaticUb;
@@ -60,7 +60,7 @@ cundef::runKccBatched(const DriverOptions &Opts,
     R.Status = O.Status;
     R.ExitCode = O.ExitCode;
     R.Output = std::move(O.Output);
-    R.Micros = MicrosEach;
+    R.Micros = Micros;
     Results.push_back(std::move(R));
   }
   return Results;

@@ -57,15 +57,17 @@ compareTools(const std::string &Source, const std::string &Name,
 /// Renders comparison rows as an aligned text table.
 std::string renderComparison(const std::vector<ComparisonRow> &Rows);
 
-/// Runs kcc over many programs through one shared work-stealing
-/// scheduler (Driver::runBatch) and maps each outcome to a ToolResult,
-/// in input order. Verdicts and findings are byte-identical to running
-/// each program through a kcc Tool individually; per-result Micros is
-/// the batch wall-clock divided evenly (individual attribution is
-/// meaningless on a shared pool). The suite scorers route through this
-/// so a whole benchmark shares one worker pool instead of draining it
-/// per test.
-std::vector<ToolResult> runKccBatched(const DriverOptions &Opts,
+/// Runs kcc over many programs through one shared engine worker pool
+/// and maps each outcome to a ToolResult, in input order. Verdicts and
+/// findings are byte-identical to running each program through a kcc
+/// Tool individually. Per-result Micros is the job's submit-to-
+/// completion wall time from the engine's completion events — honest
+/// per-program attribution, with the shared-pool caveat that
+/// concurrent jobs' times overlap (they sum to more than the batch
+/// wall-clock, since every in-flight job's clock runs while workers
+/// are shared). The suite scorers route through this so a whole
+/// benchmark shares one worker pool instead of draining it per test.
+std::vector<ToolResult> runKccBatched(const AnalysisRequest &Req,
                                       const std::vector<BatchInput> &Programs);
 
 } // namespace cundef

@@ -48,14 +48,15 @@ JulietScores aggregateJuliet(const std::vector<TestCase> &Tests,
 /// Per-pair verdicts through one shared scheduler: both halves of every
 /// test become one submission each, in a stable (test, bad/good) order.
 std::vector<PairVerdict>
-batchedVerdicts(const DriverOptions &Opts, const std::vector<TestCase> &Tests) {
+batchedVerdicts(const AnalysisRequest &Req,
+                const std::vector<TestCase> &Tests) {
   std::vector<BatchInput> Programs;
   Programs.reserve(Tests.size() * 2);
   for (const TestCase &Test : Tests) {
     Programs.push_back({Test.Bad, Test.Name + "_bad.c"});
     Programs.push_back({Test.Good, Test.Name + "_good.c"});
   }
-  std::vector<ToolResult> Results = runKccBatched(Opts, Programs);
+  std::vector<ToolResult> Results = runKccBatched(Req, Programs);
   std::vector<PairVerdict> Verdicts(Tests.size());
   for (size_t I = 0; I < Tests.size(); ++I) {
     Verdicts[I].FlaggedBad = Results[2 * I].flagged();
@@ -75,9 +76,9 @@ JulietScores cundef::scoreJuliet(Tool &T, const std::vector<TestCase> &Tests) {
   return aggregateJuliet(Tests, Verdicts);
 }
 
-JulietScores cundef::scoreJulietBatched(const DriverOptions &Opts,
+JulietScores cundef::scoreJulietBatched(const AnalysisRequest &Req,
                                         const std::vector<TestCase> &Tests) {
-  return aggregateJuliet(Tests, batchedVerdicts(Opts, Tests));
+  return aggregateJuliet(Tests, batchedVerdicts(Req, Tests));
 }
 
 namespace {
@@ -133,9 +134,9 @@ CustomScores cundef::scoreCustom(Tool &T, const std::vector<TestCase> &Tests) {
   return aggregateCustom(Tests, Verdicts);
 }
 
-CustomScores cundef::scoreCustomBatched(const DriverOptions &Opts,
+CustomScores cundef::scoreCustomBatched(const AnalysisRequest &Req,
                                         const std::vector<TestCase> &Tests) {
-  return aggregateCustom(Tests, batchedVerdicts(Opts, Tests));
+  return aggregateCustom(Tests, batchedVerdicts(Req, Tests));
 }
 
 std::string cundef::renderFigure2(

@@ -61,14 +61,15 @@ struct CustomScores {
 CustomScores scoreCustom(Tool &T, const std::vector<TestCase> &Tests);
 
 /// Batched kcc scoring: every half of every pair is submitted to ONE
-/// shared work-stealing scheduler (driver batch mode), so the worker
-/// pool stays busy across the whole suite instead of draining per
-/// test. Scores are identical to running a kcc Tool with the same
-/// DriverOptions through scoreJuliet/scoreCustom; only wall-clock
-/// attribution differs (MeanMicrosPerTest becomes batch wall / tests).
-JulietScores scoreJulietBatched(const DriverOptions &Opts,
+/// shared engine worker pool (runKccBatched), so the pool stays busy
+/// across the whole suite instead of draining per test. Scores are
+/// identical to running a kcc Tool with the same AnalysisRequest
+/// through scoreJuliet/scoreCustom; only wall-clock attribution
+/// differs (per-test Micros is submit-to-completion time on the shared
+/// pool, so concurrent tests' times overlap).
+JulietScores scoreJulietBatched(const AnalysisRequest &Req,
                                 const std::vector<TestCase> &Tests);
-CustomScores scoreCustomBatched(const DriverOptions &Opts,
+CustomScores scoreCustomBatched(const AnalysisRequest &Req,
                                 const std::vector<TestCase> &Tests);
 
 /// Renders the Figure 2 table for several tools.

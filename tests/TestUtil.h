@@ -21,9 +21,7 @@ namespace cundef {
 
 inline DriverOutcome runKcc(const std::string &Source,
                             unsigned SearchRuns = 1) {
-  DriverOptions Opts;
-  Opts.SearchRuns = SearchRuns;
-  Driver Drv(Opts);
+  Driver Drv(AnalysisRequest::Builder().searchRuns(SearchRuns).buildOrDie());
   return Drv.runSource(Source, "test.c");
 }
 

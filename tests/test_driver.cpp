@@ -74,9 +74,7 @@ TEST(Driver, SearchFindsOrderDependentUb) {
   const char *Source = "int d = 5;\n"
                        "int setDenom(int x) { return d = x; }\n"
                        "int main(void) { return (10 / d) + setDenom(0); }\n";
-  DriverOptions Opts;
-  Opts.SearchRuns = 16;
-  Driver Drv(Opts);
+  Driver Drv(AnalysisRequest::Builder().searchRuns(16).buildOrDie());
   DriverOutcome O = Drv.runSource(Source, "order.c");
   EXPECT_TRUE(O.anyUb()) << "some evaluation order divides by zero";
   EXPECT_GT(O.OrdersExplored, 1u);
@@ -96,13 +94,11 @@ TEST(Driver, WideIntConfigChangesDefinedness) {
                        "  int *p = malloc(4);\n"
                        "  if (p) { *p = 1000; }\n"
                        "  return 0;\n}\n";
-  DriverOptions Lp64;
-  Driver D1(Lp64);
+  Driver D1;
   EXPECT_FALSE(D1.runSource(Source, "m.c").anyUb());
 
-  DriverOptions Wide;
-  Wide.Target = TargetConfig::wideInt();
-  Driver D2(Wide);
+  Driver D2(
+      AnalysisRequest::Builder().target(TargetConfig::wideInt()).buildOrDie());
   EXPECT_TRUE(D2.runSource(Source, "m.c").anyUb());
 }
 

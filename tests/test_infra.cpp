@@ -118,8 +118,7 @@ TEST(Headers, RegistryServesStandardHeaders) {
 }
 
 TEST(Headers, UserHeadersResolve) {
-  DriverOptions Opts;
-  Driver Drv(Opts);
+  Driver Drv;
   Drv.headers().add("config.h", "#define ANSWER 42\n");
   DriverOutcome O = Drv.runSource("#include <config.h>\n"
                                   "int main(void) { return ANSWER - 42; }",
@@ -129,9 +128,8 @@ TEST(Headers, UserHeadersResolve) {
 }
 
 TEST(Targets, Ilp32ExecutesWithNarrowTypes) {
-  DriverOptions Opts;
-  Opts.Target = TargetConfig::ilp32();
-  Driver Drv(Opts);
+  Driver Drv(
+      AnalysisRequest::Builder().target(TargetConfig::ilp32()).buildOrDie());
   DriverOutcome O = Drv.runSource(
       "int main(void) {\n"
       "  return (int)sizeof(long) - 4 + (int)sizeof(int*) - 4;\n}\n",
@@ -142,9 +140,8 @@ TEST(Targets, Ilp32ExecutesWithNarrowTypes) {
 }
 
 TEST(Targets, Ilp32PointerBytesStillReassemble) {
-  DriverOptions Opts;
-  Opts.Target = TargetConfig::ilp32();
-  Driver Drv(Opts);
+  Driver Drv(
+      AnalysisRequest::Builder().target(TargetConfig::ilp32()).buildOrDie());
   DriverOutcome O = Drv.runSource(
       "int main(void) {\n"
       "  int x = 9; int *p = &x; int *q;\n"

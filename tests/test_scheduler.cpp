@@ -308,17 +308,18 @@ TEST(Scheduler, BatchedDriverMatchesRunSource) {
   for (size_t I = 0; I < std::size(Programs); ++I)
     Inputs.push_back({Programs[I], "prog" + std::to_string(I) + ".c"});
 
-  DriverOptions DOpts;
-  DOpts.SearchRuns = 64;
   for (unsigned Jobs : {1u, 4u}) {
-    DOpts.SearchJobs = Jobs;
-    Driver Batched(DOpts);
+    AnalysisRequest Req = AnalysisRequest::Builder()
+                              .searchRuns(64)
+                              .searchJobs(Jobs)
+                              .buildOrDie();
+    Driver Batched(Req);
     BatchResult Batch = Batched.runBatch(Inputs);
     ASSERT_EQ(Batch.Outcomes.size(), Inputs.size());
     EXPECT_EQ(Batch.Stats.Programs, Inputs.size());
 
     for (size_t I = 0; I < Inputs.size(); ++I) {
-      Driver Single(DOpts);
+      Driver Single(Req);
       DriverOutcome Ref = Single.runSource(Inputs[I].Source, Inputs[I].Name);
       const DriverOutcome &Got = Batch.Outcomes[I];
       EXPECT_EQ(Ref.CompileOk, Got.CompileOk) << I;
@@ -348,17 +349,15 @@ TEST(Scheduler, BatchedAggregationIsDeterministic) {
   std::vector<BatchInput> Inputs;
   for (const char *Source : Corpus)
     Inputs.push_back({Source, "det.c"});
-  DriverOptions DOpts;
-  DOpts.SearchRuns = 64;
-  DOpts.SearchJobs = 1;
-  Driver Ref(DOpts);
+  Driver Ref(AnalysisRequest::Builder().searchRuns(64).buildOrDie());
   BatchResult Base = Ref.runBatch(Inputs);
 
   for (unsigned Jobs : {2u, 8u}) {
     for (int Round = 0; Round < 3; ++Round) {
-      DriverOptions JOpts = DOpts;
-      JOpts.SearchJobs = Jobs;
-      Driver Drv(JOpts);
+      Driver Drv(AnalysisRequest::Builder()
+                     .searchRuns(64)
+                     .searchJobs(Jobs)
+                     .buildOrDie());
       BatchResult Got = Drv.runBatch(Inputs);
       ASSERT_EQ(Got.Outcomes.size(), Base.Outcomes.size());
       for (size_t I = 0; I < Base.Outcomes.size(); ++I) {
@@ -378,10 +377,12 @@ TEST(Scheduler, BatchHonorsWaveSchedSelection) {
   // the wave reference path (sequential runSource per unit) runs, and
   // its observable outcomes match the stealing batch.
   std::vector<BatchInput> Inputs = {{Corpus[0], "w0.c"}, {Corpus[4], "w1.c"}};
-  DriverOptions Steal;
-  Steal.SearchRuns = 64;
-  DriverOptions Wave = Steal;
-  Wave.SearchSched = SchedKind::Wave;
+  AnalysisRequest Steal =
+      AnalysisRequest::Builder().searchRuns(64).buildOrDie();
+  AnalysisRequest Wave = AnalysisRequest::Builder()
+                             .searchRuns(64)
+                             .sched(SchedKind::Wave)
+                             .buildOrDie();
   BatchResult RS = Driver(Steal).runBatch(Inputs);
   BatchResult RW = Driver(Wave).runBatch(Inputs);
   ASSERT_EQ(RW.Outcomes.size(), RS.Outcomes.size());
@@ -399,9 +400,7 @@ TEST(Scheduler, CountersSurfaceThroughDriver) {
   // The satellite contract: scheduler counters reach DriverOutcome (and
   // from there the kcc --show-witness stats block) instead of being
   // dropped.
-  DriverOptions DOpts;
-  DOpts.SearchRuns = 64;
-  Driver Drv(DOpts);
+  Driver Drv(AnalysisRequest::Builder().searchRuns(64).buildOrDie());
   DriverOutcome O = Drv.runSource(Corpus[4], "counters.c");
   ASSERT_TRUE(O.CompileOk);
   EXPECT_GT(O.OrdersExplored, 1u);
@@ -422,15 +421,17 @@ TEST(Scheduler, BatchedSuiteScoresMatchPerTest) {
   if (Tests.size() > 24)
     Tests.resize(24);
 
-  DriverOptions DOpts; // mirror the kcc tool's configuration
-  DOpts.Machine.Strict = true;
-  DOpts.RunStaticChecks = true;
-  DOpts.SearchRuns = 8;
-  DOpts.SearchJobs = 2;
+  // Mirror the kcc tool's configuration.
+  AnalysisRequest Req = AnalysisRequest::Builder()
+                            .strict(true)
+                            .staticChecks(true)
+                            .searchRuns(8)
+                            .searchJobs(2)
+                            .buildOrDie();
 
   std::unique_ptr<Tool> Kcc = Tool::create(ToolKind::Kcc);
   JulietScores PerTest = scoreJuliet(*Kcc, Tests);
-  JulietScores Batched = scoreJulietBatched(DOpts, Tests);
+  JulietScores Batched = scoreJulietBatched(Req, Tests);
 
   ASSERT_EQ(PerTest.PerClass.size(), Batched.PerClass.size());
   for (size_t I = 0; I < PerTest.PerClass.size(); ++I) {

@@ -296,10 +296,10 @@ TEST(ParallelSearch, FingerprintIsReplayStable) {
 }
 
 TEST(ParallelSearch, DriverThreadsSearchJobs) {
-  DriverOptions DOpts;
-  DOpts.SearchRuns = 64;
-  DOpts.SearchJobs = 4;
-  Driver Drv(DOpts);
+  Driver Drv(AnalysisRequest::Builder()
+                 .searchRuns(64)
+                 .searchJobs(4)
+                 .buildOrDie());
   DriverOutcome O = Drv.runSource(PaperSource, "drv.c");
   ASSERT_TRUE(O.CompileOk);
   EXPECT_FALSE(O.DynamicUb.empty());
@@ -307,8 +307,7 @@ TEST(ParallelSearch, DriverThreadsSearchJobs) {
   EXPECT_EQ(O.DynamicUb.front().Kind, UbKind::DivisionByZero);
 
   // The same outcome with one job: verdict and witness agree.
-  DOpts.SearchJobs = 1;
-  Driver Drv1(DOpts);
+  Driver Drv1(AnalysisRequest::Builder().searchRuns(64).buildOrDie());
   DriverOutcome O1 = Drv1.runSource(PaperSource, "drv1.c");
   EXPECT_EQ(O1.SearchWitness, O.SearchWitness);
 }

@@ -293,10 +293,10 @@ TEST(ForkSearch, JobsZeroAutoDetects) {
   Auto.Jobs = 0;
   expectSameVerdict(searchWith(C, Auto), searchWith(C, One), Corpus[0]);
 
-  DriverOptions DOpts;
-  DOpts.SearchRuns = 64;
-  DOpts.SearchJobs = 0;
-  Driver DrvAuto(DOpts);
+  Driver DrvAuto(AnalysisRequest::Builder()
+                     .searchRuns(64)
+                     .searchJobs(0)
+                     .buildOrDie());
   DriverOutcome O = DrvAuto.runSource(Corpus[0], "auto_drv.c");
   ASSERT_TRUE(O.CompileOk);
   EXPECT_FALSE(O.DynamicUb.empty());
@@ -323,9 +323,7 @@ TEST(ForkSearch, TruncationIsReported) {
   EXPECT_EQ(RFull.DroppedSubtrees, 0u);
 
   // The driver surfaces it for kcc --show-witness.
-  DriverOptions DOpts;
-  DOpts.SearchRuns = 2;
-  Driver DrvT(DOpts);
+  Driver DrvT(AnalysisRequest::Builder().searchRuns(2).buildOrDie());
   DriverOutcome O = DrvT.runSource(Corpus[7], "trunc_drv.c");
   ASSERT_TRUE(O.CompileOk);
   EXPECT_TRUE(O.SearchTruncated);

@@ -22,10 +22,11 @@ struct Verdict {
 };
 
 Verdict runWithStyle(const char *Source, RuleStyle Style) {
-  DriverOptions Opts;
-  Opts.Machine.Style = Style;
-  Opts.RunStaticChecks = false; // isolate the dynamic rules
-  Driver Drv(Opts);
+  // staticChecks off isolates the dynamic rules.
+  Driver Drv(AnalysisRequest::Builder()
+                 .style(Style)
+                 .staticChecks(false)
+                 .buildOrDie());
   DriverOutcome O = Drv.runSource(Source, "style.c");
   EXPECT_TRUE(O.CompileOk) << O.CompileErrors;
   if (O.DynamicUb.empty())

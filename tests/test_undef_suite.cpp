@@ -47,11 +47,10 @@ TEST(UndefSuite, EveryBehaviorIdExistsInCatalog) {
 /// Every *control* must be clean under kcc: controls are the
 /// false-positive guard the paper insists on.
 TEST(UndefSuite, ControlsAreCleanUnderKcc) {
-  DriverOptions Opts;
-  Opts.SearchRuns = 4;
+  AnalysisRequest Req = AnalysisRequest::Builder().searchRuns(4).buildOrDie();
   unsigned Failures = 0;
   for (const TestCase &Test : undefSuite()) {
-    Driver Drv(Opts);
+    Driver Drv(Req);
     DriverOutcome O = Drv.runSource(Test.Good, Test.Name + "_good.c");
     if (!O.CompileOk || O.anyUb() || O.Status != RunStatus::Completed) {
       ++Failures;
@@ -68,14 +67,13 @@ TEST(UndefSuite, ControlsAreCleanUnderKcc) {
 /// Figure 3 shows kcc detecting most dynamic behaviors; this asserts a
 /// floor so regressions surface.
 TEST(UndefSuite, KccDetectsMostDynamicTests) {
-  DriverOptions Opts;
-  Opts.SearchRuns = 8;
+  AnalysisRequest Req = AnalysisRequest::Builder().searchRuns(8).buildOrDie();
   unsigned Dynamic = 0, Detected = 0;
   for (const TestCase &Test : undefSuite()) {
     if (Test.StaticBehavior)
       continue;
     ++Dynamic;
-    Driver Drv(Opts);
+    Driver Drv(Req);
     DriverOutcome O = Drv.runSource(Test.Bad, Test.Name + "_bad.c");
     if (O.anyUb())
       ++Detected;
@@ -87,11 +85,11 @@ TEST(UndefSuite, KccDetectsMostDynamicTests) {
 
 TEST(UndefSuite, KccDetectsNamedStaticBehaviors) {
   // The implemented static checks (catalog ids 40-51) must all fire.
-  DriverOptions Opts;
+  AnalysisRequest Req;
   for (const TestCase &Test : undefSuite()) {
     if (!Test.StaticBehavior || Test.CatalogId > 51)
       continue;
-    Driver Drv(Opts);
+    Driver Drv(Req);
     DriverOutcome O = Drv.runSource(Test.Bad, Test.Name + "_bad.c");
     EXPECT_TRUE(O.anyUb()) << Test.Name << " not flagged";
   }

@@ -17,29 +17,38 @@
 //     --show-witness                print the undefined order's decisions
 //                                   plus a search stats block
 //     --batch-stats                 print shared-scheduler stats (batch mode)
+//     --json                        machine-readable output: the whole run
+//                                   as one cundef-kcc-v1 JSON document on
+//                                   stdout (docs/JSON_OUTPUT.md); human
+//                                   reports and program output passthrough
+//                                   are suppressed, the exit-code contract
+//                                   is unchanged
 //     --no-static                   skip the static undefinedness pass
 //     --order=ltr|rtl|random        evaluation order policy
 //     --seed=N                      seed for --order=random
 //     --dump-catalog=markdown       print the UB catalog reference and exit
 //
-// With several input files (or --batch-stats), every translation unit
-// runs through ONE shared work-stealing scheduler (batched driver
-// mode): program outputs appear on stdout in command-line order,
-// per-program reports on stderr, and the exit code is 139 if any
-// program is undefined, else 1 if any failed to compile, else 0.
-// Results are byte-identical to running each file separately.
-// --search-sched=wave in batch mode runs the sequential reference path
-// (same outcomes, no shared pool).
+// Every translation unit is submitted to ONE persistent AnalysisEngine
+// (driver/Engine.h): program outputs appear on stdout in command-line
+// order, per-program reports on stderr, and the exit code is 139 if
+// any program is undefined, else 1 if any failed to compile, else the
+// program's own exit code (0 for multi-file batches). Results are
+// byte-identical to running each file separately.
+// --search-sched=wave runs each unit synchronously through the wave
+// reference engine (same outcomes, no shared pool).
 //
-// Numeric flags are parsed strictly: non-numeric values are a usage
-// error (exit 2), never silently coerced.
+// Flags are validated once, through the AnalysisRequest builder:
+// non-numeric values, a zero search budget, or an absurd worker count
+// are usage errors (exit 2), never silently coerced.
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "driver/Engine.h"
+#include "driver/JsonOutput.h"
 #include "support/Strings.h"
 #include "ub/Catalog.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -59,6 +68,7 @@ static void usage() {
                "  --no-dedup\n"
                "  --show-witness\n"
                "  --batch-stats\n"
+               "  --json\n"
                "  --order=ltr|rtl|random\n"
                "  --seed=N\n"
                "  --no-static\n"
@@ -109,8 +119,7 @@ static bool printProgramReport(const DriverOutcome &O, bool ShowWitness) {
   return true;
 }
 
-/// The --show-witness stats block: the scheduler counters used to be
-/// dropped on the floor; now every search surfaces them.
+/// The --show-witness stats block: the per-program scheduler counters.
 static void printSearchStats(const DriverOutcome &O) {
   std::fprintf(stderr,
                "Search stats: orders=%u deduped=%u steals=%u evictions=%u "
@@ -120,10 +129,12 @@ static void printSearchStats(const DriverOutcome &O) {
 }
 
 int main(int argc, char **argv) {
-  DriverOptions Opts;
-  Opts.SearchRuns = 8;
+  AnalysisRequest::Builder Builder;
+  Builder.searchRuns(8);
+  SchedKind Sched = SchedKind::Stealing;
   bool ShowWitness = false;
   bool BatchStats = false;
+  bool Json = false;
   std::vector<const char *> Paths;
 
   for (int I = 1; I < argc; ++I) {
@@ -139,11 +150,11 @@ int main(int argc, char **argv) {
     } else if (startsWith(Arg, "--target=")) {
       const char *Value = Arg + 9;
       if (!std::strcmp(Value, "lp64"))
-        Opts.Target = TargetConfig::lp64();
+        Builder.target(TargetConfig::lp64());
       else if (!std::strcmp(Value, "ilp32"))
-        Opts.Target = TargetConfig::ilp32();
+        Builder.target(TargetConfig::ilp32());
       else if (!std::strcmp(Value, "wideint"))
-        Opts.Target = TargetConfig::wideInt();
+        Builder.target(TargetConfig::wideInt());
       else {
         usage();
         return 2;
@@ -151,38 +162,34 @@ int main(int argc, char **argv) {
     } else if (startsWith(Arg, "--style=")) {
       const char *Value = Arg + 8;
       if (!std::strcmp(Value, "cond"))
-        Opts.Machine.Style = RuleStyle::SideConditions;
+        Builder.style(RuleStyle::SideConditions);
       else if (!std::strcmp(Value, "chain"))
-        Opts.Machine.Style = RuleStyle::PrecedenceChain;
+        Builder.style(RuleStyle::PrecedenceChain);
       else if (!std::strcmp(Value, "decl"))
-        Opts.Machine.Style = RuleStyle::Declarative;
+        Builder.style(RuleStyle::Declarative);
       else {
         usage();
         return 2;
       }
     } else if (startsWith(Arg, "--search=")) {
-      if (!parseNumericFlag("--search", Arg + 9, Opts.SearchRuns))
+      // A budget of 0 is rejected below by the request builder, with
+      // the rest of the combination validation.
+      unsigned Runs = 0;
+      if (!parseNumericFlag("--search", Arg + 9, Runs))
         return 2;
-      if (Opts.SearchRuns == 0) {
-        // A budget of 0 runs cannot even execute the default order;
-        // rejecting it keeps the strict-parsing contract (nothing is
-        // silently coerced).
-        std::fprintf(stderr,
-                     "kcc: invalid value '0' for --search (the budget "
-                     "must allow at least one run)\n");
-        return 2;
-      }
+      Builder.searchRuns(Runs);
     } else if (startsWith(Arg, "--search-jobs=")) {
-      // 0 is meaningful: auto-detect hardware_concurrency (resolved in
-      // OrderSearch::run so every surface shares the default).
-      if (!parseNumericFlag("--search-jobs", Arg + 14, Opts.SearchJobs))
+      // 0 is meaningful: auto-detect hardware_concurrency.
+      unsigned Jobs = 0;
+      if (!parseNumericFlag("--search-jobs", Arg + 14, Jobs))
         return 2;
+      Builder.searchJobs(Jobs);
     } else if (startsWith(Arg, "--search-engine=")) {
       const char *Value = Arg + 16;
       if (!std::strcmp(Value, "fork"))
-        Opts.SearchSnapshots = true;
+        Builder.snapshots(true);
       else if (!std::strcmp(Value, "replay"))
-        Opts.SearchSnapshots = false;
+        Builder.snapshots(false);
       else {
         usage();
         return 2;
@@ -190,27 +197,29 @@ int main(int argc, char **argv) {
     } else if (startsWith(Arg, "--search-sched=")) {
       const char *Value = Arg + 15;
       if (!std::strcmp(Value, "steal"))
-        Opts.SearchSched = SchedKind::Stealing;
+        Sched = SchedKind::Stealing;
       else if (!std::strcmp(Value, "wave"))
-        Opts.SearchSched = SchedKind::Wave;
+        Sched = SchedKind::Wave;
       else {
         usage();
         return 2;
       }
     } else if (!std::strcmp(Arg, "--no-dedup")) {
-      Opts.SearchDedup = false;
+      Builder.dedup(false);
     } else if (!std::strcmp(Arg, "--show-witness")) {
       ShowWitness = true;
     } else if (!std::strcmp(Arg, "--batch-stats")) {
       BatchStats = true;
+    } else if (!std::strcmp(Arg, "--json")) {
+      Json = true;
     } else if (startsWith(Arg, "--order=")) {
       const char *Value = Arg + 8;
       if (!std::strcmp(Value, "ltr"))
-        Opts.Machine.Order = EvalOrderKind::LeftToRight;
+        Builder.order(EvalOrderKind::LeftToRight);
       else if (!std::strcmp(Value, "rtl"))
-        Opts.Machine.Order = EvalOrderKind::RightToLeft;
+        Builder.order(EvalOrderKind::RightToLeft);
       else if (!std::strcmp(Value, "random"))
-        Opts.Machine.Order = EvalOrderKind::Random;
+        Builder.order(EvalOrderKind::Random);
       else {
         usage();
         return 2;
@@ -219,9 +228,9 @@ int main(int argc, char **argv) {
       unsigned Seed = 0;
       if (!parseNumericFlag("--seed", Arg + 7, Seed))
         return 2;
-      Opts.Machine.Seed = Seed;
+      Builder.seed(Seed);
     } else if (!std::strcmp(Arg, "--no-static")) {
-      Opts.RunStaticChecks = false;
+      Builder.staticChecks(false);
     } else if (Arg[0] == '-') {
       usage();
       return 2;
@@ -233,6 +242,17 @@ int main(int argc, char **argv) {
     usage();
     return 2;
   }
+
+  // One validation point for the whole flag surface: nonsense
+  // combinations (--search=0, absurd worker counts) exit 2 with the
+  // builder's typed diagnostic instead of being silently clamped.
+  Builder.sched(Sched);
+  AnalysisRequest::Builder::Result Built = Builder.build();
+  if (!Built.ok()) {
+    std::fprintf(stderr, "kcc: %s\n", Built.Err.Message.c_str());
+    return 2;
+  }
+  const AnalysisRequest &Req = Built.Request;
 
   std::vector<BatchInput> Inputs;
   for (const char *Path : Paths) {
@@ -246,42 +266,60 @@ int main(int argc, char **argv) {
     Inputs.push_back({Buffer.str(), Path});
   }
 
-  if (Inputs.size() == 1 && !BatchStats) {
-    // Single-program mode: the paper's kcc contract, byte-for-byte.
-    Driver Drv(Opts);
-    DriverOutcome O = Drv.runSource(Inputs[0].Source, Inputs[0].Name);
-    if (!O.CompileOk) {
-      std::fputs(O.CompileErrors.c_str(), stderr);
-      if (!O.anyUb())
-        return 1;
-    }
-    // Program output passes through.
-    std::fputs(O.Output.c_str(), stdout);
-    bool Ub = printProgramReport(O, ShowWitness);
-    if (ShowWitness)
-      printSearchStats(O);
-    if (Ub)
-      return 139; // undefined: report and fail like a crashed process
-    return O.ExitCode;
+  // The single submission path: every translation unit goes through
+  // one AnalysisEngine, whatever the mode.
+  auto Start = std::chrono::steady_clock::now();
+  AnalysisEngine Eng(engineConfigFor(Req));
+  std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
+  std::vector<DriverOutcome> Outcomes;
+  std::vector<double> Micros;
+  Outcomes.reserve(Handles.size());
+  for (JobHandle &H : Handles) {
+    Micros.push_back(H.wallMicros());
+    Outcomes.push_back(H.take());
+  }
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  SchedulerStats Pool = Req.searchSched() == SchedKind::Wave
+                            ? waveAggregateStats(Outcomes)
+                            : Eng.poolStats();
+  Pool.Programs = static_cast<unsigned>(Inputs.size());
+
+  bool AnyUb = false, AnyCompileFail = false;
+  for (const DriverOutcome &O : Outcomes) {
+    AnyUb |= O.anyUb();
+    AnyCompileFail |= !O.CompileOk && !O.anyUb();
+  }
+  int ExitCode = AnyUb            ? 139
+                 : AnyCompileFail ? 1
+                 : Outcomes.size() == 1 ? Outcomes[0].ExitCode
+                                        : 0;
+
+  if (Json) {
+    // Machine-readable boundary: the document is the entire stdout;
+    // program output is embedded, the human report is suppressed.
+    std::vector<JsonProgram> Progs;
+    Progs.reserve(Outcomes.size());
+    for (size_t I = 0; I < Outcomes.size(); ++I)
+      Progs.push_back({&Outcomes[I], Inputs[I].Name, Micros[I]});
+    std::fputs(renderJsonDocument(Progs, Pool, WallMs, ExitCode).c_str(),
+               stdout);
+    return ExitCode;
   }
 
-  // Batch mode: every translation unit through one shared scheduler.
-  Driver Drv(Opts);
-  BatchResult Batch = Drv.runBatch(Inputs);
-  bool AnyUb = false, AnyCompileFail = false;
-  for (size_t I = 0; I < Batch.Outcomes.size(); ++I) {
-    const DriverOutcome &O = Batch.Outcomes[I];
-    if (Batch.Outcomes.size() > 1)
+  for (size_t I = 0; I < Outcomes.size(); ++I) {
+    const DriverOutcome &O = Outcomes[I];
+    if (Inputs.size() > 1)
       std::fprintf(stderr, "== %s ==\n", Inputs[I].Name.c_str());
     if (!O.CompileOk) {
       std::fputs(O.CompileErrors.c_str(), stderr);
-      if (!O.anyUb()) {
-        AnyCompileFail = true;
+      if (!O.anyUb())
         continue;
-      }
     }
+    // Program output passes through, in command-line order.
     std::fputs(O.Output.c_str(), stdout);
-    AnyUb |= printProgramReport(O, ShowWitness);
+    printProgramReport(O, ShowWitness);
     if (ShowWitness)
       printSearchStats(O);
   }
@@ -290,16 +328,15 @@ int main(int argc, char **argv) {
                  "Batch stats: programs=%u jobs=%u runs=%llu steals=%llu "
                  "dedup-hits=%llu evictions=%llu peak-frontier=%llu "
                  "wall-ms=%.2f\n",
-                 Batch.Stats.Programs, Batch.Stats.Jobs,
-                 static_cast<unsigned long long>(Batch.Stats.RunsExecuted),
-                 static_cast<unsigned long long>(Batch.Stats.Steals),
-                 static_cast<unsigned long long>(Batch.Stats.DedupHits),
-                 static_cast<unsigned long long>(
-                     Batch.Stats.SnapshotEvictions),
-                 static_cast<unsigned long long>(Batch.Stats.PeakFrontier),
-                 Batch.Stats.WallMs);
-    for (size_t I = 0; I < Batch.Outcomes.size(); ++I) {
-      const DriverOutcome &O = Batch.Outcomes[I];
+                 Pool.Programs, Pool.Jobs,
+                 static_cast<unsigned long long>(Pool.RunsExecuted),
+                 static_cast<unsigned long long>(Pool.Steals),
+                 static_cast<unsigned long long>(Pool.DedupHits),
+                 static_cast<unsigned long long>(Pool.SnapshotEvictions),
+                 static_cast<unsigned long long>(Pool.PeakFrontier),
+                 WallMs);
+    for (size_t I = 0; I < Outcomes.size(); ++I) {
+      const DriverOutcome &O = Outcomes[I];
       const char *Verdict = !O.CompileOk && !O.anyUb() ? "compile-error"
                             : O.anyUb()                ? "UNDEFINED"
                                                        : "clean";
@@ -308,9 +345,5 @@ int main(int argc, char **argv) {
                    O.OrdersDeduped);
     }
   }
-  if (AnyUb)
-    return 139;
-  if (AnyCompileFail)
-    return 1;
-  return Batch.Outcomes.size() == 1 ? Batch.Outcomes[0].ExitCode : 0;
+  return ExitCode;
 }
