@@ -15,11 +15,17 @@
 //                  consecutive batches (pool reused, startup amortized),
 //                  vs a fresh Driver (fresh pool) per batch.
 //
+// A second, duplicate-heavy workload (ISSUE 5) A/Bs the engine's
+// translation cache: the same translation unit submitted xN compiles
+// once with the cache on and N times with it off, with byte-identical
+// outcomes either way. Its cache hit rate lands in BENCH_batch.json.
+//
 // Per-program outcomes must be identical in every mode and every round
-// (verdict, witness, output, exit code) — the bench exits nonzero
-// otherwise, and the bench_batch_quick ctest guards that in CI.
-// Wall-clock is informational. Results land in BENCH_batch.json next
-// to bench_search's BENCH_search.json.
+// (verdict, witness, output, exit code), and the duplicate workload's
+// hit rate must be positive — the bench exits nonzero otherwise, and
+// the bench_batch_quick ctest guards both in CI. Wall-clock is
+// informational. Results land in BENCH_batch.json next to
+// bench_search's BENCH_search.json.
 //
 //===----------------------------------------------------------------------===//
 
@@ -48,6 +54,24 @@ bool sameOutcome(const DriverOutcome &A, const DriverOutcome &B) {
   return A.CompileOk == B.CompileOk && A.anyUb() == B.anyUb() &&
          A.SearchWitness == B.SearchWitness && A.Output == B.Output &&
          A.ExitCode == B.ExitCode;
+}
+
+/// A frontend-heavy translation unit: hundreds of functions to lex,
+/// parse, and type-check, of which main() calls exactly one — so the
+/// machine run is trivial and duplicate submissions measure
+/// translation cost, which is what the cache amortizes. (This is the
+/// real-world shape too: most of a translation unit is headers and
+/// helpers the analyzed entry point never touches.)
+std::string bigStraightLineProgram(unsigned Funcs) {
+  std::string Src;
+  for (unsigned F = 0; F < Funcs; ++F) {
+    Src += "static int f" + std::to_string(F) + "(int x) {\n";
+    Src += "  int a = x + " + std::to_string(F) + "; int b = a * 3;\n";
+    Src += "  int c = b - a; int d = c + (a > 0 ? 1 : 2);\n";
+    Src += "  return d + b;\n}\n";
+  }
+  Src += "int main(void) { return f0(1) > 0 ? 0 : 1; }\n";
+  return Src;
 }
 
 } // namespace
@@ -176,6 +200,52 @@ int main(int argc, char **argv) {
               OutcomesAgree ? "identical across all modes and rounds"
                             : "DIFFER (bug!)");
 
+  // Duplicate-heavy workload: the same frontend-bound unit xN (the
+  // suite-regeneration / repeat-traffic shape), translation cache on
+  // vs off. The search is one run per program, so wall-clock here is
+  // dominated by exactly the cost the cache removes.
+  const unsigned DupCopies = Quick ? 12 : 24;
+  const std::string BigSource = bigStraightLineProgram(Quick ? 240 : 480);
+  std::vector<BatchInput> DupInputs;
+  for (unsigned I = 0; I < DupCopies; ++I)
+    DupInputs.push_back({BigSource, "dup.c"});
+  DupInputs.push_back({Inputs[0].Source, "paper.c"}); // one searchy unit
+  AnalysisRequest DupReq = AnalysisRequest::Builder()
+                               .searchRuns(8)
+                               .searchJobs(Jobs)
+                               .buildOrDie();
+
+  std::vector<DriverOutcome> DupOn, DupOff;
+  double HitRate = 0.0;
+  double DupOnMs = wallOf([&] {
+    AnalysisEngine Eng(engineConfigFor(DupReq));
+    std::vector<JobHandle> Handles = Eng.submitBatch(DupReq, DupInputs);
+    for (JobHandle &H : Handles)
+      DupOn.push_back(H.take());
+    HitRate = Eng.translationStats().hitRate();
+  });
+  double DupOffMs = wallOf([&] {
+    EngineConfig Off = engineConfigFor(DupReq);
+    Off.TranslationCacheEntries = 0;
+    AnalysisEngine Eng(Off);
+    std::vector<JobHandle> Handles = Eng.submitBatch(DupReq, DupInputs);
+    for (JobHandle &H : Handles)
+      DupOff.push_back(H.take());
+  });
+
+  bool DupAgree = DupOn.size() == DupOff.size();
+  for (size_t I = 0; DupAgree && I < DupOn.size(); ++I)
+    DupAgree = sameOutcome(DupOn[I], DupOff[I]);
+
+  std::printf("\nduplicate-heavy translation (%zu units, %u copies of one "
+              "file):\n",
+              DupInputs.size(), DupCopies);
+  std::printf("cache-on %.2f ms; cache-off %.2f ms (%.2fx); hit rate "
+              "%.1f%%; outcomes %s\n",
+              DupOnMs, DupOffMs, DupOnMs > 0 ? DupOffMs / DupOnMs : 0.0,
+              HitRate * 100.0, DupAgree ? "identical" : "DIFFER (bug!)");
+  const bool CacheOk = DupAgree && HitRate > 0.0;
+
   std::string Json = "{\n  \"bench\": \"batch\",\n";
   Json += std::string("  \"quick\": ") + (Quick ? "true" : "false") + ",\n";
   char Buf[1024];
@@ -214,9 +284,16 @@ int main(int argc, char **argv) {
                 Jobs, Rounds, msArray(FreshMs).c_str(),
                 msArray(ReuseMs).c_str(), FreshTotal, ReuseTotal);
   Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"translation_cache\": {\"units\": %zu, \"copies\": %u,\n"
+                "    \"cache_on_ms\": %.3f, \"cache_off_ms\": %.3f,\n"
+                "    \"hit_rate\": %.4f, \"outcomes_identical\": %s},\n",
+                DupInputs.size(), DupCopies, DupOnMs, DupOffMs, HitRate,
+                DupAgree ? "true" : "false");
+  Json += Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"outcomes_identical\": %s\n}\n",
                 OutcomesAgree ? "true" : "false");
   Json += Buf;
   cundef_bench::writeJsonFile("bench_batch", JsonPath, Json);
-  return OutcomesAgree ? 0 : 1;
+  return OutcomesAgree && CacheOk ? 0 : 1;
 }

@@ -33,13 +33,13 @@ int main(void) {
 )";
   Driver Drv;
   Driver::Compiled C = Drv.compile(Source, "fig1.c");
-  if (!C.Ok) {
-    std::printf("compile failed:\n%s", C.Errors.c_str());
+  if (!C->ok()) {
+    std::printf("compile failed:\n%s", C->errors().c_str());
     return 1;
   }
   UbSink Sink;
   MachineOptions Opts;
-  Machine M(*C.Ast, Opts, Sink);
+  Machine M(C->ast(), Opts, Sink);
 
   // Step until execution is inside helper() with live cells, then dump.
   std::printf("Figure 1. Subset of the C configuration "
@@ -60,7 +60,7 @@ int main(void) {
     UbSink S2;
     MachineOptions O2;
     O2.StepLimit = Budget;
-    Machine M2(*C.Ast, O2, S2);
+    Machine M2(C->ast(), O2, S2);
     M2.run();
     ++Steps;
     if (M2.config().CallStack.size() >= DeepestFrames) {

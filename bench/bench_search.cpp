@@ -198,7 +198,7 @@ int main(int argc, char **argv) {
     const OrderCase &Case = Cases[CaseIdx];
     Driver Drv;
     Driver::Compiled C = Drv.compile(Case.Source, "order.c");
-    if (!C.Ok) {
+    if (!C->ok()) {
       std::printf("%-32s  compile error\n", Case.Name);
       continue;
     }
@@ -223,9 +223,9 @@ int main(int argc, char **argv) {
     Steal4.Jobs = 4;
 
     Measured Ms[] = {
-        measure(*C.Ast, Seq, "seq"),      measure(*C.Ast, Replay, "replay"),
-        measure(*C.Ast, Fork, "fork"),    measure(*C.Ast, Steal, "steal"),
-        measure(*C.Ast, Wave4, "wave4"),  measure(*C.Ast, Steal4, "steal4"),
+        measure(C->ast(), Seq, "seq"),      measure(C->ast(), Replay, "replay"),
+        measure(C->ast(), Fork, "fork"),    measure(C->ast(), Steal, "steal"),
+        measure(C->ast(), Wave4, "wave4"),  measure(C->ast(), Steal4, "steal4"),
     };
     const Measured &MSeq = Ms[0], &MRep = Ms[1], &MFork = Ms[2],
                    &MSteal = Ms[3], &MWave4 = Ms[4], &MSteal4 = Ms[5];

@@ -50,7 +50,7 @@ void BM_ToolEndToEnd(benchmark::State &State, ToolKind Kind) {
 void BM_MachineSteps(benchmark::State &State) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(WorkloadSource, "workload.c");
-  if (!C.Ok) {
+  if (!C->ok()) {
     State.SkipWithError("compile failed");
     return;
   }
@@ -58,7 +58,7 @@ void BM_MachineSteps(benchmark::State &State) {
   for (auto _ : State) {
     UbSink Sink;
     MachineOptions Opts;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     M.run();
     Steps += M.config().Steps;
   }
@@ -69,7 +69,7 @@ void BM_MachineSteps(benchmark::State &State) {
 void BM_PermissiveMachineSteps(benchmark::State &State) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(WorkloadSource, "workload.c");
-  if (!C.Ok) {
+  if (!C->ok()) {
     State.SkipWithError("compile failed");
     return;
   }
@@ -78,7 +78,7 @@ void BM_PermissiveMachineSteps(benchmark::State &State) {
     UbSink Sink;
     MachineOptions Opts;
     Opts.Strict = false;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     M.run();
     Steps += M.config().Steps;
   }
@@ -90,7 +90,7 @@ void BM_CompileOnly(benchmark::State &State) {
   Driver Drv;
   for (auto _ : State) {
     Driver::Compiled C = Drv.compile(WorkloadSource, "workload.c");
-    benchmark::DoNotOptimize(C.Ok);
+    benchmark::DoNotOptimize(C->ok());
   }
 }
 

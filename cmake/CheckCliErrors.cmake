@@ -22,7 +22,9 @@ set(BAD_FLAGS
   --search-jobs=-4
   --search-jobs=
   --seed=banana
-  --search-engine=warp)
+  --search-engine=warp
+  --translation-cache=maybe
+  --translation-cache=)
 
 foreach(FLAG ${BAD_FLAGS})
   execute_process(
@@ -44,6 +46,8 @@ set(GOOD_ARGS
   "--search=8;--search-jobs=0"
   "--search=8;--search-jobs=4;--search-engine=replay"
   "--search=8;--search-engine=fork"
+  "--search=8;--translation-cache=off"
+  "--search=8;--translation-cache=on"
   "--seed=42;--order=random")
 
 foreach(ARGS ${GOOD_ARGS})

@@ -42,6 +42,17 @@ endif()
 if(NOT OUT MATCHES "\"orders_explored\":" OR NOT OUT MATCHES "\"wall_micros\":")
   message(FATAL_ERROR "kcc --json: missing search/timing fields: ${OUT}")
 endif()
+# The cundef-kcc-v1 compile block (backward-compatible addition): the
+# per-job cache flag and the frontend/search cost split, plus the
+# engine-wide translation_cache object.
+if(NOT OUT MATCHES "\"compile\": \\{" OR NOT OUT MATCHES "\"cache_hit\":"
+   OR NOT OUT MATCHES "\"frontend_micros\":"
+   OR NOT OUT MATCHES "\"search_micros\":")
+  message(FATAL_ERROR "kcc --json: missing compile block fields: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"translation_cache\": \\{" OR NOT OUT MATCHES "\"inflight_joins\":")
+  message(FATAL_ERROR "kcc --json: missing translation_cache block: ${OUT}")
+endif()
 if(ERR MATCHES "ERROR! KCC")
   message(FATAL_ERROR "kcc --json: human report leaked to stderr: ${ERR}")
 endif()

@@ -40,12 +40,12 @@ int main() {
   // Exhaustive search over order decisions.
   Driver Drv;
   Driver::Compiled C = Drv.compile(Program, "order.c");
-  if (!C.Ok) {
+  if (!C->ok()) {
     std::printf("compile failed\n");
     return 1;
   }
   MachineOptions MOpts;
-  OrderSearch Search(*C.Ast, MOpts, 64);
+  OrderSearch Search(C->ast(), MOpts, 64);
   SearchResult R = Search.run();
   std::printf("%-16s : %s after exploring %u order(s)\n", "search",
               R.UbFound ? "undefined behavior found" : "no UB found",

@@ -74,7 +74,7 @@ ToolResult MonitorTool::analyze(const std::string &Source,
                  .staticChecks(false)
                  .buildOrDie());
   Driver::Compiled C = Drv.compile(Source, Name);
-  if (!C.Ok) {
+  if (!C->ok()) {
     Result.CompileOk = false;
     Result.Status = RunStatus::Internal;
     return Result;
@@ -84,7 +84,7 @@ ToolResult MonitorTool::analyze(const std::string &Source,
   UbSink MachineSink;   // the machine's own reports (discarded)
   MachineOptions MOpts;
   MOpts.Strict = false;
-  Machine M(*C.Ast, MOpts, MachineSink);
+  Machine M(C->ast(), MOpts, MachineSink);
   std::unique_ptr<ExecMonitor> Monitor = makeMonitor(MonitorSink);
   M.addMonitor(Monitor.get());
   Result.Status = M.run();

@@ -15,7 +15,7 @@ Driver::Driver(AnalysisRequest Req)
 
 Driver::Compiled Driver::compile(const std::string &Source,
                                  const std::string &Name) {
-  return Eng.compileUnit(Req, Source, Name);
+  return Eng.compile(Req, Source, Name);
 }
 
 DriverOutcome Driver::runSource(const std::string &Source,
@@ -29,15 +29,21 @@ BatchResult Driver::runBatch(const std::vector<BatchInput> &Inputs) {
   Batch.Stats.Programs = static_cast<unsigned>(Inputs.size());
 
   SchedulerStats Before = Eng.poolStats();
+  TranslationCacheStats TBefore = Eng.translationStats();
   std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
   Batch.Outcomes.reserve(Handles.size());
   for (JobHandle &H : Handles)
     Batch.Outcomes.push_back(H.take());
   SchedulerStats After = Eng.poolStats();
+  TranslationCacheStats TAfter = Eng.translationStats();
+  Batch.Stats.TranslationHits = (TAfter.Hits + TAfter.InflightJoins) -
+                                (TBefore.Hits + TBefore.InflightJoins);
+  Batch.Stats.TranslationMisses = TAfter.Misses - TBefore.Misses;
 
   if (Req.searchSched() == SchedKind::Wave) {
-    // The wave reference path runs sequentially on the submitting
-    // thread and never touches the pool.
+    // The wave reference path runs on the engine's frontend workers
+    // and never touches the steal pool: aggregate the per-program
+    // outcomes instead of diffing pool counters.
     SchedulerStats St = waveAggregateStats(Batch.Outcomes);
     Batch.Stats.Jobs = St.Jobs;
     Batch.Stats.RunsExecuted = St.RunsExecuted;

@@ -42,6 +42,13 @@ struct BatchStats {
   /// Machine runs executed, including speculative surplus.
   uint64_t RunsExecuted = 0;
   uint64_t DedupHits = 0;
+  /// Translation-cache resolution of this batch's frontend passes:
+  /// hits (ready artifact or in-flight join — no compile ran) vs
+  /// misses (full frontend pass). Hits + Misses == Programs on a
+  /// Driver-owned engine (cache always enabled there); both stay 0 on
+  /// an engine whose translation cache is disabled.
+  uint64_t TranslationHits = 0;
+  uint64_t TranslationMisses = 0;
   double WallMs = 0.0;
 };
 
@@ -86,10 +93,13 @@ public:
   /// shared pool.
   BatchResult runBatch(const std::vector<BatchInput> &Inputs);
 
-  /// Compile-only entry point (used by tests that inspect the AST).
-  /// Compiled::Ok is false on parse/sema errors; Errors receives
-  /// rendered diagnostics, StaticUb the static findings.
-  using Compiled = CompiledUnit;
+  /// Compile-only entry point (used by tests that inspect the AST):
+  /// the immutable frontend artifact, shared through the engine's
+  /// translation cache. C->ok() is false on parse/sema errors;
+  /// C->errors() has the rendered diagnostics, C->staticUb() the
+  /// static findings, C->ast() the const AST every downstream machine
+  /// reads.
+  using Compiled = CompiledProgramRef;
   Compiled compile(const std::string &Source,
                    const std::string &Name = "test.c");
 

@@ -4,17 +4,29 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Lifetime model:
+// Threading model:
 //
-//  * A pooled job's AST must outlive every machine that touches it —
-//    including runs of a *finished* program that are still observing
-//    their cancellation. Completed jobs therefore move their compile
-//    artifacts into a graveyard instead of freeing them; drain() frees
-//    the graveyard only after the scheduler confirmed full idleness
-//    (SearchScheduler::reclaimFinished), at which point no worker can
-//    hold a machine over any of those ASTs.
+//  * submit() only enqueues: it copies the source into a frontend task
+//    and returns. The frontend pool dequeues tasks, resolves each
+//    through the translation cache (one compile per content key,
+//    however many submissions race on it), and either finishes the job
+//    right there (compile failure, wave-scheduled search) or seeds the
+//    search scheduler with the shared artifact. Frontend compilation
+//    of later submissions therefore overlaps searches already running
+//    on the warm steal pool.
 //
-//  * The completion callback runs on a worker thread with no scheduler
+//  * A pooled job's artifact must outlive every machine that touches
+//    it — including runs of a *finished* program that are still
+//    observing their cancellation. Completed jobs therefore move their
+//    artifact reference into a graveyard instead of dropping it;
+//    drain() releases the graveyard only after the scheduler confirmed
+//    full idleness (SearchScheduler::reclaimFinished), at which point
+//    no worker can hold a machine over any of those ASTs. The
+//    translation cache holds its own reference, so a graveyard release
+//    does not forfeit reuse — and a cache *eviction* can never free an
+//    AST a machine still reads (shared_ptr).
+//
+//  * The completion callback runs on a search worker with no scheduler
 //    locks held and takes the engine mutex only to look up the job, so
 //    sinks may re-enter the engine (submit chains, service pipelines).
 //
@@ -22,17 +34,16 @@
 
 #include "driver/Engine.h"
 
-#include "libc/Builtins.h"
+#include "frontend/Frontend.h"
 #include "libc/Headers.h"
-#include "parse/Parser.h"
-#include "sema/Sema.h"
-#include "ub/StaticChecks.h"
 
 #include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <mutex>
+#include <thread>
 #include <unordered_map>
 
 using namespace cundef;
@@ -47,7 +58,7 @@ SchedulerStats
 cundef::waveAggregateStats(const std::vector<DriverOutcome> &Outcomes) {
   SchedulerStats St;
   St.Programs = static_cast<unsigned>(Outcomes.size());
-  St.Jobs = 1; // sequential by definition
+  St.Jobs = 1; // each wave search runs its program alone
   for (const DriverOutcome &O : Outcomes) {
     St.RunsExecuted += O.OrdersExplored;
     St.DedupHits += O.OrdersDeduped;
@@ -74,14 +85,17 @@ struct cundef::detail::JobState {
   size_t Id = 0;
   std::string Name;
   std::chrono::steady_clock::time_point SubmitTime;
+  std::chrono::steady_clock::time_point SearchStart;
   EngineSink *Sink = nullptr;
 
-  /// Compile artifacts pinned while the search runs (pooled jobs only).
-  std::unique_ptr<StringInterner> Interner;
-  std::unique_ptr<AstContext> Ast;
+  /// The immutable artifact pinned while the search runs (pooled jobs
+  /// only). Shared with the translation cache and any concurrent job
+  /// of the same content.
+  CompiledProgramRef Artifact;
 
-  /// Partial outcome written at submit (compile half), completed by
-  /// the search result. Guarded by Mu once the job is in flight.
+  /// Partial outcome written by the frontend stage (compile half),
+  /// completed by the search result. Guarded by Mu once the job is in
+  /// flight.
   mutable std::mutex Mu;
   mutable std::condition_variable Cv;
   bool Done = false;
@@ -132,6 +146,16 @@ double JobHandle::wallMicros() const {
 // Engine implementation
 //===----------------------------------------------------------------------===//
 
+namespace {
+
+double microsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
 struct AnalysisEngine::Impl {
   static SearchScheduler::Config schedConfig(const EngineConfig &Cfg) {
     SearchScheduler::Config SC;
@@ -141,7 +165,9 @@ struct AnalysisEngine::Impl {
     return SC;
   }
 
-  explicit Impl(EngineConfig Cfg) : Cfg(Cfg), Sched(schedConfig(Cfg)) {
+  explicit Impl(EngineConfig Cfg)
+      : Cfg(Cfg), Sched(schedConfig(Cfg)),
+        TCache(Cfg.TranslationCacheEntries) {
     registerStandardHeaders(Headers);
     Sched.setProgramDoneCallback([this](size_t Prog) { onProgramDone(Prog); });
   }
@@ -149,25 +175,168 @@ struct AnalysisEngine::Impl {
   EngineConfig Cfg;
   HeaderRegistry Headers;
   SearchScheduler Sched;
+  TranslationCache TCache;
 
-  /// Guards Pending, Started, ShutDown, Graveyard.
+  /// One queued submission: everything the frontend stage needs, owned
+  /// by the task (the caller's source was copied at submit).
+  struct FrontendTask {
+    std::shared_ptr<JobState> St;
+    AnalysisRequest Req;
+    std::string Source;
+  };
+
+  /// Guards Pending, Graveyard, Started, ShutDown, and the frontend
+  /// pool state (FeQueue, FeThreads, FeStop).
   std::mutex Mu;
   /// Pooled jobs by scheduler program id.
   std::unordered_map<size_t, std::shared_ptr<JobState>> Pending;
-  /// Compile artifacts of completed pooled jobs, freed on drain()
+  /// Artifact references of completed pooled jobs, released on drain()
   /// once the pool is provably idle (see the file header).
-  std::vector<std::pair<std::unique_ptr<StringInterner>,
-                        std::unique_ptr<AstContext>>>
-      Graveyard;
+  std::vector<CompiledProgramRef> Graveyard;
   bool Started = false;
   bool ShutDown = false;
+
+  std::deque<FrontendTask> FeQueue;
+  std::condition_variable FeCv;
+  std::vector<std::thread> FeThreads;
+  bool FeStop = false;
 
   std::atomic<size_t> NextJobId{1};
   std::atomic<size_t> Outstanding{0};
   std::mutex DrainMu;
   std::condition_variable DrainCv;
 
-  //===--- Completion (worker thread) ------------------------------------===//
+  //===--- Frontend pool --------------------------------------------------===//
+
+  unsigned frontendWorkers() const {
+    return Cfg.FrontendWorkers ? Cfg.FrontendWorkers : 2;
+  }
+
+  /// Spawns the frontend pool (caller holds Mu).
+  void spawnFrontendPool() {
+    const unsigned N = frontendWorkers();
+    FeThreads.reserve(N);
+    for (unsigned T = 0; T < N; ++T)
+      FeThreads.emplace_back([this] { frontendWorker(); });
+  }
+
+  void frontendWorker() {
+    for (;;) {
+      FrontendTask Task;
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        FeCv.wait(Lock, [&] { return FeStop || !FeQueue.empty(); });
+        if (FeQueue.empty())
+          return; // FeStop with the queue already drained
+        Task = std::move(FeQueue.front());
+        FeQueue.pop_front();
+      }
+      processSubmission(std::move(Task));
+    }
+  }
+
+  /// Resolves \p Source through the translation cache (or compiles
+  /// directly when the cache is disabled).
+  CompiledProgramRef frontend(const AnalysisRequest &Req,
+                              const std::string &Source,
+                              const std::string &Name, bool *WasHit) {
+    FrontendOptions FO;
+    FO.Target = Req.target();
+    FO.StaticChecks = Req.staticChecks();
+    if (!TCache.enabled()) {
+      if (WasHit)
+        *WasHit = false;
+      return compileTranslationUnit(FO, Source, Name, Headers);
+    }
+    // Hash once: the key addresses the cache AND stamps the artifact,
+    // so the two can never diverge (and a miss does not re-hash the
+    // source and the whole header registry inside the compile).
+    TranslationKey Key =
+        translationKeyFor(FO, Source, Name, Headers.fingerprint());
+    return TCache.getOrCompile(
+        Key,
+        [&] { return compileTranslationUnit(FO, Source, Name, Headers, &Key); },
+        WasHit);
+  }
+
+  /// The whole per-job frontend stage, on a frontend worker: cache
+  /// lookup / compile, then finish inline (compile failure, wave
+  /// search) or seed the search scheduler.
+  void processSubmission(FrontendTask Task) {
+    JobState &St = *Task.St;
+    const AnalysisRequest &Req = Task.Req;
+
+    auto FeStart = std::chrono::steady_clock::now();
+    bool Hit = false;
+    CompiledProgramRef Art;
+    try {
+      Art = frontend(Req, Task.Source, St.Name, &Hit);
+    } catch (const std::exception &E) {
+      // A throwing frontend (OOM, realistically) must not escape a
+      // pool thread — that would terminate the whole service and
+      // strand the job's future. Fail this job, keep serving.
+      DriverOutcome O;
+      O.CompileErrors =
+          std::string("internal error during translation: ") + E.what();
+      O.FrontendMicros = microsSince(FeStart);
+      finishJob(St, std::move(O), microsSince(St.SubmitTime));
+      return;
+    }
+
+    DriverOutcome O;
+    O.CompileOk = Art->ok();
+    O.CompileErrors = Art->errors();
+    O.StaticUb = Art->staticUb();
+    O.TranslationCacheHit = Hit;
+    O.FrontendMicros = microsSince(FeStart);
+
+    if (!Art->ok()) {
+      O.Status = RunStatus::Internal;
+      finishJob(St, std::move(O), microsSince(St.SubmitTime));
+      return;
+    }
+
+    if (Req.searchSched() == SchedKind::Wave) {
+      auto SearchStart = std::chrono::steady_clock::now();
+      runWave(Req, *Art, O);
+      O.SearchMicros = microsSince(SearchStart);
+      finishJob(St, std::move(O), microsSince(St.SubmitTime));
+      return;
+    }
+
+    // Pooled path: the request was validated at build time (searchRuns
+    // >= 1), so the root run always executes and doubles as the
+    // default-order run (root gating).
+    SearchOptions SO;
+    SO.MaxRuns = Req.searchRuns();
+    SO.Jobs = Req.searchJobs();
+    SO.Dedup = Req.searchDedup();
+    SO.UseSnapshots = Req.searchSnapshots();
+    SO.SnapshotBudget = Cfg.SnapshotBudget;
+    SO.Sched = SchedKind::Stealing;
+
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!Started) {
+        Sched.start();
+        Started = true;
+      }
+      St.Artifact = Art;
+      {
+        std::lock_guard<std::mutex> StLock(St.Mu);
+        St.Outcome = std::move(O); // compile half; completed on finish
+      }
+      St.SearchStart = std::chrono::steady_clock::now();
+      // Holding Mu across the scheduler submit closes the race where a
+      // one-worker pool finishes the program before it lands in
+      // Pending: the completion callback takes Mu before its lookup.
+      size_t Prog = Sched.submit(Art->ast(), Req.machine(), SO,
+                                 /*RootGated=*/true);
+      Pending.emplace(Prog, Task.St);
+    }
+  }
+
+  //===--- Completion (search worker thread) ------------------------------===//
 
   void onProgramDone(size_t Prog) {
     std::shared_ptr<JobState> St;
@@ -179,22 +348,22 @@ struct AnalysisEngine::Impl {
       Pending.erase(It);
     }
     SearchResult SR = Sched.takeResult(Prog);
-    double Wall = std::chrono::duration<double, std::micro>(
-                      std::chrono::steady_clock::now() - St->SubmitTime)
-                      .count();
+    double SearchMicros = microsSince(St->SearchStart);
+    double Wall = microsSince(St->SubmitTime);
 
     DriverOutcome O;
     {
       std::lock_guard<std::mutex> Lock(St->Mu);
-      O = std::move(St->Outcome); // the compile half, written at submit
+      O = std::move(St->Outcome); // the compile half
     }
     mapSearchResult(O, std::move(SR));
+    O.SearchMicros = SearchMicros;
 
-    // Keep the AST alive until the pool is provably idle: a cancelling
-    // sibling run may still be stepping over it.
+    // Keep the artifact alive until the pool is provably idle: a
+    // cancelling sibling run may still be stepping over its AST.
     {
       std::lock_guard<std::mutex> Lock(Mu);
-      Graveyard.emplace_back(std::move(St->Interner), std::move(St->Ast));
+      Graveyard.push_back(std::move(St->Artifact));
     }
 
     finishJob(*St, std::move(O), Wall);
@@ -227,10 +396,9 @@ struct AnalysisEngine::Impl {
     DrainCv.notify_all();
   }
 
-  /// The search-counter tail shared by the pooled and wave-inline
-  /// paths: everything except the root-run fields and how
-  /// OrdersExplored accumulates. New SearchResult counters get
-  /// threaded through here exactly once.
+  /// The search-counter tail shared by the pooled and wave paths:
+  /// everything except the root-run fields. New SearchResult counters
+  /// get threaded through here exactly once.
   static void mapSearchCounters(DriverOutcome &O, SearchResult &SR) {
     O.OrdersDeduped = SR.DedupHits + SR.SubtreesPruned;
     O.SearchTruncated = SR.FrontierTruncated;
@@ -247,7 +415,7 @@ struct AnalysisEngine::Impl {
   /// Folds a root-gated SearchResult into the outcome — the single
   /// mapping every pooled submission shares. The root run doubles as
   /// the default-order run, so its status/output/exit code are the
-  /// program's, and OrdersExplored counts every machine run once.
+  /// program's, and OrdersExplored counts every explored order once.
   static void mapSearchResult(DriverOutcome &O, SearchResult SR) {
     O.Status = SR.RootStatus;
     O.ExitCode = SR.RootExitCode;
@@ -256,19 +424,19 @@ struct AnalysisEngine::Impl {
     mapSearchCounters(O, SR);
   }
 
-  //===--- Inline paths (submitting thread) -------------------------------===//
+  //===--- Wave reference path (frontend worker thread) -------------------===//
 
   /// The wave reference engine has no service scheduler: wave requests
-  /// run synchronously on the submitting thread, in the classic
-  /// two-phase shape (default-order run, then a wave search when that
-  /// run was clean). Observable outputs match the pooled path
-  /// (test_scheduler::BatchHonorsWaveSchedSelection); only the
-  /// OrdersExplored accounting differs by the documented +1, since the
-  /// wave search re-executes the default order as its own root.
-  void runWaveInline(const AnalysisRequest &Req, const CompiledUnit &C,
-                     DriverOutcome &O) {
+  /// run to completion on the frontend worker that compiled them, in
+  /// the classic two-phase shape (default-order run, then a wave
+  /// search when that run was clean). Observable outputs — including
+  /// OrdersExplored, which counts each explored order exactly once at
+  /// both --search-sched values — match the pooled path
+  /// (tests/test_translation_cache.cpp pins the counter parity).
+  void runWave(const AnalysisRequest &Req, const CompiledProgram &C,
+               DriverOutcome &O) {
     UbSink RunSink;
-    Machine M(*C.Ast, Req.machine(), RunSink);
+    Machine M(C.ast(), Req.machine(), RunSink);
     O.Status = M.run();
     O.ExitCode = M.config().ExitCode;
     O.Output = M.config().Output;
@@ -285,11 +453,14 @@ struct AnalysisEngine::Impl {
     SO.UseSnapshots = Req.searchSnapshots();
     SO.SnapshotBudget = Cfg.SnapshotBudget;
     SO.Sched = SchedKind::Wave;
-    OrderSearch Search(*C.Ast, Req.machine(), SO);
+    OrderSearch Search(C.ast(), Req.machine(), SO);
     SearchResult SR = Search.run();
-    // The wave search re-executes the default order as its own root,
-    // hence the documented += (one higher than the pooled accounting).
-    O.OrdersExplored += SR.RunsExplored;
+    // The wave search re-executes the default order as its own root.
+    // That re-run is a wall-clock detail of this path, not a distinct
+    // order: RunsExplored already counts the root once, so assigning
+    // (not adding) keeps one counter semantics across schedulers —
+    // the pooled path reports exactly the same number.
+    O.OrdersExplored = SR.RunsExplored;
     mapSearchCounters(O, SR);
   }
 };
@@ -307,39 +478,14 @@ HeaderRegistry &AnalysisEngine::headers() { return I->Headers; }
 
 unsigned AnalysisEngine::workers() const { return I->Sched.stats().Jobs; }
 
-CompiledUnit AnalysisEngine::compileUnit(const AnalysisRequest &Req,
-                                         const std::string &Source,
-                                         const std::string &Name) {
-  CompiledUnit Result;
-  Result.Interner = std::make_unique<StringInterner>();
-  DiagnosticEngine Diags;
-  Preprocessor PP(*Result.Interner, Diags, I->Headers);
-  std::vector<Token> Toks = PP.run(Source, Name);
-  if (Diags.hasErrors()) {
-    Result.Errors = Diags.render();
-    return Result;
-  }
-  Result.Ast = std::make_unique<AstContext>(Req.target(), *Result.Interner);
-  Parser P(std::move(Toks), *Result.Ast, Diags);
-  bool ParseOk = P.parseTranslationUnit();
-  UbSink StaticSink;
-  if (ParseOk) {
-    Sema S(*Result.Ast, Diags, StaticSink);
-    S.run();
-    if (Req.staticChecks()) {
-      StaticChecker Checker(*Result.Ast, StaticSink);
-      Checker.run();
-    }
-    assignBuiltinIds(*Result.Ast);
-  }
-  Result.StaticUb = StaticSink.all();
-  Result.Errors = Diags.render();
-  Result.Ok = !Diags.hasErrors();
-  return Result;
+CompiledProgramRef AnalysisEngine::compile(const AnalysisRequest &Req,
+                                           const std::string &Source,
+                                           const std::string &Name) {
+  return I->frontend(Req, Source, Name, nullptr);
 }
 
 JobHandle AnalysisEngine::submit(const AnalysisRequest &Req,
-                                 const std::string &Source, std::string Name,
+                                 std::string Source, std::string Name,
                                  EngineSink *Sink) {
   Impl &S = *I;
   auto St = std::make_shared<JobState>();
@@ -349,82 +495,23 @@ JobHandle AnalysisEngine::submit(const AnalysisRequest &Req,
   St->SubmitTime = std::chrono::steady_clock::now();
   JobHandle Handle{St};
 
-  if (isShutdown()) {
-    // Rejected, not analyzed: an Internal outcome, no events.
-    DriverOutcome O;
-    O.CompileErrors = "analysis engine is shut down";
-    std::lock_guard<std::mutex> Lock(St->Mu);
-    St->Outcome = std::move(O);
-    St->Done = true;
-    return Handle;
-  }
-
-  CompiledUnit C = compileUnit(Req, Source, St->Name);
-  DriverOutcome O;
-  O.CompileOk = C.Ok;
-  O.CompileErrors = C.Errors;
-  O.StaticUb = C.StaticUb;
-
-  if (!C.Ok) {
-    O.Status = RunStatus::Internal;
-    double Wall = std::chrono::duration<double, std::micro>(
-                      std::chrono::steady_clock::now() - St->SubmitTime)
-                      .count();
-    S.Outstanding.fetch_add(1, std::memory_order_acq_rel);
-    S.finishJob(*St, std::move(O), Wall);
-    return Handle;
-  }
-
-  if (Req.searchSched() == SchedKind::Wave) {
-    S.runWaveInline(Req, C, O);
-    double Wall = std::chrono::duration<double, std::micro>(
-                      std::chrono::steady_clock::now() - St->SubmitTime)
-                      .count();
-    S.Outstanding.fetch_add(1, std::memory_order_acq_rel);
-    S.finishJob(*St, std::move(O), Wall);
-    return Handle;
-  }
-
-  // Pooled path: the request was validated at build time (searchRuns
-  // >= 1), so the root run always executes and doubles as the
-  // default-order run (root gating).
-  SearchOptions SO;
-  SO.MaxRuns = Req.searchRuns();
-  SO.Jobs = Req.searchJobs();
-  SO.Dedup = Req.searchDedup();
-  SO.UseSnapshots = Req.searchSnapshots();
-  SO.SnapshotBudget = S.Cfg.SnapshotBudget;
-  SO.Sched = SchedKind::Stealing;
-
   {
     std::lock_guard<std::mutex> Lock(S.Mu);
     if (S.ShutDown) {
-      // Lost the race against shutdown(): reject like the early check.
-      DriverOutcome R;
-      R.CompileErrors = "analysis engine is shut down";
+      // Rejected, not analyzed: an Internal outcome, no events.
+      DriverOutcome O;
+      O.CompileErrors = "analysis engine is shut down";
       std::lock_guard<std::mutex> StLock(St->Mu);
-      St->Outcome = std::move(R);
+      St->Outcome = std::move(O);
       St->Done = true;
       return Handle;
     }
-    if (!S.Started) {
-      S.Sched.start();
-      S.Started = true;
-    }
-    St->Interner = std::move(C.Interner);
-    St->Ast = std::move(C.Ast);
-    {
-      std::lock_guard<std::mutex> StLock(St->Mu);
-      St->Outcome = std::move(O); // compile half; completed on finish
-    }
+    if (S.FeThreads.empty())
+      S.spawnFrontendPool();
     S.Outstanding.fetch_add(1, std::memory_order_acq_rel);
-    // Holding Mu across the scheduler submit closes the race where a
-    // one-worker pool finishes the program before it lands in Pending:
-    // the completion callback takes Mu before its lookup.
-    size_t Prog = S.Sched.submit(*St->Ast, Req.machine(), SO,
-                                 /*RootGated=*/true);
-    S.Pending.emplace(Prog, St);
+    S.FeQueue.push_back({St, Req, std::move(Source)});
   }
+  S.FeCv.notify_one();
   return Handle;
 }
 
@@ -451,11 +538,13 @@ void AnalysisEngine::drain() {
     return;
   // With nothing outstanding every scheduler program is finished;
   // reclaim confirms full idleness (no cancelling stragglers), after
-  // which the graveyard ASTs are provably unreferenced. Only entries
-  // that existed BEFORE the reclaim are freed: a job submitted and
-  // finished concurrently with this drain may append an AST whose
-  // stragglers are still cancelling, and that entry must survive
-  // until a later quiescent point.
+  // which the graveyard artifacts are provably unreferenced by any
+  // machine. Only entries that existed BEFORE the reclaim are
+  // released: a job submitted and finished concurrently with this
+  // drain may append an artifact whose stragglers are still
+  // cancelling, and that entry must survive until a later quiescent
+  // point. (The translation cache keeps its own reference, so a
+  // released artifact stays warm for the next submission.)
   size_t Cut;
   {
     std::lock_guard<std::mutex> Lock(S.Mu);
@@ -477,8 +566,19 @@ void AnalysisEngine::shutdown() {
     S.ShutDown = true;
   }
   drain();
+  // The queue is empty (drain waited on every accepted job) and
+  // ShutDown blocks new ones: the frontend pool can be joined.
+  std::vector<std::thread> Fe;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    S.FeStop = true;
+    Fe.swap(S.FeThreads);
+  }
+  S.FeCv.notify_all();
+  for (std::thread &T : Fe)
+    T.join();
   S.Sched.stop();
-  // The pool is joined: no machine references any AST anymore.
+  // Both pools are joined: no machine references any artifact anymore.
   std::lock_guard<std::mutex> Lock(S.Mu);
   S.Graveyard.clear();
 }
@@ -489,3 +589,7 @@ bool AnalysisEngine::isShutdown() const {
 }
 
 SchedulerStats AnalysisEngine::poolStats() const { return I->Sched.stats(); }
+
+TranslationCacheStats AnalysisEngine::translationStats() const {
+  return I->TCache.stats();
+}

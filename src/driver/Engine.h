@@ -6,26 +6,37 @@
 ///
 /// \file
 /// The service layer: a long-lived AnalysisEngine owns one persistent
-/// work-stealing worker pool (core/Scheduler.h service mode) and a
-/// shared snapshot cache, and runs the whole kcc pipeline — preprocess,
-/// parse, analyze, static checks, strict execution, evaluation-order
-/// search — for every translation unit submitted to it. Submission is
-/// asynchronous: submit() validates nothing (the AnalysisRequest was
-/// validated at build time), compiles on the calling thread, enqueues
-/// the search, and returns a future-backed JobHandle; per-job events
-/// (program finished, UB found, frontier truncated) stream to an
-/// optional EngineSink from worker threads as programs complete.
+/// work-stealing worker pool (core/Scheduler.h service mode), a shared
+/// snapshot cache, and an engine-wide content-addressed
+/// TranslationCache (frontend/TranslationCache.h), and runs the whole
+/// kcc pipeline — frontend (preprocess, parse, sema, static checks)
+/// plus strict execution and evaluation-order search — for every
+/// translation unit submitted to it.
+///
+/// Submission is truly asynchronous: submit() copies the source,
+/// enqueues a frontend task, and returns a future-backed JobHandle in
+/// O(1) — neither the frontend pass nor any search runs on the calling
+/// thread. A small frontend worker pool compiles submissions (through
+/// the translation cache, so identical units compile once and share
+/// one immutable CompiledProgram) and hands clean artifacts to the
+/// search pool; frontend work on later submissions overlaps searches
+/// already running on the warm pool. Per-job events (program finished,
+/// UB found, frontier truncated) stream to an optional EngineSink from
+/// engine threads as programs complete.
 ///
 /// Every other entry point — Driver::runSource/runBatch, the batched
 /// tool runner, the suite scorers, the kcc CLI — is a thin adapter over
 /// this class, so the codebase has exactly one submission path, and a
 /// service reusing one engine across batches amortizes pool startup
-/// while producing outcomes byte-identical to fresh per-batch drivers
-/// (tests/test_engine.cpp pins that down).
+/// AND frontend work while producing outcomes byte-identical to fresh
+/// per-batch drivers (tests/test_engine.cpp and
+/// tests/test_translation_cache.cpp pin that down).
 ///
 /// Determinism: per-program results never depend on pool width, steal
-/// interleaving, or what else is in flight (core/Scheduler.h); sharing
-/// the pool across submissions is a wall-clock optimization only.
+/// interleaving, what else is in flight, or whether the artifact came
+/// from the cache (equal keys mean interchangeable artifacts —
+/// frontend/Frontend.h); sharing pools and artifacts across
+/// submissions is a wall-clock optimization only.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,6 +45,8 @@
 
 #include "core/Scheduler.h"
 #include "driver/Request.h"
+#include "frontend/CompiledProgram.h"
+#include "frontend/TranslationCache.h"
 #include "text/Preprocessor.h"
 #include "ub/Report.h"
 
@@ -42,9 +55,6 @@
 #include <vector>
 
 namespace cundef {
-
-class AstContext;
-class StringInterner;
 
 /// Everything one analysis produced. The outcome carries both halves
 /// of kcc's verdict: compile-time findings and runtime findings, plus
@@ -74,6 +84,18 @@ struct DriverOutcome {
   unsigned SearchSteals = 0;
   unsigned SearchEvictions = 0;
   unsigned SearchPeakFrontier = 0;
+  /// This job's artifact came from the engine's translation cache: no
+  /// frontend pass ran for this submission (kcc --show-witness and the
+  /// --json compile block surface it).
+  bool TranslationCacheHit = false;
+  /// Microseconds this job spent in its frontend stage — the compile,
+  /// or the cache lookup/in-flight join that replaced it. Together
+  /// with SearchMicros this splits per-job cost into the two pipeline
+  /// halves the translation cache is amortizing.
+  double FrontendMicros = 0.0;
+  /// Microseconds from search submission to search completion (0 for
+  /// compile failures; includes the default-order run).
+  double SearchMicros = 0.0;
   /// Decision prefix that exposed order-dependent undefinedness; replay
   /// it with Machine::setReplayDecisions to reproduce the run
   /// deterministically. Empty when the default order already misbehaved
@@ -91,18 +113,6 @@ struct BatchInput {
   std::string Name;
 };
 
-/// A compiled translation unit: the owned AST plus the compile-time
-/// half of the verdict (used directly by tests that inspect the AST;
-/// pooled submissions keep theirs alive inside the engine until the
-/// search completes).
-struct CompiledUnit {
-  std::unique_ptr<StringInterner> Interner;
-  std::unique_ptr<AstContext> Ast;
-  std::vector<UbReport> StaticUb;
-  std::string Errors;
-  bool Ok = false;
-};
-
 /// Engine-level (pool) configuration. Per-analysis options live in
 /// AnalysisRequest; everything here is shared by every job the engine
 /// ever runs.
@@ -116,6 +126,15 @@ struct EngineConfig {
   bool ClampWorkersToHardware = true;
   /// LRU capacity of the shared snapshot cache (core/Scheduler.h).
   unsigned SnapshotBudget = 1024;
+  /// Capacity (artifacts) of the engine-wide translation cache. 0
+  /// disables content-addressed reuse: every submission runs its own
+  /// frontend pass (the kcc --translation-cache=off A/B mode).
+  unsigned TranslationCacheEntries = 256;
+  /// Threads of the frontend pool, which compiles submissions off the
+  /// submitting thread (and runs wave-scheduled searches, which never
+  /// touch the steal pool). 0 = auto (2): enough to overlap frontend
+  /// work with searches without oversubscribing the search workers.
+  unsigned FrontendWorkers = 0;
 };
 
 /// Pool configuration for an engine dedicated to \p Req: the pool is
@@ -125,11 +144,11 @@ struct EngineConfig {
 EngineConfig engineConfigFor(const AnalysisRequest &Req);
 
 /// Pool-counter surrogate for wave-scheduled runs, which never touch
-/// the pool: what the sequential reference path can truthfully
+/// the steal pool: what the wave reference path can truthfully
 /// aggregate from per-program outcomes (steals are genuinely zero,
-/// Jobs is 1 by definition). Shared by Driver::runBatch's wave branch
-/// and kcc's --batch-stats/--json reporting so the two surfaces can
-/// never drift.
+/// Jobs is 1 by definition — each wave search runs its program alone).
+/// Shared by Driver::runBatch's wave branch and kcc's
+/// --batch-stats/--json reporting so the two surfaces can never drift.
 SchedulerStats waveAggregateStats(const std::vector<DriverOutcome> &Outcomes);
 
 /// Identifies a job in EngineSink callbacks.
@@ -138,13 +157,13 @@ struct EngineJobInfo {
   std::string Name; ///< translation unit name
 };
 
-/// Streaming event interface. Callbacks fire on engine worker threads
-/// (or on the submitting thread for jobs that complete inline: compile
-/// failures and wave-scheduled requests), so implementations must be
-/// thread-safe. A callback may call back into the engine — including
-/// submit() — but must not block on the job it is being called for.
-/// Event order per job: onFrontierTruncated / onUbFound (as
-/// applicable), then onProgramFinished last.
+/// Streaming event interface. Callbacks fire on engine threads —
+/// frontend workers for jobs that end there (compile failures,
+/// wave-scheduled searches), search workers for pooled jobs — so
+/// implementations must be thread-safe. A callback may call back into
+/// the engine — including submit() — but must not block on the job it
+/// is being called for. Event order per job: onFrontierTruncated /
+/// onUbFound (as applicable), then onProgramFinished last.
 class EngineSink {
 public:
   virtual ~EngineSink() = default;
@@ -200,7 +219,7 @@ private:
 };
 
 /// The persistent analysis service. Construction is cheap; the worker
-/// pool spawns lazily on the first pooled submission and lives until
+/// pools spawn lazily on the first submission and live until
 /// shutdown() (or destruction). One engine serves any number of
 /// submissions, concurrent or sequential, with any mix of requests.
 class AnalysisEngine {
@@ -211,27 +230,36 @@ public:
   AnalysisEngine(const AnalysisEngine &) = delete;
   AnalysisEngine &operator=(const AnalysisEngine &) = delete;
 
-  /// The header registry every compilation uses. Add program-specific
-  /// headers before submitting; not synchronized against in-flight
-  /// compilations.
+  /// The header registry every compilation uses. The registry is NOT
+  /// synchronized: mutate it only while no submission is in flight
+  /// (before the first submit, or after every outstanding JobHandle
+  /// completed / drain() returned) — submit() is asynchronous, so "the
+  /// call returned" no longer means "the compile finished". Mutating
+  /// at a quiescent point is fully supported even on a started engine:
+  /// the registry's content fingerprint is part of every cache key, so
+  /// edits can never serve stale cached artifacts
+  /// (tests/test_translation_cache.cpp pins the invalidation down).
   HeaderRegistry &headers();
 
-  /// Resolved worker-pool width.
+  /// Resolved search-pool width.
   unsigned workers() const;
 
-  /// Compile-only entry point (the front half of the pipeline; no
-  /// machine runs, no pool interaction).
-  CompiledUnit compileUnit(const AnalysisRequest &Req,
-                           const std::string &Source,
-                           const std::string &Name);
+  /// Compile-only entry point: the frontend half of the pipeline, run
+  /// synchronously on the calling thread through the translation cache
+  /// (no machine runs, no pool interaction). The artifact is immutable
+  /// and may be shared with past or future submissions of the same
+  /// content.
+  CompiledProgramRef compile(const AnalysisRequest &Req,
+                             const std::string &Source,
+                             const std::string &Name);
 
   /// Submits one translation unit for analysis under \p Req and
-  /// returns immediately (wave-scheduled requests and compile failures
-  /// complete synchronously before returning). \p Sink, when given,
-  /// streams this job's events; it must outlive the job. The source is
-  /// only read during the synchronous compile, so it is taken by
-  /// reference.
-  JobHandle submit(const AnalysisRequest &Req, const std::string &Source,
+  /// returns immediately: O(1), no frontend or search work on the
+  /// calling thread (the source is copied into the job). \p Sink, when
+  /// given, streams this job's events from engine threads; it must
+  /// outlive the job. Submissions after shutdown() complete
+  /// immediately with an Internal outcome (no events fire).
+  JobHandle submit(const AnalysisRequest &Req, std::string Source,
                    std::string Name, EngineSink *Sink = nullptr);
 
   /// Submits every input under one request; handles come back in input
@@ -242,19 +270,25 @@ public:
 
   /// Blocks until every outstanding job completed (events fired,
   /// futures set), then reclaims finished per-program search state.
-  /// The pool stays alive, idle, ready for the next submission.
+  /// The pools stay alive, idle, ready for the next submission; the
+  /// translation cache keeps its artifacts (that is the point of a
+  /// persistent service).
   void drain();
 
-  /// Graceful shutdown: drain(), then stop and join the pool.
+  /// Graceful shutdown: drain(), then stop and join both pools.
   /// Idempotent. Submissions after shutdown complete immediately with
   /// an Internal outcome explaining the rejection (no events fire).
   void shutdown();
   bool isShutdown() const;
 
-  /// Live pool counters (monotonic; diff two snapshots for per-batch
-  /// numbers). Jobs is the resolved pool width even before the pool
-  /// spawned.
+  /// Live search-pool counters (monotonic; diff two snapshots for
+  /// per-batch numbers). Jobs is the resolved pool width even before
+  /// the pool spawned.
   SchedulerStats poolStats() const;
+
+  /// Live translation-cache counters (monotonic): hits, misses,
+  /// in-flight joins, evictions.
+  TranslationCacheStats translationStats() const;
 
 private:
   struct Impl;

@@ -80,6 +80,16 @@ void appendProgram(std::string &Out, const JsonProgram &P, bool Last) {
                    jsonEscape(O.Output).c_str());
   Out += strFormat("      \"wall_micros\": %.3f,\n", P.WallMicros);
 
+  // The cundef-kcc-v1 compile block (a backward-compatible addition):
+  // where this job's artifact came from and how the job's wall time
+  // split between the two pipeline halves.
+  Out += "      \"compile\": {\n";
+  Out += strFormat("        \"cache_hit\": %s,\n",
+                   O.TranslationCacheHit ? "true" : "false");
+  Out += strFormat("        \"frontend_micros\": %.3f,\n", O.FrontendMicros);
+  Out += strFormat("        \"search_micros\": %.3f\n", O.SearchMicros);
+  Out += "      },\n";
+
   std::vector<UbReport> All = O.StaticUb;
   All.insert(All.end(), O.DynamicUb.begin(), O.DynamicUb.end());
   if (All.empty()) {
@@ -113,7 +123,8 @@ void appendProgram(std::string &Out, const JsonProgram &P, bool Last) {
 
 std::string
 cundef::renderJsonDocument(const std::vector<JsonProgram> &Programs,
-                           const SchedulerStats &Pool, double WallMs,
+                           const SchedulerStats &Pool,
+                           const TranslationCacheStats &TCache, double WallMs,
                            int ExitCode) {
   std::string Out;
   Out += "{\n";
@@ -141,6 +152,20 @@ cundef::renderJsonDocument(const std::vector<JsonProgram> &Programs,
   Out += strFormat("    \"peak_frontier\": %llu,\n",
                    static_cast<unsigned long long>(Pool.PeakFrontier));
   Out += strFormat("    \"wall_ms\": %.3f\n", WallMs);
+  Out += "  },\n";
+  // Engine-wide translation-cache counters (cundef-kcc-v1 addition;
+  // all zero when --translation-cache=off).
+  Out += "  \"translation_cache\": {\n";
+  Out += strFormat("    \"lookups\": %llu,\n",
+                   static_cast<unsigned long long>(TCache.Lookups));
+  Out += strFormat("    \"hits\": %llu,\n",
+                   static_cast<unsigned long long>(TCache.Hits));
+  Out += strFormat("    \"inflight_joins\": %llu,\n",
+                   static_cast<unsigned long long>(TCache.InflightJoins));
+  Out += strFormat("    \"misses\": %llu,\n",
+                   static_cast<unsigned long long>(TCache.Misses));
+  Out += strFormat("    \"evictions\": %llu\n",
+                   static_cast<unsigned long long>(TCache.Evictions));
   Out += "  }\n";
   Out += "}\n";
   return Out;

@@ -1,0 +1,154 @@
+//===- frontend/TranslationCache.cpp - Content-addressed artifacts -------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/TranslationCache.h"
+
+#include <cassert>
+
+using namespace cundef;
+
+namespace {
+
+/// Largest power of two <= N (shard indexing masks the key hash).
+unsigned powerOfTwoAtMost(unsigned N) {
+  unsigned P = 1;
+  while (P * 2 <= N)
+    P *= 2;
+  return P;
+}
+
+/// Shard count for a capacity: power of two, never more shards than
+/// capacity (each shard holds at least one entry).
+unsigned shardCountFor(unsigned Capacity, unsigned Requested) {
+  if (Capacity == 0)
+    return 1;
+  return powerOfTwoAtMost(std::max(1u, std::min(Requested, Capacity)));
+}
+
+} // namespace
+
+TranslationCache::TranslationCache(unsigned Capacity, unsigned ShardCount)
+    : Capacity(Capacity),
+      PerShardCapacity(Capacity == 0
+                           ? 0
+                           : std::max(1u, Capacity / shardCountFor(
+                                              Capacity, ShardCount))),
+      Shards(shardCountFor(Capacity, ShardCount)) {}
+
+CompiledProgramRef TranslationCache::getOrCompile(
+    const TranslationKey &Key,
+    const std::function<CompiledProgramRef()> &Compile, bool *WasHit) {
+  if (!enabled()) {
+    if (WasHit)
+      *WasHit = false;
+    return Compile();
+  }
+
+  Shard &S = shardFor(Key);
+  std::promise<CompiledProgramRef> Mine;
+  {
+    std::unique_lock<std::mutex> Lock(S.Mu);
+    auto It = S.Entries.find(Key);
+    if (It != S.Entries.end()) {
+      if (It->second.Done) {
+        // Ready hit: refresh recency, serve the shared artifact. Done
+        // is published only after set_value (below), so this get()
+        // genuinely never blocks under the shard lock.
+        S.Lru.splice(S.Lru.end(), S.Lru, It->second.LruIt);
+        CompiledProgramRef Art = It->second.Ready.get();
+        Lock.unlock();
+        bump(&Counters::Hits);
+        if (WasHit)
+          *WasHit = true;
+        return Art;
+      }
+      // Someone is compiling this key right now: join their flight and
+      // block outside all locks.
+      std::shared_future<CompiledProgramRef> Flight = It->second.Ready;
+      Lock.unlock();
+      bump(&Counters::InflightJoins);
+      if (WasHit)
+        *WasHit = true;
+      return Flight.get();
+    }
+    // First caller: claim the key with an in-flight entry. It is not
+    // in the LRU list, so it is pinned — eviction cannot drop a
+    // compile that concurrent callers are waiting on.
+    Entry &E = S.Entries[Key];
+    E.Ready = Mine.get_future().share();
+    E.Done = false;
+  }
+  bump(&Counters::Misses);
+
+  // The compile runs outside every cache lock: distinct keys never
+  // serialize behind each other, and joiners block on the future, not
+  // on a mutex we hold.
+  CompiledProgramRef Art;
+  try {
+    Art = Compile();
+  } catch (...) {
+    // A throwing compile (OOM, realistically) must not poison the key:
+    // drop the in-flight entry so later lookups retry, hand joiners
+    // the exception through the future, and rethrow to our caller.
+    {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      S.Entries.erase(Key);
+    }
+    Mine.set_exception(std::current_exception());
+    throw;
+  }
+  assert(Art && "frontend must always produce an artifact");
+
+  // Fulfill the future BEFORE publishing Done: a lookup that sees
+  // Done==true may get() under the shard lock, so the value must
+  // already be there (a lookup racing into the window between
+  // set_value and Done just takes the join path and returns at once).
+  Mine.set_value(Art);
+
+  unsigned Evicted = 0;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto It = S.Entries.find(Key);
+    assert(It != S.Entries.end() && "in-flight entries are pinned");
+    It->second.Done = true;
+    It->second.LruIt = S.Lru.insert(S.Lru.end(), Key);
+    ++S.DoneCount;
+    // LRU bound: evict the coldest *ready* entries. Dropping the
+    // cache's reference is always safe — jobs holding the artifact
+    // keep it alive.
+    while (S.DoneCount > PerShardCapacity) {
+      const TranslationKey Victim = S.Lru.front();
+      S.Lru.pop_front();
+      S.Entries.erase(Victim);
+      --S.DoneCount;
+      ++Evicted;
+    }
+  }
+  if (Evicted)
+    Stats.Evictions.fetch_add(Evicted, std::memory_order_relaxed);
+  if (WasHit)
+    *WasHit = false;
+  return Art;
+}
+
+size_t TranslationCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.DoneCount;
+  }
+  return N;
+}
+
+TranslationCacheStats TranslationCache::stats() const {
+  TranslationCacheStats Out;
+  Out.Lookups = Stats.Lookups.load(std::memory_order_relaxed);
+  Out.Hits = Stats.Hits.load(std::memory_order_relaxed);
+  Out.Misses = Stats.Misses.load(std::memory_order_relaxed);
+  Out.InflightJoins = Stats.InflightJoins.load(std::memory_order_relaxed);
+  Out.Evictions = Stats.Evictions.load(std::memory_order_relaxed);
+  return Out;
+}

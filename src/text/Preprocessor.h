@@ -19,6 +19,7 @@
 #define CUNDEF_TEXT_PREPROCESSOR_H
 
 #include "support/Diagnostics.h"
+#include "support/Hash.h"
 #include "support/StringInterner.h"
 #include "text/Token.h"
 
@@ -42,6 +43,24 @@ public:
     return It == Files.end() ? nullptr : &It->second;
   }
   size_t size() const { return Files.size(); }
+
+  /// Content digest of the whole registry (every name and body, in the
+  /// map's deterministic order). The translation cache folds this into
+  /// its content address, so registering or editing a header — even
+  /// after an engine started — invalidates every cached artifact that
+  /// could have included it; a mutated registry can never silently
+  /// serve stale ASTs. Recomputed per call: registries are a few KB of
+  /// standard headers, noise next to one parse, and a cached value
+  /// would need its own synchronization story.
+  uint64_t fingerprint() const {
+    Fnv1a H;
+    H.u64(Files.size());
+    for (const auto &[Name, Content] : Files) {
+      H.str(Name);
+      H.str(Content);
+    }
+    return H.digest();
+  }
 
 private:
   std::map<std::string, std::string> Files;

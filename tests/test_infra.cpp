@@ -24,10 +24,10 @@ TEST(AstPrinter, StableExpressionDump) {
   Driver::Compiled C =
       Drv.compile("int v = (1 + 2) * 3;\nint main(void) { return 0; }",
                   "p.c");
-  ASSERT_TRUE(C.Ok);
-  AstPrinter Printer(*C.Ast);
-  ASSERT_FALSE(C.Ast->TU.Globals.empty());
-  std::string Dump = Printer.print(C.Ast->TU.Globals[0]->Init);
+  ASSERT_TRUE(C->ok());
+  AstPrinter Printer(C->ast());
+  ASSERT_FALSE(C->ast().TU.Globals.empty());
+  std::string Dump = Printer.print(C->ast().TU.Globals[0]->Init);
   EXPECT_EQ(Dump, "(binary *\n"
                   "  (binary +\n"
                   "    (int 1)\n"
@@ -42,9 +42,9 @@ TEST(AstPrinter, FunctionAndStatementDump) {
   Driver::Compiled C = Drv.compile(
       "int main(void) { int x = 1; if (x) { return x; } return 0; }",
       "p.c");
-  ASSERT_TRUE(C.Ok);
-  AstPrinter Printer(*C.Ast);
-  std::string Dump = Printer.print(C.Ast->TU.Functions[0]);
+  ASSERT_TRUE(C->ok());
+  AstPrinter Printer(C->ast());
+  std::string Dump = Printer.print(C->ast().TU.Functions[0]);
   EXPECT_NE(Dump.find("(function main"), std::string::npos);
   EXPECT_NE(Dump.find("(if"), std::string::npos);
   EXPECT_NE(Dump.find("(return"), std::string::npos);
@@ -86,10 +86,10 @@ TEST(Configuration, DescribeCellsNamesPaperCells) {
   Driver Drv;
   Driver::Compiled C =
       Drv.compile("int g = 1;\nint main(void) { return 0; }", "c.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   UbSink Sink;
   MachineOptions Opts;
-  Machine M(*C.Ast, Opts, Sink);
+  Machine M(C->ast(), Opts, Sink);
   M.run();
   std::string Cells = M.config().describeCells();
   for (const char *Cell : {"<T>", "<k>", "<genv>", "<mem>",
@@ -161,10 +161,10 @@ TEST(Machine, StepCountAdvances) {
       "int main(void) { int s = 0; int i;"
       " for (i = 0; i < 10; i++) { s += i; } return s - 45; }",
       "t.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   UbSink Sink;
   MachineOptions Opts;
-  Machine M(*C.Ast, Opts, Sink);
+  Machine M(C->ast(), Opts, Sink);
   EXPECT_EQ(M.run(), RunStatus::Completed);
   EXPECT_GT(M.config().Steps, 100u);
   EXPECT_EQ(M.config().ExitCode, 0);
@@ -174,11 +174,11 @@ TEST(Machine, StepLimitStopsRunawayPrograms) {
   Driver Drv;
   Driver::Compiled C =
       Drv.compile("int main(void) { while (1) { } return 0; }", "t.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   UbSink Sink;
   MachineOptions Opts;
   Opts.StepLimit = 5000;
-  Machine M(*C.Ast, Opts, Sink);
+  Machine M(C->ast(), Opts, Sink);
   EXPECT_EQ(M.run(), RunStatus::StepLimit)
       << "the guard() undecidability bound (paper 2.6)";
 }

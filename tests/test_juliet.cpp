@@ -63,9 +63,9 @@ TEST(Juliet, EveryVariantCompiles) {
   Driver Drv;
   for (const TestCase &Test : Gen.generate()) {
     Driver::Compiled Bad = Drv.compile(Test.Bad, Test.Name + "_bad.c");
-    EXPECT_TRUE(Bad.Ok) << Test.Name << "\n" << Bad.Errors << Test.Bad;
+    EXPECT_TRUE(Bad->ok()) << Test.Name << "\n" << Bad->errors() << Test.Bad;
     Driver::Compiled Good = Drv.compile(Test.Good, Test.Name + "_good.c");
-    EXPECT_TRUE(Good.Ok) << Test.Name << "\n" << Good.Errors << Test.Good;
+    EXPECT_TRUE(Good->ok()) << Test.Name << "\n" << Good->errors() << Test.Good;
   }
 }
 

@@ -60,7 +60,7 @@ bool isClean(const char *Source) {
 
 SearchResult searchWith(const Driver::Compiled &C, SearchOptions SO) {
   MachineOptions Opts;
-  OrderSearch Search(*C.Ast, Opts, SO);
+  OrderSearch Search(C->ast(), Opts, SO);
   return Search.run();
 }
 
@@ -76,7 +76,7 @@ SearchResult searchStealForced(const Driver::Compiled &C, SearchOptions SO,
   Cfg.SnapshotBudget = SO.SnapshotBudget;
   SearchScheduler Scheduler(Cfg);
   MachineOptions Opts;
-  size_t Id = Scheduler.submit(*C.Ast, Opts, SO);
+  size_t Id = Scheduler.submit(C->ast(), Opts, SO);
   Scheduler.runAll();
   return Scheduler.takeResult(Id);
 }
@@ -104,7 +104,7 @@ TEST(Scheduler, WaveVsStealingWitnessEquality) {
   for (const char *Source : Corpus) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "sched.c");
-    ASSERT_TRUE(C.Ok) << C.Errors;
+    ASSERT_TRUE(C->ok()) << C->errors();
     SearchOptions Wave;
     Wave.MaxRuns = 256;
     Wave.Sched = SchedKind::Wave;
@@ -144,7 +144,7 @@ TEST(Scheduler, WaveVsStealingTraceByteEquality) {
   for (const char *Source : Corpus) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "trace.c");
-    ASSERT_TRUE(C.Ok) << C.Errors;
+    ASSERT_TRUE(C->ok()) << C->errors();
     SearchOptions Wave;
     Wave.MaxRuns = 256;
     Wave.Jobs = 1;
@@ -178,7 +178,7 @@ TEST(Scheduler, TruncationAccountingMatchesWave) {
   for (unsigned MaxRuns : {1u, 2u, 5u, 9u}) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Corpus[4], "trunc.c");
-    ASSERT_TRUE(C.Ok);
+    ASSERT_TRUE(C->ok());
     SearchOptions Wave;
     Wave.MaxRuns = MaxRuns;
     Wave.Sched = SchedKind::Wave;
@@ -198,14 +198,14 @@ TEST(Scheduler, RandomPolicyAndDeclarativeStyleStillWork) {
   // snapshots under Random/Declarative) must hold in the scheduler too.
   Driver Drv;
   Driver::Compiled C = Drv.compile(Corpus[0], "gates.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   for (auto Setup : {EvalOrderKind::Random, EvalOrderKind::LeftToRight}) {
     MachineOptions MOpts;
     MOpts.Order = Setup;
     SearchOptions SO;
     SO.MaxRuns = 64;
     SO.Sched = SchedKind::Stealing;
-    OrderSearch Search(*C.Ast, MOpts, SO);
+    OrderSearch Search(C->ast(), MOpts, SO);
     SearchResult R = Search.run();
     EXPECT_TRUE(R.UbFound) << "order policy " << int(Setup);
   }
@@ -214,7 +214,7 @@ TEST(Scheduler, RandomPolicyAndDeclarativeStyleStillWork) {
   SearchOptions SO;
   SO.MaxRuns = 64;
   SO.Sched = SchedKind::Stealing;
-  OrderSearch Search(*C.Ast, Decl, SO);
+  OrderSearch Search(C->ast(), Decl, SO);
   SearchResult R = Search.run();
   EXPECT_TRUE(R.UbFound);
   EXPECT_EQ(R.ForkedRuns, 0u) << "declarative style must not snapshot";
@@ -229,7 +229,7 @@ TEST(Scheduler, LruThrashFallsBackToReplay) {
   // child replays its prefix instead, and nothing observable changes.
   Driver Drv;
   Driver::Compiled C = Drv.compile(Corpus[4], "lru.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions Ample;
   Ample.MaxRuns = 256;
   Ample.SnapshotBudget = 1024;

@@ -15,17 +15,17 @@ namespace {
 
 SearchResult searchSource(const char *Source, unsigned MaxRuns = 64,
                           Driver::Compiled *Keep = nullptr) {
-  static std::vector<std::unique_ptr<Driver::Compiled>> Keeper;
+  static std::vector<Driver::Compiled> Keeper;
   Driver Drv;
-  auto C = std::make_unique<Driver::Compiled>(Drv.compile(Source, "s.c"));
-  EXPECT_TRUE(C->Ok) << C->Errors;
+  Driver::Compiled C = Drv.compile(Source, "s.c");
+  EXPECT_TRUE(C->ok()) << C->errors();
   MachineOptions Opts;
-  OrderSearch Search(*C->Ast, Opts, MaxRuns);
+  OrderSearch Search(C->ast(), Opts, MaxRuns);
   SearchResult R = Search.run();
   if (Keep)
-    *Keep = std::move(*C);
+    *Keep = C;
   else
-    Keeper.push_back(std::move(C)); // keep the AST alive for reports
+    Keeper.push_back(C); // keep the AST alive for reports
   return R;
 }
 
@@ -86,15 +86,15 @@ TEST(Search, ReplayIsDeterministic) {
       "int setDenom(int x) { return d = x; }\n"
       "int main(void) { return (10 / d) + setDenom(0); }\n",
       "replay.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   MachineOptions Opts;
-  OrderSearch Search(*C.Ast, Opts, 64);
+  OrderSearch Search(C->ast(), Opts, 64);
   SearchResult R = Search.run();
   ASSERT_TRUE(R.UbFound);
 
   for (int Round = 0; Round < 3; ++Round) {
     UbSink Sink;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     M.setReplayDecisions(R.Witness);
     RunStatus Status = M.run();
     EXPECT_EQ(Status, RunStatus::UbDetected);
@@ -111,19 +111,19 @@ TEST(Search, OrderPoliciesDiffer) {
       "int setDenom(int x) { return d = x; }\n"
       "int main(void) { return (10 / d) + setDenom(0); }\n",
       "rtl.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
 
   MachineOptions Ltr;
   Ltr.Order = EvalOrderKind::LeftToRight;
   UbSink SinkL;
-  Machine ML(*C.Ast, Ltr, SinkL);
+  Machine ML(C->ast(), Ltr, SinkL);
   EXPECT_EQ(ML.run(), RunStatus::Completed);
   EXPECT_TRUE(SinkL.empty());
 
   MachineOptions Rtl;
   Rtl.Order = EvalOrderKind::RightToLeft;
   UbSink SinkR;
-  Machine MR(*C.Ast, Rtl, SinkR);
+  Machine MR(C->ast(), Rtl, SinkR);
   EXPECT_EQ(MR.run(), RunStatus::UbDetected);
   EXPECT_TRUE(SinkR.has(UbKind::DivisionByZero));
 }
@@ -157,7 +157,7 @@ std::string symmetricSource(unsigned K) {
 
 SearchResult searchWith(const Driver::Compiled &C, SearchOptions SO) {
   MachineOptions Opts;
-  OrderSearch Search(*C.Ast, Opts, SO);
+  OrderSearch Search(C->ast(), Opts, SO);
   return Search.run();
 }
 
@@ -166,7 +166,7 @@ SearchResult searchWith(const Driver::Compiled &C, SearchOptions SO) {
 TEST(ParallelSearch, WitnessDeterministicAcrossJobCounts) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(PaperSource, "jobs.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions SO;
   SO.MaxRuns = 64;
 
@@ -194,7 +194,7 @@ TEST(ParallelSearch, PaperExampleFoundWithJobsAndDedup) {
   // dedup pruning and parallel scheduling.
   Driver Drv;
   Driver::Compiled C = Drv.compile(PaperSource, "paper_par.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions SO;
   SO.MaxRuns = 64;
   SO.Jobs = 4;
@@ -219,7 +219,7 @@ TEST(ParallelSearch, DedupPreservesVerdictAndReports) {
         "int main(void) { return f() + g() - 3; }\n"}) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "dedup.c");
-    ASSERT_TRUE(C.Ok);
+    ASSERT_TRUE(C->ok());
     SearchOptions On, Off;
     On.MaxRuns = Off.MaxRuns = 4096; // ample: enumeration may need more
     On.Dedup = true;
@@ -239,7 +239,7 @@ TEST(ParallelSearch, DedupPreservesVerdictAndReports) {
 TEST(ParallelSearch, DedupCollapsesSymmetricInterleavings) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(symmetricSource(5), "sym.c");
-  ASSERT_TRUE(C.Ok) << C.Errors;
+  ASSERT_TRUE(C->ok()) << C->errors();
   SearchOptions On, Off;
   On.MaxRuns = Off.MaxRuns = 20000;
   On.Dedup = true;
@@ -256,7 +256,7 @@ TEST(ParallelSearch, DedupCollapsesSymmetricInterleavings) {
 TEST(ParallelSearch, ParallelWitnessReplaysDeterministically) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(PaperSource, "replay_par.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions SO;
   SO.MaxRuns = 64;
   SO.Jobs = 4;
@@ -265,7 +265,7 @@ TEST(ParallelSearch, ParallelWitnessReplaysDeterministically) {
   for (int Round = 0; Round < 3; ++Round) {
     MachineOptions Opts;
     UbSink Sink;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     M.setReplayDecisions(R.Witness);
     EXPECT_EQ(M.run(), RunStatus::UbDetected);
     ASSERT_FALSE(Sink.all().empty());
@@ -278,11 +278,11 @@ TEST(ParallelSearch, FingerprintIsReplayStable) {
   // identical configuration fingerprints in independent machines.
   Driver Drv;
   Driver::Compiled C = Drv.compile(symmetricSource(2), "fp.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   MachineOptions Opts;
   auto FinalFp = [&](std::vector<uint8_t> Decisions) {
     UbSink Sink;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     M.setReplayDecisions(std::move(Decisions));
     M.run();
     return M.configFingerprint();
@@ -318,13 +318,13 @@ TEST(Search, RandomOrderIsSeedDeterministic) {
       "static int f(int a, int b) { return a * 10 + b; }\n"
       "int main(void) { int x = 0; return f(x = 1, x = 2) > 0 ? 0 : 1; }\n",
       "rand.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   auto RunSeed = [&](uint32_t Seed) {
     MachineOptions Opts;
     Opts.Order = EvalOrderKind::Random;
     Opts.Seed = Seed;
     UbSink Sink;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     M.run();
     return Sink.size();
   };

@@ -53,7 +53,7 @@ const char *Corpus[] = {
 
 SearchResult searchWith(const Driver::Compiled &C, SearchOptions SO) {
   MachineOptions Opts;
-  OrderSearch Search(*C.Ast, Opts, SO);
+  OrderSearch Search(C->ast(), Opts, SO);
   return Search.run();
 }
 
@@ -78,7 +78,7 @@ TEST(ForkSearch, EquivalentToReplayAtJobs1) {
   for (const char *Source : Corpus) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "fork1.c");
-    ASSERT_TRUE(C.Ok) << C.Errors;
+    ASSERT_TRUE(C->ok()) << C->errors();
     SearchOptions Fork;
     Fork.MaxRuns = 256;
     Fork.Jobs = 1;
@@ -119,7 +119,7 @@ TEST(ForkSearch, EquivalentToReplayAtJobs4) {
   for (const char *Source : Corpus) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "fork4.c");
-    ASSERT_TRUE(C.Ok) << C.Errors;
+    ASSERT_TRUE(C->ok()) << C->errors();
     SearchOptions Fork;
     Fork.MaxRuns = 256;
     Fork.Jobs = 4;
@@ -142,7 +142,7 @@ TEST(ForkSearch, ForkingActuallyHappens) {
   // multi-wave program with the default budget, children must fork.
   Driver Drv;
   Driver::Compiled C = Drv.compile(Corpus[7], "forked.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions SO;
   SO.MaxRuns = 256;
   SearchResult R = searchWith(C, SO);
@@ -154,7 +154,7 @@ TEST(ForkSearch, SnapshotBudgetZeroFallsBackToReplay) {
   for (const char *Source : {Corpus[0], Corpus[5], Corpus[7]}) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "budget.c");
-    ASSERT_TRUE(C.Ok);
+    ASSERT_TRUE(C->ok());
     SearchOptions Capped;
     Capped.MaxRuns = 256;
     Capped.UseSnapshots = true;
@@ -175,7 +175,7 @@ TEST(ForkSearch, TinySnapshotBudgetStillCorrect) {
   // back to replay, a few fork. Outcomes must not change.
   Driver Drv;
   Driver::Compiled C = Drv.compile(Corpus[5], "tiny.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions Tiny;
   Tiny.MaxRuns = 256;
   Tiny.SnapshotBudget = 1;
@@ -210,10 +210,10 @@ TEST(ForkSearch, IncrementalFingerprintEqualsFullRehash) {
   for (const char *Source : Programs) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "incr.c");
-    ASSERT_TRUE(C.Ok) << C.Errors;
+    ASSERT_TRUE(C->ok()) << C->errors();
     MachineOptions Opts;
     UbSink Sink;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     unsigned Checked = 0;
     M.setChoiceHook([&](Machine &Mach) {
       EXPECT_EQ(Mach.configFingerprint(), Mach.configFingerprintFull())
@@ -235,7 +235,7 @@ TEST(ForkSearch, FullRehashSearchMatchesIncremental) {
   for (const char *Source : {Corpus[0], Corpus[5], Corpus[7]}) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "rehash.c");
-    ASSERT_TRUE(C.Ok);
+    ASSERT_TRUE(C->ok());
     SearchOptions Incr;
     Incr.MaxRuns = 256;
     Incr.Jobs = 1;
@@ -285,7 +285,7 @@ TEST(ForkSearch, JobsZeroAutoDetects) {
   // contract is simply "same results, no crash".
   Driver Drv;
   Driver::Compiled C = Drv.compile(Corpus[0], "auto.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions One;
   One.MaxRuns = 64;
   One.Jobs = 1;
@@ -308,7 +308,7 @@ TEST(ForkSearch, TruncationIsReported) {
   // MaxRuns=2.
   Driver Drv;
   Driver::Compiled C = Drv.compile(Corpus[7], "trunc.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions SO;
   SO.MaxRuns = 2;
   SearchResult R = searchWith(C, SO);
@@ -336,7 +336,7 @@ TEST(ForkSearch, WitnessReplaysOutsideTheEngine) {
   // reported decision vector.
   Driver Drv;
   Driver::Compiled C = Drv.compile(Corpus[5], "replayw.c");
-  ASSERT_TRUE(C.Ok);
+  ASSERT_TRUE(C->ok());
   SearchOptions SO;
   SO.MaxRuns = 256;
   SearchResult R = searchWith(C, SO);
@@ -345,7 +345,7 @@ TEST(ForkSearch, WitnessReplaysOutsideTheEngine) {
   for (int Round = 0; Round < 3; ++Round) {
     MachineOptions Opts;
     UbSink Sink;
-    Machine M(*C.Ast, Opts, Sink);
+    Machine M(C->ast(), Opts, Sink);
     M.setReplayDecisions(R.Witness);
     EXPECT_EQ(M.run(), RunStatus::UbDetected);
     ASSERT_FALSE(Sink.all().empty());

@@ -15,8 +15,8 @@ bool compiles(const std::string &Source, std::string *Errors = nullptr) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(Source, "t.c");
   if (Errors)
-    *Errors = C.Errors;
-  return C.Ok;
+    *Errors = C->errors();
+  return C->ok();
 }
 
 TEST(Sema, RejectsPointerArithOnNonPointers) {

@@ -18,7 +18,7 @@ namespace {
 std::vector<UbReport> staticFindings(const std::string &Source) {
   Driver Drv;
   Driver::Compiled C = Drv.compile(Source, "t.c");
-  return C.StaticUb;
+  return C->staticUb();
 }
 
 bool hasStatic(const std::string &Source, UbKind Kind) {

@@ -13,6 +13,10 @@
 //     --search-jobs=N               worker threads (0 = all hardware threads)
 //     --search-engine=fork|replay   fork snapshots vs replay prefixes
 //     --search-sched=steal|wave     scheduling layer (results identical)
+//     --translation-cache=on|off    content-addressed reuse of compiled
+//                                   translation units (on by default;
+//                                   off recompiles every file — results
+//                                   identical, A/B the wall-clock)
 //     --no-dedup                    disable search state deduplication
 //     --show-witness                print the undefined order's decisions
 //                                   plus a search stats block
@@ -65,6 +69,7 @@ static void usage() {
                "  --search-jobs=N      (0 = all hardware threads)\n"
                "  --search-engine=fork|replay\n"
                "  --search-sched=steal|wave\n"
+               "  --translation-cache=on|off\n"
                "  --no-dedup\n"
                "  --show-witness\n"
                "  --batch-stats\n"
@@ -119,13 +124,20 @@ static bool printProgramReport(const DriverOutcome &O, bool ShowWitness) {
   return true;
 }
 
-/// The --show-witness stats block: the per-program scheduler counters.
+/// The --show-witness stats block: the per-program scheduler counters
+/// plus the frontend-vs-search cost split (and whether the frontend
+/// pass was skipped via the translation cache).
 static void printSearchStats(const DriverOutcome &O) {
   std::fprintf(stderr,
                "Search stats: orders=%u deduped=%u steals=%u evictions=%u "
                "peak-frontier=%u\n",
                O.OrdersExplored, O.OrdersDeduped, O.SearchSteals,
                O.SearchEvictions, O.SearchPeakFrontier);
+  std::fprintf(stderr,
+               "Compile stats: cache=%s frontend-micros=%.1f "
+               "search-micros=%.1f\n",
+               O.TranslationCacheHit ? "hit" : "miss", O.FrontendMicros,
+               O.SearchMicros);
 }
 
 int main(int argc, char **argv) {
@@ -135,6 +147,7 @@ int main(int argc, char **argv) {
   bool ShowWitness = false;
   bool BatchStats = false;
   bool Json = false;
+  bool UseTranslationCache = true;
   std::vector<const char *> Paths;
 
   for (int I = 1; I < argc; ++I) {
@@ -204,6 +217,16 @@ int main(int argc, char **argv) {
         usage();
         return 2;
       }
+    } else if (startsWith(Arg, "--translation-cache=")) {
+      const char *Value = Arg + 20;
+      if (!std::strcmp(Value, "on"))
+        UseTranslationCache = true;
+      else if (!std::strcmp(Value, "off"))
+        UseTranslationCache = false;
+      else {
+        usage();
+        return 2;
+      }
     } else if (!std::strcmp(Arg, "--no-dedup")) {
       Builder.dedup(false);
     } else if (!std::strcmp(Arg, "--show-witness")) {
@@ -269,7 +292,10 @@ int main(int argc, char **argv) {
   // The single submission path: every translation unit goes through
   // one AnalysisEngine, whatever the mode.
   auto Start = std::chrono::steady_clock::now();
-  AnalysisEngine Eng(engineConfigFor(Req));
+  EngineConfig ECfg = engineConfigFor(Req);
+  if (!UseTranslationCache)
+    ECfg.TranslationCacheEntries = 0; // A/B mode: recompile every file
+  AnalysisEngine Eng(ECfg);
   std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
   std::vector<DriverOutcome> Outcomes;
   std::vector<double> Micros;
@@ -285,6 +311,7 @@ int main(int argc, char **argv) {
                             ? waveAggregateStats(Outcomes)
                             : Eng.poolStats();
   Pool.Programs = static_cast<unsigned>(Inputs.size());
+  TranslationCacheStats TStats = Eng.translationStats();
 
   bool AnyUb = false, AnyCompileFail = false;
   for (const DriverOutcome &O : Outcomes) {
@@ -303,8 +330,9 @@ int main(int argc, char **argv) {
     Progs.reserve(Outcomes.size());
     for (size_t I = 0; I < Outcomes.size(); ++I)
       Progs.push_back({&Outcomes[I], Inputs[I].Name, Micros[I]});
-    std::fputs(renderJsonDocument(Progs, Pool, WallMs, ExitCode).c_str(),
-               stdout);
+    std::fputs(
+        renderJsonDocument(Progs, Pool, TStats, WallMs, ExitCode).c_str(),
+        stdout);
     return ExitCode;
   }
 
@@ -335,6 +363,13 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(Pool.SnapshotEvictions),
                  static_cast<unsigned long long>(Pool.PeakFrontier),
                  WallMs);
+    std::fprintf(stderr,
+                 "Translation cache: hits=%llu joins=%llu misses=%llu "
+                 "evictions=%llu\n",
+                 static_cast<unsigned long long>(TStats.Hits),
+                 static_cast<unsigned long long>(TStats.InflightJoins),
+                 static_cast<unsigned long long>(TStats.Misses),
+                 static_cast<unsigned long long>(TStats.Evictions));
     for (size_t I = 0; I < Outcomes.size(); ++I) {
       const DriverOutcome &O = Outcomes[I];
       const char *Verdict = !O.CompileOk && !O.anyUb() ? "compile-error"
