@@ -24,7 +24,11 @@ set(BAD_FLAGS
   --seed=banana
   --search-engine=warp
   --translation-cache=maybe
-  --translation-cache=)
+  --translation-cache=
+  --catalog-coverage=bogus
+  --catalog-coverage=12x
+  --catalog-coverage=0
+  --catalog-coverage=)
 
 foreach(FLAG ${BAD_FLAGS})
   execute_process(
@@ -60,5 +64,32 @@ foreach(ARGS ${GOOD_ARGS})
     message(FATAL_ERROR "kcc ${ARGS}: expected exit 0, got ${RC}: ${ERR}")
   endif()
 endforeach()
+
+# --catalog-coverage is a mode, not a per-file option: combining it
+# with input files is a usage error, and the bare flag (plus its
+# quick/full/N forms) must run the harness to exit 0.
+execute_process(
+  COMMAND ${KCC} --catalog-coverage=quick ${OK_C}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 2)
+  message(FATAL_ERROR "kcc --catalog-coverage=quick with an input file: expected exit 2, got ${RC}")
+endif()
+if(NOT ERR MATCHES "no input files")
+  message(FATAL_ERROR "kcc --catalog-coverage with a file: missing diagnostic, got: ${ERR}")
+endif()
+
+execute_process(
+  COMMAND ${KCC} --catalog-coverage=quick
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "kcc --catalog-coverage=quick: expected exit 0, got ${RC}: ${ERR}")
+endif()
+if(NOT OUT MATCHES "coverage: covered=")
+  message(FATAL_ERROR "kcc --catalog-coverage=quick: missing summary line")
+endif()
 
 message(STATUS "kcc CLI flag validation behaves as documented")

@@ -1,0 +1,52 @@
+# Gates the catalog coverage harness against the committed baseline:
+# `kcc --catalog-coverage=quick` must grade all 221 catalog rows and
+# cover at least the floor recorded in tests/suites/coverage_baseline.txt
+# (first line). Detector work may raise the floor, never lower it —
+# when the covered count genuinely improves, bump the baseline in the
+# same change. Run via ctest (test name: catalog_coverage, label:
+# suites).
+if(NOT DEFINED KCC OR NOT DEFINED BASELINE)
+  message(FATAL_ERROR "usage: cmake -DKCC=<kcc> -DBASELINE=<coverage_baseline.txt> -P CheckCoverageBaseline.cmake")
+endif()
+
+if(NOT EXISTS ${BASELINE})
+  message(FATAL_ERROR "baseline file not found: ${BASELINE}")
+endif()
+file(STRINGS ${BASELINE} BASELINE_LINES LIMIT_COUNT 1)
+list(GET BASELINE_LINES 0 FLOOR)
+if(NOT FLOOR MATCHES "^[0-9]+$")
+  message(FATAL_ERROR "first line of ${BASELINE} must be the covered-count floor, got '${FLOOR}'")
+endif()
+
+execute_process(
+  COMMAND ${KCC} --catalog-coverage=quick
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "kcc --catalog-coverage=quick: expected exit 0, got ${RC}: ${ERR}")
+endif()
+
+# The harness's stable final line (renderCoverageReport):
+#   coverage: covered=N wrong-code=N missed=N inexpressible=N total=N
+if(NOT OUT MATCHES "coverage: covered=([0-9]+) wrong-code=([0-9]+) missed=([0-9]+) inexpressible=([0-9]+) total=([0-9]+)")
+  message(FATAL_ERROR "missing/garbled coverage summary line in:\n${OUT}")
+endif()
+set(COVERED ${CMAKE_MATCH_1})
+set(WRONG ${CMAKE_MATCH_2})
+set(MISSED ${CMAKE_MATCH_3})
+set(INEXPR ${CMAKE_MATCH_4})
+set(TOTAL ${CMAKE_MATCH_5})
+
+if(NOT TOTAL EQUAL 221)
+  message(FATAL_ERROR "coverage total ${TOTAL} != 221: the harness no longer grades the whole catalog")
+endif()
+math(EXPR SUM "${COVERED} + ${WRONG} + ${MISSED} + ${INEXPR}")
+if(NOT SUM EQUAL TOTAL)
+  message(FATAL_ERROR "coverage counts ${COVERED}+${WRONG}+${MISSED}+${INEXPR} do not partition total ${TOTAL}")
+endif()
+if(COVERED LESS FLOOR)
+  message(FATAL_ERROR "covered count regressed: ${COVERED} < baseline floor ${FLOOR} (${BASELINE})")
+endif()
+
+message(STATUS "catalog coverage: ${COVERED} covered (floor ${FLOOR}), ${WRONG} wrong-code, ${MISSED} missed, ${INEXPR} inexpressible")

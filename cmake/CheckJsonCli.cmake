@@ -107,4 +107,54 @@ if(NOT OUT MATCHES "\"pool\": \\{" OR NOT OUT MATCHES "\"programs\": 2")
   message(FATAL_ERROR "kcc --json (batch): missing pool stats: ${OUT}")
 endif()
 
+# Coverage mode: --json --catalog-coverage emits the coverage document
+# of the same schema (backward-compatible: a new top-level block, the
+# schema marker and exit_code keys unchanged), the four verdict counts
+# must partition all 221 catalog rows, and per-entry verdicts are
+# present.
+execute_process(
+  COMMAND ${KCC} --json --catalog-coverage=quick
+  RESULT_VARIABLE RC OUTPUT_VARIABLE OUT ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "kcc --json --catalog-coverage: expected exit 0, got ${RC}: ${ERR}")
+endif()
+if(NOT OUT MATCHES "\"schema\": \"cundef-kcc-v1\"")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing schema marker: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"coverage\": \\{" OR NOT OUT MATCHES "\"mode\": \"quick\"")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing coverage block: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"total\": 221")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: total is not 221: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"covered\": ([0-9]+)")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing covered count")
+endif()
+set(COV_COVERED ${CMAKE_MATCH_1})
+if(NOT OUT MATCHES "\"wrong_code\": ([0-9]+)")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing wrong_code count")
+endif()
+set(COV_WRONG ${CMAKE_MATCH_1})
+if(NOT OUT MATCHES "\"missed\": ([0-9]+)")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing missed count")
+endif()
+set(COV_MISSED ${CMAKE_MATCH_1})
+if(NOT OUT MATCHES "\"inexpressible\": ([0-9]+)")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing inexpressible count")
+endif()
+set(COV_INEXPR ${CMAKE_MATCH_1})
+math(EXPR COV_SUM "${COV_COVERED} + ${COV_WRONG} + ${COV_MISSED} + ${COV_INEXPR}")
+if(NOT COV_SUM EQUAL 221)
+  message(FATAL_ERROR "kcc --json --catalog-coverage: counts ${COV_COVERED}+${COV_WRONG}+${COV_MISSED}+${COV_INEXPR}=${COV_SUM} != 221")
+endif()
+if(NOT OUT MATCHES "\"entries\": \\[" OR NOT OUT MATCHES "\"verdict\": \"covered\"")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing per-entry verdicts: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"exit_code\": 0")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: missing exit_code: ${OUT}")
+endif()
+if(NOT OUT MATCHES "^\\{" OR NOT OUT MATCHES "\\}\n$")
+  message(FATAL_ERROR "kcc --json --catalog-coverage: stdout is not exactly one JSON document")
+endif()
+
 message(STATUS "kcc --json behaves as documented")

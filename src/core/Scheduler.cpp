@@ -1014,6 +1014,21 @@ bool SearchScheduler::reclaimFinished() {
   return true;
 }
 
+SchedulerMemoryStats SearchScheduler::memoryStats() const {
+  const Impl &S = *I;
+  SchedulerMemoryStats M;
+  {
+    std::lock_guard<std::mutex> Lock(S.SubmitMu);
+    M.ProgramSlots = S.Programs.size();
+    for (const auto &Slot : S.Programs)
+      if (Slot)
+        ++M.RetainedPrograms;
+  }
+  M.PendingSnapshots = S.Cache.pending();
+  M.QueuedTasks = S.QueuedCount.load(std::memory_order_relaxed);
+  return M;
+}
+
 void SearchScheduler::stop() {
   Impl &S = *I;
   if (!S.Persistent.load(std::memory_order_acquire))

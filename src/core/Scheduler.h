@@ -125,6 +125,19 @@ struct SchedulerStats {
   uint64_t DedupHits = 0;
 };
 
+/// Memory-observability counters: how much per-program state the
+/// scheduler currently retains. After drain() + reclaimFinished() on an
+/// idle service pool, RetainedPrograms, PendingSnapshots, and
+/// QueuedTasks are all zero (ProgramSlots is the monotonic index space,
+/// which reclamation nulls but never shrinks) — the reclaim contract
+/// tests/test_catalog_coverage.cpp pins down over a 200+-program batch.
+struct SchedulerMemoryStats {
+  size_t ProgramSlots = 0;     ///< slots in the program index (monotonic)
+  size_t RetainedPrograms = 0; ///< non-reclaimed program states (arenas)
+  size_t PendingSnapshots = 0; ///< live entries in the snapshot cache
+  size_t QueuedTasks = 0;      ///< tasks sitting in worker deques
+};
+
 /// The work-stealing search scheduler. Two operating modes share one
 /// implementation:
 ///
@@ -225,6 +238,10 @@ public:
   /// the pool was idle and reclamation ran (callers holding resources
   /// the pool references — e.g. ASTs — may free theirs then too).
   bool reclaimFinished();
+
+  /// Live snapshot of the retained-state counters (see
+  /// SchedulerMemoryStats for the post-reclaim contract).
+  SchedulerMemoryStats memoryStats() const;
 
   /// Stops and joins the worker pool. Graceful shutdown is
   /// drain()-then-stop(); stopping with unfinished programs abandons

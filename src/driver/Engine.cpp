@@ -593,3 +593,18 @@ SchedulerStats AnalysisEngine::poolStats() const { return I->Sched.stats(); }
 TranslationCacheStats AnalysisEngine::translationStats() const {
   return I->TCache.stats();
 }
+
+EngineMemoryStats AnalysisEngine::memoryStats() const {
+  Impl &S = *I;
+  EngineMemoryStats M;
+  {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    M.PendingJobs = S.Pending.size();
+    M.GraveyardArtifacts = S.Graveyard.size();
+  }
+  SchedulerMemoryStats Sm = S.Sched.memoryStats();
+  M.ProgramSlots = Sm.ProgramSlots;
+  M.RetainedPrograms = Sm.RetainedPrograms;
+  M.PendingSnapshots = Sm.PendingSnapshots;
+  return M;
+}

@@ -151,6 +151,24 @@ EngineConfig engineConfigFor(const AnalysisRequest &Req);
 /// --batch-stats/--json reporting so the two surfaces can never drift.
 SchedulerStats waveAggregateStats(const std::vector<DriverOutcome> &Outcomes);
 
+/// Engine memory-observability counters: what the engine currently
+/// retains per job, beyond the caches that are *supposed* to persist
+/// (the translation cache keeps its artifacts by design). After
+/// drain() on an otherwise idle engine, every counter here is zero
+/// except ProgramSlots (the scheduler's monotonic index space) — the
+/// reclaim contract that keeps a long-lived service's footprint
+/// proportional to its largest batch, not its whole history.
+/// tests/test_catalog_coverage.cpp pins this down over the 200+-program
+/// coverage batch.
+struct EngineMemoryStats {
+  size_t PendingJobs = 0;        ///< submitted, outcome not yet final
+  size_t GraveyardArtifacts = 0; ///< finished jobs' artifact refs awaiting
+                                 ///< the post-drain reclaim
+  size_t ProgramSlots = 0;       ///< scheduler program index (monotonic)
+  size_t RetainedPrograms = 0;   ///< un-reclaimed per-program search state
+  size_t PendingSnapshots = 0;   ///< live snapshot-cache entries
+};
+
 /// Identifies a job in EngineSink callbacks.
 struct EngineJobInfo {
   size_t Job = 0;   ///< engine-wide job id (submission order, from 1)
@@ -289,6 +307,10 @@ public:
   /// Live translation-cache counters (monotonic): hits, misses,
   /// in-flight joins, evictions.
   TranslationCacheStats translationStats() const;
+
+  /// Live retained-state counters (see EngineMemoryStats for the
+  /// post-drain reclaim contract).
+  EngineMemoryStats memoryStats() const;
 
 private:
   struct Impl;

@@ -1,0 +1,89 @@
+//===- suites/DesktopSuite.cpp - The desktop-C scored suite ---------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "suites/DesktopSuite.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace cundef {
+
+#ifndef CUNDEF_DESKTOP_SUITE_DIR
+#define CUNDEF_DESKTOP_SUITE_DIR "tests/suites/desktop"
+#endif
+
+const char *desktopSuiteDir() { return CUNDEF_DESKTOP_SUITE_DIR; }
+
+static bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Out = Buf.str();
+  return true;
+}
+
+DesktopSuite loadDesktopSuite(const std::string &Dir) {
+  DesktopSuite Suite;
+  std::string ManifestPath = Dir + "/manifest.txt";
+  std::ifstream Manifest(ManifestPath);
+  if (!Manifest) {
+    Suite.Error = "cannot open " + ManifestPath;
+    return Suite;
+  }
+
+  std::string Line;
+  unsigned LineNo = 0;
+  while (std::getline(Manifest, Line)) {
+    ++LineNo;
+    std::string::size_type Hash = Line.find('#');
+    if (Hash != std::string::npos)
+      Line.erase(Hash);
+    std::istringstream Fields(Line);
+    std::string Name, Expect;
+    unsigned Code = 0;
+    if (!(Fields >> Name))
+      continue; // blank or comment-only line
+    auto fail = [&](const std::string &Why) {
+      char Where[32];
+      std::snprintf(Where, sizeof(Where), ":%u: ", LineNo);
+      Suite.Error = ManifestPath + Where + Why;
+      Suite.Cases.clear();
+      return Suite;
+    };
+    if (!(Fields >> Expect >> Code))
+      return fail("expected '<name> flag|miss <code>'");
+    std::string Extra;
+    if (Fields >> Extra)
+      return fail("trailing field '" + Extra + "'");
+
+    DesktopCase Case;
+    if (Expect == "flag")
+      Case.ExpectFlagged = true;
+    else if (Expect == "miss")
+      Case.ExpectFlagged = false;
+    else
+      return fail("verdict must be 'flag' or 'miss', got '" + Expect + "'");
+    if (Case.ExpectFlagged == (Code == 0))
+      return fail(Case.ExpectFlagged ? "'flag' needs a nonzero code"
+                                     : "'miss' needs code 0");
+    Case.ExpectedCode = static_cast<uint16_t>(Code);
+    Case.Test.Name = Name;
+    if (!readFile(Dir + "/" + Name + "_bad.c", Case.Test.Bad))
+      return fail("cannot read " + Name + "_bad.c");
+    if (!readFile(Dir + "/" + Name + "_good.c", Case.Test.Good))
+      return fail("cannot read " + Name + "_good.c");
+    Suite.Cases.push_back(std::move(Case));
+  }
+
+  if (Suite.Cases.empty())
+    Suite.Error = ManifestPath + ": no cases";
+  return Suite;
+}
+
+} // namespace cundef

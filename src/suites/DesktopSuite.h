@@ -1,0 +1,79 @@
+//===- suites/DesktopSuite.h - The desktop-C scored suite --------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A scored suite of slice-sized *desktop-idiom* programs: argv and
+/// environment handling, file-I/O parsing loops, pointer-heavy string
+/// munging — the shapes real command-line C is made of, as opposed to
+/// the synthetic one-behavior-per-file programs of the custom suite.
+/// Each case is a (bad, good) pair on disk under tests/suites/desktop/
+/// with an expected verdict in manifest.txt:
+///
+///   <name> flag <code>   -- the bad half must be flagged (first code
+///                           documented for the report),
+///   <name> miss 0        -- a known miss: the behavior is undefined per
+///                           C11 but outside what the model detects; the
+///                           case documents the gap and gates against
+///                           silent "fixes" that flag the good half.
+///
+/// Good halves must always come back clean — a flagged control is a
+/// false positive regardless of the expectation on the bad half.
+///
+/// The suite lives on disk (not in generated C++) so cases read like
+/// the programs they imitate and diff like test data. The loader
+/// defaults to the source-tree directory baked in at compile time
+/// (CUNDEF_DESKTOP_SUITE_DIR); SuiteRunner::scoreDesktopBatched scores
+/// the whole suite through one engine worker pool next to the Juliet
+/// and custom scorers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SUITES_DESKTOPSUITE_H
+#define CUNDEF_SUITES_DESKTOPSUITE_H
+
+#include "suites/TestCase.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cundef {
+
+/// One desktop pair with its manifest expectation.
+struct DesktopCase {
+  TestCase Test; ///< Name, Bad, Good (CatalogId/Class unused)
+  /// Whether the bad half is expected to be flagged ("flag") or is a
+  /// documented model gap ("miss").
+  bool ExpectFlagged = true;
+  /// The catalog code the bad half is expected to be reported under
+  /// (0 for known misses). Part of the scored contract: a detector
+  /// change that reroutes a case to a different code fails the suite
+  /// until the manifest is updated deliberately.
+  uint16_t ExpectedCode = 0;
+};
+
+/// The loaded suite, or the reason loading failed.
+struct DesktopSuite {
+  std::vector<DesktopCase> Cases;
+  std::string Error; ///< empty on success
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// The compiled-in default suite directory (the source tree's
+/// tests/suites/desktop).
+const char *desktopSuiteDir();
+
+/// Loads manifest.txt and every referenced pair from \p Dir (defaults
+/// to desktopSuiteDir()). Cases come back in manifest order. A missing
+/// manifest, an unreadable half, or a malformed line fails the whole
+/// load with a diagnostic in Error — a partially loaded suite would
+/// silently shrink the scored contract.
+DesktopSuite loadDesktopSuite(const std::string &Dir = desktopSuiteDir());
+
+} // namespace cundef
+
+#endif // CUNDEF_SUITES_DESKTOPSUITE_H

@@ -9,6 +9,8 @@
 #include "driver/ToolRunner.h"
 #include "support/Strings.h"
 
+#include <chrono>
+
 using namespace cundef;
 
 namespace {
@@ -137,6 +139,82 @@ CustomScores cundef::scoreCustom(Tool &T, const std::vector<TestCase> &Tests) {
 CustomScores cundef::scoreCustomBatched(const AnalysisRequest &Req,
                                         const std::vector<TestCase> &Tests) {
   return aggregateCustom(Tests, batchedVerdicts(Req, Tests));
+}
+
+DesktopScores
+cundef::scoreDesktopBatched(const AnalysisRequest &Req,
+                            const std::vector<DesktopCase> &Cases) {
+  auto Start = std::chrono::steady_clock::now();
+  std::vector<BatchInput> Programs;
+  Programs.reserve(Cases.size() * 2);
+  for (const DesktopCase &Case : Cases) {
+    Programs.push_back({Case.Test.Bad, Case.Test.Name + "_bad.c"});
+    Programs.push_back({Case.Test.Good, Case.Test.Name + "_good.c"});
+  }
+  std::vector<ToolResult> Results = runKccBatched(Req, Programs);
+
+  DesktopScores Scores;
+  Scores.PerCase.reserve(Cases.size());
+  for (size_t I = 0; I < Cases.size(); ++I) {
+    const ToolResult &Bad = Results[2 * I];
+    const ToolResult &Good = Results[2 * I + 1];
+    DesktopCaseScore Score;
+    Score.Name = Cases[I].Test.Name;
+    Score.ExpectFlagged = Cases[I].ExpectFlagged;
+    Score.ExpectedCode = Cases[I].ExpectedCode;
+    Score.FlaggedBad = Bad.flagged();
+    Score.FlaggedGood = Good.flagged();
+    if (Score.FlaggedBad)
+      Score.ReportedCode = static_cast<uint16_t>(Bad.Findings.front().Kind);
+    Score.Micros = Bad.Micros + Good.Micros;
+
+    if (Score.asExpected())
+      ++Scores.AsExpected;
+    if (Score.FlaggedBad)
+      ++Scores.Detected;
+    if (Score.ExpectFlagged && Score.FlaggedBad &&
+        Score.ReportedCode != Score.ExpectedCode)
+      ++Scores.WrongCode;
+    if (Score.ExpectFlagged && !Score.FlaggedBad)
+      ++Scores.MissedExpected;
+    if (!Score.ExpectFlagged && !Score.FlaggedBad)
+      ++Scores.KnownMisses;
+    if (Score.FlaggedGood)
+      ++Scores.FalsePositives;
+    Scores.PerCase.push_back(std::move(Score));
+  }
+  Scores.WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  return Scores;
+}
+
+std::string cundef::renderDesktopTable(const DesktopScores &S) {
+  std::string Out;
+  Out += "Desktop-C suite: slice-sized argv/file-I/O/string idioms, one\n"
+         "(bad, good) pair per case, scored against manifest "
+         "expectations.\n\n";
+  Out += padRight("Case", 24) + padRight("Expect", 12) +
+         padRight("Bad half", 16) + padRight("Good half", 10) +
+         "Verdict\n";
+  Out += std::string(69, '-') + "\n";
+  for (const DesktopCaseScore &C : S.PerCase) {
+    std::string Expect = C.ExpectFlagged
+                             ? strFormat("flag %05u", C.ExpectedCode)
+                             : std::string("miss");
+    std::string BadHalf = C.FlaggedBad
+                              ? strFormat("UB %05u", C.ReportedCode)
+                              : std::string("clean");
+    Out += padRight(C.Name, 24) + padRight(Expect, 12) +
+           padRight(BadHalf, 16) +
+           padRight(C.FlaggedGood ? "FLAGGED" : "clean", 10) +
+           (C.asExpected() ? "ok" : "UNEXPECTED") + "\n";
+  }
+  Out += strFormat("\ndesktop: as-expected=%u detected=%u wrong-code=%u "
+                   "missed=%u known-miss=%u false-pos=%u total=%zu\n",
+                   S.AsExpected, S.Detected, S.WrongCode, S.MissedExpected,
+                   S.KnownMisses, S.FalsePositives, S.PerCase.size());
+  return Out;
 }
 
 std::string cundef::renderFigure2(

@@ -18,6 +18,7 @@
 #define CUNDEF_SUITES_SUITERUNNER_H
 
 #include "analysis/Tool.h"
+#include "suites/DesktopSuite.h"
 #include "suites/TestCase.h"
 
 #include <map>
@@ -71,6 +72,52 @@ JulietScores scoreJulietBatched(const AnalysisRequest &Req,
                                 const std::vector<TestCase> &Tests);
 CustomScores scoreCustomBatched(const AnalysisRequest &Req,
                                 const std::vector<TestCase> &Tests);
+
+/// One desktop case's scored outcome against its manifest expectation.
+struct DesktopCaseScore {
+  std::string Name;
+  bool ExpectFlagged = true;
+  uint16_t ExpectedCode = 0;
+  bool FlaggedBad = false;
+  bool FlaggedGood = false; ///< always a failure: the control is defined
+  /// First code reported on the bad half (0 when clean).
+  uint16_t ReportedCode = 0;
+  double Micros = 0.0;
+
+  /// The case meets its contract: the bad half's verdict matches the
+  /// manifest (including the expected code, when flagged) and the good
+  /// half is clean.
+  bool asExpected() const {
+    return !FlaggedGood && FlaggedBad == ExpectFlagged &&
+           (!ExpectFlagged || ReportedCode == ExpectedCode);
+  }
+};
+
+/// The whole desktop suite, scored. AsExpected == PerCase.size() is the
+/// suite's green state; the partitions below explain any shortfall.
+struct DesktopScores {
+  std::vector<DesktopCaseScore> PerCase;
+  unsigned AsExpected = 0;
+  unsigned Detected = 0;      ///< bad halves flagged (any code)
+  unsigned WrongCode = 0;     ///< flagged as expected but wrong code
+  unsigned MissedExpected = 0;///< 'flag' cases that came back clean
+  unsigned KnownMisses = 0;   ///< 'miss' cases that stayed missed
+  unsigned FalsePositives = 0;///< flagged good halves
+  double WallMs = 0.0;
+};
+
+/// Scores the desktop suite batched through one shared engine worker
+/// pool, exactly like scoreJulietBatched/scoreCustomBatched. Verdicts
+/// and reported codes are deterministic across scheduler kind and
+/// worker count (the determinism contract of core/Scheduler.h).
+DesktopScores scoreDesktopBatched(const AnalysisRequest &Req,
+                                  const std::vector<DesktopCase> &Cases);
+
+/// Renders the per-case desktop table plus a summary line; the final
+/// line is the stable machine-greppable summary
+/// `desktop: as-expected=N detected=N wrong-code=N missed=N known-miss=N
+/// false-pos=N total=N`.
+std::string renderDesktopTable(const DesktopScores &S);
 
 /// Renders the Figure 2 table for several tools.
 std::string

@@ -367,7 +367,8 @@ const char *julietClassForRow(uint16_t Id) {
 
 } // namespace
 
-std::string cundef::renderCatalogMarkdown() {
+std::string
+cundef::renderCatalogMarkdown(const CatalogCoverageColumn *Coverage) {
   const std::vector<CatalogEntry> &Rows = ubCatalog();
   const CatalogStats Stats = catalogStats();
   std::string Out;
@@ -393,16 +394,42 @@ std::string cundef::renderCatalogMarkdown() {
   Add("Rows whose id names a `UbKind` enumerator (ids 1-51) are "
       "behaviors the tools\ndetect and report under that error code; "
       "the remaining rows complete the\ninventory.\n\n");
+  if (Coverage) {
+    Add(strFormat("The Coverage column is live output of the catalog "
+                  "coverage harness\n(`kcc --catalog-coverage`): every row "
+                  "carries one minimal triggering program\nwhere one is "
+                  "expressible in the modelled subset, and the verdict "
+                  "says whether\nthe evaluator flags it with a matching "
+                  "code. Currently **%u covered**,\n**%u wrong-code**, "
+                  "**%u missed**, **%u inexpressible**.\n\n",
+                  Coverage->Covered, Coverage->WrongCode, Coverage->Missed,
+                  Coverage->Inexpressible));
+  }
 
   // ---- Index: one row per entry. ----
   Add("## Index\n\n");
-  Add("| Id | C11 clause | Detection | Juliet class | Description |\n");
-  Add("|---:|:-----------|:----------|:-------------|:------------|\n");
+  if (Coverage) {
+    Add("| Id | C11 clause | Detection | Juliet class | Coverage "
+        "| Description |\n");
+    Add("|---:|:-----------|:----------|:-------------|:---------"
+        "|:------------|\n");
+  } else {
+    Add("| Id | C11 clause | Detection | Juliet class | Description |\n");
+    Add("|---:|:-----------|:----------|:-------------|:------------|\n");
+  }
   for (const CatalogEntry &E : Rows) {
     const char *Juliet = julietClassForRow(E.Id);
-    Add(strFormat("| [%u](#ub-%u) | %s | %s | %s | %s |\n", E.Id, E.Id,
-                  E.Clause, E.isStatic() ? "static" : "dynamic",
-                  Juliet ? Juliet : "\xe2\x80\x94", E.Description));
+    if (Coverage) {
+      const std::string &Cell = Coverage->Cells[E.Id - 1];
+      Add(strFormat("| [%u](#ub-%u) | %s | %s | %s | %s | %s |\n", E.Id,
+                    E.Id, E.Clause, E.isStatic() ? "static" : "dynamic",
+                    Juliet ? Juliet : "\xe2\x80\x94", Cell.c_str(),
+                    E.Description));
+    } else {
+      Add(strFormat("| [%u](#ub-%u) | %s | %s | %s | %s |\n", E.Id, E.Id,
+                    E.Clause, E.isStatic() ? "static" : "dynamic",
+                    Juliet ? Juliet : "\xe2\x80\x94", E.Description));
+    }
   }
   Add("\n");
 
@@ -427,6 +454,9 @@ std::string cundef::renderCatalogMarkdown() {
     if (E.Id <= static_cast<uint16_t>(UbKind::ReturnVoidValue))
       Add(strFormat("- **Reported as:** `Error: %05u` in kcc-style "
                     "reports\n", E.Id));
+    if (Coverage)
+      Add(strFormat("- **Coverage:** %s\n",
+                    Coverage->Cells[E.Id - 1].c_str()));
   }
   return Out;
 }

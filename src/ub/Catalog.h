@@ -62,12 +62,28 @@ struct CatalogStats {
 
 CatalogStats catalogStats();
 
+/// Layer-neutral coverage annotation for the markdown renderer: one
+/// cell per catalog row (index = id - 1), e.g. "covered" or
+/// "wrong-code (reports 00019)", plus the summary counts. Produced by
+/// the coverage harness (suites/CatalogCoverage.h, coverageColumn());
+/// the ub layer only formats it.
+struct CatalogCoverageColumn {
+  std::vector<std::string> Cells;
+  unsigned Covered = 0;
+  unsigned WrongCode = 0;
+  unsigned Missed = 0;
+  unsigned Inexpressible = 0;
+};
+
 /// Renders the full catalog as a markdown reference document: an index
 /// table (one row per entry: id, C11 clause, detection class, Juliet
-/// class, description) followed by one reference section per entry.
-/// docs/UB_CATALOG.md is this string verbatim (kcc --dump-catalog);
-/// the catalog_docs_fresh ctest keeps the two byte-identical.
-std::string renderCatalogMarkdown();
+/// class, coverage verdict, description) followed by one reference
+/// section per entry. docs/UB_CATALOG.md is this string verbatim (kcc
+/// --dump-catalog runs the quick coverage harness to fill the column);
+/// the catalog_docs_fresh ctest keeps the two byte-identical — safe
+/// because coverage verdicts are deterministic.
+std::string renderCatalogMarkdown(const CatalogCoverageColumn *Coverage =
+                                      nullptr);
 
 } // namespace cundef
 

@@ -1,0 +1,16 @@
+/* Scan a simulated argv for options; off-by-one past the terminator. */
+static char *argv_sim[3];
+
+int main(void) {
+  char prog[5] = "prog";
+  char flag[3] = "-v";
+  argv_sim[0] = prog;
+  argv_sim[1] = flag;
+  argv_sim[2] = 0;
+  int i = 0;
+  while (argv_sim[i]) {
+    i = i + 1;
+  }
+  /* i is now the terminator slot; +1 reads past the array */
+  return argv_sim[i + 1] != 0;
+}

@@ -1,0 +1,10 @@
+/* The output file is optional; the default is used without a check. */
+struct cfg {
+  const char *outfile;
+};
+
+int main(void) {
+  struct cfg c;
+  c.outfile = 0; /* no -o on the command line */
+  return c.outfile[0] == '-'; /* dereferences the NULL default */
+}

@@ -1,0 +1,12 @@
+/* The output file is optional; absent means stdout. */
+struct cfg {
+  const char *outfile;
+};
+
+int main(void) {
+  struct cfg c;
+  c.outfile = 0;
+  if (!c.outfile)
+    return 0; /* stdout */
+  return c.outfile[0] == '-';
+}

@@ -1,0 +1,13 @@
+/* Trim trailing blanks from a config value, pointer-walking backward. */
+int main(void) {
+  char buf[4];
+  buf[0] = ' ';
+  buf[1] = ' ';
+  buf[2] = ' ';
+  buf[3] = ' ';
+  char *end = buf + 3;
+  while (*end == ' ') {
+    end = end - 1; /* an all-blank value walks off the front */
+  }
+  return end < buf;
+}

@@ -1,0 +1,13 @@
+/* Trim trailing blanks from a config value, counting with an index. */
+int main(void) {
+  char buf[4];
+  buf[0] = ' ';
+  buf[1] = ' ';
+  buf[2] = ' ';
+  buf[3] = ' ';
+  int n = 4;
+  while (n > 0 && buf[n - 1] == ' ') {
+    n = n - 1;
+  }
+  return n;
+}

@@ -1,0 +1,14 @@
+/* Drain a file-like buffer in fixed chunks; the tail chunk overruns. */
+#include <string.h>
+
+int main(void) {
+  char file[20];
+  memset(file, 'd', 20);
+  char out[24];
+  int off = 0;
+  while (off < 20) {
+    memcpy(out + off, file + off, 8); /* final chunk reads file[20..23] */
+    off = off + 8;
+  }
+  return out[0] == 'd';
+}

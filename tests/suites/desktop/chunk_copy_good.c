@@ -1,0 +1,15 @@
+/* Drain a file-like buffer in fixed chunks, clamping the tail. */
+#include <string.h>
+
+int main(void) {
+  char file[20];
+  memset(file, 'd', 20);
+  char out[24];
+  int off = 0;
+  while (off < 20) {
+    int n = 20 - off < 8 ? 20 - off : 8;
+    memcpy(out + off, file + off, n);
+    off = off + n;
+  }
+  return out[0] == 'd';
+}

@@ -1,0 +1,14 @@
+/* The error path released the buffer; the cleanup frees it again. */
+#include <stdlib.h>
+
+int main(void) {
+  char *buf = (char *)malloc(16);
+  if (!buf)
+    return 1;
+  int err = 1; /* the parse failed */
+  if (err) {
+    free(buf);
+  }
+  free(buf); /* common cleanup, second free */
+  return 0;
+}

@@ -1,0 +1,16 @@
+/* The error path releases and clears; the cleanup checks first. */
+#include <stdlib.h>
+
+int main(void) {
+  char *buf = (char *)malloc(16);
+  if (!buf)
+    return 1;
+  int err = 1;
+  if (err) {
+    free(buf);
+    buf = 0;
+  }
+  if (buf)
+    free(buf);
+  return 0;
+}

@@ -1,0 +1,17 @@
+/* Compact the non-zero samples with an exclusive bound. */
+int main(void) {
+  int vals[4];
+  vals[0] = 1;
+  vals[1] = 0;
+  vals[2] = 3;
+  vals[3] = 0;
+  int kept = 0;
+  int i;
+  for (i = 0; i < 4; i = i + 1) {
+    if (vals[i] != 0) {
+      vals[kept] = vals[i];
+      kept = kept + 1;
+    }
+  }
+  return kept - 2;
+}

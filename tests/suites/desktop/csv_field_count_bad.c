@@ -1,0 +1,18 @@
+/* Count the fields of a CSV record read into a raw buffer. */
+#include <string.h>
+
+int main(void) {
+  char rec[5]; /* filled from "I/O" without the terminator */
+  rec[0] = 'a';
+  rec[1] = ',';
+  rec[2] = 'b';
+  rec[3] = ',';
+  rec[4] = 'c';
+  int fields = 1;
+  unsigned long i;
+  for (i = 0; i < strlen(rec); i = i + 1) {
+    if (rec[i] == ',')
+      fields = fields + 1;
+  }
+  return fields - 3;
+}

@@ -1,0 +1,13 @@
+/* Count the fields of a CSV record; the buffer is a real string. */
+#include <string.h>
+
+int main(void) {
+  char rec[6] = "a,b,c";
+  int fields = 1;
+  unsigned long i;
+  for (i = 0; i < strlen(rec); i = i + 1) {
+    if (rec[i] == ',')
+      fields = fields + 1;
+  }
+  return fields - 3;
+}

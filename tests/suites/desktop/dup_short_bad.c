@@ -1,0 +1,14 @@
+/* A hand-rolled strdup sizes the copy without the terminator. */
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+  char name[6] = "cfg.c";
+  char *copy = (char *)malloc(strlen(name)); /* forgot the +1 */
+  if (!copy)
+    return 1;
+  strcpy(copy, name); /* the NUL lands one past the allocation */
+  int ok = copy[0] == 'c';
+  free(copy);
+  return ok;
+}

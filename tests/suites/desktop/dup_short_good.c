@@ -1,0 +1,14 @@
+/* A hand-rolled strdup sizes the copy for string plus terminator. */
+#include <stdlib.h>
+#include <string.h>
+
+int main(void) {
+  char name[6] = "cfg.c";
+  char *copy = (char *)malloc(strlen(name) + 1);
+  if (!copy)
+    return 1;
+  strcpy(copy, name);
+  int ok = copy[0] == 'c';
+  free(copy);
+  return ok;
+}

@@ -1,0 +1,10 @@
+/* Match a simulated environment entry; the copy dropped the NUL. */
+#include <string.h>
+
+int main(void) {
+  char entry[8];
+  memcpy(entry, "HOME=/rt", 8); /* exactly fills: no terminator */
+  if (strncmp(entry, "HOME=", 5) != 0)
+    return 1;
+  return strlen(entry) > 5; /* walks past the unterminated entry */
+}

@@ -1,0 +1,11 @@
+/* Match a simulated environment entry; the buffer holds a string. */
+#include <string.h>
+
+int main(void) {
+  char entry[9];
+  memcpy(entry, "HOME=/rt", 8);
+  entry[8] = 0;
+  if (strncmp(entry, "HOME=", 5) != 0)
+    return 1;
+  return strlen(entry) > 5;
+}

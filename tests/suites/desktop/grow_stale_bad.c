@@ -1,0 +1,17 @@
+/* Grow a table with realloc but keep reading the old pointer. */
+#include <stdlib.h>
+
+int main(void) {
+  int *tab = (int *)malloc(2 * sizeof(int));
+  if (!tab)
+    return 1;
+  tab[0] = 5;
+  int *bigger = (int *)realloc(tab, 64 * sizeof(int));
+  if (!bigger) {
+    free(tab);
+    return 1;
+  }
+  int v = tab[0]; /* tab was released by the successful realloc */
+  free(bigger);
+  return v - 5;
+}

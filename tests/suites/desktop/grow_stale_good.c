@@ -1,0 +1,17 @@
+/* Grow a table with realloc and switch to the new pointer. */
+#include <stdlib.h>
+
+int main(void) {
+  int *tab = (int *)malloc(2 * sizeof(int));
+  if (!tab)
+    return 1;
+  tab[0] = 5;
+  int *bigger = (int *)realloc(tab, 64 * sizeof(int));
+  if (!bigger) {
+    free(tab);
+    return 1;
+  }
+  int v = bigger[0];
+  free(bigger);
+  return v - 5;
+}

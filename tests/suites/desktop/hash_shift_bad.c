@@ -1,0 +1,10 @@
+/* A rolling hash shifts by the character value itself. */
+int main(void) {
+  char key[3] = "hi";
+  unsigned long h = 1;
+  int i;
+  for (i = 0; key[i]; i = i + 1) {
+    h = (h << key[i]) + 7; /* shift count 104 > width */
+  }
+  return h != 0;
+}

@@ -1,0 +1,10 @@
+/* A rolling hash keeps the shift inside the word width. */
+int main(void) {
+  char key[3] = "hi";
+  unsigned long h = 1;
+  int i;
+  for (i = 0; key[i]; i = i + 1) {
+    h = (h << (key[i] % 8)) + 7;
+  }
+  return h != 0;
+}

@@ -1,0 +1,14 @@
+/* Parse a binary header by viewing the byte buffer as words. */
+int main(void) {
+  char hdr[8];
+  hdr[0] = 1;
+  hdr[1] = 0;
+  hdr[2] = 0;
+  hdr[3] = 0;
+  hdr[4] = 2;
+  hdr[5] = 0;
+  hdr[6] = 0;
+  hdr[7] = 0;
+  int *words = (int *)hdr;
+  return words[0]; /* reads char storage with int effective type */
+}

@@ -1,0 +1,17 @@
+/* Parse a binary header by copying the bytes into a word. */
+#include <string.h>
+
+int main(void) {
+  char hdr[8];
+  hdr[0] = 1;
+  hdr[1] = 0;
+  hdr[2] = 0;
+  hdr[3] = 0;
+  hdr[4] = 2;
+  hdr[5] = 0;
+  hdr[6] = 0;
+  hdr[7] = 0;
+  int word0;
+  memcpy(&word0, hdr, sizeof word0);
+  return word0 - 1;
+}

@@ -1,0 +1,10 @@
+/* Prefix a message in place: snprintf source overlaps destination.
+   Undefined per 7.21.6.5; the modelled snprintf copies through, so
+   this case documents a known miss. */
+#include <stdio.h>
+
+int main(void) {
+  char msg[16] = "warn";
+  snprintf(msg, 16, "log: %s", msg);
+  return msg[0] == 'l';
+}

@@ -1,0 +1,9 @@
+/* Prefix a message into a separate buffer. */
+#include <stdio.h>
+
+int main(void) {
+  char msg[16] = "warn";
+  char out[24];
+  snprintf(out, 24, "log: %s", msg);
+  return out[0] == 'l';
+}

@@ -1,0 +1,6 @@
+/* Strip the newline from a log line held in a string literal. */
+int main(void) {
+  char *line = "msg\n";
+  line[3] = 0; /* string literals are not writable */
+  return line[0] == 'm';
+}

@@ -1,0 +1,6 @@
+/* Strip the newline from a log line held in a writable array. */
+int main(void) {
+  char line[5] = "msg\n";
+  line[3] = 0;
+  return line[0] == 'm';
+}

@@ -1,0 +1,8 @@
+/* A status line grew a second conversion but not a second argument. */
+#include <stdio.h>
+
+int main(void) {
+  int requests = 7;
+  printf("served %d requests to %s\n", requests);
+  return 0;
+}

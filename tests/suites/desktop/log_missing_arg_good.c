@@ -1,0 +1,9 @@
+/* A status line with an argument per conversion. */
+#include <stdio.h>
+
+int main(void) {
+  int requests = 7;
+  char host[10] = "localhost";
+  printf("served %d requests to %s\n", requests, host);
+  return 0;
+}

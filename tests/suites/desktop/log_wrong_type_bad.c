@@ -1,0 +1,8 @@
+/* A log call passes the host string to a numeric conversion. */
+#include <stdio.h>
+
+int main(void) {
+  char host[10] = "localhost";
+  printf("host id %d\n", host);
+  return 0;
+}

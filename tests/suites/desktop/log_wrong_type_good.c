@@ -1,0 +1,8 @@
+/* A log call with the conversion matching the argument. */
+#include <stdio.h>
+
+int main(void) {
+  char host[10] = "localhost";
+  printf("host id %s\n", host);
+  return 0;
+}

@@ -1,0 +1,10 @@
+/* Translate a status code through a table; the code is unvalidated. */
+int main(void) {
+  int table[4];
+  table[0] = 1;
+  table[1] = 2;
+  table[2] = 3;
+  table[3] = 4;
+  int code = -2; /* straight from input */
+  return table[code];
+}

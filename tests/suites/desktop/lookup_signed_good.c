@@ -1,0 +1,12 @@
+/* Translate a status code through a table after validating it. */
+int main(void) {
+  int table[4];
+  table[0] = 1;
+  table[1] = 2;
+  table[2] = 3;
+  table[3] = 4;
+  int code = -2;
+  if (code < 0 || code > 3)
+    return 0;
+  return table[code];
+}

@@ -1,0 +1,8 @@
+/* Normalize a mode name in place; the table entry is const. */
+static const char mode[5] = "Fast";
+
+int main(void) {
+  char *p = (char *)mode;
+  p[0] = 'f'; /* writes a const-qualified object */
+  return p[0] == 'f';
+}

@@ -1,0 +1,11 @@
+/* Normalize a mode name in a private copy. */
+#include <string.h>
+
+static const char mode[5] = "Fast";
+
+int main(void) {
+  char copy[5];
+  strcpy(copy, mode);
+  copy[0] = 'f';
+  return copy[0] == 'f';
+}

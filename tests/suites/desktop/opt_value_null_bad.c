@@ -1,0 +1,20 @@
+/* -o expects a value; the missing value is the argv terminator. */
+#include <string.h>
+
+static char *args[3];
+
+int main(void) {
+  char a0[5] = "prog";
+  char a1[3] = "-o";
+  args[0] = a0;
+  args[1] = a1;
+  args[2] = 0;
+  int i;
+  for (i = 1; args[i]; i = i + 1) {
+    if (strcmp(args[i], "-o") == 0) {
+      char *val = args[i + 1];
+      return val[0] == 'x'; /* val is the NULL terminator */
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+/* -o expects a value; a missing value is a usage error, not a deref. */
+#include <string.h>
+
+static char *args[3];
+
+int main(void) {
+  char a0[5] = "prog";
+  char a1[3] = "-o";
+  args[0] = a0;
+  args[1] = a1;
+  args[2] = 0;
+  int i;
+  for (i = 1; args[i]; i = i + 1) {
+    if (strcmp(args[i], "-o") == 0) {
+      char *val = args[i + 1];
+      if (!val)
+        return 2; /* usage error */
+      return val[0] == 'x';
+    }
+  }
+  return 0;
+}

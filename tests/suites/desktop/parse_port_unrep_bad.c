@@ -1,0 +1,10 @@
+/* Parse a port from a config line; the value does not fit an int.
+   The standard leaves atoi undefined here (7.22.1); the modelled
+   atoi wraps, so this case documents a known miss. */
+#include <stdlib.h>
+
+int main(void) {
+  char port[24] = "99999999999999999999";
+  int p = atoi(port);
+  return p > 0 ? 0 : 1;
+}

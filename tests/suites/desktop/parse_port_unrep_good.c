@@ -1,0 +1,8 @@
+/* Parse a port from a config line; the value fits comfortably. */
+#include <stdlib.h>
+
+int main(void) {
+  char port[8] = "8080";
+  int p = atoi(port);
+  return p == 8080 ? 0 : 1;
+}

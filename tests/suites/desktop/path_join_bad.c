@@ -1,0 +1,9 @@
+/* Join a prefix and a component into a fixed path buffer. */
+#include <string.h>
+
+int main(void) {
+  char path[8];
+  strcpy(path, "/usr");
+  strcat(path, "/share/misc"); /* 16 bytes into an 8-byte buffer */
+  return path[0] == '/';
+}

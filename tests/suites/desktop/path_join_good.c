@@ -1,0 +1,9 @@
+/* Join a prefix and a component into a buffer sized for both. */
+#include <string.h>
+
+int main(void) {
+  char path[32];
+  strcpy(path, "/usr");
+  strcat(path, "/share/misc");
+  return path[0] == '/';
+}

@@ -1,0 +1,9 @@
+/* Average bytes per operation, where the op count comes from input. */
+#include <stdlib.h>
+
+int main(void) {
+  char field[2] = "0"; /* parsed out of a report line */
+  int ops = atoi(field);
+  int bytes = 4096;
+  return bytes / ops; /* zero ops */
+}

@@ -1,0 +1,11 @@
+/* Average bytes per operation, guarding the zero-op case. */
+#include <stdlib.h>
+
+int main(void) {
+  char field[2] = "0";
+  int ops = atoi(field);
+  int bytes = 4096;
+  if (ops == 0)
+    return 0;
+  return bytes / ops;
+}

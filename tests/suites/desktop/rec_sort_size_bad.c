@@ -1,0 +1,16 @@
+/* Sort record keys before a report; the element size is wrong. */
+#include <stdlib.h>
+
+static int by_key(const void *a, const void *b) {
+  return *(const int *)a - *(const int *)b;
+}
+
+int main(void) {
+  int keys[4];
+  keys[0] = 42;
+  keys[1] = 7;
+  keys[2] = 19;
+  keys[3] = 3;
+  qsort(keys, 4, 1, by_key); /* 1 byte per element, not sizeof(int) */
+  return keys[0];
+}

@@ -1,0 +1,13 @@
+/* A formatting helper hands back its own stack scratch buffer. */
+static char *fmt_size(int n) {
+  char scratch[8];
+  scratch[0] = (char)('0' + (n % 10));
+  scratch[1] = 'B';
+  scratch[2] = 0;
+  return scratch; /* dies with the call */
+}
+
+int main(void) {
+  char *label = fmt_size(5);
+  return label[0] == '5';
+}

@@ -1,0 +1,12 @@
+/* A formatting helper fills a caller-provided buffer. */
+static void fmt_size(int n, char *out) {
+  out[0] = (char)('0' + (n % 10));
+  out[1] = 'B';
+  out[2] = 0;
+}
+
+int main(void) {
+  char label[8];
+  fmt_size(5, label);
+  return label[0] == '5';
+}

@@ -1,0 +1,11 @@
+/* A counters struct is filled field by field; one never is. */
+struct stats {
+  int hits;
+  int misses;
+};
+
+int main(void) {
+  struct stats s;
+  s.hits = 3;
+  return s.hits + s.misses; /* misses was never assigned */
+}

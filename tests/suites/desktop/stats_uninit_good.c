@@ -1,0 +1,12 @@
+/* A counters struct fully initialized before the report. */
+struct stats {
+  int hits;
+  int misses;
+};
+
+int main(void) {
+  struct stats s;
+  s.hits = 3;
+  s.misses = 0;
+  return s.hits + s.misses;
+}

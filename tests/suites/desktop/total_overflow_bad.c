@@ -1,0 +1,13 @@
+/* Sum content lengths in an int; two large entries overflow it. */
+int main(void) {
+  int sizes[3];
+  sizes[0] = 2000000000;
+  sizes[1] = 2000000000;
+  sizes[2] = 1;
+  int total = 0;
+  int i;
+  for (i = 0; i < 3; i = i + 1) {
+    total = total + sizes[i]; /* signed overflow on the second add */
+  }
+  return total > 0;
+}

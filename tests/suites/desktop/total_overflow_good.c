@@ -1,0 +1,13 @@
+/* Sum content lengths in a long, wide enough for the total. */
+int main(void) {
+  int sizes[3];
+  sizes[0] = 2000000000;
+  sizes[1] = 2000000000;
+  sizes[2] = 1;
+  long total = 0;
+  int i;
+  for (i = 0; i < 3; i = i + 1) {
+    total = total + sizes[i];
+  }
+  return total > 0;
+}

@@ -30,7 +30,17 @@
 //     --no-static                   skip the static undefinedness pass
 //     --order=ltr|rtl|random        evaluation order policy
 //     --seed=N                      seed for --order=random
-//     --dump-catalog=markdown       print the UB catalog reference and exit
+//     --dump-catalog=markdown       print the UB catalog reference (with a
+//                                   live Coverage column) and exit
+//     --catalog-coverage[=MODE]     run the catalog coverage harness and
+//                                   exit: one triggering program per
+//                                   catalog row, graded covered /
+//                                   wrong-code / missed / inexpressible.
+//                                   MODE is quick (4 search runs), full
+//                                   (64, the default), or an explicit
+//                                   per-program search budget N; with
+//                                   --json the verdicts come out as the
+//                                   coverage document of cundef-kcc-v1
 //
 // Every translation unit is submitted to ONE persistent AnalysisEngine
 // (driver/Engine.h): program outputs appear on stdout in command-line
@@ -49,6 +59,7 @@
 
 #include "driver/Engine.h"
 #include "driver/JsonOutput.h"
+#include "suites/CatalogCoverage.h"
 #include "support/Strings.h"
 #include "ub/Catalog.h"
 
@@ -77,7 +88,8 @@ static void usage() {
                "  --order=ltr|rtl|random\n"
                "  --seed=N\n"
                "  --no-static\n"
-               "  --dump-catalog=markdown\n");
+               "  --dump-catalog=markdown\n"
+               "  --catalog-coverage[=quick|full|N]\n");
 }
 
 /// Strict numeric flag parsing: `--flag=garbage` is diagnosed and exits
@@ -148,6 +160,9 @@ int main(int argc, char **argv) {
   bool BatchStats = false;
   bool Json = false;
   bool UseTranslationCache = true;
+  bool CoverageMode = false;
+  unsigned CoverageRuns = 64;
+  std::string CoverageModeName = "full";
   std::vector<const char *> Paths;
 
   for (int I = 1; I < argc; ++I) {
@@ -158,8 +173,27 @@ int main(int argc, char **argv) {
         usage();
         return 2;
       }
-      std::fputs(renderCatalogMarkdown().c_str(), stdout);
+      // The Coverage column is live: run the quick harness (verdicts
+      // are deterministic, so the committed doc stays byte-stable).
+      CatalogCoverageColumn Col =
+          coverageColumn(runCatalogCoverage(coverageRequest(true)));
+      std::fputs(renderCatalogMarkdown(&Col).c_str(), stdout);
       return 0;
+    } else if (!std::strcmp(Arg, "--catalog-coverage")) {
+      CoverageMode = true;
+    } else if (startsWith(Arg, "--catalog-coverage=")) {
+      // Strict mode parsing: quick, full, or an explicit per-program
+      // search budget; anything else (including a garbled number) is a
+      // usage error, never silently coerced.
+      const char *Value = Arg + 19;
+      CoverageMode = true;
+      CoverageModeName = Value;
+      if (!std::strcmp(Value, "quick"))
+        CoverageRuns = 4;
+      else if (!std::strcmp(Value, "full"))
+        CoverageRuns = 64;
+      else if (!parseNumericFlag("--catalog-coverage", Value, CoverageRuns))
+        return 2;
     } else if (startsWith(Arg, "--target=")) {
       const char *Value = Arg + 9;
       if (!std::strcmp(Value, "lp64"))
@@ -261,7 +295,11 @@ int main(int argc, char **argv) {
       Paths.push_back(Arg);
     }
   }
-  if (Paths.empty()) {
+  if (CoverageMode && !Paths.empty()) {
+    std::fprintf(stderr, "kcc: --catalog-coverage takes no input files\n");
+    return 2;
+  }
+  if (!CoverageMode && Paths.empty()) {
     usage();
     return 2;
   }
@@ -276,6 +314,31 @@ int main(int argc, char **argv) {
     return 2;
   }
   const AnalysisRequest &Req = Built.Request;
+
+  if (CoverageMode) {
+    // The whole catalog, one batch, one engine; CoverageRuns is the
+    // per-program search budget (the builder rejects a zero budget).
+    AnalysisRequest::Builder CovBuilder;
+    CovBuilder.searchRuns(CoverageRuns).searchJobs(0).sched(Sched);
+    AnalysisRequest::Builder::Result Cov = CovBuilder.build();
+    if (!Cov.ok()) {
+      std::fprintf(stderr, "kcc: %s\n", Cov.Err.Message.c_str());
+      return 2;
+    }
+    auto Start = std::chrono::steady_clock::now();
+    CoverageReport Report = runCatalogCoverage(Cov.Request);
+    double WallMs = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - Start)
+                        .count();
+    if (Json)
+      std::fputs(renderCoverageJson(Report, CoverageModeName.c_str(),
+                                    WallMs)
+                     .c_str(),
+                 stdout);
+    else
+      std::fputs(renderCoverageReport(Report).c_str(), stdout);
+    return 0;
+  }
 
   std::vector<BatchInput> Inputs;
   for (const char *Path : Paths) {
