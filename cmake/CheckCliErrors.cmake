@@ -28,7 +28,10 @@ set(BAD_FLAGS
   --catalog-coverage=bogus
   --catalog-coverage=12x
   --catalog-coverage=0
-  --catalog-coverage=)
+  --catalog-coverage=
+  --static-analyze=garbage
+  --static-analyze=ON
+  --static-analyze=)
 
 foreach(FLAG ${BAD_FLAGS})
   execute_process(
@@ -52,7 +55,10 @@ set(GOOD_ARGS
   "--search=8;--search-engine=fork"
   "--search=8;--translation-cache=off"
   "--search=8;--translation-cache=on"
-  "--seed=42;--order=random")
+  "--seed=42;--order=random"
+  "--static-analyze=on"
+  "--static-analyze=off"
+  "--static-analyze=only")
 
 foreach(ARGS ${GOOD_ARGS})
   execute_process(
@@ -78,6 +84,20 @@ if(NOT RC EQUAL 2)
 endif()
 if(NOT ERR MATCHES "no input files")
   message(FATAL_ERROR "kcc --catalog-coverage with a file: missing diagnostic, got: ${ERR}")
+endif()
+
+# The coverage harness grades the combined static+dynamic verdict, so
+# restricting it to the static layer alone is rejected up front.
+execute_process(
+  COMMAND ${KCC} --catalog-coverage=quick --static-analyze=only
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE OUT
+  ERROR_VARIABLE ERR)
+if(NOT RC EQUAL 2)
+  message(FATAL_ERROR "kcc --catalog-coverage=quick --static-analyze=only: expected exit 2, got ${RC}")
+endif()
+if(NOT ERR MATCHES "incompatible")
+  message(FATAL_ERROR "kcc --catalog-coverage=quick --static-analyze=only: missing diagnostic, got: ${ERR}")
 endif()
 
 execute_process(

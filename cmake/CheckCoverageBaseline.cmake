@@ -29,7 +29,8 @@ endif()
 
 # The harness's stable final line (renderCoverageReport):
 #   coverage: covered=N wrong-code=N missed=N inexpressible=N total=N
-if(NOT OUT MATCHES "coverage: covered=([0-9]+) wrong-code=([0-9]+) missed=([0-9]+) inexpressible=([0-9]+) total=([0-9]+)")
+#   static=A dynamic=B both=C
+if(NOT OUT MATCHES "coverage: covered=([0-9]+) wrong-code=([0-9]+) missed=([0-9]+) inexpressible=([0-9]+) total=([0-9]+) static=([0-9]+) dynamic=([0-9]+) both=([0-9]+)")
   message(FATAL_ERROR "missing/garbled coverage summary line in:\n${OUT}")
 endif()
 set(COVERED ${CMAKE_MATCH_1})
@@ -37,6 +38,9 @@ set(WRONG ${CMAKE_MATCH_2})
 set(MISSED ${CMAKE_MATCH_3})
 set(INEXPR ${CMAKE_MATCH_4})
 set(TOTAL ${CMAKE_MATCH_5})
+set(COV_STATIC ${CMAKE_MATCH_6})
+set(COV_DYNAMIC ${CMAKE_MATCH_7})
+set(COV_BOTH ${CMAKE_MATCH_8})
 
 if(NOT TOTAL EQUAL 221)
   message(FATAL_ERROR "coverage total ${TOTAL} != 221: the harness no longer grades the whole catalog")
@@ -45,8 +49,15 @@ math(EXPR SUM "${COVERED} + ${WRONG} + ${MISSED} + ${INEXPR}")
 if(NOT SUM EQUAL TOTAL)
   message(FATAL_ERROR "coverage counts ${COVERED}+${WRONG}+${MISSED}+${INEXPR} do not partition total ${TOTAL}")
 endif()
+math(EXPR ATTR_SUM "${COV_STATIC} + ${COV_DYNAMIC} + ${COV_BOTH}")
+if(NOT ATTR_SUM EQUAL COVERED)
+  message(FATAL_ERROR "attribution counts static=${COV_STATIC}+dynamic=${COV_DYNAMIC}+both=${COV_BOTH} do not partition covered ${COVERED}")
+endif()
 if(COVERED LESS FLOOR)
   message(FATAL_ERROR "covered count regressed: ${COVERED} < baseline floor ${FLOOR} (${BASELINE})")
 endif()
+if(NOT WRONG EQUAL 0)
+  message(FATAL_ERROR "wrong-code rows regressed: ${WRONG} != 0 (every covered row must answer to its own catalog code)")
+endif()
 
-message(STATUS "catalog coverage: ${COVERED} covered (floor ${FLOOR}), ${WRONG} wrong-code, ${MISSED} missed, ${INEXPR} inexpressible")
+message(STATUS "catalog coverage: ${COVERED} covered (floor ${FLOOR}; static ${COV_STATIC}, dynamic ${COV_DYNAMIC}, both ${COV_BOTH}), ${WRONG} wrong-code, ${MISSED} missed, ${INEXPR} inexpressible")

@@ -84,7 +84,8 @@ public:
                        : 1;
     if (P.Ptr.Offset < 0 ||
         static_cast<uint64_t>(P.Ptr.Offset) + Len > Obj->Size)
-      M.flagUb(static_cast<uint64_t>(P.Ptr.Offset) == Obj->Size
+      M.flagUb(Obj->Size == 0 ? UbKind::ZeroSizeAllocationUse
+               : static_cast<uint64_t>(P.Ptr.Offset) == Obj->Size
                    ? UbKind::DerefOnePastEnd
                    : UbKind::ReadOutOfBounds,
                Loc);

@@ -90,7 +90,10 @@ bool Machine::derefCheck(const Value &P, QualType Pointee, SourceLoc Loc) {
                      : 1;
   if (P.Ptr.Offset < 0 ||
       static_cast<uint64_t>(P.Ptr.Offset) + Len > Obj->Size) {
-    flagUb(static_cast<uint64_t>(P.Ptr.Offset) == Obj->Size
+    // A zero-size object holds nothing at all: any dereference is the
+    // zero-size-allocation row (38), not a one-past-the-end access.
+    flagUb(Obj->Size == 0 ? UbKind::ZeroSizeAllocationUse
+           : static_cast<uint64_t>(P.Ptr.Offset) == Obj->Size
                ? UbKind::DerefOnePastEnd
                : UbKind::ReadOutOfBounds,
            Loc);
@@ -197,8 +200,10 @@ Machine::ResolvedLoc Machine::resolveStrict(SymPointer Ptr, uint64_t Len,
     return R;
   case MemStatus::OutOfBounds: {
     const MemObject *Obj = Conf.Mem.find(Ptr.Base);
-    if (Obj && Ptr.Offset >= 0 &&
-        static_cast<uint64_t>(Ptr.Offset) == Obj->Size)
+    if (Obj && Obj->Size == 0)
+      flagUb(UbKind::ZeroSizeAllocationUse, Loc);
+    else if (Obj && Ptr.Offset >= 0 &&
+             static_cast<uint64_t>(Ptr.Offset) == Obj->Size)
       flagUb(UbKind::DerefOnePastEnd, Loc);
     else
       flagUb(ForWrite ? UbKind::WriteOutOfBounds : UbKind::ReadOutOfBounds,
@@ -814,7 +819,8 @@ void Machine::buildRuleChains() {
     int64_t Off = RC.Operand0.Ptr.Offset;
     if (Off >= 0 && static_cast<uint64_t>(Off) + Len <= Obj->Size)
       return false;
-    M.flagUb(static_cast<uint64_t>(Off) == Obj->Size
+    M.flagUb(Obj->Size == 0 ? UbKind::ZeroSizeAllocationUse
+             : static_cast<uint64_t>(Off) == Obj->Size
                  ? UbKind::DerefOnePastEnd
                  : UbKind::ReadOutOfBounds,
              RC.Loc);

@@ -243,6 +243,7 @@ struct AnalysisEngine::Impl {
     FrontendOptions FO;
     FO.Target = Req.target();
     FO.StaticChecks = Req.staticChecks();
+    FO.FlowChecks = Req.staticAnalyze() != StaticAnalysisMode::Off;
     if (!TCache.enabled()) {
       if (WasHit)
         *WasHit = false;
@@ -287,11 +288,21 @@ struct AnalysisEngine::Impl {
     O.CompileOk = Art->ok();
     O.CompileErrors = Art->errors();
     O.StaticUb = Art->staticUb();
+    O.StaticHints = Art->staticHints();
     O.TranslationCacheHit = Hit;
     O.FrontendMicros = microsSince(FeStart);
 
     if (!Art->ok()) {
       O.Status = RunStatus::Internal;
+      finishJob(St, std::move(O), microsSince(St.SubmitTime));
+      return;
+    }
+
+    if (Req.staticAnalyze() == StaticAnalysisMode::Only) {
+      // Static-only: the verdict is the frontend's. No machine runs,
+      // so the status is Completed with no execution behind it.
+      O.StaticOnly = true;
+      O.Status = RunStatus::Completed;
       finishJob(St, std::move(O), microsSince(St.SubmitTime));
       return;
     }

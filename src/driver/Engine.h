@@ -64,7 +64,14 @@ struct DriverOutcome {
   bool CompileOk = false;
   std::string CompileErrors;
   std::vector<UbReport> StaticUb;
+  /// Flow-layer may-findings: triage hints, never part of the verdict
+  /// (anyUb() ignores them; kcc prints them only on request).
+  std::vector<UbReport> StaticHints;
   std::vector<UbReport> DynamicUb;
+  /// The request ran with StaticAnalysisMode::Only: no machine ran, so
+  /// Status/ExitCode/Output describe no execution and DynamicUb is
+  /// empty by construction.
+  bool StaticOnly = false;
   RunStatus Status = RunStatus::Internal;
   int ExitCode = 0;
   std::string Output;

@@ -62,6 +62,25 @@ void appendFinding(std::string &Out, const UbReport &R, bool Last) {
                    R.StaticFinding ? "true" : "false", Last ? "" : ",");
 }
 
+const char *verdictName(FindingVerdict V) {
+  switch (V) {
+  case FindingVerdict::Must: return "must";
+  case FindingVerdict::May:  return "may";
+  case FindingVerdict::None: break;
+  }
+  return "none";
+}
+
+void appendStaticFinding(std::string &Out, const UbReport &R, bool Last) {
+  Out += strFormat("          {\"code\": \"%05u\", \"verdict\": \"%s\", "
+                   "\"domain\": \"%s\", \"description\": \"%s\", "
+                   "\"function\": \"%s\", \"line\": %u, \"column\": %u}%s\n",
+                   ubCode(R.Kind), verdictName(R.Verdict), R.Domain,
+                   jsonEscape(R.Description).c_str(),
+                   jsonEscape(R.Function).c_str(), R.Loc.Line, R.Loc.Col,
+                   Last ? "" : ",");
+}
+
 void appendProgram(std::string &Out, const JsonProgram &P, bool Last) {
   const DriverOutcome &O = *P.Outcome;
   const char *Verdict = !O.CompileOk && !O.anyUb() ? "compile-error"
@@ -100,6 +119,31 @@ void appendProgram(std::string &Out, const JsonProgram &P, bool Last) {
       appendFinding(Out, All[I], I + 1 == All.size());
     Out += "      ],\n";
   }
+
+  // The cundef-kcc-v1 static_analysis block (backward-compatible
+  // addition): the flow layer's mode and findings with their must/may
+  // verdict and producing domain. Must findings repeat entries of the
+  // combined findings array (with richer attribution); may findings
+  // appear ONLY here — they are hints, not part of the verdict.
+  size_t StaticCount = O.StaticUb.size() + O.StaticHints.size();
+  Out += "      \"static_analysis\": {\n";
+  Out += strFormat("        \"mode\": \"%s\",\n", P.StaticMode);
+  Out += strFormat("        \"static_only\": %s,\n",
+                   O.StaticOnly ? "true" : "false");
+  Out += strFormat("        \"must_count\": %zu,\n", O.StaticUb.size());
+  Out += strFormat("        \"may_count\": %zu,\n", O.StaticHints.size());
+  if (StaticCount == 0) {
+    Out += "        \"findings\": []\n";
+  } else {
+    Out += "        \"findings\": [\n";
+    size_t Emitted = 0;
+    for (const UbReport &R : O.StaticUb)
+      appendStaticFinding(Out, R, ++Emitted == StaticCount);
+    for (const UbReport &R : O.StaticHints)
+      appendStaticFinding(Out, R, ++Emitted == StaticCount);
+    Out += "        ]\n";
+  }
+  Out += "      },\n";
 
   std::string Witness;
   for (uint8_t D : O.SearchWitness)

@@ -40,6 +40,10 @@ struct JsonProgram {
   const DriverOutcome *Outcome = nullptr;
   std::string Name;
   double WallMicros = 0.0;
+  /// The request's flow-layer mode ("off", "on", "only"), echoed in the
+  /// program's static_analysis block so consumers know what the static
+  /// findings mean without reconstructing the command line.
+  const char *StaticMode = "on";
 };
 
 /// Renders the whole `cundef-kcc-v1` document: programs (each with its

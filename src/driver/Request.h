@@ -61,6 +61,13 @@ struct RequestError {
 /// concurrency by default); guards against unit-typo requests.
 constexpr unsigned MaxSearchJobs = 4096;
 
+/// How much of the flow-sensitive static layer (static/FlowChecker.h)
+/// a request runs. Off keeps only the syntactic checks; On (the
+/// default) adds the CFG/dataflow pass; Only additionally skips the
+/// dynamic search entirely — the verdict is the static one, which is
+/// what kcc --static-analyze=only exposes.
+enum class StaticAnalysisMode : uint8_t { Off, On, Only };
+
 /// An immutable, validated description of one analysis: what the kcc
 /// pipeline should do to a translation unit. Default-constructed
 /// requests carry the documented defaults (strict semantics, static
@@ -77,6 +84,10 @@ public:
   const MachineOptions &machine() const { return Machine; }
   /// Run the static undefinedness checker (kcc's compile-time half).
   bool staticChecks() const { return RunStaticChecks; }
+  /// Flow-sensitive static layer mode. Only meaningful while
+  /// staticChecks() is true (the flow layer builds on the same AST
+  /// facts); Only turns the whole analysis purely static.
+  StaticAnalysisMode staticAnalyze() const { return StaticAnalysis; }
   /// Evaluation orders to search (paper 2.5.2). 1 = only the policy
   /// default order; the builder rejects 0.
   unsigned searchRuns() const { return SearchRuns; }
@@ -98,6 +109,7 @@ private:
   TargetConfig Target = TargetConfig::lp64();
   MachineOptions Machine;
   bool RunStaticChecks = true;
+  StaticAnalysisMode StaticAnalysis = StaticAnalysisMode::On;
   unsigned SearchRuns = 1;
   unsigned SearchJobs = 1;
   bool SearchDedup = true;
@@ -120,6 +132,10 @@ public:
   Builder &seed(uint32_t S) { Req.Machine.Seed = S; return *this; }
   Builder &strict(bool On) { Req.Machine.Strict = On; return *this; }
   Builder &staticChecks(bool On) { Req.RunStaticChecks = On; return *this; }
+  Builder &staticAnalyze(StaticAnalysisMode M) {
+    Req.StaticAnalysis = M;
+    return *this;
+  }
   Builder &searchRuns(unsigned N) { Req.SearchRuns = N; return *this; }
   Builder &searchJobs(unsigned N) { Req.SearchJobs = N; return *this; }
   Builder &dedup(bool On) { Req.SearchDedup = On; return *this; }

@@ -76,8 +76,12 @@ public:
   bool ok() const { return Ok; }
   /// Rendered diagnostics (also non-fatal ones when ok()).
   const std::string &errors() const { return Errors; }
-  /// The static half of kcc's verdict (paper section 5.2.1 rows).
+  /// The static half of kcc's verdict (paper section 5.2.1 rows):
+  /// syntactic-checker findings plus flow-layer *must* findings.
   const std::vector<UbReport> &staticUb() const { return StaticUb; }
+  /// Flow-layer *may* findings: triage hints for the dynamic search,
+  /// never part of the verdict (Verdict == FindingVerdict::May).
+  const std::vector<UbReport> &staticHints() const { return StaticHints; }
   /// Whether parsing got far enough to build an AST (preprocess
   /// failures stop before the AstContext exists).
   bool hasAst() const { return Ast != nullptr; }
@@ -98,6 +102,7 @@ private:
   std::unique_ptr<StringInterner> Interner;
   std::unique_ptr<AstContext> Ast;
   std::vector<UbReport> StaticUb;
+  std::vector<UbReport> StaticHints;
   std::string Errors;
   bool Ok = false;
   double FrontendMicros = 0.0;

@@ -10,6 +10,7 @@
 #include "parse/Parser.h"
 #include "sema/Sema.h"
 #include "support/Hash.h"
+#include "static/FlowChecker.h"
 #include "text/Preprocessor.h"
 #include "ub/StaticChecks.h"
 
@@ -48,6 +49,7 @@ TranslationKey cundef::translationKeyFor(const FrontendOptions &Opts,
   Fnv1a Ctx;
   Ctx.u64(targetConfigFingerprint(Opts.Target));
   Ctx.u8(Opts.StaticChecks ? 1 : 0);
+  Ctx.u8(Opts.StaticChecks && Opts.FlowChecks ? 1 : 0);
   Ctx.u64(HeadersFingerprint);
   Key.ContextHash = Ctx.digest();
   return Key;
@@ -85,16 +87,34 @@ public:
     Parser P(std::move(Toks), *Result->Ast, Diags);
     bool ParseOk = P.parseTranslationUnit();
     UbSink StaticSink;
+    UbSink HintSink;
     if (ParseOk) {
       Sema S(*Result->Ast, Diags, StaticSink);
       S.run();
+      // Builtin ids come before the syntactic checker: its va_start/
+      // va_arg checks recognize __cundef_va_arg by builtin id.
+      assignBuiltinIds(*Result->Ast);
       if (Opts.StaticChecks) {
         StaticChecker Checker(*Result->Ast, StaticSink);
         Checker.run();
       }
-      assignBuiltinIds(*Result->Ast);
+      // The flow layer reads Sema-computed facts (cast kinds, field
+      // indices, case values), so it only runs on clean units.
+      if (Opts.StaticChecks && Opts.FlowChecks && !Diags.hasErrors()) {
+        FlowChecker Flow(*Result->Ast, StaticSink, HintSink);
+        Flow.run();
+      }
     }
     Result->StaticUb = StaticSink.all();
+    Result->StaticHints = HintSink.all();
+    // Syntactic findings are definite by construction (constant
+    // expressions evaluated at compile time); stamp the ones the flow
+    // layer didn't already annotate.
+    for (UbReport &R : Result->StaticUb)
+      if (R.Verdict == FindingVerdict::None) {
+        R.Verdict = FindingVerdict::Must;
+        R.Domain = "syntactic";
+      }
     Result->Errors = Diags.render();
     Result->Ok = !Diags.hasErrors();
     finish(*Result, Start);

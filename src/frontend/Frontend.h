@@ -43,6 +43,11 @@ struct FrontendOptions {
   TargetConfig Target;
   /// Run the static undefinedness checker (kcc's compile-time half).
   bool StaticChecks = true;
+  /// Run the flow-sensitive static layer (static/FlowChecker.h) on top
+  /// of the syntactic checks: CFG + dataflow domains, producing must
+  /// findings (part of the verdict) and may hints (triage only). Only
+  /// consulted when StaticChecks is on.
+  bool FlowChecks = true;
 };
 
 /// Digest of every implementation-defined parameter (type sizes,

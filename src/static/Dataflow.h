@@ -1,0 +1,131 @@
+//===- static/Dataflow.h - Forward dataflow to fixpoint ---------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The generic forward-dataflow engine the flow-sensitive domains
+/// (static/Domains.h) share: round-robin sweeps over the CFG in reverse
+/// post-order, joining edge states into block-entry states until a
+/// fixpoint. A Domain supplies
+///
+///   using State = ...;                       // copyable abstract state
+///   State boundary();                        // state at function entry
+///   bool join(State &Into, const State &In); // lattice join, true if
+///                                            // Into changed
+///   void transferStmt(const Stmt *S, State &St);
+///   void transferCondEval(const Expr *Cond, State &St);
+///     // apply the side effects of *evaluating* a terminator condition
+///     // (assignments and ++/-- are legal inside conditions); runs once
+///     // per block, before any edge refinement
+///   bool transferCond(const Expr *Cond, bool Taken, State &St);
+///     // refine St along the (atomic) condition's Taken edge; false
+///     // means the edge is infeasible under St (never propagated)
+///   bool transferSwitchEdge(const Expr *Cond, const CaseStmt *Case,
+///                           State &St);
+///     // refine along one switch edge (Case == null: default edge);
+///     // false means the edge is infeasible under St
+///   void setWidening(bool On);
+///     // joins may over-approximate to guarantee termination; flipped
+///     // on after a fixed number of sweeps (infinite-height domains
+///     // widen, finite ones ignore it)
+///
+/// Statement transfer convention: a ForStmt appearing in a block's
+/// statement list stands for its increment expression only (the CFG
+/// places it in the dedicated increment block); Decl / Expr / Return
+/// statements mean themselves.
+///
+/// Determinism: sweeps visit blocks in RPO, edge joins happen in
+/// successor order, and states live in per-block slots — the fixpoint
+/// is a pure function of the CFG and the domain, never of scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_STATIC_DATAFLOW_H
+#define CUNDEF_STATIC_DATAFLOW_H
+
+#include "static/Cfg.h"
+
+#include <vector>
+
+namespace cundef {
+
+/// Per-block fixpoint states: the state at each block's entry, plus
+/// which blocks were ever reached (In[b] is meaningful only when
+/// Reached[b]; unreachable code is never analyzed, so it can never
+/// produce a finding).
+template <typename DomainT> struct DataflowResult {
+  std::vector<typename DomainT::State> In;
+  std::vector<uint8_t> Reached;
+
+  bool reached(BlockId B) const { return Reached[B] != 0; }
+};
+
+/// Sweeps after which the domain is asked to widen its joins. Finite
+/// domains converge well before this; the interval domain widens
+/// growing bounds to top so every loop still terminates.
+constexpr unsigned WideningSweep = 4;
+
+/// Backstop on total sweeps. With widening on, every supplied domain
+/// converges in a handful of sweeps; this bound only guards against a
+/// non-monotone domain bug turning into an infinite loop.
+constexpr unsigned MaxSweeps = 64;
+
+template <typename DomainT>
+DataflowResult<DomainT> runForwardDataflow(const Cfg &G, DomainT &Dom) {
+  DataflowResult<DomainT> R;
+  R.In.resize(G.size());
+  R.Reached.assign(G.size(), 0);
+  R.In[G.entry()] = Dom.boundary();
+  R.Reached[G.entry()] = 1;
+
+  bool Changed = true;
+  for (unsigned Sweep = 0; Changed && Sweep < MaxSweeps; ++Sweep) {
+    Dom.setWidening(Sweep >= WideningSweep);
+    Changed = false;
+    for (BlockId B : G.rpo()) {
+      if (!R.Reached[B])
+        continue;
+      const CfgBlock &Blk = G.block(B);
+      typename DomainT::State Out = R.In[B];
+      for (const Stmt *S : Blk.Stmts)
+        Dom.transferStmt(S, Out);
+      if (Blk.Cond)
+        Dom.transferCondEval(Blk.Cond, Out);
+      if (Blk.isSwitch()) {
+        for (size_t I = 0; I < Blk.Succs.size(); ++I) {
+          typename DomainT::State EdgeSt = Out;
+          if (Dom.transferSwitchEdge(Blk.Cond, Blk.SwitchCases[I], EdgeSt))
+            Changed |= propagate(R, Dom, Blk.Succs[I], EdgeSt);
+        }
+      } else if (Blk.isConditional()) {
+        typename DomainT::State TrueSt = Out;
+        if (Dom.transferCond(Blk.Cond, /*Taken=*/true, TrueSt))
+          Changed |= propagate(R, Dom, Blk.Succs[0], TrueSt);
+        typename DomainT::State FalseSt = std::move(Out);
+        if (Dom.transferCond(Blk.Cond, /*Taken=*/false, FalseSt))
+          Changed |= propagate(R, Dom, Blk.Succs[1], FalseSt);
+      } else {
+        for (BlockId S : Blk.Succs)
+          Changed |= propagate(R, Dom, S, Out);
+      }
+    }
+  }
+  return R;
+}
+
+template <typename DomainT>
+bool propagate(DataflowResult<DomainT> &R, DomainT &Dom, BlockId To,
+               const typename DomainT::State &St) {
+  if (!R.Reached[To]) {
+    R.Reached[To] = 1;
+    R.In[To] = St;
+    return true;
+  }
+  return Dom.join(R.In[To], St);
+}
+
+} // namespace cundef
+
+#endif // CUNDEF_STATIC_DATAFLOW_H

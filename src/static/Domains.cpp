@@ -1,0 +1,1847 @@
+//===- static/Domains.cpp - Flow-sensitive abstract domains ---------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "static/Domains.h"
+
+#include "sema/ConstEval.h"
+#include "support/StringInterner.h"
+#include "types/Type.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace cundef;
+
+//===----------------------------------------------------------------------===//
+// Shared pattern helpers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// The variable a bare DeclRef designates, or null.
+const VarDecl *varOf(const Expr *E) {
+  const auto *DR = dynCast<DeclRefExpr>(E);
+  return DR ? DR->Var : nullptr;
+}
+
+/// True when \p E is a constant null pointer expression — the purely
+/// syntactic checker already owns those sites (codes 47/48), so the
+/// flow domains stay silent on them.
+bool isConstNull(const Expr *E, const TypeContext &Types) {
+  while (true) {
+    if (const auto *IC = dynCast<ImplicitCastExpr>(E)) {
+      if (IC->CK == CastKind::LValueToRValue)
+        return false;
+      E = IC->Sub;
+      continue;
+    }
+    if (const auto *C = dynCast<CastExpr>(E)) {
+      E = C->Sub;
+      continue;
+    }
+    break;
+  }
+  auto V = constEvalInt(E, Types);
+  return V && *V == 0;
+}
+
+/// The object variable at the bottom of an lvalue designator, without
+/// crossing a dereference (-> or *): the base of `v`, `v.f`, `v[i]`,
+/// `v.f[i].g`, ... Null when the designator roots in a dereference.
+const VarDecl *designatorBase(const Expr *E) {
+  while (true) {
+    if (const auto *DR = dynCast<DeclRefExpr>(E))
+      return DR->Var;
+    if (const auto *M = dynCast<MemberExpr>(E)) {
+      if (M->IsArrow)
+        return nullptr;
+      E = M->Base;
+      continue;
+    }
+    if (const auto *IX = dynCast<IndexExpr>(E)) {
+      E = IX->Base;
+      continue;
+    }
+    if (const auto *IC = dynCast<ImplicitCastExpr>(E)) {
+      E = IC->Sub;
+      continue;
+    }
+    if (const auto *C = dynCast<CastExpr>(E)) {
+      E = C->Sub;
+      continue;
+    }
+    return nullptr;
+  }
+}
+
+/// Is \p V an object on the current frame (auto local or parameter)?
+bool isFrameLocal(const VarDecl *V) {
+  return V && !V->IsGlobal && V->Storage == StorageClass::None;
+}
+
+/// Collects every variable whose address escapes: explicit `&v` (through
+/// any member/index designator), or an array decaying to a pointer
+/// *value* (passed, assigned, arithmetic) rather than being indexed.
+class AddrTakenCollector {
+public:
+  explicit AddrTakenCollector(std::set<uint32_t> &Out) : Out(Out) {}
+
+  void walkStmt(const Stmt *S) {
+    if (!S)
+      return;
+    switch (S->Kind) {
+    case StmtKind::Compound:
+      for (const Stmt *Sub : cast<CompoundStmt>(S)->Body)
+        walkStmt(Sub);
+      return;
+    case StmtKind::Decl:
+      for (const VarDecl *V : cast<DeclStmt>(S)->Decls)
+        walkExpr(V->Init, false);
+      return;
+    case StmtKind::Expr:
+      walkExpr(cast<ExprStmt>(S)->E, false);
+      return;
+    case StmtKind::If: {
+      const auto *I = cast<IfStmt>(S);
+      walkExpr(I->Cond, false);
+      walkStmt(I->Then);
+      walkStmt(I->Else);
+      return;
+    }
+    case StmtKind::While: {
+      const auto *W = cast<WhileStmt>(S);
+      walkExpr(W->Cond, false);
+      walkStmt(W->Body);
+      return;
+    }
+    case StmtKind::Do: {
+      const auto *D = cast<DoStmt>(S);
+      walkStmt(D->Body);
+      walkExpr(D->Cond, false);
+      return;
+    }
+    case StmtKind::For: {
+      const auto *F = cast<ForStmt>(S);
+      walkStmt(F->Init);
+      walkExpr(F->Cond, false);
+      walkExpr(F->Inc, false);
+      walkStmt(F->Body);
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto *SW = cast<SwitchStmt>(S);
+      walkExpr(SW->Cond, false);
+      walkStmt(SW->Body);
+      return;
+    }
+    case StmtKind::Case:
+      walkStmt(cast<CaseStmt>(S)->Sub);
+      return;
+    case StmtKind::Default:
+      walkStmt(cast<DefaultStmt>(S)->Sub);
+      return;
+    case StmtKind::Label:
+      walkStmt(cast<LabelStmt>(S)->Sub);
+      return;
+    case StmtKind::Return:
+      walkExpr(cast<ReturnStmt>(S)->Value, false);
+      return;
+    default:
+      return;
+    }
+  }
+
+private:
+  std::set<uint32_t> &Out;
+
+  void mark(const Expr *Designator) {
+    if (const VarDecl *V = designatorBase(Designator))
+      Out.insert(V->DeclId);
+  }
+
+  /// \p IndexBase: this expression is the base operand of a subscript,
+  /// where array-to-pointer decay is just an access, not an escape.
+  void walkExpr(const Expr *E, bool IndexBase) {
+    if (!E)
+      return;
+    switch (E->Kind) {
+    case ExprKind::Unary: {
+      const auto *U = cast<UnaryExpr>(E);
+      if (U->Op == UnaryOp::AddrOf)
+        mark(U->Sub);
+      walkExpr(U->Sub, false);
+      return;
+    }
+    case ExprKind::ImplicitCast: {
+      const auto *IC = cast<ImplicitCastExpr>(E);
+      if (IC->CK == CastKind::ArrayDecay && !IndexBase)
+        mark(IC->Sub);
+      walkExpr(IC->Sub, false);
+      return;
+    }
+    case ExprKind::Cast:
+      walkExpr(cast<CastExpr>(E)->Sub, false);
+      return;
+    case ExprKind::Index: {
+      const auto *IX = cast<IndexExpr>(E);
+      walkExpr(IX->Base, true);
+      walkExpr(IX->Index, false);
+      return;
+    }
+    case ExprKind::Binary: {
+      const auto *B = cast<BinaryExpr>(E);
+      walkExpr(B->Lhs, false);
+      walkExpr(B->Rhs, false);
+      return;
+    }
+    case ExprKind::Assign: {
+      const auto *A = cast<AssignExpr>(E);
+      walkExpr(A->Lhs, false);
+      walkExpr(A->Rhs, false);
+      return;
+    }
+    case ExprKind::Cond: {
+      const auto *C = cast<CondExpr>(E);
+      walkExpr(C->Cond, false);
+      walkExpr(C->Then, false);
+      walkExpr(C->Else, false);
+      return;
+    }
+    case ExprKind::Call: {
+      const auto *C = cast<CallExpr>(E);
+      walkExpr(C->Callee, false);
+      for (const Expr *Arg : C->Args)
+        walkExpr(Arg, false);
+      return;
+    }
+    case ExprKind::Member:
+      walkExpr(cast<MemberExpr>(E)->Base, false);
+      return;
+    case ExprKind::InitList:
+      for (const Expr *I : cast<InitListExpr>(E)->Inits)
+        walkExpr(I, false);
+      return;
+    default:
+      return; // literals, declrefs, sizeof (unevaluated)
+    }
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FlowContext
+//===----------------------------------------------------------------------===//
+
+FlowContext::FlowContext(AstContext &Ctx, const FunctionDecl *Fn)
+    : Ctx(Ctx), Fn(Fn), FnName(Ctx.Interner.str(Fn->Name)) {
+  AddrTakenCollector Collector(AddrTaken);
+  Collector.walkStmt(Fn->Body);
+}
+
+void FlowContext::must(UbKind Kind, SourceLoc Loc, const char *Domain) {
+  // Inside a conditionally evaluated subexpression (`c && e`, `c ? a
+  // : b` in value position) nothing is certain: demote to a hint.
+  if (CondDepth > 0) {
+    may(Kind, Loc, Domain);
+    return;
+  }
+  emit(Kind, Loc, Domain, FindingVerdict::Must);
+}
+
+void FlowContext::may(UbKind Kind, SourceLoc Loc, const char *Domain) {
+  emit(Kind, Loc, Domain, FindingVerdict::May);
+}
+
+void FlowContext::emit(UbKind Kind, SourceLoc Loc, const char *Domain,
+                       FindingVerdict Verdict) {
+  if (!Reporting)
+    return;
+  auto Key = std::make_tuple(Loc.Line, Loc.Col, static_cast<uint16_t>(Kind),
+                             static_cast<uint8_t>(Verdict));
+  if (!Seen.insert(Key).second)
+    return;
+  UbReport R(Kind, ubShortDescription(Kind), FnName, Loc,
+             /*StaticFinding=*/true);
+  R.Verdict = Verdict;
+  R.Domain = Domain;
+  (Verdict == FindingVerdict::Must ? MustFindings : MayFindings)
+      .push_back(std::move(R));
+}
+
+static void sortFindings(std::vector<UbReport> &Findings) {
+  std::sort(Findings.begin(), Findings.end(),
+            [](const UbReport &A, const UbReport &B) {
+              if (A.Loc.Line != B.Loc.Line)
+                return A.Loc.Line < B.Loc.Line;
+              if (A.Loc.Col != B.Loc.Col)
+                return A.Loc.Col < B.Loc.Col;
+              if (A.Kind != B.Kind)
+                return A.Kind < B.Kind;
+              return std::strcmp(A.Domain, B.Domain) < 0;
+            });
+}
+
+std::vector<UbReport> FlowContext::takeMust() {
+  sortFindings(MustFindings);
+  return std::move(MustFindings);
+}
+
+std::vector<UbReport> FlowContext::takeHints() {
+  sortFindings(MayFindings);
+  return std::move(MayFindings);
+}
+
+//===----------------------------------------------------------------------===//
+// NullnessDomain
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr const char *NullnessName = "nullness";
+
+PtrVal lookupPtr(const NullnessDomain::State &St, const VarDecl *V) {
+  auto It = St.find(V->DeclId);
+  return It == St.end() ? PtrVal{} : It->second;
+}
+
+void setPtr(NullnessDomain::State &St, const VarDecl *V, PtrVal Val) {
+  if (Val == PtrVal{})
+    St.erase(V->DeclId);
+  else
+    St[V->DeclId] = Val;
+}
+
+PtrVal joinPtrVal(PtrVal A, PtrVal B) {
+  PtrVal R;
+  if (A.Kind == B.Kind)
+    R.Kind = A.Kind;
+  else if (A.Kind == PtrVal::Null || B.Kind == PtrVal::Null ||
+           A.Kind == PtrVal::MaybeNull || B.Kind == PtrVal::MaybeNull)
+    R.Kind = PtrVal::MaybeNull;
+  else
+    R.Kind = PtrVal::Unknown; // NonNull vs Unknown
+  R.Local = A.Local && B.Local;
+  R.ConstTarget = A.ConstTarget && B.ConstTarget;
+  return R;
+}
+
+/// Functions modeled as returning possibly-null pointers; an unchecked
+/// dereference of their result becomes a may-hint.
+bool returnsMaybeNull(const std::string &Name) {
+  static const char *const Names[] = {"malloc", "calloc",  "realloc",
+                                      "getenv", "fopen",   "strchr",
+                                      "strrchr", "strstr", "memchr"};
+  for (const char *N : Names)
+    if (Name == N)
+      return true;
+  return false;
+}
+
+} // namespace
+
+bool NullnessDomain::tracked(const VarDecl *V) const {
+  return V && V->Ty.Ty && V->Ty.Ty->isPointer() && isFrameLocal(V) &&
+         !FC.addrTaken(V);
+}
+
+bool NullnessDomain::join(State &Into, const State &In) {
+  // Absent means Unknown, which is *not* top (Unknown joined with Null
+  // is MaybeNull), so iterate the union of keys.
+  std::vector<uint32_t> Keys;
+  Keys.reserve(Into.size() + In.size());
+  for (const auto &KV : Into)
+    Keys.push_back(KV.first);
+  for (const auto &KV : In)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+
+  bool Changed = false;
+  for (uint32_t K : Keys) {
+    auto AIt = Into.find(K);
+    PtrVal A = AIt == Into.end() ? PtrVal{} : AIt->second;
+    auto BIt = In.find(K);
+    PtrVal B = BIt == In.end() ? PtrVal{} : BIt->second;
+    PtrVal J = joinPtrVal(A, B);
+    if (J != A) {
+      Changed = true;
+      if (J == PtrVal{})
+        Into.erase(K);
+      else
+        Into[K] = J;
+    }
+  }
+  return Changed;
+}
+
+void NullnessDomain::transferStmt(const Stmt *S, State &St) {
+  switch (S->Kind) {
+  case StmtKind::Decl:
+    for (const VarDecl *V : cast<DeclStmt>(S)->Decls) {
+      if (!V->Init)
+        continue;
+      PtrVal Init = evalPtr(V->Init, St);
+      if (tracked(V))
+        setPtr(St, V, Init);
+    }
+    return;
+  case StmtKind::Expr:
+    evalPtr(cast<ExprStmt>(S)->E, St);
+    return;
+  case StmtKind::Return: {
+    const Expr *Val = cast<ReturnStmt>(S)->Value;
+    if (!Val)
+      return;
+    PtrVal V = evalPtr(Val, St);
+    if (Val->Ty.Ty && Val->Ty.Ty->isPointer() && V.Kind == PtrVal::NonNull &&
+        V.Local)
+      FC.must(UbKind::StackAddressEscape, Val->Loc, NullnessName);
+    return;
+  }
+  case StmtKind::For: // stands for the increment expression (Cfg.cpp)
+    evalPtr(cast<ForStmt>(S)->Inc, St);
+    return;
+  default:
+    return;
+  }
+}
+
+void NullnessDomain::transferCondEval(const Expr *Cond, State &St) {
+  evalPtr(Cond, St);
+}
+
+void NullnessDomain::walk(const Expr *E, State &St) { (void)evalPtr(E, St); }
+
+void NullnessDomain::checkDeref(const Expr *PtrOperand, State &St,
+                                bool IsWrite) {
+  PtrVal V = evalPtr(PtrOperand, St);
+  if (!FC.reporting())
+    return;
+  SourceLoc Loc = PtrOperand->Loc;
+  if (V.Kind == PtrVal::Null) {
+    if (!isConstNull(PtrOperand, FC.Ctx.Types))
+      FC.must(UbKind::DerefNullPointer, Loc, NullnessName);
+  } else if (V.Kind == PtrVal::MaybeNull) {
+    FC.may(UbKind::DerefNullPointer, Loc, NullnessName);
+  }
+  if (IsWrite && V.ConstTarget &&
+      (V.Kind == PtrVal::NonNull || V.Kind == PtrVal::MaybeNull))
+    FC.must(UbKind::ConstWriteStatic, Loc, NullnessName);
+}
+
+/// Write-side checks for a store destination that is not a tracked
+/// variable: dereferencing stores check the pointer they go through.
+void NullnessDomain::storeTo(const Expr *Lhs, State &St) {
+  switch (Lhs->Kind) {
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(Lhs);
+    if (U->Op == UnaryOp::Deref) {
+      checkDeref(U->Sub, St, /*IsWrite=*/true);
+      return;
+    }
+    walk(U->Sub, St);
+    return;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(Lhs);
+    if (M->IsArrow)
+      checkDeref(M->Base, St, /*IsWrite=*/true);
+    else
+      storeTo(M->Base, St);
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *IX = cast<IndexExpr>(Lhs);
+    walk(IX->Index, St);
+    if (const auto *IC = dynCast<ImplicitCastExpr>(IX->Base);
+        IC && IC->CK == CastKind::ArrayDecay)
+      storeTo(IC->Sub, St); // array element store — no pointer deref
+    else
+      checkDeref(IX->Base, St, /*IsWrite=*/true);
+    return;
+  }
+  case ExprKind::ImplicitCast:
+    storeTo(cast<ImplicitCastExpr>(Lhs)->Sub, St);
+    return;
+  case ExprKind::Cast:
+    storeTo(cast<CastExpr>(Lhs)->Sub, St);
+    return;
+  case ExprKind::DeclRef:
+    return; // plain variable store, no dereference involved
+  default:
+    walk(Lhs, St);
+    return;
+  }
+}
+
+PtrVal NullnessDomain::evalPtr(const Expr *E, State &St) {
+  if (!E)
+    return {};
+  switch (E->Kind) {
+  case ExprKind::IntLit:
+    return cast<IntLitExpr>(E)->Value == 0 ? PtrVal{PtrVal::Null} : PtrVal{};
+  case ExprKind::StringLit:
+    return PtrVal{PtrVal::NonNull};
+  case ExprKind::DeclRef: {
+    // A function designator (decays to a non-null function pointer);
+    // bare object designators carry no pointer *value* themselves.
+    const auto *DR = cast<DeclRefExpr>(E);
+    return DR->Fn ? PtrVal{PtrVal::NonNull} : PtrVal{};
+  }
+  case ExprKind::ImplicitCast:
+  case ExprKind::Cast: {
+    CastKind CK;
+    const Expr *Sub;
+    if (const auto *IC = dynCast<ImplicitCastExpr>(E)) {
+      CK = IC->CK;
+      Sub = IC->Sub;
+    } else {
+      CK = cast<CastExpr>(E)->CK;
+      Sub = cast<CastExpr>(E)->Sub;
+    }
+    switch (CK) {
+    case CastKind::NullToPointer:
+      return PtrVal{PtrVal::Null};
+    case CastKind::FunctionDecay:
+      return PtrVal{PtrVal::NonNull};
+    case CastKind::ArrayDecay: {
+      PtrVal R{PtrVal::NonNull};
+      if (const VarDecl *V = designatorBase(Sub)) {
+        R.Local = isFrameLocal(V);
+        // Walk subscript expressions inside the designator for their
+        // side effects / checks.
+        walk(Sub, St);
+      } else {
+        walk(Sub, St);
+      }
+      const Type *ArrTy = Sub->Ty.Ty;
+      R.ConstTarget = Sub->Ty.isConst() ||
+                      (ArrTy && ArrTy->isArray() && ArrTy->Pointee.isConst());
+      if (isa<StringLitExpr>(Sub))
+        R.Local = false;
+      return R;
+    }
+    case CastKind::LValueToRValue: {
+      if (const VarDecl *V = varOf(Sub)) {
+        if (tracked(V))
+          return lookupPtr(St, V);
+        return {};
+      }
+      walk(Sub, St); // loads through derefs check the pointer below
+      return {};
+    }
+    case CastKind::PointerCast:
+      return evalPtr(Sub, St); // value (and flags) survive the cast
+    case CastKind::IntToPointer: {
+      auto V = constEvalInt(Sub, FC.Ctx.Types);
+      if (V && *V == 0)
+        return PtrVal{PtrVal::Null};
+      walk(Sub, St);
+      return {};
+    }
+    default:
+      walk(Sub, St);
+      return {};
+    }
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    switch (U->Op) {
+    case UnaryOp::AddrOf: {
+      // &*p is just p (C11 6.5.3.2p3, no access happens).
+      if (const auto *Inner = dynCast<UnaryExpr>(U->Sub);
+          Inner && Inner->Op == UnaryOp::Deref)
+        return evalPtr(Inner->Sub, St);
+      walk(U->Sub, St);
+      PtrVal R{PtrVal::NonNull};
+      if (const VarDecl *V = designatorBase(U->Sub))
+        R.Local = isFrameLocal(V);
+      R.ConstTarget = U->Sub->Ty.isConst();
+      return R;
+    }
+    case UnaryOp::Deref:
+      checkDeref(U->Sub, St, /*IsWrite=*/false);
+      return {};
+    case UnaryOp::PreInc:
+    case UnaryOp::PostInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostDec: {
+      const VarDecl *V = varOf(U->Sub);
+      if (V && tracked(V)) {
+        PtrVal Cur = lookupPtr(St, V);
+        PtrVal Next = Cur.Kind == PtrVal::NonNull ? Cur : PtrVal{};
+        setPtr(St, V, Next);
+        bool IsPre = U->Op == UnaryOp::PreInc || U->Op == UnaryOp::PreDec;
+        return IsPre ? Next : Cur;
+      }
+      walk(U->Sub, St);
+      return {};
+    }
+    default:
+      walk(U->Sub, St);
+      return {};
+    }
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->Op == BinaryOp::Comma) {
+      walk(B->Lhs, St);
+      return evalPtr(B->Rhs, St);
+    }
+    if (B->Op == BinaryOp::LogAnd || B->Op == BinaryOp::LogOr) {
+      walk(B->Lhs, St);
+      FC.pushCond(); // the right operand may never evaluate
+      walk(B->Rhs, St);
+      FC.popCond();
+      return {};
+    }
+    if (B->Op == BinaryOp::Add || B->Op == BinaryOp::Sub) {
+      bool LhsPtr = B->Lhs->Ty.Ty && B->Lhs->Ty.Ty->isPointer();
+      bool RhsPtr = B->Rhs->Ty.Ty && B->Rhs->Ty.Ty->isPointer();
+      PtrVal P;
+      if (LhsPtr) {
+        P = evalPtr(B->Lhs, St);
+        walk(B->Rhs, St);
+      } else if (RhsPtr) {
+        walk(B->Lhs, St);
+        P = evalPtr(B->Rhs, St);
+      } else {
+        walk(B->Lhs, St);
+        walk(B->Rhs, St);
+        return {};
+      }
+      // Arithmetic within an object keeps it non-null; anything else
+      // (null + k is itself UB, but dynamically detected) goes to top.
+      return P.Kind == PtrVal::NonNull ? P : PtrVal{};
+    }
+    walk(B->Lhs, St);
+    walk(B->Rhs, St);
+    return {};
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    bool LhsPtr = A->Lhs->Ty.Ty && A->Lhs->Ty.Ty->isPointer();
+    PtrVal RV;
+    if (LhsPtr)
+      RV = evalPtr(A->Rhs, St);
+    else
+      walk(A->Rhs, St);
+    const VarDecl *V = varOf(A->Lhs);
+    if (V && tracked(V)) {
+      if (A->Op == AssignOp::Assign) {
+        setPtr(St, V, RV);
+        return RV;
+      }
+      // p += i keeps a non-null pointer non-null.
+      PtrVal Cur = lookupPtr(St, V);
+      PtrVal Next = Cur.Kind == PtrVal::NonNull ? Cur : PtrVal{};
+      setPtr(St, V, Next);
+      return Next;
+    }
+    storeTo(A->Lhs, St);
+    return LhsPtr && A->Op == AssignOp::Assign ? RV : PtrVal{};
+  }
+  case ExprKind::Cond: {
+    const auto *C = cast<CondExpr>(E);
+    walk(C->Cond, St);
+    FC.pushCond();
+    PtrVal T = evalPtr(C->Then, St);
+    PtrVal F = evalPtr(C->Else, St);
+    FC.popCond();
+    return joinPtrVal(T, F);
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    walk(C->Callee, St);
+    for (const Expr *Arg : C->Args)
+      walk(Arg, St);
+    const Expr *Callee = C->Callee;
+    while (const auto *IC = dynCast<ImplicitCastExpr>(Callee))
+      Callee = IC->Sub;
+    if (const auto *DR = dynCast<DeclRefExpr>(Callee);
+        DR && DR->Fn && returnsMaybeNull(FC.Ctx.Interner.str(DR->Fn->Name)))
+      return PtrVal{PtrVal::MaybeNull};
+    return {};
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    if (M->IsArrow)
+      checkDeref(M->Base, St, /*IsWrite=*/false);
+    else
+      walk(M->Base, St);
+    return {};
+  }
+  case ExprKind::Index: {
+    const auto *IX = cast<IndexExpr>(E);
+    walk(IX->Index, St);
+    if (const auto *IC = dynCast<ImplicitCastExpr>(IX->Base);
+        IC && IC->CK == CastKind::ArrayDecay)
+      walk(IC->Sub, St); // direct array access, no pointer involved
+    else
+      checkDeref(IX->Base, St, /*IsWrite=*/false);
+    return {};
+  }
+  case ExprKind::InitList:
+    for (const Expr *I : cast<InitListExpr>(E)->Inits)
+      walk(I, St);
+    return {};
+  default:
+    return {}; // literals, sizeof (unevaluated)
+  }
+}
+
+namespace {
+
+/// Matches `(ToBool)? (LValueToRValue) declref-of-tracked-pointer`.
+const VarDecl *loadedPtrVarImpl(const Expr *E) {
+  while (const auto *IC = dynCast<ImplicitCastExpr>(E)) {
+    if (IC->CK != CastKind::ToBool && IC->CK != CastKind::PointerCast)
+      break;
+    E = IC->Sub;
+  }
+  const auto *Load = dynCast<ImplicitCastExpr>(E);
+  if (!Load || Load->CK != CastKind::LValueToRValue)
+    return nullptr;
+  const VarDecl *V = varOf(Load->Sub);
+  return V && V->Ty.Ty && V->Ty.Ty->isPointer() ? V : nullptr;
+}
+
+} // namespace
+
+bool NullnessDomain::refine(const VarDecl *V, bool ToNonNull, State &St) {
+  PtrVal Cur = lookupPtr(St, V);
+  if (ToNonNull) {
+    if (Cur.Kind == PtrVal::Null)
+      return false; // infeasible edge
+    if (Cur.Kind != PtrVal::NonNull) {
+      Cur.Kind = PtrVal::NonNull;
+      setPtr(St, V, Cur);
+    }
+  } else {
+    if (Cur.Kind == PtrVal::NonNull)
+      return false;
+    setPtr(St, V, PtrVal{PtrVal::Null});
+  }
+  return true;
+}
+
+bool NullnessDomain::transferCond(const Expr *Cond, bool Taken, State &St) {
+  const Expr *E = Cond;
+  while (const auto *IC = dynCast<ImplicitCastExpr>(E)) {
+    if (IC->CK != CastKind::ToBool)
+      break;
+    E = IC->Sub;
+  }
+  // if (p) / while (p): p is non-null on the true edge, null otherwise.
+  if (const VarDecl *V = loadedPtrVarImpl(E)) {
+    if (tracked(V))
+      return refine(V, Taken, St);
+    return true;
+  }
+  // if ((p = e)): refine the assigned variable (the side effect already
+  // ran in transferCondEval).
+  if (const auto *A = dynCast<AssignExpr>(E);
+      A && A->Op == AssignOp::Assign) {
+    const VarDecl *V = varOf(A->Lhs);
+    if (V && tracked(V) && V->Ty.Ty->isPointer())
+      return refine(V, Taken, St);
+    return true;
+  }
+  // p == 0 / p != 0 (either operand order).
+  if (const auto *B = dynCast<BinaryExpr>(E);
+      B && (B->Op == BinaryOp::Eq || B->Op == BinaryOp::Ne)) {
+    const VarDecl *V = nullptr;
+    if (isConstNull(B->Rhs, FC.Ctx.Types))
+      V = loadedPtrVarImpl(B->Lhs);
+    else if (isConstNull(B->Lhs, FC.Ctx.Types))
+      V = loadedPtrVarImpl(B->Rhs);
+    if (V && tracked(V)) {
+      bool WantNull = (B->Op == BinaryOp::Eq) == Taken;
+      return refine(V, !WantNull, St);
+    }
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// InitDomain
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr const char *InitName = "init";
+constexpr uint8_t IvUninit = 0;
+constexpr uint8_t IvMaybe = 1;
+
+uint64_t initKey(const VarDecl *V, int FieldIdx) {
+  return (static_cast<uint64_t>(V->DeclId) << 16) +
+         static_cast<uint64_t>(FieldIdx + 1);
+}
+
+} // namespace
+
+InitDomain::Track InitDomain::trackKind(const VarDecl *V) const {
+  if (!V || V->IsGlobal || V->IsParam || V->Storage != StorageClass::None ||
+      FC.addrTaken(V) || !V->Ty.Ty)
+    return Track::No;
+  const Type *Ty = V->Ty.Ty;
+  if (Ty->isScalar() || Ty->isArray())
+    return Track::Whole;
+  if (Ty->isRecord() && Ty->Record && Ty->Record->Complete &&
+      Ty->Record->Fields.size() < 0xFFFE)
+    return Track::PerField;
+  return Track::No;
+}
+
+bool InitDomain::join(State &Into, const State &In) {
+  // Absent = Init, and join(Init, Uninit) = Maybe, so absent keys on
+  // either side still contribute.
+  std::vector<uint64_t> Keys;
+  Keys.reserve(Into.size() + In.size());
+  for (const auto &KV : Into)
+    Keys.push_back(KV.first);
+  for (const auto &KV : In)
+    Keys.push_back(KV.first);
+  std::sort(Keys.begin(), Keys.end());
+  Keys.erase(std::unique(Keys.begin(), Keys.end()), Keys.end());
+
+  constexpr uint8_t IvInit = 2; // virtual value of an absent key
+  bool Changed = false;
+  for (uint64_t K : Keys) {
+    auto AIt = Into.find(K);
+    uint8_t A = AIt == Into.end() ? IvInit : AIt->second;
+    auto BIt = In.find(K);
+    uint8_t B = BIt == In.end() ? IvInit : BIt->second;
+    uint8_t J = A == B ? A : IvMaybe;
+    if (J != A) {
+      Changed = true;
+      if (J == IvInit)
+        Into.erase(K);
+      else
+        Into[K] = J;
+    }
+  }
+  return Changed;
+}
+
+void InitDomain::declare(const VarDecl *V, State &St) {
+  Track T = trackKind(V);
+  if (T == Track::Whole)
+    St[initKey(V, -1)] = IvUninit;
+  else if (T == Track::PerField)
+    for (size_t I = 0; I < V->Ty.Ty->Record->Fields.size(); ++I)
+      St[initKey(V, static_cast<int>(I))] = IvUninit;
+}
+
+void InitDomain::setAllInit(const VarDecl *V, State &St) {
+  Track T = trackKind(V);
+  if (T == Track::Whole)
+    St.erase(initKey(V, -1));
+  else if (T == Track::PerField)
+    for (size_t I = 0; I < V->Ty.Ty->Record->Fields.size(); ++I)
+      St.erase(initKey(V, static_cast<int>(I)));
+}
+
+void InitDomain::transferStmt(const Stmt *S, State &St) {
+  switch (S->Kind) {
+  case StmtKind::Decl:
+    for (const VarDecl *V : cast<DeclStmt>(S)->Decls) {
+      if (V->Init) {
+        walk(V->Init, St);
+        // Any initializer fully initializes the object: remaining
+        // aggregate members are implicitly zeroed (C11 6.7.9p19).
+        setAllInit(V, St);
+      } else {
+        declare(V, St);
+      }
+    }
+    return;
+  case StmtKind::Expr:
+    walk(cast<ExprStmt>(S)->E, St);
+    return;
+  case StmtKind::Return:
+    walk(cast<ReturnStmt>(S)->Value, St);
+    return;
+  case StmtKind::For:
+    walk(cast<ForStmt>(S)->Inc, St);
+    return;
+  default:
+    return;
+  }
+}
+
+void InitDomain::checkRead(uint64_t Key, bool IsPointer, SourceLoc Loc,
+                           State &St) {
+  auto It = St.find(Key);
+  if (It == St.end())
+    return;
+  UbKind Kind = IsPointer ? UbKind::UninitializedPointerUse
+                          : UbKind::ReadIndeterminateValue;
+  if (It->second == IvUninit)
+    FC.must(Kind, Loc, InitName);
+  else
+    FC.may(Kind, Loc, InitName);
+}
+
+void InitDomain::storeTo(const Expr *Lhs, bool Compound, State &St) {
+  switch (Lhs->Kind) {
+  case ExprKind::DeclRef: {
+    const VarDecl *V = varOf(Lhs);
+    Track T = trackKind(V);
+    if (T == Track::No)
+      return;
+    if (Compound && T == Track::Whole)
+      checkRead(initKey(V, -1), V->Ty.Ty->isPointer(), Lhs->Loc, St);
+    setAllInit(V, St);
+    return;
+  }
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(Lhs);
+    if (!M->IsArrow && M->FieldIdx >= 0) {
+      if (const VarDecl *V = varOf(M->Base);
+          V && trackKind(V) == Track::PerField) {
+        uint64_t Key = initKey(V, M->FieldIdx);
+        if (Compound) {
+          const Type *FTy =
+              V->Ty.Ty->Record->Fields[M->FieldIdx].Ty.Ty;
+          checkRead(Key, FTy && FTy->isPointer(), M->Loc, St);
+        }
+        St.erase(Key);
+        return;
+      }
+    }
+    walk(M->Base, St); // p->f: reads the pointer
+    return;
+  }
+  case ExprKind::Index: {
+    const auto *IX = cast<IndexExpr>(Lhs);
+    walk(IX->Index, St);
+    if (const auto *IC = dynCast<ImplicitCastExpr>(IX->Base);
+        IC && IC->CK == CastKind::ArrayDecay) {
+      if (const VarDecl *V = varOf(IC->Sub);
+          V && trackKind(V) == Track::Whole) {
+        uint64_t Key = initKey(V, -1);
+        if (Compound)
+          checkRead(Key, false, IX->Loc, St);
+        // One element written; treat the array as initialized (sound
+        // for false-positive avoidance, reads elsewhere stay dynamic).
+        St.erase(Key);
+        return;
+      }
+    }
+    walk(IX->Base, St);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(Lhs);
+    walk(U->Sub, St); // *p = ...: reads p
+    return;
+  }
+  case ExprKind::ImplicitCast:
+    storeTo(cast<ImplicitCastExpr>(Lhs)->Sub, Compound, St);
+    return;
+  case ExprKind::Cast:
+    storeTo(cast<CastExpr>(Lhs)->Sub, Compound, St);
+    return;
+  default:
+    walk(Lhs, St);
+    return;
+  }
+}
+
+void InitDomain::walk(const Expr *E, State &St) {
+  if (!E)
+    return;
+  switch (E->Kind) {
+  case ExprKind::ImplicitCast: {
+    const auto *IC = cast<ImplicitCastExpr>(E);
+    if (IC->CK != CastKind::LValueToRValue) {
+      walk(IC->Sub, St);
+      return;
+    }
+    const Expr *D = IC->Sub;
+    if (const VarDecl *V = varOf(D)) {
+      if (trackKind(V) == Track::Whole)
+        checkRead(initKey(V, -1), V->Ty.Ty->isPointer(), D->Loc, St);
+      return;
+    }
+    if (const auto *M = dynCast<MemberExpr>(D);
+        M && !M->IsArrow && M->FieldIdx >= 0) {
+      if (const VarDecl *V = varOf(M->Base);
+          V && trackKind(V) == Track::PerField) {
+        const Type *FTy = V->Ty.Ty->Record->Fields[M->FieldIdx].Ty.Ty;
+        checkRead(initKey(V, M->FieldIdx), FTy && FTy->isPointer(), M->Loc,
+                  St);
+        return;
+      }
+    }
+    if (const auto *IX = dynCast<IndexExpr>(D)) {
+      if (const auto *Decay = dynCast<ImplicitCastExpr>(IX->Base);
+          Decay && Decay->CK == CastKind::ArrayDecay) {
+        if (const VarDecl *V = varOf(Decay->Sub);
+            V && trackKind(V) == Track::Whole) {
+          walk(IX->Index, St);
+          const Type *ElemTy = V->Ty.Ty->Pointee.Ty;
+          checkRead(initKey(V, -1), ElemTy && ElemTy->isPointer(), IX->Loc,
+                    St);
+          return;
+        }
+      }
+    }
+    walk(D, St);
+    return;
+  }
+  case ExprKind::Cast:
+    walk(cast<CastExpr>(E)->Sub, St);
+    return;
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    walk(A->Rhs, St);
+    storeTo(A->Lhs, A->Op != AssignOp::Assign, St);
+    return;
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    switch (U->Op) {
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec:
+      storeTo(U->Sub, /*Compound=*/true, St);
+      return;
+    default:
+      walk(U->Sub, St);
+      return;
+    }
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    walk(B->Lhs, St);
+    if (B->Op == BinaryOp::LogAnd || B->Op == BinaryOp::LogOr) {
+      FC.pushCond();
+      walk(B->Rhs, St);
+      FC.popCond();
+    } else {
+      walk(B->Rhs, St);
+    }
+    return;
+  }
+  case ExprKind::Cond: {
+    const auto *C = cast<CondExpr>(E);
+    walk(C->Cond, St);
+    FC.pushCond();
+    walk(C->Then, St);
+    walk(C->Else, St);
+    FC.popCond();
+    return;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    walk(C->Callee, St);
+    for (const Expr *Arg : C->Args)
+      walk(Arg, St);
+    return;
+  }
+  case ExprKind::Member:
+    walk(cast<MemberExpr>(E)->Base, St);
+    return;
+  case ExprKind::Index: {
+    const auto *IX = cast<IndexExpr>(E);
+    walk(IX->Base, St);
+    walk(IX->Index, St);
+    return;
+  }
+  case ExprKind::InitList:
+    for (const Expr *I : cast<InitListExpr>(E)->Inits)
+      walk(I, St);
+    return;
+  default:
+    return; // literals, declrefs without load, sizeof (unevaluated)
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// IntervalDomain
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr const char *IntervalName = "interval";
+using I128 = __int128;
+
+std::optional<Interval> lookupItv(const IntervalDomain::State &St,
+                                  const VarDecl *V) {
+  auto It = St.find(V->DeclId);
+  if (It == St.end())
+    return std::nullopt;
+  return It->second;
+}
+
+void setItv(IntervalDomain::State &St, const VarDecl *V,
+            std::optional<Interval> Val) {
+  if (Val)
+    St[V->DeclId] = *Val;
+  else
+    St.erase(V->DeclId);
+}
+
+std::optional<Interval> clampI128(I128 Lo, I128 Hi,
+                                  const std::optional<Interval> &Range) {
+  if (!Range)
+    return std::nullopt;
+  if (Lo < Range->Lo || Hi > Range->Hi)
+    return std::nullopt;
+  return Interval{static_cast<int64_t>(Lo), static_cast<int64_t>(Hi)};
+}
+
+BinaryOp binOpOfAssign(AssignOp Op) {
+  switch (Op) {
+  case AssignOp::MulAssign:
+    return BinaryOp::Mul;
+  case AssignOp::DivAssign:
+    return BinaryOp::Div;
+  case AssignOp::RemAssign:
+    return BinaryOp::Rem;
+  case AssignOp::AddAssign:
+    return BinaryOp::Add;
+  case AssignOp::SubAssign:
+    return BinaryOp::Sub;
+  case AssignOp::ShlAssign:
+    return BinaryOp::Shl;
+  case AssignOp::ShrAssign:
+    return BinaryOp::Shr;
+  case AssignOp::AndAssign:
+    return BinaryOp::BitAnd;
+  case AssignOp::XorAssign:
+    return BinaryOp::BitXor;
+  case AssignOp::OrAssign:
+    return BinaryOp::BitOr;
+  case AssignOp::Assign:
+    break;
+  }
+  return BinaryOp::Add; // unreachable
+}
+
+} // namespace
+
+bool IntervalDomain::tracked(const VarDecl *V) const {
+  return V && isFrameLocal(V) && !FC.addrTaken(V) && V->Ty.Ty &&
+         V->Ty.Ty->isIntegral() && typeRange(V->Ty.Ty).has_value();
+}
+
+std::optional<Interval> IntervalDomain::typeRange(const Type *Ty) const {
+  if (!Ty || !Ty->isIntegral())
+    return std::nullopt;
+  if (Ty->isBool())
+    return Interval{0, 1};
+  unsigned W = FC.Ctx.Types.bitWidthOf(Ty);
+  if (W == 0 || W > 64)
+    return std::nullopt;
+  if (Ty->isUnsignedInteger(FC.Ctx.Types.config())) {
+    if (W >= 64)
+      return std::nullopt; // uint64 max not representable in int64
+    return Interval{0, (int64_t(1) << W) - 1};
+  }
+  int64_t Max = W == 64 ? INT64_MAX : (int64_t(1) << (W - 1)) - 1;
+  return Interval{-Max - 1, Max};
+}
+
+bool IntervalDomain::join(State &Into, const State &In) {
+  // Absent = top, which absorbs: keys missing on either side go to top.
+  bool Changed = false;
+  for (auto It = Into.begin(); It != Into.end();) {
+    auto BIt = In.find(It->first);
+    if (BIt == In.end()) {
+      It = Into.erase(It);
+      Changed = true;
+      continue;
+    }
+    Interval Hull{std::min(It->second.Lo, BIt->second.Lo),
+                  std::max(It->second.Hi, BIt->second.Hi)};
+    if (!(Hull == It->second)) {
+      Changed = true;
+      if (Widening) { // a growing bound goes straight to top
+        It = Into.erase(It);
+        continue;
+      }
+      It->second = Hull;
+    }
+    ++It;
+  }
+  return Changed;
+}
+
+void IntervalDomain::transferStmt(const Stmt *S, State &St) {
+  switch (S->Kind) {
+  case StmtKind::Decl:
+    for (const VarDecl *V : cast<DeclStmt>(S)->Decls) {
+      if (!V->Init) {
+        if (tracked(V))
+          St.erase(V->DeclId); // fresh indeterminate value: top
+        continue;
+      }
+      auto Init = eval(V->Init, St);
+      if (tracked(V) && !isa<InitListExpr>(V->Init)) {
+        // The initializer converts to the variable's type.
+        auto TR = typeRange(V->Ty.Ty);
+        if (Init && TR && Init->Lo >= TR->Lo && Init->Hi <= TR->Hi)
+          setItv(St, V, Init);
+        else if (Init && Init->singleton())
+          setItv(St, V,
+                 Interval{truncateToType(Init->Lo, V->Ty.Ty, FC.Ctx.Types),
+                          truncateToType(Init->Lo, V->Ty.Ty, FC.Ctx.Types)});
+        else
+          setItv(St, V, std::nullopt);
+      }
+    }
+    return;
+  case StmtKind::Expr:
+    eval(cast<ExprStmt>(S)->E, St);
+    return;
+  case StmtKind::Return:
+    eval(cast<ReturnStmt>(S)->Value, St);
+    return;
+  case StmtKind::For:
+    eval(cast<ForStmt>(S)->Inc, St);
+    return;
+  default:
+    return;
+  }
+}
+
+void IntervalDomain::checkIndex(const IndexExpr *IX, bool IsWrite,
+                                State &St) {
+  auto II = eval(IX->Index, St);
+  const Expr *Base = IX->Base;
+  uint64_t N = 0;
+  bool Known = false;
+  if (const auto *IC = dynCast<ImplicitCastExpr>(Base);
+      IC && IC->CK == CastKind::ArrayDecay) {
+    const Type *ArrTy = IC->Sub->Ty.Ty;
+    if (ArrTy && ArrTy->isArray() && ArrTy->ArraySizeKnown) {
+      Known = true;
+      N = ArrTy->ArraySize;
+    }
+  } else {
+    eval(Base, St); // pointer base: no static extent, still walk it
+  }
+  if (!Known || !II)
+    return;
+  // Mirror the machine's code assignment (C11 6.5.6p8): a[i] is
+  // *(a + i), so an index outside [0, N] is UB at pointer *formation*
+  // (13), and i == N forms legally but dereferences one-past-the-end
+  // (29). The access-level read/write codes never fire here — the
+  // arithmetic rule precedes them dynamically too.
+  (void)IsWrite;
+  int64_t Size = static_cast<int64_t>(N);
+  if (II->Hi < 0 || II->Lo > Size)
+    FC.must(UbKind::PointerArithOutOfBounds, IX->Loc, IntervalName);
+  else if (II->singleton() && II->Lo == Size)
+    FC.must(UbKind::DerefOnePastEnd, IX->Loc, IntervalName);
+  else if (II->Lo < 0 || II->Hi > Size)
+    FC.may(UbKind::PointerArithOutOfBounds, IX->Loc, IntervalName);
+  else if (II->Hi == Size)
+    FC.may(UbKind::DerefOnePastEnd, IX->Loc, IntervalName);
+}
+
+void IntervalDomain::storeTo(const Expr *Lhs, const AssignExpr *A,
+                             State &St) {
+  switch (Lhs->Kind) {
+  case ExprKind::Index:
+    checkIndex(cast<IndexExpr>(Lhs), /*IsWrite=*/true, St);
+    return;
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(Lhs);
+    if (M->IsArrow)
+      eval(M->Base, St);
+    else
+      storeTo(M->Base, A, St);
+    return;
+  }
+  case ExprKind::Unary:
+    eval(cast<UnaryExpr>(Lhs)->Sub, St);
+    return;
+  case ExprKind::ImplicitCast:
+    storeTo(cast<ImplicitCastExpr>(Lhs)->Sub, A, St);
+    return;
+  case ExprKind::Cast:
+    storeTo(cast<CastExpr>(Lhs)->Sub, A, St);
+    return;
+  default:
+    eval(Lhs, St);
+    return;
+  }
+}
+
+std::optional<Interval>
+IntervalDomain::applyIncDec(const VarDecl *V, bool IsInc, bool IsPre,
+                            const Type *Ty, SourceLoc Loc, State &St) {
+  auto Cur = lookupItv(St, V);
+  if (!Cur) {
+    return std::nullopt;
+  }
+  auto TR = typeRange(Ty);
+  I128 Lo = static_cast<I128>(Cur->Lo) + (IsInc ? 1 : -1);
+  I128 Hi = static_cast<I128>(Cur->Hi) + (IsInc ? 1 : -1);
+  auto Next = clampI128(Lo, Hi, TR);
+  // c++ on a sub-int type computes in int (integer promotion), so
+  // hitting the narrow type's bound converts implementation-defined,
+  // never undefined — only int-or-wider increments can overflow.
+  const TypeContext &Types = FC.Ctx.Types;
+  if (!Next && Cur->singleton() && Ty && Ty->isSignedInteger(Types.config()) &&
+      Types.bitWidthOf(Ty) >= Types.bitWidthOf(Types.intTy()))
+    FC.must(UbKind::SignedOverflow, Loc, IntervalName);
+  setItv(St, V, Next);
+  return IsPre ? Next : Cur;
+}
+
+std::optional<Interval>
+IntervalDomain::evalBinary(BinaryOp Op, const std::optional<Interval> &L,
+                           const std::optional<Interval> &R, const Type *Ty,
+                           SourceLoc Loc, bool DivisorIsConst) {
+  const TargetConfig &Config = FC.Ctx.Types.config();
+  auto TR = typeRange(Ty);
+  switch (Op) {
+  case BinaryOp::Div:
+  case BinaryOp::Rem: {
+    UbKind ZeroKind =
+        Op == BinaryOp::Div ? UbKind::DivisionByZero : UbKind::ModuloByZero;
+    if (R) {
+      if (R->Lo == 0 && R->Hi == 0) {
+        // A constant zero divisor belongs to the syntactic checker
+        // (DivByZeroConstant); the flow layer owns the variable case.
+        if (!DivisorIsConst)
+          FC.must(ZeroKind, Loc, IntervalName);
+        return std::nullopt;
+      }
+      if (R->contains(0))
+        FC.may(ZeroKind, Loc, IntervalName);
+    }
+    if (L && R && L->singleton() && R->singleton() && R->Lo != 0) {
+      if (Ty && Ty->isSignedInteger(Config) && TR && L->Lo == TR->Lo &&
+          R->Lo == -1) {
+        FC.must(UbKind::SignedOverflow, Loc, IntervalName);
+        return std::nullopt;
+      }
+      int64_t V = Op == BinaryOp::Div ? L->Lo / R->Lo : L->Lo % R->Lo;
+      return clampI128(V, V, TR);
+    }
+    return std::nullopt;
+  }
+  case BinaryOp::Shl:
+  case BinaryOp::Shr: {
+    unsigned W = Ty && Ty->isIntegral() ? FC.Ctx.Types.bitWidthOf(Ty) : 0;
+    if (R && W) {
+      if (R->Hi < 0) {
+        FC.must(UbKind::NegativeShiftCount, Loc, IntervalName);
+        return std::nullopt;
+      }
+      if (R->Lo < 0)
+        FC.may(UbKind::NegativeShiftCount, Loc, IntervalName);
+      if (R->Lo >= static_cast<int64_t>(W)) {
+        FC.must(UbKind::ShiftExponentOutOfRange, Loc, IntervalName);
+        return std::nullopt;
+      }
+      if (R->Hi >= static_cast<int64_t>(W))
+        FC.may(UbKind::ShiftExponentOutOfRange, Loc, IntervalName);
+    }
+    if (Op == BinaryOp::Shl && Ty && Ty->isSignedInteger(Config) && L) {
+      if (L->Hi < 0) {
+        FC.must(UbKind::ShiftOfNegative, Loc, IntervalName);
+        return std::nullopt;
+      }
+      if (L->Lo < 0)
+        FC.may(UbKind::ShiftOfNegative, Loc, IntervalName);
+    }
+    if (L && R && L->singleton() && R->singleton() && L->Lo >= 0 &&
+        R->Lo >= 0 && R->Lo < static_cast<int64_t>(W)) {
+      I128 V = Op == BinaryOp::Shl ? static_cast<I128>(L->Lo) << R->Lo
+                                   : static_cast<I128>(L->Lo) >> R->Lo;
+      return clampI128(V, V, TR);
+    }
+    return std::nullopt;
+  }
+  case BinaryOp::Add:
+  case BinaryOp::Sub:
+  case BinaryOp::Mul: {
+    if (!L || !R || !Ty || !Ty->isIntegral() || !TR)
+      return std::nullopt;
+    I128 Lo, Hi;
+    if (Op == BinaryOp::Add) {
+      Lo = static_cast<I128>(L->Lo) + R->Lo;
+      Hi = static_cast<I128>(L->Hi) + R->Hi;
+    } else if (Op == BinaryOp::Sub) {
+      Lo = static_cast<I128>(L->Lo) - R->Hi;
+      Hi = static_cast<I128>(L->Hi) - R->Lo;
+    } else {
+      I128 P1 = static_cast<I128>(L->Lo) * R->Lo;
+      I128 P2 = static_cast<I128>(L->Lo) * R->Hi;
+      I128 P3 = static_cast<I128>(L->Hi) * R->Lo;
+      I128 P4 = static_cast<I128>(L->Hi) * R->Hi;
+      Lo = std::min(std::min(P1, P2), std::min(P3, P4));
+      Hi = std::max(std::max(P1, P2), std::max(P3, P4));
+    }
+    auto Res = clampI128(Lo, Hi, TR);
+    if (!Res && Ty->isSignedInteger(Config) && L->singleton() &&
+        R->singleton())
+      FC.must(UbKind::SignedOverflow, Loc, IntervalName);
+    return Res;
+  }
+  case BinaryOp::Lt:
+  case BinaryOp::Gt:
+  case BinaryOp::Le:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return Interval{0, 1};
+  default:
+    return std::nullopt;
+  }
+}
+
+std::optional<Interval> IntervalDomain::eval(const Expr *E, State &St) {
+  if (!E)
+    return std::nullopt;
+  // Constant expressions fold directly — this also covers sizeof and
+  // enum constants the structural walk below cannot see. A constant
+  // expression has no side effects, so skipping the walk is safe.
+  if (auto C = constEvalInt(E, FC.Ctx.Types))
+    return Interval{*C, *C};
+  switch (E->Kind) {
+  case ExprKind::ImplicitCast:
+  case ExprKind::Cast: {
+    CastKind CK;
+    const Expr *Sub;
+    if (const auto *IC = dynCast<ImplicitCastExpr>(E)) {
+      CK = IC->CK;
+      Sub = IC->Sub;
+    } else {
+      CK = cast<CastExpr>(E)->CK;
+      Sub = cast<CastExpr>(E)->Sub;
+    }
+    switch (CK) {
+    case CastKind::LValueToRValue: {
+      if (const VarDecl *V = varOf(Sub)) {
+        if (tracked(V))
+          return lookupItv(St, V);
+        return std::nullopt;
+      }
+      eval(Sub, St);
+      return std::nullopt;
+    }
+    case CastKind::ToBool: {
+      auto SI = eval(Sub, St);
+      if (SI && !SI->contains(0))
+        return Interval{1, 1};
+      if (SI && SI->Lo == 0 && SI->Hi == 0)
+        return Interval{0, 0};
+      return Interval{0, 1};
+    }
+    case CastKind::IntegralCast: {
+      auto SI = eval(Sub, St);
+      if (!SI)
+        return std::nullopt;
+      auto TR = typeRange(E->Ty.Ty);
+      if (TR && SI->Lo >= TR->Lo && SI->Hi <= TR->Hi)
+        return SI;
+      if (SI->singleton()) {
+        int64_t T = truncateToType(SI->Lo, E->Ty.Ty, FC.Ctx.Types);
+        return Interval{T, T};
+      }
+      return std::nullopt;
+    }
+    default:
+      eval(Sub, St);
+      return std::nullopt;
+    }
+  }
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(E);
+    switch (U->Op) {
+    case UnaryOp::Plus:
+      return eval(U->Sub, St);
+    case UnaryOp::Minus: {
+      auto SI = eval(U->Sub, St);
+      if (!SI || SI->Lo == INT64_MIN)
+        return std::nullopt;
+      auto TR = typeRange(E->Ty.Ty);
+      auto Res = clampI128(-static_cast<I128>(SI->Hi),
+                           -static_cast<I128>(SI->Lo), TR);
+      if (!Res && SI->singleton() && E->Ty.Ty &&
+          E->Ty.Ty->isSignedInteger(FC.Ctx.Types.config()))
+        FC.must(UbKind::SignedOverflow, U->Loc, IntervalName);
+      return Res;
+    }
+    case UnaryOp::LogNot: {
+      auto SI = eval(U->Sub, St);
+      if (SI && !SI->contains(0))
+        return Interval{0, 0};
+      if (SI && SI->Lo == 0 && SI->Hi == 0)
+        return Interval{1, 1};
+      return Interval{0, 1};
+    }
+    case UnaryOp::PreInc:
+    case UnaryOp::PreDec:
+    case UnaryOp::PostInc:
+    case UnaryOp::PostDec: {
+      bool IsInc = U->Op == UnaryOp::PreInc || U->Op == UnaryOp::PostInc;
+      bool IsPre = U->Op == UnaryOp::PreInc || U->Op == UnaryOp::PreDec;
+      if (const VarDecl *V = varOf(U->Sub); V && tracked(V))
+        return applyIncDec(V, IsInc, IsPre, V->Ty.Ty, U->Loc, St);
+      eval(U->Sub, St);
+      return std::nullopt;
+    }
+    case UnaryOp::AddrOf: {
+      // No access happens; subscripts under & may legally form
+      // one-past-the-end, so evaluate indices without bounds checks.
+      const Expr *D = U->Sub;
+      while (true) {
+        if (const auto *M = dynCast<MemberExpr>(D)) {
+          if (M->IsArrow) {
+            eval(M->Base, St);
+            break;
+          }
+          D = M->Base;
+          continue;
+        }
+        if (const auto *IX = dynCast<IndexExpr>(D)) {
+          eval(IX->Index, St);
+          D = IX->Base;
+          continue;
+        }
+        if (const auto *IC = dynCast<ImplicitCastExpr>(D)) {
+          D = IC->Sub;
+          continue;
+        }
+        if (const auto *Inner = dynCast<UnaryExpr>(D);
+            Inner && Inner->Op == UnaryOp::Deref) {
+          eval(Inner->Sub, St);
+          break;
+        }
+        break;
+      }
+      return std::nullopt;
+    }
+    default:
+      eval(U->Sub, St);
+      return std::nullopt;
+    }
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(E);
+    if (B->Op == BinaryOp::Comma) {
+      eval(B->Lhs, St);
+      return eval(B->Rhs, St);
+    }
+    if (B->Op == BinaryOp::LogAnd || B->Op == BinaryOp::LogOr) {
+      eval(B->Lhs, St);
+      FC.pushCond();
+      eval(B->Rhs, St);
+      FC.popCond();
+      return Interval{0, 1};
+    }
+    auto LI = eval(B->Lhs, St);
+    auto RI = eval(B->Rhs, St);
+    bool DivisorIsConst = (B->Op == BinaryOp::Div || B->Op == BinaryOp::Rem) &&
+                          constEvalInt(B->Rhs, FC.Ctx.Types).has_value();
+    return evalBinary(B->Op, LI, RI, E->Ty.Ty, B->Loc, DivisorIsConst);
+  }
+  case ExprKind::Assign: {
+    const auto *A = cast<AssignExpr>(E);
+    auto RI = eval(A->Rhs, St);
+    const VarDecl *V = varOf(A->Lhs);
+    if (V && tracked(V)) {
+      const Type *VT = V->Ty.Ty;
+      auto TR = typeRange(VT);
+      std::optional<Interval> NewV;
+      if (A->Op == AssignOp::Assign) {
+        NewV = RI;
+      } else {
+        const Type *CT = A->ComputeTy.Ty ? A->ComputeTy.Ty : VT;
+        bool DivisorIsConst =
+            (A->Op == AssignOp::DivAssign || A->Op == AssignOp::RemAssign) &&
+            constEvalInt(A->Rhs, FC.Ctx.Types).has_value();
+        NewV = evalBinary(binOpOfAssign(A->Op), lookupItv(St, V), RI, CT,
+                          A->Loc, DivisorIsConst);
+      }
+      // Convert the stored value into the variable's type.
+      if (NewV && TR && !(NewV->Lo >= TR->Lo && NewV->Hi <= TR->Hi)) {
+        if (NewV->singleton()) {
+          int64_t T = truncateToType(NewV->Lo, VT, FC.Ctx.Types);
+          NewV = Interval{T, T};
+        } else {
+          NewV = std::nullopt;
+        }
+      }
+      setItv(St, V, NewV);
+      return NewV;
+    }
+    storeTo(A->Lhs, A, St);
+    return A->Op == AssignOp::Assign ? RI : std::nullopt;
+  }
+  case ExprKind::Cond: {
+    const auto *C = cast<CondExpr>(E);
+    eval(C->Cond, St);
+    FC.pushCond();
+    auto T = eval(C->Then, St);
+    auto F = eval(C->Else, St);
+    FC.popCond();
+    if (T && F)
+      return Interval{std::min(T->Lo, F->Lo), std::max(T->Hi, F->Hi)};
+    return std::nullopt;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(E);
+    eval(C->Callee, St);
+    for (const Expr *Arg : C->Args)
+      eval(Arg, St);
+    return std::nullopt;
+  }
+  case ExprKind::Index:
+    checkIndex(cast<IndexExpr>(E), /*IsWrite=*/false, St);
+    return std::nullopt;
+  case ExprKind::Member: {
+    const auto *M = cast<MemberExpr>(E);
+    if (M->IsArrow)
+      eval(M->Base, St);
+    return std::nullopt;
+  }
+  case ExprKind::InitList:
+    for (const Expr *I : cast<InitListExpr>(E)->Inits)
+      eval(I, St);
+    return std::nullopt;
+  default:
+    return std::nullopt;
+  }
+}
+
+namespace {
+
+/// Matches a plain load of a tracked variable under value-preserving
+/// wrappers only: ToBool, or an *widening* integral promotion (value
+/// identity holds, so refining through it is sound; a narrowing cast
+/// is not peeled — `(char)x == 0` constrains x only modulo 2^8).
+const Expr *peelValuePreserving(const Expr *E, const TypeContext &Types) {
+  while (const auto *IC = dynCast<ImplicitCastExpr>(E)) {
+    if (IC->CK == CastKind::ToBool) {
+      E = IC->Sub;
+      continue;
+    }
+    if (IC->CK == CastKind::IntegralCast) {
+      const Type *From = IC->Sub->Ty.Ty;
+      const Type *To = IC->Ty.Ty;
+      if (From && To && From->isIntegral() && To->isIntegral()) {
+        unsigned WF = Types.bitWidthOf(From), WT = Types.bitWidthOf(To);
+        bool Preserving =
+            WT > WF && (To->isSignedInteger(Types.config()) ||
+                        From->isUnsignedInteger(Types.config()));
+        if (Preserving) {
+          E = IC->Sub;
+          continue;
+        }
+      }
+    }
+    break;
+  }
+  return E;
+}
+
+} // namespace
+
+bool IntervalDomain::transferCond(const Expr *Cond, bool Taken, State &St) {
+  const TypeContext &Types = FC.Ctx.Types;
+  const Expr *E = peelValuePreserving(Cond, Types);
+
+  // if ((n = e)): refine the assigned variable's truthiness.
+  if (const auto *A = dynCast<AssignExpr>(E); A && A->Op == AssignOp::Assign)
+    if (const VarDecl *V = varOf(A->Lhs); V && tracked(V)) {
+      auto Cur = lookupItv(St, V);
+      if (!Taken) {
+        if (Cur && !Cur->contains(0))
+          return false;
+        setItv(St, V, Interval{0, 0});
+      } else if (Cur) {
+        if (Cur->Lo == 0 && Cur->Hi == 0)
+          return false;
+        Interval R = *Cur;
+        if (R.Lo == 0)
+          R.Lo = 1;
+        else if (R.Hi == 0)
+          R.Hi = -1;
+        setItv(St, V, R);
+      }
+      return true;
+    }
+
+  // Truth test of a tracked variable.
+  {
+    const auto *Load = dynCast<ImplicitCastExpr>(E);
+    if (Load && Load->CK == CastKind::LValueToRValue) {
+      const VarDecl *V = varOf(Load->Sub);
+      if (V && tracked(V)) {
+        auto Cur = lookupItv(St, V);
+        if (!Taken) {
+          if (Cur && !Cur->contains(0))
+            return false;
+          setItv(St, V, Interval{0, 0});
+        } else if (Cur) {
+          if (Cur->Lo == 0 && Cur->Hi == 0)
+            return false;
+          Interval R = *Cur;
+          if (R.Lo == 0)
+            R.Lo = 1;
+          else if (R.Hi == 0)
+            R.Hi = -1;
+          setItv(St, V, R);
+        }
+        return true;
+      }
+      return true;
+    }
+  }
+
+  // var REL const (either operand order).
+  const auto *B = dynCast<BinaryExpr>(E);
+  if (!B)
+    return true;
+  BinaryOp Op = B->Op;
+  if (Op != BinaryOp::Lt && Op != BinaryOp::Gt && Op != BinaryOp::Le &&
+      Op != BinaryOp::Ge && Op != BinaryOp::Eq && Op != BinaryOp::Ne)
+    return true;
+
+  const VarDecl *V = nullptr;
+  std::optional<int64_t> C;
+  if (const auto *Load =
+          dynCast<ImplicitCastExpr>(peelValuePreserving(B->Lhs, Types));
+      Load && Load->CK == CastKind::LValueToRValue && varOf(Load->Sub)) {
+    V = varOf(Load->Sub);
+    C = constEvalInt(B->Rhs, Types);
+  }
+  if (!V || !C) {
+    if (const auto *Load =
+            dynCast<ImplicitCastExpr>(peelValuePreserving(B->Rhs, Types));
+        Load && Load->CK == CastKind::LValueToRValue && varOf(Load->Sub)) {
+      V = varOf(Load->Sub);
+      C = constEvalInt(B->Lhs, Types);
+      // Flip so the variable is on the left: C < v  ⇔  v > C, etc.
+      switch (Op) {
+      case BinaryOp::Lt:
+        Op = BinaryOp::Gt;
+        break;
+      case BinaryOp::Gt:
+        Op = BinaryOp::Lt;
+        break;
+      case BinaryOp::Le:
+        Op = BinaryOp::Ge;
+        break;
+      case BinaryOp::Ge:
+        Op = BinaryOp::Le;
+        break;
+      default:
+        break;
+      }
+    }
+  }
+  if (!V || !C || !tracked(V))
+    return true;
+
+  // The false edge refines by the negated relation.
+  if (!Taken) {
+    switch (Op) {
+    case BinaryOp::Lt:
+      Op = BinaryOp::Ge;
+      break;
+    case BinaryOp::Gt:
+      Op = BinaryOp::Le;
+      break;
+    case BinaryOp::Le:
+      Op = BinaryOp::Gt;
+      break;
+    case BinaryOp::Ge:
+      Op = BinaryOp::Lt;
+      break;
+    case BinaryOp::Eq:
+      Op = BinaryOp::Ne;
+      break;
+    case BinaryOp::Ne:
+      Op = BinaryOp::Eq;
+      break;
+    default:
+      break;
+    }
+  }
+
+  auto Cur = lookupItv(St, V);
+  if (Op == BinaryOp::Eq) {
+    // Equality may seed from the full type range: it yields a
+    // singleton, which is precise enough to be worth tracking even
+    // for otherwise-unknown variables.
+    Interval Base = Cur ? *Cur : *typeRange(V->Ty.Ty);
+    if (!Base.contains(*C))
+      return false;
+    setItv(St, V, Interval{*C, *C});
+    return true;
+  }
+  if (!Cur) {
+    // Inequalities on unknown variables are deliberately not seeded
+    // from the type range: half-open intervals like [INT_MIN, C-1]
+    // mostly produce noise hints (every loop counter after widening).
+    return true;
+  }
+  Interval R = *Cur;
+  switch (Op) {
+  case BinaryOp::Ne:
+    if (R.Lo == *C && R.Hi == *C)
+      return false;
+    if (R.Lo == *C)
+      ++R.Lo;
+    else if (R.Hi == *C)
+      --R.Hi;
+    break;
+  case BinaryOp::Lt:
+    if (*C == INT64_MIN)
+      return false;
+    R.Hi = std::min(R.Hi, *C - 1);
+    break;
+  case BinaryOp::Le:
+    R.Hi = std::min(R.Hi, *C);
+    break;
+  case BinaryOp::Gt:
+    if (*C == INT64_MAX)
+      return false;
+    R.Lo = std::max(R.Lo, *C + 1);
+    break;
+  case BinaryOp::Ge:
+    R.Lo = std::max(R.Lo, *C);
+    break;
+  default:
+    break;
+  }
+  if (R.Lo > R.Hi)
+    return false;
+  setItv(St, V, R);
+  return true;
+}
+
+bool IntervalDomain::transferSwitchEdge(const Expr *Cond, const CaseStmt *Case,
+                                        State &St) {
+  if (!Case)
+    return true; // default / fall-out edge: no single-value refinement
+  const Expr *E = peelValuePreserving(Cond, FC.Ctx.Types);
+  const auto *Load = dynCast<ImplicitCastExpr>(E);
+  if (!Load || Load->CK != CastKind::LValueToRValue)
+    return true;
+  const VarDecl *V = varOf(Load->Sub);
+  if (!V || !tracked(V))
+    return true;
+  auto Cur = lookupItv(St, V);
+  Interval Base = Cur ? *Cur : *typeRange(V->Ty.Ty);
+  if (!Base.contains(Case->Value))
+    return false; // this case label can never be reached
+  setItv(St, V, Interval{Case->Value, Case->Value});
+  return true;
+}

@@ -1,0 +1,232 @@
+//===- static/Domains.h - Flow-sensitive abstract domains ------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three intraprocedural abstract domains the flow-sensitive static
+/// layer runs over each function's CFG (static/Cfg.h, static/Dataflow.h):
+///
+///  * NullnessDomain — pointer locals as NonNull < Unknown / Null, with
+///    MaybeNull on joins; catches definite null dereference (6), writes
+///    through pointers to const-defined objects (49), and returned
+///    addresses of locals (36).
+///  * InitDomain — definite-initialization per scalar local and per
+///    record member (Uninit / Init / MaybeInit); catches reads of
+///    indeterminate values (19) and uninitialized pointer use (30).
+///  * IntervalDomain — constant intervals [lo, hi] over integer locals;
+///    catches reachable division/modulo by zero (1/2), oversized and
+///    negative shifts (4/32), shifts of negative values (5), constant
+///    out-of-bounds indexing (13 at pointer formation, 29 at one-past
+///    dereference — matching the machine's code assignment), and
+///    signed overflow on constant paths (3).
+///
+/// Soundness discipline shared by all three: any variable whose address
+/// is taken (or whose array decays to a pointer value) is never tracked
+/// — its abstract value is permanently top — so aliased mutation can
+/// never make a *must* claim wrong. Must-findings are therefore true on
+/// every execution reaching the program point; may-findings are triage
+/// hints and never part of the verdict.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_STATIC_DOMAINS_H
+#define CUNDEF_STATIC_DOMAINS_H
+
+#include "ast/Ast.h"
+#include "ub/Report.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <tuple>
+#include <vector>
+
+namespace cundef {
+
+/// Per-function context the domains share: the address-taken exclusion
+/// set, and the finding collector (armed only during the reporting pass
+/// that re-runs transfers after the fixpoint, so sweeps stay silent).
+class FlowContext {
+public:
+  FlowContext(AstContext &Ctx, const FunctionDecl *Fn);
+
+  AstContext &Ctx;
+  const FunctionDecl *Fn;
+  std::string FnName;
+
+  /// True when the variable's address escapes anywhere in the function
+  /// (explicit &, or array-to-pointer decay used as a value).
+  bool addrTaken(const VarDecl *V) const {
+    return AddrTaken.count(V->DeclId) != 0;
+  }
+
+  /// Arms / disarms finding collection.
+  void setReporting(bool On) { Reporting = On; }
+  bool reporting() const { return Reporting; }
+
+  /// Records a definite (every-path) finding. Demoted to a hint while
+  /// inside a conditionally evaluated subexpression (see pushCond).
+  void must(UbKind Kind, SourceLoc Loc, const char *Domain);
+  /// Records a some-path triage hint.
+  void may(UbKind Kind, SourceLoc Loc, const char *Domain);
+
+  /// Brackets walking a subexpression that may not execute (`&&`/`||`
+  /// right operands and `?:` arms in *value* position — branch-position
+  /// conditions are CFG-decomposed and never need this). While the
+  /// depth is nonzero, must() downgrades to may().
+  void pushCond() { ++CondDepth; }
+  void popCond() { --CondDepth; }
+
+  /// All findings of this function, sorted by (line, col, code) with
+  /// must before may at equal positions, deduplicated by (code, loc).
+  std::vector<UbReport> takeMust();
+  std::vector<UbReport> takeHints();
+
+private:
+  void emit(UbKind Kind, SourceLoc Loc, const char *Domain,
+            FindingVerdict Verdict);
+
+  std::set<uint32_t> AddrTaken;
+  bool Reporting = false;
+  unsigned CondDepth = 0;
+  std::vector<UbReport> MustFindings;
+  std::vector<UbReport> MayFindings;
+  std::set<std::tuple<uint32_t, uint32_t, uint16_t, uint8_t>> Seen;
+};
+
+//===----------------------------------------------------------------------===//
+// Nullness
+//===----------------------------------------------------------------------===//
+
+/// Abstract pointer value. Kind forms a diamond with MaybeNull on top
+/// over Null and { NonNull, Unknown } below, where Unknown absorbs
+/// NonNull on joins. Local / ConstTarget are
+/// must-properties of the pointed-to object (AND-ed on joins), only
+/// meaningful when the pointer is provably non-null.
+struct PtrVal {
+  enum K : uint8_t { Unknown, Null, NonNull, MaybeNull };
+  K Kind = Unknown;
+  bool Local = false;       ///< points into the current frame
+  bool ConstTarget = false; ///< points to an object defined const
+
+  bool operator==(const PtrVal &O) const {
+    return Kind == O.Kind && Local == O.Local && ConstTarget == O.ConstTarget;
+  }
+  bool operator!=(const PtrVal &O) const { return !(*this == O); }
+};
+
+class NullnessDomain {
+public:
+  using State = std::map<uint32_t, PtrVal>; ///< DeclId -> value; absent = top
+
+  explicit NullnessDomain(FlowContext &FC) : FC(FC) {}
+
+  State boundary() { return {}; }
+  bool join(State &Into, const State &In);
+  void transferStmt(const Stmt *S, State &St);
+  void transferCondEval(const Expr *Cond, State &St);
+  bool transferCond(const Expr *Cond, bool Taken, State &St);
+  bool transferSwitchEdge(const Expr *, const CaseStmt *, State &) {
+    return true; // finite domain, nothing to refine on integer cases
+  }
+  void setWidening(bool) {} // finite height
+
+private:
+  bool tracked(const VarDecl *V) const;
+  PtrVal evalPtr(const Expr *E, State &St);
+  void walk(const Expr *E, State &St);
+  void checkDeref(const Expr *PtrOperand, State &St, bool IsWrite);
+  void storeTo(const Expr *Lhs, State &St);
+  bool refine(const VarDecl *V, bool ToNonNull, State &St);
+
+  FlowContext &FC;
+};
+
+//===----------------------------------------------------------------------===//
+// Initialization
+//===----------------------------------------------------------------------===//
+
+class InitDomain {
+public:
+  /// Key: DeclId * 2^16 + (field index + 1); +0 is the whole-variable
+  /// slot used for scalars and arrays. Absent = Init (top).
+  using State = std::map<uint64_t, uint8_t>; ///< value: 0 Uninit, 1 Maybe
+
+  explicit InitDomain(FlowContext &FC) : FC(FC) {}
+
+  State boundary() { return {}; }
+  bool join(State &Into, const State &In);
+  void transferStmt(const Stmt *S, State &St);
+  void transferCondEval(const Expr *Cond, State &St) { walk(Cond, St); }
+  bool transferCond(const Expr *, bool, State &) { return true; }
+  bool transferSwitchEdge(const Expr *, const CaseStmt *, State &) {
+    return true;
+  }
+  void setWidening(bool) {} // finite height
+
+private:
+  enum class Track : uint8_t { No, Whole, PerField };
+  Track trackKind(const VarDecl *V) const;
+  void declare(const VarDecl *V, State &St);
+  void setAllInit(const VarDecl *V, State &St);
+  void walk(const Expr *E, State &St);
+  void storeTo(const Expr *Lhs, bool Compound, State &St);
+  void checkRead(uint64_t Key, bool IsPointer, SourceLoc Loc, State &St);
+
+  FlowContext &FC;
+};
+
+//===----------------------------------------------------------------------===//
+// Constant intervals
+//===----------------------------------------------------------------------===//
+
+struct Interval {
+  int64_t Lo = 0;
+  int64_t Hi = 0;
+
+  bool singleton() const { return Lo == Hi; }
+  bool contains(int64_t V) const { return Lo <= V && V <= Hi; }
+  bool operator==(const Interval &O) const {
+    return Lo == O.Lo && Hi == O.Hi;
+  }
+};
+
+class IntervalDomain {
+public:
+  using State = std::map<uint32_t, Interval>; ///< DeclId -> itv; absent = top
+
+  explicit IntervalDomain(FlowContext &FC) : FC(FC) {}
+
+  State boundary() { return {}; }
+  bool join(State &Into, const State &In);
+  void transferStmt(const Stmt *S, State &St);
+  void transferCondEval(const Expr *Cond, State &St) { eval(Cond, St); }
+  bool transferCond(const Expr *Cond, bool Taken, State &St);
+  bool transferSwitchEdge(const Expr *Cond, const CaseStmt *Case, State &St);
+  void setWidening(bool On) { Widening = On; }
+
+private:
+  bool tracked(const VarDecl *V) const;
+  std::optional<Interval> typeRange(const Type *Ty) const;
+  std::optional<Interval> eval(const Expr *E, State &St);
+  std::optional<Interval> evalBinary(BinaryOp Op,
+                                     const std::optional<Interval> &L,
+                                     const std::optional<Interval> &R,
+                                     const Type *Ty, SourceLoc Loc,
+                                     bool DivisorIsConst);
+  std::optional<Interval> applyIncDec(const VarDecl *V, bool IsInc,
+                                      bool IsPre, const Type *Ty,
+                                      SourceLoc Loc, State &St);
+  void checkIndex(const IndexExpr *IX, bool IsWrite, State &St);
+  void storeTo(const Expr *Lhs, const AssignExpr *A, State &St);
+
+  FlowContext &FC;
+  bool Widening = false;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_STATIC_DOMAINS_H

@@ -1,0 +1,60 @@
+//===- static/FlowChecker.cpp - Flow-sensitive static UB pass -------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "static/FlowChecker.h"
+
+#include "static/Cfg.h"
+#include "static/Dataflow.h"
+#include "static/Domains.h"
+
+using namespace cundef;
+
+namespace {
+
+/// Fixpoint + reporting replay for one domain. The replay walks the
+/// reachable blocks in RPO from each block's settled entry state, so
+/// every check sees the most precise invariant the analysis proved.
+template <typename DomainT>
+void runDomain(FlowContext &FC, const Cfg &G) {
+  DomainT Dom(FC);
+  DataflowResult<DomainT> R = runForwardDataflow(G, Dom);
+
+  FC.setReporting(true);
+  Dom.setWidening(false);
+  for (BlockId B : G.rpo()) {
+    if (!R.reached(B))
+      continue;
+    typename DomainT::State St = R.In[B];
+    const CfgBlock &Blk = G.block(B);
+    for (const Stmt *S : Blk.Stmts)
+      Dom.transferStmt(S, St);
+    if (Blk.Cond)
+      Dom.transferCondEval(Blk.Cond, St);
+  }
+  FC.setReporting(false);
+}
+
+} // namespace
+
+void FlowChecker::runFunction(const FunctionDecl *F) {
+  FlowContext FC(Ctx, F);
+  Cfg G = Cfg::build(F);
+
+  runDomain<NullnessDomain>(FC, G);
+  runDomain<InitDomain>(FC, G);
+  runDomain<IntervalDomain>(FC, G);
+
+  for (UbReport &R : FC.takeMust())
+    Must.report(std::move(R));
+  for (UbReport &R : FC.takeHints())
+    Hints.report(std::move(R));
+}
+
+void FlowChecker::run() {
+  for (const FunctionDecl *F : Ctx.TU.Functions)
+    if (F->Body && !F->BuiltinId)
+      runFunction(F);
+}

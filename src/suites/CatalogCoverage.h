@@ -86,20 +86,35 @@ enum class CoverageVerdict : uint8_t {
 
 const char *coverageVerdictName(CoverageVerdict V);
 
+/// Which analysis layer produced a covered row's matching finding:
+/// the static pass alone, the dynamic search alone, or both
+/// independently. None for rows that are not covered.
+enum class CoverageSource : uint8_t { None, Static, Dynamic, Both };
+
+const char *coverageSourceName(CoverageSource S);
+
 /// One row's graded outcome.
 struct EntryCoverage {
   uint16_t Id = 0;
   CoverageVerdict Verdict = CoverageVerdict::Inexpressible;
-  /// First code the evaluator reported on the triggering program (0
-  /// when it reported nothing).
+  /// The first *matching* code the evaluator reported on the
+  /// triggering program; falls back to the first reported code on
+  /// wrong-code rows (0 when it reported nothing).
   uint16_t ReportedCode = 0;
+  /// Layer attribution for covered rows (None otherwise).
+  CoverageSource Source = CoverageSource::None;
 };
 
 /// The whole catalog, graded. Entries are ordered by id and always
 /// number exactly catalogStats().Total; the four counts partition them.
+/// CoveredStatic/CoveredDynamic/CoveredBoth partition Covered by which
+/// layer produced the matching finding.
 struct CoverageReport {
   std::vector<EntryCoverage> Entries;
   unsigned Covered = 0;
+  unsigned CoveredStatic = 0;
+  unsigned CoveredDynamic = 0;
+  unsigned CoveredBoth = 0;
   unsigned WrongCode = 0;
   unsigned Missed = 0;
   unsigned Inexpressible = 0;
@@ -133,12 +148,14 @@ AnalysisRequest coverageRequest(bool Quick);
 /// Renders the human table `kcc --catalog-coverage` prints: one line
 /// per non-covered row plus the summary counts. The final line is the
 /// stable machine-greppable summary
-/// `coverage: covered=N wrong-code=N missed=N inexpressible=N total=N`
-/// that cmake/CheckCoverageBaseline.cmake parses.
+/// `coverage: covered=N wrong-code=N missed=N inexpressible=N total=N
+/// static=A dynamic=B both=C` that cmake/CheckCoverageBaseline.cmake
+/// parses (the trailing attribution triple partitions covered).
 std::string renderCoverageReport(const CoverageReport &R);
 
-/// The docs annotation: one cell per row ("covered", "wrong-code
-/// (reports 00019)", ...) for renderCatalogMarkdown's Coverage column.
+/// The docs annotation: one cell per row ("covered (static)",
+/// "covered (both)", "wrong-code (reports 00019)", ...) for
+/// renderCatalogMarkdown's Coverage column.
 CatalogCoverageColumn coverageColumn(const CoverageReport &R);
 
 /// The `coverage` document of the cundef-kcc-v1 schema

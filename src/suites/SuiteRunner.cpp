@@ -164,6 +164,9 @@ cundef::scoreDesktopBatched(const AnalysisRequest &Req,
     Score.ExpectedCode = Cases[I].ExpectedCode;
     Score.FlaggedBad = Bad.flagged();
     Score.FlaggedGood = Good.flagged();
+    for (const UbReport &R : Bad.Findings)
+      if (R.StaticFinding)
+        Score.StaticCaught = true;
     if (Score.FlaggedBad)
       Score.ReportedCode = static_cast<uint16_t>(Bad.Findings.front().Kind);
     Score.Micros = Bad.Micros + Good.Micros;
@@ -172,6 +175,8 @@ cundef::scoreDesktopBatched(const AnalysisRequest &Req,
       ++Scores.AsExpected;
     if (Score.FlaggedBad)
       ++Scores.Detected;
+    if (Score.StaticCaught)
+      ++Scores.StaticDetected;
     if (Score.ExpectFlagged && Score.FlaggedBad &&
         Score.ReportedCode != Score.ExpectedCode)
       ++Scores.WrongCode;
@@ -210,10 +215,12 @@ std::string cundef::renderDesktopTable(const DesktopScores &S) {
            padRight(C.FlaggedGood ? "FLAGGED" : "clean", 10) +
            (C.asExpected() ? "ok" : "UNEXPECTED") + "\n";
   }
-  Out += strFormat("\ndesktop: as-expected=%u detected=%u wrong-code=%u "
-                   "missed=%u known-miss=%u false-pos=%u total=%zu\n",
-                   S.AsExpected, S.Detected, S.WrongCode, S.MissedExpected,
-                   S.KnownMisses, S.FalsePositives, S.PerCase.size());
+  Out += strFormat("\ndesktop: as-expected=%u detected=%u static=%u "
+                   "wrong-code=%u missed=%u known-miss=%u false-pos=%u "
+                   "total=%zu\n",
+                   S.AsExpected, S.Detected, S.StaticDetected, S.WrongCode,
+                   S.MissedExpected, S.KnownMisses, S.FalsePositives,
+                   S.PerCase.size());
   return Out;
 }
 

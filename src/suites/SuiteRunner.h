@@ -80,6 +80,9 @@ struct DesktopCaseScore {
   uint16_t ExpectedCode = 0;
   bool FlaggedBad = false;
   bool FlaggedGood = false; ///< always a failure: the control is defined
+  /// The bad half was flagged by the static layer alone — the finding
+  /// carries StaticFinding, so no execution was needed to prove it.
+  bool StaticCaught = false;
   /// First code reported on the bad half (0 when clean).
   uint16_t ReportedCode = 0;
   double Micros = 0.0;
@@ -99,6 +102,7 @@ struct DesktopScores {
   std::vector<DesktopCaseScore> PerCase;
   unsigned AsExpected = 0;
   unsigned Detected = 0;      ///< bad halves flagged (any code)
+  unsigned StaticDetected = 0;///< bad halves static analysis alone catches
   unsigned WrongCode = 0;     ///< flagged as expected but wrong code
   unsigned MissedExpected = 0;///< 'flag' cases that came back clean
   unsigned KnownMisses = 0;   ///< 'miss' cases that stayed missed
@@ -115,8 +119,8 @@ DesktopScores scoreDesktopBatched(const AnalysisRequest &Req,
 
 /// Renders the per-case desktop table plus a summary line; the final
 /// line is the stable machine-greppable summary
-/// `desktop: as-expected=N detected=N wrong-code=N missed=N known-miss=N
-/// false-pos=N total=N`.
+/// `desktop: as-expected=N detected=N static=N wrong-code=N missed=N
+/// known-miss=N false-pos=N total=N`.
 std::string renderDesktopTable(const DesktopScores &S);
 
 /// Renders the Figure 2 table for several tools.

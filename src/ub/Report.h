@@ -30,6 +30,13 @@
 
 namespace cundef {
 
+/// Static-analysis confidence attached to a finding. Dynamic findings
+/// carry None (the run witnessed the behavior, so confidence is not a
+/// question); static findings are Must (UB whenever the program point
+/// is reached — the abstract state proves it) or May (UB on at least
+/// one abstract path — a triage hint, never part of the verdict).
+enum class FindingVerdict : uint8_t { None, Must, May };
+
 /// One undefinedness finding.
 struct UbReport {
   UbKind Kind = UbKind::None;
@@ -37,6 +44,11 @@ struct UbReport {
   std::string Function; ///< enclosing function name, or "<file scope>"
   SourceLoc Loc;
   bool StaticFinding = false; ///< found without executing the program
+  FindingVerdict Verdict = FindingVerdict::None;
+  /// Which static layer produced the finding ("syntactic", "nullness",
+  /// "init", "interval"); empty for dynamic findings. Always a string
+  /// literal, never owned.
+  const char *Domain = "";
 
   UbReport() = default;
   UbReport(UbKind Kind, std::string Description, std::string Function,

@@ -6,6 +6,7 @@
 
 #include "ub/StaticChecks.h"
 
+#include "libc/Builtins.h"
 #include "sema/ConstEval.h"
 
 using namespace cundef;
@@ -62,7 +63,9 @@ void StaticChecker::checkIdentifierSignificance() {
 }
 
 void StaticChecker::checkFunctionBody(const FunctionDecl *F) {
+  CurFn = F;
   checkStmt(F->Body, Ctx.Interner.str(F->Name));
+  CurFn = nullptr;
 }
 
 void StaticChecker::checkStmt(const Stmt *S, const std::string &FnName) {
@@ -154,6 +157,31 @@ static bool isConstantNullPointer(const Expr *E, const TypeContext &Types) {
   return Value && *Value == 0;
 }
 
+/// Finds a call to __cundef_va_arg (va_arg's expansion) beneath any
+/// implicit or explicit casts on \p E.
+static const CallExpr *vaArgCall(const Expr *E) {
+  while (true) {
+    if (const auto *Imp = dynCast<ImplicitCastExpr>(E)) {
+      E = Imp->Sub;
+      continue;
+    }
+    if (const auto *Cast = dynCast<CastExpr>(E)) {
+      E = Cast->Sub;
+      continue;
+    }
+    break;
+  }
+  const auto *Call = dynCast<CallExpr>(E);
+  if (!Call)
+    return nullptr;
+  const Expr *Callee = Call->Callee;
+  while (const auto *Imp = dynCast<ImplicitCastExpr>(Callee))
+    Callee = Imp->Sub;
+  const auto *Ref = dynCast<DeclRefExpr>(Callee);
+  return Ref && Ref->Fn && Ref->Fn->BuiltinId == BuiltinVaArg ? Call
+                                                              : nullptr;
+}
+
 void StaticChecker::checkExpr(const Expr *E, const std::string &FnName) {
   if (!E)
     return;
@@ -164,6 +192,22 @@ void StaticChecker::checkExpr(const Expr *E, const std::string &FnName) {
         isConstantNullPointer(U->Sub, Ctx.Types))
       Ub.report(UbKind::DerefNullConstant, FnName, U->Loc,
                 /*StaticFinding=*/true);
+    if (U->Op == UnaryOp::Deref) {
+      // Catalog row 201 (C11 7.16.1.1p2): va_arg with a type argument
+      // that is not a complete object type. The macro expands to
+      // *(type*)__cundef_va_arg(...), so an incomplete pointee on that
+      // cast is visible at translation time.
+      const Expr *Sub = U->Sub;
+      while (const auto *Imp = dynCast<ImplicitCastExpr>(Sub))
+        Sub = Imp->Sub;
+      if (const auto *Cast = dynCast<CastExpr>(Sub))
+        if (Cast->TargetTy.Ty && Cast->TargetTy.Ty->isPointer() &&
+            Cast->TargetTy.Ty->Pointee.Ty &&
+            !Cast->TargetTy.Ty->Pointee.Ty->isCompleteObjectType() &&
+            vaArgCall(Cast->Sub))
+          Ub.report(static_cast<UbKind>(201), FnName, U->Loc,
+                    /*StaticFinding=*/true);
+    }
     checkExpr(U->Sub, FnName);
     return;
   }
@@ -206,6 +250,13 @@ void StaticChecker::checkExpr(const Expr *E, const std::string &FnName) {
     return;
   case ExprKind::Call: {
     const auto *C = cast<CallExpr>(E);
+    // Catalog row 200 (C11 7.16.1.4p4): the variadic machinery used in
+    // a function with a fixed argument list. va_arg's expansion is the
+    // only way __cundef_va_arg appears, and it is only meaningful after
+    // va_start — which this function's signature does not permit.
+    if (CurFn && CurFn->FnTy && !CurFn->FnTy->Variadic && vaArgCall(C))
+      Ub.report(static_cast<UbKind>(200), FnName, C->Loc,
+                /*StaticFinding=*/true);
     checkExpr(C->Callee, FnName);
     for (const Expr *Arg : C->Args)
       checkExpr(Arg, FnName);

@@ -40,6 +40,9 @@ private:
 
   AstContext &Ctx;
   UbSink &Ub;
+  /// Function whose body is being walked (null at file scope); the
+  /// va_start/va_arg checks need its signature.
+  const FunctionDecl *CurFn = nullptr;
 };
 
 } // namespace cundef

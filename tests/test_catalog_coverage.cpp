@@ -80,7 +80,10 @@ TEST(CatalogCoverage, EveryRaisedKindHasATriggeringProgram) {
   // triggering program expecting its own code. Kinds the evaluator
   // cannot yet raise are the explicit exception list; shrinking it is
   // progress, growing it is a regression.
-  const std::set<uint16_t> NeverRaised = {30, 31, 36, 38, 39, 49};
+  // The flow-sensitive static layer raised 30/36/49 and the zero-size
+  // allocation fix raised 38; only the genuinely untriggering kinds
+  // remain.
+  const std::set<uint16_t> NeverRaised = {31, 39};
   const std::vector<CoverageCase> &Cases = catalogCoverageCases();
   for (uint16_t Id = 1; Id <= 51; ++Id) {
     const CoverageCase &Case = Cases[Id - 1];
@@ -101,6 +104,7 @@ TEST(CatalogCoverage, ReportPartitionsTheCatalog) {
   ASSERT_EQ(R.Entries.size(), 221u);
   EXPECT_EQ(R.total(), 221u);
   unsigned Covered = 0, Wrong = 0, Missed = 0, Inexpr = 0;
+  unsigned Static = 0, Dynamic = 0, Both = 0;
   for (const EntryCoverage &E : R.Entries) {
     const CoverageCase &Case = catalogCoverageCases()[E.Id - 1];
     switch (E.Verdict) {
@@ -112,20 +116,28 @@ TEST(CatalogCoverage, ReportPartitionsTheCatalog) {
         Listed |= Code == E.ReportedCode;
       EXPECT_TRUE(Listed) << "row " << E.Id << " reported "
                           << E.ReportedCode;
+      // ...and carry its layer attribution.
+      EXPECT_NE(E.Source, CoverageSource::None) << "row " << E.Id;
+      Static += E.Source == CoverageSource::Static;
+      Dynamic += E.Source == CoverageSource::Dynamic;
+      Both += E.Source == CoverageSource::Both;
       break;
     }
     case CoverageVerdict::WrongCode:
       ++Wrong;
       EXPECT_NE(E.ReportedCode, 0u) << "row " << E.Id;
+      EXPECT_EQ(E.Source, CoverageSource::None) << "row " << E.Id;
       break;
     case CoverageVerdict::Missed:
       ++Missed;
       EXPECT_EQ(E.ReportedCode, 0u) << "row " << E.Id;
       EXPECT_TRUE(Case.expressible()) << "row " << E.Id;
+      EXPECT_EQ(E.Source, CoverageSource::None) << "row " << E.Id;
       break;
     case CoverageVerdict::Inexpressible:
       ++Inexpr;
       EXPECT_FALSE(Case.expressible()) << "row " << E.Id;
+      EXPECT_EQ(E.Source, CoverageSource::None) << "row " << E.Id;
       break;
     }
   }
@@ -133,12 +145,22 @@ TEST(CatalogCoverage, ReportPartitionsTheCatalog) {
   EXPECT_EQ(R.WrongCode, Wrong);
   EXPECT_EQ(R.Missed, Missed);
   EXPECT_EQ(R.Inexpressible, Inexpr);
+  EXPECT_EQ(R.CoveredStatic, Static);
+  EXPECT_EQ(R.CoveredDynamic, Dynamic);
+  EXPECT_EQ(R.CoveredBoth, Both);
+  EXPECT_EQ(R.CoveredStatic + R.CoveredDynamic + R.CoveredBoth, R.Covered);
 }
 
 TEST(CatalogCoverage, CoveredCountMeetsCommittedBaseline) {
   // The same floor cmake/CheckCoverageBaseline.cmake gates through the
   // CLI; detector work may move it up, never down.
   EXPECT_GE(quickReport().Covered, baselineCovered());
+}
+
+TEST(CatalogCoverage, NoWrongCodeRows) {
+  // Every row the evaluator flags must answer to its own catalog code;
+  // a wrong-code row means a detector reports a neighbor's code.
+  EXPECT_EQ(quickReport().WrongCode, 0u);
 }
 
 TEST(CatalogCoverage, VerdictsDeterministicAcrossSchedulers) {
@@ -171,7 +193,9 @@ TEST(CatalogCoverage, ReportEndsWithStableSummaryLine) {
   std::ostringstream Want;
   Want << "coverage: covered=" << R.Covered << " wrong-code=" << R.WrongCode
        << " missed=" << R.Missed << " inexpressible=" << R.Inexpressible
-       << " total=" << R.total() << "\n";
+       << " total=" << R.total() << " static=" << R.CoveredStatic
+       << " dynamic=" << R.CoveredDynamic << " both=" << R.CoveredBoth
+       << "\n";
   ASSERT_GE(Text.size(), Want.str().size());
   EXPECT_EQ(Text.substr(Text.size() - Want.str().size()), Want.str())
       << "CheckCoverageBaseline.cmake parses this exact final line";
@@ -197,6 +221,13 @@ TEST(CatalogCoverage, JsonDocumentCarriesTheCounts) {
   std::ostringstream Covered;
   Covered << "\"covered\": " << R.Covered;
   EXPECT_NE(Json.find(Covered.str()), std::string::npos);
+  std::ostringstream Attr;
+  Attr << "\"covered_static\": " << R.CoveredStatic
+       << ",\n    \"covered_dynamic\": " << R.CoveredDynamic
+       << ",\n    \"covered_both\": " << R.CoveredBoth;
+  EXPECT_NE(Json.find(Attr.str()), std::string::npos);
+  EXPECT_NE(Json.find("\"source\": \"static\""), std::string::npos);
+  EXPECT_NE(Json.find("\"source\": \"dynamic\""), std::string::npos);
   EXPECT_NE(Json.find("\"total\": 221"), std::string::npos);
   EXPECT_NE(Json.find("\"exit_code\": 0"), std::string::npos);
 }

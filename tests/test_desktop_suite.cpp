@@ -150,9 +150,15 @@ TEST(DesktopSuite, EveryCaseMeetsItsManifestExpectation) {
   EXPECT_EQ(Scores.WrongCode, 0u);
   EXPECT_EQ(Scores.MissedExpected, 0u);
   EXPECT_EQ(Scores.Detected + Scores.KnownMisses, Scores.PerCase.size());
+  // Committed floor: the flow-sensitive static layer alone proves at
+  // least these many bad halves without executing them (currently
+  // scratch_return, lookup_signed, stats_uninit, and lower_const).
+  EXPECT_GE(Scores.StaticDetected, 4u);
+  EXPECT_LE(Scores.StaticDetected, Scores.Detected);
 
   std::string Table = renderDesktopTable(Scores);
   EXPECT_NE(Table.find("desktop: as-expected="), std::string::npos);
+  EXPECT_NE(Table.find(" static="), std::string::npos);
   EXPECT_EQ(Table.find("UNEXPECTED"), std::string::npos);
 }
 

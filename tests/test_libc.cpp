@@ -177,13 +177,15 @@ TEST(Libc, AbortStopsExecution) {
 }
 
 TEST(Libc, MallocZeroUsable) {
-  // Zero-size allocation: the pointer exists, any dereference is UB.
+  // Zero-size allocation: the pointer exists, any dereference is UB
+  // under the catalog's dedicated code (38), not one-past-the-end —
+  // a zero-size object has no "end" to be one past.
   expectUb("#include <stdlib.h>\n"
            "int main(void) {\n"
            "  char *p = (char*)malloc(0);\n"
            "  if (!p) { return 0; }\n"
            "  return p[0];\n}\n",
-           UbKind::DerefOnePastEnd);
+           UbKind::ZeroSizeAllocationUse);
 }
 
 TEST(Libc, MallocHugeReturnsNull) {

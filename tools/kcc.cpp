@@ -28,6 +28,15 @@
 //                                   are suppressed, the exit-code contract
 //                                   is unchanged
 //     --no-static                   skip the static undefinedness pass
+//     --static-analyze=on|off|only  flow-sensitive static layer (CFG +
+//                                   dataflow must/may analysis): on by
+//                                   default; off keeps only the
+//                                   syntactic checks; only skips the
+//                                   dynamic search entirely (the
+//                                   verdict is the static one). May
+//                                   hints print with --show-witness or
+//                                   in only mode; incompatible with
+//                                   --catalog-coverage (exit 2)
 //     --order=ltr|rtl|random        evaluation order policy
 //     --seed=N                      seed for --order=random
 //     --dump-catalog=markdown       print the UB catalog reference (with a
@@ -88,6 +97,7 @@ static void usage() {
                "  --order=ltr|rtl|random\n"
                "  --seed=N\n"
                "  --no-static\n"
+               "  --static-analyze=on|off|only\n"
                "  --dump-catalog=markdown\n"
                "  --catalog-coverage[=quick|full|N]\n");
 }
@@ -136,6 +146,21 @@ static bool printProgramReport(const DriverOutcome &O, bool ShowWitness) {
   return true;
 }
 
+/// Flow-layer may-findings: triage hints, never part of the verdict.
+/// Printed in static-only mode (where they are the point) and under
+/// --show-witness (where the user asked for everything the analysis
+/// knows).
+static void printStaticHints(const DriverOutcome &O) {
+  if (O.StaticHints.empty())
+    return;
+  std::fprintf(stderr,
+               "Static analysis hints (may-UB, not part of the verdict):\n");
+  for (const UbReport &R : O.StaticHints)
+    std::fprintf(stderr, "  [may] %05u (%s) function %s line %u: %s\n",
+                 static_cast<unsigned>(R.Kind), R.Domain, R.Function.c_str(),
+                 R.Loc.Line, R.Description.c_str());
+}
+
 /// The --show-witness stats block: the per-program scheduler counters
 /// plus the frontend-vs-search cost split (and whether the frontend
 /// pass was skipped via the translation cache).
@@ -157,6 +182,7 @@ int main(int argc, char **argv) {
   Builder.searchRuns(8);
   SchedKind Sched = SchedKind::Stealing;
   bool ShowWitness = false;
+  bool StaticOnly = false;
   bool BatchStats = false;
   bool Json = false;
   bool UseTranslationCache = true;
@@ -288,6 +314,22 @@ int main(int argc, char **argv) {
       Builder.seed(Seed);
     } else if (!std::strcmp(Arg, "--no-static")) {
       Builder.staticChecks(false);
+    } else if (startsWith(Arg, "--static-analyze=")) {
+      const char *Value = Arg + 17;
+      if (!std::strcmp(Value, "on"))
+        Builder.staticAnalyze(StaticAnalysisMode::On);
+      else if (!std::strcmp(Value, "off"))
+        Builder.staticAnalyze(StaticAnalysisMode::Off);
+      else if (!std::strcmp(Value, "only")) {
+        Builder.staticAnalyze(StaticAnalysisMode::Only);
+        StaticOnly = true;
+      } else {
+        std::fprintf(stderr,
+                     "kcc: invalid value '%s' for --static-analyze "
+                     "(expected on, off, or only)\n",
+                     Value);
+        return 2;
+      }
     } else if (Arg[0] == '-') {
       usage();
       return 2;
@@ -297,6 +339,13 @@ int main(int argc, char **argv) {
   }
   if (CoverageMode && !Paths.empty()) {
     std::fprintf(stderr, "kcc: --catalog-coverage takes no input files\n");
+    return 2;
+  }
+  if (CoverageMode && StaticOnly) {
+    // The coverage harness grades the combined static+dynamic verdict;
+    // a static-only run would grade most rows as missed by design.
+    std::fprintf(stderr, "kcc: --static-analyze=only is incompatible with "
+                         "--catalog-coverage\n");
     return 2;
   }
   if (!CoverageMode && Paths.empty()) {
@@ -389,10 +438,15 @@ int main(int argc, char **argv) {
   if (Json) {
     // Machine-readable boundary: the document is the entire stdout;
     // program output is embedded, the human report is suppressed.
+    const char *StaticModeName =
+        Req.staticAnalyze() == StaticAnalysisMode::Off  ? "off"
+        : Req.staticAnalyze() == StaticAnalysisMode::Only ? "only"
+                                                          : "on";
     std::vector<JsonProgram> Progs;
     Progs.reserve(Outcomes.size());
     for (size_t I = 0; I < Outcomes.size(); ++I)
-      Progs.push_back({&Outcomes[I], Inputs[I].Name, Micros[I]});
+      Progs.push_back({&Outcomes[I], Inputs[I].Name, Micros[I],
+                       StaticModeName});
     std::fputs(
         renderJsonDocument(Progs, Pool, TStats, WallMs, ExitCode).c_str(),
         stdout);
@@ -411,6 +465,8 @@ int main(int argc, char **argv) {
     // Program output passes through, in command-line order.
     std::fputs(O.Output.c_str(), stdout);
     printProgramReport(O, ShowWitness);
+    if (StaticOnly || ShowWitness)
+      printStaticHints(O);
     if (ShowWitness)
       printSearchStats(O);
   }
