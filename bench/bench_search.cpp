@@ -39,6 +39,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "core/Scheduler.h"
 #include "core/Search.h"
 #include "driver/Driver.h"
 
@@ -47,6 +48,7 @@
 #include <cstring>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace cundef;
@@ -117,6 +119,31 @@ Measured measure(const AstContext &Ast, const SearchOptions &SO,
   return M;
 }
 
+/// Stealing search at a worker count forced past the hardware clamp,
+/// straight on a SearchScheduler. On a big machine this measures real
+/// 16/32-way scaling; on a small CI box it still forces genuine
+/// cross-thread interleaving, so the identity gates below stay
+/// meaningful everywhere even when the wall-clock numbers are not.
+Measured measureForced(const AstContext &Ast, const SearchOptions &SO,
+                       const char *Engine, unsigned Workers) {
+  MachineOptions MOpts;
+  auto Start = std::chrono::steady_clock::now();
+  SearchScheduler::Config Cfg;
+  Cfg.Jobs = Workers;
+  Cfg.ClampJobsToHardware = false;
+  Cfg.SnapshotBudget = SO.SnapshotBudget;
+  SearchScheduler Sched(Cfg);
+  size_t Id = Sched.submit(Ast, MOpts, SO);
+  Sched.runAll();
+  Measured M;
+  M.Engine = Engine;
+  M.Jobs = Workers;
+  M.R = Sched.takeResult(Id);
+  auto End = std::chrono::steady_clock::now();
+  M.Millis = std::chrono::duration<double, std::milli>(End - Start).count();
+  return M;
+}
+
 std::string witnessStr(const std::vector<uint8_t> &W) {
   std::string S = "[";
   for (uint8_t D : W)
@@ -176,14 +203,18 @@ int main(int argc, char **argv) {
        /*DeepTree=*/true},
   };
 
+  const unsigned HwConcurrency =
+      std::max(1u, std::thread::hardware_concurrency());
   std::printf("Evaluation-order search (paper section 2.5.2), budget %u "
-              "runs%s\n\n", Budget, Quick ? " [quick]" : "");
-  std::printf("%-32s %-8s %6s %7s %9s %9s %8s %8s %9s %9s %8s\n", "program",
-              "verdict", "runs", "hits", "seq ms", "replay ms", "fork ms",
-              "steal ms", "wave4 ms", "steal4 ms", "speedup");
-  std::printf("%s\n", std::string(124, '-').c_str());
+              "runs%s, %u hardware threads\n\n",
+              Budget, Quick ? " [quick]" : "", HwConcurrency);
+  std::printf("%-32s %-8s %6s %7s %9s %9s %8s %8s %9s %9s %10s %8s\n",
+              "program", "verdict", "runs", "hits", "seq ms", "replay ms",
+              "fork ms", "steal ms", "wave4 ms", "steal4 ms", "steal16 ms",
+              "speedup");
+  std::printf("%s\n", std::string(134, '-').c_str());
 
-  double DeepWave4Ms = 0, DeepSteal4Ms = 0;
+  double DeepWave4Ms = 0, DeepSteal4Ms = 0, DeepSteal16Ms = 0;
   double DeepFork1Ms = 0, DeepSteal1Ms = 0;
   bool WitnessesAgree = true;
   bool HitsOk = true;
@@ -226,9 +257,12 @@ int main(int argc, char **argv) {
         measure(C->ast(), Seq, "seq"),      measure(C->ast(), Replay, "replay"),
         measure(C->ast(), Fork, "fork"),    measure(C->ast(), Steal, "steal"),
         measure(C->ast(), Wave4, "wave4"),  measure(C->ast(), Steal4, "steal4"),
+        measureForced(C->ast(), Steal, "steal16", 16),
+        measureForced(C->ast(), Steal, "steal32", 32),
     };
     const Measured &MSeq = Ms[0], &MRep = Ms[1], &MFork = Ms[2],
-                   &MSteal = Ms[3], &MWave4 = Ms[4], &MSteal4 = Ms[5];
+                   &MSteal = Ms[3], &MWave4 = Ms[4], &MSteal4 = Ms[5],
+                   &MSteal16 = Ms[6], &MSteal32 = Ms[7];
 
     const double HitRate =
         MSteal.R.RunsExplored
@@ -239,6 +273,7 @@ int main(int argc, char **argv) {
     if (Case.DeepTree) {
       DeepWave4Ms += MWave4.Millis;
       DeepSteal4Ms += MSteal4.Millis;
+      DeepSteal16Ms += MSteal16.Millis;
       DeepFork1Ms += MFork.Millis;
       DeepSteal1Ms += MSteal.Millis;
     }
@@ -254,20 +289,28 @@ int main(int argc, char **argv) {
     // Committed dedup decisions are deterministic: replay, fork, and
     // steal must agree exactly, at one worker and at four (RunsExplored
     // is compared at one worker; the wave engine's count is
-    // timing-dependent when a witness cuts a parallel wave short).
+    // timing-dependent when a witness cuts a parallel wave short). The
+    // stealing scheduler's committed counts are worker-count-invariant,
+    // so the forced 16- and 32-worker runs must match steal1 exactly —
+    // this is the high-worker identity gate bench_search_quick runs in
+    // CI.
     if (MFork.R.DedupHits != MRep.R.DedupHits ||
         MSteal.R.DedupHits != MFork.R.DedupHits ||
         MSteal4.R.DedupHits != MWave4.R.DedupHits ||
+        MSteal16.R.DedupHits != MSteal.R.DedupHits ||
+        MSteal32.R.DedupHits != MSteal.R.DedupHits ||
         MFork.R.RunsExplored != MRep.R.RunsExplored ||
-        MSteal.R.RunsExplored != MFork.R.RunsExplored)
+        MSteal.R.RunsExplored != MFork.R.RunsExplored ||
+        MSteal16.R.RunsExplored != MSteal.R.RunsExplored ||
+        MSteal32.R.RunsExplored != MSteal.R.RunsExplored)
       HitsOk = false;
 
     std::printf("%-32s %-8s %6u %6.0f%% %9.2f %9.2f %8.2f %8.2f %9.2f %9.2f "
-                "%7.1fx\n",
+                "%10.2f %7.1fx\n",
                 Case.Name, MSteal.R.UbFound ? "UNDEF" : "clean",
                 MSteal.R.RunsExplored, HitRate, MSeq.Millis, MRep.Millis,
                 MFork.Millis, MSteal.Millis, MWave4.Millis, MSteal4.Millis,
-                Speedup);
+                MSteal16.Millis, Speedup);
     if (MSteal.R.UbFound)
       std::printf("%-32s   witness %s%s\n", "",
                   witnessStr(MSteal.R.Witness).c_str(),
@@ -289,11 +332,24 @@ int main(int argc, char **argv) {
       DeepSteal1Ms > 0 ? DeepFork1Ms / DeepSteal1Ms : 0.0;
   const double DeepSpeedup4 =
       DeepSteal4Ms > 0 ? DeepWave4Ms / DeepSteal4Ms : 0.0;
-  std::printf("%s\n", std::string(124, '-').c_str());
+  const double DeepSpeedup16 =
+      DeepSteal16Ms > 0 ? DeepSteal4Ms / DeepSteal16Ms : 0.0;
+  // The steal16-vs-steal4 scaling gate only means something when the
+  // hardware can actually run 16 workers; on smaller boxes (CI
+  // containers are often 1-core) the number is informational and the
+  // exit code gates identity alone.
+  const bool ScalingGateActive = HwConcurrency >= 16;
+  const bool ScalingOk = !ScalingGateActive || DeepSpeedup16 >= 2.0;
+  std::printf("%s\n", std::string(134, '-').c_str());
   std::printf("deep tree, wave vs steal: %.1fx at jobs=1 (%.2f -> %.2f ms), "
               "%.1fx at jobs=4 (%.2f -> %.2f ms)\n",
               DeepSpeedup1, DeepFork1Ms, DeepSteal1Ms, DeepSpeedup4,
               DeepWave4Ms, DeepSteal4Ms);
+  std::printf("deep tree, steal4 vs steal16: %.1fx (%.2f -> %.2f ms) "
+              "[gate %s on %u hardware threads]\n",
+              DeepSpeedup16, DeepSteal4Ms, DeepSteal16Ms,
+              ScalingGateActive ? ">=2.0x enforced" : "informational",
+              HwConcurrency);
   std::printf("witnesses %s; dedup hits %s\n",
               WitnessesAgree ? "identical in every configuration"
                              : "DIFFER (bug!)",
@@ -305,15 +361,19 @@ int main(int argc, char **argv) {
               "pool is spawned once, not per wave.\n");
 
   Json += "  ],\n";
-  char Summary[256];
+  char Summary[512];
   std::snprintf(Summary, sizeof(Summary),
                 "  \"summary\": {\"deep_wave4_ms\": %.3f, "
                 "\"deep_steal4_ms\": %.3f, \"deep_speedup4\": %.2f, "
+                "\"deep_steal16_ms\": %.3f, \"deep_speedup16\": %.2f, "
+                "\"hw_concurrency\": %u, \"scaling_gate_active\": %s, "
                 "\"witnesses_identical\": %s, \"dedup_identical\": %s}\n",
-                DeepWave4Ms, DeepSteal4Ms, DeepSpeedup4,
+                DeepWave4Ms, DeepSteal4Ms, DeepSpeedup4, DeepSteal16Ms,
+                DeepSpeedup16, HwConcurrency,
+                ScalingGateActive ? "true" : "false",
                 WitnessesAgree ? "true" : "false", HitsOk ? "true" : "false");
   Json += Summary;
   Json += "}\n";
   cundef_bench::writeJsonFile("bench_search", JsonPath, Json);
-  return WitnessesAgree && HitsOk ? 0 : 1;
+  return WitnessesAgree && HitsOk && ScalingOk ? 0 : 1;
 }

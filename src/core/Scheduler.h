@@ -58,24 +58,51 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace cundef {
 
 /// LRU cache of choice-point snapshots, shared by every run of a
 /// scheduler (and by the wave engine). Thread-safe. Capacity bounds the
 /// number of *pending* snapshots (captured, not yet taken by the child
-/// that will fork from them); inserting beyond capacity evicts the
-/// least-recently-inserted entry, whose child then replays its prefix
-/// from main() instead — the eviction is counted, never an error.
+/// that will fork from them); inserting beyond capacity evicts a
+/// pending entry, whose child then replays its prefix from main()
+/// instead — the eviction is counted, never an error.
+///
+/// Internally the capacity is split across per-worker **shards** (one
+/// mutex + LRU list each) so 16-64 workers capturing snapshots stop
+/// serializing on one global lock. Small capacities (< 64) keep a
+/// single shard, preserving the original global-LRU behavior exactly.
+/// An insert goes to the caller's home shard (the \p ShardHint, worker
+/// index); when that shard is full it first *steals a free slot* from a
+/// sibling shard (so total capacity is never wasted on an imbalanced
+/// pool), and only evicts when every shard is full. Eviction is
+/// **program-affine**: the victim is the oldest pending entry of the
+/// *same program* as the incoming snapshot when one exists (one
+/// deep program then thrashes against its own snapshots instead of
+/// evicting every other program's), else the home shard's oldest.
 class SnapshotCache {
 public:
-  explicit SnapshotCache(unsigned Capacity) : Capacity(Capacity) {}
+  explicit SnapshotCache(unsigned Capacity);
+
+  /// Aggregated shard counters (monotonic).
+  struct Counters {
+    uint64_t Inserts = 0;    ///< admitted captures
+    uint64_t Takes = 0;      ///< take() calls with a nonzero id
+    uint64_t Hits = 0;       ///< takes that found the entry (child forked)
+    uint64_t SlotSteals = 0; ///< inserts placed in a sibling shard
+    uint64_t Evictions = 0;  ///< pending entries evicted
+  };
 
   /// Admits \p Snap and returns its handle (0 when Capacity is 0: the
   /// snapshot is dropped immediately, which keeps the "budget 0 means
-  /// pure replay" contract). May evict the oldest pending entry;
-  /// the eviction is charged to that entry's \p EvictCounter.
-  uint64_t insert(MachineSnapshot Snap, std::atomic<unsigned> *EvictCounter);
+  /// pure replay" contract). May evict a pending entry; the eviction is
+  /// charged to that entry's \p EvictCounter. \p EvictCounter doubles
+  /// as the inserting program's identity for affinity decisions.
+  /// \p ShardHint selects the home shard (callers pass their worker
+  /// index; any value is valid).
+  uint64_t insert(MachineSnapshot Snap, std::atomic<unsigned> *EvictCounter,
+                  unsigned ShardHint = 0);
 
   /// Removes and returns the snapshot for \p Id; null when the entry
   /// was evicted (or \p Id is 0).
@@ -83,25 +110,55 @@ public:
 
   /// Discards \p Id without counting an eviction (the child's subtree
   /// was pruned or dropped, so the snapshot can never be used).
+  /// Dropping an evicted, already-taken, or already-dropped id is a
+  /// no-op.
   void drop(uint64_t Id);
 
   unsigned evictions() const {
     return Evictions.load(std::memory_order_relaxed);
   }
   size_t pending() const;
+  unsigned shards() const { return NumShards; }
+  Counters counters() const;
 
 private:
   struct Entry {
     std::unique_ptr<MachineSnapshot> Snap;
     std::list<uint64_t>::iterator LruIt;
+    /// Eviction accounting target; also the owning program's identity
+    /// (one counter per program) for affinity-aware victim selection.
     std::atomic<unsigned> *EvictCounter = nullptr;
   };
 
-  mutable std::mutex Mu;
-  std::unordered_map<uint64_t, Entry> Entries;
-  std::list<uint64_t> Lru; ///< front = oldest = next eviction victim
-  uint64_t NextId = 1;
+  /// One shard: its own lock, map, LRU list, and slice of the
+  /// capacity. Cacheline-aligned so neighboring shard locks never
+  /// false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex Mu;
+    std::unordered_map<uint64_t, Entry> Entries;
+    std::list<uint64_t> Lru; ///< front = oldest = next eviction victim
+    uint64_t NextSeq = 1;
+    unsigned Capacity = 0;
+    uint64_t Inserts = 0;
+    uint64_t Takes = 0;
+    uint64_t Hits = 0;
+    uint64_t SlotSteals = 0;
+  };
+
+  /// Ids encode their shard in the low bits so take/drop touch exactly
+  /// one shard lock.
+  static constexpr unsigned kShardBits = 5; ///< up to 32 shards
+  static unsigned shardCountFor(unsigned Capacity);
+  Shard &shardOf(uint64_t Id) {
+    return ShardVec[static_cast<size_t>(Id) & (NumShards - 1)];
+  }
+  /// Inserts into \p S (caller holds S.Mu; S must have a free slot).
+  uint64_t insertInto(Shard &S, unsigned ShardIdx, MachineSnapshot &&Snap,
+                      std::atomic<unsigned> *EvictCounter);
+
   const unsigned Capacity;
+  const unsigned NumShards;
+  std::vector<Shard> ShardVec;
   std::atomic<unsigned> Evictions{0};
 };
 
@@ -119,10 +176,33 @@ struct SchedulerStats {
   /// Machine runs actually executed, including speculative runs whose
   /// effective outcome was a dedup cancellation (the wave engine never
   /// executes those past the cancellation point; the surplus is the
-  /// price of barrier-free scheduling, bounded by the run budget).
+  /// price of barrier-free scheduling, bounded by the run budget) and
+  /// re-executions forced by a provisional-publication rollback.
   uint64_t RunsExecuted = 0;
   /// Sum of per-program dedup hits (committed, deterministic).
   uint64_t DedupHits = 0;
+  /// Runs finalized by the commit wavefront (deterministic; equal to
+  /// the wave engine's started-run count). RunsExecuted - RunsCommitted
+  /// is the speculative surplus; the waste ratio is that surplus over
+  /// RunsCommitted.
+  uint64_t RunsCommitted = 0;
+  /// Speculative runs stopped early by a *provisional* visited entry —
+  /// one claimed by an in-flight run of an earlier generation, not yet
+  /// committed. Each hit is execution the pre-provisional scheduler
+  /// would have wasted re-exploring a claimed subtree.
+  uint64_t ProvisionalHits = 0;
+  /// Provisionally-stopped runs whose claim did not survive commit
+  /// (no committed entry justified the stop), re-executed against the
+  /// committed set. Determinism's rollback cost; typically tiny.
+  uint64_t ProvisionalRequeues = 0;
+  /// Peak of (runs executed - runs committed): how far speculation ran
+  /// ahead of the commit wavefront.
+  uint64_t CommitLagPeak = 0;
+  /// Snapshot-cache shard count and aggregated shard counters.
+  unsigned SnapshotShards = 0;
+  uint64_t SnapshotTakes = 0;      ///< child fork attempts
+  uint64_t SnapshotHits = 0;       ///< forks served (entry still cached)
+  uint64_t SnapshotSlotSteals = 0; ///< inserts placed via a sibling shard
 };
 
 /// Memory-observability counters: how much per-program state the

@@ -47,6 +47,7 @@ BatchResult Driver::runBatch(const std::vector<BatchInput> &Inputs) {
     SchedulerStats St = waveAggregateStats(Batch.Outcomes);
     Batch.Stats.Jobs = St.Jobs;
     Batch.Stats.RunsExecuted = St.RunsExecuted;
+    Batch.Stats.RunsCommitted = St.RunsCommitted;
     Batch.Stats.DedupHits = St.DedupHits;
     Batch.Stats.SnapshotEvictions = St.SnapshotEvictions;
     Batch.Stats.PeakFrontier = St.PeakFrontier;
@@ -60,6 +61,9 @@ BatchResult Driver::runBatch(const std::vector<BatchInput> &Inputs) {
         After.SnapshotEvictions - Before.SnapshotEvictions;
     Batch.Stats.PeakFrontier = After.PeakFrontier;
     Batch.Stats.RunsExecuted = After.RunsExecuted - Before.RunsExecuted;
+    Batch.Stats.RunsCommitted = After.RunsCommitted - Before.RunsCommitted;
+    Batch.Stats.ProvisionalRequeues =
+        After.ProvisionalRequeues - Before.ProvisionalRequeues;
     Batch.Stats.DedupHits = After.DedupHits - Before.DedupHits;
   }
 

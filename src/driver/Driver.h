@@ -41,6 +41,13 @@ struct BatchStats {
   uint64_t PeakFrontier = 0;
   /// Machine runs executed, including speculative surplus.
   uint64_t RunsExecuted = 0;
+  /// Runs the commit wavefront finalized (deterministic). The
+  /// speculative-waste ratio of the batch is
+  /// (RunsExecuted - RunsCommitted) / RunsCommitted.
+  uint64_t RunsCommitted = 0;
+  /// Provisional-claim rollbacks: runs re-executed because their early
+  /// stop was only provisionally justified.
+  uint64_t ProvisionalRequeues = 0;
   uint64_t DedupHits = 0;
   /// Translation-cache resolution of this batch's frontend passes:
   /// hits (ready artifact or in-flight join — no compile ran) vs

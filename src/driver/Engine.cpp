@@ -65,6 +65,10 @@ cundef::waveAggregateStats(const std::vector<DriverOutcome> &Outcomes) {
     St.SnapshotEvictions += O.SearchEvictions;
     St.PeakFrontier = std::max<uint64_t>(St.PeakFrontier, O.SearchPeakFrontier);
   }
+  // The wave barrier never speculates: every executed run is a
+  // committed run, the speculative-waste ratio is identically zero,
+  // and the provisional/shard counters have no wave counterpart.
+  St.RunsCommitted = St.RunsExecuted;
   return St;
 }
 

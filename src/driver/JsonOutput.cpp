@@ -182,15 +182,39 @@ cundef::renderJsonDocument(const std::vector<JsonProgram> &Programs,
       appendProgram(Out, Programs[I], I + 1 == Programs.size());
     Out += "  ],\n";
   }
+  // Speculation accounting (cundef-kcc-v1 additions): the waste ratio
+  // is the executed surplus over committed runs — 0.0 on the wave path
+  // and at jobs=1, where speculation cannot outrun the wavefront.
+  const double Waste =
+      Pool.RunsCommitted
+          ? static_cast<double>(Pool.RunsExecuted - Pool.RunsCommitted) /
+                static_cast<double>(Pool.RunsCommitted)
+          : 0.0;
   Out += "  \"pool\": {\n";
   Out += strFormat("    \"programs\": %u,\n", Pool.Programs);
   Out += strFormat("    \"workers\": %u,\n", Pool.Jobs);
   Out += strFormat("    \"runs_executed\": %llu,\n",
                    static_cast<unsigned long long>(Pool.RunsExecuted));
+  Out += strFormat("    \"runs_committed\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.RunsCommitted));
+  Out += strFormat("    \"speculative_waste\": %.4f,\n", Waste);
+  Out += strFormat("    \"provisional_hits\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.ProvisionalHits));
+  Out += strFormat("    \"provisional_requeues\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.ProvisionalRequeues));
+  Out += strFormat("    \"commit_lag_peak\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.CommitLagPeak));
   Out += strFormat("    \"steals\": %llu,\n",
                    static_cast<unsigned long long>(Pool.Steals));
   Out += strFormat("    \"dedup_hits\": %llu,\n",
                    static_cast<unsigned long long>(Pool.DedupHits));
+  Out += strFormat("    \"snapshot_shards\": %u,\n", Pool.SnapshotShards);
+  Out += strFormat("    \"snapshot_takes\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.SnapshotTakes));
+  Out += strFormat("    \"snapshot_hits\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.SnapshotHits));
+  Out += strFormat("    \"snapshot_slot_steals\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.SnapshotSlotSteals));
   Out += strFormat("    \"snapshot_evictions\": %llu,\n",
                    static_cast<unsigned long long>(Pool.SnapshotEvictions));
   Out += strFormat("    \"peak_frontier\": %llu,\n",

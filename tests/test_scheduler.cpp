@@ -22,6 +22,7 @@
 #include <gtest/gtest.h>
 
 #include <iterator>
+#include <thread>
 
 using namespace cundef;
 
@@ -99,8 +100,9 @@ void expectSameVerdict(const SearchResult &A, const SearchResult &B,
 //===----------------------------------------------------------------------===//
 
 TEST(Scheduler, WaveVsStealingWitnessEquality) {
-  // Committed outputs must agree between schedulers at jobs 1, 2, and 8
-  // — and across repetitions, so steal interleaving never leaks in.
+  // Committed outputs must agree between schedulers at jobs 1 through
+  // 32 (forced past the hardware clamp) — and across repetitions, so
+  // steal interleaving never leaks in.
   for (const char *Source : Corpus) {
     Driver Drv;
     Driver::Compiled C = Drv.compile(Source, "sched.c");
@@ -111,7 +113,7 @@ TEST(Scheduler, WaveVsStealingWitnessEquality) {
     Wave.Jobs = 1;
     SearchResult RW = searchWith(C, Wave);
 
-    for (unsigned Jobs : {1u, 2u, 8u}) {
+    for (unsigned Jobs : {1u, 2u, 8u, 16u, 32u}) {
       SearchOptions Steal;
       Steal.MaxRuns = 256;
       Steal.Sched = SchedKind::Stealing;
@@ -167,6 +169,83 @@ TEST(Scheduler, WaveVsStealingTraceByteEquality) {
           << Source << " run " << I << ": fingerprint streams diverge";
       EXPECT_EQ(W.Status, S.Status) << Source << " run " << I;
       EXPECT_EQ(W.DedupAborted, S.DedupAborted) << Source << " run " << I;
+    }
+  }
+}
+
+TEST(Scheduler, ProvisionalRollbackNeverChangesCommittedResults) {
+  // Provisional visited publication lets a speculative run stop on a
+  // key an *in-flight* earlier-generation run merely claimed; if the
+  // claim never commits, the commit wavefront must detect it and
+  // re-execute the run (rollback). This is the strongest equality we
+  // can demand: at forced 16 and 32 workers — far past this tree's
+  // frontier, so provisional consumption and rollback genuinely occur
+  // — every per-run record (pinned prefix, decision trace, fingerprint
+  // stream, status, dedup outcome) must still be byte-identical to the
+  // wave engine's, every round. An unjustified provisional stop that
+  // survived to commit would surface here as a shortened trace or a
+  // flipped DedupAborted.
+  for (const char *Source : {Corpus[3], Corpus[4]}) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "prov.c");
+    ASSERT_TRUE(C->ok()) << C->errors();
+    SearchOptions Wave;
+    Wave.MaxRuns = 256;
+    Wave.Sched = SchedKind::Wave;
+    Wave.Jobs = 1;
+    Wave.CollectRuns = true;
+    SearchResult RW = searchWith(C, Wave);
+
+    for (unsigned Workers : {16u, 32u}) {
+      SearchOptions Steal = Wave;
+      Steal.Sched = SchedKind::Stealing;
+      Steal.Jobs = Workers;
+      for (int Round = 0; Round < 4; ++Round) {
+        SearchResult RS = searchStealForced(C, Steal, Workers);
+        expectSameVerdict(RW, RS, Source);
+        EXPECT_EQ(RW.RunsExplored, RS.RunsExplored)
+            << Source << " workers=" << Workers;
+        EXPECT_EQ(RW.DedupHits, RS.DedupHits)
+            << Source << " workers=" << Workers;
+        EXPECT_EQ(RW.SubtreesPruned, RS.SubtreesPruned)
+            << Source << " workers=" << Workers;
+        EXPECT_EQ(RW.Waves, RS.Waves) << Source << " workers=" << Workers;
+        ASSERT_EQ(RW.Runs.size(), RS.Runs.size())
+            << Source << " workers=" << Workers;
+        for (size_t I = 0; I < RW.Runs.size(); ++I) {
+          const SearchRunRecord &W = RW.Runs[I];
+          const SearchRunRecord &S = RS.Runs[I];
+          EXPECT_EQ(W.Pinned, S.Pinned)
+              << Source << " workers=" << Workers << " run " << I;
+          EXPECT_EQ(W.Trace, S.Trace)
+              << Source << " workers=" << Workers << " run " << I
+              << ": committed trace changed under speculation";
+          EXPECT_EQ(W.FpStream, S.FpStream)
+              << Source << " workers=" << Workers << " run " << I;
+          EXPECT_EQ(W.Status, S.Status)
+              << Source << " workers=" << Workers << " run " << I;
+          EXPECT_EQ(W.DedupAborted, S.DedupAborted)
+              << Source << " workers=" << Workers << " run " << I;
+        }
+      }
+    }
+  }
+  // UB-by-order programs: committed verdict/witness equality at the
+  // same forced worker counts (full per-run equality is a clean-tree
+  // contract; a winning witness ends the wave engine mid-generation).
+  for (const char *Source : {Corpus[0], Corpus[2]}) {
+    Driver Drv;
+    Driver::Compiled C = Drv.compile(Source, "provub.c");
+    ASSERT_TRUE(C->ok()) << C->errors();
+    SearchOptions Wave;
+    Wave.MaxRuns = 256;
+    Wave.Sched = SchedKind::Wave;
+    SearchResult RW = searchWith(C, Wave);
+    for (unsigned Workers : {16u, 32u}) {
+      SearchOptions Steal = Wave;
+      Steal.Sched = SchedKind::Stealing;
+      for (int Round = 0; Round < 4; ++Round)
+        expectSameVerdict(RW, searchStealForced(C, Steal, Workers), Source);
     }
   }
 }
@@ -285,6 +364,136 @@ TEST(Scheduler, SnapshotCacheBasics) {
   EXPECT_EQ(Zero.insert(Snap, &Evictions), 0u)
       << "capacity 0 admits nothing";
   EXPECT_EQ(Evictions.load(), 1u);
+}
+
+TEST(Scheduler, SnapshotCacheShardedContract) {
+  // The resharded cache: large capacities split across shards; tiny
+  // capacities stay single-shard so the exact-victim LRU contract
+  // above is untouched; ids stay live across shards; dropping an
+  // already-evicted (or already-dropped) id is a no-op everywhere.
+  MachineSnapshot Snap{Configuration(),
+                       OrderChooser(EvalOrderKind::LeftToRight, 1)};
+  std::atomic<unsigned> Evictions{0};
+
+  SnapshotCache Small(2);
+  EXPECT_EQ(Small.shards(), 1u) << "tiny capacities must not shard";
+  SnapshotCache Zero(0);
+  EXPECT_EQ(Zero.shards(), 1u);
+
+  SnapshotCache Big(1024);
+  EXPECT_GT(Big.shards(), 1u) << "the default budget must shard";
+  // Every shard admits and serves entries; slot stealing fills sibling
+  // shards once a hinted home shard is full.
+  std::vector<uint64_t> Ids;
+  for (unsigned I = 0; I < 4 * Big.shards(); ++I) {
+    uint64_t Id = Big.insert(Snap, &Evictions, /*ShardHint=*/I);
+    ASSERT_NE(Id, 0u);
+    Ids.push_back(Id);
+  }
+  EXPECT_EQ(Big.pending(), Ids.size());
+  for (uint64_t Id : Ids)
+    EXPECT_NE(Big.take(Id), nullptr) << Id;
+  EXPECT_EQ(Big.pending(), 0u);
+  EXPECT_EQ(Evictions.load(), 0u);
+
+  // drop() on an evicted id: capacity 1 forces the eviction.
+  SnapshotCache One(1);
+  uint64_t A = One.insert(Snap, &Evictions);
+  uint64_t B = One.insert(Snap, &Evictions); // evicts A
+  EXPECT_EQ(Evictions.load(), 1u);
+  One.drop(A); // already evicted: no-op
+  One.drop(A); // still a no-op
+  EXPECT_EQ(One.pending(), 1u);
+  EXPECT_EQ(Evictions.load(), 1u) << "dropping an evicted id counts nothing";
+  One.drop(B);
+  One.drop(B); // double drop: no-op
+  EXPECT_EQ(One.pending(), 0u);
+  EXPECT_EQ(Evictions.load(), 1u);
+
+  SnapshotCache::Counters C = One.counters();
+  EXPECT_EQ(C.Inserts, 2u);
+  EXPECT_EQ(C.Evictions, 1u);
+  EXPECT_EQ(C.Takes, 0u);
+}
+
+TEST(Scheduler, SnapshotCacheAffinityEviction) {
+  // Program-affine victim selection: when every slot is full, the
+  // incoming program evicts *its own* oldest pending snapshot when it
+  // has one — even when another program's entry is globally older —
+  // and falls back to the global oldest otherwise.
+  MachineSnapshot Snap{Configuration(),
+                       OrderChooser(EvalOrderKind::LeftToRight, 1)};
+  std::atomic<unsigned> ProgA{0}, ProgB{0};
+  SnapshotCache Cache(2); // single shard: deterministic victim
+  uint64_t A1 = Cache.insert(Snap, &ProgA); // globally oldest
+  uint64_t B1 = Cache.insert(Snap, &ProgB);
+  ASSERT_NE(A1, 0u);
+  ASSERT_NE(B1, 0u);
+
+  Cache.insert(Snap, &ProgB); // full: B thrashes against itself
+  EXPECT_EQ(ProgB.load(), 1u) << "B's oldest entry is the victim";
+  EXPECT_EQ(ProgA.load(), 0u) << "A's older entry survives";
+  EXPECT_EQ(Cache.take(B1), nullptr) << "B1 was evicted";
+  EXPECT_NE(Cache.take(A1), nullptr) << "A1 is still pending";
+
+  // With no same-program entry pending, the global oldest goes.
+  uint64_t B3 = Cache.insert(Snap, &ProgB);
+  Cache.insert(Snap, &ProgA); // cache holds {B2, B3}; A evicts B2
+  EXPECT_EQ(ProgB.load(), 2u);
+  EXPECT_EQ(ProgA.load(), 0u);
+  EXPECT_NE(Cache.take(B3), nullptr) << "only the older B entry was evicted";
+}
+
+TEST(Scheduler, SnapshotCacheConcurrentStress) {
+  // Concurrent insert/take/drop races across shards, including double
+  // drops and drops of evicted ids: accounting must stay exact and
+  // every id must resolve exactly once.
+  SnapshotCache Cache(1024);
+  ASSERT_GT(Cache.shards(), 1u);
+  constexpr unsigned NumThreads = 8;
+  constexpr unsigned OpsPerThread = 400;
+  std::atomic<unsigned> Evictions{0};
+  std::atomic<uint64_t> TakenHits{0};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      MachineSnapshot Snap{Configuration(),
+                           OrderChooser(EvalOrderKind::LeftToRight, 1)};
+      std::vector<uint64_t> Mine;
+      for (unsigned I = 0; I < OpsPerThread; ++I) {
+        uint64_t Id = Cache.insert(Snap, &Evictions, /*ShardHint=*/T);
+        ASSERT_NE(Id, 0u);
+        Mine.push_back(Id);
+        switch (I % 4) {
+        case 0: // take the most recent insert
+          if (Cache.take(Mine.back()))
+            TakenHits.fetch_add(1, std::memory_order_relaxed);
+          Mine.pop_back();
+          break;
+        case 1: // drop the oldest tracked id, then double-drop it
+          Cache.drop(Mine.front());
+          Cache.drop(Mine.front());
+          Mine.erase(Mine.begin());
+          break;
+        default:
+          break; // leave it pending (eviction pressure)
+        }
+      }
+      // Drain: every remaining id was taken here, dropped here, or
+      // evicted by someone; all three make a later drop a no-op.
+      for (uint64_t Id : Mine)
+        Cache.drop(Id);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  EXPECT_EQ(Cache.pending(), 0u) << "every id drained";
+  SnapshotCache::Counters C = Cache.counters();
+  EXPECT_EQ(C.Inserts, uint64_t(NumThreads) * OpsPerThread);
+  EXPECT_EQ(C.Evictions, Evictions.load());
+  EXPECT_EQ(C.Hits, TakenHits.load());
+  EXPECT_LE(C.Hits, C.Takes);
+  EXPECT_LE(C.Evictions, C.Inserts);
 }
 
 //===----------------------------------------------------------------------===//

@@ -177,6 +177,36 @@ static void printSearchStats(const DriverOutcome &O) {
                O.SearchMicros);
 }
 
+/// The --show-witness pool block: scheduler-wide speculation and
+/// snapshot-cache contention counters (one line each; zeros on the
+/// wave path, which never speculates).
+static void printPoolStats(const cundef::SchedulerStats &Pool) {
+  const double Waste =
+      Pool.RunsCommitted
+          ? static_cast<double>(Pool.RunsExecuted - Pool.RunsCommitted) /
+                static_cast<double>(Pool.RunsCommitted)
+          : 0.0;
+  std::fprintf(stderr,
+               "Pool stats: workers=%u runs-executed=%llu "
+               "runs-committed=%llu waste=%.2f%% provisional-hits=%llu "
+               "provisional-requeues=%llu commit-lag-peak=%llu\n",
+               Pool.Jobs,
+               static_cast<unsigned long long>(Pool.RunsExecuted),
+               static_cast<unsigned long long>(Pool.RunsCommitted),
+               Waste * 100.0,
+               static_cast<unsigned long long>(Pool.ProvisionalHits),
+               static_cast<unsigned long long>(Pool.ProvisionalRequeues),
+               static_cast<unsigned long long>(Pool.CommitLagPeak));
+  std::fprintf(stderr,
+               "Snapshot cache: shards=%u takes=%llu hits=%llu "
+               "slot-steals=%llu evictions=%llu\n",
+               Pool.SnapshotShards,
+               static_cast<unsigned long long>(Pool.SnapshotTakes),
+               static_cast<unsigned long long>(Pool.SnapshotHits),
+               static_cast<unsigned long long>(Pool.SnapshotSlotSteals),
+               static_cast<unsigned long long>(Pool.SnapshotEvictions));
+}
+
 int main(int argc, char **argv) {
   AnalysisRequest::Builder Builder;
   Builder.searchRuns(8);
@@ -470,13 +500,23 @@ int main(int argc, char **argv) {
     if (ShowWitness)
       printSearchStats(O);
   }
+  if (ShowWitness)
+    printPoolStats(Pool);
   if (BatchStats) {
     std::fprintf(stderr,
-                 "Batch stats: programs=%u jobs=%u runs=%llu steals=%llu "
+                 "Batch stats: programs=%u jobs=%u runs=%llu committed=%llu "
+                 "waste=%.2f%% steals=%llu "
                  "dedup-hits=%llu evictions=%llu peak-frontier=%llu "
                  "wall-ms=%.2f\n",
                  Pool.Programs, Pool.Jobs,
                  static_cast<unsigned long long>(Pool.RunsExecuted),
+                 static_cast<unsigned long long>(Pool.RunsCommitted),
+                 Pool.RunsCommitted
+                     ? 100.0 *
+                           static_cast<double>(Pool.RunsExecuted -
+                                               Pool.RunsCommitted) /
+                           static_cast<double>(Pool.RunsCommitted)
+                     : 0.0,
                  static_cast<unsigned long long>(Pool.Steals),
                  static_cast<unsigned long long>(Pool.DedupHits),
                  static_cast<unsigned long long>(Pool.SnapshotEvictions),
