@@ -1,0 +1,257 @@
+//===- bench/bench_serve.cpp - Analysis-service loopback bench ------------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+// The service deployment shape (ISSUE 9): many short-lived kcc clients
+// multiplexed onto one warm kcc-serve engine. This bench stands up an
+// in-process ServeDaemon on a loopback Unix socket and drives it with
+// 1, 4, and 16 concurrent clients, each submitting a stream of
+// translation units one at a time and waiting for the verdict — the
+// interactive editor-integration pattern, where submit-to-verdict
+// latency is the product.
+//
+// Reported per client count: throughput (jobs/s) and the p50/p99
+// latency of the full round trip (encode, socket, admission, engine
+// queue, search, result streaming, decode). Results land in
+// BENCH_serve.json next to the other BENCH_*.json files.
+//
+// Correctness gate (bench_serve_quick ctest): every remote outcome
+// must match the same input analyzed on a local engine — verdict,
+// witness, program output, exit code — and the daemon must drain to
+// exit 0 after the storm. Wall-clock is informational; divergence is
+// the failure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace cundef;
+
+namespace {
+
+bool sameOutcome(const DriverOutcome &A, const DriverOutcome &B) {
+  return A.CompileOk == B.CompileOk && A.anyUb() == B.anyUb() &&
+         A.SearchWitness == B.SearchWitness && A.Output == B.Output &&
+         A.ExitCode == B.ExitCode;
+}
+
+double percentileUs(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  size_t Idx = static_cast<size_t>(P * (Sorted.size() - 1));
+  return Sorted[std::min(Idx, Sorted.size() - 1)];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Quick = false;
+  const char *JsonPath = "BENCH_serve.json";
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--quick"))
+      Quick = true;
+    else if (!std::strncmp(argv[I], "--json=", 7))
+      JsonPath = argv[I] + 7;
+  }
+  const unsigned SearchRuns = Quick ? 32 : 64;
+  const unsigned JobsPerClient = Quick ? 6 : 24;
+  const std::vector<unsigned> ClientCounts = {1, 4, 16};
+
+  // The corpus mixes the shapes a service actually sees: a searchy
+  // order-dependent UB unit, a quick script, a deep commuting tree,
+  // and a trivially clean unit. Salted deep trees defeat cross-client
+  // translation-cache hits on that entry so the engine does real work.
+  std::vector<BatchInput> Corpus;
+  Corpus.push_back({"int d = 5;\n"
+                    "int setDenom(int x) { return d = x; }\n"
+                    "int main(void) { return (10 / d) + setDenom(0); }\n",
+                    "paper.c"});
+  Corpus.push_back({"#include <stdio.h>\n"
+                    "int main(void) { printf(\"served\\n\"); return 3; }\n",
+                    "hello.c"});
+  Corpus.push_back({cundef_bench::deepTreeProgram(5, 64, 11), "deep.c"});
+  Corpus.push_back({"int main(void) { return 0; }\n", "clean.c"});
+
+  AnalysisRequest Req =
+      AnalysisRequest::Builder().searchRuns(SearchRuns).buildOrDie();
+
+  // Local baseline: the same corpus on an in-process engine. Every
+  // remote result is graded against these.
+  std::vector<DriverOutcome> Baseline;
+  {
+    AnalysisEngine Eng(engineConfigFor(Req));
+    std::vector<JobHandle> Handles = Eng.submitBatch(Req, Corpus);
+    for (JobHandle &H : Handles)
+      Baseline.push_back(H.take());
+  }
+
+  ServeConfig Cfg;
+  Cfg.UnixPath =
+      "/tmp/cundef-bench-serve-" + std::to_string(::getpid()) + ".sock";
+  Cfg.MaxClients = 32;
+  Cfg.MaxInflightPerClient = 32;
+  ServeDaemon Daemon(std::move(Cfg));
+  std::string Err;
+  if (!Daemon.listen(Err)) {
+    std::fprintf(stderr, "bench_serve: %s\n", Err.c_str());
+    return 1;
+  }
+  const std::string Sock =
+      "/tmp/cundef-bench-serve-" + std::to_string(::getpid()) + ".sock";
+  int DaemonExit = -1;
+  std::thread Loop([&] { DaemonExit = Daemon.run(); });
+
+  std::printf("Analysis service on unix:%s, %u workers, budget %u%s\n\n",
+              Sock.c_str(), Daemon.engine().workers(), SearchRuns,
+              Quick ? " [quick]" : "");
+  std::printf("%-8s %8s %12s %12s %14s\n", "clients", "jobs", "p50", "p99",
+              "throughput");
+  std::printf("%s\n", std::string(58, '-').c_str());
+
+  struct Row {
+    unsigned Clients;
+    unsigned Jobs;
+    double WallMs;
+    double P50Us;
+    double P99Us;
+    double JobsPerSec;
+  };
+  std::vector<Row> Rows;
+  std::atomic<bool> AllMatch{true};
+  std::mutex FailMu;
+  std::string FirstFailure;
+
+  for (unsigned Clients : ClientCounts) {
+    std::vector<std::vector<double>> PerClientUs(Clients);
+    auto Start = std::chrono::steady_clock::now();
+    std::vector<std::thread> Threads;
+    for (unsigned C = 0; C < Clients; ++C)
+      Threads.emplace_back([&, C] {
+        RemoteClient Client;
+        RemoteEndpoint Ep;
+        Ep.IsUnix = true;
+        Ep.UnixPath = Sock;
+        std::string E;
+        if (!Client.connect(Ep, E)) {
+          std::lock_guard<std::mutex> G(FailMu);
+          if (FirstFailure.empty())
+            FirstFailure = "connect: " + E;
+          AllMatch = false;
+          return;
+        }
+        for (unsigned J = 0; J < JobsPerClient; ++J) {
+          size_t Pick = (C + J) % Corpus.size();
+          std::vector<BatchInput> One = {Corpus[Pick]};
+          std::vector<DriverOutcome> Out;
+          std::vector<double> Micros;
+          auto T0 = std::chrono::steady_clock::now();
+          if (!Client.runBatch(Req, One, Out, Micros, E)) {
+            std::lock_guard<std::mutex> G(FailMu);
+            if (FirstFailure.empty())
+              FirstFailure = Corpus[Pick].Name + ": " + E;
+            AllMatch = false;
+            return;
+          }
+          auto T1 = std::chrono::steady_clock::now();
+          PerClientUs[C].push_back(
+              std::chrono::duration<double, std::micro>(T1 - T0).count());
+          if (!sameOutcome(Out[0], Baseline[Pick])) {
+            std::lock_guard<std::mutex> G(FailMu);
+            if (FirstFailure.empty())
+              FirstFailure = Corpus[Pick].Name + ": remote outcome diverges";
+            AllMatch = false;
+          }
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    auto End = std::chrono::steady_clock::now();
+    double WallMs =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+
+    std::vector<double> AllUs;
+    for (const std::vector<double> &V : PerClientUs)
+      AllUs.insert(AllUs.end(), V.begin(), V.end());
+    std::sort(AllUs.begin(), AllUs.end());
+    Row R;
+    R.Clients = Clients;
+    R.Jobs = static_cast<unsigned>(AllUs.size());
+    R.WallMs = WallMs;
+    R.P50Us = percentileUs(AllUs, 0.50);
+    R.P99Us = percentileUs(AllUs, 0.99);
+    R.JobsPerSec = WallMs > 0 ? R.Jobs / (WallMs / 1000.0) : 0.0;
+    Rows.push_back(R);
+    std::printf("%-8u %8u %9.2f ms %9.2f ms %10.1f /s\n", R.Clients, R.Jobs,
+                R.P50Us / 1000.0, R.P99Us / 1000.0, R.JobsPerSec);
+  }
+  std::printf("%s\n", std::string(58, '-').c_str());
+
+  Daemon.requestStop();
+  Loop.join();
+  if (DaemonExit != 0) {
+    std::lock_guard<std::mutex> G(FailMu);
+    if (FirstFailure.empty())
+      FirstFailure = "daemon drain exited " + std::to_string(DaemonExit);
+    AllMatch = false;
+  }
+  ServeCounters Counters = Daemon.counters();
+  std::printf("daemon: accepted=%llu submitted=%llu completed=%llu "
+              "rejected=%llu idle-reclaims=%llu\n",
+              static_cast<unsigned long long>(Counters.Accepted),
+              static_cast<unsigned long long>(Counters.Submitted),
+              static_cast<unsigned long long>(Counters.Completed),
+              static_cast<unsigned long long>(Counters.Rejected),
+              static_cast<unsigned long long>(Counters.IdleReclaims));
+  std::printf("remote outcomes %s\n",
+              AllMatch ? "identical to the local engine"
+                       : ("DIFFER (bug!): " + FirstFailure).c_str());
+
+  std::string Json = "{\n  \"bench\": \"serve\",\n";
+  Json += std::string("  \"quick\": ") + (Quick ? "true" : "false") + ",\n";
+  char Buf[512];
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"workers\": %u,\n  \"budget\": %u,\n"
+                "  \"jobs_per_client\": %u,\n  \"rows\": [\n",
+                Daemon.engine().workers(), SearchRuns, JobsPerClient);
+  Json += Buf;
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const Row &R = Rows[I];
+    std::snprintf(Buf, sizeof(Buf),
+                  "    {\"clients\": %u, \"jobs\": %u, \"wall_ms\": %.3f, "
+                  "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                  "\"throughput_jobs_per_s\": %.1f}%s\n",
+                  R.Clients, R.Jobs, R.WallMs, R.P50Us, R.P99Us, R.JobsPerSec,
+                  I + 1 < Rows.size() ? "," : "");
+    Json += Buf;
+  }
+  std::snprintf(Buf, sizeof(Buf),
+                "  ],\n  \"daemon\": {\"accepted\": %llu, \"submitted\": "
+                "%llu, \"completed\": %llu, \"rejected\": %llu, "
+                "\"idle_reclaims\": %llu},\n",
+                static_cast<unsigned long long>(Counters.Accepted),
+                static_cast<unsigned long long>(Counters.Submitted),
+                static_cast<unsigned long long>(Counters.Completed),
+                static_cast<unsigned long long>(Counters.Rejected),
+                static_cast<unsigned long long>(Counters.IdleReclaims));
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf), "  \"outcomes_identical\": %s\n}\n",
+                AllMatch ? "true" : "false");
+  Json += Buf;
+  cundef_bench::writeJsonFile("bench_serve", JsonPath, Json);
+  ::unlink(Sock.c_str());
+  return AllMatch ? 0 : 1;
+}

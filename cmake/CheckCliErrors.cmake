@@ -2,9 +2,12 @@
 # numeric flags must be diagnosed on stderr and exit with code 2 (they
 # used to be silently atoi'd to 0 and clamped to 1), while the
 # documented special values keep working (--search-jobs=0 auto-detects
-# hardware concurrency). Run via ctest (test name: kcc_cli_errors).
+# hardware concurrency). When KCC_SERVE is given, the daemon's flag
+# surface is validated the same way (no daemon is ever started: every
+# rejection happens before listen()). Run via ctest (test name:
+# kcc_cli_errors).
 if(NOT DEFINED KCC OR NOT DEFINED WORKDIR)
-  message(FATAL_ERROR "usage: cmake -DKCC=<kcc> -DWORKDIR=<dir> -P CheckCliErrors.cmake")
+  message(FATAL_ERROR "usage: cmake -DKCC=<kcc> [-DKCC_SERVE=<kcc-serve>] -DWORKDIR=<dir> -P CheckCliErrors.cmake")
 endif()
 
 file(MAKE_DIRECTORY ${WORKDIR})
@@ -31,7 +34,19 @@ set(BAD_FLAGS
   --catalog-coverage=
   --static-analyze=garbage
   --static-analyze=ON
-  --static-analyze=)
+  --static-analyze=
+  # --remote endpoint syntax: every malformed target is rejected before
+  # any connection attempt (HOST:PORT needs a nonempty host and a port
+  # in 1..65535; unix: needs a nonempty path).
+  --remote=
+  --remote=unix:
+  --remote=nocolon
+  --remote=:7777
+  --remote=host:
+  --remote=host:0
+  --remote=host:abc
+  --remote=host:70000
+  --remote=host:1O)
 
 foreach(FLAG ${BAD_FLAGS})
   execute_process(
@@ -110,6 +125,80 @@ if(NOT RC EQUAL 0)
 endif()
 if(NOT OUT MATCHES "coverage: covered=")
   message(FATAL_ERROR "kcc --catalog-coverage=quick: missing summary line")
+endif()
+
+# --remote ships sources to a daemon that owns the engine, so modes
+# that need the local engine (or reconfigure it) cannot combine with
+# it: the coverage harness drives the engine directly, static-only
+# never runs the engine at all, and the translation cache lives in the
+# daemon's process.
+set(REMOTE_CONFLICTS
+  "--catalog-coverage=quick"
+  "--static-analyze=only|${OK_C}"
+  "--translation-cache=off|${OK_C}")
+
+foreach(CONFLICT ${REMOTE_CONFLICTS})
+  string(REPLACE "|" ";" ARGS "${CONFLICT}")
+  execute_process(
+    COMMAND ${KCC} --remote=localhost:9 ${ARGS}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 2)
+    message(FATAL_ERROR "kcc --remote ${CONFLICT}: expected exit 2, got ${RC}")
+  endif()
+  if(NOT ERR MATCHES "incompatible")
+    message(FATAL_ERROR "kcc --remote ${CONFLICT}: missing incompatibility diagnostic, got: ${ERR}")
+  endif()
+endforeach()
+
+# The daemon's flag surface follows the same strict-parse contract.
+# None of these ever reach listen(): rejection happens while reading
+# argv, so no socket or port is touched.
+if(DEFINED KCC_SERVE)
+  set(BAD_SERVE_FLAGS
+    --port=abc
+    --port=70000
+    --port=-1
+    --port=
+    --socket=
+    --host=
+    --max-clients=0
+    --max-clients=abc
+    --max-inflight=0
+    --max-inflight=abc
+    --max-queue=0
+    --max-queue=abc
+    --workers=abc
+    --translation-cache=maybe
+    --bogus-flag)
+
+  foreach(FLAG ${BAD_SERVE_FLAGS})
+    execute_process(
+      COMMAND ${KCC_SERVE} ${FLAG}
+      RESULT_VARIABLE RC
+      OUTPUT_VARIABLE OUT
+      ERROR_VARIABLE ERR)
+    if(NOT RC EQUAL 2)
+      message(FATAL_ERROR "kcc-serve ${FLAG}: expected exit 2, got ${RC}")
+    endif()
+    if(ERR STREQUAL "")
+      message(FATAL_ERROR "kcc-serve ${FLAG}: exit 2 but no diagnostic on stderr")
+    endif()
+  endforeach()
+
+  # No endpoint at all is a usage error, not a silent default.
+  execute_process(
+    COMMAND ${KCC_SERVE}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 2)
+    message(FATAL_ERROR "kcc-serve with no endpoint: expected exit 2, got ${RC}")
+  endif()
+  if(NOT ERR MATCHES "endpoint")
+    message(FATAL_ERROR "kcc-serve with no endpoint: missing diagnostic, got: ${ERR}")
+  endif()
 endif()
 
 message(STATUS "kcc CLI flag validation behaves as documented")

@@ -1,0 +1,144 @@
+//===- serve/Server.h - The kcc-serve network daemon ------------*- C++ -*-===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The out-of-process half of the analysis service: a long-running
+/// daemon that accepts concurrent client connections over TCP and
+/// Unix-domain sockets, speaks the length-prefixed `cundef-kcc-v1`
+/// protocol (serve/Protocol.h, docs/SERVE.md), and multiplexes every
+/// client onto ONE warm AnalysisEngine — so a service workload pays
+/// pool spawn, snapshot-cache warmup, and frontend work once, ever,
+/// instead of once per kcc invocation.
+///
+/// Architecture: a single event-loop thread owns all socket I/O
+/// (poll(), non-blocking fds, buffered writes); the engine's frontend
+/// and search pools do all analysis work. Engine callbacks never touch
+/// a socket — they copy the event into a mutex-guarded queue and wake
+/// the loop through a self-pipe, and only the loop thread writes
+/// frames, so per-connection state needs no locking at all.
+///
+/// Admission control and backpressure (the daemon must degrade
+/// predictably, never wedge):
+///   - per-client in-flight jobs are bounded (MaxInflightPerClient);
+///     excess submits are rejected with a structured `overloaded`
+///     error, not queued without bound,
+///   - total in-flight jobs are bounded (MaxQueueDepth) the same way,
+///   - write buffers are bounded (MaxWriteBufferBytes); a reader too
+///     slow to drain its results is disconnected rather than allowed
+///     to pin arbitrary memory,
+///   - half-written frames, garbage frames, and mid-job disconnects
+///     cost only that connection — in-flight jobs of a vanished client
+///     finish and their results are dropped.
+///
+/// Graceful drain: requestStop() (async-signal-safe; kcc-serve wires
+/// SIGTERM/SIGINT to it) stops accepting connections and submissions,
+/// finishes every in-flight job, flushes results, and returns 0 from
+/// run().
+///
+/// Memory: whenever the engine goes momentarily idle between requests
+/// (in-flight count falls to zero), the loop invokes the engine's
+/// reclamation (drain() on an idle engine is cheap) — so a daemon that
+/// never drains in the service sense still returns every reclaimable
+/// byte between bursts (tests/test_serve.cpp pins the counters to
+/// zero).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CUNDEF_SERVE_SERVER_H
+#define CUNDEF_SERVE_SERVER_H
+
+#include "driver/Engine.h"
+
+#include <memory>
+#include <string>
+
+namespace cundef {
+
+/// Daemon configuration: which endpoints to listen on plus the
+/// backpressure bounds. At least one endpoint must be enabled.
+struct ServeConfig {
+  /// Unix-domain socket path; empty disables the Unix listener. A
+  /// stale socket file at the path is unlinked before binding.
+  std::string UnixPath;
+  /// TCP listener; disabled unless UseTcp. Port 0 binds an ephemeral
+  /// port (ServeDaemon::tcpPort() reports it after listen()).
+  bool UseTcp = false;
+  unsigned TcpPort = 0;
+  std::string TcpHost = "127.0.0.1";
+  /// Concurrent connections accepted; further accepts are closed
+  /// immediately.
+  unsigned MaxClients = 64;
+  /// Per-connection in-flight submissions; the next submit is rejected
+  /// with `overloaded`.
+  unsigned MaxInflightPerClient = 16;
+  /// Engine-wide in-flight submissions across all clients.
+  unsigned MaxQueueDepth = 1024;
+  /// Per-connection outbound buffer cap; exceeding it disconnects the
+  /// slow reader.
+  size_t MaxWriteBufferBytes = 32u << 20;
+  /// How long run() keeps flushing already-finished results to slow
+  /// readers after drain completes before closing them anyway.
+  int DrainFlushMs = 5000;
+  /// The warm engine all clients share.
+  EngineConfig Engine;
+};
+
+/// Monotonic daemon counters (observability for tests and the bench;
+/// the wire exposes engine stats separately via the `stats` request).
+struct ServeCounters {
+  uint64_t Accepted = 0;           ///< connections accepted
+  uint64_t Rejected = 0;           ///< submits rejected (overloaded/bad/drain)
+  uint64_t Submitted = 0;          ///< submissions admitted to the engine
+  uint64_t Completed = 0;          ///< finished events processed
+  uint64_t ProtocolErrors = 0;     ///< connections dropped for bad frames
+  uint64_t SlowReaderDisconnects = 0;
+  uint64_t IdleReclaims = 0;       ///< opportunistic engine reclamations
+};
+
+/// The daemon. Construct with a config, listen(), then run() until
+/// requestStop(). One instance per process lifetime.
+class ServeDaemon {
+public:
+  explicit ServeDaemon(ServeConfig Cfg);
+  ~ServeDaemon();
+
+  ServeDaemon(const ServeDaemon &) = delete;
+  ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+  /// Binds and listens on every configured endpoint. Returns false
+  /// with a diagnostic (nothing half-open remains) on failure.
+  bool listen(std::string &Err);
+
+  /// The bound TCP port (meaningful after listen(); resolves port 0).
+  unsigned tcpPort() const;
+
+  /// The event loop: serves until requestStop(), then drains in-flight
+  /// jobs, flushes, and returns the process exit code (0 on a clean
+  /// drain). Call from exactly one thread.
+  int run();
+
+  /// Initiates graceful shutdown. Async-signal-safe (a signal handler
+  /// may call it directly); callable from any thread, idempotent.
+  void requestStop();
+
+  /// The shared engine (tests inspect its stats directly; clients use
+  /// the `stats` request).
+  AnalysisEngine &engine();
+
+  ServeCounters counters() const;
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+  /// Self-pipe write end, duplicated out of Impl so requestStop() can
+  /// stay async-signal-safe (no locks, no indirection that could
+  /// allocate).
+  int StopFd = -1;
+};
+
+} // namespace cundef
+
+#endif // CUNDEF_SERVE_SERVER_H

@@ -37,6 +37,16 @@
 //                                   hints print with --show-witness or
 //                                   in only mode; incompatible with
 //                                   --catalog-coverage (exit 2)
+//     --remote=HOST:PORT            route the analysis through a running
+//     --remote=unix:PATH            kcc-serve daemon (docs/SERVE.md)
+//                                   instead of a local engine: identical
+//                                   stdout and exit codes, but pool
+//                                   spawn and frontend work are amortized
+//                                   across every client of the daemon.
+//                                   Incompatible with --catalog-coverage,
+//                                   --static-analyze=only, and
+//                                   --translation-cache=off (exit 2);
+//                                   transport failures exit 3
 //     --order=ltr|rtl|random        evaluation order policy
 //     --seed=N                      seed for --order=random
 //     --dump-catalog=markdown       print the UB catalog reference (with a
@@ -68,6 +78,7 @@
 
 #include "driver/Engine.h"
 #include "driver/JsonOutput.h"
+#include "serve/Client.h"
 #include "suites/CatalogCoverage.h"
 #include "support/Strings.h"
 #include "ub/Catalog.h"
@@ -94,6 +105,7 @@ static void usage() {
                "  --show-witness\n"
                "  --batch-stats\n"
                "  --json\n"
+               "  --remote=HOST:PORT|unix:PATH\n"
                "  --order=ltr|rtl|random\n"
                "  --seed=N\n"
                "  --no-static\n"
@@ -219,6 +231,7 @@ int main(int argc, char **argv) {
   bool CoverageMode = false;
   unsigned CoverageRuns = 64;
   std::string CoverageModeName = "full";
+  std::string RemoteSpec;
   std::vector<const char *> Paths;
 
   for (int I = 1; I < argc; ++I) {
@@ -317,6 +330,13 @@ int main(int argc, char **argv) {
         usage();
         return 2;
       }
+    } else if (startsWith(Arg, "--remote=")) {
+      RemoteSpec = Arg + 9;
+      if (RemoteSpec.empty()) {
+        std::fprintf(stderr, "kcc: --remote= requires HOST:PORT or "
+                             "unix:PATH\n");
+        return 2;
+      }
     } else if (!std::strcmp(Arg, "--no-dedup")) {
       Builder.dedup(false);
     } else if (!std::strcmp(Arg, "--show-witness")) {
@@ -383,6 +403,42 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  RemoteEndpoint Remote;
+  if (!RemoteSpec.empty()) {
+    // Endpoint syntax is validated here, with the rest of the flag
+    // surface, so a typo'd --remote exits 2 before any connection or
+    // file I/O is attempted.
+    std::string EpErr;
+    if (!parseRemoteEndpoint(RemoteSpec, Remote, EpErr)) {
+      std::fprintf(stderr, "kcc: %s\n", EpErr.c_str());
+      return 2;
+    }
+    if (CoverageMode) {
+      // The coverage harness generates its programs and grades them
+      // in-process; there is nothing to route through a daemon.
+      std::fprintf(stderr,
+                   "kcc: --remote is incompatible with --catalog-coverage\n");
+      return 2;
+    }
+    if (StaticOnly) {
+      // Static-only triage is a local, sub-millisecond analysis; the
+      // daemon exists to amortize pool and frontend work that this
+      // mode never does.
+      std::fprintf(stderr, "kcc: --remote is incompatible with "
+                           "--static-analyze=only\n");
+      return 2;
+    }
+    if (!UseTranslationCache) {
+      // The daemon owns its engine's cache; a client cannot switch it
+      // off per-request, and silently ignoring the A/B flag would make
+      // the comparison lie.
+      std::fprintf(stderr, "kcc: --remote is incompatible with "
+                           "--translation-cache=off (the daemon owns the "
+                           "cache)\n");
+      return 2;
+    }
+  }
+
   // One validation point for the whole flag surface: nonsense
   // combinations (--search=0, absurd worker counts) exit 2 with the
   // builder's typed diagnostic instead of being silently clamped.
@@ -432,28 +488,55 @@ int main(int argc, char **argv) {
   }
 
   // The single submission path: every translation unit goes through
-  // one AnalysisEngine, whatever the mode.
+  // one AnalysisEngine — local, or a kcc-serve daemon's warm one.
+  // Both branches fill the same Outcomes/Micros/Pool/TStats and fall
+  // through to the same rendering code, so remote stdout is
+  // byte-identical to local by construction (volatile stats fields
+  // aside; docs/SERVE.md discusses which).
   auto Start = std::chrono::steady_clock::now();
-  EngineConfig ECfg = engineConfigFor(Req);
-  if (!UseTranslationCache)
-    ECfg.TranslationCacheEntries = 0; // A/B mode: recompile every file
-  AnalysisEngine Eng(ECfg);
-  std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
   std::vector<DriverOutcome> Outcomes;
   std::vector<double> Micros;
-  Outcomes.reserve(Handles.size());
-  for (JobHandle &H : Handles) {
-    Micros.push_back(H.wallMicros());
-    Outcomes.push_back(H.take());
+  SchedulerStats Pool;
+  TranslationCacheStats TStats;
+  if (!RemoteSpec.empty()) {
+    RemoteClient Client;
+    std::string Err;
+    if (!Client.connect(Remote, Err) ||
+        !Client.runBatch(Req, Inputs, Outcomes, Micros, Err)) {
+      // Exit 3: a transport/protocol/rejection failure, distinct from
+      // usage errors (2) and analysis verdicts (139/1/program).
+      std::fprintf(stderr, "kcc: remote analysis failed: %s\n", Err.c_str());
+      return 3;
+    }
+    EngineMemoryStats RemoteMemory;
+    if (!Client.queryStats(Pool, RemoteMemory, TStats, Err)) {
+      std::fprintf(stderr, "kcc: remote analysis failed: %s\n", Err.c_str());
+      return 3;
+    }
+    // The daemon's counters are engine-lifetime monotonic (shared by
+    // every client); wave-scheduled runs aggregate truthful per-program
+    // counters instead, exactly like the local branch.
+    if (Req.searchSched() == SchedKind::Wave)
+      Pool = waveAggregateStats(Outcomes);
+  } else {
+    EngineConfig ECfg = engineConfigFor(Req);
+    if (!UseTranslationCache)
+      ECfg.TranslationCacheEntries = 0; // A/B mode: recompile every file
+    AnalysisEngine Eng(ECfg);
+    std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
+    Outcomes.reserve(Handles.size());
+    for (JobHandle &H : Handles) {
+      Micros.push_back(H.wallMicros());
+      Outcomes.push_back(H.take());
+    }
+    Pool = Req.searchSched() == SchedKind::Wave ? waveAggregateStats(Outcomes)
+                                                : Eng.poolStats();
+    TStats = Eng.translationStats();
   }
   double WallMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - Start)
                       .count();
-  SchedulerStats Pool = Req.searchSched() == SchedKind::Wave
-                            ? waveAggregateStats(Outcomes)
-                            : Eng.poolStats();
   Pool.Programs = static_cast<unsigned>(Inputs.size());
-  TranslationCacheStats TStats = Eng.translationStats();
 
   bool AnyUb = false, AnyCompileFail = false;
   for (const DriverOutcome &O : Outcomes) {
