@@ -20,17 +20,29 @@
 // once with the cache on and N times with it off, with byte-identical
 // outcomes either way. Its cache hit rate lands in BENCH_batch.json.
 //
+// A third workload (ISSUE 10) A/Bs the *result* cache on the shape
+// where the search, not the frontend, is the duplicated cost: a
+// search-heavy unit analyzed once cold and then resubmitted xN. Warm
+// repeats must come from the published outcome (hit rate > 0), the
+// cache-on side must beat the cache-off side by >= 3x wall clock, and
+// every outcome must be byte-identical either way. A companion
+// snapshot-sharing workload runs duplicates with the result cache OFF
+// and requires nonzero SchedulerStats::SnapshotSharedHits without
+// changing any committed result.
+//
 // Per-program outcomes must be identical in every mode and every round
-// (verdict, witness, output, exit code), and the duplicate workload's
-// hit rate must be positive — the bench exits nonzero otherwise, and
-// the bench_batch_quick ctest guards both in CI. Wall-clock is
-// informational. Results land in BENCH_batch.json next to
-// bench_search's BENCH_search.json.
+// (verdict, witness, output, exit code); the duplicate workloads' hit
+// rates, the result-cache 3x gain, and the shared-donor count are all
+// gated — the bench exits nonzero otherwise, and the bench_batch_quick
+// ctest guards them in CI. Other wall-clock numbers are informational.
+// Results land in BENCH_batch.json next to bench_search's
+// BENCH_search.json.
 //
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 #include "driver/Driver.h"
+#include "driver/ResultCache.h"
 
 #include <chrono>
 #include <cstdio>
@@ -246,6 +258,121 @@ int main(int argc, char **argv) {
               HitRate * 100.0, DupAgree ? "identical" : "DIFFER (bug!)");
   const bool CacheOk = DupAgree && HitRate > 0.0;
 
+  // Result-cache workload (ISSUE 10): repeat traffic where the SEARCH
+  // is the duplicated cost. One cold analysis publishes the outcome;
+  // the batch of N identical resubmissions must resolve warm (no
+  // search at all), while the cache-off A/B runs all N searches on the
+  // same worker count. The duplicates reuse ONE unit name — the
+  // translation key digests the name (diagnostics embed it), so
+  // renamed copies are distinct programs by design.
+  const unsigned RcCopies = Quick ? 10 : 20;
+  const std::string RcSource = cundef_bench::deepTreeProgram(Pairs, 128, 3);
+  std::vector<BatchInput> RcInputs;
+  for (unsigned I = 0; I < RcCopies; ++I)
+    RcInputs.push_back({RcSource, "rcdup.c"});
+
+  DriverOutcome RcCold;
+  std::vector<DriverOutcome> RcWarm, RcOff;
+  ResultCacheStats RcStats;
+  double RcColdMs = 0, RcWarmMs = 0;
+  double RcOnMs = wallOf([&] {
+    AnalysisEngine Eng(engineConfigFor(OptsN));
+    RcColdMs = wallOf(
+        [&] { RcCold = Eng.submit(OptsN, RcSource, "rcdup.c").take(); });
+    RcWarmMs = wallOf([&] {
+      std::vector<JobHandle> Handles = Eng.submitBatch(OptsN, RcInputs);
+      for (JobHandle &H : Handles)
+        RcWarm.push_back(H.take());
+    });
+    RcStats = Eng.resultCacheStats();
+  });
+  double RcOffMs = wallOf([&] {
+    EngineConfig Off = engineConfigFor(OptsN);
+    Off.ResultCacheEntries = 0;
+    AnalysisEngine Eng(Off);
+    std::vector<JobHandle> Handles = Eng.submitBatch(OptsN, RcInputs);
+    for (JobHandle &H : Handles)
+      RcOff.push_back(H.take());
+  });
+
+  bool RcAgree = RcWarm.size() == RcCopies && RcOff.size() == RcCopies;
+  for (size_t I = 0; RcAgree && I < RcCopies; ++I)
+    RcAgree = sameOutcome(RcCold, RcWarm[I]) && sameOutcome(RcCold, RcOff[I]);
+  double RcGain = RcOnMs > 0 ? RcOffMs / RcOnMs : 0.0;
+
+  std::printf("\nduplicate-heavy search (result cache, %u repeats of one "
+              "search-heavy unit):\n",
+              RcCopies);
+  std::printf("cold %.2f ms; warm batch %.2f ms; cache-on total %.2f ms; "
+              "cache-off %.2f ms (%.2fx)\n",
+              RcColdMs, RcWarmMs, RcOnMs, RcOffMs, RcGain);
+  std::printf("result cache: hits=%llu joins=%llu misses=%llu hit rate "
+              "%.1f%%; outcomes %s\n",
+              static_cast<unsigned long long>(RcStats.Hits),
+              static_cast<unsigned long long>(RcStats.InflightJoins),
+              static_cast<unsigned long long>(RcStats.Misses),
+              RcStats.hitRate() * 100.0,
+              RcAgree ? "identical" : "DIFFER (bug!)");
+  const bool ResultCacheOk = RcAgree && RcStats.hitRate() > 0.0 &&
+                             RcGain >= 3.0;
+  if (!ResultCacheOk)
+    std::fprintf(stderr, "bench_batch: result-cache gate FAILED "
+                         "(agree=%d hit_rate=%.3f gain=%.2fx, need >= 3x)\n",
+                 RcAgree ? 1 : 0, RcStats.hitRate(), RcGain);
+
+  // Snapshot-sharing workload: the A/B mode itself (result cache OFF,
+  // so duplicates really search) — fingerprint-equal duplicates over
+  // one shared artifact must fork from each other's choice-point
+  // donors engine-wide. Observable only in SnapshotSharedHits and
+  // wall clock; every committed outcome stays identical to a solo
+  // run's.
+  const char *ShareSource = "int f(int a, int b) { return a * 2 + b; }\n"
+                            "int main(void) {\n"
+                            "  int r = f(1, 2) + f(3, 4);\n"
+                            "  int s = f(r, 5) + f(2, r);\n"
+                            "  int t = f(s, r) + f(r, s);\n"
+                            "  return (r + s + t) & 0x7f;\n"
+                            "}\n";
+  const unsigned ShareCopies = 6;
+  AnalysisRequest ShareReq = AnalysisRequest::Builder()
+                                 .searchRuns(32)
+                                 .searchJobs(2)
+                                 .resultCache(false)
+                                 .buildOrDie();
+  DriverOutcome ShareRef;
+  {
+    EngineConfig Solo = engineConfigFor(ShareReq);
+    Solo.ResultCacheEntries = 0;
+    AnalysisEngine Reference(Solo);
+    ShareRef = Reference.submit(ShareReq, ShareSource, "share.c").take();
+  }
+  std::vector<DriverOutcome> Shared;
+  unsigned long long SharedHits = 0;
+  double ShareMs = wallOf([&] {
+    EngineConfig Cfg = engineConfigFor(ShareReq);
+    Cfg.ResultCacheEntries = 0;
+    AnalysisEngine Eng(Cfg);
+    std::vector<BatchInput> ShareInputs;
+    for (unsigned I = 0; I < ShareCopies; ++I)
+      ShareInputs.push_back({ShareSource, "share.c"});
+    std::vector<JobHandle> Handles = Eng.submitBatch(ShareReq, ShareInputs);
+    for (JobHandle &H : Handles)
+      Shared.push_back(H.take());
+    SharedHits = Eng.poolStats().SnapshotSharedHits;
+  });
+  bool ShareAgree = Shared.size() == ShareCopies;
+  for (size_t I = 0; ShareAgree && I < Shared.size(); ++I)
+    ShareAgree = sameOutcome(ShareRef, Shared[I]);
+  std::printf("\ncross-program snapshot sharing (%u duplicates, result "
+              "cache off): %.2f ms, shared-hits=%llu, outcomes %s\n",
+              ShareCopies, ShareMs, SharedHits,
+              ShareAgree ? "identical to solo" : "DIFFER (bug!)");
+  const bool ShareOk = ShareAgree && SharedHits > 0;
+  if (!ShareOk)
+    std::fprintf(stderr, "bench_batch: snapshot-sharing gate FAILED "
+                         "(agree=%d shared_hits=%llu, need > 0)\n",
+                 ShareAgree ? 1 : 0, SharedHits);
+
   std::string Json = "{\n  \"bench\": \"batch\",\n";
   Json += std::string("  \"quick\": ") + (Quick ? "true" : "false") + ",\n";
   char Buf[1024];
@@ -291,9 +418,29 @@ int main(int argc, char **argv) {
                 DupInputs.size(), DupCopies, DupOnMs, DupOffMs, HitRate,
                 DupAgree ? "true" : "false");
   Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"result_cache\": {\"copies\": %u,\n"
+                "    \"cold_ms\": %.3f, \"warm_batch_ms\": %.3f,\n"
+                "    \"cache_on_ms\": %.3f, \"cache_off_ms\": %.3f, "
+                "\"gain\": %.3f,\n"
+                "    \"hits\": %llu, \"inflight_joins\": %llu, "
+                "\"misses\": %llu,\n"
+                "    \"hit_rate\": %.4f, \"outcomes_identical\": %s},\n",
+                RcCopies, RcColdMs, RcWarmMs, RcOnMs, RcOffMs, RcGain,
+                static_cast<unsigned long long>(RcStats.Hits),
+                static_cast<unsigned long long>(RcStats.InflightJoins),
+                static_cast<unsigned long long>(RcStats.Misses),
+                RcStats.hitRate(), RcAgree ? "true" : "false");
+  Json += Buf;
+  std::snprintf(Buf, sizeof(Buf),
+                "  \"snapshot_sharing\": {\"copies\": %u, \"wall_ms\": %.3f,\n"
+                "    \"shared_hits\": %llu, \"outcomes_identical\": %s},\n",
+                ShareCopies, ShareMs, SharedHits,
+                ShareAgree ? "true" : "false");
+  Json += Buf;
   std::snprintf(Buf, sizeof(Buf), "  \"outcomes_identical\": %s\n}\n",
                 OutcomesAgree ? "true" : "false");
   Json += Buf;
   cundef_bench::writeJsonFile("bench_batch", JsonPath, Json);
-  return OutcomesAgree && CacheOk ? 0 : 1;
+  return OutcomesAgree && CacheOk && ResultCacheOk && ShareOk ? 0 : 1;
 }

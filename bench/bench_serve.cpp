@@ -12,7 +12,11 @@
 //
 // Reported per client count: throughput (jobs/s) and the p50/p99
 // latency of the full round trip (encode, socket, admission, engine
-// queue, search, result streaming, decode). Results land in
+// queue, search, result streaming, decode), split by whether the
+// daemon's result cache served the submit warm (the outcome's
+// result_cache_hit flag rides the wire) — repeat traffic is the
+// service's common case, and a hit skips the search entirely, so the
+// two populations have very different latency shapes. Results land in
 // BENCH_serve.json next to the other BENCH_*.json files.
 //
 // Correctness gate (bench_serve_quick ctest): every remote outcome
@@ -129,6 +133,12 @@ int main(int argc, char **argv) {
     double P50Us;
     double P99Us;
     double JobsPerSec;
+    unsigned HitJobs;
+    unsigned MissJobs;
+    double HitP50Us;
+    double HitP99Us;
+    double MissP50Us;
+    double MissP99Us;
   };
   std::vector<Row> Rows;
   std::atomic<bool> AllMatch{true};
@@ -137,6 +147,8 @@ int main(int argc, char **argv) {
 
   for (unsigned Clients : ClientCounts) {
     std::vector<std::vector<double>> PerClientUs(Clients);
+    std::vector<std::vector<double>> PerClientHitUs(Clients);
+    std::vector<std::vector<double>> PerClientMissUs(Clients);
     auto Start = std::chrono::steady_clock::now();
     std::vector<std::thread> Threads;
     for (unsigned C = 0; C < Clients; ++C)
@@ -167,8 +179,11 @@ int main(int argc, char **argv) {
             return;
           }
           auto T1 = std::chrono::steady_clock::now();
-          PerClientUs[C].push_back(
-              std::chrono::duration<double, std::micro>(T1 - T0).count());
+          double Us =
+              std::chrono::duration<double, std::micro>(T1 - T0).count();
+          PerClientUs[C].push_back(Us);
+          (Out[0].ResultCacheHit ? PerClientHitUs : PerClientMissUs)[C]
+              .push_back(Us);
           if (!sameOutcome(Out[0], Baseline[Pick])) {
             std::lock_guard<std::mutex> G(FailMu);
             if (FirstFailure.empty())
@@ -183,10 +198,16 @@ int main(int argc, char **argv) {
     double WallMs =
         std::chrono::duration<double, std::milli>(End - Start).count();
 
-    std::vector<double> AllUs;
-    for (const std::vector<double> &V : PerClientUs)
-      AllUs.insert(AllUs.end(), V.begin(), V.end());
-    std::sort(AllUs.begin(), AllUs.end());
+    auto gather = [](const std::vector<std::vector<double>> &Per) {
+      std::vector<double> All;
+      for (const std::vector<double> &V : Per)
+        All.insert(All.end(), V.begin(), V.end());
+      std::sort(All.begin(), All.end());
+      return All;
+    };
+    std::vector<double> AllUs = gather(PerClientUs);
+    std::vector<double> HitUs = gather(PerClientHitUs);
+    std::vector<double> MissUs = gather(PerClientMissUs);
     Row R;
     R.Clients = Clients;
     R.Jobs = static_cast<unsigned>(AllUs.size());
@@ -194,9 +215,19 @@ int main(int argc, char **argv) {
     R.P50Us = percentileUs(AllUs, 0.50);
     R.P99Us = percentileUs(AllUs, 0.99);
     R.JobsPerSec = WallMs > 0 ? R.Jobs / (WallMs / 1000.0) : 0.0;
+    R.HitJobs = static_cast<unsigned>(HitUs.size());
+    R.MissJobs = static_cast<unsigned>(MissUs.size());
+    R.HitP50Us = percentileUs(HitUs, 0.50);
+    R.HitP99Us = percentileUs(HitUs, 0.99);
+    R.MissP50Us = percentileUs(MissUs, 0.50);
+    R.MissP99Us = percentileUs(MissUs, 0.99);
     Rows.push_back(R);
     std::printf("%-8u %8u %9.2f ms %9.2f ms %10.1f /s\n", R.Clients, R.Jobs,
                 R.P50Us / 1000.0, R.P99Us / 1000.0, R.JobsPerSec);
+    std::printf("%-8s %8u hits: p50 %6.2f ms p99 %6.2f ms | %u misses: "
+                "p50 %6.2f ms p99 %6.2f ms\n",
+                "", R.HitJobs, R.HitP50Us / 1000.0, R.HitP99Us / 1000.0,
+                R.MissJobs, R.MissP50Us / 1000.0, R.MissP99Us / 1000.0);
   }
   std::printf("%s\n", std::string(58, '-').c_str());
 
@@ -233,9 +264,14 @@ int main(int argc, char **argv) {
     std::snprintf(Buf, sizeof(Buf),
                   "    {\"clients\": %u, \"jobs\": %u, \"wall_ms\": %.3f, "
                   "\"p50_us\": %.1f, \"p99_us\": %.1f, "
-                  "\"throughput_jobs_per_s\": %.1f}%s\n",
+                  "\"throughput_jobs_per_s\": %.1f,\n"
+                  "     \"cache_hit\": {\"jobs\": %u, \"p50_us\": %.1f, "
+                  "\"p99_us\": %.1f},\n"
+                  "     \"cache_miss\": {\"jobs\": %u, \"p50_us\": %.1f, "
+                  "\"p99_us\": %.1f}}%s\n",
                   R.Clients, R.Jobs, R.WallMs, R.P50Us, R.P99Us, R.JobsPerSec,
-                  I + 1 < Rows.size() ? "," : "");
+                  R.HitJobs, R.HitP50Us, R.HitP99Us, R.MissJobs, R.MissP50Us,
+                  R.MissP99Us, I + 1 < Rows.size() ? "," : "");
     Json += Buf;
   }
   std::snprintf(Buf, sizeof(Buf),

@@ -71,4 +71,41 @@ if(NOT W1 STREQUAL W2 OR W1 STREQUAL "")
   message(FATAL_ERROR "kcc batch witness differs from single-file: '${W1}' vs '${W2}'")
 endif()
 
+# Duplicate-heavy batch through the result cache: the duplicates must
+# resolve warm (hit rate > 0 in the honest counters) and the rendered
+# reports must be byte-identical to the cache-off A/B run.
+execute_process(
+  COMMAND ${KCC} ${UB_C} ${UB_C} ${UB_C} ${UB_C} --batch-stats --search=64
+  RESULT_VARIABLE RC_ON OUTPUT_VARIABLE OUT_ON ERROR_VARIABLE ERR_ON)
+execute_process(
+  COMMAND ${KCC} ${UB_C} ${UB_C} ${UB_C} ${UB_C} --batch-stats --search=64
+          --result-cache=off
+  RESULT_VARIABLE RC_OFF OUTPUT_VARIABLE OUT_OFF ERROR_VARIABLE ERR_OFF)
+if(NOT RC_ON EQUAL 139 OR NOT RC_OFF EQUAL 139)
+  message(FATAL_ERROR "kcc duplicate batch: expected exit 139, got ${RC_ON}/${RC_OFF}")
+endif()
+# The duplicates resolve warm either way the race falls: as hits on
+# the published entry or as joins of the in-flight search. Exactly one
+# search may run.
+if(NOT ERR_ON MATCHES "Result cache: hits=([0-9]+) joins=([0-9]+) misses=1")
+  message(FATAL_ERROR "kcc duplicate batch: duplicates did not resolve from the result cache: ${ERR_ON}")
+endif()
+math(EXPR RC_WARM "${CMAKE_MATCH_1} + ${CMAKE_MATCH_2}")
+if(NOT RC_WARM EQUAL 3)
+  message(FATAL_ERROR "kcc duplicate batch: expected 3 warm resolutions, got hits=${CMAKE_MATCH_1} joins=${CMAKE_MATCH_2}")
+endif()
+if(NOT ERR_OFF MATCHES "Result cache: hits=0 joins=0 misses=0")
+  message(FATAL_ERROR "kcc --result-cache=off: cache counters moved: ${ERR_OFF}")
+endif()
+if(NOT OUT_ON STREQUAL OUT_OFF)
+  message(FATAL_ERROR "kcc duplicate batch: stdout differs between cache on and off")
+endif()
+# stderr minus the wall-clock-bearing stats lines must match too: the
+# per-file reports and verdicts are cache-invisible.
+string(REGEX REPLACE "[^\n]*(Batch stats|cache):[^\n]*\n" "" REPORT_ON "${ERR_ON}")
+string(REGEX REPLACE "[^\n]*(Batch stats|cache):[^\n]*\n" "" REPORT_OFF "${ERR_OFF}")
+if(NOT REPORT_ON STREQUAL REPORT_OFF)
+  message(FATAL_ERROR "kcc duplicate batch: reports differ between cache on and off:\n${REPORT_ON}\n--- vs ---\n${REPORT_OFF}")
+endif()
+
 message(STATUS "kcc batched CLI behaves as documented")

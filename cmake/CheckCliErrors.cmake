@@ -28,6 +28,8 @@ set(BAD_FLAGS
   --search-engine=warp
   --translation-cache=maybe
   --translation-cache=
+  --result-cache=maybe
+  --result-cache=
   --catalog-coverage=bogus
   --catalog-coverage=12x
   --catalog-coverage=0
@@ -70,6 +72,8 @@ set(GOOD_ARGS
   "--search=8;--search-engine=fork"
   "--search=8;--translation-cache=off"
   "--search=8;--translation-cache=on"
+  "--search=8;--result-cache=off"
+  "--search=8;--result-cache=on"
   "--seed=42;--order=random"
   "--static-analyze=on"
   "--static-analyze=off"
@@ -152,6 +156,21 @@ foreach(CONFLICT ${REMOTE_CONFLICTS})
   endif()
 endforeach()
 
+# --result-cache is per-request (it rides the wire to the daemon), so
+# it must NOT join the incompatibility list: with an unreachable
+# endpoint the combination gets as far as the connection attempt and
+# fails with the transport exit code 3, never the usage exit 2.
+foreach(RC_VALUE off on)
+  execute_process(
+    COMMAND ${KCC} --remote=localhost:9 --result-cache=${RC_VALUE} ${OK_C}
+    RESULT_VARIABLE RC
+    OUTPUT_VARIABLE OUT
+    ERROR_VARIABLE ERR)
+  if(NOT RC EQUAL 3)
+    message(FATAL_ERROR "kcc --remote --result-cache=${RC_VALUE}: expected transport exit 3, got ${RC}: ${ERR}")
+  endif()
+endforeach()
+
 # The daemon's flag surface follows the same strict-parse contract.
 # None of these ever reach listen(): rejection happens while reading
 # argv, so no socket or port is touched.
@@ -171,6 +190,8 @@ if(DEFINED KCC_SERVE)
     --max-queue=abc
     --workers=abc
     --translation-cache=maybe
+    --result-cache=maybe
+    --result-cache=
     --bogus-flag)
 
   foreach(FLAG ${BAD_SERVE_FLAGS})

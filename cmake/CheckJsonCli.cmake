@@ -53,6 +53,16 @@ endif()
 if(NOT OUT MATCHES "\"translation_cache\": \\{" OR NOT OUT MATCHES "\"inflight_joins\":")
   message(FATAL_ERROR "kcc --json: missing translation_cache block: ${OUT}")
 endif()
+# The result-cache additions (same backward-compatible lineage): the
+# per-job hit flag in the compile block and the engine-wide
+# result_cache counters object.
+if(NOT OUT MATCHES "\"result_cache_hit\":" OR NOT OUT MATCHES "\"result_cache\": \\{"
+   OR NOT OUT MATCHES "\"abandoned\":")
+  message(FATAL_ERROR "kcc --json: missing result_cache fields: ${OUT}")
+endif()
+if(NOT OUT MATCHES "\"snapshot_shared_hits\":")
+  message(FATAL_ERROR "kcc --json: missing snapshot_shared_hits pool counter: ${OUT}")
+endif()
 if(ERR MATCHES "ERROR! KCC")
   message(FATAL_ERROR "kcc --json: human report leaked to stderr: ${ERR}")
 endif()

@@ -69,6 +69,31 @@ struct MachineOptions {
   RuleStyle Style = RuleStyle::SideConditions;
 };
 
+/// Stable FNV-1a digest over every field of \p M. Two MachineOptions
+/// with equal fingerprints drive byte-identical machines over the same
+/// AST, so the digest is a content address for the semantics half of a
+/// search configuration (the result cache in driver/ResultCache.h and
+/// the cross-program snapshot-sharing key both build on it). Every
+/// field participates — adding a MachineOptions member without hashing
+/// it here would silently alias distinct configurations.
+inline uint64_t machineOptionsFingerprint(const MachineOptions &M) {
+  Fnv1a H;
+  H.u8(M.Strict);
+  H.u8(M.TrackSequencing);
+  H.u8(M.TrackConst);
+  H.u8(M.SymbolicPointers);
+  H.u8(M.PointerBytes);
+  H.u8(M.UnknownBytes);
+  H.u8(M.CheckEffectiveTypes);
+  H.u8(M.StopAtFirstUb);
+  H.u64(M.StepLimit);
+  H.u8(static_cast<uint8_t>(M.Order));
+  H.u32(M.Seed);
+  H.u32(M.MaxCallDepth);
+  H.u8(static_cast<uint8_t>(M.Style));
+  return mix64(H.digest());
+}
+
 /// A resumable point-in-time copy of a machine's run state: the
 /// configuration (cheap to copy — the mem cell is copy-on-write) plus
 /// the chooser's decision trace and RNG stream. Captured at flippable

@@ -128,6 +128,25 @@ struct SearchOptions {
   bool CollectRuns = false;
 };
 
+/// Stable FNV-1a digest over the *outcome-affecting* SearchOptions
+/// fields. MaxRuns, Dedup, and UseSnapshots change what the search
+/// explores; Sched never changes committed results, but a cached
+/// outcome replays its per-program counters (steals, waves) verbatim,
+/// so serving a wave outcome to a steal request would report the wrong
+/// shape — it stays in the key. Jobs, SnapshotBudget, FullRehash, and
+/// CollectRuns shape only wall-clock and test instrumentation
+/// (committed outcomes are independent of them by the scheduler's
+/// determinism contract), so they are deliberately excluded: a 4-job
+/// and an 8-job search of the same program share one cache entry.
+inline uint64_t searchOptionsFingerprint(const SearchOptions &S) {
+  Fnv1a H;
+  H.u32(S.MaxRuns);
+  H.u8(static_cast<uint8_t>(S.Sched));
+  H.u8(S.Dedup);
+  H.u8(S.UseSnapshots);
+  return mix64(H.digest());
+}
+
 /// One explored run, recorded when SearchOptions::CollectRuns is set.
 struct SearchRunRecord {
   std::vector<uint8_t> Pinned;

@@ -30,15 +30,20 @@ BatchResult Driver::runBatch(const std::vector<BatchInput> &Inputs) {
 
   SchedulerStats Before = Eng.poolStats();
   TranslationCacheStats TBefore = Eng.translationStats();
+  ResultCacheStats RBefore = Eng.resultCacheStats();
   std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
   Batch.Outcomes.reserve(Handles.size());
   for (JobHandle &H : Handles)
     Batch.Outcomes.push_back(H.take());
   SchedulerStats After = Eng.poolStats();
   TranslationCacheStats TAfter = Eng.translationStats();
+  ResultCacheStats RAfter = Eng.resultCacheStats();
   Batch.Stats.TranslationHits = (TAfter.Hits + TAfter.InflightJoins) -
                                 (TBefore.Hits + TBefore.InflightJoins);
   Batch.Stats.TranslationMisses = TAfter.Misses - TBefore.Misses;
+  Batch.Stats.ResultCacheHits = (RAfter.Hits + RAfter.InflightJoins) -
+                                (RBefore.Hits + RBefore.InflightJoins);
+  Batch.Stats.ResultCacheMisses = RAfter.Misses - RBefore.Misses;
 
   if (Req.searchSched() == SchedKind::Wave) {
     // The wave reference path runs on the engine's frontend workers

@@ -56,6 +56,14 @@ struct BatchStats {
   /// an engine whose translation cache is disabled.
   uint64_t TranslationHits = 0;
   uint64_t TranslationMisses = 0;
+  /// Result-cache resolution of this batch's submissions: hits (a
+  /// completed outcome was replayed, or an in-flight twin's search was
+  /// joined — no search ran) vs misses (this submission owned its
+  /// search). Honest executed-vs-cached accounting: Hits + Misses ==
+  /// Programs on a cache-enabled engine; both stay 0 when the cache is
+  /// disabled or the requests opted out.
+  uint64_t ResultCacheHits = 0;
+  uint64_t ResultCacheMisses = 0;
   double WallMs = 0.0;
 };
 

@@ -57,9 +57,15 @@ EngineConfig cundef::engineConfigFor(const AnalysisRequest &Req) {
 SchedulerStats
 cundef::waveAggregateStats(const std::vector<DriverOutcome> &Outcomes) {
   SchedulerStats St;
-  St.Programs = static_cast<unsigned>(Outcomes.size());
   St.Jobs = 1; // each wave search runs its program alone
   for (const DriverOutcome &O : Outcomes) {
+    // A result-cache hit ran no search: its counters are a replay of
+    // the original run's and must not be double-counted into the
+    // pool-surrogate aggregate (the original already was, or will be,
+    // when its own outcome passes through here).
+    if (O.ResultCacheHit)
+      continue;
+    ++St.Programs;
     St.RunsExecuted += O.OrdersExplored;
     St.DedupHits += O.OrdersDeduped;
     St.SnapshotEvictions += O.SearchEvictions;
@@ -96,6 +102,11 @@ struct cundef::detail::JobState {
   /// only). Shared with the translation cache and any concurrent job
   /// of the same content.
   CompiledProgramRef Artifact;
+
+  /// This job owns a result-cache claim: finishJob publishes its
+  /// outcome under RKey (and thereby fires any joined submissions).
+  bool Publish = false;
+  ResultKey RKey;
 
   /// Partial outcome written by the frontend stage (compile half),
   /// completed by the search result. Guarded by Mu once the job is in
@@ -166,12 +177,13 @@ struct AnalysisEngine::Impl {
     SC.Jobs = Cfg.Workers;
     SC.ClampJobsToHardware = Cfg.ClampWorkersToHardware;
     SC.SnapshotBudget = Cfg.SnapshotBudget;
+    SC.SnapshotSharing = true;
     return SC;
   }
 
   explicit Impl(EngineConfig Cfg)
-      : Cfg(Cfg), Sched(schedConfig(Cfg)),
-        TCache(Cfg.TranslationCacheEntries) {
+      : Cfg(Cfg), Sched(schedConfig(Cfg)), TCache(Cfg.TranslationCacheEntries),
+        RCache(Cfg.ResultCacheEntries) {
     registerStandardHeaders(Headers);
     Sched.setProgramDoneCallback([this](size_t Prog) { onProgramDone(Prog); });
   }
@@ -180,6 +192,11 @@ struct AnalysisEngine::Impl {
   HeaderRegistry Headers;
   SearchScheduler Sched;
   TranslationCache TCache;
+  ResultCache RCache;
+  /// Header-registry fingerprint of the last cached submission; a
+  /// change means headers() was edited on the live engine, which
+  /// triggers the result-cache context sweep (0 = none seen yet).
+  std::atomic<uint64_t> LastContextHash{0};
 
   /// One queued submission: everything the frontend stage needs, owned
   /// by the task (the caller's source was copied at submit).
@@ -240,10 +257,14 @@ struct AnalysisEngine::Impl {
   }
 
   /// Resolves \p Source through the translation cache (or compiles
-  /// directly when the cache is disabled).
+  /// directly when the cache is disabled). \p OutKey, when given,
+  /// receives the unit's content address even on the uncached path —
+  /// the result cache keys on it, so it must exist independently of
+  /// whether the translation cache is on.
   CompiledProgramRef frontend(const AnalysisRequest &Req,
                               const std::string &Source,
-                              const std::string &Name, bool *WasHit) {
+                              const std::string &Name, bool *WasHit,
+                              TranslationKey *OutKey = nullptr) {
     FrontendOptions FO;
     FO.Target = Req.target();
     FO.StaticChecks = Req.staticChecks();
@@ -251,6 +272,8 @@ struct AnalysisEngine::Impl {
     if (!TCache.enabled()) {
       if (WasHit)
         *WasHit = false;
+      if (OutKey)
+        *OutKey = translationKeyFor(FO, Source, Name, Headers.fingerprint());
       return compileTranslationUnit(FO, Source, Name, Headers);
     }
     // Hash once: the key addresses the cache AND stamps the artifact,
@@ -258,10 +281,49 @@ struct AnalysisEngine::Impl {
     // source and the whole header registry inside the compile).
     TranslationKey Key =
         translationKeyFor(FO, Source, Name, Headers.fingerprint());
+    if (OutKey)
+      *OutKey = Key;
     return TCache.getOrCompile(
         Key,
         [&] { return compileTranslationUnit(FO, Source, Name, Headers, &Key); },
         WasHit);
+  }
+
+  /// The result cache's content address for \p Req over the unit
+  /// \p TKey addresses. The search fingerprint folds in the
+  /// static-analysis mode: On and Only share a translation key (both
+  /// run flow checks) but produce different outcomes (Only never
+  /// searches), so the mode must separate their entries.
+  static ResultKey resultKeyFor(const AnalysisRequest &Req,
+                                const TranslationKey &TKey) {
+    ResultKey K;
+    K.Translation = TKey;
+    K.MachineFp = machineOptionsFingerprint(Req.machine());
+    SearchOptions SO;
+    SO.MaxRuns = Req.searchRuns();
+    SO.Sched = Req.searchSched();
+    SO.Dedup = Req.searchDedup();
+    SO.UseSnapshots = Req.searchSnapshots();
+    Fnv1a H;
+    H.u64(searchOptionsFingerprint(SO));
+    H.u8(static_cast<uint8_t>(Req.staticAnalyze()));
+    K.SearchFp = mix64(H.digest());
+    return K;
+  }
+
+  /// A copy of the cached outcome adjusted to describe THIS
+  /// submission: the cache flags and frontend timing are this job's,
+  /// everything else — including SearchMicros and the search counters
+  /// — replays the original run's verbatim (byte-equality is the
+  /// contract; tests/test_result_cache.cpp pins it).
+  static DriverOutcome cachedHitOutcome(const DriverOutcome &Cached,
+                                        bool TranslationHit,
+                                        double FrontendMicros) {
+    DriverOutcome O = Cached;
+    O.ResultCacheHit = true;
+    O.TranslationCacheHit = TranslationHit;
+    O.FrontendMicros = FrontendMicros;
+    return O;
   }
 
   /// The whole per-job frontend stage, on a frontend worker: cache
@@ -272,10 +334,12 @@ struct AnalysisEngine::Impl {
     const AnalysisRequest &Req = Task.Req;
 
     auto FeStart = std::chrono::steady_clock::now();
+    const bool UseRC = RCache.enabled() && Req.useResultCache();
     bool Hit = false;
+    TranslationKey TKey;
     CompiledProgramRef Art;
     try {
-      Art = frontend(Req, Task.Source, St.Name, &Hit);
+      Art = frontend(Req, Task.Source, St.Name, &Hit, UseRC ? &TKey : nullptr);
     } catch (const std::exception &E) {
       // A throwing frontend (OOM, realistically) must not escape a
       // pool thread — that would terminate the whole service and
@@ -295,6 +359,65 @@ struct AnalysisEngine::Impl {
     O.StaticHints = Art->staticHints();
     O.TranslationCacheHit = Hit;
     O.FrontendMicros = microsSince(FeStart);
+
+    // Result-cache lookup: one atomic hit / claim / join on the full
+    // content address. Placed AFTER artifact resolution so a hit still
+    // pays the (cheap) translation-cache lookup — keeping the
+    // translation counters' Hits + Misses == Programs invariant — but
+    // skips the search entirely. The frontend-exception path above
+    // never reaches here, so it never claims (nothing to leak).
+    if (UseRC) {
+      // Live-engine header edits re-key every unit (the header
+      // fingerprint is folded into TranslationKey::ContextHash), so a
+      // stale entry can never be *served* — but it would squat in the
+      // LRU until pressure evicts it. Sweep the previous context's
+      // entries the first time a submission arrives under a new one.
+      const uint64_t Ctx = TKey.ContextHash;
+      const uint64_t Prev = LastContextHash.exchange(Ctx);
+      if (Prev != 0 && Prev != Ctx)
+        RCache.invalidateContextsExcept(Ctx);
+      St.RKey = resultKeyFor(Req, TKey);
+      // The waiter fires if (and only if) this submission JOINS an
+      // in-flight twin: the owner's publish completes this job with
+      // the shared outcome, on the owner's thread, outside all cache
+      // locks. Capture this job's own frontend facts now — they are
+      // the only fields of the final outcome that are not the cached
+      // run's.
+      auto StPtr = Task.St;
+      const bool TrHit = Hit;
+      const double FeMicros = O.FrontendMicros;
+      ResultCache::Claim Claim = RCache.begin(
+          St.RKey, [this, StPtr, TrHit, FeMicros](CachedOutcome Ready) {
+            if (Ready) {
+              finishJob(*StPtr, cachedHitOutcome(*Ready, TrHit, FeMicros),
+                        microsSince(StPtr->SubmitTime));
+              return;
+            }
+            // Defensive: the owner released its claim without an
+            // outcome. No current completion path does this (every
+            // owner funnels through finishJob), but a stranded future
+            // would hang the client forever, so fail loudly instead.
+            DriverOutcome Fail;
+            Fail.CompileErrors =
+                "internal error: result-cache owner abandoned the search";
+            Fail.FrontendMicros = FeMicros;
+            finishJob(*StPtr, std::move(Fail),
+                      microsSince(StPtr->SubmitTime));
+          });
+      switch (Claim.K) {
+      case ResultCache::Claim::Kind::Hit:
+        finishJob(St, cachedHitOutcome(*Claim.Ready, Hit, O.FrontendMicros),
+                  microsSince(St.SubmitTime));
+        return;
+      case ResultCache::Claim::Kind::Joined:
+        return; // the owner's publish finishes this job
+      case ResultCache::Claim::Kind::Owner:
+        St.Publish = true; // finishJob publishes under St.RKey
+        break;
+      case ResultCache::Claim::Kind::Disabled:
+        break;
+      }
+    }
 
     if (!Art->ok()) {
       O.Status = RunStatus::Internal;
@@ -385,7 +508,16 @@ struct AnalysisEngine::Impl {
   }
 
   /// Fires events and fulfills the future. No engine locks held.
+  /// Every completion path funnels through here, so this is the single
+  /// publish point of the result cache: an owning job stores its
+  /// outcome (which also fires any joined submissions' waiters — each
+  /// of which re-enters finishJob for its own job with Publish unset,
+  /// so the recursion is one level deep by construction).
   void finishJob(JobState &St, DriverOutcome O, double Wall) {
+    if (St.Publish) {
+      St.Publish = false;
+      RCache.publish(St.RKey, std::make_shared<const DriverOutcome>(O));
+    }
     if (St.Sink) {
       EngineJobInfo Info{St.Id, St.Name};
       if (O.SearchTruncated)
@@ -607,6 +739,10 @@ SchedulerStats AnalysisEngine::poolStats() const { return I->Sched.stats(); }
 
 TranslationCacheStats AnalysisEngine::translationStats() const {
   return I->TCache.stats();
+}
+
+ResultCacheStats AnalysisEngine::resultCacheStats() const {
+  return I->RCache.stats();
 }
 
 EngineMemoryStats AnalysisEngine::memoryStats() const {

@@ -45,6 +45,7 @@
 
 #include "core/Scheduler.h"
 #include "driver/Request.h"
+#include "driver/ResultCache.h"
 #include "frontend/CompiledProgram.h"
 #include "frontend/TranslationCache.h"
 #include "text/Preprocessor.h"
@@ -95,6 +96,13 @@ struct DriverOutcome {
   /// frontend pass ran for this submission (kcc --show-witness and the
   /// --json compile block surface it).
   bool TranslationCacheHit = false;
+  /// This job's outcome came from the engine's result cache
+  /// (driver/ResultCache.h): no search ran for this submission — every
+  /// deterministic field below is a byte-identical copy of the cached
+  /// outcome. Only TranslationCacheHit and FrontendMicros describe
+  /// this submission; SearchMicros and the search counters replay the
+  /// original run's (a cached outcome IS that run's outcome).
+  bool ResultCacheHit = false;
   /// Microseconds this job spent in its frontend stage — the compile,
   /// or the cache lookup/in-flight join that replaced it. Together
   /// with SearchMicros this splits per-job cost into the two pipeline
@@ -137,6 +145,12 @@ struct EngineConfig {
   /// disables content-addressed reuse: every submission runs its own
   /// frontend pass (the kcc --translation-cache=off A/B mode).
   unsigned TranslationCacheEntries = 256;
+  /// Capacity (outcomes) of the engine-wide result cache
+  /// (driver/ResultCache.h): completed search outcomes keyed by
+  /// (translation key, machine fingerprint, search fingerprint), so a
+  /// resubmitted (source, config) pair skips its search entirely. 0
+  /// disables it (the kcc --result-cache=off A/B mode).
+  unsigned ResultCacheEntries = 256;
   /// Threads of the frontend pool, which compiles submissions off the
   /// submitting thread (and runs wave-scheduled searches, which never
   /// touch the steal pool). 0 = auto (2): enough to overlap frontend
@@ -314,6 +328,10 @@ public:
   /// Live translation-cache counters (monotonic): hits, misses,
   /// in-flight joins, evictions.
   TranslationCacheStats translationStats() const;
+
+  /// Live result-cache counters (monotonic): searches skipped because
+  /// an identical outcome was resident (hits) or in flight (joins).
+  ResultCacheStats resultCacheStats() const;
 
   /// Live retained-state counters (see EngineMemoryStats for the
   /// post-drain reclaim contract).

@@ -105,6 +105,8 @@ void appendProgram(std::string &Out, const JsonProgram &P, bool Last) {
   Out += "      \"compile\": {\n";
   Out += strFormat("        \"cache_hit\": %s,\n",
                    O.TranslationCacheHit ? "true" : "false");
+  Out += strFormat("        \"result_cache_hit\": %s,\n",
+                   O.ResultCacheHit ? "true" : "false");
   Out += strFormat("        \"frontend_micros\": %.3f,\n", O.FrontendMicros);
   Out += strFormat("        \"search_micros\": %.3f\n", O.SearchMicros);
   Out += "      },\n";
@@ -168,7 +170,8 @@ void appendProgram(std::string &Out, const JsonProgram &P, bool Last) {
 std::string
 cundef::renderJsonDocument(const std::vector<JsonProgram> &Programs,
                            const SchedulerStats &Pool,
-                           const TranslationCacheStats &TCache, double WallMs,
+                           const TranslationCacheStats &TCache,
+                           const ResultCacheStats &RCache, double WallMs,
                            int ExitCode) {
   std::string Out;
   Out += "{\n";
@@ -217,6 +220,8 @@ cundef::renderJsonDocument(const std::vector<JsonProgram> &Programs,
                    static_cast<unsigned long long>(Pool.SnapshotSlotSteals));
   Out += strFormat("    \"snapshot_evictions\": %llu,\n",
                    static_cast<unsigned long long>(Pool.SnapshotEvictions));
+  Out += strFormat("    \"snapshot_shared_hits\": %llu,\n",
+                   static_cast<unsigned long long>(Pool.SnapshotSharedHits));
   Out += strFormat("    \"peak_frontier\": %llu,\n",
                    static_cast<unsigned long long>(Pool.PeakFrontier));
   Out += strFormat("    \"wall_ms\": %.3f\n", WallMs);
@@ -234,6 +239,24 @@ cundef::renderJsonDocument(const std::vector<JsonProgram> &Programs,
                    static_cast<unsigned long long>(TCache.Misses));
   Out += strFormat("    \"evictions\": %llu\n",
                    static_cast<unsigned long long>(TCache.Evictions));
+  Out += "  },\n";
+  // Engine-wide result-cache counters (cundef-kcc-v1 addition; all
+  // zero when --result-cache=off). hits + inflight_joins is the
+  // "served from cache" count; misses is the searches actually
+  // executed — honest cached-vs-executed accounting.
+  Out += "  \"result_cache\": {\n";
+  Out += strFormat("    \"lookups\": %llu,\n",
+                   static_cast<unsigned long long>(RCache.Lookups));
+  Out += strFormat("    \"hits\": %llu,\n",
+                   static_cast<unsigned long long>(RCache.Hits));
+  Out += strFormat("    \"inflight_joins\": %llu,\n",
+                   static_cast<unsigned long long>(RCache.InflightJoins));
+  Out += strFormat("    \"misses\": %llu,\n",
+                   static_cast<unsigned long long>(RCache.Misses));
+  Out += strFormat("    \"evictions\": %llu,\n",
+                   static_cast<unsigned long long>(RCache.Evictions));
+  Out += strFormat("    \"abandoned\": %llu\n",
+                   static_cast<unsigned long long>(RCache.Abandoned));
   Out += "  }\n";
   Out += "}\n";
   return Out;

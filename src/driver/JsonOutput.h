@@ -47,15 +47,17 @@ struct JsonProgram {
 };
 
 /// Renders the whole `cundef-kcc-v1` document: programs (each with its
-/// `compile` block — cache hit flag, frontend/search micros), the
-/// shared pool counters plus the engine's translation-cache counters,
-/// and the process exit code the verdicts imply (139 if any program is
-/// undefined, else 1 if any failed to compile, else the single
-/// program's exit code / 0 for batches).
+/// `compile` block — translation/result cache hit flags,
+/// frontend/search micros), the shared pool counters plus the engine's
+/// translation-cache and result-cache counters, and the process exit
+/// code the verdicts imply (139 if any program is undefined, else 1 if
+/// any failed to compile, else the single program's exit code / 0 for
+/// batches).
 std::string renderJsonDocument(const std::vector<JsonProgram> &Programs,
                                const SchedulerStats &Pool,
                                const TranslationCacheStats &TCache,
-                               double WallMs, int ExitCode);
+                               const ResultCacheStats &RCache, double WallMs,
+                               int ExitCode);
 
 } // namespace cundef
 

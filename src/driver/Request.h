@@ -104,6 +104,13 @@ public:
   /// Scheduling layer. Results never depend on this (core/Scheduler.h);
   /// Wave selects the sequential reference engine.
   SchedKind searchSched() const { return SearchSched; }
+  /// Consult the engine's content-addressed result cache
+  /// (driver/ResultCache.h) for this submission. Off forces a full
+  /// search even when an identical outcome is resident — the kcc
+  /// --result-cache=off A/B mode. Per-request (not engine-wide) so a
+  /// remote client can disable it over the wire against a shared
+  /// daemon without affecting other clients.
+  bool useResultCache() const { return UseResultCache; }
 
 private:
   TargetConfig Target = TargetConfig::lp64();
@@ -115,6 +122,7 @@ private:
   bool SearchDedup = true;
   bool SearchSnapshots = true;
   SchedKind SearchSched = SchedKind::Stealing;
+  bool UseResultCache = true;
 };
 
 /// Fluent builder for AnalysisRequest. Setters never fail; build()
@@ -141,6 +149,7 @@ public:
   Builder &dedup(bool On) { Req.SearchDedup = On; return *this; }
   Builder &snapshots(bool On) { Req.SearchSnapshots = On; return *this; }
   Builder &sched(SchedKind K) { Req.SearchSched = K; return *this; }
+  Builder &resultCache(bool On) { Req.UseResultCache = On; return *this; }
 
   struct Result {
     AnalysisRequest Request; ///< meaningful only when Err.ok()

@@ -1,0 +1,153 @@
+//===- driver/ResultCache.cpp - Content-addressed search results ----------===//
+//
+// Part of cundef, a semantics-based undefinedness checker for C.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/ResultCache.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace cundef;
+
+namespace {
+/// Rounds \p N up to the next power of two (minimum 1).
+unsigned ceilPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N)
+    P <<= 1;
+  return P;
+}
+} // namespace
+
+ResultCache::ResultCache(unsigned Capacity, unsigned ShardCount)
+    : Capacity(Capacity),
+      PerShardCapacity(
+          Capacity ? std::max(1u, Capacity / ceilPow2(std::max(1u, ShardCount)))
+                   : 0),
+      Shards(Capacity ? ceilPow2(std::max(1u, ShardCount)) : 1) {}
+
+ResultCache::Claim ResultCache::begin(const ResultKey &Key, Waiter OnReady) {
+  if (!enabled())
+    return {};
+
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mu);
+
+  auto It = S.Entries.find(Key);
+  if (It == S.Entries.end()) {
+    // First submission: claim the key. The entry is in-flight (not in
+    // the LRU list) until the owner's publish().
+    S.Entries.emplace(Key, Entry{});
+    bump(&Counters::Misses);
+    Claim C;
+    C.K = Claim::Kind::Owner;
+    return C;
+  }
+
+  Entry &E = It->second;
+  if (E.Done) {
+    // Refresh recency before serving.
+    S.Lru.splice(S.Lru.end(), S.Lru, E.LruIt);
+    bump(&Counters::Hits);
+    Claim C;
+    C.K = Claim::Kind::Hit;
+    C.Ready = E.Ready;
+    return C;
+  }
+
+  // In-flight elsewhere: ride the owner's search.
+  E.Waiters.push_back(std::move(OnReady));
+  bump(&Counters::InflightJoins);
+  Claim C;
+  C.K = Claim::Kind::Joined;
+  return C;
+}
+
+void ResultCache::publish(const ResultKey &Key, CachedOutcome Outcome,
+                          bool Store) {
+  if (!enabled())
+    return;
+
+  std::vector<Waiter> Fire;
+  {
+    Shard &S = shardFor(Key);
+    std::lock_guard<std::mutex> Lock(S.Mu);
+
+    auto It = S.Entries.find(Key);
+    if (It == S.Entries.end() || It->second.Done)
+      return;
+
+    Entry &E = It->second;
+    Fire = std::move(E.Waiters);
+    E.Waiters.clear();
+
+    if (Store && Outcome) {
+      E.Ready = Outcome;
+      E.Done = true;
+      E.LruIt = S.Lru.insert(S.Lru.end(), Key);
+      ++S.DoneCount;
+      while (S.DoneCount > PerShardCapacity) {
+        const ResultKey &Victim = S.Lru.front();
+        // The victim is never the entry just published unless the
+        // shard capacity is 1 and it is the sole resident — in which
+        // case dropping it is still correct (waiters already hold
+        // their copy of Outcome below).
+        S.Entries.erase(Victim);
+        S.Lru.pop_front();
+        --S.DoneCount;
+        Stats.Evictions.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // Owner finished without a cacheable outcome: release the claim
+      // so a later submission of the key starts fresh.
+      S.Entries.erase(It);
+      Stats.Abandoned.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Waiters run arbitrary completion code (job finishers, sink
+  // callbacks) — never under a shard lock.
+  for (Waiter &W : Fire)
+    if (W)
+      W(Outcome && Store ? Outcome : CachedOutcome());
+}
+
+void ResultCache::invalidateContextsExcept(uint64_t ContextHash) {
+  if (!enabled())
+    return;
+  for (Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    for (auto It = S.Lru.begin(); It != S.Lru.end();) {
+      if (It->Translation.ContextHash == ContextHash) {
+        ++It;
+        continue;
+      }
+      S.Entries.erase(*It);
+      It = S.Lru.erase(It);
+      --S.DoneCount;
+      Stats.Evictions.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t ResultCache::size() const {
+  size_t N = 0;
+  for (const Shard &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    N += S.DoneCount;
+  }
+  return N;
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats R;
+  R.Lookups = Stats.Lookups.load(std::memory_order_relaxed);
+  R.Hits = Stats.Hits.load(std::memory_order_relaxed);
+  R.Misses = Stats.Misses.load(std::memory_order_relaxed);
+  R.InflightJoins = Stats.InflightJoins.load(std::memory_order_relaxed);
+  R.Evictions = Stats.Evictions.load(std::memory_order_relaxed);
+  R.Abandoned = Stats.Abandoned.load(std::memory_order_relaxed);
+  return R;
+}

@@ -206,7 +206,8 @@ bool RemoteClient::receive(RemoteMessage &Msg, std::string &Err,
       Err = "stats_result frame without stats";
       return false;
     }
-    return parseStats(*S, Msg.Pool, Msg.Memory, Msg.Translation, Err);
+    return parseStats(*S, Msg.Pool, Msg.Memory, Msg.Translation, Msg.ResultC,
+                      Err);
   }
   // Unknown frame types pass through undecoded: additions to the
   // protocol must not break older clients (the schema lineage rule).
@@ -257,7 +258,7 @@ bool RemoteClient::runBatch(const AnalysisRequest &Req,
 
 bool RemoteClient::queryStats(SchedulerStats &Pool, EngineMemoryStats &Memory,
                               TranslationCacheStats &Translation,
-                              std::string &Err) {
+                              ResultCacheStats &ResultC, std::string &Err) {
   LastErrorCode.clear();
   if (!send(statsFrame(0), Err))
     return false;
@@ -276,6 +277,7 @@ bool RemoteClient::queryStats(SchedulerStats &Pool, EngineMemoryStats &Memory,
     Pool = Msg.Pool;
     Memory = Msg.Memory;
     Translation = Msg.Translation;
+    ResultC = Msg.ResultC;
     return true;
   }
 }

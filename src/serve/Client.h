@@ -66,6 +66,7 @@ struct RemoteMessage {
   SchedulerStats Pool;
   EngineMemoryStats Memory;
   TranslationCacheStats Translation;
+  ResultCacheStats ResultC;
 };
 
 /// A blocking connection to one kcc-serve daemon. Not thread-safe; one
@@ -107,7 +108,8 @@ public:
   /// engine's monotonic lifetime counters (docs/SERVE.md discusses how
   /// remote kcc reports them).
   bool queryStats(SchedulerStats &Pool, EngineMemoryStats &Memory,
-                  TranslationCacheStats &Translation, std::string &Err);
+                  TranslationCacheStats &Translation,
+                  ResultCacheStats &ResultC, std::string &Err);
 
   /// The serveerr::* code of the last structured rejection runBatch()
   /// or queryStats() saw (empty when the failure was transport-level).

@@ -290,11 +290,13 @@ std::string cundef::serializeRequest(const AnalysisRequest &Req) {
       M.Seed, M.MaxCallDepth, styleName(M.Style));
   Out += strFormat(
       "\"static_checks\":%s,\"static_analyze\":\"%s\",\"search_runs\":%u,"
-      "\"search_jobs\":%u,\"dedup\":%s,\"snapshots\":%s,\"sched\":\"%s\"}",
+      "\"search_jobs\":%u,\"dedup\":%s,\"snapshots\":%s,\"sched\":\"%s\","
+      "\"result_cache\":%s}",
       Req.staticChecks() ? "true" : "false",
       staticModeName(Req.staticAnalyze()), Req.searchRuns(), Req.searchJobs(),
       Req.searchDedup() ? "true" : "false",
-      Req.searchSnapshots() ? "true" : "false", schedName(Req.searchSched()));
+      Req.searchSnapshots() ? "true" : "false", schedName(Req.searchSched()),
+      Req.useResultCache() ? "true" : "false");
   return Out;
 }
 
@@ -374,6 +376,7 @@ bool cundef::parseRequest(const JsonValue &V, AnalysisRequest &Out,
       static_cast<unsigned>(V.getU64("search_jobs", Defaults.searchJobs())));
   B.dedup(V.getBool("dedup", Defaults.searchDedup()));
   B.snapshots(V.getBool("snapshots", Defaults.searchSnapshots()));
+  B.resultCache(V.getBool("result_cache", Defaults.useResultCache()));
   SchedKind Sched = Defaults.searchSched();
   if (const JsonValue *SV = V.get("sched"))
     if (!parseSchedName(SV->asString(), Sched)) {
@@ -469,6 +472,8 @@ std::string cundef::serializeOutcome(const DriverOutcome &O) {
   Out += strFormat("\"peak_frontier\":%u,", O.SearchPeakFrontier);
   Out += strFormat("\"translation_cache_hit\":%s,",
                    O.TranslationCacheHit ? "true" : "false");
+  Out += strFormat("\"result_cache_hit\":%s,",
+                   O.ResultCacheHit ? "true" : "false");
   Out += strFormat("\"frontend_micros\":%.3f,", O.FrontendMicros);
   Out += strFormat("\"search_micros\":%.3f,", O.SearchMicros);
   std::string Witness;
@@ -515,6 +520,7 @@ bool cundef::parseOutcome(const JsonValue &V, DriverOutcome &Out,
   Out.SearchPeakFrontier =
       static_cast<unsigned>(V.getU64("peak_frontier", 0));
   Out.TranslationCacheHit = V.getBool("translation_cache_hit", false);
+  Out.ResultCacheHit = V.getBool("result_cache_hit", false);
   Out.FrontendMicros = V.getDouble("frontend_micros", 0.0);
   Out.SearchMicros = V.getDouble("search_micros", 0.0);
   if (const JsonValue *W = V.get("witness")) {
@@ -535,7 +541,8 @@ bool cundef::parseOutcome(const JsonValue &V, DriverOutcome &Out,
 
 std::string cundef::serializeStats(const SchedulerStats &Pool,
                                    const EngineMemoryStats &Memory,
-                                   const TranslationCacheStats &Translation) {
+                                   const TranslationCacheStats &Translation,
+                                   const ResultCacheStats &ResultC) {
   std::string Out = "{";
   Out += strFormat(
       "\"pool\":{\"programs\":%u,\"workers\":%u,\"steals\":%llu,"
@@ -544,7 +551,7 @@ std::string cundef::serializeStats(const SchedulerStats &Pool,
       "\"provisional_hits\":%llu,\"provisional_requeues\":%llu,"
       "\"commit_lag_peak\":%llu,\"snapshot_shards\":%u,"
       "\"snapshot_takes\":%llu,\"snapshot_hits\":%llu,"
-      "\"snapshot_slot_steals\":%llu},",
+      "\"snapshot_slot_steals\":%llu,\"snapshot_shared_hits\":%llu},",
       Pool.Programs, Pool.Jobs,
       static_cast<unsigned long long>(Pool.Steals),
       static_cast<unsigned long long>(Pool.SnapshotEvictions),
@@ -558,7 +565,8 @@ std::string cundef::serializeStats(const SchedulerStats &Pool,
       Pool.SnapshotShards,
       static_cast<unsigned long long>(Pool.SnapshotTakes),
       static_cast<unsigned long long>(Pool.SnapshotHits),
-      static_cast<unsigned long long>(Pool.SnapshotSlotSteals));
+      static_cast<unsigned long long>(Pool.SnapshotSlotSteals),
+      static_cast<unsigned long long>(Pool.SnapshotSharedHits));
   Out += strFormat(
       "\"memory\":{\"pending_jobs\":%llu,\"graveyard_artifacts\":%llu,"
       "\"program_slots\":%llu,\"retained_programs\":%llu,"
@@ -570,23 +578,36 @@ std::string cundef::serializeStats(const SchedulerStats &Pool,
       static_cast<unsigned long long>(Memory.PendingSnapshots));
   Out += strFormat(
       "\"translation\":{\"lookups\":%llu,\"hits\":%llu,\"misses\":%llu,"
-      "\"inflight_joins\":%llu,\"evictions\":%llu}}",
+      "\"inflight_joins\":%llu,\"evictions\":%llu},",
       static_cast<unsigned long long>(Translation.Lookups),
       static_cast<unsigned long long>(Translation.Hits),
       static_cast<unsigned long long>(Translation.Misses),
       static_cast<unsigned long long>(Translation.InflightJoins),
       static_cast<unsigned long long>(Translation.Evictions));
+  Out += strFormat(
+      "\"result_cache\":{\"lookups\":%llu,\"hits\":%llu,\"misses\":%llu,"
+      "\"inflight_joins\":%llu,\"evictions\":%llu,\"abandoned\":%llu}}",
+      static_cast<unsigned long long>(ResultC.Lookups),
+      static_cast<unsigned long long>(ResultC.Hits),
+      static_cast<unsigned long long>(ResultC.Misses),
+      static_cast<unsigned long long>(ResultC.InflightJoins),
+      static_cast<unsigned long long>(ResultC.Evictions),
+      static_cast<unsigned long long>(ResultC.Abandoned));
   return Out;
 }
 
 bool cundef::parseStats(const JsonValue &V, SchedulerStats &Pool,
                         EngineMemoryStats &Memory,
-                        TranslationCacheStats &Translation, std::string &Err) {
+                        TranslationCacheStats &Translation,
+                        ResultCacheStats &ResultC, std::string &Err) {
   const JsonValue *P = V.get("pool");
   const JsonValue *M = V.get("memory");
   const JsonValue *T = V.get("translation");
-  if (!P || !P->isObject() || !M || !M->isObject() || !T || !T->isObject()) {
-    Err = "stats body must carry pool, memory, and translation objects";
+  const JsonValue *R = V.get("result_cache");
+  if (!P || !P->isObject() || !M || !M->isObject() || !T || !T->isObject() ||
+      !R || !R->isObject()) {
+    Err = "stats body must carry pool, memory, translation, and "
+          "result_cache objects";
     return false;
   }
   Pool = SchedulerStats();
@@ -605,6 +626,7 @@ bool cundef::parseStats(const JsonValue &V, SchedulerStats &Pool,
   Pool.SnapshotTakes = P->getU64("snapshot_takes", 0);
   Pool.SnapshotHits = P->getU64("snapshot_hits", 0);
   Pool.SnapshotSlotSteals = P->getU64("snapshot_slot_steals", 0);
+  Pool.SnapshotSharedHits = P->getU64("snapshot_shared_hits", 0);
   Memory = EngineMemoryStats();
   Memory.PendingJobs = M->getU64("pending_jobs", 0);
   Memory.GraveyardArtifacts = M->getU64("graveyard_artifacts", 0);
@@ -617,6 +639,13 @@ bool cundef::parseStats(const JsonValue &V, SchedulerStats &Pool,
   Translation.Misses = T->getU64("misses", 0);
   Translation.InflightJoins = T->getU64("inflight_joins", 0);
   Translation.Evictions = T->getU64("evictions", 0);
+  ResultC = ResultCacheStats();
+  ResultC.Lookups = R->getU64("lookups", 0);
+  ResultC.Hits = R->getU64("hits", 0);
+  ResultC.Misses = R->getU64("misses", 0);
+  ResultC.InflightJoins = R->getU64("inflight_joins", 0);
+  ResultC.Evictions = R->getU64("evictions", 0);
+  ResultC.Abandoned = R->getU64("abandoned", 0);
   return true;
 }
 
@@ -677,8 +706,9 @@ std::string cundef::finishedFrame(uint64_t Id, const DriverOutcome &Outcome,
 
 std::string cundef::statsResultFrame(uint64_t Id, const SchedulerStats &Pool,
                                      const EngineMemoryStats &Memory,
-                                     const TranslationCacheStats &Translation) {
+                                     const TranslationCacheStats &Translation,
+                                     const ResultCacheStats &ResultC) {
   return strFormat("{\"type\":\"stats_result\",\"id\":%llu,\"stats\":%s}",
                    static_cast<unsigned long long>(Id),
-                   serializeStats(Pool, Memory, Translation).c_str());
+                   serializeStats(Pool, Memory, Translation, ResultC).c_str());
 }

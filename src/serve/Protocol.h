@@ -112,13 +112,14 @@ bool parseFindings(const JsonValue &V, std::vector<UbReport> &Out,
 
 /// Engine stats <-> JSON (the `stats_result` frame body: the over-the-
 /// wire rendering of AnalysisEngine::poolStats() / memoryStats() /
-/// translationStats()).
+/// translationStats() / resultCacheStats()).
 std::string serializeStats(const SchedulerStats &Pool,
                            const EngineMemoryStats &Memory,
-                           const TranslationCacheStats &Translation);
+                           const TranslationCacheStats &Translation,
+                           const ResultCacheStats &ResultC);
 bool parseStats(const JsonValue &V, SchedulerStats &Pool,
                 EngineMemoryStats &Memory, TranslationCacheStats &Translation,
-                std::string &Err);
+                ResultCacheStats &ResultC, std::string &Err);
 
 //===----------------------------------------------------------------------===//
 // Whole frames
@@ -142,7 +143,8 @@ std::string finishedFrame(uint64_t Id, const DriverOutcome &Outcome,
                           double WallMicros);
 std::string statsResultFrame(uint64_t Id, const SchedulerStats &Pool,
                              const EngineMemoryStats &Memory,
-                             const TranslationCacheStats &Translation);
+                             const TranslationCacheStats &Translation,
+                             const ResultCacheStats &ResultC);
 
 } // namespace cundef
 

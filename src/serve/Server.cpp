@@ -265,7 +265,8 @@ struct ServeDaemon::Impl final : EngineSink {
       handleSubmit(C, Id, Msg);
     } else if (Type == "stats") {
       queueFrame(C, statsResultFrame(Id, Eng.poolStats(), Eng.memoryStats(),
-                                     Eng.translationStats()));
+                                     Eng.translationStats(),
+                                     Eng.resultCacheStats()));
     } else {
       protocolError(C, Id, "unknown message type '" + Type + "'");
     }

@@ -361,15 +361,22 @@ TEST(ServeProtocol, StatsRoundtrip) {
   T.Lookups = 8;
   T.Hits = 6;
   T.Misses = 2;
+  ResultCacheStats R;
+  R.Lookups = 12;
+  R.Hits = 4;
+  R.Misses = 8;
+  R.InflightJoins = 3;
+  P.SnapshotSharedHits = 13;
 
-  std::string Json = serializeStats(P, M, T);
+  std::string Json = serializeStats(P, M, T, R);
   JsonValue V;
   std::string Err;
   ASSERT_TRUE(JsonValue::parse(Json, V, Err)) << Err;
   SchedulerStats P2;
   EngineMemoryStats M2;
   TranslationCacheStats T2;
-  ASSERT_TRUE(parseStats(V, P2, M2, T2, Err)) << Err;
+  ResultCacheStats R2;
+  ASSERT_TRUE(parseStats(V, P2, M2, T2, R2, Err)) << Err;
   EXPECT_EQ(P2.Programs, 3u);
   EXPECT_EQ(P2.Jobs, 4u);
   EXPECT_EQ(P2.Steals, 11u);
@@ -382,6 +389,11 @@ TEST(ServeProtocol, StatsRoundtrip) {
   EXPECT_EQ(T2.Lookups, 8u);
   EXPECT_EQ(T2.Hits, 6u);
   EXPECT_EQ(T2.Misses, 2u);
+  EXPECT_EQ(R2.Lookups, 12u);
+  EXPECT_EQ(R2.Hits, 4u);
+  EXPECT_EQ(R2.Misses, 8u);
+  EXPECT_EQ(R2.InflightJoins, 3u);
+  EXPECT_EQ(P2.SnapshotSharedHits, 13u);
 }
 
 TEST(ServeProtocol, FramingSplitsAndCoalesces) {
@@ -764,7 +776,9 @@ TEST(ServeDaemonTest, ReclaimablesReturnToZeroBetweenBursts) {
   SchedulerStats Pool;
   EngineMemoryStats Memory;
   TranslationCacheStats Translation;
-  ASSERT_TRUE(Client.queryStats(Pool, Memory, Translation, Err)) << Err;
+  ResultCacheStats ResultC;
+  ASSERT_TRUE(Client.queryStats(Pool, Memory, Translation, ResultC, Err))
+      << Err;
   EXPECT_EQ(Memory.PendingJobs, 0u);
   EXPECT_EQ(Memory.GraveyardArtifacts, 0u);
   EXPECT_EQ(Memory.RetainedPrograms, 0u);
@@ -772,6 +786,60 @@ TEST(ServeDaemonTest, ReclaimablesReturnToZeroBetweenBursts) {
   // The duplicate-heavy corpus hits the warm translation cache.
   EXPECT_GT(Translation.Lookups, 0u);
   EXPECT_GT(Translation.Hits, 0u);
+  D.stop();
+}
+
+TEST(ServeDaemonTest, WarmResultCacheSurvivesIdleReclamation) {
+  // The result-cache satellite regression: the daemon's idle-point
+  // reclamation releases per-job state (graveyard artifacts, retained
+  // programs, pending snapshots) but must NOT flush the warm caches —
+  // they are the point of a persistent service. Two identical bursts
+  // separated by a real idle reclaim: the second burst must resolve
+  // from the result cache (hit rate > 0 over the wire) with outcomes
+  // identical to the first burst's.
+  DaemonFixture D;
+  D.start();
+  if (HasFatalFailure())
+    return;
+
+  RemoteClient Client;
+  std::string Err;
+  ASSERT_TRUE(Client.connect(D.endpoint(), Err)) << Err;
+
+  std::vector<DriverOutcome> First, Second;
+  std::vector<double> Micros;
+  ASSERT_TRUE(Client.runBatch(defaultRequest(), corpus(), First, Micros, Err))
+      << Err;
+
+  // A genuine idle pass ran and the reclaimables are gone before the
+  // second burst arrives.
+  ASSERT_TRUE(D.waitFor([&] {
+    EngineMemoryStats M = D.Daemon->engine().memoryStats();
+    return D.Daemon->counters().IdleReclaims >= 1 && M.PendingJobs == 0 &&
+           M.GraveyardArtifacts == 0 && M.RetainedPrograms == 0 &&
+           M.PendingSnapshots == 0;
+  })) << "no idle reclaim between the bursts";
+
+  ResultCacheStats Before = D.Daemon->engine().resultCacheStats();
+  ASSERT_TRUE(Client.runBatch(defaultRequest(), corpus(), Second, Micros, Err))
+      << Err;
+  ASSERT_EQ(First.size(), Second.size());
+  for (size_t I = 0; I < First.size(); ++I)
+    expectSameOutcome(First[I], Second[I], "burst #" + std::to_string(I));
+
+  // Every submission of the identical second burst skipped its search:
+  // the idle reclaim did not cost the cache a single warm entry.
+  SchedulerStats Pool;
+  EngineMemoryStats Memory;
+  TranslationCacheStats Translation;
+  ResultCacheStats ResultC;
+  ASSERT_TRUE(Client.queryStats(Pool, Memory, Translation, ResultC, Err))
+      << Err;
+  EXPECT_GT(ResultC.hitRate(), 0.0);
+  EXPECT_EQ(ResultC.Hits - Before.Hits, corpus().size())
+      << "the whole second burst was served warm";
+  EXPECT_EQ(ResultC.Misses, Before.Misses)
+      << "no second-burst submission re-ran its search";
   D.stop();
 }
 

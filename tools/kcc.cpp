@@ -17,6 +17,14 @@
 //                                   translation units (on by default;
 //                                   off recompiles every file — results
 //                                   identical, A/B the wall-clock)
+//     --result-cache=on|off         content-addressed reuse of completed
+//                                   search results (on by default; off
+//                                   re-searches every file — results
+//                                   identical, A/B the wall-clock).
+//                                   Per-request, so it composes with
+//                                   --remote: the daemon honors the
+//                                   client's choice without affecting
+//                                   other clients
 //     --no-dedup                    disable search state deduplication
 //     --show-witness                print the undefined order's decisions
 //                                   plus a search stats block
@@ -101,6 +109,7 @@ static void usage() {
                "  --search-engine=fork|replay\n"
                "  --search-sched=steal|wave\n"
                "  --translation-cache=on|off\n"
+               "  --result-cache=on|off\n"
                "  --no-dedup\n"
                "  --show-witness\n"
                "  --batch-stats\n"
@@ -211,12 +220,13 @@ static void printPoolStats(const cundef::SchedulerStats &Pool) {
                static_cast<unsigned long long>(Pool.CommitLagPeak));
   std::fprintf(stderr,
                "Snapshot cache: shards=%u takes=%llu hits=%llu "
-               "slot-steals=%llu evictions=%llu\n",
+               "slot-steals=%llu evictions=%llu shared-hits=%llu\n",
                Pool.SnapshotShards,
                static_cast<unsigned long long>(Pool.SnapshotTakes),
                static_cast<unsigned long long>(Pool.SnapshotHits),
                static_cast<unsigned long long>(Pool.SnapshotSlotSteals),
-               static_cast<unsigned long long>(Pool.SnapshotEvictions));
+               static_cast<unsigned long long>(Pool.SnapshotEvictions),
+               static_cast<unsigned long long>(Pool.SnapshotSharedHits));
 }
 
 int main(int argc, char **argv) {
@@ -228,6 +238,7 @@ int main(int argc, char **argv) {
   bool BatchStats = false;
   bool Json = false;
   bool UseTranslationCache = true;
+  bool UseResultCache = true;
   bool CoverageMode = false;
   unsigned CoverageRuns = 64;
   std::string CoverageModeName = "full";
@@ -326,6 +337,16 @@ int main(int argc, char **argv) {
         UseTranslationCache = true;
       else if (!std::strcmp(Value, "off"))
         UseTranslationCache = false;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (startsWith(Arg, "--result-cache=")) {
+      const char *Value = Arg + 15;
+      if (!std::strcmp(Value, "on"))
+        UseResultCache = true;
+      else if (!std::strcmp(Value, "off"))
+        UseResultCache = false;
       else {
         usage();
         return 2;
@@ -442,6 +463,9 @@ int main(int argc, char **argv) {
   // One validation point for the whole flag surface: nonsense
   // combinations (--search=0, absurd worker counts) exit 2 with the
   // builder's typed diagnostic instead of being silently clamped.
+  // Per-request, so it rides the wire to a daemon unchanged (unlike
+  // --translation-cache, which configures the engine itself).
+  Builder.resultCache(UseResultCache);
   Builder.sched(Sched);
   AnalysisRequest::Builder::Result Built = Builder.build();
   if (!Built.ok()) {
@@ -498,6 +522,7 @@ int main(int argc, char **argv) {
   std::vector<double> Micros;
   SchedulerStats Pool;
   TranslationCacheStats TStats;
+  ResultCacheStats RStats;
   if (!RemoteSpec.empty()) {
     RemoteClient Client;
     std::string Err;
@@ -509,7 +534,7 @@ int main(int argc, char **argv) {
       return 3;
     }
     EngineMemoryStats RemoteMemory;
-    if (!Client.queryStats(Pool, RemoteMemory, TStats, Err)) {
+    if (!Client.queryStats(Pool, RemoteMemory, TStats, RStats, Err)) {
       std::fprintf(stderr, "kcc: remote analysis failed: %s\n", Err.c_str());
       return 3;
     }
@@ -522,6 +547,8 @@ int main(int argc, char **argv) {
     EngineConfig ECfg = engineConfigFor(Req);
     if (!UseTranslationCache)
       ECfg.TranslationCacheEntries = 0; // A/B mode: recompile every file
+    if (!UseResultCache)
+      ECfg.ResultCacheEntries = 0; // A/B mode: re-search every file
     AnalysisEngine Eng(ECfg);
     std::vector<JobHandle> Handles = Eng.submitBatch(Req, Inputs);
     Outcomes.reserve(Handles.size());
@@ -532,6 +559,7 @@ int main(int argc, char **argv) {
     Pool = Req.searchSched() == SchedKind::Wave ? waveAggregateStats(Outcomes)
                                                 : Eng.poolStats();
     TStats = Eng.translationStats();
+    RStats = Eng.resultCacheStats();
   }
   double WallMs = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - Start)
@@ -560,9 +588,10 @@ int main(int argc, char **argv) {
     for (size_t I = 0; I < Outcomes.size(); ++I)
       Progs.push_back({&Outcomes[I], Inputs[I].Name, Micros[I],
                        StaticModeName});
-    std::fputs(
-        renderJsonDocument(Progs, Pool, TStats, WallMs, ExitCode).c_str(),
-        stdout);
+    std::fputs(renderJsonDocument(Progs, Pool, TStats, RStats, WallMs,
+                                  ExitCode)
+                   .c_str(),
+               stdout);
     return ExitCode;
   }
 
@@ -612,6 +641,13 @@ int main(int argc, char **argv) {
                  static_cast<unsigned long long>(TStats.InflightJoins),
                  static_cast<unsigned long long>(TStats.Misses),
                  static_cast<unsigned long long>(TStats.Evictions));
+    std::fprintf(stderr,
+                 "Result cache: hits=%llu joins=%llu misses=%llu "
+                 "evictions=%llu\n",
+                 static_cast<unsigned long long>(RStats.Hits),
+                 static_cast<unsigned long long>(RStats.InflightJoins),
+                 static_cast<unsigned long long>(RStats.Misses),
+                 static_cast<unsigned long long>(RStats.Evictions));
     for (size_t I = 0; I < Outcomes.size(); ++I) {
       const DriverOutcome &O = Outcomes[I];
       const char *Verdict = !O.CompileOk && !O.anyUb() ? "compile-error"

@@ -19,6 +19,7 @@
 //     --max-queue=N          engine-wide in-flight jobs (default 1024)
 //     --workers=N            search-pool threads (0 = hardware)
 //     --translation-cache=on|off
+//     --result-cache=on|off  engine-wide search-result cache
 //
 // At least one endpoint is required. The daemon prints one
 // "kcc-serve: listening on ..." line per endpoint to stderr once it is
@@ -52,7 +53,8 @@ static void usage() {
                "  --max-inflight=N       per-client in-flight jobs\n"
                "  --max-queue=N          engine-wide in-flight jobs\n"
                "  --workers=N            search workers (0 = hardware)\n"
-               "  --translation-cache=on|off\n");
+               "  --translation-cache=on|off\n"
+               "  --result-cache=on|off\n");
 }
 
 static bool parseNumericFlag(const char *Name, const char *Value,
@@ -137,6 +139,16 @@ int main(int argc, char **argv) {
         ; // the default capacity stands
       else if (!std::strcmp(Value, "off"))
         Cfg.Engine.TranslationCacheEntries = 0;
+      else {
+        usage();
+        return 2;
+      }
+    } else if (startsWith(Arg, "--result-cache=")) {
+      const char *Value = Arg + 15;
+      if (!std::strcmp(Value, "on"))
+        ; // the default capacity stands
+      else if (!std::strcmp(Value, "off"))
+        Cfg.Engine.ResultCacheEntries = 0;
       else {
         usage();
         return 2;
